@@ -1,0 +1,72 @@
+//! Table 1 — query-level complexity metrics across benchmarks
+//! (#Keywords, #Tokens, #Tables, #Columns, #Agg, #Nestings), reported as
+//! absolute values for Beaver (DW) and relative deltas for the others.
+
+use bp_bench::{f1, generate_all_benchmarks, print_header, HARNESS_SEED, QUERIES_PER_BENCHMARK};
+use bp_datasets::BenchmarkKind;
+use bp_metrics::QueryComplexity;
+
+fn main() {
+    print_header("Table 1: query-level complexity metrics", "Table 1");
+    let corpora = generate_all_benchmarks(QUERIES_PER_BENCHMARK, HARNESS_SEED);
+
+    let complexity_of = |kind: BenchmarkKind| -> QueryComplexity {
+        let corpus = corpora.iter().find(|c| c.kind == kind).expect("generated");
+        let analyses: Vec<_> = corpus
+            .log
+            .iter()
+            .map(|entry| bp_sql::analyze(&bp_sql::parse_query(&entry.sql).expect("log entries parse")))
+            .collect();
+        QueryComplexity::from_analyses(kind.name(), &analyses)
+    };
+
+    let beaver = complexity_of(BenchmarkKind::Beaver);
+    println!(
+        "{:<14} {:>10} {:>10} {:>9} {:>10} {:>8} {:>10}",
+        "Query set", "#Keywords", "#Tokens", "#Tables", "#Columns", "#Agg", "#Nestings"
+    );
+    let paper_beaver = [15.6, 99.8, 4.2, 11.9, 5.5, 2.05];
+    println!(
+        "{:<14} {:>10} {:>10} {:>9} {:>10} {:>8} {:>10}   <- paper",
+        "BEAVER (DW)",
+        f1(paper_beaver[0]),
+        f1(paper_beaver[1]),
+        f1(paper_beaver[2]),
+        f1(paper_beaver[3]),
+        f1(paper_beaver[4]),
+        format!("{:.2}", paper_beaver[5]),
+    );
+    let row = beaver.as_row();
+    println!(
+        "{:<14} {:>10} {:>10} {:>9} {:>10} {:>8} {:>10}   <- measured",
+        "BEAVER (DW)",
+        f1(row[0]),
+        f1(row[1]),
+        f1(row[2]),
+        f1(row[3]),
+        f1(row[4]),
+        format!("{:.2}", row[5]),
+    );
+    println!();
+
+    let paper_deltas: &[(&str, [&str; 6])] = &[
+        ("Spider", ["↓80.8%", "↓81.5%", "↓64.3%", "↓75.6%", "↓83.6%", "↓45.5%"]),
+        ("FIBEN", ["↓39.1%", "↑62.2%", "↓9.5%", "↓18.5%", "↓63.6%", "↓23.8%"]),
+        ("BIRD", ["↓73.1%", "↓68.7%", "↓54.7%", "↓63.0%", "↓87.3%", "↓45.5%"]),
+    ];
+    for (kind, paper_label) in [
+        (BenchmarkKind::Spider, 0usize),
+        (BenchmarkKind::Fiben, 1),
+        (BenchmarkKind::Bird, 2),
+    ] {
+        let complexity = complexity_of(kind);
+        let deltas = complexity.relative_to(&beaver);
+        let (name, paper_row) = paper_deltas[paper_label];
+        let measured: Vec<String> = deltas.iter().map(|d| d.arrow_notation()).collect();
+        println!("{name:<14} paper:    {}", paper_row.join("  "));
+        println!("{name:<14} measured: {}", measured.join("  "));
+        println!();
+    }
+    println!("Shape check: every public benchmark should be ↓ vs Beaver on keywords, tables,");
+    println!("columns, aggregations, and nestings (token counts may vary by corpus style).");
+}

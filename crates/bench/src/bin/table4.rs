@@ -1,0 +1,32 @@
+//! Table 4 — average annotation latency (minutes per participant) by
+//! condition and dataset.
+
+use bp_bench::{print_header, HARNESS_SEED};
+use bp_study::{run_study, StudyConfig};
+
+fn main() {
+    print_header("Table 4: average annotation latency (minutes)", "Table 4");
+    let config = StudyConfig {
+        seed: HARNESS_SEED,
+        ..StudyConfig::default()
+    };
+    let run = run_study(&config);
+    let paper = [
+        ("Beaver", 16.1, 16.2, 102.1),
+        ("Bird", 12.0, 15.8, 82.8),
+        ("Total", 28.1, 32.0, 183.9),
+    ];
+    println!(
+        "{:<10} {:>22} {:>22} {:>22}",
+        "Dataset", "BenchPress", "Vanilla LLM", "Manual"
+    );
+    for (row, (label, p_bp, p_llm, p_manual)) in run.latency_table().iter().zip(paper.iter()) {
+        println!(
+            "{:<10} {:>9.1} min (p {:6.1}) {:>9.1} min (p {:6.1}) {:>9.1} min (p {:6.1})",
+            label, row.benchpress, p_bp, row.vanilla_llm, p_llm, row.manual, p_manual
+        );
+    }
+    println!();
+    println!("Shape check: Manual is several times slower than both assisted conditions;");
+    println!("BenchPress is the fastest, and the Beaver portion costs more than the Bird portion.");
+}

@@ -1,0 +1,143 @@
+//! Annotation data types: drafts produced by the loop, feedback actions, and
+//! finalized records.
+
+use bp_llm::NlCandidate;
+use bp_sql::Decomposition;
+use serde::{Deserialize, Serialize};
+
+/// The candidates generated for one annotation unit (a CTE or the final
+/// query of a decomposition — or the whole query when not decomposed).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UnitDraft {
+    /// Unit name (`"FINAL"` for the outer/whole query).
+    pub unit_name: String,
+    /// The unit's SQL.
+    pub sql: String,
+    /// Context quality of the prompt used (0..1), recorded for analysis.
+    pub context_quality: f64,
+    /// Number of retrieved examples that were included in the prompt.
+    pub examples_used: usize,
+    /// The four candidate descriptions.
+    pub candidates: Vec<NlCandidate>,
+}
+
+/// A draft for one log entry: the decomposition, per-unit candidates, and
+/// the recomposed whole-query candidates the annotator chooses from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnnotationDraft {
+    /// The log entry id this draft belongs to.
+    pub query_id: usize,
+    /// The original SQL.
+    pub sql: String,
+    /// The decomposition applied (units + rewritten query).
+    pub decomposition: Decomposition,
+    /// Whether decomposition actually rewrote anything.
+    pub was_decomposed: bool,
+    /// Per-unit candidate sets.
+    pub units: Vec<UnitDraft>,
+    /// Whole-query candidate descriptions (recomposed across units); always
+    /// the same length as the per-unit candidate count (four).
+    pub candidates: Vec<String>,
+    /// How many times this draft has been regenerated after feedback.
+    pub regeneration_count: usize,
+}
+
+/// Feedback actions an annotator can take on a draft (paper step 6).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FeedbackAction {
+    /// Accept one of the whole-query candidates (by index).
+    SelectCandidate(usize),
+    /// Provide an edited/authored description.
+    Edit(String),
+    /// Rank the candidates from best to worst (indices); the top choice
+    /// becomes the pending description.
+    Rank(Vec<usize>),
+    /// Discard the draft entirely (the query will need re-annotation).
+    Discard,
+    /// Inject a domain-knowledge note (topic, explanation) into the project.
+    AddKnowledge {
+        /// The term being explained.
+        topic: String,
+        /// The explanation.
+        note: String,
+    },
+    /// Add a generation priority such as "describe the filtering logic".
+    AddPriority(String),
+}
+
+/// Lifecycle state of a log entry's annotation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum AnnotationStatus {
+    /// Not yet drafted.
+    #[default]
+    Pending,
+    /// A draft exists and awaits feedback.
+    Drafted,
+    /// A description has been selected/edited but not finalized.
+    InReview,
+    /// The annotation is finalized and exported/exportable.
+    Finalized,
+    /// The draft was discarded.
+    Discarded,
+}
+
+/// A finalized annotation ready for export.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnnotationRecord {
+    /// The log entry id.
+    pub query_id: usize,
+    /// The SQL query.
+    pub sql: String,
+    /// The accepted natural-language description.
+    pub description: String,
+    /// Name of the model that generated the accepted candidates.
+    pub model: String,
+    /// Number of feedback actions applied before finalization.
+    pub feedback_actions: usize,
+    /// Whether the final text was human-edited (vs. accepted verbatim).
+    pub human_edited: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_status_is_pending() {
+        assert_eq!(AnnotationStatus::default(), AnnotationStatus::Pending);
+    }
+
+    #[test]
+    fn feedback_actions_serialize_round_trip() {
+        let actions = vec![
+            FeedbackAction::SelectCandidate(2),
+            FeedbackAction::Edit("better text".into()),
+            FeedbackAction::Rank(vec![3, 1, 0, 2]),
+            FeedbackAction::Discard,
+            FeedbackAction::AddKnowledge {
+                topic: "J-term".into(),
+                note: "January term".into(),
+            },
+            FeedbackAction::AddPriority("mention ordering".into()),
+        ];
+        let json = serde_json::to_string(&actions).unwrap();
+        let back: Vec<FeedbackAction> = serde_json::from_str(&json).unwrap();
+        assert_eq!(actions, back);
+    }
+
+    #[test]
+    fn record_serializes() {
+        let record = AnnotationRecord {
+            query_id: 7,
+            sql: "SELECT 1".into(),
+            description: "the constant one".into(),
+            model: "GPT-4o".into(),
+            feedback_actions: 2,
+            human_edited: true,
+        };
+        let json = serde_json::to_string(&record).unwrap();
+        assert!(json.contains("\"query_id\":7"));
+        let back: AnnotationRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, record);
+    }
+}

@@ -1,0 +1,79 @@
+//! Error type for the BenchPress core workflow.
+
+use std::fmt;
+
+/// Errors surfaced by the annotation workflow.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A SQL statement could not be parsed.
+    Sql(String),
+    /// A storage/engine operation failed.
+    Storage(String),
+    /// The referenced log entry does not exist.
+    UnknownQuery(usize),
+    /// The referenced project does not exist in the workspace.
+    UnknownProject(String),
+    /// The referenced candidate index is out of range.
+    UnknownCandidate(usize),
+    /// The operation requires a draft that has not been generated yet.
+    NoDraft(usize),
+    /// The operation requires a finalized annotation that does not exist.
+    NotFinalized(usize),
+    /// Export or serialization failed.
+    Export(String),
+    /// The workflow was used in an unsupported way.
+    Invalid(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Sql(message) => write!(f, "SQL error: {message}"),
+            CoreError::Storage(message) => write!(f, "storage error: {message}"),
+            CoreError::UnknownQuery(id) => write!(f, "no log entry with id {id}"),
+            CoreError::UnknownProject(name) => write!(f, "no project named '{name}'"),
+            CoreError::UnknownCandidate(index) => write!(f, "no candidate at index {index}"),
+            CoreError::NoDraft(id) => write!(f, "log entry {id} has no generated draft yet"),
+            CoreError::NotFinalized(id) => write!(f, "log entry {id} has not been finalized"),
+            CoreError::Export(message) => write!(f, "export error: {message}"),
+            CoreError::Invalid(message) => write!(f, "invalid operation: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<bp_sql::SqlError> for CoreError {
+    fn from(e: bp_sql::SqlError) -> Self {
+        CoreError::Sql(e.to_string())
+    }
+}
+
+impl From<bp_storage::StorageError> for CoreError {
+    fn from(e: bp_storage::StorageError) -> Self {
+        CoreError::Storage(e.to_string())
+    }
+}
+
+/// Result alias for core operations.
+pub type CoreResult<T> = Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CoreError::UnknownQuery(3).to_string().contains("3"));
+        assert!(CoreError::UnknownProject("x".into()).to_string().contains("x"));
+        assert!(CoreError::NoDraft(1).to_string().contains("draft"));
+    }
+
+    #[test]
+    fn conversions() {
+        let sql_error: CoreError = bp_sql::SqlError::unsupported("x").into();
+        assert!(matches!(sql_error, CoreError::Sql(_)));
+        let storage_error: CoreError = bp_storage::StorageError::UnknownTable("t".into()).into();
+        assert!(matches!(storage_error, CoreError::Storage(_)));
+    }
+}

@@ -1,0 +1,183 @@
+//! Review and export (paper step 7): benchmark-ready JSON export plus the
+//! automatic metrics available when gold annotations exist.
+
+use crate::error::{CoreError, CoreResult};
+use crate::project::Project;
+use bp_metrics::{bleu, exact_match, rouge_l};
+use serde::{Deserialize, Serialize};
+
+/// One exported annotation in the usual text-to-SQL benchmark format
+/// (question / SQL / database id), matching how Spider- and Bird-style
+/// datasets are distributed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExportedAnnotation {
+    /// The natural-language question/description.
+    pub question: String,
+    /// The SQL query.
+    pub query: String,
+    /// The database (project) identifier.
+    pub db_id: String,
+    /// The model that assisted the annotation.
+    pub model: String,
+    /// Whether a human edited the accepted text.
+    pub human_edited: bool,
+}
+
+/// Automatic review metrics for exported annotations against gold questions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ReviewMetrics {
+    /// Number of annotations that had a gold question to compare against.
+    pub compared: usize,
+    /// Fraction of exact matches (after normalization).
+    pub exact_match_rate: f64,
+    /// Mean BLEU score.
+    pub mean_bleu: f64,
+    /// Mean ROUGE-L score.
+    pub mean_rouge_l: f64,
+}
+
+/// Build the export records for all finalized annotations of a project.
+pub fn export_records(project: &Project) -> Vec<ExportedAnnotation> {
+    project
+        .records()
+        .into_iter()
+        .map(|record| ExportedAnnotation {
+            question: record.description.clone(),
+            query: record.sql.clone(),
+            db_id: project.name.clone(),
+            model: record.model.clone(),
+            human_edited: record.human_edited,
+        })
+        .collect()
+}
+
+/// Export all finalized annotations as pretty-printed JSON (the paper's
+/// "final annotations are exported in benchmark-ready JSON format").
+pub fn export_json(project: &Project) -> CoreResult<String> {
+    serde_json::to_string_pretty(&export_records(project))
+        .map_err(|e| CoreError::Export(e.to_string()))
+}
+
+/// Parse a previously exported JSON file back into records.
+pub fn import_json(json: &str) -> CoreResult<Vec<ExportedAnnotation>> {
+    serde_json::from_str(json).map_err(|e| CoreError::Export(e.to_string()))
+}
+
+/// Compute the automatic review metrics (exact match, BLEU, ROUGE-L) of the
+/// finalized annotations against the gold questions that were ingested with
+/// the log (available for the built-in benchmarks). Entries without gold
+/// questions are skipped.
+pub fn review_metrics(project: &Project) -> ReviewMetrics {
+    let mut compared = 0usize;
+    let mut exact = 0usize;
+    let mut bleu_sum = 0.0;
+    let mut rouge_sum = 0.0;
+    for record in project.records() {
+        let Some(gold) = project
+            .log()
+            .get(record.query_id)
+            .and_then(|item| item.gold_question.clone())
+        else {
+            continue;
+        };
+        compared += 1;
+        if exact_match(&record.description, &gold) {
+            exact += 1;
+        }
+        bleu_sum += bleu(&record.description, &gold);
+        rouge_sum += rouge_l(&record.description, &gold);
+    }
+    if compared == 0 {
+        return ReviewMetrics::default();
+    }
+    ReviewMetrics {
+        compared,
+        exact_match_rate: exact as f64 / compared as f64,
+        mean_bleu: bleu_sum / compared as f64,
+        mean_rouge_l: rouge_sum / compared as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotation::FeedbackAction;
+    use crate::config::TaskConfig;
+    use bp_datasets::{BenchmarkKind, GeneratedBenchmark};
+
+    fn annotated_project() -> Project {
+        let corpus = GeneratedBenchmark::generate(BenchmarkKind::Spider, 4, 17);
+        let mut project = Project::new("spider-curation", TaskConfig::default().with_seed(3));
+        project.ingest_benchmark(&corpus);
+        for query_id in 0..project.log().len() {
+            project.annotate(query_id).unwrap();
+            project
+                .apply_feedback(query_id, FeedbackAction::SelectCandidate(0))
+                .unwrap();
+            project.finalize(query_id).unwrap();
+        }
+        project
+    }
+
+    #[test]
+    fn export_round_trips_through_json() {
+        let project = annotated_project();
+        let json = export_json(&project).unwrap();
+        assert!(json.contains("\"question\""));
+        assert!(json.contains("\"query\""));
+        assert!(json.contains("\"db_id\""));
+        let records = import_json(&json).unwrap();
+        assert_eq!(records.len(), 4);
+        assert_eq!(records[0].db_id, "spider-curation");
+        assert!(records.iter().all(|r| !r.query.is_empty()));
+    }
+
+    #[test]
+    fn export_only_contains_finalized_entries() {
+        let corpus = GeneratedBenchmark::generate(BenchmarkKind::Spider, 3, 21);
+        let mut project = Project::new("partial", TaskConfig::default());
+        project.ingest_benchmark(&corpus);
+        project.annotate(0).unwrap();
+        project
+            .apply_feedback(0, FeedbackAction::SelectCandidate(1))
+            .unwrap();
+        project.finalize(0).unwrap();
+        // Entry 1 drafted but never finalized; entry 2 untouched.
+        project.annotate(1).unwrap();
+        let records = export_records(&project);
+        assert_eq!(records.len(), 1);
+    }
+
+    #[test]
+    fn review_metrics_compare_against_gold() {
+        let project = annotated_project();
+        let metrics = review_metrics(&project);
+        assert_eq!(metrics.compared, 4);
+        assert!(metrics.mean_bleu > 0.0);
+        assert!(metrics.mean_rouge_l > 0.0);
+        assert!(metrics.exact_match_rate >= 0.0 && metrics.exact_match_rate <= 1.0);
+    }
+
+    #[test]
+    fn review_metrics_without_gold_are_empty() {
+        let mut project = Project::new("no-gold", TaskConfig::default());
+        project
+            .ingest_schema("CREATE TABLE t (a INT, b VARCHAR(10));")
+            .unwrap();
+        project.ingest_log("SELECT a FROM t;");
+        project.annotate(0).unwrap();
+        project
+            .apply_feedback(0, FeedbackAction::SelectCandidate(0))
+            .unwrap();
+        project.finalize(0).unwrap();
+        let metrics = review_metrics(&project);
+        assert_eq!(metrics.compared, 0);
+        assert_eq!(metrics.mean_bleu, 0.0);
+    }
+
+    #[test]
+    fn import_rejects_malformed_json() {
+        assert!(import_json("not json").is_err());
+        assert!(import_json("[{\"bad\": 1}]").is_err());
+    }
+}

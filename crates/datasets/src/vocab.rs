@@ -1,0 +1,211 @@
+//! Naming vocabulary for synthetic schemas and the enterprise domain lexicon.
+//!
+//! The paper's central difficulty claims rest on two vocabulary phenomena:
+//! enterprise schemas reuse the same column names across unrelated tables
+//! (ambiguity), and enterprise queries use domain-specific terms ("J-term",
+//! Moira lists, cost objects) that models cannot resolve without
+//! organization-specific knowledge. This module provides the word pools the
+//! generators draw from, plus the [`DomainLexicon`] used to count unresolved
+//! domain terms in a query.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Entity nouns used to name tables in public-benchmark-style schemas.
+pub const PUBLIC_ENTITIES: &[&str] = &[
+    "students", "courses", "teachers", "departments", "airports", "flights", "singers",
+    "concerts", "stadiums", "orchestras", "museums", "visitors", "employees", "companies",
+    "products", "orders", "customers", "invoices", "matches", "players", "teams", "cities",
+    "countries", "books", "authors", "publishers", "movies", "directors", "reviews",
+];
+
+/// Attribute nouns used to name columns in public-benchmark-style schemas.
+pub const PUBLIC_ATTRIBUTES: &[&str] = &[
+    "name", "age", "salary", "budget", "capacity", "year", "rank", "score", "rating", "price",
+    "quantity", "status", "city", "country", "title", "grade", "gpa", "duration", "revenue",
+    "population", "height", "weight", "category", "phone", "email",
+];
+
+/// Warehouse-style subject areas used to name enterprise tables
+/// (the MIT data-warehouse flavour of the Beaver benchmark).
+pub const ENTERPRISE_SUBJECTS: &[&str] = &[
+    "ACADEMIC_TERMS", "MOIRA_LIST", "MOIRA_MEMBER", "FAC_BUILDING", "FAC_ROOM", "COST_OBJECT",
+    "APPOINTMENT", "EMPLOYEE_DIRECTORY", "STUDENT_DIRECTORY", "COURSE_CATALOG", "SUBJECT_OFFERED",
+    "DEGREE_AWARD", "ADMISSION_APPLICANT", "PAYROLL_DETAIL", "PURCHASE_ORDER", "VENDOR_MASTER",
+    "GRADE_DETAIL", "LIBRARY_LOAN", "PARKING_PERMIT", "NETWORK_DEVICE", "TELEMETRY_METRIC",
+    "SPACE_ALLOCATION", "RESEARCH_AWARD", "PROPOSAL_BUDGET", "TRAVEL_EXPENSE", "ASSET_INVENTORY",
+];
+
+/// Warehouse-style column stems that get reused across many tables (the
+/// duplication the paper calls out with `user_id`-style ambiguity).
+pub const ENTERPRISE_SHARED_COLUMNS: &[&str] = &[
+    "WAREHOUSE_LOAD_DATE", "SOURCE_SYSTEM_CODE", "EFFECTIVE_DATE", "EXPIRATION_DATE",
+    "DEPARTMENT_CODE", "DEPARTMENT_NAME", "ORG_UNIT_ID", "PERSON_ID", "MIT_ID", "USER_ID",
+    "STATUS_CODE", "STATUS_DESCRIPTION", "FISCAL_YEAR", "FISCAL_PERIOD", "IS_CURRENT_FLAG",
+    "CREATED_BY", "MODIFIED_BY", "ROW_VERSION",
+];
+
+/// Enterprise column stems specific to a subject area (appended to the
+/// subject stem, e.g. `MOIRA_LIST_NAME`).
+pub const ENTERPRISE_SPECIFIC_SUFFIXES: &[&str] = &[
+    "KEY", "NAME", "TITLE", "TYPE", "CATEGORY", "AMOUNT", "COUNT", "BALANCE", "RATE",
+    "START_DATE", "END_DATE", "OWNER", "LEVEL", "GROUP",
+];
+
+/// One domain-specific term with the explanation an annotator would inject
+/// through the feedback loop.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DomainTerm {
+    /// The term as it appears in SQL literals or questions.
+    pub term: String,
+    /// The enterprise-specific explanation of the term.
+    pub explanation: String,
+}
+
+/// The enterprise domain lexicon (MIT-flavoured, matching the paper's
+/// examples) used to (a) inject domain terms into generated Beaver queries
+/// and (b) decide which terms in a query are "domain-specific".
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DomainLexicon {
+    terms: BTreeMap<String, DomainTerm>,
+}
+
+impl DomainLexicon {
+    /// The built-in enterprise lexicon.
+    pub fn enterprise() -> Self {
+        let mut lexicon = DomainLexicon::default();
+        let entries = [
+            ("J-term", "The one-month January independent activities term in the MIT academic calendar."),
+            ("IAP", "Independent Activities Period, the January term."),
+            ("Moira", "Moira is MIT's mailing list management system; Moira lists are newsletter/mailing lists."),
+            ("cost object", "A cost object is the account-like entity that MIT charges expenses against."),
+            ("J-1", "A visa status code used for exchange visitors."),
+            ("STREET", "In address tables, STREET_TYPE = 'STREET' restricts to physical street addresses rather than mailing addresses."),
+            ("course 6", "Course 6 is the EECS department in MIT's numbering scheme."),
+            ("cross-registered", "Students enrolled through another institution's registration agreement."),
+            ("UROP", "The Undergraduate Research Opportunities Program."),
+            ("DLC", "A Department, Lab, or Center - an MIT organizational unit."),
+            ("FY26", "Fiscal year 2026, which runs from July 2025 through June 2026."),
+            ("TIP", "The Technology and Policy Program graduate program code."),
+        ];
+        for (term, explanation) in entries {
+            lexicon.insert(DomainTerm {
+                term: term.to_string(),
+                explanation: explanation.to_string(),
+            });
+        }
+        lexicon
+    }
+
+    /// Insert or replace a term.
+    pub fn insert(&mut self, term: DomainTerm) {
+        self.terms.insert(term.term.to_lowercase(), term);
+    }
+
+    /// Number of terms in the lexicon.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the lexicon is empty.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Iterate over all terms.
+    pub fn terms(&self) -> impl Iterator<Item = &DomainTerm> {
+        self.terms.values()
+    }
+
+    /// Look up a term (case-insensitive).
+    pub fn get(&self, term: &str) -> Option<&DomainTerm> {
+        self.terms.get(&term.to_lowercase())
+    }
+
+    /// The domain terms appearing in a piece of text (SQL or NL).
+    pub fn terms_in(&self, text: &str) -> Vec<&DomainTerm> {
+        let lower = text.to_lowercase();
+        self.terms
+            .values()
+            .filter(|t| lower.contains(&t.term.to_lowercase()))
+            .collect()
+    }
+
+    /// Count the domain terms in `text` that are NOT explained by any of the
+    /// provided knowledge notes — the "unresolved" terms that degrade model
+    /// fidelity until the feedback loop captures them.
+    pub fn unresolved_terms_in(&self, text: &str, knowledge: &[String]) -> usize {
+        let knowledge_lower: Vec<String> = knowledge.iter().map(|k| k.to_lowercase()).collect();
+        self.terms_in(text)
+            .into_iter()
+            .filter(|t| {
+                let term_lower = t.term.to_lowercase();
+                !knowledge_lower.iter().any(|k| k.contains(&term_lower))
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enterprise_lexicon_contains_paper_terms() {
+        let lexicon = DomainLexicon::enterprise();
+        assert!(lexicon.len() >= 10);
+        assert!(lexicon.get("j-term").is_some());
+        assert!(lexicon.get("MOIRA").is_some());
+        assert!(lexicon.get("unknown term").is_none());
+    }
+
+    #[test]
+    fn terms_in_finds_terms_case_insensitively() {
+        let lexicon = DomainLexicon::enterprise();
+        let found =
+            lexicon.terms_in("SELECT * FROM ACADEMIC_TERMS WHERE TERM_NAME = 'J-term' -- moira");
+        let names: Vec<_> = found.iter().map(|t| t.term.as_str()).collect();
+        assert!(names.contains(&"J-term"));
+        assert!(names.contains(&"Moira"));
+    }
+
+    #[test]
+    fn unresolved_terms_drop_when_knowledge_is_injected() {
+        let lexicon = DomainLexicon::enterprise();
+        let sql = "SELECT * FROM ENROLLMENTS WHERE TERM = 'J-term' AND LIST = 'Moira'";
+        assert_eq!(lexicon.unresolved_terms_in(sql, &[]), 2);
+        let knowledge = vec!["J-term is the January term at MIT".to_string()];
+        assert_eq!(lexicon.unresolved_terms_in(sql, &knowledge), 1);
+        let all_knowledge = vec![
+            "J-term is the January term at MIT".to_string(),
+            "Moira is the mailing list system".to_string(),
+        ];
+        assert_eq!(lexicon.unresolved_terms_in(sql, &all_knowledge), 0);
+    }
+
+    #[test]
+    fn word_pools_are_nonempty_and_distinct() {
+        assert!(PUBLIC_ENTITIES.len() > 10);
+        assert!(PUBLIC_ATTRIBUTES.len() > 10);
+        assert!(ENTERPRISE_SUBJECTS.len() > 10);
+        assert!(ENTERPRISE_SHARED_COLUMNS.len() > 10);
+        let unique: std::collections::HashSet<_> = ENTERPRISE_SUBJECTS.iter().collect();
+        assert_eq!(unique.len(), ENTERPRISE_SUBJECTS.len());
+    }
+
+    #[test]
+    fn insert_overrides_existing() {
+        let mut lexicon = DomainLexicon::default();
+        assert!(lexicon.is_empty());
+        lexicon.insert(DomainTerm {
+            term: "X".into(),
+            explanation: "first".into(),
+        });
+        lexicon.insert(DomainTerm {
+            term: "x".into(),
+            explanation: "second".into(),
+        });
+        assert_eq!(lexicon.len(), 1);
+        assert_eq!(lexicon.get("X").unwrap().explanation, "second");
+    }
+}

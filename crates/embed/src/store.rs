@@ -1,0 +1,321 @@
+//! Vector store with exact and pruned k-nearest-neighbour search.
+//!
+//! BenchPress keeps all uploaded SQL logs, schemas and previously accepted
+//! annotations on the server so retrieval-augmented generation has global
+//! access to them (paper §4.1, "Dataset Ingestion"). The [`VectorStore`]
+//! plays that role: documents are embedded once on insert and queried with
+//! cosine similarity. Two search strategies are provided — exhaustive exact
+//! search, and a token-pruned search that only scores documents sharing at
+//! least one rare token with the query (useful for large corpora and used as
+//! an ablation point in the benchmarks).
+
+use crate::embedder::{Embedder, Embedding};
+use crate::tokenizer::tokenize;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Kinds of documents BenchPress indexes for retrieval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DocumentKind {
+    /// A SQL query from an ingested log.
+    SqlQuery,
+    /// A (SQL, NL) annotation pair produced by a previous annotation round.
+    Annotation,
+    /// A table schema (rendered as `CREATE TABLE ...`).
+    Schema,
+    /// Domain knowledge injected by annotators through the feedback loop.
+    Knowledge,
+}
+
+/// A document stored for retrieval.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Document {
+    /// Store-assigned identifier.
+    pub id: u64,
+    /// The indexed text (what the embedding is computed from).
+    pub text: String,
+    /// Optional companion payload (e.g. the NL side of an annotation pair).
+    pub payload: Option<String>,
+    /// Document kind, used for filtered retrieval.
+    pub kind: DocumentKind,
+}
+
+/// A search hit: document id plus cosine similarity score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchHit {
+    /// Identifier of the matching document.
+    pub id: u64,
+    /// Cosine similarity to the query.
+    pub score: f32,
+}
+
+/// In-memory vector store over [`Document`]s.
+#[derive(Debug, Default)]
+pub struct VectorStore {
+    embedder: Embedder,
+    documents: BTreeMap<u64, Document>,
+    embeddings: BTreeMap<u64, Embedding>,
+    token_index: HashMap<String, Vec<u64>>,
+    next_id: u64,
+}
+
+impl VectorStore {
+    /// Create an empty store with the default embedder.
+    pub fn new() -> Self {
+        VectorStore::default()
+    }
+
+    /// Create a store with a custom embedder.
+    pub fn with_embedder(embedder: Embedder) -> Self {
+        VectorStore {
+            embedder,
+            ..VectorStore::default()
+        }
+    }
+
+    /// Number of stored documents.
+    pub fn len(&self) -> usize {
+        self.documents.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.documents.is_empty()
+    }
+
+    /// Borrow the embedder (so callers can embed queries consistently).
+    pub fn embedder(&self) -> &Embedder {
+        &self.embedder
+    }
+
+    /// Add a document; returns its id.
+    pub fn add(
+        &mut self,
+        text: impl Into<String>,
+        payload: Option<String>,
+        kind: DocumentKind,
+    ) -> u64 {
+        let text = text.into();
+        let id = self.next_id;
+        self.next_id += 1;
+        let embedding = self.embedder.embed(&text);
+        for token in tokenize(&text).into_iter().collect::<HashSet<_>>() {
+            self.token_index.entry(token).or_default().push(id);
+        }
+        self.embeddings.insert(id, embedding);
+        self.documents.insert(
+            id,
+            Document {
+                id,
+                text,
+                payload,
+                kind,
+            },
+        );
+        id
+    }
+
+    /// Fetch a document by id.
+    pub fn get(&self, id: u64) -> Option<&Document> {
+        self.documents.get(&id)
+    }
+
+    /// Remove a document by id; returns whether it existed.
+    pub fn remove(&mut self, id: u64) -> bool {
+        let existed = self.documents.remove(&id).is_some();
+        self.embeddings.remove(&id);
+        if existed {
+            for ids in self.token_index.values_mut() {
+                ids.retain(|&d| d != id);
+            }
+        }
+        existed
+    }
+
+    /// Iterate over all documents.
+    pub fn documents(&self) -> impl Iterator<Item = &Document> {
+        self.documents.values()
+    }
+
+    /// Exact top-k search by cosine similarity, optionally restricted to a
+    /// document kind.
+    pub fn search(&self, query: &str, k: usize, kind: Option<DocumentKind>) -> Vec<SearchHit> {
+        let query_embedding = self.embedder.embed(query);
+        self.rank(
+            self.documents.values().filter(|d| match kind {
+                Some(kind) => d.kind == kind,
+                None => true,
+            }),
+            &query_embedding,
+            k,
+        )
+    }
+
+    /// Token-pruned top-k search: only documents sharing at least one query
+    /// token are scored. Falls back to exact search when pruning would
+    /// discard everything (e.g. no lexical overlap).
+    pub fn search_pruned(
+        &self,
+        query: &str,
+        k: usize,
+        kind: Option<DocumentKind>,
+    ) -> Vec<SearchHit> {
+        let query_embedding = self.embedder.embed(query);
+        let mut candidates: HashSet<u64> = HashSet::new();
+        for token in tokenize(query) {
+            if let Some(ids) = self.token_index.get(&token) {
+                candidates.extend(ids.iter().copied());
+            }
+        }
+        if candidates.is_empty() {
+            return self.search(query, k, kind);
+        }
+        self.rank(
+            candidates
+                .into_iter()
+                .filter_map(|id| self.documents.get(&id))
+                .filter(|d| match kind {
+                    Some(kind) => d.kind == kind,
+                    None => true,
+                }),
+            &query_embedding,
+            k,
+        )
+    }
+
+    fn rank<'a, I: Iterator<Item = &'a Document>>(
+        &self,
+        documents: I,
+        query: &Embedding,
+        k: usize,
+    ) -> Vec<SearchHit> {
+        let mut hits: Vec<SearchHit> = documents
+            .map(|d| SearchHit {
+                id: d.id,
+                score: self.embeddings[&d.id].cosine(query),
+            })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.id.cmp(&b.id))
+        });
+        hits.truncate(k);
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeded_store() -> VectorStore {
+        let mut store = VectorStore::new();
+        store.add(
+            "SELECT COUNT(DISTINCT MIT_ID) FROM MOIRA_MEMBER GROUP BY MOIRA_LIST_KEY",
+            Some("Count the distinct members of each Moira list".into()),
+            DocumentKind::Annotation,
+        );
+        store.add(
+            "SELECT name, gpa FROM students WHERE dept = 'EECS'",
+            Some("List EECS students with their GPA".into()),
+            DocumentKind::Annotation,
+        );
+        store.add(
+            "CREATE TABLE MOIRA_LIST (MOIRA_LIST_KEY INT, MOIRA_LIST_NAME VARCHAR, DEPT VARCHAR)",
+            None,
+            DocumentKind::Schema,
+        );
+        store.add(
+            "CREATE TABLE FAC_BUILDING (BUILDING_KEY INT, BUILDING_NAME VARCHAR, STREET_TYPE VARCHAR)",
+            None,
+            DocumentKind::Schema,
+        );
+        store.add(
+            "J-term refers to MIT's one-month January term",
+            None,
+            DocumentKind::Knowledge,
+        );
+        store
+    }
+
+    #[test]
+    fn add_and_get() {
+        let store = seeded_store();
+        assert_eq!(store.len(), 5);
+        let doc = store.get(0).unwrap();
+        assert!(doc.text.contains("MOIRA_MEMBER"));
+        assert_eq!(doc.kind, DocumentKind::Annotation);
+        assert!(store.get(99).is_none());
+    }
+
+    #[test]
+    fn search_ranks_relevant_documents_first() {
+        let store = seeded_store();
+        let hits = store.search("count members of the Moira lists", 3, None);
+        assert_eq!(hits.len(), 3);
+        assert_eq!(hits[0].id, 0, "Moira annotation should rank first");
+        assert!(hits[0].score > hits[2].score);
+    }
+
+    #[test]
+    fn kind_filter_restricts_results() {
+        let store = seeded_store();
+        let hits = store.search("MOIRA_LIST", 10, Some(DocumentKind::Schema));
+        assert!(!hits.is_empty());
+        for hit in &hits {
+            assert_eq!(store.get(hit.id).unwrap().kind, DocumentKind::Schema);
+        }
+    }
+
+    #[test]
+    fn pruned_search_matches_exact_on_overlapping_queries() {
+        let store = seeded_store();
+        let exact = store.search("students gpa EECS", 2, None);
+        let pruned = store.search_pruned("students gpa EECS", 2, None);
+        assert_eq!(exact[0].id, pruned[0].id);
+    }
+
+    #[test]
+    fn pruned_search_falls_back_when_no_overlap() {
+        let store = seeded_store();
+        let hits = store.search_pruned("zzz qqq", 2, None);
+        assert_eq!(hits.len(), 2); // fallback to exact scoring
+    }
+
+    #[test]
+    fn remove_deletes_document() {
+        let mut store = seeded_store();
+        assert!(store.remove(1));
+        assert!(!store.remove(1));
+        assert_eq!(store.len(), 4);
+        let hits = store.search("students gpa EECS", 5, None);
+        assert!(hits.iter().all(|h| h.id != 1));
+    }
+
+    #[test]
+    fn k_larger_than_store_returns_all() {
+        let store = seeded_store();
+        let hits = store.search("anything", 50, None);
+        assert_eq!(hits.len(), 5);
+    }
+
+    #[test]
+    fn empty_store_returns_no_hits() {
+        let store = VectorStore::new();
+        assert!(store.is_empty());
+        assert!(store.search("query", 3, None).is_empty());
+    }
+
+    #[test]
+    fn ids_are_stable_and_monotonic() {
+        let mut store = VectorStore::new();
+        let a = store.add("a", None, DocumentKind::SqlQuery);
+        let b = store.add("b", None, DocumentKind::SqlQuery);
+        assert_eq!((a, b), (0, 1));
+        store.remove(a);
+        let c = store.add("c", None, DocumentKind::SqlQuery);
+        assert_eq!(c, 2, "ids are never reused");
+    }
+}

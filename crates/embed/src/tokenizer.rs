@@ -1,0 +1,160 @@
+//! Text tokenization shared by the embedder and the lexical index.
+//!
+//! SQL and natural language are both normalized the same way: lowercased,
+//! split on non-alphanumeric characters, and compound identifiers such as
+//! `MOIRA_LIST_NAME` or `academicTermsAll` are additionally split into their
+//! parts so that SQL identifiers and English words land in a shared token
+//! space. This is what lets hashed n-gram embeddings stand in for
+//! Sentence-BERT: similarity is driven by shared schema terms and phrasing.
+
+/// Tokenize a text into normalized word tokens.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    for raw in text.split(|c: char| !c.is_alphanumeric() && c != '_') {
+        if raw.is_empty() {
+            continue;
+        }
+        // Split snake_case and camelCase identifiers into parts, but also
+        // keep the full identifier as a token so exact matches score higher.
+        let parts = split_identifier(raw);
+        if parts.len() > 1 {
+            tokens.push(raw.to_ascii_lowercase());
+        }
+        for part in parts {
+            if !part.is_empty() {
+                tokens.push(part);
+            }
+        }
+    }
+    tokens
+}
+
+/// Split an identifier on underscores and camelCase boundaries, lowercasing
+/// each part.
+fn split_identifier(word: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    for chunk in word.split('_') {
+        if chunk.is_empty() {
+            continue;
+        }
+        let mut current = String::new();
+        let chars: Vec<char> = chunk.chars().collect();
+        for (i, &c) in chars.iter().enumerate() {
+            let prev_lower = i > 0 && chars[i - 1].is_lowercase();
+            if c.is_uppercase() && prev_lower && !current.is_empty() {
+                parts.push(current.to_ascii_lowercase());
+                current = String::new();
+            }
+            current.push(c);
+        }
+        if !current.is_empty() {
+            parts.push(current.to_ascii_lowercase());
+        }
+    }
+    parts
+}
+
+/// Word-level bigrams of a token stream ("a b", "b c", ...).
+pub fn bigrams(tokens: &[String]) -> Vec<String> {
+    tokens
+        .windows(2)
+        .map(|w| format!("{} {}", w[0], w[1]))
+        .collect()
+}
+
+/// Character trigrams of the normalized text (whitespace collapsed).
+pub fn char_trigrams(text: &str) -> Vec<String> {
+    let normalized: Vec<char> = text
+        .to_ascii_lowercase()
+        .chars()
+        .map(|c| if c.is_alphanumeric() { c } else { ' ' })
+        .collect();
+    let collapsed: Vec<char> = {
+        let mut out = Vec::with_capacity(normalized.len());
+        let mut last_space = true;
+        for c in normalized {
+            if c == ' ' {
+                if !last_space {
+                    out.push(c);
+                }
+                last_space = true;
+            } else {
+                out.push(c);
+                last_space = false;
+            }
+        }
+        out
+    };
+    let trimmed: String = collapsed.iter().collect::<String>().trim().to_string();
+    if trimmed.is_empty() {
+        return Vec::new();
+    }
+    if collapsed.len() < 3 {
+        return vec![trimmed];
+    }
+    collapsed
+        .windows(3)
+        .map(|w| w.iter().collect::<String>())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_snake_case_and_keeps_whole() {
+        let toks = tokenize("SELECT MOIRA_LIST_NAME FROM MOIRA_LIST");
+        assert!(toks.contains(&"moira_list_name".to_string()));
+        assert!(toks.contains(&"moira".to_string()));
+        assert!(toks.contains(&"list".to_string()));
+        assert!(toks.contains(&"name".to_string()));
+        assert!(toks.contains(&"select".to_string()));
+    }
+
+    #[test]
+    fn splits_camel_case() {
+        let toks = tokenize("academicTermsAll");
+        assert_eq!(
+            toks,
+            vec!["academictermsall", "academic", "terms", "all"]
+        );
+    }
+
+    #[test]
+    fn simple_words_are_not_duplicated() {
+        let toks = tokenize("count the members");
+        assert_eq!(toks, vec!["count", "the", "members"]);
+    }
+
+    #[test]
+    fn punctuation_is_removed() {
+        let toks = tokenize("What are the lists, starting with 'B'?");
+        assert!(toks.contains(&"lists".to_string()));
+        assert!(toks.contains(&"b".to_string()));
+        assert!(!toks.iter().any(|t| t.contains('\'')));
+    }
+
+    #[test]
+    fn bigrams_of_tokens() {
+        let toks = tokenize("count distinct members");
+        assert_eq!(
+            bigrams(&toks),
+            vec!["count distinct".to_string(), "distinct members".to_string()]
+        );
+        assert!(bigrams(&toks[..1]).is_empty());
+    }
+
+    #[test]
+    fn char_trigrams_cover_short_text() {
+        assert_eq!(char_trigrams("ab"), vec!["ab".to_string()]);
+        let tris = char_trigrams("J-term");
+        assert!(tris.contains(&"ter".to_string()));
+    }
+
+    #[test]
+    fn empty_text() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("—?!").is_empty());
+    }
+}

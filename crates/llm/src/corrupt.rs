@@ -1,0 +1,361 @@
+//! Query corruption operators.
+//!
+//! The text-to-SQL failure modes the paper discusses (wrong tables due to
+//! schema ambiguity, wrong columns, missing filters, missing grouping,
+//! broken syntax) are modelled as explicit mutation operators applied to a
+//! gold query. The simulated models in [`crate::text2sql`] draw from these
+//! operators when they "fail", so the predicted SQL degrades the same way
+//! the paper's Figure 1 and rubric levels describe.
+
+use bp_sql::{Expr, Ident, ObjectName, Query, SelectItem, TableFactor};
+use bp_storage::Catalog;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The corruption operators, ordered roughly by severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Corruption {
+    /// Emit syntactically invalid SQL (rubric level 1).
+    BreakSyntax,
+    /// Replace a referenced table with a different catalog table
+    /// (rubric level 2: structurally incorrect).
+    WrongTable,
+    /// Replace a projected column with a sibling column (rubric level 3).
+    WrongColumn,
+    /// Drop a WHERE conjunct (rubric level 3).
+    DropFilter,
+    /// Swap an aggregate function for another (rubric level 3).
+    WrongAggregate,
+    /// Drop GROUP BY (rubric level 3).
+    DropGroupBy,
+    /// Drop ORDER BY / LIMIT (rubric level 4: minor issues).
+    DropOrdering,
+}
+
+impl Corruption {
+    /// All operators, most severe first.
+    pub fn all() -> &'static [Corruption] {
+        &[
+            Corruption::BreakSyntax,
+            Corruption::WrongTable,
+            Corruption::WrongColumn,
+            Corruption::DropFilter,
+            Corruption::WrongAggregate,
+            Corruption::DropGroupBy,
+            Corruption::DropOrdering,
+        ]
+    }
+}
+
+/// Apply a corruption to a query, returning the corrupted SQL text.
+///
+/// `catalog` supplies alternative tables/columns for the substitution
+/// operators; when no alternative exists the function falls back to a less
+/// severe but always-applicable change so the output still differs from the
+/// gold query.
+pub fn apply<R: Rng>(
+    query: &Query,
+    corruption: Corruption,
+    catalog: &Catalog,
+    rng: &mut R,
+) -> String {
+    match corruption {
+        Corruption::BreakSyntax => {
+            let text = query.to_string();
+            // Drop the FROM keyword (a classic generation failure).
+            text.replacen("FROM", "FORM", 1)
+        }
+        Corruption::WrongTable => {
+            let mut mutated = query.clone();
+            let current_tables = referenced_tables(&mutated);
+            let alternatives: Vec<String> = catalog
+                .tables()
+                .map(|t| t.name.clone())
+                .filter(|name| !current_tables.contains(&name.to_ascii_uppercase()))
+                .collect();
+            if let (Some(target), Some(replacement)) = (
+                current_tables.first().cloned(),
+                alternatives.choose(rng).cloned(),
+            ) {
+                replace_table(&mut mutated, &target, &replacement);
+                mutated.to_string()
+            } else {
+                // No alternative table exists; degrade to a column error.
+                apply(query, Corruption::WrongColumn, catalog, rng)
+            }
+        }
+        Corruption::WrongColumn => {
+            let mut mutated = query.clone();
+            if !swap_first_projection_column(&mut mutated, catalog, rng) {
+                // Nothing to swap; drop a filter instead.
+                return apply(query, Corruption::DropFilter, catalog, rng);
+            }
+            mutated.to_string()
+        }
+        Corruption::DropFilter => {
+            let mut mutated = query.clone();
+            if let Some(select) = mutated.top_select_mut() {
+                if select.selection.take().is_none() {
+                    select.having = None;
+                }
+            }
+            mutated.to_string()
+        }
+        Corruption::WrongAggregate => {
+            let mut mutated = query.clone();
+            if !swap_aggregate(&mut mutated) {
+                return apply(query, Corruption::DropFilter, catalog, rng);
+            }
+            mutated.to_string()
+        }
+        Corruption::DropGroupBy => {
+            let mut mutated = query.clone();
+            if let Some(select) = mutated.top_select_mut() {
+                select.group_by.clear();
+                select.having = None;
+                // Also drop bare grouped columns from the projection so the
+                // query still "makes sense" without grouping.
+                select.projection.retain(|item| {
+                    !matches!(item, SelectItem::Expr { expr, .. } if matches!(expr, Expr::Identifier(_) | Expr::CompoundIdentifier(_)))
+                });
+                if select.projection.is_empty() {
+                    select.projection.push(SelectItem::expr(Expr::count_star()));
+                }
+            }
+            mutated.to_string()
+        }
+        Corruption::DropOrdering => {
+            let mut mutated = query.clone();
+            mutated.order_by.clear();
+            mutated.limit = None;
+            mutated.offset = None;
+            mutated.to_string()
+        }
+    }
+}
+
+/// The uppercase base names of tables referenced by a query's FROM clauses.
+pub fn referenced_tables(query: &Query) -> Vec<String> {
+    bp_sql::analyze(query).tables.into_iter().collect()
+}
+
+fn replace_table(query: &mut Query, target_upper: &str, replacement: &str) {
+    fn walk_factor(factor: &mut TableFactor, target: &str, replacement: &str) {
+        match factor {
+            TableFactor::Table { name, .. } => {
+                if name.base().normalized() == target {
+                    *name = ObjectName(vec![Ident::new(replacement)]);
+                }
+            }
+            TableFactor::Derived { subquery, .. } => walk_query(subquery, target, replacement),
+        }
+    }
+    fn walk_query(query: &mut Query, target: &str, replacement: &str) {
+        if let Some(with) = &mut query.with {
+            for cte in &mut with.ctes {
+                walk_query(&mut cte.query, target, replacement);
+            }
+        }
+        if let Some(select) = query.top_select_mut() {
+            for twj in &mut select.from {
+                walk_factor(&mut twj.relation, target, replacement);
+                for join in &mut twj.joins {
+                    walk_factor(&mut join.relation, target, replacement);
+                }
+            }
+        }
+    }
+    walk_query(query, target_upper, replacement);
+}
+
+fn swap_first_projection_column<R: Rng>(
+    query: &mut Query,
+    catalog: &Catalog,
+    rng: &mut R,
+) -> bool {
+    let tables = referenced_tables(query);
+    let Some(select) = query.top_select_mut() else {
+        return false;
+    };
+    for item in &mut select.projection {
+        if let SelectItem::Expr { expr, .. } = item {
+            let current = match expr {
+                Expr::Identifier(i) => Some(i.value.clone()),
+                Expr::CompoundIdentifier(parts) => parts.last().map(|p| p.value.clone()),
+                _ => None,
+            };
+            let Some(current) = current else { continue };
+            // Candidate replacement columns come from the referenced tables.
+            let mut alternatives: Vec<String> = Vec::new();
+            for table in &tables {
+                if let Some(schema) = catalog.table(table) {
+                    for column in &schema.columns {
+                        if !column.name.eq_ignore_ascii_case(&current) {
+                            alternatives.push(column.name.clone());
+                        }
+                    }
+                }
+            }
+            if let Some(replacement) = alternatives.choose(rng) {
+                *expr = Expr::col(replacement.clone());
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn swap_aggregate(query: &mut Query) -> bool {
+    fn swap_in_expr(expr: &mut Expr) -> bool {
+        match expr {
+            Expr::Function { name, .. } => {
+                let replacement = match name.value.to_ascii_uppercase().as_str() {
+                    "COUNT" => "SUM",
+                    "SUM" => "AVG",
+                    "AVG" => "MAX",
+                    "MAX" => "MIN",
+                    "MIN" => "MAX",
+                    _ => return false,
+                };
+                *name = Ident::new(replacement);
+                true
+            }
+            Expr::BinaryOp { left, right, .. } => swap_in_expr(left) || swap_in_expr(right),
+            Expr::Nested(inner) | Expr::Cast { expr: inner, .. } => swap_in_expr(inner),
+            _ => false,
+        }
+    }
+    let Some(select) = query.top_select_mut() else {
+        return false;
+    };
+    for item in &mut select.projection {
+        if let SelectItem::Expr { expr, .. } = item {
+            if swap_in_expr(expr) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bp_sql::{parse_query, DataType};
+    use bp_storage::{Column, TableSchema};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn catalog() -> Catalog {
+        let mut catalog = Catalog::new();
+        catalog
+            .add_table(TableSchema::new(
+                "students",
+                vec![
+                    Column::new("id", DataType::Integer),
+                    Column::new("name", DataType::Text),
+                    Column::new("gpa", DataType::Float),
+                    Column::new("dept", DataType::Text),
+                ],
+            ))
+            .unwrap();
+        catalog
+            .add_table(TableSchema::new(
+                "enrollments",
+                vec![
+                    Column::new("student_id", DataType::Integer),
+                    Column::new("term", DataType::Text),
+                ],
+            ))
+            .unwrap();
+        catalog
+    }
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn break_syntax_produces_unparseable_sql() {
+        let q = parse_query("SELECT name FROM students").unwrap();
+        let text = apply(&q, Corruption::BreakSyntax, &catalog(), &mut rng());
+        assert!(bp_sql::parse_query(&text).is_err());
+    }
+
+    #[test]
+    fn wrong_table_swaps_to_another_catalog_table() {
+        let q = parse_query("SELECT name FROM students WHERE gpa > 3").unwrap();
+        let text = apply(&q, Corruption::WrongTable, &catalog(), &mut rng());
+        assert!(text.contains("enrollments"), "got: {text}");
+        assert!(!text.to_uppercase().contains("FROM STUDENTS"));
+        bp_sql::parse_query(&text).expect("still parses");
+    }
+
+    #[test]
+    fn wrong_column_changes_projection() {
+        let q = parse_query("SELECT name FROM students").unwrap();
+        let text = apply(&q, Corruption::WrongColumn, &catalog(), &mut rng());
+        assert!(!text.contains("SELECT name"), "got: {text}");
+        bp_sql::parse_query(&text).expect("still parses");
+    }
+
+    #[test]
+    fn drop_filter_removes_where() {
+        let q = parse_query("SELECT name FROM students WHERE gpa > 3.5").unwrap();
+        let text = apply(&q, Corruption::DropFilter, &catalog(), &mut rng());
+        assert!(!text.to_uppercase().contains("WHERE"));
+    }
+
+    #[test]
+    fn wrong_aggregate_swaps_function() {
+        let q = parse_query("SELECT COUNT(*) FROM students").unwrap();
+        let text = apply(&q, Corruption::WrongAggregate, &catalog(), &mut rng());
+        assert!(text.contains("SUM"), "got: {text}");
+    }
+
+    #[test]
+    fn drop_group_by_removes_grouping() {
+        let q = parse_query("SELECT dept, COUNT(*) FROM students GROUP BY dept").unwrap();
+        let text = apply(&q, Corruption::DropGroupBy, &catalog(), &mut rng());
+        assert!(!text.to_uppercase().contains("GROUP BY"));
+        bp_sql::parse_query(&text).expect("still parses");
+    }
+
+    #[test]
+    fn drop_ordering_removes_order_and_limit() {
+        let q = parse_query("SELECT name FROM students ORDER BY gpa DESC LIMIT 3").unwrap();
+        let text = apply(&q, Corruption::DropOrdering, &catalog(), &mut rng());
+        assert!(!text.to_uppercase().contains("ORDER BY"));
+        assert!(!text.to_uppercase().contains("LIMIT"));
+    }
+
+    #[test]
+    fn operators_fall_back_when_not_applicable() {
+        // A projection-less aggregate query cannot get a wrong column; the
+        // operator must still return something different or at least valid.
+        let q = parse_query("SELECT COUNT(*) FROM students WHERE gpa > 3").unwrap();
+        let text = apply(&q, Corruption::WrongColumn, &catalog(), &mut rng());
+        bp_sql::parse_query(&text).expect("fallback output parses");
+        let single_table_catalog = {
+            let mut c = Catalog::new();
+            c.add_table(TableSchema::new(
+                "students",
+                vec![Column::new("id", DataType::Integer)],
+            ))
+            .unwrap();
+            c
+        };
+        let text =
+            apply(&q, Corruption::WrongTable, &single_table_catalog, &mut rng());
+        bp_sql::parse_query(&text).expect("fallback output parses");
+    }
+
+    #[test]
+    fn referenced_tables_reports_from_clause() {
+        let q = parse_query("SELECT * FROM a JOIN b ON a.x = b.x").unwrap();
+        let tables = referenced_tables(&q);
+        assert!(tables.contains(&"A".to_string()));
+        assert!(tables.contains(&"B".to_string()));
+    }
+}

@@ -1,0 +1,727 @@
+//! SQL-to-NL generation: the candidate descriptions BenchPress proposes in
+//! step 5 of the annotation loop.
+//!
+//! Generation is split in two stages that mirror how a schema-aware LLM
+//! behaves:
+//!
+//! 1. [`DescriptionPlan`] — a faithful, component-by-component plan of what a
+//!    complete description must mention, derived deterministically from the
+//!    query AST (projection, tables, filters, grouping, ordering, limits).
+//! 2. [`generate_candidates`] — four natural-language candidates rendered
+//!    from the plan with different phrasings, where each component survives
+//!    with a probability given by the model's effective fidelity (which in
+//!    turn depends on query difficulty, unresolved domain terms, and the
+//!    retrieval-augmented context quality). Weak models under-describe; good
+//!    context pulls candidates back toward completeness. That is exactly the
+//!    mechanism the paper's user study measures.
+
+use crate::model::ModelProfile;
+use crate::prompt::Prompt;
+use bp_sql::{
+    analyze, BinaryOperator, Expr, Literal, Query, Select, SelectItem, SetExpr, SetOperator,
+};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// One natural-language candidate description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NlCandidate {
+    /// The candidate text.
+    pub text: String,
+    /// The fraction of plan components the candidate actually mentions
+    /// (1.0 = the candidate is complete). This is internal generation
+    /// metadata, not shown to annotators.
+    pub completeness: f64,
+    /// Whether the candidate contains hallucinated content.
+    pub hallucinated: bool,
+}
+
+/// The number of candidates BenchPress generates per query (paper step 5).
+pub const CANDIDATES_PER_QUERY: usize = 4;
+
+/// A faithful plan of the phrases a complete description must contain.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct DescriptionPlan {
+    /// Phrases describing each projected output.
+    pub projection: Vec<String>,
+    /// Phrase describing the tables/relations read.
+    pub tables: String,
+    /// Phrases describing filter predicates.
+    pub filters: Vec<String>,
+    /// Phrase describing grouping, if any.
+    pub grouping: Option<String>,
+    /// Phrase describing a HAVING restriction, if any.
+    pub having: Option<String>,
+    /// Phrase describing ordering, if any.
+    pub ordering: Option<String>,
+    /// Phrase describing a row limit, if any.
+    pub limit: Option<String>,
+    /// Phrase describing set operations, if any.
+    pub set_operation: Option<String>,
+}
+
+impl DescriptionPlan {
+    /// Total number of describable components.
+    pub fn component_count(&self) -> usize {
+        self.projection.len()
+            + usize::from(!self.tables.is_empty())
+            + self.filters.len()
+            + usize::from(self.grouping.is_some())
+            + usize::from(self.having.is_some())
+            + usize::from(self.ordering.is_some())
+            + usize::from(self.limit.is_some())
+            + usize::from(self.set_operation.is_some())
+    }
+}
+
+/// Humanize an identifier: lowercase and replace separators with spaces.
+pub fn humanize(identifier: &str) -> String {
+    let mut out = String::with_capacity(identifier.len());
+    let mut prev_lower = false;
+    for c in identifier.chars() {
+        if c == '_' || c == '.' {
+            out.push(' ');
+            prev_lower = false;
+        } else if c.is_uppercase() && prev_lower {
+            out.push(' ');
+            out.extend(c.to_lowercase());
+            prev_lower = false;
+        } else {
+            out.extend(c.to_lowercase());
+            prev_lower = c.is_lowercase() || c.is_numeric();
+        }
+    }
+    out.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+fn expr_phrase(expr: &Expr) -> String {
+    match expr {
+        Expr::Identifier(i) => humanize(&i.value),
+        Expr::CompoundIdentifier(parts) => parts
+            .last()
+            .map(|p| humanize(&p.value))
+            .unwrap_or_else(|| "value".to_string()),
+        Expr::Literal(Literal::String(s)) => format!("'{s}'"),
+        Expr::Literal(Literal::Number(n)) => n.clone(),
+        Expr::Literal(Literal::Boolean(b)) => b.to_string(),
+        Expr::Literal(Literal::Null) => "null".to_string(),
+        Expr::Function { name, args, distinct } => {
+            let func = name.value.to_ascii_uppercase();
+            let arg_phrase = match args.first() {
+                Some(Expr::Wildcard) | None => "rows".to_string(),
+                Some(arg) => expr_phrase(arg),
+            };
+            let distinct_word = if *distinct { "distinct " } else { "" };
+            match func.as_str() {
+                "COUNT" => format!("the number of {distinct_word}{arg_phrase}"),
+                "SUM" => format!("the total {distinct_word}{arg_phrase}"),
+                "AVG" => format!("the average {distinct_word}{arg_phrase}"),
+                "MAX" => format!("the highest {distinct_word}{arg_phrase}"),
+                "MIN" => format!("the lowest {distinct_word}{arg_phrase}"),
+                _ => format!("{} of {}", func.to_lowercase(), arg_phrase),
+            }
+        }
+        Expr::BinaryOp { left, op, right } => format!(
+            "{} {} {}",
+            expr_phrase(left),
+            binary_phrase(*op),
+            expr_phrase(right)
+        ),
+        Expr::Case { .. } => "a derived category".to_string(),
+        Expr::Subquery(_) => "the result of a subquery".to_string(),
+        Expr::Nested(inner) | Expr::Cast { expr: inner, .. } => expr_phrase(inner),
+        Expr::Wildcard => "all columns".to_string(),
+        other => humanize(&other.to_string()),
+    }
+}
+
+fn binary_phrase(op: BinaryOperator) -> &'static str {
+    match op {
+        BinaryOperator::Eq => "is",
+        BinaryOperator::NotEq => "is not",
+        BinaryOperator::Lt => "is less than",
+        BinaryOperator::LtEq => "is at most",
+        BinaryOperator::Gt => "is greater than",
+        BinaryOperator::GtEq => "is at least",
+        BinaryOperator::Plus => "plus",
+        BinaryOperator::Minus => "minus",
+        BinaryOperator::Multiply => "times",
+        BinaryOperator::Divide => "divided by",
+        BinaryOperator::Modulo => "modulo",
+        BinaryOperator::And => "and",
+        BinaryOperator::Or => "or",
+        BinaryOperator::Concat => "concatenated with",
+    }
+}
+
+fn filter_phrase(expr: &Expr) -> Vec<String> {
+    match expr {
+        Expr::BinaryOp { left, op, right } => match op {
+            BinaryOperator::And => {
+                let mut phrases = filter_phrase(left);
+                phrases.extend(filter_phrase(right));
+                phrases
+            }
+            BinaryOperator::Or => {
+                vec![format!(
+                    "either {} or {}",
+                    filter_phrase(left).join(" and "),
+                    filter_phrase(right).join(" and ")
+                )]
+            }
+            _ => vec![format!(
+                "{} {} {}",
+                expr_phrase(left),
+                binary_phrase(*op),
+                expr_phrase(right)
+            )],
+        },
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            let target = expr_phrase(expr);
+            let pattern_text = match pattern.as_ref() {
+                Expr::Literal(Literal::String(s)) => s.clone(),
+                other => expr_phrase(other),
+            };
+            let neg = if *negated { "does not" } else { "" };
+            let phrase = if let Some(prefix) = pattern_text.strip_suffix('%') {
+                if !prefix.contains('%') && !prefix.contains('_') {
+                    format!("{target} {neg} starts with '{prefix}'")
+                } else {
+                    format!("{target} {neg} matches the pattern '{pattern_text}'")
+                }
+            } else if let Some(suffix) = pattern_text.strip_prefix('%') {
+                format!("{target} {neg} ends with '{suffix}'")
+            } else {
+                format!("{target} {neg} matches the pattern '{pattern_text}'")
+            };
+            vec![phrase.split_whitespace().collect::<Vec<_>>().join(" ")]
+        }
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            let neg = if *negated { "is not" } else { "is" };
+            vec![format!(
+                "{} {} between {} and {}",
+                expr_phrase(expr),
+                neg,
+                expr_phrase(low),
+                expr_phrase(high)
+            )]
+        }
+        Expr::IsNull { expr, negated } => {
+            let phrase = if *negated { "is present" } else { "is missing" };
+            vec![format!("{} {}", expr_phrase(expr), phrase)]
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let values: Vec<String> = list.iter().map(expr_phrase).collect();
+            let neg = if *negated { "is not one of" } else { "is one of" };
+            vec![format!("{} {} {}", expr_phrase(expr), neg, values.join(", "))]
+        }
+        Expr::InSubquery { expr, negated, .. } => {
+            let neg = if *negated { "does not appear" } else { "appears" };
+            vec![format!(
+                "{} {} in the result of the inner step",
+                expr_phrase(expr),
+                neg
+            )]
+        }
+        Expr::Exists { negated, .. } => {
+            if *negated {
+                vec!["no matching row exists in the inner step".to_string()]
+            } else {
+                vec!["a matching row exists in the inner step".to_string()]
+            }
+        }
+        Expr::UnaryOp { op, expr } if matches!(op, bp_sql::UnaryOperator::Not) => {
+            vec![format!("it is not the case that {}", filter_phrase(expr).join(" and "))]
+        }
+        Expr::Nested(inner) => filter_phrase(inner),
+        other => vec![expr_phrase(other)],
+    }
+}
+
+fn tables_phrase(select: &Select) -> String {
+    let mut names = Vec::new();
+    for twj in &select.from {
+        collect_table_names(&twj.relation, &mut names);
+        for join in &twj.joins {
+            collect_table_names(&join.relation, &mut names);
+        }
+    }
+    match names.len() {
+        0 => String::new(),
+        1 => format!("in the {} records", names[0]),
+        _ => {
+            let last = names.pop().expect("len > 1");
+            format!("by combining the {} and {} records", names.join(", "), last)
+        }
+    }
+}
+
+fn collect_table_names(factor: &bp_sql::TableFactor, names: &mut Vec<String>) {
+    match factor {
+        bp_sql::TableFactor::Table { name, .. } => names.push(humanize(&name.base().value)),
+        bp_sql::TableFactor::Derived { .. } => names.push("intermediate result".to_string()),
+    }
+}
+
+fn plan_select(select: &Select, plan: &mut DescriptionPlan) {
+    for item in &select.projection {
+        match item {
+            SelectItem::Wildcard => plan.projection.push("all columns".to_string()),
+            SelectItem::QualifiedWildcard(name) => plan
+                .projection
+                .push(format!("all columns of {}", humanize(&name.base().value))),
+            SelectItem::Expr { expr, .. } => plan.projection.push(expr_phrase(expr)),
+        }
+    }
+    let tables = tables_phrase(select);
+    if plan.tables.is_empty() {
+        plan.tables = tables;
+    }
+    if let Some(selection) = &select.selection {
+        plan.filters.extend(filter_phrase(selection));
+    }
+    if !select.group_by.is_empty() {
+        let keys: Vec<String> = select.group_by.iter().map(expr_phrase).collect();
+        plan.grouping = Some(format!("for each {}", keys.join(" and ")));
+    }
+    if let Some(having) = &select.having {
+        plan.having = Some(format!(
+            "keeping only groups where {}",
+            filter_phrase(having).join(" and ")
+        ));
+    }
+    if select.distinct {
+        plan.projection = plan
+            .projection
+            .iter()
+            .map(|p| format!("distinct {p}"))
+            .collect();
+    }
+}
+
+/// Build the faithful description plan for a query.
+pub fn plan_query(query: &Query) -> DescriptionPlan {
+    let mut plan = DescriptionPlan::default();
+    match &query.body {
+        SetExpr::Select(select) => plan_select(select, &mut plan),
+        SetExpr::Query(inner) => {
+            let inner_plan = plan_query(inner);
+            plan = inner_plan;
+        }
+        SetExpr::SetOperation { op, left, right, .. } => {
+            let verb = match op {
+                SetOperator::Union => "combined with",
+                SetOperator::Intersect => "restricted to rows also in",
+                SetOperator::Except => "excluding rows found in",
+            };
+            if let SetExpr::Select(select) = left.as_ref() {
+                plan_select(select, &mut plan);
+            }
+            let mut right_tables = Vec::new();
+            if let SetExpr::Select(select) = right.as_ref() {
+                for twj in &select.from {
+                    collect_table_names(&twj.relation, &mut right_tables);
+                }
+            }
+            plan.set_operation = Some(format!(
+                "{} the corresponding rows from {}",
+                verb,
+                if right_tables.is_empty() {
+                    "the second query".to_string()
+                } else {
+                    right_tables.join(" and ")
+                }
+            ));
+        }
+    }
+    if !query.order_by.is_empty() {
+        let keys: Vec<String> = query
+            .order_by
+            .iter()
+            .map(|o| {
+                let direction = if o.asc { "ascending" } else { "descending" };
+                format!("{} in {} order", expr_phrase(&o.expr), direction)
+            })
+            .collect();
+        plan.ordering = Some(format!("sorted by {}", keys.join(", then by ")));
+    }
+    if let Some(limit) = &query.limit {
+        let n = expr_phrase(limit);
+        plan.limit = Some(if n == "1" {
+            "returning only the single top row".to_string()
+        } else {
+            format!("returning only the top {n} rows")
+        });
+    }
+    // CTEs: prepend a coarse note so un-decomposed nested queries still get
+    // acknowledged (the annotation loop normally decomposes them instead).
+    if let Some(with) = &query.with {
+        if !with.ctes.is_empty() {
+            let names: Vec<String> = with.ctes.iter().map(|c| humanize(&c.name.value)).collect();
+            plan.filters.push(format!(
+                "using the intermediate results {}",
+                names.join(", ")
+            ));
+        }
+    }
+    plan
+}
+
+/// Render a complete (undegraded) description from a plan. Style 0..=3 picks
+/// among phrasing templates so the four candidates differ in surface form.
+pub fn render_plan(plan: &DescriptionPlan, style: usize) -> String {
+    render_components(plan, &vec![true; plan.component_count()], style)
+}
+
+/// The reference ("gold") description of a query: complete plan, style 0.
+pub fn describe_query(query: &Query) -> String {
+    render_plan(&plan_query(query), 0)
+}
+
+fn render_components(plan: &DescriptionPlan, included: &[bool], style: usize) -> String {
+    let mut idx = 0;
+    let mut take = |present: bool| -> bool {
+        if !present {
+            return false;
+        }
+        let keep = included.get(idx).copied().unwrap_or(true);
+        idx += 1;
+        keep
+    };
+
+    let mut projection_phrases = Vec::new();
+    for phrase in &plan.projection {
+        if take(true) {
+            projection_phrases.push(phrase.clone());
+        }
+    }
+    let tables = if take(!plan.tables.is_empty()) {
+        Some(plan.tables.clone())
+    } else {
+        None
+    };
+    let mut filter_phrases = Vec::new();
+    for phrase in &plan.filters {
+        if take(true) {
+            filter_phrases.push(phrase.clone());
+        }
+    }
+    let grouping = plan.grouping.as_ref().filter(|_| take(plan.grouping.is_some())).cloned();
+    let having = plan.having.as_ref().filter(|_| take(plan.having.is_some())).cloned();
+    let ordering = plan.ordering.as_ref().filter(|_| take(plan.ordering.is_some())).cloned();
+    let limit = plan.limit.as_ref().filter(|_| take(plan.limit.is_some())).cloned();
+    let set_operation = plan
+        .set_operation
+        .as_ref()
+        .filter(|_| take(plan.set_operation.is_some()))
+        .cloned();
+
+    let verb = match style % 4 {
+        0 => "Report",
+        1 => "List",
+        2 => "Find",
+        _ => "Show",
+    };
+    let projection_text = if projection_phrases.is_empty() {
+        "the requested values".to_string()
+    } else {
+        join_natural(&projection_phrases)
+    };
+
+    let mut sentence = String::new();
+    if let Some(grouping) = &grouping {
+        sentence.push_str(&capitalize(grouping));
+        sentence.push_str(", ");
+        sentence.push_str(&verb.to_lowercase());
+        sentence.push(' ');
+    } else {
+        sentence.push_str(verb);
+        sentence.push(' ');
+    }
+    sentence.push_str(&projection_text);
+    if let Some(tables) = &tables {
+        sentence.push(' ');
+        sentence.push_str(tables);
+    }
+    if !filter_phrases.is_empty() {
+        sentence.push_str(", considering only rows where ");
+        sentence.push_str(&filter_phrases.join(" and "));
+    }
+    if let Some(having) = &having {
+        sentence.push_str(", ");
+        sentence.push_str(having);
+    }
+    if let Some(set_operation) = &set_operation {
+        sentence.push_str(", ");
+        sentence.push_str(set_operation);
+    }
+    if let Some(ordering) = &ordering {
+        sentence.push_str(", ");
+        sentence.push_str(ordering);
+    }
+    if let Some(limit) = &limit {
+        sentence.push_str(", ");
+        sentence.push_str(limit);
+    }
+    sentence.push('.');
+    sentence
+}
+
+fn join_natural(phrases: &[String]) -> String {
+    match phrases.len() {
+        0 => String::new(),
+        1 => phrases[0].clone(),
+        2 => format!("{} and {}", phrases[0], phrases[1]),
+        _ => {
+            let (last, rest) = phrases.split_last().expect("len > 2");
+            format!("{}, and {}", rest.join(", "), last)
+        }
+    }
+}
+
+fn capitalize(text: &str) -> String {
+    let mut chars = text.chars();
+    match chars.next() {
+        Some(first) => first.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+/// A request for candidate generation.
+#[derive(Debug, Clone)]
+pub struct GenerationRequest<'a> {
+    /// The query (or decomposed unit) to describe.
+    pub query: &'a Query,
+    /// The assembled prompt (context quality drives fidelity).
+    pub prompt: &'a Prompt,
+    /// Number of domain-specific terms in the query that the prompt's
+    /// knowledge section does NOT explain.
+    pub unresolved_domain_terms: usize,
+    /// RNG seed (BenchPress derives this from the project + query id so runs
+    /// are reproducible).
+    pub seed: u64,
+}
+
+/// Generate four candidate descriptions for a query.
+pub fn generate_candidates(profile: &ModelProfile, request: &GenerationRequest<'_>) -> Vec<NlCandidate> {
+    let plan = plan_query(request.query);
+    let analysis = analyze(request.query);
+    let fidelity = profile.effective_fidelity(
+        analysis.difficulty_score(),
+        request.unresolved_domain_terms,
+        request.prompt.context_quality(),
+    );
+    let component_count = plan.component_count();
+    let mut rng = ChaCha8Rng::seed_from_u64(request.seed ^ stable_hash(&request.query.to_string()));
+
+    let mut candidates = Vec::with_capacity(CANDIDATES_PER_QUERY);
+    for style in 0..CANDIDATES_PER_QUERY {
+        // The first candidate is the model's "best effort"; later candidates
+        // explore more varied (and slightly riskier) phrasings.
+        let exploration_penalty = 0.035 * style as f64;
+        let keep_probability = (fidelity - exploration_penalty).clamp(0.05, 0.99);
+        let included: Vec<bool> = (0..component_count)
+            .map(|_| rng.gen_bool(keep_probability))
+            .collect();
+        let kept = included.iter().filter(|k| **k).count();
+        let mut text = render_components(&plan, &included, style);
+        let hallucinated = rng.gen_bool(profile.hallucination_rate);
+        if hallucinated {
+            text.push_str(" Results are restricted to the most recent fiscal year.");
+        }
+        let completeness = if component_count == 0 {
+            1.0
+        } else {
+            kept as f64 / component_count as f64
+        };
+        candidates.push(NlCandidate {
+            text,
+            completeness,
+            hallucinated,
+        });
+    }
+    candidates
+}
+
+/// Stable FNV-1a hash of a string (for seed derivation).
+pub fn stable_hash(text: &str) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for b in text.as_bytes() {
+        hash ^= *b as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelKind;
+    use crate::prompt::PromptBuilder;
+    use bp_sql::parse_query;
+
+    #[test]
+    fn humanize_identifiers() {
+        assert_eq!(humanize("MOIRA_LIST_NAME"), "moira list name");
+        assert_eq!(humanize("academicTermsAll"), "academic terms all");
+        assert_eq!(humanize("gpa"), "gpa");
+    }
+
+    #[test]
+    fn plan_counts_components() {
+        let q = parse_query(
+            "SELECT dept, COUNT(*) FROM students WHERE gpa > 3.5 GROUP BY dept ORDER BY 2 DESC LIMIT 5",
+        )
+        .unwrap();
+        let plan = plan_query(&q);
+        assert_eq!(plan.projection.len(), 2);
+        assert_eq!(plan.filters.len(), 1);
+        assert!(plan.grouping.is_some());
+        assert!(plan.ordering.is_some());
+        assert!(plan.limit.is_some());
+        assert_eq!(plan.component_count(), 7);
+    }
+
+    #[test]
+    fn describe_query_is_complete_and_deterministic() {
+        let q = parse_query(
+            "SELECT MOIRA_LIST_NAME, COUNT(DISTINCT MIT_ID) FROM MOIRA_LIST WHERE DEPT = 'EECS' GROUP BY MOIRA_LIST_NAME",
+        )
+        .unwrap();
+        let a = describe_query(&q);
+        let b = describe_query(&q);
+        assert_eq!(a, b);
+        assert!(a.to_lowercase().contains("moira list name"));
+        assert!(a.to_lowercase().contains("number of distinct"));
+        assert!(a.contains("'EECS'"));
+        assert!(a.to_lowercase().contains("for each"));
+    }
+
+    #[test]
+    fn like_patterns_become_starts_with() {
+        let q = parse_query("SELECT name FROM lists WHERE name LIKE 'B%'").unwrap();
+        let text = describe_query(&q);
+        assert!(text.contains("starts with 'B'"), "got: {text}");
+    }
+
+    #[test]
+    fn set_operations_are_mentioned() {
+        let q = parse_query("SELECT dept FROM students EXCEPT SELECT dept FROM alumni").unwrap();
+        let text = describe_query(&q);
+        assert!(text.contains("excluding rows"), "got: {text}");
+    }
+
+    #[test]
+    fn limit_one_special_cased() {
+        let q = parse_query("SELECT name FROM t ORDER BY n DESC LIMIT 1").unwrap();
+        let text = describe_query(&q);
+        assert!(text.contains("single top row"), "got: {text}");
+    }
+
+    #[test]
+    fn four_candidates_are_generated_and_differ_in_style() {
+        let q = parse_query("SELECT dept, AVG(gpa) FROM students GROUP BY dept").unwrap();
+        let prompt = PromptBuilder::new(q.to_string())
+            .schema_table("CREATE TABLE students (dept VARCHAR, gpa NUMBER)")
+            .build();
+        let request = GenerationRequest {
+            query: &q,
+            prompt: &prompt,
+            unresolved_domain_terms: 0,
+            seed: 7,
+        };
+        let candidates = generate_candidates(&ModelKind::Gpt4o.profile(), &request);
+        assert_eq!(candidates.len(), CANDIDATES_PER_QUERY);
+        let unique: std::collections::HashSet<_> =
+            candidates.iter().map(|c| c.text.clone()).collect();
+        assert!(unique.len() >= 2, "candidates should vary in phrasing");
+    }
+
+    #[test]
+    fn generation_is_deterministic_for_same_seed() {
+        let q = parse_query("SELECT name FROM students WHERE gpa > 3.0").unwrap();
+        let prompt = PromptBuilder::new(q.to_string()).build();
+        let request = GenerationRequest {
+            query: &q,
+            prompt: &prompt,
+            unresolved_domain_terms: 0,
+            seed: 99,
+        };
+        let profile = ModelKind::DeepSeek.profile();
+        let a = generate_candidates(&profile, &request);
+        let b = generate_candidates(&profile, &request);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn context_improves_candidate_completeness() {
+        let q = parse_query(
+            "SELECT MOIRA_LIST_NAME, COUNT(DISTINCT MIT_ID) FROM MOIRA_LIST JOIN MOIRA_MEMBER ON MOIRA_LIST.MOIRA_LIST_KEY = MOIRA_MEMBER.MOIRA_LIST_KEY WHERE DEPT = 'EECS' AND MOIRA_LIST_NAME LIKE 'B%' GROUP BY MOIRA_LIST_NAME ORDER BY 2 DESC LIMIT 1",
+        )
+        .unwrap();
+        let profile = ModelKind::Gpt35Turbo.profile();
+        let bare_prompt = PromptBuilder::new(q.to_string()).build();
+        let rich_prompt = PromptBuilder::new(q.to_string())
+            .schema_table("CREATE TABLE MOIRA_LIST (MOIRA_LIST_KEY INT, MOIRA_LIST_NAME VARCHAR, DEPT VARCHAR)")
+            .example("SELECT COUNT(*) FROM MOIRA_LIST", "How many Moira lists exist?", 0.9)
+            .example("SELECT DEPT FROM MOIRA_LIST", "List the departments of Moira lists", 0.8)
+            .example("SELECT MIT_ID FROM MOIRA_MEMBER", "List the MIT ids of list members", 0.8)
+            .knowledge("Moira is MIT's mailing list system")
+            .knowledge("EECS is the electrical engineering and computer science department")
+            .build();
+
+        let mean_completeness = |prompt| {
+            let totals: f64 = (0..20)
+                .map(|seed| {
+                    let request = GenerationRequest {
+                        query: &q,
+                        prompt,
+                        unresolved_domain_terms: if std::ptr::eq(prompt, &bare_prompt) { 2 } else { 0 },
+                        seed,
+                    };
+                    generate_candidates(&profile, &request)
+                        .iter()
+                        .map(|c| c.completeness)
+                        .sum::<f64>()
+                        / CANDIDATES_PER_QUERY as f64
+                })
+                .sum();
+            totals / 20.0
+        };
+        let bare = mean_completeness(&bare_prompt);
+        let rich = mean_completeness(&rich_prompt);
+        assert!(
+            rich > bare + 0.1,
+            "context should improve completeness: bare={bare:.3} rich={rich:.3}"
+        );
+    }
+
+    #[test]
+    fn empty_projection_renders_gracefully() {
+        let plan = DescriptionPlan::default();
+        let text = render_plan(&plan, 0);
+        assert!(text.contains("requested values"));
+        assert!(text.ends_with('.'));
+    }
+
+    #[test]
+    fn stable_hash_is_stable() {
+        assert_eq!(stable_hash("abc"), stable_hash("abc"));
+        assert_ne!(stable_hash("abc"), stable_hash("abd"));
+    }
+}

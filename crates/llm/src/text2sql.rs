@@ -1,0 +1,346 @@
+//! Simulated text-to-SQL inference (the workload behind Figure 1).
+//!
+//! Given a natural-language question, the gold SQL it corresponds to, and a
+//! description of the target database, a simulated model either reproduces
+//! the gold query (success) or produces a corrupted variant whose failure
+//! mode matches the paper's qualitative analysis: easy, unambiguous public
+//! benchmark queries mostly succeed, while complex enterprise queries over
+//! ambiguous schemas with domain-specific vocabulary collapse to near-zero
+//! execution accuracy.
+
+use crate::corrupt::{apply, Corruption};
+use crate::model::ModelProfile;
+use crate::sql2nl::stable_hash;
+use bp_sql::{analyze, Query};
+use bp_storage::{results_match, Catalog, Database};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Characteristics of the target workload/database that drive difficulty.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct WorkloadDifficulty {
+    /// Schema ambiguity in `[0, 1]` (duplicated column names, overlapping
+    /// tables — Table 2's low uniqueness / low type diversity).
+    pub schema_ambiguity: f64,
+    /// Number of domain-specific terms in the question that the model cannot
+    /// resolve without enterprise knowledge.
+    pub domain_terms: usize,
+}
+
+/// The outcome of one simulated text-to-SQL inference.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Text2SqlPrediction {
+    /// The SQL the model produced.
+    pub sql: String,
+    /// Whether the simulation decided this inference succeeds semantically
+    /// (before execution verification).
+    pub intended_success: bool,
+    /// The corruption applied on failure, if any.
+    pub corruption: Option<Corruption>,
+}
+
+/// Simulate a model translating a question into SQL.
+///
+/// The gold query is used as the target the model is trying to reach; on a
+/// success draw the gold SQL is reproduced (with canonical formatting), on a
+/// failure draw a corruption whose severity scales with how badly the draw
+/// missed is applied.
+pub fn predict_sql<R: Rng>(
+    profile: &ModelProfile,
+    gold: &Query,
+    difficulty: WorkloadDifficulty,
+    catalog: &Catalog,
+    rng: &mut R,
+) -> Text2SqlPrediction {
+    let analysis = analyze(gold);
+    let success_probability = profile.text2sql_success_probability(
+        analysis.difficulty_score(),
+        difficulty.schema_ambiguity,
+        difficulty.domain_terms,
+    );
+    let draw: f64 = rng.gen();
+    if draw < success_probability {
+        return Text2SqlPrediction {
+            sql: gold.to_string(),
+            intended_success: true,
+            corruption: None,
+        };
+    }
+    // How badly the draw missed determines the severity of the mistake.
+    // Schema ambiguity and unresolved domain terms push failures toward the
+    // severe end (wrong tables/columns): with duplicated column names and
+    // opaque vocabulary the model binds to the wrong schema elements, which
+    // is exactly the enterprise failure mode the paper describes.
+    let miss = (draw - success_probability) / (1.0 - success_probability).max(1e-9);
+    let severity = miss
+        + 0.45 * difficulty.schema_ambiguity
+        + 0.12 * difficulty.domain_terms as f64;
+    let corruption = if severity > 1.25 {
+        Corruption::BreakSyntax
+    } else if severity > 0.62 {
+        Corruption::WrongTable
+    } else if severity > 0.45 {
+        Corruption::WrongColumn
+    } else if severity > 0.32 {
+        Corruption::DropFilter
+    } else if severity > 0.20 && analysis.aggregate_count > 0 {
+        Corruption::WrongAggregate
+    } else if severity > 0.10 && analysis.has_group_by {
+        Corruption::DropGroupBy
+    } else {
+        Corruption::DropOrdering
+    };
+    Text2SqlPrediction {
+        sql: apply(gold, corruption, catalog, rng),
+        intended_success: false,
+        corruption: Some(corruption),
+    }
+}
+
+/// One (question, gold SQL) evaluation item.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalItem {
+    /// The natural-language question.
+    pub question: String,
+    /// The gold SQL text.
+    pub gold_sql: String,
+    /// Per-item difficulty characteristics.
+    pub difficulty: WorkloadDifficulty,
+}
+
+/// Result of evaluating a model on a workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionAccuracyReport {
+    /// Model display name.
+    pub model: String,
+    /// Number of evaluated items.
+    pub total: usize,
+    /// Number of items whose predicted SQL executed to the gold result.
+    pub correct: usize,
+    /// Number of predictions that failed to parse or execute at all.
+    pub invalid: usize,
+}
+
+impl ExecutionAccuracyReport {
+    /// Execution accuracy in percent.
+    pub fn accuracy_percent(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.total as f64 * 100.0
+        }
+    }
+}
+
+/// Evaluate a model's execution accuracy over a workload against a database.
+///
+/// Every prediction is executed on `db` and compared to the gold result with
+/// the Spider/Bird execution-accuracy convention (see
+/// [`bp_storage::results_match`]). The whole run is deterministic for a
+/// given `seed`.
+pub fn evaluate_execution_accuracy(
+    profile: &ModelProfile,
+    items: &[EvalItem],
+    db: &Database,
+    seed: u64,
+) -> ExecutionAccuracyReport {
+    let mut correct = 0;
+    let mut invalid = 0;
+    for (index, item) in items.iter().enumerate() {
+        let mut rng = ChaCha8Rng::seed_from_u64(
+            seed ^ stable_hash(&item.gold_sql) ^ (index as u64).wrapping_mul(0x9e3779b97f4a7c15),
+        );
+        let gold_query = match bp_sql::parse_query(&item.gold_sql) {
+            Ok(q) => q,
+            Err(_) => {
+                invalid += 1;
+                continue;
+            }
+        };
+        let prediction = predict_sql(profile, &gold_query, item.difficulty, db.catalog(), &mut rng);
+        let predicted_result = match db.execute_sql(&prediction.sql) {
+            Ok(r) => r,
+            Err(_) => {
+                invalid += 1;
+                continue;
+            }
+        };
+        let gold_result = match db.execute(&gold_query) {
+            Ok(r) => r,
+            Err(_) => continue,
+        };
+        if results_match(&gold_result, &predicted_result) {
+            correct += 1;
+        }
+    }
+    ExecutionAccuracyReport {
+        model: profile.kind.name().to_string(),
+        total: items.len(),
+        correct,
+        invalid,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelKind;
+    use bp_sql::parse_query;
+
+    fn campus_db() -> Database {
+        let mut db = Database::new("campus");
+        db.ingest_ddl(
+            "CREATE TABLE students (id INT PRIMARY KEY, name VARCHAR(40), gpa NUMBER, dept VARCHAR(20));
+             CREATE TABLE enrollments (student_id INT, term VARCHAR(20), course VARCHAR(20));",
+        )
+        .unwrap();
+        db.insert_into(
+            "students",
+            (0..40)
+                .map(|i| {
+                    vec![
+                        i.into(),
+                        format!("student_{i}").into(),
+                        (2.0 + (i % 20) as f64 / 10.0).into(),
+                        if i % 2 == 0 { "EECS".into() } else { "MATH".into() },
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        db.insert_into(
+            "enrollments",
+            (0..40)
+                .map(|i| {
+                    vec![
+                        i.into(),
+                        if i % 4 == 0 { "J-term".into() } else { "Fall".into() },
+                        format!("6.{i:03}").into(),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        db
+    }
+
+    fn easy_items() -> Vec<EvalItem> {
+        vec![
+            EvalItem {
+                question: "How many students are there?".into(),
+                gold_sql: "SELECT COUNT(*) FROM students".into(),
+                difficulty: WorkloadDifficulty::default(),
+            },
+            EvalItem {
+                question: "List the names of EECS students".into(),
+                gold_sql: "SELECT name FROM students WHERE dept = 'EECS'".into(),
+                difficulty: WorkloadDifficulty::default(),
+            },
+            EvalItem {
+                question: "Average gpa per department".into(),
+                gold_sql: "SELECT dept, AVG(gpa) FROM students GROUP BY dept".into(),
+                difficulty: WorkloadDifficulty::default(),
+            },
+        ]
+    }
+
+    fn hard_items() -> Vec<EvalItem> {
+        vec![
+            EvalItem {
+                question: "J-term enrollment counts per department for high-GPA students".into(),
+                gold_sql: "SELECT s.dept, COUNT(DISTINCT e.student_id) FROM students s JOIN enrollments e ON s.id = e.student_id WHERE e.term = 'J-term' AND s.gpa > (SELECT AVG(gpa) FROM students) GROUP BY s.dept ORDER BY 2 DESC"
+                    .into(),
+                difficulty: WorkloadDifficulty {
+                    schema_ambiguity: 0.6,
+                    domain_terms: 3,
+                },
+            };
+            5
+        ]
+    }
+
+    #[test]
+    fn prediction_is_gold_or_corrupted() {
+        let db = campus_db();
+        let gold = parse_query("SELECT COUNT(*) FROM students").unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let prediction = predict_sql(
+            &ModelKind::Gpt4o.profile(),
+            &gold,
+            WorkloadDifficulty::default(),
+            db.catalog(),
+            &mut rng,
+        );
+        if prediction.intended_success {
+            assert_eq!(prediction.sql, gold.to_string());
+            assert!(prediction.corruption.is_none());
+        } else {
+            assert!(prediction.corruption.is_some());
+        }
+    }
+
+    #[test]
+    fn strong_model_beats_weak_model_on_easy_workload() {
+        let db = campus_db();
+        let strong = evaluate_execution_accuracy(&ModelKind::Gpt4o.profile(), &easy_items(), &db, 7);
+        let weak = evaluate_execution_accuracy(&ModelKind::Llama8B.profile(), &easy_items(), &db, 7);
+        assert!(strong.accuracy_percent() >= weak.accuracy_percent());
+        assert_eq!(strong.total, 3);
+    }
+
+    #[test]
+    fn enterprise_difficulty_collapses_accuracy() {
+        let db = campus_db();
+        let profile = ModelKind::Gpt4o.profile();
+        // Run the same items many times via different seeds to smooth noise.
+        let mut easy_correct = 0usize;
+        let mut hard_correct = 0usize;
+        let mut easy_total = 0usize;
+        let mut hard_total = 0usize;
+        for seed in 0..10 {
+            let easy = evaluate_execution_accuracy(&profile, &easy_items(), &db, seed);
+            let hard = evaluate_execution_accuracy(&profile, &hard_items(), &db, seed);
+            easy_correct += easy.correct;
+            easy_total += easy.total;
+            hard_correct += hard.correct;
+            hard_total += hard.total;
+        }
+        let easy_acc = easy_correct as f64 / easy_total as f64;
+        let hard_acc = hard_correct as f64 / hard_total as f64;
+        assert!(easy_acc > 0.6, "easy accuracy too low: {easy_acc}");
+        assert!(hard_acc < 0.2, "hard accuracy too high: {hard_acc}");
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let db = campus_db();
+        let profile = ModelKind::DeepSeek.profile();
+        let a = evaluate_execution_accuracy(&profile, &easy_items(), &db, 123);
+        let b = evaluate_execution_accuracy(&profile, &easy_items(), &db, 123);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unparseable_gold_counts_as_invalid() {
+        let db = campus_db();
+        let items = vec![EvalItem {
+            question: "broken".into(),
+            gold_sql: "NOT REAL SQL".into(),
+            difficulty: WorkloadDifficulty::default(),
+        }];
+        let report = evaluate_execution_accuracy(&ModelKind::Gpt4o.profile(), &items, &db, 1);
+        assert_eq!(report.invalid, 1);
+        assert_eq!(report.correct, 0);
+        assert_eq!(report.accuracy_percent(), 0.0);
+    }
+
+    #[test]
+    fn empty_workload_reports_zero() {
+        let db = campus_db();
+        let report = evaluate_execution_accuracy(&ModelKind::Gpt4o.profile(), &[], &db, 1);
+        assert_eq!(report.accuracy_percent(), 0.0);
+        assert_eq!(report.total, 0);
+    }
+}

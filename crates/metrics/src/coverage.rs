@@ -1,0 +1,657 @@
+//! Annotation-accuracy scoring by SQL-component coverage.
+//!
+//! The paper measures annotation accuracy by inspecting each NL description
+//! and checking "whether key SQL components — such as column selections,
+//! calculations (e.g., aggregations), and grouping or ordering operations —
+//! were clearly and distinguishably described" (§5.2). This module automates
+//! that check: the SQL query is decomposed into components, each component
+//! is given a set of acceptable evidence phrases (column-name parts,
+//! aggregation synonyms, grouping/ordering cues, filter literals), and the
+//! description is scored by the fraction of components it covers.
+
+use bp_sql::{Expr, Query, Select, SelectItem, SetExpr};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// The kind of SQL component being checked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ComponentKind {
+    /// A table the query reads from.
+    Table,
+    /// A column in the projection.
+    SelectedColumn,
+    /// An aggregate calculation.
+    Aggregation,
+    /// A filter predicate.
+    Filter,
+    /// Grouping.
+    Grouping,
+    /// Ordering.
+    Ordering,
+    /// A row-limit.
+    Limit,
+}
+
+/// One component check: the component, its evidence phrases, and whether the
+/// description covered it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComponentCheck {
+    /// Component kind.
+    pub kind: ComponentKind,
+    /// Human-readable label (e.g. the column name or aggregate call).
+    pub label: String,
+    /// Evidence phrases, any of which counts as coverage.
+    pub evidence: Vec<String>,
+    /// Whether any evidence phrase appeared in the description.
+    pub covered: bool,
+}
+
+/// The full coverage report for one (SQL, description) pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoverageReport {
+    /// Per-component results.
+    pub components: Vec<ComponentCheck>,
+}
+
+impl CoverageReport {
+    /// Fraction of components covered (1.0 when there are no components).
+    pub fn score(&self) -> f64 {
+        if self.components.is_empty() {
+            return 1.0;
+        }
+        let covered = self.components.iter().filter(|c| c.covered).count();
+        covered as f64 / self.components.len() as f64
+    }
+
+    /// Whether the description is "accurate" under the given coverage
+    /// threshold (the user-study scoring uses 0.75).
+    pub fn is_accurate(&self, threshold: f64) -> bool {
+        self.score() >= threshold
+    }
+
+    /// Components that were not covered (useful feedback for annotators).
+    pub fn missing(&self) -> Vec<&ComponentCheck> {
+        self.components.iter().filter(|c| !c.covered).collect()
+    }
+}
+
+/// The default accuracy threshold used by the study harness.
+pub const DEFAULT_ACCURACY_THRESHOLD: f64 = 0.75;
+
+fn split_ident(word: &str) -> Vec<String> {
+    word.split(|c: char| c == '_' || c == '.')
+        .filter(|p| !p.is_empty())
+        .map(|p| p.to_lowercase())
+        .collect()
+}
+
+fn normalize_text(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    out.push(' ');
+    for c in text.chars() {
+        if c.is_alphanumeric() {
+            out.extend(c.to_lowercase());
+        } else {
+            out.push(' ');
+        }
+    }
+    out.push(' ');
+    // Collapse runs of spaces.
+    let mut collapsed = String::with_capacity(out.len());
+    let mut last_space = false;
+    for c in out.chars() {
+        if c == ' ' {
+            if !last_space {
+                collapsed.push(c);
+            }
+            last_space = true;
+        } else {
+            collapsed.push(c);
+            last_space = false;
+        }
+    }
+    collapsed
+}
+
+fn description_mentions(normalized_description: &str, phrase: &str) -> bool {
+    let phrase_norm = normalize_text(phrase);
+    let trimmed = phrase_norm.trim();
+    if trimmed.is_empty() {
+        return false;
+    }
+    // Multi-word phrases: plain substring containment on normalized text.
+    if trimmed.contains(' ') {
+        return normalized_description.contains(&format!(" {trimmed} "))
+            || normalized_description.contains(&format!(" {trimmed}s "));
+    }
+    // Single words: word match with light morphological slack (plurals and
+    // shared prefixes, so "dept" covers "department" and "name" covers
+    // "names") while keeping short tokens like "id" strictly exact.
+    normalized_description.split_whitespace().any(|word| {
+        word == trimmed
+            || word == format!("{trimmed}s")
+            || word == format!("{trimmed}es")
+            || (trimmed.len() >= 4 && word.starts_with(trimmed))
+            || (word.len() >= 4 && trimmed.starts_with(word) && trimmed.len() <= word.len() + 3)
+    })
+}
+
+/// Expansions for abbreviations that enterprise schemas use constantly but
+/// natural language spells out ("DEPT" columns described as "department").
+fn expand_abbreviation(part: &str) -> Option<&'static str> {
+    Some(match part {
+        "dept" => "department",
+        "avg" => "average",
+        "qty" => "quantity",
+        "num" => "number",
+        "addr" => "address",
+        "bldg" => "building",
+        "emp" => "employee",
+        "acad" => "academic",
+        "amt" => "amount",
+        "pct" => "percent",
+        "desc" => "description",
+        "info" => "information",
+        "org" => "organization",
+        "mgr" => "manager",
+        _ => return None,
+    })
+}
+
+fn column_evidence(column: &str) -> Vec<String> {
+    let mut evidence = vec![column.to_lowercase().replace('_', " ")];
+    let parts = split_ident(column);
+    for part in &parts {
+        if let Some(expanded) = expand_abbreviation(part) {
+            evidence.push(expanded.to_string());
+        }
+    }
+    // The most content-bearing part of a compound name (skip generic
+    // suffixes like key/id/name/code when something better exists).
+    let generic: BTreeSet<&str> = ["key", "id", "name", "code", "num", "no", "flag"]
+        .into_iter()
+        .collect();
+    let content: Vec<&String> = parts.iter().filter(|p| !generic.contains(p.as_str())).collect();
+    if !content.is_empty() {
+        for part in content {
+            if part.len() > 2 {
+                evidence.push(part.clone());
+            }
+        }
+    } else {
+        evidence.extend(parts);
+    }
+    evidence
+}
+
+fn aggregate_evidence(function: &str, argument: Option<&str>) -> (String, Vec<String>) {
+    let func_upper = function.to_ascii_uppercase();
+    let mut evidence: Vec<String> = match func_upper.as_str() {
+        "COUNT" => vec!["count", "number of", "how many", "total number"],
+        "SUM" => vec!["sum", "total", "combined", "overall"],
+        "AVG" => vec!["average", "mean", "avg"],
+        "MAX" => vec!["max", "maximum", "highest", "largest", "most", "latest", "greatest", "top"],
+        "MIN" => vec!["min", "minimum", "lowest", "smallest", "fewest", "earliest", "least"],
+        _ => vec!["compute"],
+    }
+    .into_iter()
+    .map(|s| s.to_string())
+    .collect();
+    let label = match argument {
+        Some(arg) => format!("{func_upper}({arg})"),
+        None => format!("{func_upper}(*)"),
+    };
+    if let Some(arg) = argument {
+        for part in split_ident(arg) {
+            if part.len() > 3 {
+                evidence.push(part);
+            }
+        }
+    }
+    (label, evidence)
+}
+
+struct ComponentCollector {
+    components: Vec<(ComponentKind, String, Vec<String>)>,
+}
+
+impl ComponentCollector {
+    fn new() -> Self {
+        ComponentCollector {
+            components: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, kind: ComponentKind, label: String, evidence: Vec<String>) {
+        // Deduplicate identical components (same kind + label).
+        if self
+            .components
+            .iter()
+            .any(|(k, l, _)| *k == kind && *l == label)
+        {
+            return;
+        }
+        self.components.push((kind, label, evidence));
+    }
+
+    fn collect_query(&mut self, query: &Query) {
+        if let Some(with) = &query.with {
+            for cte in &with.ctes {
+                self.collect_query(&cte.query);
+            }
+        }
+        self.collect_set_expr(&query.body);
+        if !query.order_by.is_empty() {
+            self.push(
+                ComponentKind::Ordering,
+                "ORDER BY".to_string(),
+                [
+                    "order", "sorted", "sort", "ranked", "descending", "ascending", "highest",
+                    "lowest", "top", "most", "fewest", "largest", "alphabetical",
+                ]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            );
+        }
+        if query.limit.is_some() {
+            self.push(
+                ComponentKind::Limit,
+                "LIMIT".to_string(),
+                [
+                    "top", "first", "only", "limit", "single", "one", "most", "highest", "best",
+                    "largest",
+                ]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            );
+        }
+    }
+
+    fn collect_set_expr(&mut self, body: &SetExpr) {
+        match body {
+            SetExpr::Select(select) => self.collect_select(select),
+            SetExpr::Query(q) => self.collect_query(q),
+            SetExpr::SetOperation { left, right, .. } => {
+                self.collect_set_expr(left);
+                self.collect_set_expr(right);
+            }
+        }
+    }
+
+    fn collect_select(&mut self, select: &Select) {
+        for twj in &select.from {
+            self.collect_table_factor(&twj.relation);
+            for join in &twj.joins {
+                self.collect_table_factor(&join.relation);
+            }
+        }
+        for item in &select.projection {
+            match item {
+                SelectItem::Expr { expr, alias } => {
+                    self.collect_projection_expr(expr, alias.as_ref().map(|a| a.value.as_str()))
+                }
+                SelectItem::Wildcard | SelectItem::QualifiedWildcard(_) => {}
+            }
+        }
+        if let Some(selection) = &select.selection {
+            self.collect_filter(selection);
+        }
+        if !select.group_by.is_empty() {
+            let mut evidence: Vec<String> = ["per", "each", "every", "by", "group", "breakdown"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            for expr in &select.group_by {
+                if let Some(name) = column_name(expr) {
+                    evidence.extend(column_evidence(&name));
+                }
+            }
+            self.push(ComponentKind::Grouping, "GROUP BY".to_string(), evidence);
+        }
+        if let Some(having) = &select.having {
+            self.collect_filter(having);
+        }
+    }
+
+    fn collect_table_factor(&mut self, factor: &bp_sql::TableFactor) {
+        match factor {
+            bp_sql::TableFactor::Table { name, .. } => {
+                let base = name.base().value.clone();
+                self.push(
+                    ComponentKind::Table,
+                    base.clone(),
+                    column_evidence(&base),
+                );
+            }
+            bp_sql::TableFactor::Derived { subquery, .. } => self.collect_query(subquery),
+        }
+    }
+
+    fn collect_projection_expr(&mut self, expr: &Expr, alias: Option<&str>) {
+        match expr {
+            Expr::Identifier(_) | Expr::CompoundIdentifier(_) => {
+                if let Some(name) = column_name(expr) {
+                    let mut evidence = column_evidence(&name);
+                    if let Some(alias) = alias {
+                        evidence.extend(column_evidence(alias));
+                    }
+                    self.push(ComponentKind::SelectedColumn, name, evidence);
+                }
+            }
+            Expr::Function { name, args, .. } if expr.is_aggregate_call() => {
+                let arg_name = args.first().and_then(column_name);
+                let (label, mut evidence) =
+                    aggregate_evidence(&name.value, arg_name.as_deref());
+                if let Some(alias) = alias {
+                    evidence.extend(column_evidence(alias));
+                }
+                self.push(ComponentKind::Aggregation, label, evidence);
+            }
+            Expr::Function { args, .. } => {
+                for arg in args {
+                    self.collect_projection_expr(arg, None);
+                }
+            }
+            Expr::BinaryOp { left, right, .. } => {
+                self.collect_projection_expr(left, None);
+                self.collect_projection_expr(right, None);
+            }
+            Expr::Case { .. } => {
+                // CASE expressions are described loosely; treat the alias as
+                // the component if given.
+                if let Some(alias) = alias {
+                    self.push(
+                        ComponentKind::SelectedColumn,
+                        alias.to_string(),
+                        column_evidence(alias),
+                    );
+                }
+            }
+            Expr::Subquery(q) => self.collect_query(q),
+            Expr::Nested(inner) | Expr::Cast { expr: inner, .. } => {
+                self.collect_projection_expr(inner, alias)
+            }
+            _ => {}
+        }
+    }
+
+    fn collect_filter(&mut self, expr: &Expr) {
+        match expr {
+            Expr::BinaryOp { left, op, right } => {
+                use bp_sql::BinaryOperator::*;
+                match op {
+                    And | Or => {
+                        self.collect_filter(left);
+                        self.collect_filter(right);
+                    }
+                    _ if op.is_comparison() => {
+                        self.push_filter_component(left, right);
+                    }
+                    _ => {}
+                }
+            }
+            Expr::Like { expr, pattern, .. } => self.push_filter_component(expr, pattern),
+            Expr::Between { expr, .. } | Expr::IsNull { expr, .. } => {
+                if let Some(name) = column_name(expr) {
+                    self.push(
+                        ComponentKind::Filter,
+                        format!("filter on {name}"),
+                        column_evidence(&name),
+                    );
+                }
+            }
+            Expr::InList { expr, list, .. } => {
+                let mut evidence = Vec::new();
+                if let Some(name) = column_name(expr) {
+                    evidence.extend(column_evidence(&name));
+                }
+                for item in list {
+                    if let Expr::Literal(bp_sql::Literal::String(s)) = item {
+                        evidence.push(s.to_lowercase());
+                    }
+                }
+                self.push(ComponentKind::Filter, format!("{expr}"), evidence);
+            }
+            Expr::InSubquery { expr, subquery, .. } => {
+                // Membership tests over generic key columns (id/key) express a
+                // join, which natural language rarely names explicitly; only
+                // require coverage when the column carries content words.
+                if let Some(name) = column_name(expr) {
+                    let generic = ["id", "key", "code"];
+                    let has_content = split_ident(&name)
+                        .iter()
+                        .any(|p| p.len() > 2 && !generic.contains(&p.as_str()));
+                    if has_content {
+                        self.push(
+                            ComponentKind::Filter,
+                            format!("membership on {name}"),
+                            column_evidence(&name),
+                        );
+                    }
+                }
+                self.collect_query(subquery);
+            }
+            Expr::Exists { subquery, .. } => self.collect_query(subquery),
+            Expr::UnaryOp { expr, .. } | Expr::Nested(expr) => self.collect_filter(expr),
+            _ => {}
+        }
+    }
+
+    fn push_filter_component(&mut self, left: &Expr, right: &Expr) {
+        let mut literal_evidence = Vec::new();
+        let mut column_side_evidence = Vec::new();
+        let mut label_parts = Vec::new();
+        for side in [left, right] {
+            match side {
+                Expr::Literal(bp_sql::Literal::String(s)) => {
+                    literal_evidence.push(s.to_lowercase());
+                    // Literal values are also often paraphrased word-by-word.
+                    for part in split_ident(s) {
+                        if part.len() > 2 {
+                            literal_evidence.push(part.replace('-', " "));
+                        }
+                    }
+                    label_parts.push(format!("'{s}'"));
+                }
+                Expr::Literal(bp_sql::Literal::Number(n)) => {
+                    literal_evidence.push(n.clone());
+                    label_parts.push(n.clone());
+                }
+                other => {
+                    if let Some(name) = column_name(other) {
+                        column_side_evidence.extend(column_evidence(&name));
+                        label_parts.push(name);
+                    } else if other.is_aggregate_call() {
+                        if let Expr::Function { name, args, .. } = other {
+                            let arg = args.first().and_then(column_name);
+                            let (label, agg_evidence) =
+                                aggregate_evidence(&name.value, arg.as_deref());
+                            column_side_evidence.extend(agg_evidence);
+                            label_parts.push(label);
+                        }
+                    }
+                }
+            }
+        }
+        // When the filter compares against a constant, the constant is what a
+        // faithful description must mention; naming only the column does not
+        // convey the filtering logic (e.g. "terms" vs "the J-term").
+        let evidence = if literal_evidence.is_empty() {
+            column_side_evidence
+        } else {
+            literal_evidence
+        };
+        if !evidence.is_empty() {
+            self.push(
+                ComponentKind::Filter,
+                label_parts.join(" vs "),
+                evidence,
+            );
+        }
+    }
+}
+
+fn column_name(expr: &Expr) -> Option<String> {
+    match expr {
+        Expr::Identifier(i) => Some(i.value.clone()),
+        Expr::CompoundIdentifier(parts) => parts.last().map(|p| p.value.clone()),
+        Expr::Nested(inner) | Expr::Cast { expr: inner, .. } => column_name(inner),
+        _ => None,
+    }
+}
+
+/// Score a natural-language description against the SQL query it annotates.
+pub fn coverage(query: &Query, description: &str) -> CoverageReport {
+    let mut collector = ComponentCollector::new();
+    collector.collect_query(query);
+    let normalized = normalize_text(description);
+    let components = collector
+        .components
+        .into_iter()
+        .map(|(kind, label, evidence)| {
+            let covered = evidence
+                .iter()
+                .any(|phrase| description_mentions(&normalized, phrase));
+            ComponentCheck {
+                kind,
+                label,
+                evidence,
+                covered,
+            }
+        })
+        .collect();
+    CoverageReport { components }
+}
+
+/// Convenience wrapper that parses the SQL text first.
+pub fn coverage_sql(sql: &str, description: &str) -> Result<CoverageReport, bp_sql::SqlError> {
+    let query = bp_sql::parse_query(sql)?;
+    Ok(coverage(&query, description))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_description_covers_all_components() {
+        let report = coverage_sql(
+            "SELECT dept, COUNT(*) AS n FROM students GROUP BY dept ORDER BY n DESC LIMIT 1",
+            "For each department of students, count the number of students and report the department with the most students.",
+        )
+        .unwrap();
+        assert!(report.score() > 0.9, "score was {}", report.score());
+        assert!(report.is_accurate(DEFAULT_ACCURACY_THRESHOLD));
+    }
+
+    #[test]
+    fn vague_description_scores_low() {
+        let report = coverage_sql(
+            "SELECT dept, COUNT(*) AS n FROM students WHERE gpa > 3.5 GROUP BY dept ORDER BY n DESC LIMIT 1",
+            "Show some information about the database.",
+        )
+        .unwrap();
+        assert!(report.score() < 0.5, "score was {}", report.score());
+        assert!(!report.is_accurate(DEFAULT_ACCURACY_THRESHOLD));
+        assert!(!report.missing().is_empty());
+    }
+
+    #[test]
+    fn aggregation_synonyms_count_as_coverage() {
+        let report = coverage_sql(
+            "SELECT MAX(gpa) FROM students",
+            "Report the highest GPA among students.",
+        )
+        .unwrap();
+        assert_eq!(report.score(), 1.0);
+        let report2 = coverage_sql(
+            "SELECT AVG(salary) FROM employees",
+            "What is the mean salary of employees?",
+        )
+        .unwrap();
+        assert_eq!(report2.score(), 1.0);
+    }
+
+    #[test]
+    fn filter_literals_must_be_mentioned() {
+        let covered = coverage_sql(
+            "SELECT name FROM terms WHERE term_name = 'J-term'",
+            "List the names of terms for the J-term period.",
+        )
+        .unwrap();
+        assert!(covered.score() > 0.9);
+        let missing = coverage_sql(
+            "SELECT name FROM terms WHERE term_name = 'J-term'",
+            "List the names of all terms.",
+        )
+        .unwrap();
+        assert!(missing.score() < 1.0);
+        assert!(missing
+            .missing()
+            .iter()
+            .any(|c| c.kind == ComponentKind::Filter));
+    }
+
+    #[test]
+    fn compound_identifiers_are_matched_by_parts() {
+        let report = coverage_sql(
+            "SELECT MOIRA_LIST_NAME FROM MOIRA_LIST WHERE DEPT = 'EECS'",
+            "List the Moira list names that belong to the EECS department.",
+        )
+        .unwrap();
+        assert_eq!(report.score(), 1.0);
+    }
+
+    #[test]
+    fn empty_projection_components_do_not_divide_by_zero() {
+        let report = coverage_sql("SELECT * FROM students", "everything about students").unwrap();
+        assert!(report.score() > 0.0);
+    }
+
+    #[test]
+    fn grouping_detected_via_per_each() {
+        let report = coverage_sql(
+            "SELECT dept, AVG(gpa) FROM students GROUP BY dept",
+            "Average GPA per department of the students.",
+        )
+        .unwrap();
+        let grouping = report
+            .components
+            .iter()
+            .find(|c| c.kind == ComponentKind::Grouping)
+            .unwrap();
+        assert!(grouping.covered);
+    }
+
+    #[test]
+    fn nested_query_components_are_included() {
+        let report = coverage_sql(
+            "SELECT name FROM students WHERE id IN (SELECT student_id FROM enrollments WHERE term = 'Fall')",
+            "Names of students enrolled in the Fall term (based on the enrollments records).",
+        )
+        .unwrap();
+        assert!(report
+            .components
+            .iter()
+            .any(|c| c.kind == ComponentKind::Table && c.label.eq_ignore_ascii_case("enrollments")));
+        assert!(report.score() > 0.8);
+    }
+
+    #[test]
+    fn word_boundaries_prevent_spurious_matches() {
+        // "id" must not match inside "identify".
+        let report = coverage_sql(
+            "SELECT id FROM students",
+            "identify something unrelated to the table",
+        )
+        .unwrap();
+        let id_component = report
+            .components
+            .iter()
+            .find(|c| c.kind == ComponentKind::SelectedColumn)
+            .unwrap();
+        assert!(!id_component.covered);
+    }
+}

@@ -1,0 +1,148 @@
+//! Small summary-statistics helpers used by the study harness and the
+//! table/figure generators.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean of a slice (0 for empty input).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Population standard deviation (0 for fewer than two values).
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let variance = values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / values.len() as f64;
+    variance.sqrt()
+}
+
+/// Median (0 for empty input).
+pub fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 0 {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    } else {
+        sorted[mid]
+    }
+}
+
+/// Percentile via nearest-rank (p in 0..=100).
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// A reusable summary of a sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median.
+    pub median: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarize a sample.
+    pub fn of(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Summary::default();
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        Summary {
+            count: values.len(),
+            mean: mean(values),
+            std_dev: std_dev(values),
+            min: sorted[0],
+            median: median(values),
+            max: sorted[sorted.len() - 1],
+        }
+    }
+
+    /// Half-width of an approximate 95% confidence interval for the mean
+    /// (normal approximation).
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.count < 2 {
+            return 0.0;
+        }
+        1.96 * self.std_dev / (self.count as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_median_std() {
+        let values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&values) - 5.0).abs() < 1e-9);
+        assert!((std_dev(&values) - 2.0).abs() < 1e-9);
+        assert!((median(&values) - 4.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_inputs_are_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(Summary::of(&[]).count, 0);
+    }
+
+    #[test]
+    fn single_value() {
+        assert_eq!(mean(&[3.0]), 3.0);
+        assert_eq!(std_dev(&[3.0]), 0.0);
+        assert_eq!(median(&[3.0]), 3.0);
+    }
+
+    #[test]
+    fn percentiles() {
+        let values: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&values, 50.0), 50.0);
+        assert_eq!(percentile(&values, 95.0), 95.0);
+        assert_eq!(percentile(&values, 100.0), 100.0);
+        assert_eq!(percentile(&values, 1.0), 1.0);
+    }
+
+    #[test]
+    fn summary_and_ci() {
+        let values: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let summary = Summary::of(&values);
+        assert_eq!(summary.count, 50);
+        assert_eq!(summary.min, 0.0);
+        assert_eq!(summary.max, 49.0);
+        assert!(summary.ci95_half_width() > 0.0);
+        assert!(Summary::of(&[1.0]).ci95_half_width() == 0.0);
+    }
+
+    #[test]
+    fn median_odd_length() {
+        assert_eq!(median(&[5.0, 1.0, 3.0]), 3.0);
+    }
+}

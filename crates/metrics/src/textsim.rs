@@ -1,0 +1,211 @@
+//! Text similarity metrics used in the review/export step (paper step 7):
+//! exact match, BLEU, and ROUGE.
+
+/// Normalize a text for metric computation: lowercase, strip punctuation,
+/// collapse whitespace.
+pub fn normalize(text: &str) -> Vec<String> {
+    text.to_lowercase()
+        .split(|c: char| !c.is_alphanumeric() && c != '_')
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_string())
+        .collect()
+}
+
+/// Exact match after normalization.
+pub fn exact_match(candidate: &str, reference: &str) -> bool {
+    normalize(candidate) == normalize(reference)
+}
+
+fn ngram_counts(tokens: &[String], n: usize) -> std::collections::HashMap<Vec<String>, usize> {
+    let mut counts = std::collections::HashMap::new();
+    if tokens.len() < n {
+        return counts;
+    }
+    for window in tokens.windows(n) {
+        *counts.entry(window.to_vec()).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Corpus-style BLEU score of a single candidate against a single reference,
+/// using up to 4-gram precision with the standard brevity penalty and
+/// add-zero clipping (no smoothing beyond skipping empty orders).
+pub fn bleu(candidate: &str, reference: &str) -> f64 {
+    let cand = normalize(candidate);
+    let refr = normalize(reference);
+    if cand.is_empty() || refr.is_empty() {
+        return 0.0;
+    }
+    let max_order = 4.min(cand.len()).min(refr.len());
+    let mut log_precision_sum = 0.0;
+    let mut orders = 0;
+    for n in 1..=max_order {
+        let cand_counts = ngram_counts(&cand, n);
+        let ref_counts = ngram_counts(&refr, n);
+        let total: usize = cand_counts.values().sum();
+        if total == 0 {
+            continue;
+        }
+        let mut matched = 0usize;
+        for (ngram, count) in &cand_counts {
+            let ref_count = ref_counts.get(ngram).copied().unwrap_or(0);
+            matched += (*count).min(ref_count);
+        }
+        if matched == 0 {
+            return 0.0;
+        }
+        log_precision_sum += (matched as f64 / total as f64).ln();
+        orders += 1;
+    }
+    if orders == 0 {
+        return 0.0;
+    }
+    let geo_mean = (log_precision_sum / orders as f64).exp();
+    let brevity = if cand.len() >= refr.len() {
+        1.0
+    } else {
+        (1.0 - refr.len() as f64 / cand.len() as f64).exp()
+    };
+    geo_mean * brevity
+}
+
+/// ROUGE-N recall: fraction of reference n-grams present in the candidate.
+pub fn rouge_n(candidate: &str, reference: &str, n: usize) -> f64 {
+    let cand = normalize(candidate);
+    let refr = normalize(reference);
+    let ref_counts = ngram_counts(&refr, n);
+    let total: usize = ref_counts.values().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let cand_counts = ngram_counts(&cand, n);
+    let mut matched = 0usize;
+    for (ngram, count) in &ref_counts {
+        matched += (*count).min(cand_counts.get(ngram).copied().unwrap_or(0));
+    }
+    matched as f64 / total as f64
+}
+
+fn lcs_len(a: &[String], b: &[String]) -> usize {
+    let mut dp = vec![vec![0usize; b.len() + 1]; a.len() + 1];
+    for i in 1..=a.len() {
+        for j in 1..=b.len() {
+            dp[i][j] = if a[i - 1] == b[j - 1] {
+                dp[i - 1][j - 1] + 1
+            } else {
+                dp[i - 1][j].max(dp[i][j - 1])
+            };
+        }
+    }
+    dp[a.len()][b.len()]
+}
+
+/// ROUGE-L F1 based on the longest common subsequence.
+pub fn rouge_l(candidate: &str, reference: &str) -> f64 {
+    let cand = normalize(candidate);
+    let refr = normalize(reference);
+    if cand.is_empty() || refr.is_empty() {
+        return 0.0;
+    }
+    let lcs = lcs_len(&cand, &refr) as f64;
+    if lcs == 0.0 {
+        return 0.0;
+    }
+    let precision = lcs / cand.len() as f64;
+    let recall = lcs / refr.len() as f64;
+    2.0 * precision * recall / (precision + recall)
+}
+
+/// Token-level Jaccard similarity; a cheap signal used for ranking candidate
+/// descriptions before a human sees them.
+pub fn jaccard(candidate: &str, reference: &str) -> f64 {
+    use std::collections::HashSet;
+    let a: HashSet<String> = normalize(candidate).into_iter().collect();
+    let b: HashSet<String> = normalize(reference).into_iter().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let intersection = a.intersection(&b).count() as f64;
+    let union = a.union(&b).count() as f64;
+    if union == 0.0 {
+        0.0
+    } else {
+        intersection / union
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match_ignores_case_and_punctuation() {
+        assert!(exact_match(
+            "How many students are there?",
+            "how many students are there"
+        ));
+        assert!(!exact_match("How many students", "How many buildings"));
+    }
+
+    #[test]
+    fn bleu_perfect_match_is_one() {
+        let s = "count the number of distinct moira lists";
+        assert!((bleu(s, s) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bleu_orders_quality() {
+        let reference = "for each department count the number of students";
+        let good = "count the number of students for each department";
+        let bad = "show all buildings on campus";
+        assert!(bleu(good, reference) > bleu(bad, reference));
+        assert_eq!(bleu(bad, reference), 0.0);
+    }
+
+    #[test]
+    fn bleu_brevity_penalty_applies() {
+        let reference = "count the number of students enrolled in the january term";
+        let truncated = "count the number";
+        let full = "count the number of students enrolled in the january term";
+        assert!(bleu(truncated, reference) < bleu(full, reference));
+    }
+
+    #[test]
+    fn bleu_empty_inputs() {
+        assert_eq!(bleu("", "reference"), 0.0);
+        assert_eq!(bleu("candidate", ""), 0.0);
+    }
+
+    #[test]
+    fn rouge_n_recall() {
+        let reference = "count the students";
+        assert!((rouge_n("count the students today", reference, 1) - 1.0).abs() < 1e-9);
+        assert!((rouge_n("count students", reference, 1) - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(rouge_n("count students", reference, 5), 0.0);
+    }
+
+    #[test]
+    fn rouge_l_f1() {
+        let reference = "list the names of all students";
+        assert!((rouge_l(reference, reference) - 1.0).abs() < 1e-9);
+        assert!(rouge_l("list the names", reference) > rouge_l("names list the", reference) - 1e-9);
+        assert_eq!(rouge_l("", reference), 0.0);
+    }
+
+    #[test]
+    fn jaccard_bounds() {
+        assert_eq!(jaccard("", ""), 1.0);
+        assert_eq!(jaccard("a b c", "a b c"), 1.0);
+        assert_eq!(jaccard("a b", "c d"), 0.0);
+        let j = jaccard("a b c", "b c d");
+        assert!(j > 0.49 && j < 0.51);
+    }
+
+    #[test]
+    fn normalize_splits_identifiers_preserving_underscores() {
+        assert_eq!(
+            normalize("MOIRA_LIST_NAME = 'B%'"),
+            vec!["moira_list_name", "b"]
+        );
+    }
+}

@@ -1,0 +1,608 @@
+//! Query decomposition (paper step 3.5).
+//!
+//! For nested SQL queries, BenchPress rewrites the query into a series of
+//! Common Table Expressions (CTEs), breaking it down into semantically
+//! logical subqueries so each piece can be annotated independently (see
+//! Figure 3 of the paper). This module performs that rewrite: every derived
+//! table, `IN`/scalar/`EXISTS` subquery, and pre-existing CTE becomes an
+//! [`AnnotationUnit`], and the outer query is rewritten to reference the
+//! extracted CTEs.
+//!
+//! The rewrite is an *annotation aid*: for uncorrelated subqueries it is
+//! semantics-preserving, while correlated subqueries are left in place
+//! (hoisting them would change meaning) and simply reported as additional
+//! units without rewriting.
+
+use crate::analyzer::analyze;
+use crate::ast::*;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// The role an annotation unit plays in a decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UnitRole {
+    /// An extracted (or pre-existing) CTE.
+    Cte,
+    /// The final outer query that consumes the CTEs.
+    Final,
+}
+
+/// One independently-annotatable piece of a decomposed query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnnotationUnit {
+    /// CTE name, or `"FINAL"` for the outer query.
+    pub name: String,
+    /// The unit's query.
+    pub query: Query,
+    /// Canonical SQL text of the unit.
+    pub sql: String,
+    /// Role of the unit.
+    pub role: UnitRole,
+}
+
+/// Result of decomposing a query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Decomposition {
+    /// Annotation units in evaluation order (CTEs first, final query last).
+    pub units: Vec<AnnotationUnit>,
+    /// The rewritten query expressed with a `WITH` clause.
+    pub rewritten: Query,
+    /// Whether any rewriting actually happened (false for flat queries).
+    pub was_decomposed: bool,
+}
+
+impl Decomposition {
+    /// Units that are CTEs (everything except the final query).
+    pub fn cte_units(&self) -> impl Iterator<Item = &AnnotationUnit> {
+        self.units.iter().filter(|u| u.role == UnitRole::Cte)
+    }
+
+    /// The final (outer) unit.
+    pub fn final_unit(&self) -> &AnnotationUnit {
+        self.units
+            .iter()
+            .rev()
+            .find(|u| u.role == UnitRole::Final)
+            .expect("decomposition always has a final unit")
+    }
+}
+
+/// Decide whether a query is "nested enough" that the optional decomposition
+/// step should run. The paper applies decomposition to nested queries only.
+pub fn should_decompose(query: &Query) -> bool {
+    let analysis = analyze(query);
+    analysis.is_nested()
+}
+
+struct Extractor {
+    ctes: Vec<Cte>,
+    counter: usize,
+    /// Aliases visible from enclosing scopes; used for a conservative
+    /// correlation check (a subquery referencing an outer alias is correlated
+    /// and therefore not hoisted).
+    outer_scopes: Vec<BTreeSet<String>>,
+}
+
+impl Extractor {
+    fn new() -> Self {
+        Extractor {
+            ctes: Vec::new(),
+            counter: 0,
+            outer_scopes: Vec::new(),
+        }
+    }
+
+    fn fresh_name(&mut self, hint: Option<&str>) -> String {
+        self.counter += 1;
+        match hint {
+            Some(h) if !h.is_empty() => format!("{}_{}", sanitize_name(h), self.counter),
+            _ => format!("STEP_{}", self.counter),
+        }
+    }
+
+    fn is_correlated(&self, query: &Query) -> bool {
+        if self.outer_scopes.is_empty() {
+            return false;
+        }
+        let outer: BTreeSet<&String> = self.outer_scopes.iter().flatten().collect();
+        let mut local = BTreeSet::new();
+        collect_local_scope_names(query, &mut local);
+        let mut qualifiers = BTreeSet::new();
+        collect_qualifiers(query, &mut qualifiers);
+        qualifiers
+            .iter()
+            .any(|q| outer.contains(q) && !local.contains(q))
+    }
+
+    fn extract_query(&mut self, query: &Query, hint: Option<&str>) -> ObjectName {
+        let name = self.fresh_name(hint);
+        self.ctes.push(Cte {
+            name: Ident::new(name.clone()),
+            query: query.clone(),
+            comment: None,
+        });
+        ObjectName(vec![Ident::new(name)])
+    }
+
+    fn rewrite_query(&mut self, query: &mut Query) {
+        // Hoist existing CTEs first so they keep their original names and order.
+        if let Some(with) = query.with.take() {
+            for cte in with.ctes {
+                self.ctes.push(cte);
+            }
+        }
+        let mut scope = BTreeSet::new();
+        collect_local_scope_names(query, &mut scope);
+        self.outer_scopes.push(scope);
+        self.rewrite_set_expr(&mut query.body);
+        for item in &mut query.order_by {
+            self.rewrite_expr(&mut item.expr);
+        }
+        self.outer_scopes.pop();
+    }
+
+    fn rewrite_set_expr(&mut self, body: &mut SetExpr) {
+        match body {
+            SetExpr::Select(select) => self.rewrite_select(select),
+            SetExpr::Query(query) => self.rewrite_query(query),
+            SetExpr::SetOperation { left, right, .. } => {
+                self.rewrite_set_expr(left);
+                self.rewrite_set_expr(right);
+            }
+        }
+    }
+
+    fn rewrite_select(&mut self, select: &mut Select) {
+        for twj in &mut select.from {
+            self.rewrite_table_factor(&mut twj.relation);
+            for join in &mut twj.joins {
+                self.rewrite_table_factor(&mut join.relation);
+                if let JoinConstraint::On(expr) = &mut join.constraint {
+                    self.rewrite_expr(expr);
+                }
+            }
+        }
+        for item in &mut select.projection {
+            if let SelectItem::Expr { expr, .. } = item {
+                self.rewrite_expr(expr);
+            }
+        }
+        if let Some(selection) = &mut select.selection {
+            self.rewrite_expr(selection);
+        }
+        for expr in &mut select.group_by {
+            self.rewrite_expr(expr);
+        }
+        if let Some(having) = &mut select.having {
+            self.rewrite_expr(having);
+        }
+    }
+
+    fn rewrite_table_factor(&mut self, factor: &mut TableFactor) {
+        if let TableFactor::Derived { subquery, alias } = factor {
+            if self.is_correlated(subquery) {
+                // Correlated derived tables are unusual; leave untouched.
+                self.rewrite_query(subquery);
+                return;
+            }
+            let mut inner = (**subquery).clone();
+            self.rewrite_query(&mut inner);
+            let hint = alias.as_ref().map(|a| a.value.as_str());
+            let name = self.extract_query(&inner, hint);
+            *factor = TableFactor::Table {
+                name,
+                alias: alias.clone(),
+            };
+        }
+    }
+
+    fn rewrite_subquery_expr(&mut self, subquery: &mut Box<Query>, hint: &str) -> bool {
+        if self.is_correlated(subquery) {
+            // Recurse so inner uncorrelated pieces still get extracted, but
+            // keep the correlated subquery in place.
+            self.rewrite_query(subquery);
+            return false;
+        }
+        let mut inner = (**subquery).clone();
+        self.rewrite_query(&mut inner);
+        let name = self.extract_query(&inner, Some(hint));
+        let replacement = Query::from_select(Select {
+            distinct: false,
+            projection: vec![SelectItem::Wildcard],
+            from: vec![TableWithJoins::table(name, None)],
+            selection: None,
+            group_by: Vec::new(),
+            having: None,
+        });
+        **subquery = replacement;
+        true
+    }
+
+    fn rewrite_expr(&mut self, expr: &mut Expr) {
+        match expr {
+            Expr::Subquery(subquery) => {
+                self.rewrite_subquery_expr(subquery, "SCALAR");
+            }
+            Expr::InSubquery { expr, subquery, .. } => {
+                self.rewrite_expr(expr);
+                self.rewrite_subquery_expr(subquery, "MEMBERS");
+            }
+            Expr::Exists { subquery, .. } => {
+                self.rewrite_subquery_expr(subquery, "EXISTS_CHECK");
+            }
+            Expr::BinaryOp { left, right, .. } => {
+                self.rewrite_expr(left);
+                self.rewrite_expr(right);
+            }
+            Expr::UnaryOp { expr, .. } => self.rewrite_expr(expr),
+            Expr::Function { args, .. } => {
+                for arg in args {
+                    self.rewrite_expr(arg);
+                }
+            }
+            Expr::Case {
+                operand,
+                conditions,
+                else_result,
+            } => {
+                if let Some(op) = operand {
+                    self.rewrite_expr(op);
+                }
+                for (c, r) in conditions {
+                    self.rewrite_expr(c);
+                    self.rewrite_expr(r);
+                }
+                if let Some(e) = else_result {
+                    self.rewrite_expr(e);
+                }
+            }
+            Expr::InList { expr, list, .. } => {
+                self.rewrite_expr(expr);
+                for item in list {
+                    self.rewrite_expr(item);
+                }
+            }
+            Expr::Between {
+                expr, low, high, ..
+            } => {
+                self.rewrite_expr(expr);
+                self.rewrite_expr(low);
+                self.rewrite_expr(high);
+            }
+            Expr::IsNull { expr, .. } => self.rewrite_expr(expr),
+            Expr::Like { expr, pattern, .. } => {
+                self.rewrite_expr(expr);
+                self.rewrite_expr(pattern);
+            }
+            Expr::Cast { expr, .. } => self.rewrite_expr(expr),
+            Expr::Nested(inner) => self.rewrite_expr(inner),
+            Expr::Identifier(_)
+            | Expr::CompoundIdentifier(_)
+            | Expr::Literal(_)
+            | Expr::Wildcard => {}
+        }
+    }
+}
+
+fn sanitize_name(hint: &str) -> String {
+    let cleaned: String = hint
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c.to_ascii_uppercase()
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if cleaned.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        format!("T_{cleaned}")
+    } else {
+        cleaned
+    }
+}
+
+/// Collect relation names/aliases that a query itself brings into scope.
+fn collect_local_scope_names(query: &Query, names: &mut BTreeSet<String>) {
+    if let Some(with) = &query.with {
+        for cte in &with.ctes {
+            names.insert(cte.name.normalized());
+        }
+    }
+    collect_scope_from_set_expr(&query.body, names);
+}
+
+fn collect_scope_from_set_expr(body: &SetExpr, names: &mut BTreeSet<String>) {
+    match body {
+        SetExpr::Select(select) => {
+            for twj in &select.from {
+                if let Some(n) = twj.relation.scope_name() {
+                    names.insert(n);
+                }
+                for join in &twj.joins {
+                    if let Some(n) = join.relation.scope_name() {
+                        names.insert(n);
+                    }
+                }
+            }
+        }
+        SetExpr::Query(query) => collect_local_scope_names(query, names),
+        SetExpr::SetOperation { left, right, .. } => {
+            collect_scope_from_set_expr(left, names);
+            collect_scope_from_set_expr(right, names);
+        }
+    }
+}
+
+/// Collect all qualifiers used in compound identifiers anywhere in the query.
+fn collect_qualifiers(query: &Query, qualifiers: &mut BTreeSet<String>) {
+    fn walk_expr(expr: &Expr, qualifiers: &mut BTreeSet<String>) {
+        match expr {
+            Expr::CompoundIdentifier(parts) if parts.len() >= 2 => {
+                qualifiers.insert(parts[0].normalized());
+            }
+            Expr::BinaryOp { left, right, .. } => {
+                walk_expr(left, qualifiers);
+                walk_expr(right, qualifiers);
+            }
+            Expr::UnaryOp { expr, .. } => walk_expr(expr, qualifiers),
+            Expr::Function { args, .. } => args.iter().for_each(|a| walk_expr(a, qualifiers)),
+            Expr::Case {
+                operand,
+                conditions,
+                else_result,
+            } => {
+                if let Some(op) = operand {
+                    walk_expr(op, qualifiers);
+                }
+                for (c, r) in conditions {
+                    walk_expr(c, qualifiers);
+                    walk_expr(r, qualifiers);
+                }
+                if let Some(e) = else_result {
+                    walk_expr(e, qualifiers);
+                }
+            }
+            Expr::Exists { subquery, .. } | Expr::Subquery(subquery) => {
+                collect_qualifiers(subquery, qualifiers)
+            }
+            Expr::InSubquery { expr, subquery, .. } => {
+                walk_expr(expr, qualifiers);
+                collect_qualifiers(subquery, qualifiers);
+            }
+            Expr::InList { expr, list, .. } => {
+                walk_expr(expr, qualifiers);
+                list.iter().for_each(|e| walk_expr(e, qualifiers));
+            }
+            Expr::Between {
+                expr, low, high, ..
+            } => {
+                walk_expr(expr, qualifiers);
+                walk_expr(low, qualifiers);
+                walk_expr(high, qualifiers);
+            }
+            Expr::IsNull { expr, .. } => walk_expr(expr, qualifiers),
+            Expr::Like { expr, pattern, .. } => {
+                walk_expr(expr, qualifiers);
+                walk_expr(pattern, qualifiers);
+            }
+            Expr::Cast { expr, .. } => walk_expr(expr, qualifiers),
+            Expr::Nested(inner) => walk_expr(inner, qualifiers),
+            _ => {}
+        }
+    }
+
+    fn walk_set_expr(body: &SetExpr, qualifiers: &mut BTreeSet<String>) {
+        match body {
+            SetExpr::Select(select) => {
+                for item in &select.projection {
+                    if let SelectItem::Expr { expr, .. } = item {
+                        walk_expr(expr, qualifiers);
+                    }
+                }
+                for twj in &select.from {
+                    if let TableFactor::Derived { subquery, .. } = &twj.relation {
+                        collect_qualifiers(subquery, qualifiers);
+                    }
+                    for join in &twj.joins {
+                        if let TableFactor::Derived { subquery, .. } = &join.relation {
+                            collect_qualifiers(subquery, qualifiers);
+                        }
+                        if let JoinConstraint::On(expr) = &join.constraint {
+                            walk_expr(expr, qualifiers);
+                        }
+                    }
+                }
+                if let Some(selection) = &select.selection {
+                    walk_expr(selection, qualifiers);
+                }
+                for expr in &select.group_by {
+                    walk_expr(expr, qualifiers);
+                }
+                if let Some(having) = &select.having {
+                    walk_expr(having, qualifiers);
+                }
+            }
+            SetExpr::Query(q) => collect_qualifiers(q, qualifiers),
+            SetExpr::SetOperation { left, right, .. } => {
+                walk_set_expr(left, qualifiers);
+                walk_set_expr(right, qualifiers);
+            }
+        }
+    }
+
+    if let Some(with) = &query.with {
+        for cte in &with.ctes {
+            collect_qualifiers(&cte.query, qualifiers);
+        }
+    }
+    walk_set_expr(&query.body, qualifiers);
+    for item in &query.order_by {
+        walk_expr(&item.expr, qualifiers);
+    }
+}
+
+/// Decompose a nested query into annotation units.
+///
+/// Flat queries produce a single `FINAL` unit and `was_decomposed == false`.
+pub fn decompose(query: &Query) -> Decomposition {
+    let mut rewritten = query.clone();
+    let mut extractor = Extractor::new();
+    extractor.rewrite_query(&mut rewritten);
+
+    let was_decomposed = !extractor.ctes.is_empty();
+    if was_decomposed {
+        rewritten.with = Some(With {
+            ctes: extractor.ctes.clone(),
+        });
+    }
+
+    let mut units: Vec<AnnotationUnit> = extractor
+        .ctes
+        .iter()
+        .map(|cte| AnnotationUnit {
+            name: cte.name.value.clone(),
+            sql: cte.query.to_string(),
+            query: cte.query.clone(),
+            role: UnitRole::Cte,
+        })
+        .collect();
+
+    // The final unit is the outer query *without* the WITH clause so its
+    // annotation focuses on the final combination step.
+    let mut final_query = rewritten.clone();
+    final_query.with = None;
+    units.push(AnnotationUnit {
+        name: "FINAL".to_string(),
+        sql: final_query.to_string(),
+        query: final_query,
+        role: UnitRole::Final,
+    });
+
+    Decomposition {
+        units,
+        rewritten,
+        was_decomposed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    #[test]
+    fn flat_query_is_not_decomposed() {
+        let q = parse_query("SELECT a FROM t WHERE a > 1").unwrap();
+        assert!(!should_decompose(&q));
+        let d = decompose(&q);
+        assert!(!d.was_decomposed);
+        assert_eq!(d.units.len(), 1);
+        assert_eq!(d.units[0].role, UnitRole::Final);
+    }
+
+    #[test]
+    fn derived_table_becomes_cte() {
+        let q = parse_query("SELECT x FROM (SELECT a AS x FROM t) AS d WHERE x > 0").unwrap();
+        assert!(should_decompose(&q));
+        let d = decompose(&q);
+        assert!(d.was_decomposed);
+        assert_eq!(d.cte_units().count(), 1);
+        let cte = d.cte_units().next().unwrap();
+        assert!(cte.name.starts_with("D_"));
+        // Rewritten query must reference the CTE by name, not contain a derived table.
+        let rendered = d.rewritten.to_string();
+        assert!(rendered.starts_with("WITH "));
+        assert!(rendered.contains(&cte.name));
+    }
+
+    #[test]
+    fn in_subquery_becomes_cte() {
+        let q = parse_query(
+            "SELECT name FROM students WHERE id IN (SELECT student_id FROM enrollments WHERE term = 'J-term')",
+        )
+        .unwrap();
+        let d = decompose(&q);
+        assert!(d.was_decomposed);
+        assert_eq!(d.cte_units().count(), 1);
+        let rendered = d.rewritten.to_string();
+        assert!(rendered.contains("IN (SELECT * FROM MEMBERS_1)"));
+    }
+
+    #[test]
+    fn existing_ctes_are_preserved_as_units() {
+        let q = parse_query(
+            "WITH DistinctLists AS (SELECT list, COUNT(DISTINCT member) AS n FROM moira GROUP BY list) SELECT MAX(n) FROM DistinctLists",
+        )
+        .unwrap();
+        let d = decompose(&q);
+        assert!(d.was_decomposed);
+        let names: Vec<_> = d.cte_units().map(|u| u.name.clone()).collect();
+        assert_eq!(names, vec!["DistinctLists"]);
+        assert_eq!(d.final_unit().name, "FINAL");
+    }
+
+    #[test]
+    fn nested_subqueries_extract_inner_first() {
+        let q = parse_query(
+            "SELECT * FROM (SELECT a FROM (SELECT a FROM t WHERE a > 0) AS inner1) AS outer1",
+        )
+        .unwrap();
+        let d = decompose(&q);
+        assert_eq!(d.cte_units().count(), 2);
+        // Inner must be declared before outer so the WITH chain is valid.
+        let names: Vec<_> = d.cte_units().map(|u| u.name.clone()).collect();
+        assert!(names[0].starts_with("INNER1"));
+        assert!(names[1].starts_with("OUTER1"));
+        let outer_sql = &d.cte_units().nth(1).unwrap().sql;
+        assert!(outer_sql.contains(&names[0]));
+    }
+
+    #[test]
+    fn correlated_subquery_is_not_hoisted() {
+        let q = parse_query(
+            "SELECT * FROM emp e WHERE salary > (SELECT AVG(salary) FROM emp x WHERE x.dept = e.dept)",
+        )
+        .unwrap();
+        let d = decompose(&q);
+        // The correlated scalar subquery stays inline.
+        assert!(!d.was_decomposed);
+        assert!(d.rewritten.to_string().contains("e.dept"));
+    }
+
+    #[test]
+    fn uncorrelated_scalar_subquery_is_hoisted() {
+        let q =
+            parse_query("SELECT * FROM emp WHERE salary > (SELECT AVG(salary) FROM emp)").unwrap();
+        let d = decompose(&q);
+        assert!(d.was_decomposed);
+        assert_eq!(d.cte_units().count(), 1);
+        assert!(d.cte_units().next().unwrap().name.starts_with("SCALAR"));
+    }
+
+    #[test]
+    fn rewritten_query_reparses() {
+        let q = parse_query(
+            "SELECT COUNT(DISTINCT dl.name), (SELECT MAX(n) FROM (SELECT list, COUNT(*) AS n FROM moira GROUP BY list) AS y) FROM (SELECT DISTINCT name FROM moira WHERE name LIKE 'B%') AS dl",
+        )
+        .unwrap();
+        let d = decompose(&q);
+        assert!(d.was_decomposed);
+        let rendered = d.rewritten.to_string();
+        parse_query(&rendered).expect("rewritten query must re-parse");
+    }
+
+    #[test]
+    fn final_unit_has_no_with_clause() {
+        let q = parse_query("SELECT x FROM (SELECT a AS x FROM t) AS d").unwrap();
+        let d = decompose(&q);
+        assert!(d.final_unit().query.with.is_none());
+        assert!(!d.final_unit().sql.starts_with("WITH"));
+    }
+
+    #[test]
+    fn sanitize_name_handles_odd_aliases() {
+        assert_eq!(sanitize_name("weird alias!"), "WEIRD_ALIAS_");
+        assert_eq!(sanitize_name("1abc"), "T_1ABC");
+    }
+}

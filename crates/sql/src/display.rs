@@ -1,0 +1,439 @@
+//! SQL pretty-printing: `Display` implementations that render the AST back
+//! to canonical SQL text.
+//!
+//! The output is deterministic and parseable by [`crate::parser`], which the
+//! round-trip property tests rely on.
+
+use crate::ast::*;
+use std::fmt;
+
+fn write_ident(f: &mut fmt::Formatter<'_>, ident: &Ident) -> fmt::Result {
+    if ident.quoted {
+        write!(f, "\"{}\"", ident.value)
+    } else {
+        f.write_str(&ident.value)
+    }
+}
+
+impl fmt::Display for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_ident(f, self)
+    }
+}
+
+impl fmt::Display for ObjectName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, part) in self.0.iter().enumerate() {
+            if i > 0 {
+                f.write_str(".")?;
+            }
+            write!(f, "{part}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Query(q) => write!(f, "{q}"),
+            Statement::CreateTable(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+impl fmt::Display for CreateTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CREATE TABLE {} (", self.name)?;
+        for (i, col) in self.columns.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{col}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+impl fmt::Display for ColumnDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.name, self.data_type.as_sql())?;
+        if self.primary_key {
+            f.write_str(" PRIMARY KEY")?;
+        } else if !self.nullable {
+            f.write_str(" NOT NULL")?;
+        }
+        if let Some((table, column)) = &self.references {
+            write!(f, " REFERENCES {table}({column})")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(with) = &self.with {
+            write!(f, "{with} ")?;
+        }
+        write!(f, "{}", self.body)?;
+        if !self.order_by.is_empty() {
+            f.write_str(" ORDER BY ")?;
+            for (i, item) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{item}")?;
+            }
+        }
+        if let Some(limit) = &self.limit {
+            write!(f, " LIMIT {limit}")?;
+        }
+        if let Some(offset) = &self.offset {
+            write!(f, " OFFSET {offset}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for With {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("WITH ")?;
+        for (i, cte) in self.ctes.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{} AS ({})", cte.name, cte.query)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for SetExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SetExpr::Select(s) => write!(f, "{s}"),
+            SetExpr::Query(q) => write!(f, "({q})"),
+            SetExpr::SetOperation {
+                op,
+                all,
+                left,
+                right,
+            } => {
+                write!(f, "{left} {}", op.as_str())?;
+                if *all {
+                    f.write_str(" ALL")?;
+                }
+                write!(f, " {right}")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Select {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SELECT ")?;
+        if self.distinct {
+            f.write_str("DISTINCT ")?;
+        }
+        for (i, item) in self.projection.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        if !self.from.is_empty() {
+            f.write_str(" FROM ")?;
+            for (i, twj) in self.from.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{twj}")?;
+            }
+        }
+        if let Some(selection) = &self.selection {
+            write!(f, " WHERE {selection}")?;
+        }
+        if !self.group_by.is_empty() {
+            f.write_str(" GROUP BY ")?;
+            for (i, expr) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{expr}")?;
+            }
+        }
+        if let Some(having) = &self.having {
+            write!(f, " HAVING {having}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Expr { expr, alias } => {
+                write!(f, "{expr}")?;
+                if let Some(alias) = alias {
+                    write!(f, " AS {alias}")?;
+                }
+                Ok(())
+            }
+            SelectItem::Wildcard => f.write_str("*"),
+            SelectItem::QualifiedWildcard(name) => write!(f, "{name}.*"),
+        }
+    }
+}
+
+impl fmt::Display for TableWithJoins {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.relation)?;
+        for join in &self.joins {
+            write!(f, " {}", join)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for TableFactor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableFactor::Table { name, alias } => {
+                write!(f, "{name}")?;
+                if let Some(alias) = alias {
+                    write!(f, " AS {alias}")?;
+                }
+                Ok(())
+            }
+            TableFactor::Derived { subquery, alias } => {
+                write!(f, "({subquery})")?;
+                if let Some(alias) = alias {
+                    write!(f, " AS {alias}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for Join {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.operator.as_sql(), self.relation)?;
+        if let JoinConstraint::On(expr) = &self.constraint {
+            write!(f, " ON {expr}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for OrderByExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.expr)?;
+        if !self.asc {
+            f.write_str(" DESC")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Number(n) => f.write_str(n),
+            Literal::String(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Literal::Boolean(b) => f.write_str(if *b { "TRUE" } else { "FALSE" }),
+            Literal::Null => f.write_str("NULL"),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Identifier(i) => write!(f, "{i}"),
+            Expr::CompoundIdentifier(parts) => {
+                for (i, part) in parts.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(".")?;
+                    }
+                    write!(f, "{part}")?;
+                }
+                Ok(())
+            }
+            Expr::Literal(l) => write!(f, "{l}"),
+            Expr::BinaryOp { left, op, right } => {
+                write!(f, "{left} {} {right}", op.as_sql())
+            }
+            Expr::UnaryOp { op, expr } => match op {
+                UnaryOperator::Not => write!(f, "NOT {expr}"),
+                UnaryOperator::Minus => write!(f, "-{expr}"),
+                UnaryOperator::Plus => write!(f, "+{expr}"),
+            },
+            Expr::Function {
+                name,
+                args,
+                distinct,
+            } => {
+                write!(f, "{name}(")?;
+                if *distinct {
+                    f.write_str("DISTINCT ")?;
+                }
+                for (i, arg) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{arg}")?;
+                }
+                f.write_str(")")
+            }
+            Expr::Case {
+                operand,
+                conditions,
+                else_result,
+            } => {
+                f.write_str("CASE")?;
+                if let Some(op) = operand {
+                    write!(f, " {op}")?;
+                }
+                for (cond, result) in conditions {
+                    write!(f, " WHEN {cond} THEN {result}")?;
+                }
+                if let Some(else_result) = else_result {
+                    write!(f, " ELSE {else_result}")?;
+                }
+                f.write_str(" END")
+            }
+            Expr::Exists { subquery, negated } => {
+                if *negated {
+                    f.write_str("NOT ")?;
+                }
+                write!(f, "EXISTS ({subquery})")
+            }
+            Expr::Subquery(q) => write!(f, "({q})"),
+            Expr::InSubquery {
+                expr,
+                subquery,
+                negated,
+            } => {
+                write!(f, "{expr} ")?;
+                if *negated {
+                    f.write_str("NOT ")?;
+                }
+                write!(f, "IN ({subquery})")
+            }
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                write!(f, "{expr} ")?;
+                if *negated {
+                    f.write_str("NOT ")?;
+                }
+                f.write_str("IN (")?;
+                for (i, item) in list.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str(")")
+            }
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
+                write!(f, "{expr} ")?;
+                if *negated {
+                    f.write_str("NOT ")?;
+                }
+                write!(f, "BETWEEN {low} AND {high}")
+            }
+            Expr::IsNull { expr, negated } => {
+                write!(f, "{expr} IS ")?;
+                if *negated {
+                    f.write_str("NOT ")?;
+                }
+                f.write_str("NULL")
+            }
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                write!(f, "{expr} ")?;
+                if *negated {
+                    f.write_str("NOT ")?;
+                }
+                write!(f, "LIKE {pattern}")
+            }
+            Expr::Cast { expr, data_type } => {
+                write!(f, "CAST({expr} AS {})", data_type.as_sql())
+            }
+            Expr::Nested(e) => write!(f, "({e})"),
+            Expr::Wildcard => f.write_str("*"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_query, parse_statement};
+
+    fn round_trip(sql: &str) {
+        let q1 = parse_query(sql).expect("first parse");
+        let rendered = q1.to_string();
+        let q2 = parse_query(&rendered)
+            .unwrap_or_else(|e| panic!("re-parse of '{rendered}' failed: {e}"));
+        assert_eq!(q1, q2, "round trip changed the AST for: {sql}");
+    }
+
+    #[test]
+    fn round_trips_simple_queries() {
+        round_trip("SELECT a, b FROM t WHERE a = 1");
+        round_trip("SELECT DISTINCT a FROM t ORDER BY a DESC LIMIT 5");
+        round_trip("SELECT COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 2");
+    }
+
+    #[test]
+    fn round_trips_joins_and_subqueries() {
+        round_trip("SELECT * FROM a JOIN b ON a.id = b.id LEFT JOIN c ON b.x = c.x");
+        round_trip("SELECT x FROM (SELECT a AS x FROM t) AS d WHERE x IN (SELECT y FROM u)");
+        round_trip("SELECT * FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.id = t.id)");
+    }
+
+    #[test]
+    fn round_trips_ctes_and_set_ops() {
+        round_trip("WITH c AS (SELECT a FROM t) SELECT * FROM c UNION ALL SELECT a FROM u");
+        round_trip("SELECT a FROM t INTERSECT SELECT a FROM u");
+    }
+
+    #[test]
+    fn round_trips_expressions() {
+        round_trip("SELECT CASE WHEN a > 1 THEN 'x' ELSE 'y' END FROM t");
+        round_trip("SELECT CAST(a AS INTEGER), -b, NOT c, a || b FROM t");
+        round_trip(
+            "SELECT * FROM t WHERE a BETWEEN 1 AND 2 AND b LIKE 'x%' AND c IS NOT NULL AND d NOT IN (1, 2)",
+        );
+    }
+
+    #[test]
+    fn renders_create_table() {
+        let stmt =
+            parse_statement("CREATE TABLE t (id INT PRIMARY KEY, name VARCHAR(10) NOT NULL)")
+                .unwrap();
+        let text = stmt.to_string();
+        assert!(text.contains("CREATE TABLE t"));
+        assert!(text.contains("id INTEGER PRIMARY KEY"));
+        assert!(text.contains("name VARCHAR NOT NULL"));
+    }
+
+    #[test]
+    fn string_literal_escaping() {
+        let lit = Literal::String("it's".into());
+        assert_eq!(lit.to_string(), "'it''s'");
+    }
+}

@@ -1,0 +1,90 @@
+//! Error types for SQL lexing and parsing.
+
+use std::fmt;
+
+/// Errors produced while tokenizing or parsing SQL text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlError {
+    /// The lexer encountered a character it does not understand.
+    Lexer {
+        /// Human-readable message.
+        message: String,
+        /// Byte offset of the offending position in the input.
+        position: usize,
+    },
+    /// The parser encountered an unexpected token.
+    Parser {
+        /// Human-readable message.
+        message: String,
+        /// Token index at which the error occurred.
+        position: usize,
+    },
+    /// The statement is syntactically valid but uses a construct this
+    /// dialect subset does not support.
+    Unsupported(String),
+}
+
+impl SqlError {
+    /// Construct a lexer error.
+    pub fn lexer(message: impl Into<String>, position: usize) -> Self {
+        SqlError::Lexer {
+            message: message.into(),
+            position,
+        }
+    }
+
+    /// Construct a parser error.
+    pub fn parser(message: impl Into<String>, position: usize) -> Self {
+        SqlError::Parser {
+            message: message.into(),
+            position,
+        }
+    }
+
+    /// Construct an "unsupported construct" error.
+    pub fn unsupported(message: impl Into<String>) -> Self {
+        SqlError::Unsupported(message.into())
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lexer { message, position } => {
+                write!(f, "lexer error at byte {position}: {message}")
+            }
+            SqlError::Parser { message, position } => {
+                write!(f, "parse error at token {position}: {message}")
+            }
+            SqlError::Unsupported(message) => write!(f, "unsupported SQL construct: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// Convenience result alias used throughout the crate.
+pub type SqlResult<T> = Result<T, SqlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_lexer_error() {
+        let e = SqlError::lexer("bad char '#'", 12);
+        assert_eq!(e.to_string(), "lexer error at byte 12: bad char '#'");
+    }
+
+    #[test]
+    fn display_parser_error() {
+        let e = SqlError::parser("expected FROM", 3);
+        assert_eq!(e.to_string(), "parse error at token 3: expected FROM");
+    }
+
+    #[test]
+    fn display_unsupported() {
+        let e = SqlError::unsupported("LATERAL joins");
+        assert!(e.to_string().contains("LATERAL joins"));
+    }
+}

@@ -1,0 +1,389 @@
+//! Hand-written SQL lexer.
+//!
+//! The lexer converts raw SQL text into a vector of [`Token`]s. It supports
+//! the SQL subset used across the BenchPress reproduction: identifiers
+//! (unquoted and double-quoted), numeric and string literals, comments
+//! (`--` line comments and `/* ... */` block comments), and the usual
+//! operators and punctuation.
+
+use crate::error::{SqlError, SqlResult};
+use crate::token::{Keyword, Token};
+
+/// Streaming tokenizer over a SQL string.
+pub struct Lexer<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Create a lexer over the given SQL text.
+    pub fn new(sql: &'a str) -> Self {
+        Lexer {
+            input: sql.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    /// Tokenize the full input, returning all tokens in order.
+    pub fn tokenize(mut self) -> SqlResult<Vec<Token>> {
+        let mut tokens = Vec::new();
+        while let Some(tok) = self.next_token()? {
+            tokens.push(tok);
+        }
+        Ok(tokens)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<u8> {
+        self.input.get(self.pos + offset).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_whitespace_and_comments(&mut self) -> SqlResult<()> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.pos += 1;
+                }
+                Some(b'-') if self.peek_at(1) == Some(b'-') => {
+                    while let Some(c) = self.peek() {
+                        self.pos += 1;
+                        if c == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                Some(b'/') if self.peek_at(1) == Some(b'*') => {
+                    let start = self.pos;
+                    self.pos += 2;
+                    loop {
+                        match self.peek() {
+                            Some(b'*') if self.peek_at(1) == Some(b'/') => {
+                                self.pos += 2;
+                                break;
+                            }
+                            Some(_) => self.pos += 1,
+                            None => {
+                                return Err(SqlError::lexer("unterminated block comment", start))
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> SqlResult<Option<Token>> {
+        self.skip_whitespace_and_comments()?;
+        let start = self.pos;
+        let c = match self.peek() {
+            Some(c) => c,
+            None => return Ok(None),
+        };
+
+        let token = match c {
+            b'(' => {
+                self.bump();
+                Token::LeftParen
+            }
+            b')' => {
+                self.bump();
+                Token::RightParen
+            }
+            b',' => {
+                self.bump();
+                Token::Comma
+            }
+            b'.' => {
+                self.bump();
+                Token::Dot
+            }
+            b';' => {
+                self.bump();
+                Token::Semicolon
+            }
+            b'*' => {
+                self.bump();
+                Token::Star
+            }
+            b'+' => {
+                self.bump();
+                Token::Plus
+            }
+            b'-' => {
+                self.bump();
+                Token::Minus
+            }
+            b'/' => {
+                self.bump();
+                Token::Slash
+            }
+            b'%' => {
+                self.bump();
+                Token::Percent
+            }
+            b'=' => {
+                self.bump();
+                Token::Eq
+            }
+            b'!' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Token::NotEq
+                } else {
+                    return Err(SqlError::lexer("expected '=' after '!'", start));
+                }
+            }
+            b'<' => {
+                self.bump();
+                match self.peek() {
+                    Some(b'=') => {
+                        self.bump();
+                        Token::LtEq
+                    }
+                    Some(b'>') => {
+                        self.bump();
+                        Token::NotEq
+                    }
+                    _ => Token::Lt,
+                }
+            }
+            b'>' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Token::GtEq
+                } else {
+                    Token::Gt
+                }
+            }
+            b'|' => {
+                self.bump();
+                if self.peek() == Some(b'|') {
+                    self.bump();
+                    Token::Concat
+                } else {
+                    return Err(SqlError::lexer("expected '|' after '|'", start));
+                }
+            }
+            b'\'' => self.lex_string(start)?,
+            b'"' => self.lex_quoted_identifier(start)?,
+            c if c.is_ascii_digit() => self.lex_number(),
+            c if c.is_ascii_alphabetic() || c == b'_' => self.lex_word(),
+            other => {
+                return Err(SqlError::lexer(
+                    format!("unexpected character '{}'", other as char),
+                    start,
+                ))
+            }
+        };
+        Ok(Some(token))
+    }
+
+    fn lex_string(&mut self, start: usize) -> SqlResult<Token> {
+        self.bump(); // opening quote
+        let mut value = String::new();
+        loop {
+            match self.bump() {
+                Some(b'\'') => {
+                    // '' is an escaped quote inside a string literal.
+                    if self.peek() == Some(b'\'') {
+                        self.bump();
+                        value.push('\'');
+                    } else {
+                        return Ok(Token::StringLiteral(value));
+                    }
+                }
+                Some(c) => value.push(c as char),
+                None => return Err(SqlError::lexer("unterminated string literal", start)),
+            }
+        }
+    }
+
+    fn lex_quoted_identifier(&mut self, start: usize) -> SqlResult<Token> {
+        self.bump(); // opening quote
+        let mut value = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => {
+                    if self.peek() == Some(b'"') {
+                        self.bump();
+                        value.push('"');
+                    } else {
+                        return Ok(Token::Identifier {
+                            value,
+                            quoted: true,
+                        });
+                    }
+                }
+                Some(c) => value.push(c as char),
+                None => return Err(SqlError::lexer("unterminated quoted identifier", start)),
+            }
+        }
+    }
+
+    fn lex_number(&mut self) -> Token {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') && matches!(self.peek_at(1), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        // Scientific notation, e.g. 1e6 or 2.5E-3.
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            let mut lookahead = 1;
+            if matches!(self.peek_at(1), Some(b'+') | Some(b'-')) {
+                lookahead = 2;
+            }
+            if matches!(self.peek_at(lookahead), Some(c) if c.is_ascii_digit()) {
+                self.pos += lookahead;
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+        }
+        let text = std::str::from_utf8(&self.input[start..self.pos])
+            .expect("number slice is ascii")
+            .to_string();
+        Token::Number(text)
+    }
+
+    fn lex_word(&mut self) -> Token {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == b'_' || c == b'$')
+        {
+            self.pos += 1;
+        }
+        let word = std::str::from_utf8(&self.input[start..self.pos])
+            .expect("word slice is ascii")
+            .to_string();
+        match Keyword::from_word(&word) {
+            Some(kw) => Token::Keyword(kw),
+            None => Token::Identifier {
+                value: word,
+                quoted: false,
+            },
+        }
+    }
+}
+
+/// Tokenize a SQL string in one call.
+pub fn tokenize(sql: &str) -> SqlResult<Vec<Token>> {
+    Lexer::new(sql).tokenize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<Token> {
+        tokenize(sql).expect("tokenize")
+    }
+
+    #[test]
+    fn lexes_simple_select() {
+        let toks = kinds("SELECT a, b FROM t WHERE a = 1;");
+        assert_eq!(toks[0], Token::Keyword(Keyword::Select));
+        assert_eq!(
+            toks[1],
+            Token::Identifier {
+                value: "a".into(),
+                quoted: false
+            }
+        );
+        assert_eq!(toks.last(), Some(&Token::Semicolon));
+        assert_eq!(toks.len(), 11);
+    }
+
+    #[test]
+    fn lexes_operators() {
+        let toks = kinds("a <= b >= c <> d != e || f");
+        assert!(toks.contains(&Token::LtEq));
+        assert!(toks.contains(&Token::GtEq));
+        assert!(toks.contains(&Token::Concat));
+        assert_eq!(toks.iter().filter(|t| **t == Token::NotEq).count(), 2);
+    }
+
+    #[test]
+    fn lexes_string_with_escaped_quote() {
+        let toks = kinds("SELECT 'it''s'");
+        assert_eq!(toks[1], Token::StringLiteral("it's".into()));
+    }
+
+    #[test]
+    fn lexes_quoted_identifier() {
+        let toks = kinds(r#"SELECT "Weird Column" FROM t"#);
+        assert_eq!(
+            toks[1],
+            Token::Identifier {
+                value: "Weird Column".into(),
+                quoted: true
+            }
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        let toks = kinds("SELECT 1, 2.5, 10e3, 1.5E-2");
+        let numbers: Vec<_> = toks
+            .iter()
+            .filter_map(|t| match t {
+                Token::Number(n) => Some(n.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(numbers, vec!["1", "2.5", "10e3", "1.5E-2"]);
+    }
+
+    #[test]
+    fn skips_line_and_block_comments() {
+        let toks = kinds("SELECT a -- trailing\n, b /* block\ncomment */ FROM t");
+        assert_eq!(toks.iter().filter(|t| matches!(t, Token::Identifier { .. })).count(), 3);
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(tokenize("SELECT 'oops").is_err());
+    }
+
+    #[test]
+    fn unterminated_block_comment_is_error() {
+        assert!(tokenize("SELECT 1 /* nope").is_err());
+    }
+
+    #[test]
+    fn unexpected_character_is_error() {
+        let err = tokenize("SELECT #a").unwrap_err();
+        assert!(err.to_string().contains("unexpected character"));
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let toks = kinds("select * from T");
+        assert_eq!(toks[0], Token::Keyword(Keyword::Select));
+        assert_eq!(toks[2], Token::Keyword(Keyword::From));
+    }
+
+    #[test]
+    fn empty_input_gives_no_tokens() {
+        assert!(kinds("").is_empty());
+        assert!(kinds("   \n\t ").is_empty());
+        assert!(kinds("-- only a comment").is_empty());
+    }
+}

@@ -1,0 +1,1182 @@
+//! Recursive-descent parser for the BenchPress SQL subset.
+//!
+//! The parser consumes the token stream produced by [`crate::lexer`] and
+//! builds the AST defined in [`crate::ast`]. It supports `SELECT` queries
+//! with CTEs, joins, subqueries, set operations, aggregation and the usual
+//! scalar expression grammar, plus `CREATE TABLE` for schema ingestion.
+
+use crate::ast::*;
+use crate::error::{SqlError, SqlResult};
+use crate::lexer::tokenize;
+use crate::token::{Keyword, Token};
+
+/// Parser over a pre-tokenized SQL statement.
+pub struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    /// Create a parser directly from tokens.
+    pub fn from_tokens(tokens: Vec<Token>) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    /// Tokenize and create a parser for the SQL text.
+    pub fn new(sql: &str) -> SqlResult<Self> {
+        Ok(Parser::from_tokens(tokenize(sql)?))
+    }
+
+    // ---------------------------------------------------------------------
+    // Token helpers
+    // ---------------------------------------------------------------------
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<&Token> {
+        self.tokens.get(self.pos + offset)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_keyword(&self, kw: Keyword) -> bool {
+        matches!(self.peek(), Some(t) if t.is_keyword(kw))
+    }
+
+    fn eat_keyword(&mut self, kw: Keyword) -> bool {
+        if self.at_keyword(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: Keyword) -> SqlResult<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected keyword {kw}")))
+        }
+    }
+
+    fn eat_token(&mut self, tok: &Token) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_token(&mut self, tok: &Token) -> SqlResult<()> {
+        if self.eat_token(tok) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected '{tok}'")))
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> SqlError {
+        let mut message = message.into();
+        match self.peek() {
+            Some(t) => message.push_str(&format!(", found '{t}'")),
+            None => message.push_str(", found end of input"),
+        }
+        SqlError::parser(message, self.pos)
+    }
+
+    fn parse_identifier(&mut self) -> SqlResult<Ident> {
+        match self.bump() {
+            Some(Token::Identifier { value, quoted }) => Ok(Ident { value, quoted }),
+            // Type/function keywords may be used as identifiers in enterprise
+            // schemas (e.g. a column literally named DATE or KEY).
+            Some(Token::Keyword(kw))
+                if matches!(
+                    kw,
+                    Keyword::Date
+                        | Keyword::Key
+                        | Keyword::Number
+                        | Keyword::Text
+                        | Keyword::Timestamp
+                        | Keyword::Count
+                        | Keyword::Min
+                        | Keyword::Max
+                ) =>
+            {
+                Ok(Ident::new(kw.as_str()))
+            }
+            Some(other) => {
+                self.pos -= 1;
+                Err(self.error(format!("expected identifier, found '{other}'")))
+            }
+            None => Err(self.error("expected identifier")),
+        }
+    }
+
+    fn parse_object_name(&mut self) -> SqlResult<ObjectName> {
+        let mut parts = vec![self.parse_identifier()?];
+        // Do not consume the dot of a trailing `.*` (qualified wildcard).
+        while self.peek() == Some(&Token::Dot) && self.peek_at(1) != Some(&Token::Star) {
+            self.pos += 1;
+            parts.push(self.parse_identifier()?);
+        }
+        Ok(ObjectName(parts))
+    }
+
+    // ---------------------------------------------------------------------
+    // Statements
+    // ---------------------------------------------------------------------
+
+    /// Parse a single SQL statement from text.
+    pub fn parse_statement_text(sql: &str) -> SqlResult<Statement> {
+        let mut parser = Parser::new(sql)?;
+        let stmt = parser.parse_statement()?;
+        parser.eat_token(&Token::Semicolon);
+        if let Some(t) = parser.peek() {
+            return Err(parser.error(format!("unexpected trailing token '{t}'")));
+        }
+        Ok(stmt)
+    }
+
+    /// Parse all semicolon-separated statements from text.
+    pub fn parse_statements_text(sql: &str) -> SqlResult<Vec<Statement>> {
+        let mut parser = Parser::new(sql)?;
+        let mut stmts = Vec::new();
+        loop {
+            while parser.eat_token(&Token::Semicolon) {}
+            if parser.peek().is_none() {
+                break;
+            }
+            stmts.push(parser.parse_statement()?);
+        }
+        Ok(stmts)
+    }
+
+    /// Parse one statement starting at the current position.
+    pub fn parse_statement(&mut self) -> SqlResult<Statement> {
+        if self.at_keyword(Keyword::Create) {
+            Ok(Statement::CreateTable(self.parse_create_table()?))
+        } else {
+            Ok(Statement::Query(self.parse_query()?))
+        }
+    }
+
+    fn parse_create_table(&mut self) -> SqlResult<CreateTable> {
+        self.expect_keyword(Keyword::Create)?;
+        self.expect_keyword(Keyword::Table)?;
+        let name = self.parse_object_name()?;
+        self.expect_token(&Token::LeftParen)?;
+        let mut columns = Vec::new();
+        loop {
+            // Skip table-level constraints such as PRIMARY KEY (a, b) or
+            // FOREIGN KEY (...) REFERENCES ... — only column shapes matter
+            // for annotation context.
+            if self.at_keyword(Keyword::Primary)
+                || self.at_keyword(Keyword::Foreign)
+                || self.at_keyword(Keyword::Unique)
+            {
+                self.skip_balanced_until_comma_or_rparen();
+            } else {
+                columns.push(self.parse_column_def()?);
+            }
+            if self.eat_token(&Token::Comma) {
+                continue;
+            }
+            self.expect_token(&Token::RightParen)?;
+            break;
+        }
+        Ok(CreateTable { name, columns })
+    }
+
+    fn skip_balanced_until_comma_or_rparen(&mut self) {
+        let mut depth = 0usize;
+        loop {
+            match self.peek() {
+                Some(Token::LeftParen) => {
+                    depth += 1;
+                    self.pos += 1;
+                }
+                Some(Token::RightParen) => {
+                    if depth == 0 {
+                        return;
+                    }
+                    depth -= 1;
+                    self.pos += 1;
+                }
+                Some(Token::Comma) if depth == 0 => return,
+                Some(_) => self.pos += 1,
+                None => return,
+            }
+        }
+    }
+
+    fn parse_column_def(&mut self) -> SqlResult<ColumnDef> {
+        let name = self.parse_identifier()?;
+        let data_type = self.parse_data_type()?;
+        let mut primary_key = false;
+        let mut nullable = true;
+        let mut references = None;
+        loop {
+            if self.eat_keyword(Keyword::Primary) {
+                self.expect_keyword(Keyword::Key)?;
+                primary_key = true;
+                nullable = false;
+            } else if self.eat_keyword(Keyword::Not) {
+                self.expect_keyword(Keyword::Null)?;
+                nullable = false;
+            } else if self.eat_keyword(Keyword::Null) {
+                nullable = true;
+            } else if self.eat_keyword(Keyword::Unique) {
+                // uniqueness is not modelled per-column; ignore.
+            } else if self.eat_keyword(Keyword::References) {
+                let table = self.parse_object_name()?;
+                self.expect_token(&Token::LeftParen)?;
+                let column = self.parse_identifier()?;
+                self.expect_token(&Token::RightParen)?;
+                references = Some((table, column));
+            } else {
+                break;
+            }
+        }
+        Ok(ColumnDef {
+            name,
+            data_type,
+            primary_key,
+            nullable,
+            references,
+        })
+    }
+
+    fn parse_data_type(&mut self) -> SqlResult<DataType> {
+        let kw = match self.bump() {
+            Some(Token::Keyword(kw)) => kw,
+            Some(other) => {
+                self.pos -= 1;
+                return Err(self.error(format!("expected data type, found '{other}'")));
+            }
+            None => return Err(self.error("expected data type")),
+        };
+        let dt = match kw {
+            Keyword::Int | Keyword::Integer | Keyword::Bigint | Keyword::Smallint => {
+                DataType::Integer
+            }
+            Keyword::Number | Keyword::Decimal | Keyword::Numeric | Keyword::Float
+            | Keyword::Real => DataType::Float,
+            Keyword::Double => {
+                self.eat_keyword(Keyword::Precision);
+                DataType::Float
+            }
+            Keyword::Varchar | Keyword::Varchar2 | Keyword::Char | Keyword::Text => DataType::Text,
+            Keyword::Date => DataType::Date,
+            Keyword::Timestamp => DataType::Timestamp,
+            Keyword::Boolean => DataType::Boolean,
+            other => {
+                return Err(self.error(format!("unsupported data type '{other}'")));
+            }
+        };
+        // Optional length/precision arguments such as VARCHAR(255) or NUMBER(10, 2).
+        if self.eat_token(&Token::LeftParen) {
+            loop {
+                match self.peek() {
+                    Some(Token::RightParen) => {
+                        self.pos += 1;
+                        break;
+                    }
+                    Some(_) => self.pos += 1,
+                    None => return Err(self.error("unterminated type arguments")),
+                }
+            }
+        }
+        Ok(dt)
+    }
+
+    // ---------------------------------------------------------------------
+    // Queries
+    // ---------------------------------------------------------------------
+
+    /// Parse a query (`[WITH ...] SELECT ... [ORDER BY ...] [LIMIT ...]`).
+    pub fn parse_query(&mut self) -> SqlResult<Query> {
+        let with = if self.at_keyword(Keyword::With) {
+            Some(self.parse_with()?)
+        } else {
+            None
+        };
+        let body = self.parse_set_expr()?;
+        let mut order_by = Vec::new();
+        if self.eat_keyword(Keyword::Order) {
+            self.expect_keyword(Keyword::By)?;
+            loop {
+                let expr = self.parse_expr()?;
+                let asc = if self.eat_keyword(Keyword::Desc) {
+                    false
+                } else {
+                    self.eat_keyword(Keyword::Asc);
+                    true
+                };
+                order_by.push(OrderByExpr { expr, asc });
+                if !self.eat_token(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_keyword(Keyword::Limit) {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        let offset = if self.eat_keyword(Keyword::Offset) {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(Query {
+            with,
+            body,
+            order_by,
+            limit,
+            offset,
+        })
+    }
+
+    fn parse_with(&mut self) -> SqlResult<With> {
+        self.expect_keyword(Keyword::With)?;
+        let mut ctes = Vec::new();
+        loop {
+            let name = self.parse_identifier()?;
+            self.expect_keyword(Keyword::As)?;
+            self.expect_token(&Token::LeftParen)?;
+            let query = self.parse_query()?;
+            self.expect_token(&Token::RightParen)?;
+            ctes.push(Cte {
+                name,
+                query,
+                comment: None,
+            });
+            if !self.eat_token(&Token::Comma) {
+                break;
+            }
+        }
+        Ok(With { ctes })
+    }
+
+    fn parse_set_expr(&mut self) -> SqlResult<SetExpr> {
+        let mut expr = self.parse_set_operand()?;
+        loop {
+            let op = if self.at_keyword(Keyword::Union) {
+                SetOperator::Union
+            } else if self.at_keyword(Keyword::Intersect) {
+                SetOperator::Intersect
+            } else if self.at_keyword(Keyword::Except) {
+                SetOperator::Except
+            } else {
+                break;
+            };
+            self.pos += 1;
+            let all = self.eat_keyword(Keyword::All);
+            self.eat_keyword(Keyword::Distinct);
+            let right = self.parse_set_operand()?;
+            expr = SetExpr::SetOperation {
+                op,
+                all,
+                left: Box::new(expr),
+                right: Box::new(right),
+            };
+        }
+        Ok(expr)
+    }
+
+    fn parse_set_operand(&mut self) -> SqlResult<SetExpr> {
+        if self.at_keyword(Keyword::Select) {
+            Ok(SetExpr::Select(Box::new(self.parse_select()?)))
+        } else if self.peek() == Some(&Token::LeftParen) {
+            self.pos += 1;
+            let query = self.parse_query()?;
+            self.expect_token(&Token::RightParen)?;
+            Ok(SetExpr::Query(Box::new(query)))
+        } else {
+            Err(self.error("expected SELECT or '('"))
+        }
+    }
+
+    fn parse_select(&mut self) -> SqlResult<Select> {
+        self.expect_keyword(Keyword::Select)?;
+        let distinct = if self.eat_keyword(Keyword::Distinct) {
+            true
+        } else {
+            self.eat_keyword(Keyword::All);
+            false
+        };
+        let mut projection = vec![self.parse_select_item()?];
+        while self.eat_token(&Token::Comma) {
+            projection.push(self.parse_select_item()?);
+        }
+        let mut from = Vec::new();
+        if self.eat_keyword(Keyword::From) {
+            from.push(self.parse_table_with_joins()?);
+            while self.eat_token(&Token::Comma) {
+                from.push(self.parse_table_with_joins()?);
+            }
+        }
+        let selection = if self.eat_keyword(Keyword::Where) {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_keyword(Keyword::Group) {
+            self.expect_keyword(Keyword::By)?;
+            group_by.push(self.parse_expr()?);
+            while self.eat_token(&Token::Comma) {
+                group_by.push(self.parse_expr()?);
+            }
+        }
+        let having = if self.eat_keyword(Keyword::Having) {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(Select {
+            distinct,
+            projection,
+            from,
+            selection,
+            group_by,
+            having,
+        })
+    }
+
+    fn parse_select_item(&mut self) -> SqlResult<SelectItem> {
+        if self.eat_token(&Token::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        // Qualified wildcard: ident(.ident)*.*
+        if matches!(self.peek(), Some(Token::Identifier { .. })) {
+            let mut lookahead = 1;
+            loop {
+                match (self.peek_at(lookahead), self.peek_at(lookahead + 1)) {
+                    (Some(Token::Dot), Some(Token::Star)) => {
+                        let name = self.parse_object_name()?;
+                        self.expect_token(&Token::Dot)?;
+                        self.expect_token(&Token::Star)?;
+                        return Ok(SelectItem::QualifiedWildcard(name));
+                    }
+                    (Some(Token::Dot), Some(Token::Identifier { .. })) => {
+                        lookahead += 2;
+                    }
+                    _ => break,
+                }
+            }
+        }
+        let expr = self.parse_expr()?;
+        let alias = if self.eat_keyword(Keyword::As) {
+            Some(self.parse_identifier()?)
+        } else if matches!(self.peek(), Some(Token::Identifier { .. })) {
+            // Implicit alias: `SELECT col new_name FROM ...`
+            Some(self.parse_identifier()?)
+        } else {
+            None
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn parse_table_with_joins(&mut self) -> SqlResult<TableWithJoins> {
+        let relation = self.parse_table_factor()?;
+        let mut joins = Vec::new();
+        loop {
+            let operator = if self.eat_keyword(Keyword::Cross) {
+                self.expect_keyword(Keyword::Join)?;
+                JoinOperator::Cross
+            } else if self.eat_keyword(Keyword::Inner) {
+                self.expect_keyword(Keyword::Join)?;
+                JoinOperator::Inner
+            } else if self.eat_keyword(Keyword::Left) {
+                self.eat_keyword(Keyword::Outer);
+                self.expect_keyword(Keyword::Join)?;
+                JoinOperator::LeftOuter
+            } else if self.eat_keyword(Keyword::Right) {
+                self.eat_keyword(Keyword::Outer);
+                self.expect_keyword(Keyword::Join)?;
+                JoinOperator::RightOuter
+            } else if self.eat_keyword(Keyword::Full) {
+                self.eat_keyword(Keyword::Outer);
+                self.expect_keyword(Keyword::Join)?;
+                JoinOperator::FullOuter
+            } else if self.eat_keyword(Keyword::Join) {
+                JoinOperator::Inner
+            } else {
+                break;
+            };
+            let relation = self.parse_table_factor()?;
+            let constraint = if operator != JoinOperator::Cross && self.eat_keyword(Keyword::On) {
+                JoinConstraint::On(self.parse_expr()?)
+            } else {
+                JoinConstraint::None
+            };
+            joins.push(Join {
+                relation,
+                operator,
+                constraint,
+            });
+        }
+        Ok(TableWithJoins { relation, joins })
+    }
+
+    fn parse_table_factor(&mut self) -> SqlResult<TableFactor> {
+        if self.eat_token(&Token::LeftParen) {
+            let subquery = self.parse_query()?;
+            self.expect_token(&Token::RightParen)?;
+            let alias = self.parse_optional_table_alias()?;
+            Ok(TableFactor::Derived {
+                subquery: Box::new(subquery),
+                alias,
+            })
+        } else {
+            let name = self.parse_object_name()?;
+            let alias = self.parse_optional_table_alias()?;
+            Ok(TableFactor::Table { name, alias })
+        }
+    }
+
+    fn parse_optional_table_alias(&mut self) -> SqlResult<Option<Ident>> {
+        if self.eat_keyword(Keyword::As) {
+            return Ok(Some(self.parse_identifier()?));
+        }
+        if matches!(self.peek(), Some(Token::Identifier { .. })) {
+            return Ok(Some(self.parse_identifier()?));
+        }
+        Ok(None)
+    }
+
+    // ---------------------------------------------------------------------
+    // Expressions (precedence climbing)
+    // ---------------------------------------------------------------------
+
+    /// Parse a scalar expression.
+    pub fn parse_expr(&mut self) -> SqlResult<Expr> {
+        self.parse_or_expr()
+    }
+
+    fn parse_or_expr(&mut self) -> SqlResult<Expr> {
+        let mut expr = self.parse_and_expr()?;
+        while self.eat_keyword(Keyword::Or) {
+            let right = self.parse_and_expr()?;
+            expr = Expr::binary(expr, BinaryOperator::Or, right);
+        }
+        Ok(expr)
+    }
+
+    fn parse_and_expr(&mut self) -> SqlResult<Expr> {
+        let mut expr = self.parse_not_expr()?;
+        while self.eat_keyword(Keyword::And) {
+            let right = self.parse_not_expr()?;
+            expr = Expr::binary(expr, BinaryOperator::And, right);
+        }
+        Ok(expr)
+    }
+
+    fn parse_not_expr(&mut self) -> SqlResult<Expr> {
+        if self.at_keyword(Keyword::Not)
+            && !matches!(self.peek_at(1), Some(t) if t.is_keyword(Keyword::Exists))
+        {
+            self.pos += 1;
+            let inner = self.parse_not_expr()?;
+            return Ok(Expr::UnaryOp {
+                op: UnaryOperator::Not,
+                expr: Box::new(inner),
+            });
+        }
+        self.parse_comparison_expr()
+    }
+
+    fn parse_comparison_expr(&mut self) -> SqlResult<Expr> {
+        let expr = self.parse_additive_expr()?;
+
+        // Postfix predicates: IS NULL, BETWEEN, IN, LIKE.
+        if self.eat_keyword(Keyword::Is) {
+            let negated = self.eat_keyword(Keyword::Not);
+            self.expect_keyword(Keyword::Null)?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(expr),
+                negated,
+            });
+        }
+
+        let negated = if self.at_keyword(Keyword::Not)
+            && matches!(
+                self.peek_at(1),
+                Some(t) if t.is_keyword(Keyword::In)
+                    || t.is_keyword(Keyword::Between)
+                    || t.is_keyword(Keyword::Like)
+            ) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+
+        if self.eat_keyword(Keyword::Between) {
+            let low = self.parse_additive_expr()?;
+            self.expect_keyword(Keyword::And)?;
+            let high = self.parse_additive_expr()?;
+            return Ok(Expr::Between {
+                expr: Box::new(expr),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.eat_keyword(Keyword::Like) {
+            let pattern = self.parse_additive_expr()?;
+            return Ok(Expr::Like {
+                expr: Box::new(expr),
+                pattern: Box::new(pattern),
+                negated,
+            });
+        }
+        if self.eat_keyword(Keyword::In) {
+            self.expect_token(&Token::LeftParen)?;
+            if self.at_keyword(Keyword::Select) || self.at_keyword(Keyword::With) {
+                let subquery = self.parse_query()?;
+                self.expect_token(&Token::RightParen)?;
+                return Ok(Expr::InSubquery {
+                    expr: Box::new(expr),
+                    subquery: Box::new(subquery),
+                    negated,
+                });
+            }
+            let mut list = vec![self.parse_expr()?];
+            while self.eat_token(&Token::Comma) {
+                list.push(self.parse_expr()?);
+            }
+            self.expect_token(&Token::RightParen)?;
+            return Ok(Expr::InList {
+                expr: Box::new(expr),
+                list,
+                negated,
+            });
+        }
+        if negated {
+            return Err(self.error("expected IN, BETWEEN, or LIKE after NOT"));
+        }
+
+        let op = match self.peek() {
+            Some(Token::Eq) => Some(BinaryOperator::Eq),
+            Some(Token::NotEq) => Some(BinaryOperator::NotEq),
+            Some(Token::Lt) => Some(BinaryOperator::Lt),
+            Some(Token::LtEq) => Some(BinaryOperator::LtEq),
+            Some(Token::Gt) => Some(BinaryOperator::Gt),
+            Some(Token::GtEq) => Some(BinaryOperator::GtEq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.parse_additive_expr()?;
+            return Ok(Expr::binary(expr, op, right));
+        }
+        Ok(expr)
+    }
+
+    fn parse_additive_expr(&mut self) -> SqlResult<Expr> {
+        let mut expr = self.parse_multiplicative_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinaryOperator::Plus,
+                Some(Token::Minus) => BinaryOperator::Minus,
+                Some(Token::Concat) => BinaryOperator::Concat,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.parse_multiplicative_expr()?;
+            expr = Expr::binary(expr, op, right);
+        }
+        Ok(expr)
+    }
+
+    fn parse_multiplicative_expr(&mut self) -> SqlResult<Expr> {
+        let mut expr = self.parse_unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinaryOperator::Multiply,
+                Some(Token::Slash) => BinaryOperator::Divide,
+                Some(Token::Percent) => BinaryOperator::Modulo,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.parse_unary_expr()?;
+            expr = Expr::binary(expr, op, right);
+        }
+        Ok(expr)
+    }
+
+    fn parse_unary_expr(&mut self) -> SqlResult<Expr> {
+        match self.peek() {
+            Some(Token::Minus) => {
+                self.pos += 1;
+                let inner = self.parse_unary_expr()?;
+                Ok(Expr::UnaryOp {
+                    op: UnaryOperator::Minus,
+                    expr: Box::new(inner),
+                })
+            }
+            Some(Token::Plus) => {
+                self.pos += 1;
+                let inner = self.parse_unary_expr()?;
+                Ok(Expr::UnaryOp {
+                    op: UnaryOperator::Plus,
+                    expr: Box::new(inner),
+                })
+            }
+            _ => self.parse_primary_expr(),
+        }
+    }
+
+    fn parse_primary_expr(&mut self) -> SqlResult<Expr> {
+        match self.peek().cloned() {
+            Some(Token::Number(n)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::Number(n)))
+            }
+            Some(Token::StringLiteral(s)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::String(s)))
+            }
+            Some(Token::Keyword(Keyword::Null)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::Null))
+            }
+            Some(Token::Keyword(Keyword::True)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::Boolean(true)))
+            }
+            Some(Token::Keyword(Keyword::False)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Literal::Boolean(false)))
+            }
+            Some(Token::Keyword(Keyword::Case)) => self.parse_case_expr(),
+            Some(Token::Keyword(Keyword::Cast)) => self.parse_cast_expr(),
+            Some(Token::Keyword(Keyword::Exists)) => {
+                self.pos += 1;
+                self.expect_token(&Token::LeftParen)?;
+                let subquery = self.parse_query()?;
+                self.expect_token(&Token::RightParen)?;
+                Ok(Expr::Exists {
+                    subquery: Box::new(subquery),
+                    negated: false,
+                })
+            }
+            Some(Token::Keyword(Keyword::Not))
+                if matches!(self.peek_at(1), Some(t) if t.is_keyword(Keyword::Exists)) =>
+            {
+                self.pos += 2;
+                self.expect_token(&Token::LeftParen)?;
+                let subquery = self.parse_query()?;
+                self.expect_token(&Token::RightParen)?;
+                Ok(Expr::Exists {
+                    subquery: Box::new(subquery),
+                    negated: true,
+                })
+            }
+            Some(Token::Keyword(kw)) if kw.is_aggregate() => {
+                // Aggregate keywords are parsed as function calls.
+                self.pos += 1;
+                self.parse_function_call(Ident::new(kw.as_str()))
+            }
+            Some(Token::LeftParen) => {
+                self.pos += 1;
+                if self.at_keyword(Keyword::Select) || self.at_keyword(Keyword::With) {
+                    let subquery = self.parse_query()?;
+                    self.expect_token(&Token::RightParen)?;
+                    Ok(Expr::Subquery(Box::new(subquery)))
+                } else {
+                    let inner = self.parse_expr()?;
+                    self.expect_token(&Token::RightParen)?;
+                    Ok(Expr::Nested(Box::new(inner)))
+                }
+            }
+            Some(Token::Star) => {
+                self.pos += 1;
+                Ok(Expr::Wildcard)
+            }
+            Some(Token::Identifier { .. }) | Some(Token::Keyword(_)) => {
+                let ident = self.parse_identifier()?;
+                // Function call?
+                if self.peek() == Some(&Token::LeftParen) {
+                    return self.parse_function_call(ident);
+                }
+                // Compound identifier?
+                if self.peek() == Some(&Token::Dot) {
+                    let mut parts = vec![ident];
+                    while self.eat_token(&Token::Dot) {
+                        if self.eat_token(&Token::Star) {
+                            // t.* inside expressions (e.g. COUNT(t.*)) — treat as wildcard.
+                            return Ok(Expr::Wildcard);
+                        }
+                        parts.push(self.parse_identifier()?);
+                    }
+                    return Ok(Expr::CompoundIdentifier(parts));
+                }
+                Ok(Expr::Identifier(ident))
+            }
+            Some(other) => Err(self.error(format!("unexpected token '{other}' in expression"))),
+            None => Err(self.error("unexpected end of input in expression")),
+        }
+    }
+
+    fn parse_function_call(&mut self, name: Ident) -> SqlResult<Expr> {
+        self.expect_token(&Token::LeftParen)?;
+        let mut distinct = false;
+        let mut args = Vec::new();
+        if !self.eat_token(&Token::RightParen) {
+            distinct = self.eat_keyword(Keyword::Distinct);
+            if self.eat_token(&Token::Star) {
+                args.push(Expr::Wildcard);
+            } else {
+                args.push(self.parse_expr()?);
+            }
+            while self.eat_token(&Token::Comma) {
+                args.push(self.parse_expr()?);
+            }
+            self.expect_token(&Token::RightParen)?;
+        }
+        Ok(Expr::Function {
+            name,
+            args,
+            distinct,
+        })
+    }
+
+    fn parse_case_expr(&mut self) -> SqlResult<Expr> {
+        self.expect_keyword(Keyword::Case)?;
+        let operand = if !self.at_keyword(Keyword::When) {
+            Some(Box::new(self.parse_expr()?))
+        } else {
+            None
+        };
+        let mut conditions = Vec::new();
+        while self.eat_keyword(Keyword::When) {
+            let cond = self.parse_expr()?;
+            self.expect_keyword(Keyword::Then)?;
+            let result = self.parse_expr()?;
+            conditions.push((cond, result));
+        }
+        if conditions.is_empty() {
+            return Err(self.error("CASE expression requires at least one WHEN clause"));
+        }
+        let else_result = if self.eat_keyword(Keyword::Else) {
+            Some(Box::new(self.parse_expr()?))
+        } else {
+            None
+        };
+        self.expect_keyword(Keyword::End)?;
+        Ok(Expr::Case {
+            operand,
+            conditions,
+            else_result,
+        })
+    }
+
+    fn parse_cast_expr(&mut self) -> SqlResult<Expr> {
+        self.expect_keyword(Keyword::Cast)?;
+        self.expect_token(&Token::LeftParen)?;
+        let expr = self.parse_expr()?;
+        self.expect_keyword(Keyword::As)?;
+        let data_type = self.parse_data_type()?;
+        self.expect_token(&Token::RightParen)?;
+        Ok(Expr::Cast {
+            expr: Box::new(expr),
+            data_type,
+        })
+    }
+}
+
+/// Parse a single statement from SQL text.
+pub fn parse_statement(sql: &str) -> SqlResult<Statement> {
+    Parser::parse_statement_text(sql)
+}
+
+/// Parse a single query (convenience wrapper that rejects non-queries).
+pub fn parse_query(sql: &str) -> SqlResult<Query> {
+    match Parser::parse_statement_text(sql)? {
+        Statement::Query(q) => Ok(q),
+        Statement::CreateTable(_) => Err(SqlError::unsupported(
+            "expected a query, found CREATE TABLE",
+        )),
+    }
+}
+
+/// Parse every statement in a multi-statement script.
+pub fn parse_statements(sql: &str) -> SqlResult<Vec<Statement>> {
+    Parser::parse_statements_text(sql)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_select() {
+        let q = parse_query("SELECT a, b FROM t WHERE a = 1").unwrap();
+        let select = q.top_select().unwrap();
+        assert_eq!(select.projection.len(), 2);
+        assert_eq!(select.from.len(), 1);
+        assert!(select.selection.is_some());
+    }
+
+    #[test]
+    fn parses_star_and_qualified_star() {
+        let q = parse_query("SELECT *, t.* FROM t").unwrap();
+        let select = q.top_select().unwrap();
+        assert!(matches!(select.projection[0], SelectItem::Wildcard));
+        assert!(matches!(
+            select.projection[1],
+            SelectItem::QualifiedWildcard(_)
+        ));
+    }
+
+    #[test]
+    fn parses_aliases() {
+        let q = parse_query("SELECT a AS x, b y FROM t AS u, v w").unwrap();
+        let select = q.top_select().unwrap();
+        match &select.projection[0] {
+            SelectItem::Expr { alias, .. } => assert_eq!(alias.as_ref().unwrap().value, "x"),
+            _ => panic!(),
+        }
+        match &select.projection[1] {
+            SelectItem::Expr { alias, .. } => assert_eq!(alias.as_ref().unwrap().value, "y"),
+            _ => panic!(),
+        }
+        assert_eq!(select.from.len(), 2);
+    }
+
+    #[test]
+    fn parses_joins() {
+        let q = parse_query(
+            "SELECT * FROM a JOIN b ON a.id = b.id LEFT OUTER JOIN c ON b.id = c.id CROSS JOIN d",
+        )
+        .unwrap();
+        let select = q.top_select().unwrap();
+        let joins = &select.from[0].joins;
+        assert_eq!(joins.len(), 3);
+        assert_eq!(joins[0].operator, JoinOperator::Inner);
+        assert_eq!(joins[1].operator, JoinOperator::LeftOuter);
+        assert_eq!(joins[2].operator, JoinOperator::Cross);
+        assert!(matches!(joins[2].constraint, JoinConstraint::None));
+    }
+
+    #[test]
+    fn parses_group_by_having_order_limit() {
+        let q = parse_query(
+            "SELECT dept, COUNT(*) FROM emp GROUP BY dept HAVING COUNT(*) > 5 ORDER BY 2 DESC LIMIT 10 OFFSET 5",
+        )
+        .unwrap();
+        let select = q.top_select().unwrap();
+        assert_eq!(select.group_by.len(), 1);
+        assert!(select.having.is_some());
+        assert_eq!(q.order_by.len(), 1);
+        assert!(!q.order_by[0].asc);
+        assert!(q.limit.is_some());
+        assert!(q.offset.is_some());
+    }
+
+    #[test]
+    fn parses_nested_subqueries() {
+        let q = parse_query(
+            "SELECT name FROM students WHERE id IN (SELECT student_id FROM enrollments WHERE term = 'J-term') AND gpa > (SELECT AVG(gpa) FROM students)",
+        )
+        .unwrap();
+        let select = q.top_select().unwrap();
+        let where_clause = select.selection.as_ref().unwrap();
+        // Top-level is AND of InSubquery and comparison-with-scalar-subquery.
+        match where_clause {
+            Expr::BinaryOp { op, left, right } => {
+                assert_eq!(*op, BinaryOperator::And);
+                assert!(matches!(**left, Expr::InSubquery { .. }));
+                assert!(matches!(
+                    **right,
+                    Expr::BinaryOp {
+                        op: BinaryOperator::Gt,
+                        ..
+                    }
+                ));
+            }
+            _ => panic!("expected AND"),
+        }
+    }
+
+    #[test]
+    fn parses_with_cte() {
+        let q = parse_query(
+            "WITH big AS (SELECT dept, COUNT(*) AS n FROM emp GROUP BY dept), top1 AS (SELECT * FROM big ORDER BY n DESC LIMIT 1) SELECT * FROM top1",
+        )
+        .unwrap();
+        let with = q.with.as_ref().unwrap();
+        assert_eq!(with.ctes.len(), 2);
+        assert_eq!(with.ctes[0].name.value, "big");
+        assert_eq!(with.ctes[1].name.value, "top1");
+    }
+
+    #[test]
+    fn parses_derived_table() {
+        let q = parse_query("SELECT x FROM (SELECT a AS x FROM t) AS d WHERE x > 0").unwrap();
+        let select = q.top_select().unwrap();
+        assert!(matches!(
+            select.from[0].relation,
+            TableFactor::Derived { .. }
+        ));
+    }
+
+    #[test]
+    fn parses_set_operations() {
+        let q = parse_query("SELECT a FROM t UNION ALL SELECT a FROM u EXCEPT SELECT a FROM v")
+            .unwrap();
+        match q.body {
+            SetExpr::SetOperation { op, .. } => assert_eq!(op, SetOperator::Except),
+            _ => panic!("expected set operation"),
+        }
+    }
+
+    #[test]
+    fn parses_case_and_cast() {
+        let q = parse_query(
+            "SELECT CASE WHEN grade >= 90 THEN 'A' WHEN grade >= 80 THEN 'B' ELSE 'C' END, CAST(score AS INTEGER) FROM results",
+        )
+        .unwrap();
+        let select = q.top_select().unwrap();
+        assert_eq!(select.projection.len(), 2);
+    }
+
+    #[test]
+    fn parses_between_like_isnull_inlist() {
+        let q = parse_query(
+            "SELECT * FROM t WHERE a BETWEEN 1 AND 10 AND b NOT LIKE 'x%' AND c IS NOT NULL AND d IN (1, 2, 3) AND e NOT IN (4)",
+        )
+        .unwrap();
+        assert!(q.top_select().unwrap().selection.is_some());
+    }
+
+    #[test]
+    fn parses_exists_and_not_exists() {
+        let q = parse_query(
+            "SELECT * FROM a WHERE EXISTS (SELECT 1 FROM b) AND NOT EXISTS (SELECT 1 FROM c)",
+        )
+        .unwrap();
+        assert!(q.top_select().unwrap().selection.is_some());
+    }
+
+    #[test]
+    fn parses_count_distinct() {
+        let q = parse_query("SELECT COUNT(DISTINCT moira_list_name) FROM moira_list").unwrap();
+        let select = q.top_select().unwrap();
+        match &select.projection[0] {
+            SelectItem::Expr {
+                expr: Expr::Function { distinct, args, .. },
+                ..
+            } => {
+                assert!(*distinct);
+                assert_eq!(args.len(), 1);
+            }
+            _ => panic!("expected function"),
+        }
+    }
+
+    #[test]
+    fn parses_create_table() {
+        let stmt = parse_statement(
+            "CREATE TABLE MOIRA_LIST (MOIRA_LIST_KEY NUMBER PRIMARY KEY, MOIRA_LIST_NAME VARCHAR2(255) NOT NULL, IS_ACTIVE BOOLEAN, CREATED_ON DATE, PRIMARY KEY (MOIRA_LIST_KEY))",
+        )
+        .unwrap();
+        match stmt {
+            Statement::CreateTable(ct) => {
+                assert_eq!(ct.name.base().value, "MOIRA_LIST");
+                assert_eq!(ct.columns.len(), 4);
+                assert!(ct.columns[0].primary_key);
+                assert_eq!(ct.columns[1].data_type, DataType::Text);
+                assert!(!ct.columns[1].nullable);
+                assert_eq!(ct.columns[3].data_type, DataType::Date);
+            }
+            _ => panic!("expected CREATE TABLE"),
+        }
+    }
+
+    #[test]
+    fn parses_create_table_with_references() {
+        let stmt = parse_statement(
+            "CREATE TABLE enrollments (id INT PRIMARY KEY, student_id INT REFERENCES students(id))",
+        )
+        .unwrap();
+        match stmt {
+            Statement::CreateTable(ct) => {
+                let fk = ct.columns[1].references.as_ref().unwrap();
+                assert_eq!(fk.0.base().value, "students");
+                assert_eq!(fk.1.value, "id");
+            }
+            _ => panic!("expected CREATE TABLE"),
+        }
+    }
+
+    #[test]
+    fn parses_multi_statement_script() {
+        let stmts = parse_statements(
+            "CREATE TABLE t (a INT); SELECT a FROM t; SELECT COUNT(*) FROM t;",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 3);
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse_query("SELECT a FROM t WHERE").is_err());
+        assert!(parse_query("SELECT a FROM t extra garbage here now").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_case() {
+        assert!(parse_query("SELECT CASE END FROM t").is_err());
+    }
+
+    #[test]
+    fn operator_precedence_and_over_or() {
+        let q = parse_query("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3").unwrap();
+        match q.top_select().unwrap().selection.as_ref().unwrap() {
+            Expr::BinaryOp { op, .. } => assert_eq!(*op, BinaryOperator::Or),
+            _ => panic!("expected OR at top"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let q = parse_query("SELECT 1 + 2 * 3").unwrap();
+        match &q.top_select().unwrap().projection[0] {
+            SelectItem::Expr {
+                expr: Expr::BinaryOp { op, .. },
+                ..
+            } => assert_eq!(*op, BinaryOperator::Plus),
+            _ => panic!("expected plus at top"),
+        }
+    }
+
+    #[test]
+    fn parses_scalar_subquery_in_projection() {
+        let q = parse_query(
+            "SELECT COUNT(DISTINCT dl.name), (SELECT name FROM lists ORDER BY n DESC LIMIT 1) FROM dl",
+        )
+        .unwrap();
+        let select = q.top_select().unwrap();
+        assert!(matches!(
+            select.projection[1],
+            SelectItem::Expr {
+                expr: Expr::Subquery(_),
+                ..
+            }
+        ));
+    }
+}

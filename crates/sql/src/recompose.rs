@@ -1,0 +1,193 @@
+//! Recomposition of per-unit natural language descriptions (paper step 5.5).
+//!
+//! After a nested query has been decomposed into CTE units and each unit has
+//! been annotated, BenchPress merges the sub-descriptions back into a single
+//! coherent explanation of the original query. This module implements that
+//! deterministic merge.
+
+use crate::decompose::{Decomposition, UnitRole};
+use serde::{Deserialize, Serialize};
+
+/// A natural language description of one annotation unit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UnitDescription {
+    /// Unit name (CTE name or `"FINAL"`).
+    pub unit_name: String,
+    /// The natural language description produced for the unit.
+    pub description: String,
+}
+
+impl UnitDescription {
+    /// Convenience constructor.
+    pub fn new(unit_name: impl Into<String>, description: impl Into<String>) -> Self {
+        UnitDescription {
+            unit_name: unit_name.into(),
+            description: description.into(),
+        }
+    }
+}
+
+/// Errors produced during recomposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecomposeError {
+    /// A unit in the decomposition has no matching description.
+    MissingDescription(String),
+    /// The description list names a unit that is not in the decomposition.
+    UnknownUnit(String),
+}
+
+impl std::fmt::Display for RecomposeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecomposeError::MissingDescription(u) => {
+                write!(f, "no description provided for unit '{u}'")
+            }
+            RecomposeError::UnknownUnit(u) => {
+                write!(f, "description references unknown unit '{u}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecomposeError {}
+
+fn humanize_step(description: &str) -> String {
+    let trimmed = description.trim().trim_end_matches('.');
+    if trimmed.is_empty() {
+        return String::new();
+    }
+    let mut chars = trimmed.chars();
+    match chars.next() {
+        Some(first) => first.to_lowercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+/// Merge per-unit descriptions into a single explanation of the whole query.
+///
+/// The merged text walks the CTE steps in order ("First, ...", "Then, ...")
+/// and closes with the final query's description ("Finally, ..."), naming
+/// each intermediate result so the final sentence can refer back to them.
+/// For a single-unit (non-decomposed) query the final description is returned
+/// unchanged.
+pub fn recompose(
+    decomposition: &Decomposition,
+    descriptions: &[UnitDescription],
+) -> Result<String, RecomposeError> {
+    // Validate that every provided description maps to a unit.
+    for d in descriptions {
+        if !decomposition.units.iter().any(|u| u.name == d.unit_name) {
+            return Err(RecomposeError::UnknownUnit(d.unit_name.clone()));
+        }
+    }
+    let lookup = |name: &str| -> Result<&str, RecomposeError> {
+        descriptions
+            .iter()
+            .find(|d| d.unit_name == name)
+            .map(|d| d.description.as_str())
+            .ok_or_else(|| RecomposeError::MissingDescription(name.to_string()))
+    };
+
+    let cte_units: Vec<_> = decomposition
+        .units
+        .iter()
+        .filter(|u| u.role == UnitRole::Cte)
+        .collect();
+    let final_unit = decomposition.final_unit();
+    let final_description = lookup(&final_unit.name)?;
+
+    if cte_units.is_empty() {
+        return Ok(final_description.trim().to_string());
+    }
+
+    let mut sentences = Vec::with_capacity(cte_units.len() + 1);
+    for (index, unit) in cte_units.iter().enumerate() {
+        let description = lookup(&unit.name)?;
+        let opener = if index == 0 { "First" } else { "Then" };
+        sentences.push(format!(
+            "{opener}, {} (call this result {}).",
+            humanize_step(description),
+            unit.name
+        ));
+    }
+    sentences.push(format!("Finally, {}.", humanize_step(final_description)));
+    Ok(sentences.join(" "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::decompose;
+    use crate::parser::parse_query;
+
+    fn decomp(sql: &str) -> Decomposition {
+        decompose(&parse_query(sql).unwrap())
+    }
+
+    #[test]
+    fn single_unit_passthrough() {
+        let d = decomp("SELECT a FROM t");
+        let out = recompose(
+            &d,
+            &[UnitDescription::new("FINAL", "List every value of a in t.")],
+        )
+        .unwrap();
+        assert_eq!(out, "List every value of a in t.");
+    }
+
+    #[test]
+    fn merges_cte_steps_in_order() {
+        let d = decomp(
+            "WITH DistinctLists AS (SELECT list, COUNT(DISTINCT member) AS n FROM moira GROUP BY list), Top AS (SELECT * FROM DistinctLists ORDER BY n DESC LIMIT 1) SELECT * FROM Top",
+        );
+        let out = recompose(
+            &d,
+            &[
+                UnitDescription::new(
+                    "DistinctLists",
+                    "For each Moira list, compute the number of distinct members.",
+                ),
+                UnitDescription::new("Top", "Keep only the list with the most members."),
+                UnitDescription::new("FINAL", "Report that list."),
+            ],
+        )
+        .unwrap();
+        assert!(out.starts_with("First, for each Moira list"));
+        assert!(out.contains("(call this result DistinctLists)."));
+        assert!(out.contains("Then, keep only the list"));
+        assert!(out.ends_with("Finally, report that list."));
+        // Order: DistinctLists sentence before Top sentence before Finally.
+        let i1 = out.find("DistinctLists").unwrap();
+        let i2 = out.find("Then,").unwrap();
+        let i3 = out.find("Finally,").unwrap();
+        assert!(i1 < i2 && i2 < i3);
+    }
+
+    #[test]
+    fn missing_description_is_error() {
+        let d = decomp("SELECT x FROM (SELECT a AS x FROM t) AS d");
+        let err = recompose(&d, &[UnitDescription::new("FINAL", "whatever")]).unwrap_err();
+        assert!(matches!(err, RecomposeError::MissingDescription(_)));
+    }
+
+    #[test]
+    fn unknown_unit_is_error() {
+        let d = decomp("SELECT a FROM t");
+        let err = recompose(
+            &d,
+            &[
+                UnitDescription::new("FINAL", "ok"),
+                UnitDescription::new("NOPE", "extra"),
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, RecomposeError::UnknownUnit(n) if n == "NOPE"));
+    }
+
+    #[test]
+    fn humanize_lowercases_and_strips_period() {
+        assert_eq!(humanize_step("Count the rows."), "count the rows");
+        assert_eq!(humanize_step("  X  "), "x");
+        assert_eq!(humanize_step(""), "");
+    }
+}

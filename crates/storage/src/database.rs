@@ -1,0 +1,200 @@
+//! A database: a catalog plus the tables' row data, with a convenience
+//! execution API.
+
+use std::collections::BTreeMap;
+
+use crate::error::{StorageError, StorageResult};
+use crate::exec::Executor;
+use crate::result::QueryResult;
+use crate::schema::{Catalog, TableSchema};
+use crate::table::{Row, Table};
+use serde::{Deserialize, Serialize};
+
+/// An in-memory database instance.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Database {
+    /// Human-readable database name (e.g. the benchmark or project name).
+    pub name: String,
+    catalog: Catalog,
+    tables: BTreeMap<String, Table>,
+}
+
+impl Database {
+    /// Create an empty database.
+    pub fn new(name: impl Into<String>) -> Self {
+        Database {
+            name: name.into(),
+            catalog: Catalog::new(),
+            tables: BTreeMap::new(),
+        }
+    }
+
+    /// Borrow the schema catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Create a table from a schema.
+    pub fn create_table(&mut self, schema: TableSchema) -> StorageResult<()> {
+        let key = schema.normalized_name();
+        self.catalog.add_table(schema.clone())?;
+        self.tables.insert(key, Table::new(schema));
+        Ok(())
+    }
+
+    /// Ingest `CREATE TABLE` DDL text, creating empty tables.
+    pub fn ingest_ddl(&mut self, ddl: &str) -> StorageResult<usize> {
+        let statements = bp_sql::parse_statements(ddl)?;
+        let mut added = 0;
+        for stmt in statements {
+            if let bp_sql::Statement::CreateTable(ct) = stmt {
+                self.create_table(TableSchema::from(&ct))?;
+                added += 1;
+            }
+        }
+        Ok(added)
+    }
+
+    /// Number of tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Look up a table by case-insensitive name.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(&name.to_ascii_uppercase())
+    }
+
+    /// Mutable table lookup.
+    pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
+        self.tables.get_mut(&name.to_ascii_uppercase())
+    }
+
+    /// Iterate over all tables in name order.
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.tables.values()
+    }
+
+    /// Insert rows into a table.
+    pub fn insert_into<I: IntoIterator<Item = Row>>(
+        &mut self,
+        table: &str,
+        rows: I,
+    ) -> StorageResult<usize> {
+        let table = self
+            .tables
+            .get_mut(&table.to_ascii_uppercase())
+            .ok_or_else(|| StorageError::UnknownTable(table.to_string()))?;
+        table.insert_all(rows)
+    }
+
+    /// Total number of rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(|t| t.row_count()).sum()
+    }
+
+    /// Execute a parsed query against this database.
+    pub fn execute(&self, query: &bp_sql::Query) -> StorageResult<QueryResult> {
+        Executor::new(self).execute(query)
+    }
+
+    /// Execute SQL text against this database.
+    pub fn execute_sql(&self, sql: &str) -> StorageResult<QueryResult> {
+        Executor::new(self).execute_sql(sql)
+    }
+
+    /// The full schema as a DDL script (one `CREATE TABLE` per line), the
+    /// format BenchPress shows to the LLM as schema context.
+    pub fn schema_ddl(&self) -> String {
+        self.catalog
+            .tables()
+            .map(|t| format!("{};", t.to_create_table_sql()))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::value::Value;
+    use bp_sql::DataType;
+
+    fn sample_db() -> Database {
+        let mut db = Database::new("campus");
+        db.create_table(TableSchema::new(
+            "students",
+            vec![
+                Column::new("id", DataType::Integer).primary_key(),
+                Column::new("name", DataType::Text),
+                Column::new("gpa", DataType::Float),
+                Column::new("dept", DataType::Text),
+            ],
+        ))
+        .unwrap();
+        db.insert_into(
+            "students",
+            vec![
+                vec![1.into(), "alice".into(), 3.9.into(), "EECS".into()],
+                vec![2.into(), "bob".into(), 3.1.into(), "EECS".into()],
+                vec![3.into(), "carol".into(), 3.7.into(), "MATH".into()],
+                vec![4.into(), "dave".into(), Value::Null, "MATH".into()],
+            ],
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn create_and_insert() {
+        let db = sample_db();
+        assert_eq!(db.table_count(), 1);
+        assert_eq!(db.total_rows(), 4);
+        assert_eq!(db.table("STUDENTS").unwrap().row_count(), 4);
+    }
+
+    #[test]
+    fn insert_into_unknown_table_fails() {
+        let mut db = sample_db();
+        assert!(matches!(
+            db.insert_into("missing", vec![vec![]]),
+            Err(StorageError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn execute_sql_end_to_end() {
+        let db = sample_db();
+        let result = db
+            .execute_sql("SELECT name FROM students WHERE gpa > 3.5 ORDER BY name")
+            .unwrap();
+        assert_eq!(result.columns, vec!["name"]);
+        assert_eq!(
+            result.rows,
+            vec![
+                vec![Value::Text("alice".into())],
+                vec![Value::Text("carol".into())]
+            ]
+        );
+        assert!(result.ordered);
+    }
+
+    #[test]
+    fn schema_ddl_round_trips() {
+        let db = sample_db();
+        let ddl = db.schema_ddl();
+        let mut db2 = Database::new("copy");
+        assert_eq!(db2.ingest_ddl(&ddl).unwrap(), 1);
+        assert!(db2.table("students").is_some());
+    }
+
+    #[test]
+    fn ingest_ddl_creates_empty_tables() {
+        let mut db = Database::new("x");
+        db.ingest_ddl("CREATE TABLE a (id INT); CREATE TABLE b (id INT);")
+            .unwrap();
+        assert_eq!(db.table_count(), 2);
+        assert!(db.table("a").unwrap().is_empty());
+    }
+}

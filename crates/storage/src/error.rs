@@ -1,0 +1,77 @@
+//! Error types for the in-memory relational engine.
+
+use std::fmt;
+
+/// Errors raised by catalog operations and query execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StorageError {
+    /// The referenced table does not exist in the database.
+    UnknownTable(String),
+    /// The referenced column could not be resolved in the current scope.
+    UnknownColumn(String),
+    /// A column reference matched more than one visible column.
+    AmbiguousColumn(String),
+    /// A table with the same name already exists.
+    DuplicateTable(String),
+    /// A row's arity or value types do not match the table schema.
+    SchemaMismatch(String),
+    /// A type error occurred while evaluating an expression.
+    TypeError(String),
+    /// The query uses a construct the executor does not support.
+    Unsupported(String),
+    /// Division by zero or a similar arithmetic failure.
+    Arithmetic(String),
+    /// A scalar subquery returned more than one row/column.
+    CardinalityViolation(String),
+    /// Underlying SQL parsing failed (when executing from text).
+    Parse(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::UnknownTable(t) => write!(f, "unknown table '{t}'"),
+            StorageError::UnknownColumn(c) => write!(f, "unknown column '{c}'"),
+            StorageError::AmbiguousColumn(c) => write!(f, "ambiguous column reference '{c}'"),
+            StorageError::DuplicateTable(t) => write!(f, "table '{t}' already exists"),
+            StorageError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
+            StorageError::TypeError(m) => write!(f, "type error: {m}"),
+            StorageError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            StorageError::Arithmetic(m) => write!(f, "arithmetic error: {m}"),
+            StorageError::CardinalityViolation(m) => write!(f, "cardinality violation: {m}"),
+            StorageError::Parse(m) => write!(f, "parse error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<bp_sql::SqlError> for StorageError {
+    fn from(e: bp_sql::SqlError) -> Self {
+        StorageError::Parse(e.to_string())
+    }
+}
+
+/// Result alias for storage operations.
+pub type StorageResult<T> = Result<T, StorageError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            StorageError::UnknownTable("T".into()).to_string(),
+            "unknown table 'T'"
+        );
+        assert!(StorageError::TypeError("x".into()).to_string().contains("type error"));
+    }
+
+    #[test]
+    fn converts_sql_error() {
+        let e = bp_sql::SqlError::unsupported("x");
+        let s: StorageError = e.into();
+        assert!(matches!(s, StorageError::Parse(_)));
+    }
+}

@@ -1,0 +1,405 @@
+//! # bp-storage — in-memory relational engine for BenchPress
+//!
+//! This crate provides the data substrate of the reproduction: a schema
+//! catalog, typed in-memory tables, a SQL executor for the `bp-sql` AST,
+//! result comparison for execution accuracy (Figure 1 of the paper), and a
+//! data profiler computing the Table 2 statistics (columns/rows per table,
+//! uniqueness, sparsity, data-type diversity).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use bp_storage::{Database, TableSchema, Column, Value};
+//! use bp_sql::DataType;
+//!
+//! let mut db = Database::new("demo");
+//! db.create_table(TableSchema::new(
+//!     "students",
+//!     vec![
+//!         Column::new("id", DataType::Integer).primary_key(),
+//!         Column::new("name", DataType::Text),
+//!     ],
+//! )).unwrap();
+//! db.insert_into("students", vec![vec![1.into(), "alice".into()]]).unwrap();
+//!
+//! let result = db.execute_sql("SELECT COUNT(*) FROM students").unwrap();
+//! assert_eq!(result.scalar(), Some(&Value::Int(1)));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod database;
+pub mod error;
+pub mod exec;
+pub mod profiler;
+pub mod result;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use database::Database;
+pub use error::{StorageError, StorageResult};
+pub use exec::Executor;
+pub use profiler::{profile_database, profile_table, DatabaseProfile, TableProfile};
+pub use result::{results_match, QueryResult};
+pub use schema::{Catalog, Column, TableSchema};
+pub use table::{Row, Table};
+pub use value::{like_match, Value};
+
+#[cfg(test)]
+mod executor_tests {
+    use super::*;
+
+    /// A small campus database exercising joins, grouping, subqueries and
+    /// enterprise-style naming (Moira lists from the paper's running example).
+    fn campus_db() -> Database {
+        let mut db = Database::new("campus");
+        db.ingest_ddl(
+            "CREATE TABLE students (id INT PRIMARY KEY, name VARCHAR(50), gpa NUMBER, dept VARCHAR(20));
+             CREATE TABLE enrollments (student_id INT, course VARCHAR(20), term VARCHAR(20), grade NUMBER);
+             CREATE TABLE MOIRA_LIST (MOIRA_LIST_KEY INT PRIMARY KEY, MOIRA_LIST_NAME VARCHAR(50), DEPT VARCHAR(20));
+             CREATE TABLE MOIRA_MEMBER (MOIRA_LIST_KEY INT, MIT_ID INT);",
+        )
+        .unwrap();
+        db.insert_into(
+            "students",
+            vec![
+                vec![1.into(), "alice".into(), 3.9.into(), "EECS".into()],
+                vec![2.into(), "bob".into(), 3.1.into(), "EECS".into()],
+                vec![3.into(), "carol".into(), 3.7.into(), "MATH".into()],
+                vec![4.into(), "dave".into(), 2.8.into(), "MATH".into()],
+            ],
+        )
+        .unwrap();
+        db.insert_into(
+            "enrollments",
+            vec![
+                vec![1.into(), "6.033".into(), "J-term".into(), 95.into()],
+                vec![1.into(), "6.172".into(), "Fall".into(), 88.into()],
+                vec![2.into(), "6.033".into(), "Fall".into(), 71.into()],
+                vec![3.into(), "18.06".into(), "J-term".into(), 90.into()],
+            ],
+        )
+        .unwrap();
+        db.insert_into(
+            "MOIRA_LIST",
+            vec![
+                vec![10.into(), "BIO-GRADS".into(), "BIO".into()],
+                vec![11.into(), "BITS".into(), "EECS".into()],
+                vec![12.into(), "BUILDERS".into(), "EECS".into()],
+                vec![13.into(), "CHESS".into(), "EECS".into()],
+            ],
+        )
+        .unwrap();
+        db.insert_into(
+            "MOIRA_MEMBER",
+            vec![
+                vec![11.into(), 100.into()],
+                vec![11.into(), 101.into()],
+                vec![11.into(), 102.into()],
+                vec![12.into(), 100.into()],
+                vec![12.into(), 103.into()],
+                vec![13.into(), 104.into()],
+            ],
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn projection_and_filter() {
+        let db = campus_db();
+        let r = db
+            .execute_sql("SELECT name, gpa FROM students WHERE dept = 'EECS' AND gpa >= 3.5")
+            .unwrap();
+        assert_eq!(r.row_count(), 1);
+        assert_eq!(r.rows[0][0], Value::Text("alice".into()));
+    }
+
+    #[test]
+    fn select_star_and_qualified_star() {
+        let db = campus_db();
+        let r = db.execute_sql("SELECT * FROM students").unwrap();
+        assert_eq!(r.column_count(), 4);
+        assert_eq!(r.row_count(), 4);
+        let r2 = db
+            .execute_sql("SELECT s.* FROM students AS s WHERE s.id = 1")
+            .unwrap();
+        assert_eq!(r2.column_count(), 4);
+        assert_eq!(r2.row_count(), 1);
+    }
+
+    #[test]
+    fn inner_join() {
+        let db = campus_db();
+        let r = db
+            .execute_sql(
+                "SELECT s.name, e.course FROM students s JOIN enrollments e ON s.id = e.student_id ORDER BY s.name, e.course",
+            )
+            .unwrap();
+        assert_eq!(r.row_count(), 4);
+        assert_eq!(r.rows[0][0], Value::Text("alice".into()));
+    }
+
+    #[test]
+    fn left_join_pads_nulls() {
+        let db = campus_db();
+        let r = db
+            .execute_sql(
+                "SELECT s.name, e.course FROM students s LEFT JOIN enrollments e ON s.id = e.student_id WHERE e.course IS NULL",
+            )
+            .unwrap();
+        assert_eq!(r.row_count(), 1);
+        assert_eq!(r.rows[0][0], Value::Text("dave".into()));
+    }
+
+    #[test]
+    fn group_by_with_aggregates_and_having() {
+        let db = campus_db();
+        let r = db
+            .execute_sql(
+                "SELECT dept, COUNT(*) AS n, AVG(gpa) AS avg_gpa FROM students GROUP BY dept HAVING COUNT(*) >= 2 ORDER BY dept",
+            )
+            .unwrap();
+        assert_eq!(r.row_count(), 2);
+        assert_eq!(r.columns, vec!["dept", "n", "avg_gpa"]);
+        assert_eq!(r.rows[0][1], Value::Int(2));
+        assert!((r.rows[0][2].as_f64().unwrap() - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn count_distinct() {
+        let db = campus_db();
+        let r = db
+            .execute_sql("SELECT COUNT(DISTINCT dept) FROM students")
+            .unwrap();
+        assert_eq!(r.scalar(), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn aggregate_over_empty_input() {
+        let db = campus_db();
+        let r = db
+            .execute_sql("SELECT COUNT(*), MAX(gpa) FROM students WHERE dept = 'PHYSICS'")
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(0));
+        assert_eq!(r.rows[0][1], Value::Null);
+    }
+
+    #[test]
+    fn order_by_ordinal_alias_and_expression() {
+        let db = campus_db();
+        let by_ordinal = db
+            .execute_sql("SELECT name, gpa FROM students ORDER BY 2 DESC LIMIT 1")
+            .unwrap();
+        assert_eq!(by_ordinal.rows[0][0], Value::Text("alice".into()));
+        let by_alias = db
+            .execute_sql("SELECT name, gpa AS grade_point FROM students ORDER BY grade_point LIMIT 1")
+            .unwrap();
+        assert_eq!(by_alias.rows[0][0], Value::Text("dave".into()));
+        let by_expr = db
+            .execute_sql("SELECT name FROM students ORDER BY gpa * -1 LIMIT 1")
+            .unwrap();
+        assert_eq!(by_expr.rows[0][0], Value::Text("alice".into()));
+    }
+
+    #[test]
+    fn limit_and_offset() {
+        let db = campus_db();
+        let r = db
+            .execute_sql("SELECT name FROM students ORDER BY name LIMIT 2 OFFSET 1")
+            .unwrap();
+        assert_eq!(
+            r.rows,
+            vec![
+                vec![Value::Text("bob".into())],
+                vec![Value::Text("carol".into())]
+            ]
+        );
+    }
+
+    #[test]
+    fn distinct_rows() {
+        let db = campus_db();
+        let r = db.execute_sql("SELECT DISTINCT dept FROM students").unwrap();
+        assert_eq!(r.row_count(), 2);
+    }
+
+    #[test]
+    fn uncorrelated_scalar_and_in_subqueries() {
+        let db = campus_db();
+        let r = db
+            .execute_sql(
+                "SELECT name FROM students WHERE gpa > (SELECT AVG(gpa) FROM students) ORDER BY name",
+            )
+            .unwrap();
+        assert_eq!(r.row_count(), 2);
+        let r2 = db
+            .execute_sql(
+                "SELECT name FROM students WHERE id IN (SELECT student_id FROM enrollments WHERE term = 'J-term') ORDER BY name",
+            )
+            .unwrap();
+        assert_eq!(
+            r2.rows,
+            vec![
+                vec![Value::Text("alice".into())],
+                vec![Value::Text("carol".into())]
+            ]
+        );
+    }
+
+    #[test]
+    fn correlated_subquery() {
+        let db = campus_db();
+        // Students with the best gpa within their department.
+        let r = db
+            .execute_sql(
+                "SELECT name FROM students s WHERE gpa = (SELECT MAX(gpa) FROM students x WHERE x.dept = s.dept) ORDER BY name",
+            )
+            .unwrap();
+        assert_eq!(
+            r.rows,
+            vec![
+                vec![Value::Text("alice".into())],
+                vec![Value::Text("carol".into())]
+            ]
+        );
+    }
+
+    #[test]
+    fn exists_and_not_exists() {
+        let db = campus_db();
+        let r = db
+            .execute_sql(
+                "SELECT name FROM students s WHERE NOT EXISTS (SELECT 1 FROM enrollments e WHERE e.student_id = s.id)",
+            )
+            .unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Text("dave".into())]]);
+    }
+
+    #[test]
+    fn cte_pipeline_matches_paper_example_shape() {
+        let db = campus_db();
+        // The paper's Figure 3 query shape: per-list distinct member counts,
+        // then the list with the most members.
+        let r = db
+            .execute_sql(
+                "WITH DistinctLists AS (
+                     SELECT l.MOIRA_LIST_NAME AS name, COUNT(DISTINCT m.MIT_ID) AS member_count
+                     FROM MOIRA_LIST l JOIN MOIRA_MEMBER m ON l.MOIRA_LIST_KEY = m.MOIRA_LIST_KEY
+                     WHERE l.MOIRA_LIST_NAME LIKE 'B%' AND l.DEPT = 'EECS'
+                     GROUP BY l.MOIRA_LIST_NAME
+                 ),
+                 Top AS (SELECT * FROM DistinctLists ORDER BY member_count DESC LIMIT 1)
+                 SELECT COUNT(DISTINCT dl.name), (SELECT name FROM Top), (SELECT member_count FROM Top)
+                 FROM DistinctLists dl",
+            )
+            .unwrap();
+        assert_eq!(r.row_count(), 1);
+        assert_eq!(r.rows[0][0], Value::Int(2)); // BITS and BUILDERS
+        assert_eq!(r.rows[0][1], Value::Text("BITS".into()));
+        assert_eq!(r.rows[0][2], Value::Int(3));
+    }
+
+    #[test]
+    fn derived_table() {
+        let db = campus_db();
+        let r = db
+            .execute_sql(
+                "SELECT dept, n FROM (SELECT dept, COUNT(*) AS n FROM students GROUP BY dept) AS d WHERE n > 1 ORDER BY dept",
+            )
+            .unwrap();
+        assert_eq!(r.row_count(), 2);
+    }
+
+    #[test]
+    fn set_operations() {
+        let db = campus_db();
+        let union = db
+            .execute_sql("SELECT dept FROM students UNION SELECT DEPT FROM MOIRA_LIST")
+            .unwrap();
+        assert_eq!(union.row_count(), 3); // EECS, MATH, BIO
+        let union_all = db
+            .execute_sql("SELECT dept FROM students UNION ALL SELECT DEPT FROM MOIRA_LIST")
+            .unwrap();
+        assert_eq!(union_all.row_count(), 8);
+        let intersect = db
+            .execute_sql("SELECT dept FROM students INTERSECT SELECT DEPT FROM MOIRA_LIST")
+            .unwrap();
+        assert_eq!(intersect.row_count(), 1);
+        let except = db
+            .execute_sql("SELECT DEPT FROM MOIRA_LIST EXCEPT SELECT dept FROM students")
+            .unwrap();
+        assert_eq!(except.rows, vec![vec![Value::Text("BIO".into())]]);
+    }
+
+    #[test]
+    fn case_expression_and_functions() {
+        let db = campus_db();
+        let r = db
+            .execute_sql(
+                "SELECT name, CASE WHEN gpa >= 3.5 THEN 'high' ELSE 'normal' END AS band, UPPER(dept), LENGTH(name) FROM students WHERE id = 1",
+            )
+            .unwrap();
+        assert_eq!(r.rows[0][1], Value::Text("high".into()));
+        assert_eq!(r.rows[0][2], Value::Text("EECS".into()));
+        assert_eq!(r.rows[0][3], Value::Int(5));
+    }
+
+    #[test]
+    fn between_like_in_list() {
+        let db = campus_db();
+        let r = db
+            .execute_sql(
+                "SELECT name FROM students WHERE gpa BETWEEN 3.0 AND 3.8 AND name LIKE '%o%' AND dept IN ('EECS', 'MATH') ORDER BY name",
+            )
+            .unwrap();
+        assert_eq!(
+            r.rows,
+            vec![
+                vec![Value::Text("bob".into())],
+                vec![Value::Text("carol".into())]
+            ]
+        );
+    }
+
+    #[test]
+    fn arithmetic_and_division_by_zero() {
+        let db = campus_db();
+        let r = db.execute_sql("SELECT 3 + 4 * 2, 10 / 4").unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(11));
+        assert_eq!(r.rows[0][1], Value::Float(2.5));
+        assert!(db.execute_sql("SELECT 1 / 0").is_err());
+    }
+
+    #[test]
+    fn error_on_unknown_table_and_column() {
+        let db = campus_db();
+        assert!(matches!(
+            db.execute_sql("SELECT * FROM missing"),
+            Err(StorageError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            db.execute_sql("SELECT nonexistent FROM students"),
+            Err(StorageError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn execution_accuracy_comparison_between_semantically_equal_queries() {
+        let db = campus_db();
+        let gold = db
+            .execute_sql("SELECT dept, COUNT(*) FROM students GROUP BY dept")
+            .unwrap();
+        let predicted = db
+            .execute_sql(
+                "SELECT dept, COUNT(id) AS how_many FROM students GROUP BY dept ORDER BY dept",
+            )
+            .unwrap();
+        assert!(results_match(&gold, &predicted));
+        let wrong = db
+            .execute_sql("SELECT dept, COUNT(*) FROM students WHERE gpa > 3.0 GROUP BY dept")
+            .unwrap();
+        assert!(!results_match(&gold, &wrong));
+    }
+}

@@ -1,0 +1,210 @@
+//! Query results and execution-accuracy comparison.
+//!
+//! Execution accuracy — the metric behind Figure 1 of the paper — checks
+//! whether executing a predicted SQL query yields the same result set as the
+//! gold query. [`results_match`] implements the usual convention: results are
+//! compared as bags of rows, order-sensitively only when the gold query
+//! specifies an ordering.
+
+use crate::table::Row;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The result of executing a query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct QueryResult {
+    /// Output column names (aliases where given, expression text otherwise).
+    pub columns: Vec<String>,
+    /// Output rows.
+    pub rows: Vec<Row>,
+    /// Whether the outermost query applied an ORDER BY.
+    pub ordered: bool,
+}
+
+impl QueryResult {
+    /// An empty result with the given columns.
+    pub fn empty(columns: Vec<String>) -> Self {
+        QueryResult {
+            columns,
+            rows: Vec::new(),
+            ordered: false,
+        }
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns.
+    pub fn column_count(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The single scalar value of a 1x1 result, if that is what this is.
+    pub fn scalar(&self) -> Option<&Value> {
+        if self.rows.len() == 1 && self.rows[0].len() == 1 {
+            Some(&self.rows[0][0])
+        } else {
+            None
+        }
+    }
+
+    /// Canonical string key of one row (used for bag comparison).
+    fn row_key(row: &Row) -> String {
+        row.iter()
+            .map(|v| v.group_key())
+            .collect::<Vec<_>>()
+            .join("\u{1}")
+    }
+
+    /// Multiset of row keys.
+    fn bag(&self) -> HashMap<String, usize> {
+        let mut bag = HashMap::with_capacity(self.rows.len());
+        for row in &self.rows {
+            *bag.entry(Self::row_key(row)).or_insert(0) += 1;
+        }
+        bag
+    }
+
+    /// Render as an ASCII table (used by examples and the harness binaries).
+    pub fn to_ascii_table(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|row| row.iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+            .collect();
+        out.push_str(&header.join(" | "));
+        out.push('\n');
+        out.push_str(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("-+-"));
+        out.push('\n');
+        for row in &rendered {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(0)))
+                .collect();
+            out.push_str(&line.join(" | "));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Compare a predicted result against the gold result, following the
+/// execution-accuracy convention of Spider/Bird: bag (multiset) semantics,
+/// order-sensitive only when the gold result is ordered. Column names are
+/// ignored; column count must match.
+pub fn results_match(gold: &QueryResult, predicted: &QueryResult) -> bool {
+    if gold.column_count() != predicted.column_count() {
+        return false;
+    }
+    if gold.row_count() != predicted.row_count() {
+        return false;
+    }
+    if gold.ordered {
+        gold.rows
+            .iter()
+            .zip(&predicted.rows)
+            .all(|(g, p)| QueryResult::row_key(g) == QueryResult::row_key(p))
+    } else {
+        gold.bag() == predicted.bag()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(rows: Vec<Vec<i64>>, ordered: bool) -> QueryResult {
+        QueryResult {
+            columns: rows
+                .first()
+                .map(|r| (0..r.len()).map(|i| format!("c{i}")).collect())
+                .unwrap_or_default(),
+            rows: rows
+                .into_iter()
+                .map(|r| r.into_iter().map(Value::Int).collect())
+                .collect(),
+            ordered,
+        }
+    }
+
+    #[test]
+    fn unordered_comparison_is_bag_based() {
+        let gold = result(vec![vec![1, 2], vec![3, 4]], false);
+        let pred = result(vec![vec![3, 4], vec![1, 2]], false);
+        assert!(results_match(&gold, &pred));
+    }
+
+    #[test]
+    fn duplicates_matter_in_bag_comparison() {
+        let gold = result(vec![vec![1], vec![1], vec![2]], false);
+        let pred = result(vec![vec![1], vec![2], vec![2]], false);
+        assert!(!results_match(&gold, &pred));
+    }
+
+    #[test]
+    fn ordered_comparison_requires_same_order() {
+        let gold = result(vec![vec![1], vec![2]], true);
+        let same = result(vec![vec![1], vec![2]], false);
+        let flipped = result(vec![vec![2], vec![1]], false);
+        assert!(results_match(&gold, &same));
+        assert!(!results_match(&gold, &flipped));
+    }
+
+    #[test]
+    fn column_count_mismatch_fails() {
+        let gold = result(vec![vec![1, 2]], false);
+        let pred = result(vec![vec![1]], false);
+        assert!(!results_match(&gold, &pred));
+    }
+
+    #[test]
+    fn numeric_types_compare_by_value() {
+        let gold = QueryResult {
+            columns: vec!["n".into()],
+            rows: vec![vec![Value::Int(3)]],
+            ordered: false,
+        };
+        let pred = QueryResult {
+            columns: vec!["total".into()],
+            rows: vec![vec![Value::Float(3.0)]],
+            ordered: false,
+        };
+        assert!(results_match(&gold, &pred));
+    }
+
+    #[test]
+    fn scalar_accessor() {
+        let r = result(vec![vec![42]], false);
+        assert_eq!(r.scalar(), Some(&Value::Int(42)));
+        let r2 = result(vec![vec![1], vec![2]], false);
+        assert_eq!(r2.scalar(), None);
+    }
+
+    #[test]
+    fn ascii_table_contains_headers_and_rows() {
+        let r = result(vec![vec![1, 2]], false);
+        let text = r.to_ascii_table();
+        assert!(text.contains("c0"));
+        assert!(text.contains('1'));
+        assert!(text.lines().count() >= 3);
+    }
+}

@@ -1,0 +1,332 @@
+//! Schema catalog: column and table definitions plus the database catalog.
+//!
+//! The catalog is built either programmatically (by the dataset generators)
+//! or by ingesting `CREATE TABLE` statements parsed with `bp-sql`, which is
+//! how BenchPress consumes the schema files a user uploads.
+
+use bp_sql::{ColumnDef, CreateTable, DataType};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use crate::error::{StorageError, StorageResult};
+
+/// A column in a table schema.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Column {
+    /// Column name as declared.
+    pub name: String,
+    /// Declared data type.
+    pub data_type: DataType,
+    /// Whether NULLs are allowed.
+    pub nullable: bool,
+    /// Whether the column is (part of) the primary key.
+    pub primary_key: bool,
+    /// Referenced `table.column` for foreign keys, if declared.
+    pub references: Option<(String, String)>,
+}
+
+impl Column {
+    /// Create a plain nullable column.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Column {
+            name: name.into(),
+            data_type,
+            nullable: true,
+            primary_key: false,
+            references: None,
+        }
+    }
+
+    /// Mark the column as primary key (implies NOT NULL).
+    pub fn primary_key(mut self) -> Self {
+        self.primary_key = true;
+        self.nullable = false;
+        self
+    }
+
+    /// Mark the column NOT NULL.
+    pub fn not_null(mut self) -> Self {
+        self.nullable = false;
+        self
+    }
+
+    /// Declare a foreign-key reference.
+    pub fn references(mut self, table: impl Into<String>, column: impl Into<String>) -> Self {
+        self.references = Some((table.into(), column.into()));
+        self
+    }
+
+    /// Normalized (uppercase) name used for case-insensitive lookup.
+    pub fn normalized_name(&self) -> String {
+        self.name.to_ascii_uppercase()
+    }
+}
+
+impl From<&ColumnDef> for Column {
+    fn from(def: &ColumnDef) -> Self {
+        Column {
+            name: def.name.value.clone(),
+            data_type: def.data_type,
+            nullable: def.nullable,
+            primary_key: def.primary_key,
+            references: def
+                .references
+                .as_ref()
+                .map(|(t, c)| (t.base().value.clone(), c.value.clone())),
+        }
+    }
+}
+
+/// The schema of a single table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableSchema {
+    /// Table name as declared.
+    pub name: String,
+    /// Columns in declaration order.
+    pub columns: Vec<Column>,
+}
+
+impl TableSchema {
+    /// Create a schema from a name and columns.
+    pub fn new(name: impl Into<String>, columns: Vec<Column>) -> Self {
+        TableSchema {
+            name: name.into(),
+            columns,
+        }
+    }
+
+    /// Normalized (uppercase) table name.
+    pub fn normalized_name(&self) -> String {
+        self.name.to_ascii_uppercase()
+    }
+
+    /// Number of columns.
+    pub fn column_count(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Find a column by case-insensitive name.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        let upper = name.to_ascii_uppercase();
+        self.columns.iter().find(|c| c.normalized_name() == upper)
+    }
+
+    /// Index of a column by case-insensitive name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        let upper = name.to_ascii_uppercase();
+        self.columns
+            .iter()
+            .position(|c| c.normalized_name() == upper)
+    }
+
+    /// Column names in declaration order.
+    pub fn column_names(&self) -> Vec<String> {
+        self.columns.iter().map(|c| c.name.clone()).collect()
+    }
+
+    /// The set of distinct data types used by this table's columns.
+    pub fn data_types(&self) -> Vec<DataType> {
+        let mut types: Vec<DataType> = Vec::new();
+        for c in &self.columns {
+            if !types.contains(&c.data_type) {
+                types.push(c.data_type);
+            }
+        }
+        types
+    }
+
+    /// Render this schema as a `CREATE TABLE` statement (the format in which
+    /// BenchPress presents schema context to the LLM prompt).
+    pub fn to_create_table_sql(&self) -> String {
+        let cols: Vec<String> = self
+            .columns
+            .iter()
+            .map(|c| {
+                let mut s = format!("{} {}", c.name, c.data_type.as_sql());
+                if c.primary_key {
+                    s.push_str(" PRIMARY KEY");
+                } else if !c.nullable {
+                    s.push_str(" NOT NULL");
+                }
+                if let Some((t, col)) = &c.references {
+                    s.push_str(&format!(" REFERENCES {t}({col})"));
+                }
+                s
+            })
+            .collect();
+        format!("CREATE TABLE {} ({})", self.name, cols.join(", "))
+    }
+}
+
+impl From<&CreateTable> for TableSchema {
+    fn from(ct: &CreateTable) -> Self {
+        TableSchema {
+            name: ct.name.base().value.clone(),
+            columns: ct.columns.iter().map(Column::from).collect(),
+        }
+    }
+}
+
+/// The collection of table schemas that make up a database schema.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Catalog {
+    tables: BTreeMap<String, TableSchema>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register a table schema. Fails if a table with the same
+    /// (case-insensitive) name already exists.
+    pub fn add_table(&mut self, schema: TableSchema) -> StorageResult<()> {
+        let key = schema.normalized_name();
+        if self.tables.contains_key(&key) {
+            return Err(StorageError::DuplicateTable(schema.name));
+        }
+        self.tables.insert(key, schema);
+        Ok(())
+    }
+
+    /// Look up a table by case-insensitive name.
+    pub fn table(&self, name: &str) -> Option<&TableSchema> {
+        self.tables.get(&name.to_ascii_uppercase())
+    }
+
+    /// True if a table with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.contains_key(&name.to_ascii_uppercase())
+    }
+
+    /// All table schemas in name order.
+    pub fn tables(&self) -> impl Iterator<Item = &TableSchema> {
+        self.tables.values()
+    }
+
+    /// Number of tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Tables whose columns include the given (case-insensitive) column name.
+    /// Used for schema-linking retrieval when a query references an
+    /// ambiguous column such as `user_id` that exists in many tables.
+    pub fn tables_with_column(&self, column: &str) -> Vec<&TableSchema> {
+        self.tables
+            .values()
+            .filter(|t| t.column(column).is_some())
+            .collect()
+    }
+
+    /// Ingest a schema script consisting of `CREATE TABLE` statements.
+    pub fn ingest_ddl(&mut self, ddl: &str) -> StorageResult<usize> {
+        let statements = bp_sql::parse_statements(ddl)?;
+        let mut added = 0;
+        for stmt in statements {
+            if let bp_sql::Statement::CreateTable(ct) = stmt {
+                self.add_table(TableSchema::from(&ct))?;
+                added += 1;
+            }
+        }
+        Ok(added)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_schema() -> TableSchema {
+        TableSchema::new(
+            "students",
+            vec![
+                Column::new("id", DataType::Integer).primary_key(),
+                Column::new("name", DataType::Text).not_null(),
+                Column::new("gpa", DataType::Float),
+                Column::new("enrolled_on", DataType::Date),
+            ],
+        )
+    }
+
+    #[test]
+    fn column_lookup_is_case_insensitive() {
+        let s = sample_schema();
+        assert!(s.column("NAME").is_some());
+        assert_eq!(s.column_index("GPA"), Some(2));
+        assert!(s.column("missing").is_none());
+    }
+
+    #[test]
+    fn data_types_deduplicated() {
+        let s = sample_schema();
+        assert_eq!(s.data_types().len(), 4);
+        let narrow = TableSchema::new(
+            "t",
+            vec![
+                Column::new("a", DataType::Text),
+                Column::new("b", DataType::Text),
+            ],
+        );
+        assert_eq!(narrow.data_types(), vec![DataType::Text]);
+    }
+
+    #[test]
+    fn create_table_sql_round_trips_through_parser() {
+        let s = sample_schema();
+        let sql = s.to_create_table_sql();
+        let mut catalog = Catalog::new();
+        catalog.ingest_ddl(&sql).unwrap();
+        let back = catalog.table("students").unwrap();
+        assert_eq!(back.column_count(), 4);
+        assert!(back.column("id").unwrap().primary_key);
+        assert!(!back.column("name").unwrap().nullable);
+    }
+
+    #[test]
+    fn catalog_rejects_duplicates() {
+        let mut c = Catalog::new();
+        c.add_table(sample_schema()).unwrap();
+        let err = c.add_table(sample_schema()).unwrap_err();
+        assert!(matches!(err, StorageError::DuplicateTable(_)));
+    }
+
+    #[test]
+    fn tables_with_column_finds_ambiguous_names() {
+        let mut c = Catalog::new();
+        c.add_table(TableSchema::new(
+            "orders",
+            vec![Column::new("user_id", DataType::Integer)],
+        ))
+        .unwrap();
+        c.add_table(TableSchema::new(
+            "sessions",
+            vec![Column::new("USER_ID", DataType::Integer)],
+        ))
+        .unwrap();
+        c.add_table(TableSchema::new(
+            "products",
+            vec![Column::new("sku", DataType::Text)],
+        ))
+        .unwrap();
+        assert_eq!(c.tables_with_column("user_id").len(), 2);
+    }
+
+    #[test]
+    fn ingest_ddl_with_foreign_keys() {
+        let mut c = Catalog::new();
+        let n = c
+            .ingest_ddl(
+                "CREATE TABLE a (id INT PRIMARY KEY);
+                 CREATE TABLE b (id INT PRIMARY KEY, a_id INT REFERENCES a(id));",
+            )
+            .unwrap();
+        assert_eq!(n, 2);
+        let b = c.table("b").unwrap();
+        assert_eq!(
+            b.column("a_id").unwrap().references,
+            Some(("a".to_string(), "id".to_string()))
+        );
+    }
+}

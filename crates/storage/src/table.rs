@@ -1,0 +1,204 @@
+//! Row storage for a single table.
+
+use crate::error::{StorageError, StorageResult};
+use crate::schema::TableSchema;
+use crate::value::Value;
+use bp_sql::DataType;
+use serde::{Deserialize, Serialize};
+
+/// A row of values, one per column in the owning table's schema.
+pub type Row = Vec<Value>;
+
+/// An in-memory table: a schema plus its rows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// The table's schema.
+    pub schema: TableSchema,
+    rows: Vec<Row>,
+}
+
+impl Table {
+    /// Create an empty table with the given schema.
+    pub fn new(schema: TableSchema) -> Self {
+        Table {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Borrow all rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Insert a row after validating its arity and (loosely) its types.
+    ///
+    /// Integers are accepted where floats are declared and vice versa when
+    /// exactly representable; NULL is accepted in nullable columns only.
+    pub fn insert(&mut self, row: Row) -> StorageResult<()> {
+        if row.len() != self.schema.column_count() {
+            return Err(StorageError::SchemaMismatch(format!(
+                "table {} expects {} values, got {}",
+                self.schema.name,
+                self.schema.column_count(),
+                row.len()
+            )));
+        }
+        let mut coerced = Vec::with_capacity(row.len());
+        for (value, column) in row.into_iter().zip(&self.schema.columns) {
+            if value.is_null() {
+                if !column.nullable {
+                    return Err(StorageError::SchemaMismatch(format!(
+                        "column {}.{} is NOT NULL",
+                        self.schema.name, column.name
+                    )));
+                }
+                coerced.push(Value::Null);
+                continue;
+            }
+            coerced.push(coerce(value, column.data_type).map_err(|v| {
+                StorageError::SchemaMismatch(format!(
+                    "value {v} does not fit column {}.{} of type {:?}",
+                    self.schema.name, column.name, column.data_type
+                ))
+            })?);
+        }
+        self.rows.push(coerced);
+        Ok(())
+    }
+
+    /// Insert many rows, stopping at the first failure.
+    pub fn insert_all<I: IntoIterator<Item = Row>>(&mut self, rows: I) -> StorageResult<usize> {
+        let mut n = 0;
+        for row in rows {
+            self.insert(row)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Value at (row, column-name), if present.
+    pub fn value(&self, row: usize, column: &str) -> Option<&Value> {
+        let idx = self.schema.column_index(column)?;
+        self.rows.get(row).and_then(|r| r.get(idx))
+    }
+
+    /// Iterate over one column's values.
+    pub fn column_values(&self, column: &str) -> Option<Vec<&Value>> {
+        let idx = self.schema.column_index(column)?;
+        Some(self.rows.iter().map(|r| &r[idx]).collect())
+    }
+}
+
+/// Coerce a value to a column type; returns the original value on failure.
+fn coerce(value: Value, target: DataType) -> Result<Value, Value> {
+    match (target, &value) {
+        (DataType::Integer, Value::Int(_)) => Ok(value),
+        (DataType::Integer, Value::Float(f)) if f.fract() == 0.0 => Ok(Value::Int(*f as i64)),
+        (DataType::Float, Value::Float(_)) => Ok(value),
+        (DataType::Float, Value::Int(i)) => Ok(Value::Float(*i as f64)),
+        (DataType::Text, Value::Text(_)) => Ok(value),
+        (DataType::Boolean, Value::Bool(_)) => Ok(value),
+        (DataType::Boolean, Value::Int(i)) if *i == 0 || *i == 1 => Ok(Value::Bool(*i == 1)),
+        (DataType::Date, Value::Date(_)) => Ok(value),
+        (DataType::Date, Value::Int(i)) => Ok(Value::Date(*i)),
+        (DataType::Timestamp, Value::Timestamp(_)) => Ok(value),
+        (DataType::Timestamp, Value::Int(i)) => Ok(Value::Timestamp(*i)),
+        // Text columns are forgiving: enterprise warehouses routinely store
+        // numbers in VARCHAR columns, which is part of the ambiguity the
+        // paper highlights.
+        (DataType::Text, other) => Ok(Value::Text(other.to_string())),
+        _ => Err(value),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+
+    fn table() -> Table {
+        Table::new(TableSchema::new(
+            "t",
+            vec![
+                Column::new("id", DataType::Integer).primary_key(),
+                Column::new("name", DataType::Text),
+                Column::new("score", DataType::Float),
+            ],
+        ))
+    }
+
+    #[test]
+    fn insert_and_read() {
+        let mut t = table();
+        t.insert(vec![1.into(), "alice".into(), 3.5.into()]).unwrap();
+        t.insert(vec![2.into(), Value::Null, Value::Null]).unwrap();
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.value(0, "name"), Some(&Value::Text("alice".into())));
+        assert_eq!(t.value(1, "score"), Some(&Value::Null));
+        assert_eq!(t.column_values("id").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut t = table();
+        let err = t.insert(vec![1.into()]).unwrap_err();
+        assert!(matches!(err, StorageError::SchemaMismatch(_)));
+    }
+
+    #[test]
+    fn not_null_enforced() {
+        let mut t = table();
+        let err = t
+            .insert(vec![Value::Null, "x".into(), 1.0.into()])
+            .unwrap_err();
+        assert!(err.to_string().contains("NOT NULL"));
+    }
+
+    #[test]
+    fn numeric_coercion() {
+        let mut t = table();
+        t.insert(vec![Value::Float(3.0), "x".into(), Value::Int(4)])
+            .unwrap();
+        assert_eq!(t.value(0, "id"), Some(&Value::Int(3)));
+        assert_eq!(t.value(0, "score"), Some(&Value::Float(4.0)));
+    }
+
+    #[test]
+    fn text_column_accepts_numbers() {
+        let mut t = table();
+        t.insert(vec![1.into(), Value::Int(42), Value::Null]).unwrap();
+        assert_eq!(t.value(0, "name"), Some(&Value::Text("42".into())));
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let mut t = table();
+        let err = t
+            .insert(vec!["not a number".into(), "x".into(), 1.0.into()])
+            .unwrap_err();
+        assert!(matches!(err, StorageError::SchemaMismatch(_)));
+    }
+
+    #[test]
+    fn insert_all_counts() {
+        let mut t = table();
+        let n = t
+            .insert_all(vec![
+                vec![1.into(), "a".into(), 1.0.into()],
+                vec![2.into(), "b".into(), 2.0.into()],
+            ])
+            .unwrap();
+        assert_eq!(n, 2);
+    }
+}

@@ -1,0 +1,296 @@
+//! Runtime values stored in tables and produced by query evaluation.
+
+use bp_sql::DataType;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A single cell value.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float (also used for NUMBER/DECIMAL).
+    Float(f64),
+    /// Text value.
+    Text(String),
+    /// Boolean value.
+    Bool(bool),
+    /// Date stored as days since the Unix epoch.
+    Date(i64),
+    /// Timestamp stored as seconds since the Unix epoch.
+    Timestamp(i64),
+}
+
+impl Value {
+    /// Is this the NULL value?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The data type this value naturally maps to, or `None` for NULL.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Integer),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Text(_) => Some(DataType::Text),
+            Value::Bool(_) => Some(DataType::Boolean),
+            Value::Date(_) => Some(DataType::Date),
+            Value::Timestamp(_) => Some(DataType::Timestamp),
+        }
+    }
+
+    /// Coerce to a float for arithmetic, if numeric (dates/timestamps count
+    /// as numeric so range predicates over them work).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Date(d) => Some(*d as f64),
+            Value::Timestamp(t) => Some(*t as f64),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            _ => None,
+        }
+    }
+
+    /// Coerce to an integer if exactly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Float(f) if f.fract() == 0.0 => Some(*f as i64),
+            Value::Date(d) => Some(*d),
+            Value::Timestamp(t) => Some(*t),
+            Value::Bool(b) => Some(if *b { 1 } else { 0 }),
+            _ => None,
+        }
+    }
+
+    /// Borrow text content if this is a text value.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Truthiness used by WHERE/HAVING evaluation (NULL is not true).
+    pub fn is_truthy(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            Value::Int(i) => *i != 0,
+            Value::Float(f) => *f != 0.0,
+            Value::Null => false,
+            Value::Text(s) => !s.is_empty(),
+            Value::Date(_) | Value::Timestamp(_) => true,
+        }
+    }
+
+    /// SQL-style equality: NULL compares as not-equal to everything,
+    /// numeric types compare by value across Int/Float.
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        Some(self.total_cmp(other) == Ordering::Equal)
+    }
+
+    /// Total ordering used for ORDER BY, grouping keys and MIN/MAX.
+    /// NULLs sort first; values of different families sort by family.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        fn family(v: &Value) -> u8 {
+            match v {
+                Null => 0,
+                Int(_) | Float(_) | Date(_) | Timestamp(_) | Bool(_) => 1,
+                Text(_) => 2,
+            }
+        }
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Text(a), Text(b)) => a.cmp(b),
+            _ => {
+                let (fa, fb) = (family(self), family(other));
+                if fa != fb {
+                    return fa.cmp(&fb);
+                }
+                match (self.as_f64(), other.as_f64()) {
+                    (Some(a), Some(b)) => a.partial_cmp(&b).unwrap_or(Ordering::Equal),
+                    _ => Ordering::Equal,
+                }
+            }
+        }
+    }
+
+    /// A canonical key string used for grouping, DISTINCT and set operations.
+    /// Numeric values are normalized so `1` and `1.0` group together.
+    pub fn group_key(&self) -> String {
+        match self {
+            Value::Null => "\u{0}NULL".to_string(),
+            Value::Int(i) => format!("n:{}", *i as f64),
+            Value::Float(f) => format!("n:{f}"),
+            Value::Bool(b) => format!("n:{}", if *b { 1.0 } else { 0.0 }),
+            Value::Date(d) => format!("n:{}", *d as f64),
+            Value::Timestamp(t) => format!("n:{}", *t as f64),
+            Value::Text(s) => format!("t:{s}"),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Null, _) | (_, Value::Null) => false,
+            _ => self.total_cmp(other) == Ordering::Equal,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(v) => {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    write!(f, "{:.1}", v)
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Value::Text(s) => f.write_str(s),
+            Value::Bool(b) => f.write_str(if *b { "TRUE" } else { "FALSE" }),
+            Value::Date(d) => write!(f, "DATE({d})"),
+            Value::Timestamp(t) => write!(f, "TS({t})"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+/// Evaluate a SQL `LIKE` pattern (`%` = any run, `_` = any single char).
+/// Matching is case-sensitive, mirroring most production dialects.
+pub fn like_match(text: &str, pattern: &str) -> bool {
+    fn helper(t: &[u8], p: &[u8]) -> bool {
+        if p.is_empty() {
+            return t.is_empty();
+        }
+        match p[0] {
+            b'%' => {
+                // Try to match zero or more characters.
+                (0..=t.len()).any(|skip| helper(&t[skip..], &p[1..]))
+            }
+            b'_' => !t.is_empty() && helper(&t[1..], &p[1..]),
+            c => !t.is_empty() && t[0] == c && helper(&t[1..], &p[1..]),
+        }
+    }
+    helper(text.as_bytes(), pattern.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_behaviour() {
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Null.sql_eq(&Value::Int(1)), None);
+        assert!(!Value::Null.is_truthy());
+        assert_eq!(Value::Null, Value::Null);
+        assert_ne!(Value::Null, Value::Int(0));
+    }
+
+    #[test]
+    fn numeric_cross_type_equality() {
+        assert_eq!(Value::Int(3), Value::Float(3.0));
+        assert_eq!(Value::Int(3).sql_eq(&Value::Float(3.0)), Some(true));
+        assert_eq!(Value::Int(3).group_key(), Value::Float(3.0).group_key());
+    }
+
+    #[test]
+    fn ordering_families() {
+        assert_eq!(Value::Null.total_cmp(&Value::Int(0)), Ordering::Less);
+        assert_eq!(Value::Int(5).total_cmp(&Value::Text("a".into())), Ordering::Less);
+        assert_eq!(
+            Value::Text("abc".into()).total_cmp(&Value::Text("abd".into())),
+            Ordering::Less
+        );
+        assert_eq!(Value::Float(2.5).total_cmp(&Value::Int(2)), Ordering::Greater);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i64).as_f64(), Some(3.0));
+        assert_eq!(Value::from(2.5).as_i64(), None);
+        assert_eq!(Value::from(2.0).as_i64(), Some(2));
+        assert_eq!(Value::from("x").as_text(), Some("x"));
+        assert_eq!(Value::from(true).as_i64(), Some(1));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Int(7).to_string(), "7");
+        assert_eq!(Value::Float(2.0).to_string(), "2.0");
+        assert_eq!(Value::Text("hi".into()).to_string(), "hi");
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Bool(true).to_string(), "TRUE");
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("BENCH", "B%"));
+        assert!(like_match("BENCH", "%NCH"));
+        assert!(like_match("BENCH", "B_NCH"));
+        assert!(like_match("BENCH", "%"));
+        assert!(!like_match("BENCH", "b%"));
+        assert!(!like_match("BENCH", "B_CH"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+        assert!(like_match("a%b", "a%b"));
+    }
+
+    #[test]
+    fn data_type_mapping() {
+        assert_eq!(Value::Int(1).data_type(), Some(DataType::Integer));
+        assert_eq!(Value::Text("x".into()).data_type(), Some(DataType::Text));
+        assert_eq!(Value::Null.data_type(), None);
+        assert_eq!(Value::Date(10).data_type(), Some(DataType::Date));
+    }
+}

@@ -1,0 +1,124 @@
+//! Participant assignment: stratification by expertise and balanced
+//! Latin-square counterbalancing of conditions within each stratum (§5.1).
+
+use crate::types::{Condition, Expertise, Participant};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A 3×3 balanced Latin square over the conditions: every condition appears
+/// exactly once in every row and every column.
+pub fn latin_square() -> [[Condition; 3]; 3] {
+    use Condition::*;
+    [
+        [BenchPress, VanillaLlm, Manual],
+        [VanillaLlm, Manual, BenchPress],
+        [Manual, BenchPress, VanillaLlm],
+    ]
+}
+
+/// Assign `n` participants to strata and conditions.
+///
+/// Participants are first split evenly between the two expertise strata
+/// (extras go to the non-advanced stratum, mirroring typical recruitment);
+/// within each stratum conditions are assigned by cycling the rows of the
+/// balanced Latin square so each condition gets the same number of
+/// participants per stratum (up to remainder), with the row order shuffled
+/// deterministically from the seed.
+pub fn assign_participants(n: usize, seed: u64) -> Vec<Participant> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let square = latin_square();
+    let advanced_count = n / 2;
+    let mut participants = Vec::with_capacity(n);
+    for (stratum_index, (expertise, count)) in [
+        (Expertise::Advanced, advanced_count),
+        (Expertise::NonAdvanced, n - advanced_count),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        // Shuffle which Latin-square row starts the cycle for this stratum.
+        let mut row_order: Vec<usize> = (0..3).collect();
+        row_order.shuffle(&mut rng);
+        for i in 0..count {
+            let row = square[row_order[i % 3]];
+            let condition = row[(i / 3 + stratum_index) % 3];
+            participants.push(Participant {
+                id: participants.len(),
+                expertise,
+                condition,
+            });
+        }
+    }
+    participants
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn latin_square_is_balanced() {
+        let square = latin_square();
+        for row in &square {
+            let unique: std::collections::HashSet<_> = row.iter().collect();
+            assert_eq!(unique.len(), 3);
+        }
+        for column in 0..3 {
+            let unique: std::collections::HashSet<_> =
+                square.iter().map(|row| row[column]).collect();
+            assert_eq!(unique.len(), 3);
+        }
+    }
+
+    #[test]
+    fn assignment_covers_all_participants_with_both_strata() {
+        let participants = assign_participants(18, 7);
+        assert_eq!(participants.len(), 18);
+        let advanced = participants
+            .iter()
+            .filter(|p| p.expertise == Expertise::Advanced)
+            .count();
+        assert_eq!(advanced, 9);
+        // Ids are sequential and unique.
+        for (index, participant) in participants.iter().enumerate() {
+            assert_eq!(participant.id, index);
+        }
+    }
+
+    #[test]
+    fn conditions_are_counterbalanced_within_strata() {
+        let participants = assign_participants(18, 3);
+        for expertise in Expertise::all() {
+            let mut counts: HashMap<Condition, usize> = HashMap::new();
+            for participant in participants.iter().filter(|p| p.expertise == *expertise) {
+                *counts.entry(participant.condition).or_insert(0) += 1;
+            }
+            for condition in Condition::all() {
+                assert_eq!(
+                    counts.get(condition).copied().unwrap_or(0),
+                    3,
+                    "each condition gets 3 participants per stratum"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn assignment_is_deterministic_per_seed() {
+        assert_eq!(assign_participants(12, 5), assign_participants(12, 5));
+        assert_ne!(assign_participants(12, 5), assign_participants(12, 6));
+    }
+
+    #[test]
+    fn uneven_counts_still_assign_everyone() {
+        let participants = assign_participants(7, 1);
+        assert_eq!(participants.len(), 7);
+        let non_advanced = participants
+            .iter()
+            .filter(|p| p.expertise == Expertise::NonAdvanced)
+            .count();
+        assert_eq!(non_advanced, 4);
+    }
+}

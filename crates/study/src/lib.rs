@@ -1,0 +1,39 @@
+//! # bp-study — simulated user study for the BenchPress reproduction
+//!
+//! The paper evaluates BenchPress with a controlled between-subjects study:
+//! 18 participants, stratified into advanced / non-advanced SQL users and
+//! counterbalanced across three conditions (BenchPress, Manual, Vanilla LLM)
+//! with a balanced Latin square, each annotating the same 30 queries sampled
+//! from the Beaver and Bird corpora (§5.1). Human participants are not
+//! available to a reproduction, so this crate replaces them with behaviour
+//! models driven by the same independent variables (condition, expertise)
+//! and the same difficulty features (compositional depth, domain terms); the
+//! BenchPress condition drives the *real* `bp-core` pipeline end to end.
+//!
+//! The aggregations reproduce Table 3 (annotation accuracy), Table 4
+//! (annotation latency) and Figure 4 (backtranslation clarity).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use bp_study::{run_study, StudyConfig, Condition};
+//!
+//! let run = run_study(&StudyConfig::small(1));
+//! let accuracy = run.accuracy_table();
+//! assert_eq!(accuracy.len(), 3); // Beaver, Bird, Overall
+//! assert!(run.mean_coverage(Condition::BenchPress) > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod annotator;
+pub mod assign;
+pub mod runner;
+pub mod types;
+
+pub use annotator::{annotation_minutes, review_candidates, write_manual, BehaviourParams, HumanResult};
+pub use assign::{assign_participants, latin_square};
+pub use runner::{run_study, ConditionRow, StudyQuery, StudyRun};
+pub use types::{
+    AnnotationOutcome, Condition, Expertise, Participant, StudyConfig, StudyDataset,
+};

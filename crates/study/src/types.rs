@@ -1,0 +1,182 @@
+//! Study design types: conditions, expertise strata, participants, and the
+//! per-annotation outcome record.
+
+use serde::{Deserialize, Serialize};
+
+/// The three experimental conditions of the between-subjects study (§5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Condition {
+    /// Group A: the full BenchPress interface (schema context, example
+    /// retrieval, four LLM candidates, feedback loop).
+    BenchPress,
+    /// Group C: a general-purpose LLM without retrieval or task integration.
+    VanillaLlm,
+    /// Group B: schema files and logs only, no model assistance.
+    Manual,
+}
+
+impl Condition {
+    /// All conditions in the order the paper's tables report them.
+    pub fn all() -> &'static [Condition] {
+        &[Condition::BenchPress, Condition::VanillaLlm, Condition::Manual]
+    }
+
+    /// Display name used in tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Condition::BenchPress => "BenchPress",
+            Condition::VanillaLlm => "Vanilla LLM",
+            Condition::Manual => "Manual",
+        }
+    }
+}
+
+/// Participant expertise strata from the pre-study questionnaire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Expertise {
+    /// Advanced SQL users.
+    Advanced,
+    /// Non-advanced SQL users.
+    NonAdvanced,
+}
+
+impl Expertise {
+    /// Both strata.
+    pub fn all() -> &'static [Expertise] {
+        &[Expertise::Advanced, Expertise::NonAdvanced]
+    }
+}
+
+/// One study participant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Participant {
+    /// Participant number (0-based).
+    pub id: usize,
+    /// Expertise stratum.
+    pub expertise: Expertise,
+    /// Assigned condition (between-subjects: exactly one per participant).
+    pub condition: Condition,
+}
+
+/// Which dataset a study query came from (the study samples from Beaver and
+/// Bird, §5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StudyDataset {
+    /// The enterprise (Beaver-like) portion.
+    Beaver,
+    /// The public (Bird-like) portion.
+    Bird,
+}
+
+impl StudyDataset {
+    /// Both datasets in table order.
+    pub fn all() -> &'static [StudyDataset] {
+        &[StudyDataset::Beaver, StudyDataset::Bird]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StudyDataset::Beaver => "Beaver",
+            StudyDataset::Bird => "Bird",
+        }
+    }
+}
+
+/// The outcome of one participant annotating one query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnnotationOutcome {
+    /// Participant id.
+    pub participant: usize,
+    /// The participant's condition.
+    pub condition: Condition,
+    /// The participant's expertise.
+    pub expertise: Expertise,
+    /// Which dataset the query came from.
+    pub dataset: StudyDataset,
+    /// Index of the query within the study set.
+    pub query_index: usize,
+    /// The SQL being annotated.
+    pub sql: String,
+    /// The final description the participant produced.
+    pub description: String,
+    /// SQL-component coverage score of the description (0..1).
+    pub coverage: f64,
+    /// Whether the description counts as accurate (coverage ≥ threshold).
+    pub accurate: bool,
+    /// Time spent on this annotation, in minutes.
+    pub minutes: f64,
+}
+
+/// Configuration of a study run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StudyConfig {
+    /// Number of participants (paper: 18).
+    pub participants: usize,
+    /// Number of Beaver-like queries in the shared query set (paper: 30
+    /// total across both datasets).
+    pub beaver_queries: usize,
+    /// Number of Bird-like queries in the shared query set.
+    pub bird_queries: usize,
+    /// RNG seed for assignment, behaviour models, and corpus generation.
+    pub seed: u64,
+    /// The model BenchPress and the vanilla condition use.
+    pub model: bp_llm::ModelKind,
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        StudyConfig {
+            participants: 18,
+            beaver_queries: 15,
+            bird_queries: 15,
+            seed: 2026,
+            model: bp_llm::ModelKind::Gpt4o,
+        }
+    }
+}
+
+impl StudyConfig {
+    /// A reduced configuration for fast tests (fewer participants/queries).
+    pub fn small(seed: u64) -> Self {
+        StudyConfig {
+            participants: 6,
+            beaver_queries: 5,
+            bird_queries: 5,
+            seed,
+            model: bp_llm::ModelKind::Gpt4o,
+        }
+    }
+
+    /// Total number of queries each participant annotates.
+    pub fn total_queries(&self) -> usize {
+        self.beaver_queries + self.bird_queries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_matches_paper() {
+        let config = StudyConfig::default();
+        assert_eq!(config.participants, 18);
+        assert_eq!(config.total_queries(), 30);
+    }
+
+    #[test]
+    fn names_and_orders() {
+        assert_eq!(Condition::all().len(), 3);
+        assert_eq!(Condition::BenchPress.name(), "BenchPress");
+        assert_eq!(StudyDataset::all().len(), 2);
+        assert_eq!(Expertise::all().len(), 2);
+    }
+
+    #[test]
+    fn small_config_is_smaller() {
+        let small = StudyConfig::small(1);
+        assert!(small.participants < StudyConfig::default().participants);
+        assert!(small.total_queries() < StudyConfig::default().total_queries());
+    }
+}

@@ -1,0 +1,52 @@
+//! Quickstart: set up a project, ingest a schema and a small SQL log,
+//! run the annotation loop on one query, give feedback, finalize, and export.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use benchpress_suite::core::{export_json, FeedbackAction, Project, TaskConfig};
+
+fn main() {
+    // 1. Project setup + task configuration (SQL-to-NL, GPT-4o-profile model).
+    let mut project = Project::new("quickstart", TaskConfig::default());
+
+    // 2. Dataset ingestion: a schema file and a SQL log, exactly what a
+    //    BenchPress user uploads.
+    project
+        .ingest_schema(
+            "CREATE TABLE students (id INT PRIMARY KEY, name VARCHAR(40), gpa NUMBER, dept VARCHAR(20));
+             CREATE TABLE enrollments (student_id INT REFERENCES students(id), term VARCHAR(20), course VARCHAR(20));",
+        )
+        .expect("schema ingests");
+    let (added, skipped) = project.ingest_log(
+        "SELECT name, gpa FROM students WHERE dept = 'EECS' ORDER BY gpa DESC;
+         SELECT dept, COUNT(*) FROM students GROUP BY dept;
+         SELECT name FROM students WHERE id IN (SELECT student_id FROM enrollments WHERE term = 'J-term');",
+    );
+    println!("Ingested {added} queries ({skipped} skipped).");
+
+    // 3. The annotation loop: decomposition, retrieval, candidate generation.
+    let draft = project.annotate(0).expect("annotation loop runs");
+    println!("\nSQL: {}", draft.sql);
+    println!("Candidates:");
+    for (index, candidate) in draft.candidates.iter().enumerate() {
+        println!("  [{index}] {candidate}");
+    }
+
+    // 4. Feedback: accept the first candidate and finalize.
+    project
+        .apply_feedback(0, FeedbackAction::SelectCandidate(0))
+        .expect("feedback applies");
+    let record = project.finalize(0).expect("finalizes");
+    println!("\nAccepted annotation: {}", record.description);
+
+    // 5. The knowledge base grew, so the next annotation retrieves it.
+    let next = project.annotate(1).expect("second annotation");
+    println!(
+        "\nSecond query used {} retrieved example(s) as context.",
+        next.units[0].examples_used
+    );
+
+    // 6. Export in benchmark-ready JSON.
+    let json = export_json(&project).expect("export succeeds");
+    println!("\nExported benchmark JSON:\n{json}");
+}

@@ -1,0 +1,50 @@
+//! Run a reduced version of the paper's user study and print the accuracy
+//! (Table 3), latency (Table 4) and backtranslation-clarity (Figure 4)
+//! summaries. Use `cargo run -p bp-bench --bin user_study_report` for the
+//! full 18-participant configuration.
+//!
+//! Run with: `cargo run --example user_study`
+
+use benchpress_suite::llm::ModelKind;
+use benchpress_suite::study::{run_study, Condition, StudyConfig};
+
+fn main() {
+    let config = StudyConfig {
+        participants: 9,
+        beaver_queries: 6,
+        bird_queries: 6,
+        seed: 42,
+        model: ModelKind::Gpt4o,
+    };
+    println!(
+        "Running a reduced study: {} participants x {} queries...",
+        config.participants,
+        config.total_queries()
+    );
+    let run = run_study(&config);
+
+    println!("\nAnnotation accuracy (%):");
+    println!("{:<10} {:>12} {:>12} {:>12}", "Dataset", "BenchPress", "VanillaLLM", "Manual");
+    for row in run.accuracy_table() {
+        println!(
+            "{:<10} {:>12.1} {:>12.1} {:>12.1}",
+            row.label, row.benchpress, row.vanilla_llm, row.manual
+        );
+    }
+
+    println!("\nAnnotation latency (minutes per participant):");
+    println!("{:<10} {:>12} {:>12} {:>12}", "Dataset", "BenchPress", "VanillaLLM", "Manual");
+    for row in run.latency_table() {
+        println!(
+            "{:<10} {:>12.1} {:>12.1} {:>12.1}",
+            row.label, row.benchpress, row.vanilla_llm, row.manual
+        );
+    }
+
+    println!("\nBacktranslation clarity (mean level 1-5 by condition):");
+    let histograms = run.clarity_histograms(ModelKind::Gpt4o);
+    for condition in Condition::all() {
+        let histogram = histograms.get(condition).cloned().unwrap_or_default();
+        println!("  {:<12} {:.2}", condition.name(), histogram.mean_level());
+    }
+}

@@ -1,0 +1,36 @@
+//! # benchpress-suite — umbrella crate for the BenchPress reproduction
+//!
+//! Re-exports the workspace crates under one roof so the examples and the
+//! cross-crate integration tests have a single dependency, and so downstream
+//! users can `use benchpress_suite as bp` to get the whole system.
+//!
+//! * [`sql`] — SQL parsing, analysis, CTE decomposition/recomposition.
+//! * [`storage`] — in-memory relational engine and data profiler.
+//! * [`embed`] — deterministic embeddings and vector retrieval.
+//! * [`llm`] — simulated LLM backend (SQL→NL, NL→SQL, text-to-SQL).
+//! * [`datasets`] — synthetic Spider/Bird/Fiben/Beaver-like corpora.
+//! * [`metrics`] — BLEU/ROUGE, coverage accuracy, backtranslation rubric.
+//! * [`core`] — the BenchPress human-in-the-loop annotation workflow.
+//! * [`study`] — the simulated between-subjects user study.
+
+#![warn(missing_docs)]
+
+pub use bp_core as core;
+pub use bp_datasets as datasets;
+pub use bp_embed as embed;
+pub use bp_llm as llm;
+pub use bp_metrics as metrics;
+pub use bp_sql as sql;
+pub use bp_storage as storage;
+pub use bp_study as study;
+
+/// The version of the reproduction suite.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_set() {
+        assert!(!super::VERSION.is_empty());
+    }
+}

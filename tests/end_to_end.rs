@@ -1,0 +1,174 @@
+//! Cross-crate integration tests: the full BenchPress pipeline from corpus
+//! generation through annotation, export, and evaluation.
+
+use benchpress_suite::core::{
+    backtranslation_study, export_json, import_json, review_metrics, FeedbackAction, Project,
+    TaskConfig,
+};
+use benchpress_suite::datasets::{BenchmarkKind, GeneratedBenchmark};
+use benchpress_suite::llm::ModelKind;
+use benchpress_suite::metrics::{coverage_sql, ClarityLevel, DEFAULT_ACCURACY_THRESHOLD};
+
+fn curate(kind: BenchmarkKind, queries: usize, seed: u64) -> Project {
+    let corpus = GeneratedBenchmark::generate(kind, queries, seed);
+    let mut project = Project::new(format!("it-{}", kind.name()), TaskConfig::default().with_seed(seed));
+    project.ingest_benchmark(&corpus);
+    for query_id in 0..project.log().len() {
+        project.annotate(query_id).expect("annotation runs");
+        project
+            .apply_feedback(query_id, FeedbackAction::SelectCandidate(0))
+            .expect("feedback applies");
+        project.finalize(query_id).expect("finalizes");
+    }
+    project
+}
+
+#[test]
+fn full_curation_pipeline_produces_exportable_benchmark() {
+    let project = curate(BenchmarkKind::Spider, 6, 3);
+    assert_eq!(project.finalized_count(), 6);
+
+    let json = export_json(&project).expect("export succeeds");
+    let records = import_json(&json).expect("round trips");
+    assert_eq!(records.len(), 6);
+    for record in &records {
+        // Every exported query still parses and executes on the project database.
+        let query = benchpress_suite::sql::parse_query(&record.query).expect("exported SQL parses");
+        project.database().execute(&query).expect("exported SQL executes");
+        assert!(!record.question.is_empty());
+    }
+    // Review metrics exist because the generated corpus carries gold questions.
+    let metrics = review_metrics(&project);
+    assert_eq!(metrics.compared, 6);
+    assert!(metrics.mean_rouge_l > 0.2);
+}
+
+#[test]
+fn accepted_candidates_describe_their_queries_reasonably() {
+    let project = curate(BenchmarkKind::Bird, 6, 9);
+    let mut accurate = 0;
+    for record in project.records() {
+        let report = coverage_sql(&record.sql, &record.description).expect("parses");
+        if report.is_accurate(DEFAULT_ACCURACY_THRESHOLD) {
+            accurate += 1;
+        }
+    }
+    // On a public-benchmark-style corpus, accepting the first candidate
+    // should already clear the accuracy bar most of the time.
+    assert!(
+        accurate >= 4,
+        "expected most accepted candidates to be accurate, got {accurate}/6"
+    );
+}
+
+#[test]
+fn backtranslation_study_grades_every_finalized_annotation() {
+    let project = curate(BenchmarkKind::Bird, 5, 21);
+    let study = backtranslation_study(&project, ModelKind::Gpt4o);
+    assert_eq!(study.results.len(), 5);
+    assert_eq!(study.histogram.total(), 5);
+    assert!(study.mean_level() >= ClarityLevel::StructurallyIncorrect.as_u8() as f64);
+}
+
+#[test]
+fn knowledge_feedback_improves_candidate_completeness_on_enterprise_queries() {
+    let corpus = GeneratedBenchmark::generate(BenchmarkKind::Beaver, 6, 5);
+    let mut cold = Project::new("cold", TaskConfig::default().with_seed(1));
+    cold.ingest_benchmark(&corpus);
+    let mut warm = Project::new("warm", TaskConfig::default().with_seed(1));
+    warm.ingest_benchmark(&corpus);
+    // Warm project: inject the whole enterprise lexicon up front (as if a
+    // previous session captured it through the feedback loop).
+    for term in corpus.lexicon.terms() {
+        warm.apply_feedback(
+            0,
+            FeedbackAction::AddKnowledge {
+                topic: term.term.clone(),
+                note: term.explanation.clone(),
+            },
+        )
+        .unwrap();
+    }
+    let mut cold_quality = 0.0;
+    let mut warm_quality = 0.0;
+    for query_id in 0..corpus.log.len() {
+        let cold_draft = cold.annotate(query_id).unwrap();
+        let warm_draft = warm.annotate(query_id).unwrap();
+        cold_quality += cold_draft
+            .units
+            .iter()
+            .map(|u| u.context_quality)
+            .sum::<f64>();
+        warm_quality += warm_draft
+            .units
+            .iter()
+            .map(|u| u.context_quality)
+            .sum::<f64>();
+    }
+    assert!(
+        warm_quality > cold_quality,
+        "injected knowledge should raise prompt context quality: {warm_quality} vs {cold_quality}"
+    );
+}
+
+#[test]
+fn execution_accuracy_gap_between_public_and_enterprise_benchmarks() {
+    // The Figure 1 shape, end to end through the generated corpora.
+    let spider = GeneratedBenchmark::generate(BenchmarkKind::Spider, 25, 13);
+    let beaver = GeneratedBenchmark::generate(BenchmarkKind::Beaver, 25, 13);
+    let profile = ModelKind::Gpt4o.profile();
+    let spider_report = benchpress_suite::llm::evaluate_execution_accuracy(
+        &profile,
+        &spider.eval_items(),
+        &spider.database,
+        7,
+    );
+    let beaver_report = benchpress_suite::llm::evaluate_execution_accuracy(
+        &profile,
+        &beaver.eval_items(),
+        &beaver.database,
+        7,
+    );
+    assert!(
+        spider_report.accuracy_percent() > 55.0,
+        "public benchmark accuracy too low: {}",
+        spider_report.accuracy_percent()
+    );
+    assert!(
+        beaver_report.accuracy_percent() < 25.0,
+        "enterprise accuracy too high: {}",
+        beaver_report.accuracy_percent()
+    );
+    assert!(
+        spider_report.accuracy_percent() - beaver_report.accuracy_percent() > 40.0,
+        "the enterprise gap should be large"
+    );
+}
+
+#[test]
+fn decomposition_recomposition_round_trip_on_generated_enterprise_queries() {
+    let corpus = GeneratedBenchmark::generate(BenchmarkKind::Beaver, 10, 33);
+    let mut nested_seen = 0;
+    for entry in &corpus.log {
+        let query = benchpress_suite::sql::parse_query(&entry.sql).unwrap();
+        let decomposition = benchpress_suite::sql::decompose(&query);
+        if decomposition.was_decomposed {
+            nested_seen += 1;
+            // The rewritten query must still parse, and for uncorrelated
+            // rewrites it must produce the same result set.
+            let rewritten = decomposition.rewritten.to_string();
+            let reparsed = benchpress_suite::sql::parse_query(&rewritten).expect("rewritten parses");
+            let original_result = corpus.database.execute(&query).expect("original executes");
+            let rewritten_result = corpus.database.execute(&reparsed).expect("rewritten executes");
+            assert!(
+                benchpress_suite::storage::results_match(&original_result, &rewritten_result),
+                "decomposition changed the result of: {}",
+                entry.sql
+            );
+        }
+    }
+    assert!(
+        nested_seen >= 2,
+        "the enterprise workload should contain nested queries (saw {nested_seen})"
+    );
+}

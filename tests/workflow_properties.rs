@@ -1,0 +1,76 @@
+//! Property-based integration tests over the whole workflow: whatever the
+//! corpus and seed, the pipeline's invariants hold.
+
+use benchpress_suite::core::{FeedbackAction, Project, TaskConfig};
+use benchpress_suite::datasets::{BenchmarkKind, GeneratedBenchmark};
+use benchpress_suite::llm::CANDIDATES_PER_QUERY;
+use proptest::prelude::*;
+
+fn kind_strategy() -> impl Strategy<Value = BenchmarkKind> {
+    prop_oneof![
+        Just(BenchmarkKind::Spider),
+        Just(BenchmarkKind::Bird),
+        Just(BenchmarkKind::Fiben),
+        Just(BenchmarkKind::Beaver),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 6,
+        .. ProptestConfig::default()
+    })]
+
+    /// Generated corpora are internally consistent: every log query parses,
+    /// executes, and its gold question is a non-trivial description.
+    #[test]
+    fn generated_corpora_are_consistent(kind in kind_strategy(), seed in 0u64..1000) {
+        let corpus = GeneratedBenchmark::generate(kind, 4, seed);
+        prop_assert_eq!(corpus.log.len(), 4);
+        for entry in &corpus.log {
+            let query = benchpress_suite::sql::parse_query(&entry.sql).unwrap();
+            let result = corpus.database.execute(&query);
+            prop_assert!(result.is_ok(), "query failed: {} ({:?})", entry.sql, result.err());
+            prop_assert!(entry.question.split_whitespace().count() >= 3);
+        }
+    }
+
+    /// The annotation loop always yields exactly four whole-query candidates,
+    /// and finalizing grows the knowledge base monotonically.
+    #[test]
+    fn annotation_loop_invariants(kind in kind_strategy(), seed in 0u64..1000) {
+        let corpus = GeneratedBenchmark::generate(kind, 3, seed);
+        let mut project = Project::new("prop", TaskConfig::default().with_seed(seed));
+        project.ingest_benchmark(&corpus);
+        let mut previous_examples = 0;
+        for query_id in 0..project.log().len() {
+            let draft = project.annotate(query_id).unwrap();
+            prop_assert_eq!(draft.candidates.len(), CANDIDATES_PER_QUERY);
+            prop_assert!(!draft.units.is_empty());
+            for candidate in &draft.candidates {
+                prop_assert!(!candidate.trim().is_empty());
+            }
+            project.apply_feedback(query_id, FeedbackAction::SelectCandidate(0)).unwrap();
+            project.finalize(query_id).unwrap();
+            let count = project.knowledge().annotation_count();
+            prop_assert_eq!(count, previous_examples + 1);
+            previous_examples = count;
+        }
+        // Export contains exactly the finalized annotations.
+        let records = benchpress_suite::core::export_records(&project);
+        prop_assert_eq!(records.len(), project.log().len());
+    }
+
+    /// Drafting is deterministic: the same project state and seed produce the
+    /// same candidates.
+    #[test]
+    fn drafting_is_deterministic(seed in 0u64..500) {
+        let corpus = GeneratedBenchmark::generate(BenchmarkKind::Bird, 2, seed);
+        let run = |s| {
+            let mut project = Project::new("det", TaskConfig::default().with_seed(s));
+            project.ingest_benchmark(&corpus);
+            project.annotate(0).unwrap().candidates
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+}
