@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus the full workspace gate. Mirrors
+# .github/workflows/ci.yml so the same commands run locally and in CI.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q --workspace (includes the umbrella tier-1 suite)"
+cargo test -q --workspace
+
+echo "==> cargo bench --no-run --workspace"
+cargo bench --no-run --workspace
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI green."

@@ -164,7 +164,7 @@ fn numeric_filter(table: &Table, rng: &mut ChaCha8Rng) -> Option<String> {
     }
     let column = &columns[rng.gen_range(0..columns.len())];
     let value = sample_value(table, column, rng)?;
-    let operator = ["<", "<=", ">", ">="][rng.gen_range(0..4)];
+    let operator = ["<", "<=", ">", ">="][rng.gen_range(0..4usize)];
     Some(format!("{column} {operator} {}", literal(&value)))
 }
 
@@ -183,7 +183,7 @@ fn aggregate_call(table: &Table, rng: &mut ChaCha8Rng) -> String {
         return "COUNT(*)".to_string();
     }
     let column = &numeric[rng.gen_range(0..numeric.len())];
-    let function = ["SUM", "AVG", "MAX", "MIN", "COUNT"][rng.gen_range(0..5)];
+    let function = ["SUM", "AVG", "MAX", "MIN", "COUNT"][rng.gen_range(0..5usize)];
     if function == "COUNT" && rng.gen_bool(0.5) {
         format!("COUNT(DISTINCT {column})")
     } else {

@@ -56,7 +56,7 @@ mod proptests {
             let sab = embedder.similarity(&a, &b);
             let sba = embedder.similarity(&b, &a);
             prop_assert!((sab - sba).abs() < 1e-5);
-            prop_assert!(sab >= -1.0001 && sab <= 1.0001);
+            prop_assert!((-1.0001..=1.0001).contains(&sab));
         }
 
         /// Self-similarity of non-empty texts is 1.

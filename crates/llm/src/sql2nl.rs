@@ -245,7 +245,7 @@ fn filter_phrase(expr: &Expr) -> Vec<String> {
                 vec!["a matching row exists in the inner step".to_string()]
             }
         }
-        Expr::UnaryOp { op, expr } if matches!(op, bp_sql::UnaryOperator::Not) => {
+        Expr::UnaryOp { op: bp_sql::UnaryOperator::Not, expr } => {
             vec![format!("it is not the case that {}", filter_phrase(expr).join(" and "))]
         }
         Expr::Nested(inner) => filter_phrase(inner),

@@ -79,7 +79,7 @@ impl CoverageReport {
 pub const DEFAULT_ACCURACY_THRESHOLD: f64 = 0.75;
 
 fn split_ident(word: &str) -> Vec<String> {
-    word.split(|c: char| c == '_' || c == '.')
+    word.split(['_', '.'])
         .filter(|p| !p.is_empty())
         .map(|p| p.to_lowercase())
         .collect()

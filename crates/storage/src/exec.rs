@@ -293,7 +293,7 @@ impl<'a> Executor<'a> {
                 && matches!(operator, JoinOperator::LeftOuter | JoinOperator::FullOuter)
             {
                 let mut combined = lrow.clone();
-                combined.extend(std::iter::repeat(Value::Null).take(right.width()));
+                combined.extend(std::iter::repeat_n(Value::Null, right.width()));
                 rows.push(combined);
             }
         }
@@ -301,7 +301,7 @@ impl<'a> Executor<'a> {
             for (ri, rrow) in right.rows.iter().enumerate() {
                 if !right_matched[ri] {
                     let mut combined: Row =
-                        std::iter::repeat(Value::Null).take(left.width()).collect();
+                        std::iter::repeat_n(Value::Null, left.width()).collect();
                     combined.extend(rrow.iter().cloned());
                     rows.push(combined);
                 }

@@ -1,0 +1,53 @@
+//! Smoke coverage for the umbrella crate's public surface: every re-exported
+//! module path resolves to the workspace crate behind it, and the advertised
+//! version matches the workspace version.
+
+use benchpress_suite as bp;
+
+#[test]
+fn version_matches_workspace_version() {
+    // The integration test is compiled against the same package, so the cargo
+    // env var is the workspace-inherited version the umbrella advertises.
+    assert_eq!(bp::VERSION, env!("CARGO_PKG_VERSION"));
+    assert_eq!(bp::VERSION, "0.1.0");
+}
+
+#[test]
+fn all_reexported_module_paths_resolve() {
+    // Touch one load-bearing item through each re-export; failure to resolve
+    // any of these paths is a compile error, which is the point of the test.
+    let query = bp::sql::parse_query("SELECT COUNT(*) FROM students").unwrap();
+    let analysis = bp::sql::analyze(&query);
+    assert!(analysis.tables.contains("STUDENTS"));
+
+    let database = bp::storage::Database::new("smoke");
+    assert_eq!(database.catalog().tables().count(), 0);
+
+    let embedder = bp::embed::Embedder::new();
+    assert!((embedder.similarity("count students", "count students") - 1.0).abs() < 1e-6);
+
+    let profile = bp::llm::ModelKind::Gpt4o.profile();
+    assert!(profile.base_fidelity > 0.0);
+
+    let corpus = bp::datasets::GeneratedBenchmark::generate(bp::datasets::BenchmarkKind::Spider, 2, 7);
+    assert_eq!(corpus.log.len(), 2);
+
+    assert!(bp::metrics::exact_match("a b", "a b"));
+
+    let project = bp::core::Project::new("smoke", bp::core::TaskConfig::default());
+    assert_eq!(project.log().len(), 0);
+
+    let config = bp::study::StudyConfig::default();
+    assert!(config.participants > 0);
+}
+
+#[test]
+fn reexports_are_the_same_types_as_the_underlying_crates() {
+    // The umbrella must re-export, not wrap: a value built through the bp_*
+    // crate must be usable where the umbrella path is expected.
+    fn takes_umbrella_kind(kind: bp::datasets::BenchmarkKind) -> bp::datasets::BenchmarkKind {
+        kind
+    }
+    let kind: bp_datasets::BenchmarkKind = bp_datasets::BenchmarkKind::Bird;
+    assert_eq!(takes_umbrella_kind(kind), bp::datasets::BenchmarkKind::Bird);
+}

@@ -1,0 +1,240 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the entry points the workspace's `pipeline` bench uses —
+//! [`Criterion::bench_function`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — with a straightforward wall-clock
+//! measurement loop: warm up, calibrate an iteration count per sample, take
+//! `sample_size` samples, report min/median/mean per iteration. No
+//! statistical analysis, plots, or baselines.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`]; only affects how many
+/// inputs are pre-built per measured batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs: batch many per measurement.
+    SmallInput,
+    /// Medium per-iteration inputs.
+    MediumInput,
+    /// Large per-iteration inputs: one input per measurement.
+    LargeInput,
+}
+
+impl BatchSize {
+    fn batch_len(self) -> usize {
+        match self {
+            BatchSize::SmallInput => 64,
+            BatchSize::MediumInput => 8,
+            BatchSize::LargeInput => 1,
+        }
+    }
+}
+
+/// The benchmark driver handed to each bench function.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 50,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set how many timed samples to take per benchmark.
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        assert!(samples >= 2, "sample_size must be at least 2");
+        self.sample_size = samples;
+        self
+    }
+
+    /// Set the time budget shared by the timed samples.
+    pub fn measurement_time(mut self, budget: Duration) -> Self {
+        self.measurement_time = budget;
+        self
+    }
+
+    /// Set how long to warm up before timing.
+    pub fn warm_up_time(mut self, budget: Duration) -> Self {
+        self.warm_up_time = budget;
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+        };
+        body(&mut bencher);
+        bencher.report(name);
+        self
+    }
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measure a routine by running it in calibrated batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: run until the warm-up budget is spent, measuring a rough
+        // per-iteration cost as we go.
+        let warm_up_start = Instant::now();
+        let mut warm_up_iters = 0u64;
+        while warm_up_start.elapsed() < self.warm_up_time {
+            std_black_box(routine());
+            warm_up_iters += 1;
+        }
+        let per_iter = warm_up_start.elapsed().as_secs_f64() / warm_up_iters.max(1) as f64;
+
+        // Calibrate: split the measurement budget into `sample_size` samples.
+        let per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = ((per_sample / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std_black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            self.samples_ns.push(elapsed / iters_per_sample as f64);
+        }
+    }
+
+    /// Measure a routine that consumes a fresh input per iteration.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let batch_len = size.batch_len();
+
+        // Warm-up with one batch.
+        let mut batch: Vec<I> = (0..batch_len).map(|_| setup()).collect();
+        let warm_up_start = Instant::now();
+        for input in batch.drain(..) {
+            std_black_box(routine(input));
+        }
+        let per_iter = warm_up_start.elapsed().as_secs_f64() / batch_len as f64;
+
+        let per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let batches_per_sample =
+            ((per_sample / (per_iter.max(1e-9) * batch_len as f64)) as u64).clamp(1, 10_000);
+
+        for _ in 0..self.sample_size {
+            let mut total_ns = 0f64;
+            let mut measured = 0u64;
+            for _ in 0..batches_per_sample {
+                let batch: Vec<I> = (0..batch_len).map(|_| setup()).collect();
+                let start = Instant::now();
+                for input in batch {
+                    std_black_box(routine(input));
+                }
+                total_ns += start.elapsed().as_nanos() as f64;
+                measured += batch_len as u64;
+            }
+            self.samples_ns.push(total_ns / measured as f64);
+        }
+    }
+
+    fn report(&mut self, name: &str) {
+        if self.samples_ns.is_empty() {
+            println!("{name:<55} (no samples collected)");
+            return;
+        }
+        self.samples_ns
+            .sort_by(|a, b| a.partial_cmp(b).expect("NaN timing sample"));
+        let min = self.samples_ns[0];
+        let median = self.samples_ns[self.samples_ns.len() / 2];
+        let mean: f64 = self.samples_ns.iter().sum::<f64>() / self.samples_ns.len() as f64;
+        println!(
+            "{name:<55} min {:>12} median {:>12} mean {:>12}",
+            format_ns(min),
+            format_ns(median),
+            format_ns(mean)
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declare a named group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generate the bench `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut criterion = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        criterion.bench_function("smoke/iter", |b| b.iter(|| 2u64 + 2));
+        criterion.bench_function("smoke/iter_batched", |b| {
+            b.iter_batched(|| vec![1u8, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

@@ -1,0 +1,232 @@
+//! Generator for the regex subset proptest string strategies use.
+//!
+//! Supported syntax: literal characters, character classes `[a-z0-9_ ]`
+//! (ranges and singletons, no negation), groups `( ... )`, and the
+//! quantifiers `{n}`, `{m,n}`, `?`, `*`, `+` (the unbounded ones are capped
+//! at 8 repetitions for generation). This covers every pattern in the
+//! workspace's property tests.
+
+use std::iter::Peekable;
+use std::str::Chars;
+
+use crate::test_runner::TestRng;
+
+/// Generate a string matching `pattern`.
+pub fn sample_regex(pattern: &str, rng: &mut TestRng) -> String {
+    let mut chars = pattern.chars().peekable();
+    let pieces = parse_sequence(&mut chars, None, pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        generate(piece, rng, &mut out);
+    }
+    out
+}
+
+/// Cap for `*` and `+` when generating.
+const UNBOUNDED_CAP: usize = 8;
+
+enum Node {
+    Literal(char),
+    Class(Vec<(char, char)>),
+    Group(Vec<Piece>),
+}
+
+struct Piece {
+    node: Node,
+    min: usize,
+    max: usize,
+}
+
+fn parse_sequence(
+    chars: &mut Peekable<Chars<'_>>,
+    terminator: Option<char>,
+    pattern: &str,
+) -> Vec<Piece> {
+    let mut pieces = Vec::new();
+    loop {
+        let c = match chars.peek().copied() {
+            None => {
+                assert!(
+                    terminator.is_none(),
+                    "unterminated group in pattern `{pattern}`"
+                );
+                break;
+            }
+            Some(c) if Some(c) == terminator => {
+                chars.next();
+                break;
+            }
+            Some(c) => c,
+        };
+        chars.next();
+        let node = match c {
+            '[' => Node::Class(parse_class(chars, pattern)),
+            '(' => Node::Group(parse_sequence(chars, Some(')'), pattern)),
+            '\\' => Node::Literal(
+                chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in pattern `{pattern}`")),
+            ),
+            other => Node::Literal(other),
+        };
+        let (min, max) = parse_quantifier(chars, pattern);
+        pieces.push(Piece { node, min, max });
+    }
+    pieces
+}
+
+fn parse_class(chars: &mut Peekable<Chars<'_>>, pattern: &str) -> Vec<(char, char)> {
+    let mut ranges = Vec::new();
+    loop {
+        let c = chars
+            .next()
+            .unwrap_or_else(|| panic!("unterminated class in pattern `{pattern}`"));
+        if c == ']' {
+            assert!(!ranges.is_empty(), "empty class in pattern `{pattern}`");
+            return ranges;
+        }
+        let start = if c == '\\' {
+            chars
+                .next()
+                .unwrap_or_else(|| panic!("dangling escape in pattern `{pattern}`"))
+        } else {
+            c
+        };
+        if chars.peek() == Some(&'-') {
+            // Lookahead: `-` is a range only when not immediately before `]`.
+            let mut ahead = chars.clone();
+            ahead.next();
+            if ahead.peek() != Some(&']') {
+                chars.next();
+                let end = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("unterminated range in pattern `{pattern}`"));
+                assert!(start <= end, "inverted range in pattern `{pattern}`");
+                ranges.push((start, end));
+                continue;
+            }
+        }
+        ranges.push((start, start));
+    }
+}
+
+fn parse_quantifier(chars: &mut Peekable<Chars<'_>>, pattern: &str) -> (usize, usize) {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    let (min, max) = match spec.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.parse().unwrap_or_else(|_| {
+                                panic!("bad quantifier `{{{spec}}}` in `{pattern}`")
+                            }),
+                            hi.parse().unwrap_or_else(|_| {
+                                panic!("bad quantifier `{{{spec}}}` in `{pattern}`")
+                            }),
+                        ),
+                        None => {
+                            let n = spec.parse().unwrap_or_else(|_| {
+                                panic!("bad quantifier `{{{spec}}}` in `{pattern}`")
+                            });
+                            (n, n)
+                        }
+                    };
+                    assert!(min <= max, "inverted quantifier in pattern `{pattern}`");
+                    return (min, max);
+                }
+                spec.push(c);
+            }
+            panic!("unterminated quantifier in pattern `{pattern}`");
+        }
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        Some('*') => {
+            chars.next();
+            (0, UNBOUNDED_CAP)
+        }
+        Some('+') => {
+            chars.next();
+            (1, UNBOUNDED_CAP)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn generate(piece: &Piece, rng: &mut TestRng, out: &mut String) {
+    let count = piece.min + rng.below((piece.max - piece.min + 1) as u64) as usize;
+    for _ in 0..count {
+        match &piece.node {
+            Node::Literal(c) => out.push(*c),
+            Node::Class(ranges) => {
+                let total: u64 = ranges
+                    .iter()
+                    .map(|(lo, hi)| *hi as u64 - *lo as u64 + 1)
+                    .sum();
+                let mut index = rng.below(total);
+                for (lo, hi) in ranges {
+                    let size = *hi as u64 - *lo as u64 + 1;
+                    if index < size {
+                        out.push(
+                            char::from_u32(*lo as u32 + index as u32)
+                                .expect("class range produced invalid char"),
+                        );
+                        break;
+                    }
+                    index -= size;
+                }
+            }
+            Node::Group(pieces) => {
+                for inner in pieces {
+                    generate(inner, rng, out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn check(pattern: &str, predicate: impl Fn(&str) -> bool) {
+        let mut rng = TestRng::from_name(pattern);
+        for _ in 0..200 {
+            let s = sample_regex(pattern, &mut rng);
+            assert!(predicate(&s), "pattern `{pattern}` produced `{s}`");
+        }
+    }
+
+    #[test]
+    fn classes_and_quantifiers() {
+        check("[a-z]{3}", |s| {
+            s.len() == 3 && s.chars().all(|c| c.is_ascii_lowercase())
+        });
+        check("[a-z ]{1,40}", |s| {
+            (1..=40).contains(&s.len())
+                && s.chars().all(|c| c.is_ascii_lowercase() || c == ' ')
+        });
+        check("[ -~]{0,20}", |s| {
+            s.len() <= 20 && s.chars().all(|c| (' '..='~').contains(&c))
+        });
+    }
+
+    #[test]
+    fn groups_and_literals() {
+        check("[a-z]{2,10}( [a-z]{2,10}){1,8}", |s| {
+            let words: Vec<&str> = s.split(' ').collect();
+            (2..=9).contains(&words.len())
+                && words
+                    .iter()
+                    .all(|w| (2..=10).contains(&w.len()) && w.chars().all(|c| c.is_ascii_lowercase()))
+        });
+        check("abc", |s| s == "abc");
+        check("[a-zA-Z][a-zA-Z0-9_ ]{0,80}", |s| {
+            !s.is_empty() && s.chars().next().unwrap().is_ascii_alphabetic()
+        });
+    }
+}

@@ -1,0 +1,146 @@
+//! Offline stand-in for `rand_chacha`.
+//!
+//! [`ChaCha8Rng`] is a genuine ChaCha block cipher core running 8 rounds,
+//! seeded via SplitMix64 expansion of a `u64` (the only construction the
+//! workspace uses). Stream values are deterministic across runs and
+//! platforms, which is all the reproduction depends on — they are *not*
+//! bit-compatible with the real rand_chacha crate.
+
+use rand::{RngCore, SeedableRng, SplitMix64};
+
+const ROUNDS: usize = 8;
+const BLOCK_WORDS: usize = 16;
+
+/// A ChaCha generator with 8 rounds.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Key + constant + counter state fed into each block.
+    state: [u32; BLOCK_WORDS],
+    /// Buffered output of the current block.
+    buffer: [u32; BLOCK_WORDS],
+    /// Next unread index into `buffer`; `BLOCK_WORDS` means exhausted.
+    index: usize,
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut seeder = SplitMix64(seed);
+        let mut key = [0u32; 8];
+        for pair in key.chunks_exact_mut(2) {
+            let word = seeder.next_word();
+            pair[0] = word as u32;
+            pair[1] = (word >> 32) as u32;
+        }
+        let mut state = [0u32; BLOCK_WORDS];
+        // "expand 32-byte k" constants.
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        state[4..12].copy_from_slice(&key);
+        // Words 12..14 are the 64-bit block counter, 14..16 the nonce (zero).
+        ChaCha8Rng {
+            state,
+            buffer: [0u32; BLOCK_WORDS],
+            index: BLOCK_WORDS,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        let low = self.next_word() as u64;
+        let high = self.next_word() as u64;
+        (high << 32) | low
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        self.next_word()
+    }
+}
+
+impl ChaCha8Rng {
+    fn next_word(&mut self) -> u32 {
+        if self.index == BLOCK_WORDS {
+            self.refill();
+        }
+        let word = self.buffer[self.index];
+        self.index += 1;
+        word
+    }
+
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (w, s)) in self
+            .buffer
+            .iter_mut()
+            .zip(working.iter().zip(self.state.iter()))
+        {
+            *out = w.wrapping_add(*s);
+        }
+        // Advance the 64-bit block counter.
+        let (low, carry) = self.state[12].overflowing_add(1);
+        self.state[12] = low;
+        if carry {
+            self.state[13] = self.state[13].wrapping_add(1);
+        }
+        self.index = 0;
+    }
+}
+
+fn quarter_round(state: &mut [u32; BLOCK_WORDS], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(99);
+        let mut b = ChaCha8Rng::seed_from_u64(99);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn works_through_rng_trait() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..100 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            let n = rng.gen_range(0..10usize);
+            assert!(n < 10);
+        }
+    }
+}

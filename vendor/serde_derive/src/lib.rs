@@ -1,0 +1,454 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stub.
+//!
+//! `syn`/`quote` are not available offline, so the item is parsed directly
+//! from the `proc_macro` token tree and the impls are emitted as strings.
+//! Supported shapes — all that the workspace uses — are non-generic structs
+//! (named, tuple, unit) and enums whose variants are unit, tuple, or struct
+//! shaped. Generic parameters (other than none) are rejected loudly rather
+//! than miscompiled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derive the stub `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Derive the stub `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Attribute: consume the bracketed group that follows.
+                tokens.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // Visibility, possibly `pub(crate)` etc.
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                let name = expect_ident(&mut tokens, "struct name");
+                reject_generics(&mut tokens, &name);
+                return match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                        name,
+                        kind: ItemKind::NamedStruct(parse_named_fields(g.stream())),
+                    },
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item {
+                        name,
+                        kind: ItemKind::TupleStruct(count_tuple_fields(g.stream())),
+                    },
+                    Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item {
+                        name,
+                        kind: ItemKind::UnitStruct,
+                    },
+                    other => panic!("serde_derive: unexpected token after struct {name}: {other:?}"),
+                };
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                let name = expect_ident(&mut tokens, "enum name");
+                reject_generics(&mut tokens, &name);
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        return Item {
+                            name,
+                            kind: ItemKind::Enum(parse_variants(g.stream())),
+                        };
+                    }
+                    other => panic!("serde_derive: unexpected token after enum {name}: {other:?}"),
+                }
+            }
+            Some(other) => panic!("serde_derive: unsupported item token: {other}"),
+            None => panic!("serde_derive: empty derive input"),
+        }
+    }
+}
+
+fn expect_ident(
+    tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
+    what: &str,
+) -> String {
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected {what}, got {other:?}"),
+    }
+}
+
+fn reject_generics(
+    tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
+    name: &str,
+) {
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive stub does not support generic type `{name}`");
+        }
+    }
+}
+
+/// Parse `name: Type, ...` field lists, returning the field names in order.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field {name}, got {other:?}"),
+        }
+        // Skip the type: everything until a comma outside angle brackets.
+        let mut angle_depth = 0i32;
+        for tt in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+/// Count fields of a tuple struct/variant: top-level comma-separated segments.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut segment_has_tokens = false;
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    if segment_has_tokens {
+                        count += 1;
+                    }
+                    segment_has_tokens = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        segment_has_tokens = true;
+    }
+    if segment_has_tokens {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes before the variant name.
+        while let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '#' {
+                tokens.next();
+                tokens.next();
+            } else {
+                break;
+            }
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let count = count_tuple_fields(g.stream());
+                tokens.next();
+                VariantFields::Tuple(count)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let names = parse_named_fields(g.stream());
+                tokens.next();
+                VariantFields::Named(names)
+            }
+            _ => VariantFields::Unit,
+        };
+        // Skip an optional discriminant and the trailing comma.
+        let mut angle_depth = 0i32;
+        for tt in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn named_fields_to_value(fields: &[String], access_prefix: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), \
+                 ::serde::Serialize::to_value(&{access_prefix}{f}))"
+            )
+        })
+        .collect();
+    format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => named_fields_to_value(fields, "self."),
+        ItemKind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        ItemKind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        ItemKind::UnitStruct => "::serde::Value::Null".to_string(),
+        ItemKind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => format!(
+                            "{name}::{vname} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                        ),
+                        VariantFields::Tuple(1) => format!(
+                            "{name}::{vname}(__f0) => ::serde::__private::variant_map(\
+                             \"{vname}\", ::serde::Serialize::to_value(__f0)),"
+                        ),
+                        VariantFields::Tuple(n) => {
+                            let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::__private::variant_map(\
+                                 \"{vname}\", ::serde::Value::Seq(::std::vec![{}])),",
+                                binders.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantFields::Named(fields) => {
+                            let map = named_fields_to_value(fields, "");
+                            format!(
+                                "{name}::{vname} {{ {} }} => \
+                                 ::serde::__private::variant_map(\"{vname}\", {map}),",
+                                fields.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn named_fields_from_map(type_path: &str, fields: &[String], map_expr: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::__private::field({map_expr}, \"{f}\")?"))
+        .collect();
+    format!("{type_path} {{ {} }}", inits.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let init = named_fields_from_map(name, fields, "__map");
+            format!(
+                "let __map = __value.as_map().ok_or_else(|| \
+                 ::serde::Error::expected(\"map\", \"{name}\"))?;\n\
+                 ::std::result::Result::Ok({init})"
+            )
+        }
+        ItemKind::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))"
+        ),
+        ItemKind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__seq[{i}])?"))
+                .collect();
+            format!(
+                "let __seq = __value.as_seq().ok_or_else(|| \
+                 ::serde::Error::expected(\"sequence\", \"{name}\"))?;\n\
+                 if __seq.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::Error::custom(\"wrong tuple length for {name}\")); }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        ItemKind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        ItemKind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, VariantFields::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    format!("\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),")
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => None,
+                        VariantFields::Tuple(1) => Some(format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_value(__payload)?)),"
+                        )),
+                        VariantFields::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&__seq[{i}])?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{\n\
+                                 let __seq = __payload.as_seq().ok_or_else(|| \
+                                 ::serde::Error::expected(\"sequence\", \"{name}::{vname}\"))?;\n\
+                                 if __seq.len() != {n} {{ return ::std::result::Result::Err(\
+                                 ::serde::Error::custom(\
+                                 \"wrong tuple length for {name}::{vname}\")); }}\n\
+                                 ::std::result::Result::Ok({name}::{vname}({}))\n\
+                                 }}",
+                                items.join(", ")
+                            ))
+                        }
+                        VariantFields::Named(fields) => {
+                            let init = named_fields_from_map(
+                                &format!("{name}::{vname}"),
+                                fields,
+                                "__map",
+                            );
+                            Some(format!(
+                                "\"{vname}\" => {{\n\
+                                 let __map = __payload.as_map().ok_or_else(|| \
+                                 ::serde::Error::expected(\"map\", \"{name}::{vname}\"))?;\n\
+                                 ::std::result::Result::Ok({init})\n\
+                                 }}"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __value {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {unit}\n\
+                 __other => ::std::result::Result::Err(\
+                 ::serde::Error::unknown_variant(__other, \"{name}\")),\n\
+                 }},\n\
+                 ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __payload) = &__entries[0];\n\
+                 let _ = __payload;\n\
+                 match __tag.as_str() {{\n\
+                 {tagged}\n\
+                 __other => ::std::result::Result::Err(\
+                 ::serde::Error::unknown_variant(__other, \"{name}\")),\n\
+                 }}\n\
+                 }},\n\
+                 _ => ::std::result::Result::Err(\
+                 ::serde::Error::expected(\"enum representation\", \"{name}\")),\n\
+                 }}",
+                unit = unit_arms.join("\n"),
+                tagged = tagged_arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__value: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}
