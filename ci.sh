@@ -13,6 +13,9 @@ cargo test -q --workspace
 echo "==> cargo bench --no-run --workspace"
 cargo bench --no-run --workspace
 
+echo "==> exec bench (planned vs legacy engine; emits BENCH_exec.json)"
+cargo run --release -p bp-bench --bin exec_bench
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

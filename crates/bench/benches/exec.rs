@@ -1,0 +1,94 @@
+//! Criterion micro-benchmarks of the two query-execution engines.
+//!
+//! Runs the same queries through `ExecStrategy::Planned` (hash joins,
+//! compiled expressions, subquery caching) and `ExecStrategy::Legacy` (the
+//! tree-walking interpreter) at laptop scale, so `cargo bench` stays fast.
+//! The asymptotic comparison at the `CorpusScale::Large` setting — the one
+//! recorded in `BENCH_exec.json` — lives in the `exec_bench` binary
+//! (`cargo run --release -p bp-bench --bin exec_bench`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use bp_datasets::{BenchmarkKind, GeneratedBenchmark};
+use bp_storage::{Database, ExecStrategy};
+
+/// The first two-table equi-join SQL over the corpus's foreign keys.
+fn equi_join_sql(db: &Database) -> String {
+    for table in db.tables() {
+        for column in &table.schema.columns {
+            if let Some((parent, pk)) = &column.references {
+                return format!(
+                    "SELECT c.{fk}, p.{pk} FROM {child} c JOIN {parent} p ON c.{fk} = p.{pk}",
+                    fk = column.name,
+                    child = table.schema.name,
+                );
+            }
+        }
+    }
+    panic!("generated corpus always has foreign keys");
+}
+
+fn bench_two_table_join(c: &mut Criterion) {
+    let corpus = GeneratedBenchmark::generate(BenchmarkKind::Spider, 4, 11);
+    let sql = equi_join_sql(&corpus.database);
+    let query = bp_sql::parse_query(&sql).unwrap();
+    c.bench_function("exec/two-table equi-join (planned, hash join)", |b| {
+        b.iter(|| corpus.database.execute_with(&query, ExecStrategy::Planned).unwrap())
+    });
+    c.bench_function("exec/two-table equi-join (legacy, nested loop)", |b| {
+        b.iter(|| corpus.database.execute_with(&query, ExecStrategy::Legacy).unwrap())
+    });
+}
+
+fn bench_workload(c: &mut Criterion) {
+    let corpus = GeneratedBenchmark::generate(BenchmarkKind::Beaver, 12, 29);
+    let queries: Vec<_> = corpus
+        .log
+        .iter()
+        .map(|e| bp_sql::parse_query(&e.sql).unwrap())
+        .collect();
+    c.bench_function("exec/Beaver 12-query workload (planned)", |b| {
+        b.iter(|| {
+            for q in &queries {
+                corpus
+                    .database
+                    .execute_with(q, ExecStrategy::Planned)
+                    .unwrap();
+            }
+        })
+    });
+    c.bench_function("exec/Beaver 12-query workload (legacy)", |b| {
+        b.iter(|| {
+            for q in &queries {
+                corpus
+                    .database
+                    .execute_with(q, ExecStrategy::Legacy)
+                    .unwrap();
+            }
+        })
+    });
+}
+
+fn bench_planning_overhead(c: &mut Criterion) {
+    let corpus = GeneratedBenchmark::generate(BenchmarkKind::Spider, 4, 11);
+    let sql = equi_join_sql(&corpus.database);
+    let query = bp_sql::parse_query(&sql).unwrap();
+    c.bench_function("exec/logical planning only", |b| {
+        b.iter(|| corpus.database.plan(&query).unwrap())
+    });
+}
+
+fn configure() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = configure();
+    targets = bench_two_table_join, bench_workload, bench_planning_overhead
+}
+criterion_main!(benches);

@@ -1,0 +1,214 @@
+//! `exec_bench` — wall-clock comparison of the planned query engine vs the
+//! legacy tree-walking interpreter, recorded as `BENCH_exec.json`.
+//!
+//! The headline measurement is a two-table foreign-key equi-join over a
+//! corpus generated at the `CorpusScale::Large` setting (32× rows), where
+//! the interpreter's nested loop is quadratic and the planned engine's hash
+//! join is linear; the acceptance target is a ≥5× speedup. A full
+//! generated workload at `CorpusScale::Medium` is measured as a secondary,
+//! mixed-shape signal. Results from both engines are asserted identical
+//! before timing is trusted.
+//!
+//! Run with: `cargo run --release -p bp-bench --bin exec_bench`
+//! (CI runs this and archives `BENCH_exec.json`; see `ci.sh`.)
+
+use std::time::Instant;
+
+use bp_datasets::{BenchmarkKind, CorpusScale, GeneratedBenchmark};
+use bp_sql::Query;
+use bp_storage::{Database, ExecStrategy};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct JoinMeasurement {
+    sql: String,
+    rows_per_table: usize,
+    output_rows: usize,
+    legacy_ms: f64,
+    planned_ms: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct WorkloadMeasurement {
+    kind: String,
+    scale: String,
+    queries: usize,
+    legacy_ms: f64,
+    planned_ms: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct ExecBenchReport {
+    bench: String,
+    unix_time: u64,
+    join_scale: String,
+    two_table_equi_join: JoinMeasurement,
+    workload: WorkloadMeasurement,
+    speedup_target: f64,
+    meets_target: bool,
+}
+
+/// Median wall-clock milliseconds over `iters` runs of `f`, after one
+/// untimed warm-up run. For even sample counts the lower median is used so
+/// a single slow outlier cannot inflate the reported time.
+fn time_ms<T>(iters: usize, mut f: impl FnMut() -> T) -> f64 {
+    std::hint::black_box(f());
+    let mut samples: Vec<f64> = (0..iters.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timing"));
+    samples[(samples.len() - 1) / 2]
+}
+
+/// The first two-table foreign-key equi-join over the corpus schema.
+fn equi_join_query(db: &Database) -> (String, Query) {
+    for table in db.tables() {
+        for column in &table.schema.columns {
+            if let Some((parent, pk)) = &column.references {
+                let sql = format!(
+                    "SELECT c.{fk}, p.{pk} FROM {child} c JOIN {parent} p ON c.{fk} = p.{pk}",
+                    fk = column.name,
+                    child = table.schema.name,
+                );
+                let query = bp_sql::parse_query(&sql).expect("generated join SQL parses");
+                return (sql, query);
+            }
+        }
+    }
+    panic!("generated corpus always has foreign keys");
+}
+
+fn main() {
+    const TARGET: f64 = 5.0;
+
+    // --- Headline: two-table equi-join at the large scale setting -------
+    let join_scale = CorpusScale::Large;
+    println!(
+        "generating Spider corpus at scale '{}' ({}x rows)...",
+        join_scale.name(),
+        join_scale.row_factor()
+    );
+    let large = GeneratedBenchmark::generate_scaled(BenchmarkKind::Spider, 4, 7, join_scale);
+    let (join_sql, join_query) = equi_join_query(&large.database);
+    println!("join query: {join_sql}");
+
+    let planned_result = large
+        .database
+        .execute_with(&join_query, ExecStrategy::Planned)
+        .expect("planned join executes");
+    let legacy_result = large
+        .database
+        .execute_with(&join_query, ExecStrategy::Legacy)
+        .expect("legacy join executes");
+    assert_eq!(
+        legacy_result, planned_result,
+        "engines must agree before timings mean anything"
+    );
+
+    let planned_ms = time_ms(9, || {
+        large
+            .database
+            .execute_with(&join_query, ExecStrategy::Planned)
+            .unwrap()
+    });
+    // The nested loop is quadratic here; one timed run after the warm-up
+    // keeps the binary's runtime bounded.
+    let legacy_ms = time_ms(1, || {
+        large
+            .database
+            .execute_with(&join_query, ExecStrategy::Legacy)
+            .unwrap()
+    });
+    let join_speedup = legacy_ms / planned_ms.max(1e-6);
+    println!(
+        "two-table equi-join @ {} rows/table: legacy {legacy_ms:.1} ms, planned {planned_ms:.1} ms -> {join_speedup:.0}x",
+        large.profile.rows_per_table
+    );
+
+    // --- Secondary: a full mixed workload at medium scale ----------------
+    let workload_scale = CorpusScale::Medium;
+    let medium =
+        GeneratedBenchmark::generate_scaled(BenchmarkKind::Spider, 12, 19, workload_scale);
+    let queries: Vec<Query> = medium
+        .log
+        .iter()
+        .map(|e| bp_sql::parse_query(&e.sql).expect("generated SQL parses"))
+        .collect();
+    for query in &queries {
+        let l = medium
+            .database
+            .execute_with(query, ExecStrategy::Legacy)
+            .expect("legacy executes workload query");
+        let p = medium
+            .database
+            .execute_with(query, ExecStrategy::Planned)
+            .expect("planned executes workload query");
+        assert_eq!(l, p, "workload divergence");
+    }
+    let workload_planned_ms = time_ms(3, || {
+        for query in &queries {
+            medium
+                .database
+                .execute_with(query, ExecStrategy::Planned)
+                .unwrap();
+        }
+    });
+    let workload_legacy_ms = time_ms(1, || {
+        for query in &queries {
+            medium
+                .database
+                .execute_with(query, ExecStrategy::Legacy)
+                .unwrap();
+        }
+    });
+    let workload_speedup = workload_legacy_ms / workload_planned_ms.max(1e-6);
+    println!(
+        "Spider 12-query workload @ {}: legacy {workload_legacy_ms:.1} ms, planned {workload_planned_ms:.1} ms -> {workload_speedup:.1}x",
+        workload_scale.name()
+    );
+
+    // --- Record --------------------------------------------------------
+    let meets_target = join_speedup >= TARGET;
+    let report = ExecBenchReport {
+        bench: "exec".into(),
+        unix_time: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        join_scale: join_scale.name().into(),
+        two_table_equi_join: JoinMeasurement {
+            sql: join_sql,
+            rows_per_table: large.profile.rows_per_table,
+            output_rows: planned_result.row_count(),
+            legacy_ms,
+            planned_ms,
+            speedup: join_speedup,
+        },
+        workload: WorkloadMeasurement {
+            kind: medium.kind.name().into(),
+            scale: workload_scale.name().into(),
+            queries: queries.len(),
+            legacy_ms: workload_legacy_ms,
+            planned_ms: workload_planned_ms,
+            speedup: workload_speedup,
+        },
+        speedup_target: TARGET,
+        meets_target,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_exec.json", format!("{json}\n")).expect("write BENCH_exec.json");
+    println!("wrote BENCH_exec.json");
+    println!(
+        "shape check: hash join {} the >= {TARGET:.0}x target over the nested loop ({join_speedup:.0}x)",
+        if meets_target { "MEETS" } else { "MISSES" }
+    );
+    if !meets_target {
+        std::process::exit(1);
+    }
+}

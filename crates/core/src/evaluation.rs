@@ -2,7 +2,7 @@
 //! (paper §5.2 / Figure 4) and text-to-SQL execution accuracy (Figure 1).
 
 use crate::project::Project;
-use bp_llm::{Backtranslator, EvalItem, ExecutionAccuracyReport, ModelKind};
+use bp_llm::{Backtranslator, EvalItem, ExecStrategy, ExecutionAccuracyReport, ModelKind};
 use bp_metrics::{grade, ClarityHistogram, ClarityLevel, RubricOutcome};
 use serde::{Deserialize, Serialize};
 
@@ -72,12 +72,26 @@ pub fn backtranslation_study(project: &Project, model: ModelKind) -> Backtransla
 
 /// Evaluate a text-to-SQL model's execution accuracy on a project's log,
 /// using the gold questions ingested with the log. This is the per-project
-/// form of the Figure 1 experiment.
+/// form of the Figure 1 experiment; grading runs on the default execution
+/// strategy (the planned engine).
 pub fn execution_accuracy(
     project: &Project,
     model: ModelKind,
     schema_ambiguity: f64,
     seed: u64,
+) -> ExecutionAccuracyReport {
+    execution_accuracy_with(project, model, schema_ambiguity, seed, ExecStrategy::default())
+}
+
+/// [`execution_accuracy`] with an explicit execution engine. Large logs
+/// grade with [`ExecStrategy::Planned`]; [`ExecStrategy::Legacy`] pins the
+/// interpreter oracle for differential checks of the grader.
+pub fn execution_accuracy_with(
+    project: &Project,
+    model: ModelKind,
+    schema_ambiguity: f64,
+    seed: u64,
+    strategy: ExecStrategy,
 ) -> ExecutionAccuracyReport {
     let lexicon = project.lexicon();
     let items: Vec<EvalItem> = project
@@ -92,7 +106,13 @@ pub fn execution_accuracy(
             },
         })
         .collect();
-    bp_llm::evaluate_execution_accuracy(&model.profile(), &items, project.database(), seed)
+    bp_llm::evaluate_execution_accuracy_with(
+        &model.profile(),
+        &items,
+        project.database(),
+        seed,
+        strategy,
+    )
 }
 
 #[cfg(test)]
@@ -159,5 +179,15 @@ mod tests {
         // Deterministic.
         let again = execution_accuracy(&project, ModelKind::Gpt4o, 0.1, 3);
         assert_eq!(report, again);
+    }
+
+    #[test]
+    fn execution_accuracy_is_engine_independent() {
+        let project = finalized_project(true);
+        let planned =
+            execution_accuracy_with(&project, ModelKind::Gpt4o, 0.1, 3, ExecStrategy::Planned);
+        let legacy =
+            execution_accuracy_with(&project, ModelKind::Gpt4o, 0.1, 3, ExecStrategy::Legacy);
+        assert_eq!(planned, legacy);
     }
 }

@@ -1,6 +1,6 @@
 //! Assembled benchmark corpora: database + SQL log + lexicon in one value.
 
-use crate::profile::{BenchmarkKind, BenchmarkProfile};
+use crate::profile::{BenchmarkKind, BenchmarkProfile, CorpusScale};
 use crate::query_gen::{generate_workload, LogEntry};
 use crate::schema_gen::{generate_database, lexicon_for};
 use crate::vocab::DomainLexicon;
@@ -23,9 +23,23 @@ pub struct GeneratedBenchmark {
 }
 
 impl GeneratedBenchmark {
-    /// Generate a benchmark corpus with `query_count` log entries.
+    /// Generate a benchmark corpus with `query_count` log entries at the
+    /// default laptop scale.
     pub fn generate(kind: BenchmarkKind, query_count: usize, seed: u64) -> Self {
-        let profile = kind.profile();
+        Self::generate_scaled(kind, query_count, seed, CorpusScale::Laptop)
+    }
+
+    /// Generate a benchmark corpus at an explicit data-volume scale. Larger
+    /// scales multiply per-table row counts (see [`CorpusScale`]), producing
+    /// corpora big enough to expose asymptotic engine behavior; everything
+    /// else (schema, query mix, determinism per seed) is unchanged.
+    pub fn generate_scaled(
+        kind: BenchmarkKind,
+        query_count: usize,
+        seed: u64,
+        scale: CorpusScale,
+    ) -> Self {
+        let profile = kind.profile().scaled(scale);
         let database = generate_database(&profile, seed);
         let lexicon = lexicon_for(kind);
         let log = generate_workload(&database, &profile, &lexicon, query_count, seed ^ 0xbeef);
@@ -95,6 +109,24 @@ mod tests {
     fn beaver_corpus_has_lexicon() {
         let corpus = GeneratedBenchmark::generate(BenchmarkKind::Beaver, 3, 9);
         assert!(!corpus.lexicon.is_empty());
+    }
+
+    #[test]
+    fn scaled_corpus_multiplies_rows_but_keeps_schema() {
+        let base = GeneratedBenchmark::generate(BenchmarkKind::Spider, 4, 7);
+        let medium =
+            GeneratedBenchmark::generate_scaled(BenchmarkKind::Spider, 4, 7, CorpusScale::Medium);
+        assert_eq!(medium.database.table_count(), base.database.table_count());
+        assert_eq!(medium.schema_text(), base.schema_text());
+        assert!(
+            medium.database.total_rows() >= base.database.total_rows() * 7,
+            "medium scale should hold ~8x the rows: {} vs {}",
+            medium.database.total_rows(),
+            base.database.total_rows()
+        );
+        for entry in &medium.log {
+            medium.database.execute_sql(&entry.sql).unwrap();
+        }
     }
 
     #[test]

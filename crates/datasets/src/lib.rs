@@ -30,7 +30,7 @@ pub mod schema_gen;
 pub mod vocab;
 
 pub use dataset::GeneratedBenchmark;
-pub use profile::{BenchmarkKind, BenchmarkProfile, QueryMix};
+pub use profile::{BenchmarkKind, BenchmarkProfile, CorpusScale, QueryMix};
 pub use query_gen::{generate_workload, LogEntry};
 pub use schema_gen::{generate_database, lexicon_for};
 pub use vocab::{DomainLexicon, DomainTerm};

@@ -221,6 +221,42 @@ impl QueryMix {
     }
 }
 
+/// Data-volume scale for generated corpora. The default profiles target
+/// laptop-scale row counts; larger settings multiply `rows_per_table` so
+/// that asymptotic engine behavior (hash join vs nested loop, pushdown)
+/// becomes measurable. All cross-benchmark ratios are preserved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum CorpusScale {
+    /// 1× rows (the historical default).
+    #[default]
+    Laptop,
+    /// 8× rows.
+    Medium,
+    /// 32× rows — large enough that nested-loop joins are visibly
+    /// quadratic while the planned engine stays near-linear.
+    Large,
+}
+
+impl CorpusScale {
+    /// The row-count multiplier applied to `rows_per_table`.
+    pub fn row_factor(&self) -> usize {
+        match self {
+            CorpusScale::Laptop => 1,
+            CorpusScale::Medium => 8,
+            CorpusScale::Large => 32,
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CorpusScale::Laptop => "laptop",
+            CorpusScale::Medium => "medium",
+            CorpusScale::Large => "large",
+        }
+    }
+}
+
 /// Generator parameters plus paper targets for one benchmark.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BenchmarkProfile {
@@ -272,9 +308,35 @@ pub struct BenchmarkProfile {
     pub query_mix: QueryMix,
 }
 
+impl BenchmarkProfile {
+    /// Scale the generated data volume by multiplying `rows_per_table`.
+    pub fn with_row_scale(mut self, factor: usize) -> Self {
+        self.rows_per_table = self.rows_per_table.saturating_mul(factor.max(1));
+        self
+    }
+
+    /// Apply a [`CorpusScale`] setting.
+    pub fn scaled(self, scale: CorpusScale) -> Self {
+        self.with_row_scale(scale.row_factor())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn scale_multiplies_rows_and_preserves_ratios() {
+        let base = BenchmarkKind::Spider.profile();
+        let large = BenchmarkKind::Spider.profile().scaled(CorpusScale::Large);
+        assert_eq!(large.rows_per_table, base.rows_per_table * 32);
+        assert_eq!(
+            BenchmarkKind::Beaver.profile().scaled(CorpusScale::Medium).rows_per_table,
+            BenchmarkKind::Beaver.profile().rows_per_table * 8
+        );
+        assert_eq!(base.scaled(CorpusScale::Laptop).rows_per_table, 128);
+        assert_eq!(CorpusScale::Large.name(), "large");
+    }
 
     #[test]
     fn all_profiles_exist_and_are_consistent() {

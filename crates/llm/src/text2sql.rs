@@ -12,7 +12,7 @@ use crate::corrupt::{apply, Corruption};
 use crate::model::ModelProfile;
 use crate::sql2nl::stable_hash;
 use bp_sql::{analyze, Query};
-use bp_storage::{results_match, Catalog, Database};
+use bp_storage::{results_match, Catalog, Database, ExecStrategy};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -134,7 +134,8 @@ impl ExecutionAccuracyReport {
     }
 }
 
-/// Evaluate a model's execution accuracy over a workload against a database.
+/// Evaluate a model's execution accuracy over a workload against a database
+/// with the default execution strategy (the planned engine).
 ///
 /// Every prediction is executed on `db` and compared to the gold result with
 /// the Spider/Bird execution-accuracy convention (see
@@ -145,6 +146,19 @@ pub fn evaluate_execution_accuracy(
     items: &[EvalItem],
     db: &Database,
     seed: u64,
+) -> ExecutionAccuracyReport {
+    evaluate_execution_accuracy_with(profile, items, db, seed, ExecStrategy::default())
+}
+
+/// [`evaluate_execution_accuracy`] with an explicit engine choice — grading
+/// million-entry logs wants [`ExecStrategy::Planned`]; differential checks
+/// of the grader itself can pin [`ExecStrategy::Legacy`].
+pub fn evaluate_execution_accuracy_with(
+    profile: &ModelProfile,
+    items: &[EvalItem],
+    db: &Database,
+    seed: u64,
+    strategy: ExecStrategy,
 ) -> ExecutionAccuracyReport {
     let mut correct = 0;
     let mut invalid = 0;
@@ -160,14 +174,14 @@ pub fn evaluate_execution_accuracy(
             }
         };
         let prediction = predict_sql(profile, &gold_query, item.difficulty, db.catalog(), &mut rng);
-        let predicted_result = match db.execute_sql(&prediction.sql) {
+        let predicted_result = match db.execute_sql_with(&prediction.sql, strategy) {
             Ok(r) => r,
             Err(_) => {
                 invalid += 1;
                 continue;
             }
         };
-        let gold_result = match db.execute(&gold_query) {
+        let gold_result = match db.execute_with(&gold_query, strategy) {
             Ok(r) => r,
             Err(_) => continue,
         };
@@ -311,6 +325,29 @@ mod tests {
         let hard_acc = hard_correct as f64 / hard_total as f64;
         assert!(easy_acc > 0.6, "easy accuracy too low: {easy_acc}");
         assert!(hard_acc < 0.2, "hard accuracy too high: {hard_acc}");
+    }
+
+    #[test]
+    fn grading_agrees_across_execution_engines() {
+        let db = campus_db();
+        let profile = ModelKind::Gpt4o.profile();
+        for items in [easy_items(), hard_items()] {
+            let planned = evaluate_execution_accuracy_with(
+                &profile,
+                &items,
+                &db,
+                11,
+                ExecStrategy::Planned,
+            );
+            let legacy = evaluate_execution_accuracy_with(
+                &profile,
+                &items,
+                &db,
+                11,
+                ExecStrategy::Legacy,
+            );
+            assert_eq!(planned, legacy);
+        }
     }
 
     #[test]

@@ -294,6 +294,248 @@ fn walk_expr(expr: &Expr, depth: usize, a: &mut QueryAnalysis) {
     }
 }
 
+// ---------------------------------------------------------------------
+// Predicate structure analysis: conjunct splitting, column references and
+// equi-join key extraction.
+//
+// These helpers are shared by query *decomposition* (correlation checks on
+// subqueries) and by `bp-storage`'s query *planner* (predicate pushdown and
+// hash-join key selection), so the two layers agree on what counts as a
+// column reference and as an equi-join predicate.
+// ---------------------------------------------------------------------
+
+/// A column reference extracted from an expression: an optional qualifier
+/// (table alias) and the column identifier. Mirrors how the executor
+/// interprets compound identifiers: for `a.b.c` the qualifier is the
+/// second-to-last part and the column the last.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnRef {
+    /// Qualifier identifier (e.g. the `t` of `t.x`), if present.
+    pub qualifier: Option<Ident>,
+    /// The column identifier.
+    pub column: Ident,
+}
+
+impl ColumnRef {
+    /// Case-normalized qualifier, if present.
+    pub fn normalized_qualifier(&self) -> Option<String> {
+        self.qualifier.as_ref().map(|q| q.normalized())
+    }
+
+    /// Case-normalized column name.
+    pub fn normalized_column(&self) -> String {
+        self.column.normalized()
+    }
+}
+
+/// Interpret an expression as a bare column reference, unwrapping
+/// parentheses. Returns `None` for anything that is not a plain (possibly
+/// qualified) identifier.
+pub fn column_ref(expr: &Expr) -> Option<ColumnRef> {
+    match expr {
+        Expr::Identifier(ident) => Some(ColumnRef {
+            qualifier: None,
+            column: ident.clone(),
+        }),
+        Expr::CompoundIdentifier(parts) => match parts.len() {
+            0 => None,
+            1 => Some(ColumnRef {
+                qualifier: None,
+                column: parts[0].clone(),
+            }),
+            n => Some(ColumnRef {
+                qualifier: Some(parts[n - 2].clone()),
+                column: parts[n - 1].clone(),
+            }),
+        },
+        Expr::Nested(inner) => column_ref(inner),
+        _ => None,
+    }
+}
+
+/// Split a predicate into its top-level `AND`-ed conjuncts, unwrapping
+/// parentheses around conjunctions. `a AND (b AND c)` yields `[a, b, c]`.
+pub fn split_conjuncts(expr: &Expr) -> Vec<&Expr> {
+    let mut out = Vec::new();
+    fn walk<'e>(expr: &'e Expr, out: &mut Vec<&'e Expr>) {
+        match expr {
+            Expr::BinaryOp {
+                left,
+                op: BinaryOperator::And,
+                right,
+            } => {
+                walk(left, out);
+                walk(right, out);
+            }
+            Expr::Nested(inner) if matches!(
+                inner.as_ref(),
+                Expr::BinaryOp { op: BinaryOperator::And, .. } | Expr::Nested(_)
+            ) => walk(inner, out),
+            other => out.push(other),
+        }
+    }
+    walk(expr, &mut out);
+    out
+}
+
+/// Collect every column reference in an expression, *without* descending
+/// into subqueries (their references belong to their own scopes). Used by
+/// the planner to decide where a predicate can be evaluated.
+pub fn collect_column_refs(expr: &Expr, out: &mut Vec<ColumnRef>) {
+    match expr {
+        Expr::Identifier(_) | Expr::CompoundIdentifier(_) => {
+            if let Some(cr) = column_ref(expr) {
+                out.push(cr);
+            }
+        }
+        Expr::Literal(_) | Expr::Wildcard => {}
+        Expr::BinaryOp { left, right, .. } => {
+            collect_column_refs(left, out);
+            collect_column_refs(right, out);
+        }
+        Expr::UnaryOp { expr, .. } => collect_column_refs(expr, out),
+        Expr::Function { args, .. } => {
+            for arg in args {
+                collect_column_refs(arg, out);
+            }
+        }
+        Expr::Case {
+            operand,
+            conditions,
+            else_result,
+        } => {
+            if let Some(op) = operand {
+                collect_column_refs(op, out);
+            }
+            for (c, r) in conditions {
+                collect_column_refs(c, out);
+                collect_column_refs(r, out);
+            }
+            if let Some(e) = else_result {
+                collect_column_refs(e, out);
+            }
+        }
+        Expr::Exists { .. } | Expr::Subquery(_) => {}
+        Expr::InSubquery { expr, .. } => collect_column_refs(expr, out),
+        Expr::InList { expr, list, .. } => {
+            collect_column_refs(expr, out);
+            for item in list {
+                collect_column_refs(item, out);
+            }
+        }
+        Expr::Between {
+            expr, low, high, ..
+        } => {
+            collect_column_refs(expr, out);
+            collect_column_refs(low, out);
+            collect_column_refs(high, out);
+        }
+        Expr::IsNull { expr, .. } => collect_column_refs(expr, out),
+        Expr::Like { expr, pattern, .. } => {
+            collect_column_refs(expr, out);
+            collect_column_refs(pattern, out);
+        }
+        Expr::Cast { expr, .. } => collect_column_refs(expr, out),
+        Expr::Nested(inner) => collect_column_refs(inner, out),
+    }
+}
+
+/// The direct subqueries of an expression (not recursing into them).
+pub fn expr_subqueries(expr: &Expr) -> Vec<&Query> {
+    let mut out = Vec::new();
+    fn walk<'e>(expr: &'e Expr, out: &mut Vec<&'e Query>) {
+        match expr {
+            Expr::Exists { subquery, .. } | Expr::Subquery(subquery) => out.push(subquery),
+            Expr::InSubquery { expr, subquery, .. } => {
+                walk(expr, out);
+                out.push(subquery);
+            }
+            Expr::BinaryOp { left, right, .. } => {
+                walk(left, out);
+                walk(right, out);
+            }
+            Expr::UnaryOp { expr, .. } => walk(expr, out),
+            Expr::Function { args, .. } => args.iter().for_each(|a| walk(a, out)),
+            Expr::Case {
+                operand,
+                conditions,
+                else_result,
+            } => {
+                if let Some(op) = operand {
+                    walk(op, out);
+                }
+                for (c, r) in conditions {
+                    walk(c, out);
+                    walk(r, out);
+                }
+                if let Some(e) = else_result {
+                    walk(e, out);
+                }
+            }
+            Expr::InList { expr, list, .. } => {
+                walk(expr, out);
+                list.iter().for_each(|e| walk(e, out));
+            }
+            Expr::Between {
+                expr, low, high, ..
+            } => {
+                walk(expr, out);
+                walk(low, out);
+                walk(high, out);
+            }
+            Expr::IsNull { expr, .. } => walk(expr, out),
+            Expr::Like { expr, pattern, .. } => {
+                walk(expr, out);
+                walk(pattern, out);
+            }
+            Expr::Cast { expr, .. } | Expr::Nested(expr) => walk(expr, out),
+            Expr::Identifier(_)
+            | Expr::CompoundIdentifier(_)
+            | Expr::Literal(_)
+            | Expr::Wildcard => {}
+        }
+    }
+    walk(expr, &mut out);
+    out
+}
+
+/// Result of analyzing a join predicate for hash-joinable keys.
+#[derive(Debug, Clone)]
+pub struct JoinKeyExtraction<'a> {
+    /// `col = col` conjuncts: the two column references plus the original
+    /// conjunct (kept so callers that cannot use a pair can fall back to
+    /// evaluating it).
+    pub pairs: Vec<(ColumnRef, ColumnRef, &'a Expr)>,
+    /// Conjuncts that are not bare column equalities.
+    pub residual: Vec<&'a Expr>,
+}
+
+/// Extract candidate equi-join keys from a join predicate: every top-level
+/// conjunct of the form `<column> = <column>`. Which side each column
+/// belongs to is left to the caller (the planner resolves the references
+/// against its relation bindings).
+pub fn equi_join_keys(on: &Expr) -> JoinKeyExtraction<'_> {
+    let mut extraction = JoinKeyExtraction {
+        pairs: Vec::new(),
+        residual: Vec::new(),
+    };
+    for conjunct in split_conjuncts(on) {
+        if let Expr::BinaryOp {
+            left,
+            op: BinaryOperator::Eq,
+            right,
+        } = conjunct
+        {
+            if let (Some(l), Some(r)) = (column_ref(left), column_ref(right)) {
+                extraction.pairs.push((l, r, conjunct));
+                continue;
+            }
+        }
+        extraction.residual.push(conjunct);
+    }
+    extraction
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -403,5 +645,66 @@ mod tests {
     fn columns_deduplicated_case_insensitively() {
         let a = analyze_sql("SELECT Name, NAME, name FROM t WHERE name = 'x'");
         assert_eq!(a.column_count(), 1);
+    }
+
+    fn parse_where(sql: &str) -> Expr {
+        parse_query(sql)
+            .unwrap()
+            .top_select()
+            .unwrap()
+            .selection
+            .clone()
+            .unwrap()
+    }
+
+    #[test]
+    fn split_conjuncts_flattens_and_tree() {
+        let e = parse_where("SELECT 1 FROM t WHERE a = 1 AND (b = 2 AND c > 3) AND d < 4");
+        let conjuncts = split_conjuncts(&e);
+        assert_eq!(conjuncts.len(), 4);
+        // OR is not split.
+        let e2 = parse_where("SELECT 1 FROM t WHERE a = 1 OR b = 2");
+        assert_eq!(split_conjuncts(&e2).len(), 1);
+    }
+
+    #[test]
+    fn column_ref_unwraps_nesting_and_qualifiers() {
+        let cr = column_ref(&Expr::qcol("t", "x")).unwrap();
+        assert_eq!(cr.normalized_qualifier(), Some("T".into()));
+        assert_eq!(cr.normalized_column(), "X");
+        let bare = column_ref(&Expr::col("y")).unwrap();
+        assert_eq!(bare.qualifier, None);
+        let nested = column_ref(&Expr::Nested(Box::new(Expr::col("z")))).unwrap();
+        assert_eq!(nested.normalized_column(), "Z");
+        assert!(column_ref(&Expr::number(1)).is_none());
+    }
+
+    #[test]
+    fn equi_join_keys_separates_pairs_from_residual() {
+        let on = parse_where(
+            "SELECT 1 FROM t WHERE a.x = b.y AND a.k = b.k AND a.z > 3 AND a.w = 1",
+        );
+        let extraction = equi_join_keys(&on);
+        assert_eq!(extraction.pairs.len(), 2);
+        assert_eq!(extraction.pairs[0].0.normalized_column(), "X");
+        assert_eq!(extraction.pairs[0].1.normalized_qualifier(), Some("B".into()));
+        // `a.z > 3` (not Eq) and `a.w = 1` (literal side) are residual.
+        assert_eq!(extraction.residual.len(), 2);
+    }
+
+    #[test]
+    fn collect_column_refs_skips_subqueries() {
+        let e = parse_where(
+            "SELECT 1 FROM t WHERE a + b > 1 AND c IN (SELECT d FROM u WHERE e = 1)",
+        );
+        let mut refs = Vec::new();
+        collect_column_refs(&e, &mut refs);
+        let names: Vec<String> = refs.iter().map(|r| r.normalized_column()).collect();
+        assert_eq!(names, vec!["A", "B", "C"]);
+        let subs: Vec<_> = split_conjuncts(&e)
+            .into_iter()
+            .flat_map(expr_subqueries)
+            .collect();
+        assert_eq!(subs.len(), 1);
     }
 }

@@ -335,60 +335,23 @@ fn collect_scope_from_set_expr(body: &SetExpr, names: &mut BTreeSet<String>) {
 }
 
 /// Collect all qualifiers used in compound identifiers anywhere in the query.
+///
+/// Column references and nested subqueries are discovered with the shared
+/// analyzer helpers ([`collect_column_refs`][crate::analyzer::collect_column_refs],
+/// [`expr_subqueries`][crate::analyzer::expr_subqueries]) so the correlation
+/// check here and the storage planner's predicate analysis agree on what a
+/// qualified column reference is.
 fn collect_qualifiers(query: &Query, qualifiers: &mut BTreeSet<String>) {
     fn walk_expr(expr: &Expr, qualifiers: &mut BTreeSet<String>) {
-        match expr {
-            Expr::CompoundIdentifier(parts) if parts.len() >= 2 => {
-                qualifiers.insert(parts[0].normalized());
+        let mut refs = Vec::new();
+        crate::analyzer::collect_column_refs(expr, &mut refs);
+        for r in &refs {
+            if let Some(q) = r.normalized_qualifier() {
+                qualifiers.insert(q);
             }
-            Expr::BinaryOp { left, right, .. } => {
-                walk_expr(left, qualifiers);
-                walk_expr(right, qualifiers);
-            }
-            Expr::UnaryOp { expr, .. } => walk_expr(expr, qualifiers),
-            Expr::Function { args, .. } => args.iter().for_each(|a| walk_expr(a, qualifiers)),
-            Expr::Case {
-                operand,
-                conditions,
-                else_result,
-            } => {
-                if let Some(op) = operand {
-                    walk_expr(op, qualifiers);
-                }
-                for (c, r) in conditions {
-                    walk_expr(c, qualifiers);
-                    walk_expr(r, qualifiers);
-                }
-                if let Some(e) = else_result {
-                    walk_expr(e, qualifiers);
-                }
-            }
-            Expr::Exists { subquery, .. } | Expr::Subquery(subquery) => {
-                collect_qualifiers(subquery, qualifiers)
-            }
-            Expr::InSubquery { expr, subquery, .. } => {
-                walk_expr(expr, qualifiers);
-                collect_qualifiers(subquery, qualifiers);
-            }
-            Expr::InList { expr, list, .. } => {
-                walk_expr(expr, qualifiers);
-                list.iter().for_each(|e| walk_expr(e, qualifiers));
-            }
-            Expr::Between {
-                expr, low, high, ..
-            } => {
-                walk_expr(expr, qualifiers);
-                walk_expr(low, qualifiers);
-                walk_expr(high, qualifiers);
-            }
-            Expr::IsNull { expr, .. } => walk_expr(expr, qualifiers),
-            Expr::Like { expr, pattern, .. } => {
-                walk_expr(expr, qualifiers);
-                walk_expr(pattern, qualifiers);
-            }
-            Expr::Cast { expr, .. } => walk_expr(expr, qualifiers),
-            Expr::Nested(inner) => walk_expr(inner, qualifiers),
-            _ => {}
+        }
+        for subquery in crate::analyzer::expr_subqueries(expr) {
+            collect_qualifiers(subquery, qualifiers);
         }
     }
 

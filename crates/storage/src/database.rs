@@ -5,6 +5,7 @@ use std::collections::BTreeMap;
 
 use crate::error::{StorageError, StorageResult};
 use crate::exec::Executor;
+use crate::physical::ExecStrategy;
 use crate::result::QueryResult;
 use crate::schema::{Catalog, TableSchema};
 use crate::table::{Row, Table};
@@ -93,14 +94,43 @@ impl Database {
         self.tables.values().map(|t| t.row_count()).sum()
     }
 
-    /// Execute a parsed query against this database.
+    /// Execute a parsed query against this database with the default
+    /// strategy (the planned engine).
     pub fn execute(&self, query: &bp_sql::Query) -> StorageResult<QueryResult> {
-        Executor::new(self).execute(query)
+        self.execute_with(query, ExecStrategy::default())
     }
 
-    /// Execute SQL text against this database.
+    /// Execute SQL text against this database with the default strategy.
     pub fn execute_sql(&self, sql: &str) -> StorageResult<QueryResult> {
-        Executor::new(self).execute_sql(sql)
+        self.execute_sql_with(sql, ExecStrategy::default())
+    }
+
+    /// Execute a parsed query with an explicit engine choice.
+    pub fn execute_with(
+        &self,
+        query: &bp_sql::Query,
+        strategy: ExecStrategy,
+    ) -> StorageResult<QueryResult> {
+        match strategy {
+            ExecStrategy::Planned => crate::physical::execute_planned(self, query),
+            ExecStrategy::Legacy => Executor::new(self).execute(query),
+        }
+    }
+
+    /// Execute SQL text with an explicit engine choice.
+    pub fn execute_sql_with(
+        &self,
+        sql: &str,
+        strategy: ExecStrategy,
+    ) -> StorageResult<QueryResult> {
+        let query = bp_sql::parse_query(sql)?;
+        self.execute_with(&query, strategy)
+    }
+
+    /// Build (without executing) the logical plan for a query, for
+    /// inspection and testing of the rewrite passes.
+    pub fn plan(&self, query: &bp_sql::Query) -> StorageResult<crate::plan::QueryPlan> {
+        crate::plan::Planner::new(self).plan(query)
     }
 
     /// The full schema as a DDL script (one `CREATE TABLE` per line), the

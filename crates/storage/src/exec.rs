@@ -1,4 +1,4 @@
-//! Query executor: evaluates `bp-sql` query ASTs against a [`Database`].
+//! Legacy query executor: a tree-walking interpreter over `bp-sql` ASTs.
 //!
 //! The executor supports the SELECT-centric subset used by text-to-SQL
 //! workloads: projections, scalar expressions and functions, WHERE filters,
@@ -8,30 +8,31 @@
 //! `EXISTS` subqueries (correlated and uncorrelated).
 //!
 //! The execution strategy is deliberately simple (nested-loop joins,
-//! hash-free grouping over canonical keys): the engine exists to compute
-//! execution accuracy and data statistics over benchmark-scale synthetic
-//! data, not to compete with a production engine.
+//! row-at-a-time evaluation): this engine is retained as the
+//! differential-testing **oracle** for the planned engine
+//! ([`crate::physical`], selected via
+//! [`ExecStrategy`](crate::physical::ExecStrategy)). Value-level semantics
+//! are shared with the planner through the crate-private `scalar` module,
+//! so the two engines cannot drift apart on scalar behavior.
 
 use std::collections::HashMap;
 
 use bp_sql::{
-    BinaryOperator, Expr, JoinConstraint, JoinOperator, Literal, OrderByExpr, Query, Select,
-    SelectItem, SetExpr, SetOperator, TableFactor, UnaryOperator,
+    Expr, JoinConstraint, JoinOperator, Literal, OrderByExpr, Query, Select, SetExpr, TableFactor,
+    UnaryOperator,
 };
 
 use crate::database::Database;
 use crate::error::{StorageError, StorageResult};
+use crate::plan::{expand_projection, contains_aggregate, ColumnBinding};
 use crate::result::QueryResult;
+use crate::scalar::{
+    canonical_function_name, cast_value, combine_set_operation, composite_key, eq_upper,
+    eval_binary, finish_aggregate, is_aggregate_name, literal_value, map_text, missing_arg_error,
+    upper_eq,
+};
 use crate::table::Row;
 use crate::value::{like_match, Value};
-
-/// A column binding of an intermediate relation: the optional qualifier
-/// (table alias) and the column name, both normalized to uppercase.
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct ColumnBinding {
-    qualifier: Option<String>,
-    name: String,
-}
 
 /// An intermediate relation flowing between executor stages.
 #[derive(Debug, Clone, Default)]
@@ -46,13 +47,40 @@ impl Relation {
     }
 }
 
-/// CTE environment: maps normalized CTE names to their materialized results.
-type CteEnv = HashMap<String, QueryResult>;
+/// CTE scope: materialized CTE results for one query level, chained to the
+/// enclosing level by parent pointer. Nested queries used to deep-clone the
+/// whole environment per subquery; the chain makes entering a scope O(1).
+struct CteScope<'a> {
+    local: HashMap<String, QueryResult>,
+    parent: Option<&'a CteScope<'a>>,
+}
+
+impl<'a> CteScope<'a> {
+    fn root() -> Self {
+        CteScope {
+            local: HashMap::new(),
+            parent: None,
+        }
+    }
+
+    fn child(&'a self) -> CteScope<'a> {
+        CteScope {
+            local: HashMap::new(),
+            parent: Some(self),
+        }
+    }
+
+    fn get(&self, name: &str) -> Option<&QueryResult> {
+        self.local
+            .get(name)
+            .or_else(|| self.parent.and_then(|p| p.get(name)))
+    }
+}
 
 /// Evaluation context for scalar expressions.
 struct EvalCtx<'a> {
     exec: &'a Executor<'a>,
-    ctes: &'a CteEnv,
+    ctes: &'a CteScope<'a>,
     bindings: &'a [ColumnBinding],
     row: &'a [Value],
     /// Rows of the current group when evaluating aggregate expressions.
@@ -63,12 +91,12 @@ struct EvalCtx<'a> {
 
 impl<'a> EvalCtx<'a> {
     fn resolve(&self, qualifier: Option<&str>, name: &str) -> StorageResult<Value> {
-        let name_upper = name.to_ascii_uppercase();
-        let qual_upper = qualifier.map(|q| q.to_ascii_uppercase());
+        // Bindings were normalized to uppercase at relation construction, so
+        // lookup compares case-insensitively without allocating.
         let mut matches = self.bindings.iter().enumerate().filter(|(_, b)| {
-            b.name == name_upper
-                && match &qual_upper {
-                    Some(q) => b.qualifier.as_deref() == Some(q.as_str()),
+            eq_upper(&b.name, name)
+                && match qualifier {
+                    Some(q) => b.qualifier.as_deref().is_some_and(|bq| eq_upper(bq, q)),
                     None => true,
                 }
         });
@@ -98,7 +126,7 @@ impl<'a> Executor<'a> {
 
     /// Execute a parsed query.
     pub fn execute(&self, query: &Query) -> StorageResult<QueryResult> {
-        let ctes = CteEnv::new();
+        let ctes = CteScope::root();
         self.execute_query(query, &ctes, None)
     }
 
@@ -111,14 +139,16 @@ impl<'a> Executor<'a> {
     fn execute_query(
         &self,
         query: &Query,
-        parent_ctes: &CteEnv,
+        parent_ctes: &CteScope<'_>,
         outer: Option<&EvalCtx<'_>>,
     ) -> StorageResult<QueryResult> {
-        let mut ctes = parent_ctes.clone();
+        // Entering a query level links a fresh scope to the parent instead
+        // of deep-cloning every enclosing CTE result.
+        let mut ctes = parent_ctes.child();
         if let Some(with) = &query.with {
             for cte in &with.ctes {
                 let result = self.execute_query(&cte.query, &ctes, outer)?;
-                ctes.insert(cte.name.normalized(), result);
+                ctes.local.insert(cte.name.normalized(), result);
             }
         }
         match &query.body {
@@ -149,7 +179,7 @@ impl<'a> Executor<'a> {
     fn execute_set_expr(
         &self,
         body: &SetExpr,
-        ctes: &CteEnv,
+        ctes: &CteScope<'_>,
         outer: Option<&EvalCtx<'_>>,
     ) -> StorageResult<QueryResult> {
         match body {
@@ -177,7 +207,7 @@ impl<'a> Executor<'a> {
     fn scan_table_factor(
         &self,
         factor: &TableFactor,
-        ctes: &CteEnv,
+        ctes: &CteScope<'_>,
         outer: Option<&EvalCtx<'_>>,
     ) -> StorageResult<Relation> {
         match factor {
@@ -222,7 +252,7 @@ impl<'a> Executor<'a> {
     fn build_from(
         &self,
         select: &Select,
-        ctes: &CteEnv,
+        ctes: &CteScope<'_>,
         outer: Option<&EvalCtx<'_>>,
     ) -> StorageResult<Relation> {
         if select.from.is_empty() {
@@ -253,7 +283,7 @@ impl<'a> Executor<'a> {
         right: Relation,
         operator: JoinOperator,
         constraint: &JoinConstraint,
-        ctes: &CteEnv,
+        ctes: &CteScope<'_>,
         outer: Option<&EvalCtx<'_>>,
     ) -> StorageResult<Relation> {
         let mut bindings = left.bindings.clone();
@@ -321,7 +351,7 @@ impl<'a> Executor<'a> {
         order_by: &[OrderByExpr],
         limit: Option<&Expr>,
         offset: Option<&Expr>,
-        ctes: &CteEnv,
+        ctes: &CteScope<'_>,
         outer: Option<&EvalCtx<'_>>,
     ) -> StorageResult<QueryResult> {
         let relation = self.build_from(select, ctes, outer)?;
@@ -384,11 +414,7 @@ impl<'a> Executor<'a> {
                     .iter()
                     .map(|e| eval_expr(&ctx, e))
                     .collect::<StorageResult<_>>()?;
-                let key: String = key_values
-                    .iter()
-                    .map(|v| v.group_key())
-                    .collect::<Vec<_>>()
-                    .join("\u{1}");
+                let key = composite_key(&key_values);
                 match index.get(&key) {
                     Some(&i) => groups[i].1.push(row.clone()),
                     None => {
@@ -455,15 +481,7 @@ impl<'a> Executor<'a> {
         // DISTINCT
         if select.distinct {
             let mut seen = HashMap::new();
-            output.retain(|o| {
-                let key: String = o
-                    .values
-                    .iter()
-                    .map(|v| v.group_key())
-                    .collect::<Vec<_>>()
-                    .join("\u{1}");
-                seen.insert(key, ()).is_none()
-            });
+            output.retain(|o| seen.insert(composite_key(&o.values), ()).is_none());
         }
 
         // ORDER BY: keys may be ordinals, output aliases, or expressions over
@@ -525,7 +543,7 @@ impl<'a> Executor<'a> {
         bindings: &[ColumnBinding],
         representative: &Row,
         group: Option<&[Row]>,
-        ctes: &CteEnv,
+        ctes: &CteScope<'_>,
         outer: Option<&EvalCtx<'_>>,
     ) -> StorageResult<Value> {
         // Ordinal: ORDER BY 2
@@ -539,10 +557,7 @@ impl<'a> Executor<'a> {
         // Output alias: ORDER BY total
         if let Expr::Identifier(ident) = expr {
             let target = ident.normalized();
-            if let Some(idx) = columns
-                .iter()
-                .position(|c| c.to_ascii_uppercase() == target)
-            {
+            if let Some(idx) = columns.iter().position(|c| upper_eq(c, &target)) {
                 return Ok(output_values[idx].clone());
             }
         }
@@ -581,7 +596,7 @@ impl<'a> Executor<'a> {
                         let target = ident.normalized();
                         columns
                             .iter()
-                            .position(|c| c.to_ascii_uppercase() == target)
+                            .position(|c| upper_eq(c, &target))
                             .and_then(|i| row.get(i).cloned())
                             .unwrap_or(Value::Null)
                     }
@@ -611,7 +626,7 @@ impl<'a> Executor<'a> {
         result: &mut QueryResult,
         limit: Option<&Expr>,
         offset: Option<&Expr>,
-        ctes: &CteEnv,
+        ctes: &CteScope<'_>,
         outer: Option<&EvalCtx<'_>>,
     ) -> StorageResult<()> {
         let eval_count = |expr: &Expr| -> StorageResult<usize> {
@@ -677,173 +692,6 @@ fn cross_product(left: Relation, right: Relation) -> Relation {
         }
     }
     Relation { bindings, rows }
-}
-
-/// Expand `*` and `alias.*` into concrete (expression, output-name) pairs.
-fn expand_projection(
-    projection: &[SelectItem],
-    bindings: &[ColumnBinding],
-) -> Vec<(Expr, String)> {
-    let mut items = Vec::new();
-    for item in projection {
-        match item {
-            SelectItem::Wildcard => {
-                for b in bindings {
-                    items.push((binding_expr(b), b.name.clone()));
-                }
-            }
-            SelectItem::QualifiedWildcard(name) => {
-                let qual = name.base().normalized();
-                for b in bindings
-                    .iter()
-                    .filter(|b| b.qualifier.as_deref() == Some(qual.as_str()))
-                {
-                    items.push((binding_expr(b), b.name.clone()));
-                }
-            }
-            SelectItem::Expr { expr, alias } => {
-                let name = match alias {
-                    Some(a) => a.value.clone(),
-                    None => output_name(expr),
-                };
-                items.push((expr.clone(), name));
-            }
-        }
-    }
-    items
-}
-
-fn binding_expr(binding: &ColumnBinding) -> Expr {
-    match &binding.qualifier {
-        Some(q) => Expr::qcol(q.clone(), binding.name.clone()),
-        None => Expr::col(binding.name.clone()),
-    }
-}
-
-fn output_name(expr: &Expr) -> String {
-    match expr {
-        Expr::Identifier(i) => i.value.clone(),
-        Expr::CompoundIdentifier(parts) => parts
-            .last()
-            .map(|p| p.value.clone())
-            .unwrap_or_else(|| expr.to_string()),
-        Expr::Function { name, .. } => name.value.to_ascii_uppercase(),
-        _ => expr.to_string(),
-    }
-}
-
-fn contains_aggregate(expr: &Expr) -> bool {
-    if expr.is_aggregate_call() {
-        return true;
-    }
-    match expr {
-        Expr::BinaryOp { left, right, .. } => contains_aggregate(left) || contains_aggregate(right),
-        Expr::UnaryOp { expr, .. } => contains_aggregate(expr),
-        Expr::Function { args, .. } => args.iter().any(contains_aggregate),
-        Expr::Case {
-            operand,
-            conditions,
-            else_result,
-        } => {
-            operand.as_deref().is_some_and(contains_aggregate)
-                || conditions
-                    .iter()
-                    .any(|(c, r)| contains_aggregate(c) || contains_aggregate(r))
-                || else_result.as_deref().is_some_and(contains_aggregate)
-        }
-        Expr::Cast { expr, .. } | Expr::Nested(expr) | Expr::IsNull { expr, .. } => {
-            contains_aggregate(expr)
-        }
-        Expr::Between {
-            expr, low, high, ..
-        } => contains_aggregate(expr) || contains_aggregate(low) || contains_aggregate(high),
-        Expr::Like { expr, pattern, .. } => contains_aggregate(expr) || contains_aggregate(pattern),
-        Expr::InList { expr, list, .. } => {
-            contains_aggregate(expr) || list.iter().any(contains_aggregate)
-        }
-        _ => false,
-    }
-}
-
-fn combine_set_operation(
-    op: SetOperator,
-    all: bool,
-    left: QueryResult,
-    right: QueryResult,
-) -> StorageResult<QueryResult> {
-    if left.column_count() != right.column_count() {
-        return Err(StorageError::SchemaMismatch(format!(
-            "set operation operands have {} and {} columns",
-            left.column_count(),
-            right.column_count()
-        )));
-    }
-    let key = |row: &Row| -> String {
-        row.iter()
-            .map(|v| v.group_key())
-            .collect::<Vec<_>>()
-            .join("\u{1}")
-    };
-    let columns = left.columns.clone();
-    let rows = match op {
-        SetOperator::Union => {
-            let mut rows = left.rows;
-            rows.extend(right.rows);
-            if !all {
-                let mut seen = HashMap::new();
-                rows.retain(|r| seen.insert(key(r), ()).is_none());
-            }
-            rows
-        }
-        SetOperator::Intersect => {
-            let mut right_keys: HashMap<String, usize> = HashMap::new();
-            for r in &right.rows {
-                *right_keys.entry(key(r)).or_insert(0) += 1;
-            }
-            let mut rows = Vec::new();
-            let mut emitted: HashMap<String, usize> = HashMap::new();
-            for r in left.rows {
-                let k = key(&r);
-                let available = right_keys.get(&k).copied().unwrap_or(0);
-                let used = emitted.entry(k).or_insert(0);
-                let cap = if all { available } else { available.min(1) };
-                if *used < cap {
-                    *used += 1;
-                    rows.push(r);
-                }
-            }
-            rows
-        }
-        SetOperator::Except => {
-            let mut right_keys: HashMap<String, usize> = HashMap::new();
-            for r in &right.rows {
-                *right_keys.entry(key(r)).or_insert(0) += 1;
-            }
-            let mut rows = Vec::new();
-            let mut seen: HashMap<String, usize> = HashMap::new();
-            for r in left.rows {
-                let k = key(&r);
-                let removed = right_keys.get(&k).copied().unwrap_or(0);
-                if !all {
-                    if removed == 0 && seen.insert(k, 1).is_none() {
-                        rows.push(r);
-                    }
-                } else {
-                    let count = seen.entry(k).or_insert(0);
-                    *count += 1;
-                    if *count > removed {
-                        rows.push(r);
-                    }
-                }
-            }
-            rows
-        }
-    };
-    Ok(QueryResult {
-        columns,
-        rows,
-        ordered: false,
-    })
 }
 
 // ---------------------------------------------------------------------
@@ -1028,147 +876,46 @@ fn eval_expr(ctx: &EvalCtx<'_>, expr: &Expr) -> StorageResult<Value> {
     }
 }
 
-fn literal_value(lit: &Literal) -> Value {
-    match lit {
-        Literal::Number(n) => {
-            if let Ok(i) = n.parse::<i64>() {
-                Value::Int(i)
-            } else {
-                n.parse::<f64>().map(Value::Float).unwrap_or(Value::Null)
-            }
-        }
-        Literal::String(s) => Value::Text(s.clone()),
-        Literal::Boolean(b) => Value::Bool(*b),
-        Literal::Null => Value::Null,
-    }
-}
-
-fn cast_value(v: Value, target: bp_sql::DataType) -> Value {
-    use bp_sql::DataType as DT;
-    match target {
-        DT::Integer => match &v {
-            Value::Text(s) => s.trim().parse::<i64>().map(Value::Int).unwrap_or(Value::Null),
-            _ => v.as_i64().map(Value::Int).unwrap_or(Value::Null),
-        },
-        DT::Float => match &v {
-            Value::Text(s) => s.trim().parse::<f64>().map(Value::Float).unwrap_or(Value::Null),
-            _ => v.as_f64().map(Value::Float).unwrap_or(Value::Null),
-        },
-        DT::Text => {
-            if v.is_null() {
-                Value::Null
-            } else {
-                Value::Text(v.to_string())
-            }
-        }
-        DT::Boolean => {
-            if v.is_null() {
-                Value::Null
-            } else {
-                Value::Bool(v.is_truthy())
-            }
-        }
-        DT::Date => v.as_i64().map(Value::Date).unwrap_or(Value::Null),
-        DT::Timestamp => v.as_i64().map(Value::Timestamp).unwrap_or(Value::Null),
-    }
-}
-
-fn eval_binary(left: &Value, op: BinaryOperator, right: &Value) -> StorageResult<Value> {
-    use BinaryOperator::*;
-    match op {
-        And => {
-            return Ok(Value::Bool(left.is_truthy() && right.is_truthy()));
-        }
-        Or => {
-            return Ok(Value::Bool(left.is_truthy() || right.is_truthy()));
-        }
-        _ => {}
-    }
-    if left.is_null() || right.is_null() {
-        return Ok(Value::Null);
-    }
-    match op {
-        Eq | NotEq | Lt | LtEq | Gt | GtEq => {
-            let ord = left.total_cmp(right);
-            let b = match op {
-                Eq => ord == std::cmp::Ordering::Equal,
-                NotEq => ord != std::cmp::Ordering::Equal,
-                Lt => ord == std::cmp::Ordering::Less,
-                LtEq => ord != std::cmp::Ordering::Greater,
-                Gt => ord == std::cmp::Ordering::Greater,
-                GtEq => ord != std::cmp::Ordering::Less,
-                _ => unreachable!(),
-            };
-            Ok(Value::Bool(b))
-        }
-        Concat => Ok(Value::Text(format!("{left}{right}"))),
-        Plus | Minus | Multiply | Divide | Modulo => {
-            let (a, b) = match (left.as_f64(), right.as_f64()) {
-                (Some(a), Some(b)) => (a, b),
-                _ => {
-                    return Err(StorageError::TypeError(format!(
-                        "cannot apply {} to {left} and {right}",
-                        op.as_sql()
-                    )))
-                }
-            };
-            if matches!(op, Divide | Modulo) && b == 0.0 {
-                return Err(StorageError::Arithmetic("division by zero".into()));
-            }
-            let result = match op {
-                Plus => a + b,
-                Minus => a - b,
-                Multiply => a * b,
-                Divide => a / b,
-                Modulo => a % b,
-                _ => unreachable!(),
-            };
-            let both_int = matches!(left, Value::Int(_)) && matches!(right, Value::Int(_));
-            if both_int && result.fract() == 0.0 && !matches!(op, Divide) {
-                Ok(Value::Int(result as i64))
-            } else {
-                Ok(Value::Float(result))
-            }
-        }
-        And | Or => unreachable!("handled above"),
-    }
-}
-
 fn eval_function(
     ctx: &EvalCtx<'_>,
     name: &str,
     args: &[Expr],
     distinct: bool,
 ) -> StorageResult<Value> {
-    let upper = name.to_ascii_uppercase();
-    match upper.as_str() {
-        "COUNT" | "SUM" | "AVG" | "MIN" | "MAX" => {
-            let group: Vec<Row> = match ctx.group {
-                Some(g) => g.to_vec(),
-                // An aggregate outside a grouped context aggregates over the
-                // single current row (e.g. MAX(a, ...) misuse); treat the
-                // current row as a one-row group for robustness.
-                None => vec![ctx.row.to_vec()],
-            };
-            eval_aggregate(ctx, &upper, args, distinct, &group)
-        }
+    let Some(canonical) = canonical_function_name(name) else {
+        return Err(StorageError::Unsupported(format!(
+            "function {} is not supported",
+            name.to_ascii_uppercase()
+        )));
+    };
+    if is_aggregate_name(canonical) {
+        let group: Vec<Row> = match ctx.group {
+            Some(g) => g.to_vec(),
+            // An aggregate outside a grouped context aggregates over the
+            // single current row (e.g. MAX(a, ...) misuse); treat the
+            // current row as a one-row group for robustness.
+            None => vec![ctx.row.to_vec()],
+        };
+        return eval_aggregate(ctx, canonical, args, distinct, &group);
+    }
+    match canonical {
         "UPPER" => {
-            let v = eval_expr(ctx, require_arg(&upper, args, 0)?)?;
+            let v = eval_expr(ctx, require_arg(canonical, args, 0)?)?;
             Ok(map_text(v, |s| s.to_ascii_uppercase()))
         }
         "LOWER" => {
-            let v = eval_expr(ctx, require_arg(&upper, args, 0)?)?;
+            let v = eval_expr(ctx, require_arg(canonical, args, 0)?)?;
             Ok(map_text(v, |s| s.to_ascii_lowercase()))
         }
         "LENGTH" | "LEN" => {
-            let v = eval_expr(ctx, require_arg(&upper, args, 0)?)?;
+            let v = eval_expr(ctx, require_arg(canonical, args, 0)?)?;
             Ok(match v {
                 Value::Null => Value::Null,
                 other => Value::Int(other.to_string().len() as i64),
             })
         }
         "ABS" => {
-            let v = eval_expr(ctx, require_arg(&upper, args, 0)?)?;
+            let v = eval_expr(ctx, require_arg(canonical, args, 0)?)?;
             Ok(match v {
                 Value::Int(i) => Value::Int(i.abs()),
                 Value::Float(f) => Value::Float(f.abs()),
@@ -1177,7 +924,7 @@ fn eval_function(
             })
         }
         "ROUND" => {
-            let v = eval_expr(ctx, require_arg(&upper, args, 0)?)?;
+            let v = eval_expr(ctx, require_arg(canonical, args, 0)?)?;
             let digits = match args.get(1) {
                 Some(d) => eval_expr(ctx, d)?.as_i64().unwrap_or(0),
                 None => 0,
@@ -1200,8 +947,8 @@ fn eval_function(
             Ok(Value::Null)
         }
         "SUBSTR" | "SUBSTRING" => {
-            let v = eval_expr(ctx, require_arg(&upper, args, 0)?)?;
-            let start = eval_expr(ctx, require_arg(&upper, args, 1)?)?
+            let v = eval_expr(ctx, require_arg(canonical, args, 0)?)?;
+            let start = eval_expr(ctx, require_arg(canonical, args, 1)?)?
                 .as_i64()
                 .unwrap_or(1)
                 .max(1) as usize;
@@ -1213,24 +960,12 @@ fn eval_function(
                 s.chars().skip(start - 1).take(len).collect::<String>()
             }))
         }
-        other => Err(StorageError::Unsupported(format!(
-            "function {other} is not supported"
-        ))),
+        other => unreachable!("canonical scalar function {other} not dispatched"),
     }
 }
 
 fn require_arg<'e>(name: &str, args: &'e [Expr], index: usize) -> StorageResult<&'e Expr> {
-    args.get(index).ok_or_else(|| {
-        StorageError::TypeError(format!("{name} expects at least {} argument(s)", index + 1))
-    })
-}
-
-fn map_text(v: Value, f: impl Fn(&str) -> String) -> Value {
-    match v {
-        Value::Null => Value::Null,
-        Value::Text(s) => Value::Text(f(&s)),
-        other => Value::Text(f(&other.to_string())),
-    }
+    args.get(index).ok_or_else(|| missing_arg_error(name, index))
 }
 
 fn eval_aggregate(
@@ -1242,11 +977,11 @@ fn eval_aggregate(
 ) -> StorageResult<Value> {
     // COUNT(*) counts rows directly.
     let is_count_star = name == "COUNT" && matches!(args.first(), Some(Expr::Wildcard) | None);
-    let mut values: Vec<Value> = Vec::with_capacity(group.len());
     if is_count_star {
         return Ok(Value::Int(group.len() as i64));
     }
     let arg = require_arg(name, args, 0)?;
+    let mut values: Vec<Value> = Vec::with_capacity(group.len());
     for row in group {
         let row_ctx = EvalCtx {
             exec: ctx.exec,
@@ -1261,41 +996,5 @@ fn eval_aggregate(
             values.push(v);
         }
     }
-    if distinct {
-        let mut seen = HashMap::new();
-        values.retain(|v| seen.insert(v.group_key(), ()).is_none());
-    }
-    match name {
-        "COUNT" => Ok(Value::Int(values.len() as i64)),
-        "SUM" => {
-            if values.is_empty() {
-                return Ok(Value::Null);
-            }
-            let all_int = values.iter().all(|v| matches!(v, Value::Int(_)));
-            let sum: f64 = values.iter().filter_map(|v| v.as_f64()).sum();
-            Ok(if all_int {
-                Value::Int(sum as i64)
-            } else {
-                Value::Float(sum)
-            })
-        }
-        "AVG" => {
-            if values.is_empty() {
-                return Ok(Value::Null);
-            }
-            let sum: f64 = values.iter().filter_map(|v| v.as_f64()).sum();
-            Ok(Value::Float(sum / values.len() as f64))
-        }
-        "MIN" => Ok(values
-            .into_iter()
-            .min_by(|a, b| a.total_cmp(b))
-            .unwrap_or(Value::Null)),
-        "MAX" => Ok(values
-            .into_iter()
-            .max_by(|a, b| a.total_cmp(b))
-            .unwrap_or(Value::Null)),
-        other => Err(StorageError::Unsupported(format!(
-            "aggregate {other} is not supported"
-        ))),
-    }
+    finish_aggregate(name, values, distinct)
 }

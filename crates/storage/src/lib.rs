@@ -31,8 +31,11 @@
 pub mod database;
 pub mod error;
 pub mod exec;
+pub mod physical;
+pub mod plan;
 pub mod profiler;
 pub mod result;
+mod scalar;
 pub mod schema;
 pub mod table;
 pub mod value;
@@ -40,6 +43,8 @@ pub mod value;
 pub use database::Database;
 pub use error::{StorageError, StorageResult};
 pub use exec::Executor;
+pub use physical::ExecStrategy;
+pub use plan::{LogicalPlan, Planner, QueryPlan};
 pub use profiler::{profile_database, profile_table, DatabaseProfile, TableProfile};
 pub use result::{results_match, QueryResult};
 pub use schema::{Catalog, Column, TableSchema};
@@ -401,5 +406,197 @@ mod executor_tests {
             .execute_sql("SELECT dept, COUNT(*) FROM students WHERE gpa > 3.0 GROUP BY dept")
             .unwrap();
         assert!(!results_match(&gold, &wrong));
+    }
+
+    /// Targeted differential suite: the planned engine must produce the
+    /// exact same `QueryResult` (columns, row order, ordered flag) as the
+    /// legacy interpreter on every construct, including the corners the
+    /// rewrite passes touch. The broad generated-workload differential
+    /// suite lives in the workspace `differential` proptest.
+    mod differential {
+        use super::*;
+
+        fn assert_engines_agree(sql: &str) {
+            let db = campus_db();
+            let legacy = db.execute_sql_with(sql, ExecStrategy::Legacy);
+            let planned = db.execute_sql_with(sql, ExecStrategy::Planned);
+            match (legacy, planned) {
+                (Ok(l), Ok(p)) => assert_eq!(l, p, "engines disagree on: {sql}"),
+                (Err(_), Err(_)) => {}
+                (l, p) => panic!("ok/err divergence on {sql}: legacy={l:?} planned={p:?}"),
+            }
+        }
+
+        #[test]
+        fn outer_joins_with_residual_on_conjuncts() {
+            assert_engines_agree(
+                "SELECT s.name, e.course FROM students s LEFT JOIN enrollments e \
+                 ON s.id = e.student_id AND e.grade > 80 ORDER BY s.name, e.course",
+            );
+            assert_engines_agree(
+                "SELECT s.name, e.course FROM students s RIGHT JOIN enrollments e \
+                 ON s.id = e.student_id AND s.gpa > 3.5",
+            );
+            assert_engines_agree(
+                "SELECT s.name, e.course FROM students s FULL JOIN enrollments e \
+                 ON s.id = e.student_id AND e.term = 'Fall'",
+            );
+        }
+
+        #[test]
+        fn where_pushdown_around_outer_joins() {
+            assert_engines_agree(
+                "SELECT s.name FROM students s LEFT JOIN enrollments e ON s.id = e.student_id \
+                 WHERE e.course IS NULL",
+            );
+            assert_engines_agree(
+                "SELECT s.name, e.course FROM students s LEFT JOIN enrollments e \
+                 ON s.id = e.student_id WHERE s.gpa > 3.0 AND e.grade > 80",
+            );
+        }
+
+        #[test]
+        fn comma_join_cross_product() {
+            assert_engines_agree(
+                "SELECT s.name, l.MOIRA_LIST_NAME FROM students s, MOIRA_LIST l \
+                 WHERE s.dept = l.DEPT ORDER BY 1, 2",
+            );
+        }
+
+        #[test]
+        fn set_operations_with_ordering_and_limits() {
+            assert_engines_agree(
+                "SELECT dept FROM students UNION SELECT DEPT FROM MOIRA_LIST ORDER BY dept DESC",
+            );
+            assert_engines_agree(
+                "SELECT dept FROM students UNION ALL SELECT DEPT FROM MOIRA_LIST ORDER BY 1 LIMIT 3 OFFSET 1",
+            );
+            assert_engines_agree(
+                "SELECT dept FROM students INTERSECT SELECT DEPT FROM MOIRA_LIST",
+            );
+            assert_engines_agree(
+                "SELECT DEPT FROM MOIRA_LIST EXCEPT ALL SELECT dept FROM students",
+            );
+        }
+
+        #[test]
+        fn correlated_and_uncorrelated_subqueries() {
+            assert_engines_agree(
+                "SELECT name FROM students s WHERE gpa = \
+                 (SELECT MAX(gpa) FROM students x WHERE x.dept = s.dept) ORDER BY name",
+            );
+            assert_engines_agree(
+                "SELECT name FROM students WHERE gpa > (SELECT AVG(gpa) FROM students)",
+            );
+            assert_engines_agree(
+                "SELECT name FROM students s WHERE EXISTS \
+                 (SELECT 1 FROM enrollments e WHERE e.student_id = s.id AND e.grade > 90)",
+            );
+            assert_engines_agree(
+                "SELECT name FROM students WHERE id NOT IN \
+                 (SELECT student_id FROM enrollments WHERE term = 'Fall') ORDER BY name",
+            );
+        }
+
+        #[test]
+        fn cte_scoping_and_shadowing() {
+            assert_engines_agree(
+                "WITH students AS (SELECT dept FROM MOIRA_LIST) SELECT * FROM students",
+            );
+            assert_engines_agree(
+                "WITH a AS (SELECT dept, COUNT(*) AS n FROM students GROUP BY dept), \
+                      b AS (SELECT * FROM a WHERE n > 1) \
+                 SELECT (SELECT MAX(n) FROM b), dept FROM a ORDER BY dept",
+            );
+        }
+
+        #[test]
+        fn distinct_order_by_and_hidden_keys() {
+            assert_engines_agree("SELECT DISTINCT dept FROM students ORDER BY dept");
+            assert_engines_agree("SELECT name FROM students ORDER BY gpa * -1, name");
+            assert_engines_agree(
+                "SELECT dept, COUNT(*) AS n FROM students GROUP BY dept ORDER BY COUNT(*) DESC, dept",
+            );
+            assert_engines_agree("SELECT name, gpa AS g FROM students ORDER BY g DESC LIMIT 2");
+            // Out-of-range ordinal degenerates to a constant key.
+            assert_engines_agree("SELECT name FROM students ORDER BY 7");
+        }
+
+        #[test]
+        fn aggregates_in_odd_positions() {
+            // Aggregate in WHERE: one-row-group semantics.
+            assert_engines_agree("SELECT name FROM students WHERE SUM(gpa) > 3.0 ORDER BY name");
+            // HAVING without aggregates or GROUP BY is ignored by both engines.
+            assert_engines_agree("SELECT name FROM students HAVING gpa > 100");
+            // Aggregate-only HAVING forces a global group.
+            assert_engines_agree("SELECT COUNT(*) FROM students HAVING COUNT(*) > 2");
+        }
+
+        #[test]
+        fn derived_tables_and_qualified_wildcards() {
+            assert_engines_agree(
+                "SELECT d.* FROM (SELECT dept, COUNT(*) AS n FROM students GROUP BY dept) AS d \
+                 WHERE d.n > 1 ORDER BY d.dept",
+            );
+            assert_engines_agree(
+                "SELECT s.*, e.course FROM students s JOIN enrollments e ON s.id = e.student_id \
+                 ORDER BY s.id, e.course",
+            );
+        }
+
+        #[test]
+        fn error_paths_agree() {
+            assert_engines_agree("SELECT 1 / 0");
+            assert_engines_agree("SELECT * FROM missing");
+            assert_engines_agree("SELECT nonexistent FROM students");
+            assert_engines_agree("SELECT name FROM students LIMIT -1");
+            assert_engines_agree("SELECT UNSUPPORTED_FN(name) FROM students");
+        }
+
+        /// The interpreter only raises expression errors when it actually
+        /// evaluates the expression; compilation must not fail earlier.
+        #[test]
+        fn lazy_error_paths_agree() {
+            let db = campus_db();
+            // Unevaluated bad expressions: empty input, dead CASE branch,
+            // lazily skipped COALESCE tail, unexecuted subquery.
+            for sql in [
+                "SELECT UNSUPPORTED_FN(name) FROM students WHERE 1 = 0",
+                "SELECT CASE WHEN 1 = 0 THEN UNSUPPORTED_FN(name) ELSE 1 END FROM students",
+                "SELECT COALESCE(1, UNSUPPORTED_FN(name)) FROM students",
+                "SELECT CASE WHEN 1 = 0 THEN (SELECT x FROM missing) ELSE 2 END FROM students",
+                "SELECT SUBSTR(name) FROM students WHERE 1 = 0",
+            ] {
+                let legacy = db.execute_sql_with(sql, ExecStrategy::Legacy).unwrap();
+                let planned = db.execute_sql_with(sql, ExecStrategy::Planned).unwrap();
+                assert_eq!(legacy, planned, "engines disagree on: {sql}");
+            }
+            // Pushdown must not suppress errors the oracle raises: the
+            // erroring subquery runs on every row in the oracle even though
+            // `1 = 0` rejects them all.
+            assert_engines_agree(
+                "SELECT name FROM students WHERE id IN (SELECT x FROM missing) AND 1 = 0",
+            );
+            // ...nor may it suppress UnknownColumn from an unresolvable
+            // reference in a residual conjunct (WHERE or join ON).
+            assert_engines_agree("SELECT name FROM students WHERE bogus = 1 AND gpa > 100");
+            assert_engines_agree(
+                "SELECT s.name FROM students s JOIN enrollments e \
+                 ON s.id = e.student_id AND bogus = 1",
+            );
+            // ...and the evaluated-error cases still error in both engines.
+            assert_engines_agree("SELECT CASE WHEN 1 = 1 THEN UNSUPPORTED_FN(name) ELSE 1 END FROM students");
+            assert_engines_agree("SELECT SUBSTR(name) FROM students");
+        }
+
+        #[test]
+        fn uncorrelated_subquery_cache_is_transparent() {
+            let db = campus_db();
+            let sql = "SELECT name FROM students WHERE gpa > (SELECT AVG(gpa) FROM students) \
+                       AND id IN (SELECT student_id FROM enrollments) ORDER BY name";
+            let legacy = db.execute_sql_with(sql, ExecStrategy::Legacy).unwrap();
+            let planned = db.execute_sql_with(sql, ExecStrategy::Planned).unwrap();
+            assert_eq!(legacy, planned);
+        }
     }
 }

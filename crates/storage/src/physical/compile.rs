@@ -1,0 +1,451 @@
+//! Lowering from logical plans to physical operator trees.
+//!
+//! Compilation resolves every column reference to an ordinal exactly once
+//! (see [`super::expr`]), chooses hash vs nested-loop joins from the
+//! logical plan's extracted equi-keys, plans + compiles expression
+//! subqueries recursively, and computes each subquery's cacheability
+//! (uncorrelated and free of reads from enclosing CTE scopes).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use bp_sql::{column_ref, Expr, Query};
+
+use crate::database::Database;
+use crate::error::{StorageError, StorageResult};
+use crate::plan::{
+    resolve_binding, ColumnBinding, LogicalPlan, Planner, QueryPlan, Scan, ScanSource,
+};
+use crate::scalar::{canonical_function_name, is_aggregate_name, literal_value, missing_arg_error};
+
+use super::expr::{PhysExpr, SubPlan};
+use super::{PhysNode, PhysQueryPlan};
+
+pub(crate) struct Compiler<'a> {
+    db: &'a Database,
+    /// CTE name frames mirrored from the planner: name → output columns.
+    /// Needed to plan subqueries discovered inside expressions.
+    frames: Vec<HashMap<String, Vec<String>>>,
+    /// Whether any outer (correlated) column reference was compiled since
+    /// the current subplan boundary.
+    contains_outer: bool,
+    /// Minimum CTE definition depth referenced since the current subplan
+    /// boundary (`usize::MAX` = none).
+    min_cte_depth: usize,
+}
+
+impl<'a> Compiler<'a> {
+    pub(crate) fn new(db: &'a Database) -> Self {
+        Compiler {
+            db,
+            frames: Vec::new(),
+            contains_outer: false,
+            min_cte_depth: usize::MAX,
+        }
+    }
+
+    pub(crate) fn compile(&mut self, plan: &QueryPlan) -> StorageResult<PhysQueryPlan> {
+        self.compile_query_plan(plan)
+    }
+
+    fn compile_query_plan(&mut self, plan: &QueryPlan) -> StorageResult<PhysQueryPlan> {
+        self.frames.push(HashMap::new());
+        let result = self.compile_query_plan_inner(plan);
+        self.frames.pop();
+        result
+    }
+
+    fn compile_query_plan_inner(&mut self, plan: &QueryPlan) -> StorageResult<PhysQueryPlan> {
+        let mut ctes = Vec::new();
+        for (name, sub) in &plan.ctes {
+            let phys = self.compile_query_plan(sub)?;
+            self.frames
+                .last_mut()
+                .expect("frame pushed by compile_query_plan")
+                .insert(name.clone(), sub.columns.clone());
+            ctes.push((name.clone(), phys));
+        }
+        let root = self.compile_node(&plan.root)?;
+        Ok(PhysQueryPlan {
+            ctes,
+            root,
+            columns: plan.columns.clone(),
+            ordered: plan.ordered,
+        })
+    }
+
+    fn compile_node(&mut self, node: &LogicalPlan) -> StorageResult<PhysNode> {
+        match node {
+            LogicalPlan::Scan(Scan { source, .. }) => match source {
+                ScanSource::Table(name) => Ok(PhysNode::ScanTable { name: name.clone() }),
+                ScanSource::Cte { name, depth } => {
+                    self.min_cte_depth = self.min_cte_depth.min(*depth);
+                    Ok(PhysNode::ScanCte { name: name.clone() })
+                }
+                ScanSource::Derived(sub) => Ok(PhysNode::ScanDerived {
+                    plan: Box::new(self.compile_query_plan(sub)?),
+                }),
+                ScanSource::Empty => Ok(PhysNode::ScanEmpty),
+            },
+            LogicalPlan::Filter { input, predicate } => {
+                let bindings = input.bindings().to_vec();
+                let compiled_input = self.compile_node(input)?;
+                let predicate = self.compile_expr(predicate, &bindings)?;
+                Ok(PhysNode::Filter {
+                    input: Box::new(compiled_input),
+                    predicate,
+                    bindings,
+                })
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                operator,
+                equi_keys,
+                residual,
+                bindings,
+            } => {
+                let right_width = right.bindings().len();
+                let compiled_left = self.compile_node(left)?;
+                let compiled_right = self.compile_node(right)?;
+                let bindings = bindings.clone();
+                if equi_keys.is_empty() {
+                    let on = residual
+                        .as_ref()
+                        .map(|e| self.compile_expr(e, &bindings))
+                        .transpose()?;
+                    Ok(PhysNode::NestedLoopJoin {
+                        left: Box::new(compiled_left),
+                        right: Box::new(compiled_right),
+                        operator: *operator,
+                        on,
+                        bindings,
+                        right_width,
+                    })
+                } else {
+                    let residual = residual
+                        .as_ref()
+                        .map(|e| self.compile_expr(e, &bindings))
+                        .transpose()?;
+                    let (left_keys, right_keys) = equi_keys.iter().copied().unzip();
+                    Ok(PhysNode::HashJoin {
+                        left: Box::new(compiled_left),
+                        right: Box::new(compiled_right),
+                        operator: *operator,
+                        left_keys,
+                        right_keys,
+                        residual,
+                        bindings,
+                        right_width,
+                    })
+                }
+            }
+            LogicalPlan::Project {
+                input,
+                items,
+                names,
+                distinct,
+            } => {
+                let bindings = input.bindings().to_vec();
+                let compiled_input = self.compile_node(input)?;
+                let items = items
+                    .iter()
+                    .map(|e| self.compile_expr(e, &bindings))
+                    .collect::<StorageResult<Vec<_>>>()?;
+                Ok(PhysNode::Project {
+                    input: Box::new(compiled_input),
+                    items,
+                    visible: names.len(),
+                    distinct: *distinct,
+                    bindings,
+                })
+            }
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                having,
+                items,
+                names,
+                distinct,
+            } => {
+                let bindings = input.bindings().to_vec();
+                let compiled_input = self.compile_node(input)?;
+                let group_by = group_by
+                    .iter()
+                    .map(|e| self.compile_expr(e, &bindings))
+                    .collect::<StorageResult<Vec<_>>>()?;
+                let having = having
+                    .as_ref()
+                    .map(|e| self.compile_expr(e, &bindings))
+                    .transpose()?;
+                let items = items
+                    .iter()
+                    .map(|e| self.compile_expr(e, &bindings))
+                    .collect::<StorageResult<Vec<_>>>()?;
+                Ok(PhysNode::HashAggregate {
+                    input: Box::new(compiled_input),
+                    group_by,
+                    having,
+                    items,
+                    visible: names.len(),
+                    distinct: *distinct,
+                    bindings,
+                })
+            }
+            LogicalPlan::Sort { input, keys } => Ok(PhysNode::Sort {
+                input: Box::new(self.compile_node(input)?),
+                keys: keys.clone(),
+            }),
+            LogicalPlan::Limit {
+                input,
+                limit,
+                offset,
+            } => {
+                let compiled_input = self.compile_node(input)?;
+                // LIMIT/OFFSET evaluate in an empty row scope (identifiers
+                // resolve only through enclosing scopes, as in the oracle).
+                let limit = limit
+                    .as_ref()
+                    .map(|e| self.compile_expr(e, &[]))
+                    .transpose()?;
+                let offset = offset
+                    .as_ref()
+                    .map(|e| self.compile_expr(e, &[]))
+                    .transpose()?;
+                Ok(PhysNode::Limit {
+                    input: Box::new(compiled_input),
+                    limit,
+                    offset,
+                })
+            }
+            LogicalPlan::SetOp {
+                op,
+                all,
+                left,
+                right,
+            } => Ok(PhysNode::SetOp {
+                op: *op,
+                all: *all,
+                left: Box::new(self.compile_query_plan(left)?),
+                right: Box::new(self.compile_query_plan(right)?),
+            }),
+            LogicalPlan::Nested(sub) => Ok(PhysNode::Nested(Box::new(
+                self.compile_query_plan(sub)?,
+            ))),
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Expressions
+    // -----------------------------------------------------------------
+
+    fn compile_expr(&mut self, expr: &Expr, bindings: &[ColumnBinding]) -> StorageResult<PhysExpr> {
+        match expr {
+            Expr::Identifier(_) | Expr::CompoundIdentifier(_) => {
+                let Some(cr) = column_ref(expr) else {
+                    return Ok(PhysExpr::Fail(StorageError::UnknownColumn("<empty>".into())));
+                };
+                let qualifier = cr.qualifier.as_ref().map(|i| i.value.as_str());
+                let name = cr.column.value.as_str();
+                match resolve_binding(bindings, qualifier, name) {
+                    Some(idx) => Ok(PhysExpr::Column(idx)),
+                    None => {
+                        self.contains_outer = true;
+                        let display = match qualifier {
+                            Some(q) => format!("{q}.{name}"),
+                            None => name.to_string(),
+                        };
+                        Ok(PhysExpr::Outer {
+                            qualifier: qualifier.map(|q| q.to_ascii_uppercase()),
+                            name: name.to_ascii_uppercase(),
+                            display,
+                        })
+                    }
+                }
+            }
+            Expr::Literal(lit) => Ok(PhysExpr::Literal(literal_value(lit))),
+            Expr::BinaryOp { left, op, right } => Ok(PhysExpr::Binary {
+                left: Box::new(self.compile_expr(left, bindings)?),
+                op: *op,
+                right: Box::new(self.compile_expr(right, bindings)?),
+            }),
+            Expr::UnaryOp { op, expr } => Ok(PhysExpr::Unary {
+                op: *op,
+                expr: Box::new(self.compile_expr(expr, bindings)?),
+            }),
+            Expr::Function {
+                name,
+                args,
+                distinct,
+            } => {
+                // Function-level problems (unknown name, bad arity) only
+                // surface when the interpreter *evaluates* the call, so they
+                // compile to lazy `Fail` nodes, not compile errors.
+                let Some(canonical) = canonical_function_name(&name.value) else {
+                    return Ok(PhysExpr::Fail(StorageError::Unsupported(format!(
+                        "function {} is not supported",
+                        name.value.to_ascii_uppercase()
+                    ))));
+                };
+                if is_aggregate_name(canonical) {
+                    let count_star = canonical == "COUNT"
+                        && matches!(args.first(), Some(Expr::Wildcard) | None);
+                    let arg = if count_star {
+                        None
+                    } else {
+                        let Some(arg0) = args.first() else {
+                            return Ok(PhysExpr::Fail(missing_arg_error(canonical, 0)));
+                        };
+                        Some(Box::new(self.compile_expr(arg0, bindings)?))
+                    };
+                    Ok(PhysExpr::Aggregate {
+                        name: canonical,
+                        arg,
+                        distinct: *distinct,
+                    })
+                } else {
+                    let required = match canonical {
+                        "UPPER" | "LOWER" | "LENGTH" | "LEN" | "ABS" | "ROUND" => 1,
+                        "SUBSTR" | "SUBSTRING" => 2,
+                        _ => 0,
+                    };
+                    if args.len() < required {
+                        return Ok(PhysExpr::Fail(missing_arg_error(canonical, args.len())));
+                    }
+                    let args = args
+                        .iter()
+                        .map(|a| self.compile_expr(a, bindings))
+                        .collect::<StorageResult<Vec<_>>>()?;
+                    Ok(PhysExpr::ScalarFn {
+                        name: canonical,
+                        args,
+                    })
+                }
+            }
+            Expr::Case {
+                operand,
+                conditions,
+                else_result,
+            } => Ok(PhysExpr::Case {
+                operand: operand
+                    .as_ref()
+                    .map(|o| self.compile_expr(o, bindings).map(Box::new))
+                    .transpose()?,
+                conditions: conditions
+                    .iter()
+                    .map(|(c, r)| {
+                        Ok((
+                            self.compile_expr(c, bindings)?,
+                            self.compile_expr(r, bindings)?,
+                        ))
+                    })
+                    .collect::<StorageResult<Vec<_>>>()?,
+                else_result: else_result
+                    .as_ref()
+                    .map(|e| self.compile_expr(e, bindings).map(Box::new))
+                    .transpose()?,
+            }),
+            Expr::Exists { subquery, negated } => match self.compile_subplan(subquery) {
+                Ok(plan) => Ok(PhysExpr::Exists {
+                    plan: Box::new(plan),
+                    negated: *negated,
+                }),
+                Err(e) => Ok(PhysExpr::Fail(e)),
+            },
+            Expr::Subquery(subquery) => match self.compile_subplan(subquery) {
+                Ok(plan) => Ok(PhysExpr::ScalarSubquery {
+                    plan: Box::new(plan),
+                }),
+                Err(e) => Ok(PhysExpr::Fail(e)),
+            },
+            Expr::InSubquery {
+                expr,
+                subquery,
+                negated,
+            } => {
+                let needle = Box::new(self.compile_expr(expr, bindings)?);
+                match self.compile_subplan(subquery) {
+                    Ok(plan) => Ok(PhysExpr::InSubquery {
+                        expr: needle,
+                        plan: Box::new(plan),
+                        negated: *negated,
+                    }),
+                    // The interpreter evaluates the needle before running
+                    // the subquery, and returns NULL for a NULL needle
+                    // without ever touching the subquery — preserve that.
+                    Err(e) => Ok(PhysExpr::InSubquery {
+                        expr: needle,
+                        plan: Box::new(SubPlan::failing(e)),
+                        negated: *negated,
+                    }),
+                }
+            }
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => Ok(PhysExpr::InList {
+                expr: Box::new(self.compile_expr(expr, bindings)?),
+                list: list
+                    .iter()
+                    .map(|e| self.compile_expr(e, bindings))
+                    .collect::<StorageResult<Vec<_>>>()?,
+                negated: *negated,
+            }),
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => Ok(PhysExpr::Between {
+                expr: Box::new(self.compile_expr(expr, bindings)?),
+                low: Box::new(self.compile_expr(low, bindings)?),
+                high: Box::new(self.compile_expr(high, bindings)?),
+                negated: *negated,
+            }),
+            Expr::IsNull { expr, negated } => Ok(PhysExpr::IsNull {
+                expr: Box::new(self.compile_expr(expr, bindings)?),
+                negated: *negated,
+            }),
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => Ok(PhysExpr::Like {
+                expr: Box::new(self.compile_expr(expr, bindings)?),
+                pattern: Box::new(self.compile_expr(pattern, bindings)?),
+                negated: *negated,
+            }),
+            Expr::Cast { expr, data_type } => Ok(PhysExpr::Cast {
+                expr: Box::new(self.compile_expr(expr, bindings)?),
+                data_type: *data_type,
+            }),
+            Expr::Nested(inner) => self.compile_expr(inner, bindings),
+            Expr::Wildcard => Ok(PhysExpr::Fail(StorageError::Unsupported(
+                "bare '*' outside COUNT(*) cannot be evaluated".into(),
+            ))),
+        }
+    }
+
+    /// Plan and compile an expression subquery, deciding cacheability: a
+    /// subplan may cache its result iff nothing it compiled (including
+    /// nested subqueries, CTE bodies and derived tables) referenced an
+    /// outer column or a CTE defined outside the subplan itself.
+    fn compile_subplan(&mut self, query: &Query) -> StorageResult<SubPlan> {
+        let entry_depth = self.frames.len();
+        let logical = Planner::with_frames(self.db, self.frames.clone()).plan(query)?;
+
+        let saved_outer = std::mem::replace(&mut self.contains_outer, false);
+        let saved_depth = std::mem::replace(&mut self.min_cte_depth, usize::MAX);
+        let result = self.compile_query_plan(&logical);
+        let cacheable = !self.contains_outer && self.min_cte_depth >= entry_depth;
+        self.contains_outer |= saved_outer;
+        self.min_cte_depth = self.min_cte_depth.min(saved_depth);
+
+        Ok(SubPlan {
+            plan: Ok(result?),
+            cacheable,
+            cache: RefCell::new(None),
+        })
+    }
+}

@@ -1,0 +1,470 @@
+//! Compiled expressions for the planned engine.
+//!
+//! At compile time ([`crate::physical::compile`]) every column reference in
+//! an expression is resolved **once** against the operator's input bindings
+//! and replaced by an ordinal ([`PhysExpr::Column`]); references that do not
+//! resolve locally become pre-normalized [`PhysExpr::Outer`] lookups walked
+//! through the chain of enclosing row scopes at evaluation time (correlated
+//! subqueries). This removes the per-cell `to_ascii_uppercase` + linear
+//! binding scan of the tree-walking interpreter.
+//!
+//! Subqueries are planned and compiled once into [`SubPlan`]s. A subplan
+//! that provably depends on nothing outside itself (no outer column
+//! references anywhere in its tree and no reads of CTEs defined in
+//! enclosing scopes) caches its first result, so `WHERE x > (SELECT AVG(..)
+//! FROM t)` executes the subquery once instead of once per row.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bp_sql::{BinaryOperator, DataType, UnaryOperator};
+
+use crate::error::{StorageError, StorageResult};
+use crate::plan::ColumnBinding;
+use crate::result::QueryResult;
+use crate::scalar::{cast_value, eval_binary, finish_aggregate, map_text};
+use crate::table::Row;
+use crate::value::{like_match, Value};
+
+use super::{exec_query_plan, OuterEnv, PhysQueryPlan, RunCtx};
+
+/// A subquery compiled into its own physical plan.
+pub(crate) struct SubPlan {
+    /// The compiled plan, or the deferred planning/compilation error to
+    /// raise if the subquery is ever actually executed (the interpreter
+    /// only fails when it reaches the subquery at evaluation time).
+    pub plan: Result<PhysQueryPlan, StorageError>,
+    /// Whether the result is invariant across evaluations (uncorrelated and
+    /// reading no enclosing CTEs) and may therefore be cached.
+    pub cacheable: bool,
+    /// Cached result for cacheable subplans (per compiled plan, i.e. per
+    /// top-level execution).
+    pub cache: RefCell<Option<Rc<QueryResult>>>,
+}
+
+impl SubPlan {
+    /// A subplan that raises `error` when executed.
+    pub(crate) fn failing(error: StorageError) -> Self {
+        SubPlan {
+            plan: Err(error),
+            cacheable: false,
+            cache: RefCell::new(None),
+        }
+    }
+
+    fn execute(&self, env: &EvalEnv<'_>) -> StorageResult<Rc<QueryResult>> {
+        let plan = self.plan.as_ref().map_err(Clone::clone)?;
+        if self.cacheable {
+            if let Some(cached) = &*self.cache.borrow() {
+                return Ok(Rc::clone(cached));
+            }
+        }
+        let outer = OuterEnv {
+            bindings: env.bindings,
+            row: env.row,
+            parent: env.ctx.outer,
+        };
+        let ctx = RunCtx {
+            db: env.ctx.db,
+            frame: env.ctx.frame,
+            outer: Some(&outer),
+        };
+        let result = Rc::new(exec_query_plan(plan, &ctx)?);
+        if self.cacheable {
+            *self.cache.borrow_mut() = Some(Rc::clone(&result));
+        }
+        Ok(result)
+    }
+}
+
+/// A compiled scalar expression.
+pub(crate) enum PhysExpr {
+    /// Resolved column ordinal in the current row.
+    Column(usize),
+    /// Correlated reference resolved through enclosing row scopes at
+    /// evaluation time. `qualifier`/`name` are pre-normalized; `display`
+    /// preserves the original spelling for error messages.
+    Outer {
+        qualifier: Option<String>,
+        name: String,
+        display: String,
+    },
+    /// Constant.
+    Literal(Value),
+    Binary {
+        left: Box<PhysExpr>,
+        op: BinaryOperator,
+        right: Box<PhysExpr>,
+    },
+    Unary {
+        op: UnaryOperator,
+        expr: Box<PhysExpr>,
+    },
+    /// Scalar function with a canonical (uppercase, `'static`) name.
+    ScalarFn {
+        name: &'static str,
+        args: Vec<PhysExpr>,
+    },
+    /// Aggregate call; `arg: None` is `COUNT(*)`.
+    Aggregate {
+        name: &'static str,
+        arg: Option<Box<PhysExpr>>,
+        distinct: bool,
+    },
+    Case {
+        operand: Option<Box<PhysExpr>>,
+        conditions: Vec<(PhysExpr, PhysExpr)>,
+        else_result: Option<Box<PhysExpr>>,
+    },
+    Exists {
+        plan: Box<SubPlan>,
+        negated: bool,
+    },
+    ScalarSubquery {
+        plan: Box<SubPlan>,
+    },
+    InSubquery {
+        expr: Box<PhysExpr>,
+        plan: Box<SubPlan>,
+        negated: bool,
+    },
+    InList {
+        expr: Box<PhysExpr>,
+        list: Vec<PhysExpr>,
+        negated: bool,
+    },
+    Between {
+        expr: Box<PhysExpr>,
+        low: Box<PhysExpr>,
+        high: Box<PhysExpr>,
+        negated: bool,
+    },
+    IsNull {
+        expr: Box<PhysExpr>,
+        negated: bool,
+    },
+    Like {
+        expr: Box<PhysExpr>,
+        pattern: Box<PhysExpr>,
+        negated: bool,
+    },
+    Cast {
+        expr: Box<PhysExpr>,
+        data_type: DataType,
+    },
+    /// A node whose compilation failed (unsupported function, bad arity,
+    /// unplannable subquery, ...). The error is raised only if the node is
+    /// actually *evaluated*, mirroring the interpreter, which never fails on
+    /// dead `CASE` branches, lazily skipped `COALESCE` tails, or projections
+    /// over empty inputs.
+    Fail(StorageError),
+}
+
+/// Evaluation environment: the runtime context plus the current row (and,
+/// in grouped evaluation, the rows of the current group).
+pub(crate) struct EvalEnv<'a> {
+    pub ctx: &'a RunCtx<'a>,
+    pub bindings: &'a [ColumnBinding],
+    pub row: &'a [Value],
+    pub group: Option<&'a [Row]>,
+}
+
+impl PhysExpr {
+    pub(crate) fn eval(&self, env: &EvalEnv<'_>) -> StorageResult<Value> {
+        match self {
+            PhysExpr::Column(idx) => Ok(env.row.get(*idx).cloned().unwrap_or(Value::Null)),
+            PhysExpr::Outer {
+                qualifier,
+                name,
+                display,
+            } => {
+                let mut scope = env.ctx.outer;
+                while let Some(outer) = scope {
+                    let found = outer.bindings.iter().position(|b| {
+                        b.name == *name
+                            && match qualifier {
+                                Some(q) => b.qualifier.as_deref() == Some(q.as_str()),
+                                None => true,
+                            }
+                    });
+                    if let Some(idx) = found {
+                        return Ok(outer.row.get(idx).cloned().unwrap_or(Value::Null));
+                    }
+                    scope = outer.parent;
+                }
+                Err(StorageError::UnknownColumn(display.clone()))
+            }
+            PhysExpr::Literal(v) => Ok(v.clone()),
+            PhysExpr::Binary { left, op, right } => {
+                let l = left.eval(env)?;
+                let r = right.eval(env)?;
+                eval_binary(&l, *op, &r)
+            }
+            PhysExpr::Unary { op, expr } => {
+                let v = expr.eval(env)?;
+                match op {
+                    UnaryOperator::Not => Ok(if v.is_null() {
+                        Value::Null
+                    } else {
+                        Value::Bool(!v.is_truthy())
+                    }),
+                    UnaryOperator::Minus => v
+                        .as_f64()
+                        .map(|f| {
+                            if matches!(v, Value::Int(_)) {
+                                Value::Int(-(f as i64))
+                            } else {
+                                Value::Float(-f)
+                            }
+                        })
+                        .ok_or_else(|| StorageError::TypeError(format!("cannot negate {v}"))),
+                    UnaryOperator::Plus => Ok(v),
+                }
+            }
+            PhysExpr::ScalarFn { name, args } => eval_scalar_fn(name, args, env),
+            PhysExpr::Aggregate {
+                name,
+                arg,
+                distinct,
+            } => match env.group {
+                Some(group) => eval_aggregate(name, arg.as_deref(), *distinct, group, env),
+                // Outside a grouped context the current row forms a one-row
+                // group (same robustness rule as the interpreter).
+                None => {
+                    let row = env.row.to_vec();
+                    let single = [row];
+                    eval_aggregate(name, arg.as_deref(), *distinct, &single, env)
+                }
+            },
+            PhysExpr::Case {
+                operand,
+                conditions,
+                else_result,
+            } => {
+                let operand_value = operand.as_ref().map(|o| o.eval(env)).transpose()?;
+                for (condition, result) in conditions {
+                    let matched = match &operand_value {
+                        Some(op_value) => {
+                            let cv = condition.eval(env)?;
+                            op_value.sql_eq(&cv).unwrap_or(false)
+                        }
+                        None => condition.eval(env)?.is_truthy(),
+                    };
+                    if matched {
+                        return result.eval(env);
+                    }
+                }
+                match else_result {
+                    Some(e) => e.eval(env),
+                    None => Ok(Value::Null),
+                }
+            }
+            PhysExpr::Exists { plan, negated } => {
+                let result = plan.execute(env)?;
+                let exists = !result.rows.is_empty();
+                Ok(Value::Bool(exists != *negated))
+            }
+            PhysExpr::ScalarSubquery { plan } => {
+                let result = plan.execute(env)?;
+                if result.column_count() != 1 {
+                    return Err(StorageError::CardinalityViolation(format!(
+                        "scalar subquery returned {} columns",
+                        result.column_count()
+                    )));
+                }
+                match result.rows.len() {
+                    0 => Ok(Value::Null),
+                    1 => Ok(result.rows[0][0].clone()),
+                    n => Err(StorageError::CardinalityViolation(format!(
+                        "scalar subquery returned {n} rows"
+                    ))),
+                }
+            }
+            PhysExpr::InSubquery {
+                expr,
+                plan,
+                negated,
+            } => {
+                let needle = expr.eval(env)?;
+                if needle.is_null() {
+                    return Ok(Value::Null);
+                }
+                let result = plan.execute(env)?;
+                let found = result
+                    .rows
+                    .iter()
+                    .filter_map(|r| r.first())
+                    .any(|v| needle.sql_eq(v).unwrap_or(false));
+                Ok(Value::Bool(found != *negated))
+            }
+            PhysExpr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let needle = expr.eval(env)?;
+                if needle.is_null() {
+                    return Ok(Value::Null);
+                }
+                let mut found = false;
+                for item in list {
+                    let v = item.eval(env)?;
+                    if needle.sql_eq(&v).unwrap_or(false) {
+                        found = true;
+                        break;
+                    }
+                }
+                Ok(Value::Bool(found != *negated))
+            }
+            PhysExpr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
+                let v = expr.eval(env)?;
+                let lo = low.eval(env)?;
+                let hi = high.eval(env)?;
+                if v.is_null() || lo.is_null() || hi.is_null() {
+                    return Ok(Value::Null);
+                }
+                let within = v.total_cmp(&lo) != std::cmp::Ordering::Less
+                    && v.total_cmp(&hi) != std::cmp::Ordering::Greater;
+                Ok(Value::Bool(within != *negated))
+            }
+            PhysExpr::IsNull { expr, negated } => {
+                let v = expr.eval(env)?;
+                Ok(Value::Bool(v.is_null() != *negated))
+            }
+            PhysExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                let v = expr.eval(env)?;
+                let p = pattern.eval(env)?;
+                match (v.as_text(), p.as_text()) {
+                    (Some(text), Some(pattern)) => {
+                        Ok(Value::Bool(like_match(text, pattern) != *negated))
+                    }
+                    _ => {
+                        if v.is_null() || p.is_null() {
+                            Ok(Value::Null)
+                        } else {
+                            Ok(Value::Bool(
+                                like_match(&v.to_string(), &p.to_string()) != *negated,
+                            ))
+                        }
+                    }
+                }
+            }
+            PhysExpr::Cast { expr, data_type } => {
+                let v = expr.eval(env)?;
+                Ok(cast_value(v, *data_type))
+            }
+            PhysExpr::Fail(error) => Err(error.clone()),
+        }
+    }
+
+    /// Evaluate as a row predicate.
+    pub(crate) fn eval_truthy(&self, env: &EvalEnv<'_>) -> StorageResult<bool> {
+        Ok(self.eval(env)?.is_truthy())
+    }
+}
+
+fn eval_scalar_fn(name: &str, args: &[PhysExpr], env: &EvalEnv<'_>) -> StorageResult<Value> {
+    match name {
+        "UPPER" => {
+            let v = args[0].eval(env)?;
+            Ok(map_text(v, |s| s.to_ascii_uppercase()))
+        }
+        "LOWER" => {
+            let v = args[0].eval(env)?;
+            Ok(map_text(v, |s| s.to_ascii_lowercase()))
+        }
+        "LENGTH" | "LEN" => {
+            let v = args[0].eval(env)?;
+            Ok(match v {
+                Value::Null => Value::Null,
+                other => Value::Int(other.to_string().len() as i64),
+            })
+        }
+        "ABS" => {
+            let v = args[0].eval(env)?;
+            Ok(match v {
+                Value::Int(i) => Value::Int(i.abs()),
+                Value::Float(f) => Value::Float(f.abs()),
+                Value::Null => Value::Null,
+                other => {
+                    return Err(StorageError::TypeError(format!(
+                        "ABS({other}) is not numeric"
+                    )))
+                }
+            })
+        }
+        "ROUND" => {
+            let v = args[0].eval(env)?;
+            let digits = match args.get(1) {
+                Some(d) => d.eval(env)?.as_i64().unwrap_or(0),
+                None => 0,
+            };
+            Ok(match v.as_f64() {
+                Some(f) => {
+                    let factor = 10f64.powi(digits as i32);
+                    Value::Float((f * factor).round() / factor)
+                }
+                None => Value::Null,
+            })
+        }
+        "COALESCE" | "NVL" => {
+            for arg in args {
+                let v = arg.eval(env)?;
+                if !v.is_null() {
+                    return Ok(v);
+                }
+            }
+            Ok(Value::Null)
+        }
+        "SUBSTR" | "SUBSTRING" => {
+            let v = args[0].eval(env)?;
+            let start = args[1].eval(env)?.as_i64().unwrap_or(1).max(1) as usize;
+            let len = match args.get(2) {
+                Some(l) => l.eval(env)?.as_i64().unwrap_or(0).max(0) as usize,
+                None => usize::MAX,
+            };
+            Ok(map_text(v, |s| {
+                s.chars().skip(start - 1).take(len).collect::<String>()
+            }))
+        }
+        other => Err(StorageError::Unsupported(format!(
+            "function {other} is not supported"
+        ))),
+    }
+}
+
+fn eval_aggregate(
+    name: &str,
+    arg: Option<&PhysExpr>,
+    distinct: bool,
+    group: &[Row],
+    env: &EvalEnv<'_>,
+) -> StorageResult<Value> {
+    let Some(arg) = arg else {
+        // COUNT(*) counts rows directly.
+        return Ok(Value::Int(group.len() as i64));
+    };
+    let mut values: Vec<Value> = Vec::with_capacity(group.len());
+    for row in group {
+        let row_env = EvalEnv {
+            ctx: env.ctx,
+            bindings: env.bindings,
+            row,
+            group: None,
+        };
+        let v = arg.eval(&row_env)?;
+        if !v.is_null() {
+            values.push(v);
+        }
+    }
+    finish_aggregate(name, values, distinct)
+}

@@ -1,0 +1,171 @@
+//! Physical join operators.
+//!
+//! Equi-joins (the overwhelmingly common case in generated and real
+//! text-to-SQL workloads) run as a build/probe **hash join**: O(|L| + |R| +
+//! |output|) instead of the interpreter's O(|L| × |R|) nested loop. Join
+//! types (inner / left / right / full outer) and residual `ON` conjuncts
+//! are handled on the key-matched candidates, so the hash join produces
+//! exactly the interpreter's output — including row order, because
+//! candidates are probed in build-side row order.
+//!
+//! NULL join keys never match (SQL equality semantics); `-0.0`/`0.0` hash
+//! identically (see [`crate::scalar::join_key_part`]). NaN keys are the one
+//! documented divergence: the interpreter's total ordering treats NaN as
+//! equal to every number, the hash join as equal to nothing — NaN cannot be
+//! produced by the supported expression surface.
+
+use std::collections::HashMap;
+
+use bp_sql::JoinOperator;
+
+use crate::error::StorageResult;
+use crate::plan::ColumnBinding;
+use crate::scalar::join_key_part;
+use crate::table::Row;
+use crate::value::Value;
+
+use super::expr::{EvalEnv, PhysExpr};
+use super::RunCtx;
+
+/// Composite hash key over the given ordinals; `None` if any part is NULL.
+fn join_key(row: &Row, ordinals: &[usize]) -> Option<String> {
+    let mut key = String::new();
+    for (i, &o) in ordinals.iter().enumerate() {
+        let part = join_key_part(row.get(o).unwrap_or(&Value::Null))?;
+        if i > 0 {
+            key.push('\u{1}');
+        }
+        key.push_str(&part);
+    }
+    Some(key)
+}
+
+fn pad_left(width: usize, rrow: &Row) -> Row {
+    let mut combined: Row = std::iter::repeat_n(Value::Null, width).collect();
+    combined.extend(rrow.iter().cloned());
+    combined
+}
+
+fn pad_right(lrow: &Row, width: usize) -> Row {
+    let mut combined = lrow.clone();
+    combined.extend(std::iter::repeat_n(Value::Null, width));
+    combined
+}
+
+/// Hash join on pre-resolved key ordinals, with an optional residual
+/// predicate evaluated on each key-matched pair.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn hash_join(
+    left_rows: Vec<Row>,
+    right_rows: Vec<Row>,
+    operator: JoinOperator,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    residual: Option<&PhysExpr>,
+    bindings: &[ColumnBinding],
+    right_width: usize,
+    ctx: &RunCtx<'_>,
+) -> StorageResult<Vec<Row>> {
+    // Build on the right side: key → right row indices in row order.
+    let mut table: HashMap<String, Vec<usize>> = HashMap::with_capacity(right_rows.len());
+    for (ri, rrow) in right_rows.iter().enumerate() {
+        if let Some(key) = join_key(rrow, right_keys) {
+            table.entry(key).or_default().push(ri);
+        }
+    }
+
+    let mut rows = Vec::new();
+    let mut right_matched = vec![false; right_rows.len()];
+    for lrow in &left_rows {
+        let mut matched = false;
+        if let Some(key) = join_key(lrow, left_keys) {
+            if let Some(candidates) = table.get(&key) {
+                for &ri in candidates {
+                    let mut combined = lrow.clone();
+                    combined.extend(right_rows[ri].iter().cloned());
+                    let keep = match residual {
+                        None => true,
+                        Some(predicate) => {
+                            let env = EvalEnv {
+                                ctx,
+                                bindings,
+                                row: &combined,
+                                group: None,
+                            };
+                            predicate.eval_truthy(&env)?
+                        }
+                    };
+                    if keep {
+                        matched = true;
+                        right_matched[ri] = true;
+                        rows.push(combined);
+                    }
+                }
+            }
+        }
+        if !matched && matches!(operator, JoinOperator::LeftOuter | JoinOperator::FullOuter) {
+            rows.push(pad_right(lrow, right_width));
+        }
+    }
+    if matches!(operator, JoinOperator::RightOuter | JoinOperator::FullOuter) {
+        let left_width = bindings.len() - right_width;
+        for (ri, rrow) in right_rows.iter().enumerate() {
+            if !right_matched[ri] {
+                rows.push(pad_left(left_width, rrow));
+            }
+        }
+    }
+    Ok(rows)
+}
+
+/// Nested-loop join for non-equi constraints (and cross joins, where
+/// `on` is `None` and every pair matches).
+#[allow(clippy::too_many_arguments)]
+pub(super) fn nested_loop_join(
+    left_rows: Vec<Row>,
+    right_rows: Vec<Row>,
+    operator: JoinOperator,
+    on: Option<&PhysExpr>,
+    bindings: &[ColumnBinding],
+    right_width: usize,
+    ctx: &RunCtx<'_>,
+) -> StorageResult<Vec<Row>> {
+    let mut rows = Vec::new();
+    let mut right_matched = vec![false; right_rows.len()];
+    for lrow in &left_rows {
+        let mut matched = false;
+        for (ri, rrow) in right_rows.iter().enumerate() {
+            let mut combined = lrow.clone();
+            combined.extend(rrow.iter().cloned());
+            let keep = match on {
+                None => true,
+                Some(predicate) => {
+                    let env = EvalEnv {
+                        ctx,
+                        bindings,
+                        row: &combined,
+                        group: None,
+                    };
+                    predicate.eval_truthy(&env)?
+                }
+            };
+            if keep {
+                matched = true;
+                right_matched[ri] = true;
+                rows.push(combined);
+            }
+        }
+        if !matched && matches!(operator, JoinOperator::LeftOuter | JoinOperator::FullOuter) {
+            rows.push(pad_right(lrow, right_width));
+        }
+    }
+    if matches!(operator, JoinOperator::RightOuter | JoinOperator::FullOuter) {
+        let left_width = bindings.len() - right_width;
+        for (ri, rrow) in right_rows.iter().enumerate() {
+            if !right_matched[ri] {
+                rows.push(pad_left(left_width, rrow));
+            }
+        }
+    }
+    Ok(rows)
+}

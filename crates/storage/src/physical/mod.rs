@@ -1,0 +1,483 @@
+//! Physical operators — layer 2 of the planned execution engine.
+//!
+//! [`execute_planned`] lowers a query through [`crate::plan`] (logical
+//! planning + rewrites) and the `compile` submodule (ordinal resolution,
+//! join algorithm selection, subquery compilation), then executes the
+//! resulting physical plan. Compared to the legacy tree-walking interpreter
+//! the planned engine:
+//!
+//! * joins equi-key pairs with a **hash join** instead of a nested loop;
+//! * resolves column names **once at compile time** to ordinals instead of
+//!   uppercasing and scanning bindings per cell;
+//! * chains CTE scopes by **parent pointer** instead of cloning
+//!   materialized CTE results into every subquery;
+//! * **caches uncorrelated subquery results** instead of re-executing them
+//!   per row;
+//! * evaluates pushed-down filters before joins instead of after.
+//!
+//! The legacy interpreter remains available behind [`ExecStrategy::Legacy`]
+//! and serves as the differential-testing oracle: both engines must produce
+//! identical [`QueryResult`]s (see the workspace `differential` proptest
+//! suite).
+
+mod compile;
+mod expr;
+mod join;
+
+use std::collections::HashMap;
+
+use bp_sql::{Query, SetOperator};
+
+use crate::database::Database;
+use crate::error::{StorageError, StorageResult};
+use crate::plan::{ColumnBinding, Planner, SortKey};
+use crate::result::QueryResult;
+use crate::scalar::{combine_set_operation, composite_key};
+use crate::table::Row;
+use crate::value::Value;
+
+use compile::Compiler;
+use expr::{EvalEnv, PhysExpr};
+
+/// Which execution engine to use for a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecStrategy {
+    /// The planned engine: logical plan + physical operators (default).
+    #[default]
+    Planned,
+    /// The legacy tree-walking interpreter, retained as the
+    /// differential-testing oracle.
+    Legacy,
+}
+
+/// Plan, compile and execute a query with the planned engine.
+pub fn execute_planned(db: &Database, query: &Query) -> StorageResult<QueryResult> {
+    let logical = Planner::new(db).plan(query)?;
+    let physical = Compiler::new(db).compile(&logical)?;
+    let ctx = RunCtx {
+        db,
+        frame: None,
+        outer: None,
+    };
+    exec_query_plan(&physical, &ctx)
+}
+
+// ---------------------------------------------------------------------
+// Physical plan representation
+// ---------------------------------------------------------------------
+
+/// A compiled query: CTEs to materialize in order, the operator tree, and
+/// the visible output shape.
+pub(crate) struct PhysQueryPlan {
+    ctes: Vec<(String, PhysQueryPlan)>,
+    root: PhysNode,
+    columns: Vec<String>,
+    ordered: bool,
+}
+
+/// A compiled physical operator. Operators that evaluate expressions carry
+/// their input bindings so that subqueries evaluated inside them can expose
+/// the current row to correlated references.
+pub(crate) enum PhysNode {
+    ScanTable {
+        name: String,
+    },
+    ScanCte {
+        name: String,
+    },
+    ScanDerived {
+        plan: Box<PhysQueryPlan>,
+    },
+    ScanEmpty,
+    Filter {
+        input: Box<PhysNode>,
+        predicate: PhysExpr,
+        bindings: Vec<ColumnBinding>,
+    },
+    NestedLoopJoin {
+        left: Box<PhysNode>,
+        right: Box<PhysNode>,
+        operator: bp_sql::JoinOperator,
+        on: Option<PhysExpr>,
+        bindings: Vec<ColumnBinding>,
+        right_width: usize,
+    },
+    HashJoin {
+        left: Box<PhysNode>,
+        right: Box<PhysNode>,
+        operator: bp_sql::JoinOperator,
+        left_keys: Vec<usize>,
+        right_keys: Vec<usize>,
+        residual: Option<PhysExpr>,
+        bindings: Vec<ColumnBinding>,
+        right_width: usize,
+    },
+    Project {
+        input: Box<PhysNode>,
+        items: Vec<PhysExpr>,
+        visible: usize,
+        distinct: bool,
+        bindings: Vec<ColumnBinding>,
+    },
+    HashAggregate {
+        input: Box<PhysNode>,
+        group_by: Vec<PhysExpr>,
+        having: Option<PhysExpr>,
+        items: Vec<PhysExpr>,
+        visible: usize,
+        distinct: bool,
+        bindings: Vec<ColumnBinding>,
+    },
+    Sort {
+        input: Box<PhysNode>,
+        keys: Vec<SortKey>,
+    },
+    Limit {
+        input: Box<PhysNode>,
+        limit: Option<PhysExpr>,
+        offset: Option<PhysExpr>,
+    },
+    SetOp {
+        op: SetOperator,
+        all: bool,
+        left: Box<PhysQueryPlan>,
+        right: Box<PhysQueryPlan>,
+    },
+    Nested(Box<PhysQueryPlan>),
+}
+
+// ---------------------------------------------------------------------
+// Runtime context
+// ---------------------------------------------------------------------
+
+/// One level of materialized CTE results, chained by parent pointer.
+pub(crate) struct CteFrame<'a> {
+    local: &'a HashMap<String, QueryResult>,
+    parent: Option<&'a CteFrame<'a>>,
+}
+
+impl CteFrame<'_> {
+    fn get(&self, name: &str) -> Option<&QueryResult> {
+        self.local
+            .get(name)
+            .or_else(|| self.parent.and_then(|p| p.get(name)))
+    }
+}
+
+/// An enclosing row scope for correlated subquery evaluation.
+pub(crate) struct OuterEnv<'a> {
+    pub(crate) bindings: &'a [ColumnBinding],
+    pub(crate) row: &'a [Value],
+    pub(crate) parent: Option<&'a OuterEnv<'a>>,
+}
+
+/// The runtime execution context threaded through the operator tree.
+pub(crate) struct RunCtx<'a> {
+    pub(crate) db: &'a Database,
+    pub(crate) frame: Option<&'a CteFrame<'a>>,
+    pub(crate) outer: Option<&'a OuterEnv<'a>>,
+}
+
+// ---------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------
+
+pub(crate) fn exec_query_plan(
+    plan: &PhysQueryPlan,
+    ctx: &RunCtx<'_>,
+) -> StorageResult<QueryResult> {
+    let mut local: HashMap<String, QueryResult> = HashMap::new();
+    for (name, sub) in &plan.ctes {
+        let frame = CteFrame {
+            local: &local,
+            parent: ctx.frame,
+        };
+        let sub_ctx = RunCtx {
+            db: ctx.db,
+            frame: Some(&frame),
+            outer: ctx.outer,
+        };
+        let result = exec_query_plan(sub, &sub_ctx)?;
+        local.insert(name.clone(), result);
+    }
+    let frame = CteFrame {
+        local: &local,
+        parent: ctx.frame,
+    };
+    let sub_ctx = RunCtx {
+        db: ctx.db,
+        frame: Some(&frame),
+        outer: ctx.outer,
+    };
+    let mut rows = exec_node(&plan.root, &sub_ctx)?;
+    // Strip hidden sort-key columns.
+    let visible = plan.columns.len();
+    for row in &mut rows {
+        row.truncate(visible);
+    }
+    Ok(QueryResult {
+        columns: plan.columns.clone(),
+        rows,
+        ordered: plan.ordered,
+    })
+}
+
+fn exec_node(node: &PhysNode, ctx: &RunCtx<'_>) -> StorageResult<Vec<Row>> {
+    match node {
+        PhysNode::ScanTable { name } => {
+            let table = ctx
+                .db
+                .table(name)
+                .ok_or_else(|| StorageError::UnknownTable(name.clone()))?;
+            Ok(table.rows().to_vec())
+        }
+        PhysNode::ScanCte { name } => {
+            let result = ctx
+                .frame
+                .and_then(|f| f.get(name))
+                .ok_or_else(|| StorageError::UnknownTable(name.clone()))?;
+            Ok(result.rows.clone())
+        }
+        PhysNode::ScanDerived { plan } => Ok(exec_query_plan(plan, ctx)?.rows),
+        PhysNode::ScanEmpty => Ok(vec![Vec::new()]),
+        PhysNode::Filter {
+            input,
+            predicate,
+            bindings,
+        } => {
+            let input_rows = exec_node(input, ctx)?;
+            let mut rows = Vec::with_capacity(input_rows.len());
+            for row in input_rows {
+                let env = EvalEnv {
+                    ctx,
+                    bindings,
+                    row: &row,
+                    group: None,
+                };
+                if predicate.eval_truthy(&env)? {
+                    rows.push(row);
+                }
+            }
+            Ok(rows)
+        }
+        PhysNode::NestedLoopJoin {
+            left,
+            right,
+            operator,
+            on,
+            bindings,
+            right_width,
+        } => {
+            let left_rows = exec_node(left, ctx)?;
+            let right_rows = exec_node(right, ctx)?;
+            join::nested_loop_join(
+                left_rows,
+                right_rows,
+                *operator,
+                on.as_ref(),
+                bindings,
+                *right_width,
+                ctx,
+            )
+        }
+        PhysNode::HashJoin {
+            left,
+            right,
+            operator,
+            left_keys,
+            right_keys,
+            residual,
+            bindings,
+            right_width,
+        } => {
+            let left_rows = exec_node(left, ctx)?;
+            let right_rows = exec_node(right, ctx)?;
+            join::hash_join(
+                left_rows,
+                right_rows,
+                *operator,
+                left_keys,
+                right_keys,
+                residual.as_ref(),
+                bindings,
+                *right_width,
+                ctx,
+            )
+        }
+        PhysNode::Project {
+            input,
+            items,
+            visible,
+            distinct,
+            bindings,
+        } => {
+            let input_rows = exec_node(input, ctx)?;
+            let mut rows = Vec::with_capacity(input_rows.len());
+            for row in &input_rows {
+                let env = EvalEnv {
+                    ctx,
+                    bindings,
+                    row,
+                    group: None,
+                };
+                let values = items
+                    .iter()
+                    .map(|item| item.eval(&env))
+                    .collect::<StorageResult<Row>>()?;
+                rows.push(values);
+            }
+            if *distinct {
+                dedup_rows(&mut rows, *visible);
+            }
+            Ok(rows)
+        }
+        PhysNode::HashAggregate {
+            input,
+            group_by,
+            having,
+            items,
+            visible,
+            distinct,
+            bindings,
+        } => {
+            let input_rows = exec_node(input, ctx)?;
+            let width = bindings.len();
+
+            // Group rows by the GROUP BY key (a single global group if absent).
+            let mut groups: Vec<Vec<Row>> = Vec::new();
+            let mut index: HashMap<String, usize> = HashMap::new();
+            for row in input_rows {
+                let env = EvalEnv {
+                    ctx,
+                    bindings,
+                    row: &row,
+                    group: None,
+                };
+                let key_values = group_by
+                    .iter()
+                    .map(|e| e.eval(&env))
+                    .collect::<StorageResult<Vec<Value>>>()?;
+                let key = composite_key(&key_values);
+                match index.get(&key) {
+                    Some(&i) => groups[i].push(row),
+                    None => {
+                        index.insert(key, groups.len());
+                        groups.push(vec![row]);
+                    }
+                }
+            }
+            if groups.is_empty() && group_by.is_empty() {
+                // Aggregates over an empty input still produce one row.
+                groups.push(Vec::new());
+            }
+
+            let mut rows = Vec::with_capacity(groups.len());
+            for group_rows in groups {
+                let representative = group_rows
+                    .first()
+                    .cloned()
+                    .unwrap_or_else(|| vec![Value::Null; width]);
+                let env = EvalEnv {
+                    ctx,
+                    bindings,
+                    row: &representative,
+                    group: Some(&group_rows),
+                };
+                if let Some(having) = having {
+                    if !having.eval_truthy(&env)? {
+                        continue;
+                    }
+                }
+                let values = items
+                    .iter()
+                    .map(|item| item.eval(&env))
+                    .collect::<StorageResult<Row>>()?;
+                rows.push(values);
+            }
+            if *distinct {
+                dedup_rows(&mut rows, *visible);
+            }
+            Ok(rows)
+        }
+        PhysNode::Sort { input, keys } => {
+            let mut rows = exec_node(input, ctx)?;
+            rows.sort_by(|a, b| {
+                for key in keys {
+                    let (va, vb) = match key.ordinal {
+                        Some(o) => (
+                            a.get(o).unwrap_or(&Value::Null),
+                            b.get(o).unwrap_or(&Value::Null),
+                        ),
+                        None => (&Value::Null, &Value::Null),
+                    };
+                    let ord = va.total_cmp(vb);
+                    let ord = if key.asc { ord } else { ord.reverse() };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            Ok(rows)
+        }
+        PhysNode::Limit {
+            input,
+            limit,
+            offset,
+        } => {
+            let mut rows = exec_node(input, ctx)?;
+            if let Some(offset) = offset {
+                let n = eval_count(offset, ctx)?;
+                if n < rows.len() {
+                    rows.drain(..n);
+                } else {
+                    rows.clear();
+                }
+            }
+            if let Some(limit) = limit {
+                let n = eval_count(limit, ctx)?;
+                rows.truncate(n);
+            }
+            Ok(rows)
+        }
+        PhysNode::SetOp {
+            op,
+            all,
+            left,
+            right,
+        } => {
+            let l = exec_query_plan(left, ctx)?;
+            let r = exec_query_plan(right, ctx)?;
+            Ok(combine_set_operation(*op, *all, l, r)?.rows)
+        }
+        PhysNode::Nested(sub) => Ok(exec_query_plan(sub, ctx)?.rows),
+    }
+}
+
+/// DISTINCT over the visible prefix of each row; keeps first occurrences.
+fn dedup_rows(rows: &mut Vec<Row>, visible: usize) {
+    let mut seen: HashMap<String, ()> = HashMap::new();
+    rows.retain(|row| {
+        let key = composite_key(&row[..visible.min(row.len())]);
+        seen.insert(key, ()).is_none()
+    });
+}
+
+/// Evaluate a LIMIT/OFFSET expression (empty row scope) to a count.
+fn eval_count(expr: &PhysExpr, ctx: &RunCtx<'_>) -> StorageResult<usize> {
+    let env = EvalEnv {
+        ctx,
+        bindings: &[],
+        row: &[],
+        group: None,
+    };
+    let v = expr.eval(&env)?;
+    v.as_i64()
+        .filter(|n| *n >= 0)
+        .map(|n| n as usize)
+        .ok_or_else(|| {
+            StorageError::TypeError(format!(
+                "LIMIT/OFFSET must be a non-negative integer, got {v}"
+            ))
+        })
+}

@@ -1,0 +1,459 @@
+//! Shared execution kernels: the pure, value-level pieces of SQL evaluation
+//! used by *both* execution engines.
+//!
+//! The legacy tree-walking interpreter ([`crate::exec`]) and the planned
+//! engine ([`crate::physical`]) must agree bit-for-bit on scalar semantics —
+//! the interpreter serves as the differential-testing oracle for the planner
+//! — so everything value-level lives here exactly once: literal conversion,
+//! casts, binary operators, aggregate finalization, case-insensitive name
+//! comparison, and the canonical hash keys used for grouping and joining.
+
+use std::collections::HashMap;
+
+use bp_sql::{BinaryOperator, Literal};
+
+use crate::error::{StorageError, StorageResult};
+use crate::result::QueryResult;
+use crate::table::Row;
+use crate::value::Value;
+
+// ---------------------------------------------------------------------
+// Case-insensitive identifier comparison (allocation-free)
+// ---------------------------------------------------------------------
+
+/// `stored == raw.to_ascii_uppercase()` without allocating. `stored` is a
+/// name that was normalized to uppercase once at relation construction;
+/// `raw` is identifier text straight from the AST.
+pub(crate) fn eq_upper(stored: &str, raw: &str) -> bool {
+    stored.len() == raw.len()
+        && stored
+            .bytes()
+            .zip(raw.bytes())
+            .all(|(s, r)| s == r.to_ascii_uppercase())
+}
+
+/// `candidate.to_ascii_uppercase() == target` without allocating. `target`
+/// is already-normalized (uppercase for unquoted identifiers) text.
+pub(crate) fn upper_eq(candidate: &str, target: &str) -> bool {
+    candidate.len() == target.len()
+        && candidate
+            .bytes()
+            .zip(target.bytes())
+            .all(|(c, t)| c.to_ascii_uppercase() == t)
+}
+
+// ---------------------------------------------------------------------
+// Function name canonicalization
+// ---------------------------------------------------------------------
+
+/// Canonical (uppercase, `'static`) spelling of a supported function name,
+/// or `None` for unsupported functions. Resolving the name once per call
+/// site (or once at compile time, for the planned engine) replaces the
+/// per-evaluation `to_ascii_uppercase` allocation of the original
+/// interpreter.
+pub(crate) fn canonical_function_name(name: &str) -> Option<&'static str> {
+    const NAMES: [&str; 15] = [
+        "COUNT",
+        "SUM",
+        "AVG",
+        "MIN",
+        "MAX",
+        "UPPER",
+        "LOWER",
+        "LENGTH",
+        "LEN",
+        "ABS",
+        "ROUND",
+        "COALESCE",
+        "NVL",
+        "SUBSTR",
+        "SUBSTRING",
+    ];
+    NAMES.iter().copied().find(|target| upper_eq(name, target))
+}
+
+/// Whether a canonical function name is one of the five aggregates.
+pub(crate) fn is_aggregate_name(canonical: &str) -> bool {
+    matches!(canonical, "COUNT" | "SUM" | "AVG" | "MIN" | "MAX")
+}
+
+// ---------------------------------------------------------------------
+// Literals, casts, binary operators
+// ---------------------------------------------------------------------
+
+/// Convert an AST literal to a runtime value.
+pub(crate) fn literal_value(lit: &Literal) -> Value {
+    match lit {
+        Literal::Number(n) => {
+            if let Ok(i) = n.parse::<i64>() {
+                Value::Int(i)
+            } else {
+                n.parse::<f64>().map(Value::Float).unwrap_or(Value::Null)
+            }
+        }
+        Literal::String(s) => Value::Text(s.clone()),
+        Literal::Boolean(b) => Value::Bool(*b),
+        Literal::Null => Value::Null,
+    }
+}
+
+/// `CAST(v AS target)` semantics (never errors; unconvertible → NULL).
+pub(crate) fn cast_value(v: Value, target: bp_sql::DataType) -> Value {
+    use bp_sql::DataType as DT;
+    match target {
+        DT::Integer => match &v {
+            Value::Text(s) => s.trim().parse::<i64>().map(Value::Int).unwrap_or(Value::Null),
+            _ => v.as_i64().map(Value::Int).unwrap_or(Value::Null),
+        },
+        DT::Float => match &v {
+            Value::Text(s) => s
+                .trim()
+                .parse::<f64>()
+                .map(Value::Float)
+                .unwrap_or(Value::Null),
+            _ => v.as_f64().map(Value::Float).unwrap_or(Value::Null),
+        },
+        DT::Text => {
+            if v.is_null() {
+                Value::Null
+            } else {
+                Value::Text(v.to_string())
+            }
+        }
+        DT::Boolean => {
+            if v.is_null() {
+                Value::Null
+            } else {
+                Value::Bool(v.is_truthy())
+            }
+        }
+        DT::Date => v.as_i64().map(Value::Date).unwrap_or(Value::Null),
+        DT::Timestamp => v.as_i64().map(Value::Timestamp).unwrap_or(Value::Null),
+    }
+}
+
+/// Evaluate a binary operator over two values. AND/OR are eager (both sides
+/// already evaluated by the caller), matching the original interpreter.
+pub(crate) fn eval_binary(left: &Value, op: BinaryOperator, right: &Value) -> StorageResult<Value> {
+    use BinaryOperator::*;
+    match op {
+        And => {
+            return Ok(Value::Bool(left.is_truthy() && right.is_truthy()));
+        }
+        Or => {
+            return Ok(Value::Bool(left.is_truthy() || right.is_truthy()));
+        }
+        _ => {}
+    }
+    if left.is_null() || right.is_null() {
+        return Ok(Value::Null);
+    }
+    match op {
+        Eq | NotEq | Lt | LtEq | Gt | GtEq => {
+            let ord = left.total_cmp(right);
+            let b = match op {
+                Eq => ord == std::cmp::Ordering::Equal,
+                NotEq => ord != std::cmp::Ordering::Equal,
+                Lt => ord == std::cmp::Ordering::Less,
+                LtEq => ord != std::cmp::Ordering::Greater,
+                Gt => ord == std::cmp::Ordering::Greater,
+                GtEq => ord != std::cmp::Ordering::Less,
+                _ => unreachable!(),
+            };
+            Ok(Value::Bool(b))
+        }
+        Concat => Ok(Value::Text(format!("{left}{right}"))),
+        Plus | Minus | Multiply | Divide | Modulo => {
+            let (a, b) = match (left.as_f64(), right.as_f64()) {
+                (Some(a), Some(b)) => (a, b),
+                _ => {
+                    return Err(StorageError::TypeError(format!(
+                        "cannot apply {} to {left} and {right}",
+                        op.as_sql()
+                    )))
+                }
+            };
+            if matches!(op, Divide | Modulo) && b == 0.0 {
+                return Err(StorageError::Arithmetic("division by zero".into()));
+            }
+            let result = match op {
+                Plus => a + b,
+                Minus => a - b,
+                Multiply => a * b,
+                Divide => a / b,
+                Modulo => a % b,
+                _ => unreachable!(),
+            };
+            let both_int = matches!(left, Value::Int(_)) && matches!(right, Value::Int(_));
+            if both_int && result.fract() == 0.0 && !matches!(op, Divide) {
+                Ok(Value::Int(result as i64))
+            } else {
+                Ok(Value::Float(result))
+            }
+        }
+        And | Or => unreachable!("handled above"),
+    }
+}
+
+/// Apply a text transformation, passing NULL through and stringifying
+/// non-text values.
+pub(crate) fn map_text(v: Value, f: impl Fn(&str) -> String) -> Value {
+    match v {
+        Value::Null => Value::Null,
+        Value::Text(s) => Value::Text(f(&s)),
+        other => Value::Text(f(&other.to_string())),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Aggregate finalization
+// ---------------------------------------------------------------------
+
+/// Finish an aggregate over the collected non-NULL argument values,
+/// applying DISTINCT deduplication if requested. `name` must be canonical
+/// (uppercase). `COUNT(*)` is handled by the callers (it counts rows, not
+/// values).
+pub(crate) fn finish_aggregate(
+    name: &str,
+    mut values: Vec<Value>,
+    distinct: bool,
+) -> StorageResult<Value> {
+    if distinct {
+        let mut seen = HashMap::new();
+        values.retain(|v| seen.insert(v.group_key(), ()).is_none());
+    }
+    match name {
+        "COUNT" => Ok(Value::Int(values.len() as i64)),
+        "SUM" => {
+            if values.is_empty() {
+                return Ok(Value::Null);
+            }
+            let all_int = values.iter().all(|v| matches!(v, Value::Int(_)));
+            let sum: f64 = values.iter().filter_map(|v| v.as_f64()).sum();
+            Ok(if all_int {
+                Value::Int(sum as i64)
+            } else {
+                Value::Float(sum)
+            })
+        }
+        "AVG" => {
+            if values.is_empty() {
+                return Ok(Value::Null);
+            }
+            let sum: f64 = values.iter().filter_map(|v| v.as_f64()).sum();
+            Ok(Value::Float(sum / values.len() as f64))
+        }
+        "MIN" => Ok(values
+            .into_iter()
+            .min_by(|a, b| a.total_cmp(b))
+            .unwrap_or(Value::Null)),
+        "MAX" => Ok(values
+            .into_iter()
+            .max_by(|a, b| a.total_cmp(b))
+            .unwrap_or(Value::Null)),
+        other => Err(StorageError::Unsupported(format!(
+            "aggregate {other} is not supported"
+        ))),
+    }
+}
+
+/// Error helper for functions that require an argument at `index`.
+pub(crate) fn missing_arg_error(name: &str, index: usize) -> StorageError {
+    StorageError::TypeError(format!(
+        "{name} expects at least {} argument(s)",
+        index + 1
+    ))
+}
+
+// ---------------------------------------------------------------------
+// Row keys
+// ---------------------------------------------------------------------
+
+/// Canonical composite key of a row slice (grouping / DISTINCT / set ops).
+pub(crate) fn composite_key(values: &[Value]) -> String {
+    values
+        .iter()
+        .map(|v| v.group_key())
+        .collect::<Vec<_>>()
+        .join("\u{1}")
+}
+
+/// One component of a hash-join key: `None` for NULL (NULL never joins),
+/// otherwise a string whose equality coincides with `total_cmp == Equal`
+/// for non-NaN values. Unlike [`Value::group_key`], `-0.0` is folded into
+/// `0.0` so the hash key agrees with IEEE equality.
+pub(crate) fn join_key_part(v: &Value) -> Option<String> {
+    fn norm(f: f64) -> f64 {
+        if f == 0.0 {
+            0.0
+        } else {
+            f
+        }
+    }
+    match v {
+        Value::Null => None,
+        Value::Int(i) => Some(format!("n:{}", norm(*i as f64))),
+        Value::Float(f) => Some(format!("n:{}", norm(*f))),
+        Value::Bool(b) => Some(format!("n:{}", if *b { 1.0 } else { 0.0 })),
+        Value::Date(d) => Some(format!("n:{}", norm(*d as f64))),
+        Value::Timestamp(t) => Some(format!("n:{}", norm(*t as f64))),
+        Value::Text(s) => Some(format!("t:{s}")),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Set operations
+// ---------------------------------------------------------------------
+
+/// Combine two results with UNION / INTERSECT / EXCEPT bag semantics,
+/// shared verbatim by both engines.
+pub(crate) fn combine_set_operation(
+    op: bp_sql::SetOperator,
+    all: bool,
+    left: QueryResult,
+    right: QueryResult,
+) -> StorageResult<QueryResult> {
+    use bp_sql::SetOperator;
+    if left.column_count() != right.column_count() {
+        return Err(StorageError::SchemaMismatch(format!(
+            "set operation operands have {} and {} columns",
+            left.column_count(),
+            right.column_count()
+        )));
+    }
+    let key = |row: &Row| -> String { composite_key(row) };
+    let columns = left.columns.clone();
+    let rows = match op {
+        SetOperator::Union => {
+            let mut rows = left.rows;
+            rows.extend(right.rows);
+            if !all {
+                let mut seen = HashMap::new();
+                rows.retain(|r| seen.insert(key(r), ()).is_none());
+            }
+            rows
+        }
+        SetOperator::Intersect => {
+            let mut right_keys: HashMap<String, usize> = HashMap::new();
+            for r in &right.rows {
+                *right_keys.entry(key(r)).or_insert(0) += 1;
+            }
+            let mut rows = Vec::new();
+            let mut emitted: HashMap<String, usize> = HashMap::new();
+            for r in left.rows {
+                let k = key(&r);
+                let available = right_keys.get(&k).copied().unwrap_or(0);
+                let used = emitted.entry(k).or_insert(0);
+                let cap = if all { available } else { available.min(1) };
+                if *used < cap {
+                    *used += 1;
+                    rows.push(r);
+                }
+            }
+            rows
+        }
+        SetOperator::Except => {
+            let mut right_keys: HashMap<String, usize> = HashMap::new();
+            for r in &right.rows {
+                *right_keys.entry(key(r)).or_insert(0) += 1;
+            }
+            let mut rows = Vec::new();
+            let mut seen: HashMap<String, usize> = HashMap::new();
+            for r in left.rows {
+                let k = key(&r);
+                let removed = right_keys.get(&k).copied().unwrap_or(0);
+                if !all {
+                    if removed == 0 && seen.insert(k, 1).is_none() {
+                        rows.push(r);
+                    }
+                } else {
+                    let count = seen.entry(k).or_insert(0);
+                    *count += 1;
+                    if *count > removed {
+                        rows.push(r);
+                    }
+                }
+            }
+            rows
+        }
+    };
+    Ok(QueryResult {
+        columns,
+        rows,
+        ordered: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq_upper_matches_uppercase_comparison() {
+        assert!(eq_upper("NAME", "name"));
+        assert!(eq_upper("NAME", "NaMe"));
+        assert!(!eq_upper("NAME", "names"));
+        assert!(!eq_upper("name", "name")); // stored side must already be uppercase
+        assert!(eq_upper("A_1", "a_1"));
+    }
+
+    #[test]
+    fn upper_eq_matches_normalized_target() {
+        assert!(upper_eq("name", "NAME"));
+        assert!(upper_eq("NAME", "NAME"));
+        assert!(!upper_eq("name", "name")); // target side must already be normalized
+    }
+
+    #[test]
+    fn canonical_names_cover_aliases() {
+        assert_eq!(canonical_function_name("count"), Some("COUNT"));
+        assert_eq!(canonical_function_name("Substring"), Some("SUBSTRING"));
+        assert_eq!(canonical_function_name("len"), Some("LEN"));
+        assert_eq!(canonical_function_name("median"), None);
+        assert!(is_aggregate_name("SUM"));
+        assert!(!is_aggregate_name("UPPER"));
+    }
+
+    #[test]
+    fn join_key_folds_negative_zero_and_rejects_null() {
+        assert_eq!(join_key_part(&Value::Null), None);
+        assert_eq!(
+            join_key_part(&Value::Float(-0.0)),
+            join_key_part(&Value::Int(0))
+        );
+        assert_eq!(
+            join_key_part(&Value::Int(3)),
+            join_key_part(&Value::Float(3.0))
+        );
+        assert_ne!(
+            join_key_part(&Value::Text("3".into())),
+            join_key_part(&Value::Int(3))
+        );
+    }
+
+    #[test]
+    fn finish_aggregate_matches_sql_semantics() {
+        let vals = vec![Value::Int(1), Value::Int(1), Value::Int(2)];
+        assert_eq!(
+            finish_aggregate("COUNT", vals.clone(), false).unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(
+            finish_aggregate("COUNT", vals.clone(), true).unwrap(),
+            Value::Int(2)
+        );
+        assert_eq!(
+            finish_aggregate("SUM", vals.clone(), false).unwrap(),
+            Value::Int(4)
+        );
+        assert_eq!(
+            finish_aggregate("AVG", vals, false).unwrap(),
+            Value::Float(4.0 / 3.0)
+        );
+        assert_eq!(
+            finish_aggregate("MIN", vec![], false).unwrap(),
+            Value::Null
+        );
+        assert!(finish_aggregate("MEDIAN", vec![], false).is_err());
+    }
+}

@@ -1,0 +1,90 @@
+//! Differential test suite for the planned query engine.
+//!
+//! Every query of a generated workload — across all four benchmark corpora
+//! (Spider, Bird, Fiben, Beaver) — is executed by both engines:
+//! `ExecStrategy::Planned` (logical plan + physical operators, the default)
+//! and `ExecStrategy::Legacy` (the tree-walking interpreter retained as the
+//! oracle). The results must be *identical*: same columns, same rows in the
+//! same order, same ordered flag — or both engines must fail.
+
+use benchpress_suite::datasets::{BenchmarkKind, CorpusScale, GeneratedBenchmark};
+use benchpress_suite::storage::ExecStrategy;
+use proptest::prelude::*;
+
+fn assert_corpus_differential(kind: BenchmarkKind, query_count: usize, seed: u64) {
+    let corpus = GeneratedBenchmark::generate(kind, query_count, seed);
+    for entry in &corpus.log {
+        let legacy = corpus
+            .database
+            .execute_sql_with(&entry.sql, ExecStrategy::Legacy);
+        let planned = corpus
+            .database
+            .execute_sql_with(&entry.sql, ExecStrategy::Planned);
+        match (legacy, planned) {
+            (Ok(l), Ok(p)) => assert_eq!(
+                l,
+                p,
+                "engines disagree on {} query: {}",
+                kind.name(),
+                entry.sql
+            ),
+            (Err(_), Err(_)) => {}
+            (l, p) => panic!(
+                "ok/err divergence on {} query {}: legacy={l:?} planned={p:?}",
+                kind.name(),
+                entry.sql
+            ),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 6,
+        .. ProptestConfig::default()
+    })]
+
+    /// Spider-like workloads (simple lookups + light aggregation).
+    #[test]
+    fn planned_matches_interpreter_on_spider(seed in 0u64..10_000) {
+        assert_corpus_differential(BenchmarkKind::Spider, 10, seed);
+    }
+
+    /// Bird-like workloads (wider schemas, more aggregation).
+    #[test]
+    fn planned_matches_interpreter_on_bird(seed in 0u64..10_000) {
+        assert_corpus_differential(BenchmarkKind::Bird, 10, seed);
+    }
+
+    /// Fiben-like workloads (deep joins and nesting).
+    #[test]
+    fn planned_matches_interpreter_on_fiben(seed in 0u64..10_000) {
+        assert_corpus_differential(BenchmarkKind::Fiben, 8, seed);
+    }
+
+    /// Beaver-like workloads (enterprise: CTEs, deep joins, domain filters,
+    /// NULL-heavy data).
+    #[test]
+    fn planned_matches_interpreter_on_beaver(seed in 0u64..10_000) {
+        assert_corpus_differential(BenchmarkKind::Beaver, 8, seed);
+    }
+}
+
+/// One scaled corpus run: the hash-join path (exercised for real at Medium
+/// scale) must agree with the interpreter row-for-row.
+#[test]
+fn planned_matches_interpreter_on_scaled_corpus() {
+    let corpus =
+        GeneratedBenchmark::generate_scaled(BenchmarkKind::Spider, 6, 20_260_730, CorpusScale::Medium);
+    for entry in &corpus.log {
+        let legacy = corpus
+            .database
+            .execute_sql_with(&entry.sql, ExecStrategy::Legacy)
+            .expect("legacy executes generated query");
+        let planned = corpus
+            .database
+            .execute_sql_with(&entry.sql, ExecStrategy::Planned)
+            .expect("planned executes generated query");
+        assert_eq!(legacy, planned, "engines disagree on: {}", entry.sql);
+    }
+}
