@@ -10,8 +10,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 
-use bp_datasets::{BenchmarkKind, GeneratedBenchmark};
-use bp_storage::{Database, ExecStrategy};
+use bp_datasets::{BenchmarkKind, CorpusScale, GeneratedBenchmark};
+use bp_storage::{available_threads, Database, ExecOptions, ExecStrategy};
 
 /// The first two-table equi-join SQL over the corpus's foreign keys.
 fn equi_join_sql(db: &Database) -> String {
@@ -79,6 +79,35 @@ fn bench_planning_overhead(c: &mut Criterion) {
     });
 }
 
+/// Serial vs parallel planned execution over the Large-scale corpus — the
+/// asymptotic setting where morsel counts are high enough for the pool to
+/// matter (the `exec_bench` binary records the gated numbers; this keeps
+/// the comparison under `cargo bench` too).
+fn bench_parallel_large(c: &mut Criterion) {
+    let corpus =
+        GeneratedBenchmark::generate_scaled(BenchmarkKind::Spider, 4, 7, CorpusScale::Large);
+    // Wide projection: per-row materialization work that parallelizes.
+    let sql = equi_join_sql(&corpus.database).replacen("SELECT c.", "SELECT c.*, p.*, c.", 1);
+    let query = bp_sql::parse_query(&sql).unwrap();
+    let threads = available_threads();
+    c.bench_function("exec/Large equi-join (planned, serial)", |b| {
+        b.iter(|| {
+            corpus
+                .database
+                .execute_opts(&query, ExecOptions::serial())
+                .unwrap()
+        })
+    });
+    c.bench_function("exec/Large equi-join (planned, parallel)", |b| {
+        b.iter(|| {
+            corpus
+                .database
+                .execute_opts(&query, ExecOptions::default().with_threads(threads))
+                .unwrap()
+        })
+    });
+}
+
 fn configure() -> Criterion {
     Criterion::default()
         .sample_size(20)
@@ -89,6 +118,6 @@ fn configure() -> Criterion {
 criterion_group! {
     name = benches;
     config = configure();
-    targets = bench_two_table_join, bench_workload, bench_planning_overhead
+    targets = bench_two_table_join, bench_workload, bench_planning_overhead, bench_parallel_large
 }
 criterion_main!(benches);

@@ -1,13 +1,25 @@
 //! `exec_bench` — wall-clock comparison of the planned query engine vs the
-//! legacy tree-walking interpreter, recorded as `BENCH_exec.json`.
+//! legacy tree-walking interpreter, and of parallel vs serial planned
+//! execution, recorded as `BENCH_exec.json`.
 //!
-//! The headline measurement is a two-table foreign-key equi-join over a
-//! corpus generated at the `CorpusScale::Large` setting (32× rows), where
-//! the interpreter's nested loop is quadratic and the planned engine's hash
-//! join is linear; the acceptance target is a ≥5× speedup. A full
-//! generated workload at `CorpusScale::Medium` is measured as a secondary,
-//! mixed-shape signal. Results from both engines are asserted identical
-//! before timing is trusted.
+//! Two headline measurements:
+//!
+//! 1. **Planned vs legacy**: a two-table foreign-key equi-join over a
+//!    corpus generated at the `CorpusScale::Large` setting (32× rows),
+//!    where the interpreter's nested loop is quadratic and the planned
+//!    engine's hash join is linear; the acceptance target is a ≥5×
+//!    speedup.
+//! 2. **Parallel vs serial planned**: the full Large-scale equi-join
+//!    workload (every foreign-key join in the corpus, wide projection) run
+//!    single-threaded and then on the morsel-driven parallel executor at
+//!    the machine's hardware parallelism. On ≥4 cores the acceptance
+//!    target is a ≥1.5× speedup and a miss fails the binary; below 4
+//!    cores the comparison still runs and is recorded, but the gate is
+//!    skipped (there is no parallelism to win).
+//!
+//! A full generated workload at `CorpusScale::Medium` is measured as a
+//! secondary, mixed-shape signal. Results from every engine/thread-count
+//! combination are asserted identical before timings are trusted.
 //!
 //! Run with: `cargo run --release -p bp-bench --bin exec_bench`
 //! (CI runs this and archives `BENCH_exec.json`; see `ci.sh`.)
@@ -16,7 +28,7 @@ use std::time::Instant;
 
 use bp_datasets::{BenchmarkKind, CorpusScale, GeneratedBenchmark};
 use bp_sql::Query;
-use bp_storage::{Database, ExecStrategy};
+use bp_storage::{available_threads, Database, ExecOptions, ExecStrategy};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -40,12 +52,28 @@ struct WorkloadMeasurement {
 }
 
 #[derive(Serialize)]
+struct ParallelMeasurement {
+    scale: String,
+    queries: usize,
+    threads: usize,
+    cores: usize,
+    serial_ms: f64,
+    parallel_ms: f64,
+    speedup: f64,
+    speedup_target: f64,
+    /// Whether the ≥4-core gate was enforced on this machine.
+    gate_applied: bool,
+    meets_target: bool,
+}
+
+#[derive(Serialize)]
 struct ExecBenchReport {
     bench: String,
     unix_time: u64,
     join_scale: String,
     two_table_equi_join: JoinMeasurement,
     workload: WorkloadMeasurement,
+    parallel_equi_join_workload: ParallelMeasurement,
     speedup_target: f64,
     meets_target: bool,
 }
@@ -84,10 +112,33 @@ fn equi_join_query(db: &Database) -> (String, Query) {
     panic!("generated corpus always has foreign keys");
 }
 
+/// Every foreign-key equi-join in the corpus with a wide (`c.*, p.*`)
+/// projection — the parallel executor's workload: enough per-row
+/// materialization work for the morsel pool to amortize.
+fn equi_join_workload(db: &Database) -> Vec<Query> {
+    let mut queries = Vec::new();
+    for table in db.tables() {
+        for column in &table.schema.columns {
+            if let Some((parent, pk)) = &column.references {
+                let sql = format!(
+                    "SELECT c.*, p.* FROM {child} c JOIN {parent} p ON c.{fk} = p.{pk}",
+                    fk = column.name,
+                    child = table.schema.name,
+                );
+                queries.push(bp_sql::parse_query(&sql).expect("generated join SQL parses"));
+            }
+        }
+    }
+    assert!(!queries.is_empty(), "generated corpus always has foreign keys");
+    queries
+}
+
 fn main() {
     const TARGET: f64 = 5.0;
+    const PARALLEL_TARGET: f64 = 1.5;
+    const PARALLEL_GATE_MIN_CORES: usize = 4;
 
-    // --- Headline: two-table equi-join at the large scale setting -------
+    // --- Headline 1: two-table equi-join, planned vs legacy -------------
     let join_scale = CorpusScale::Large;
     println!(
         "generating Spider corpus at scale '{}' ({}x rows)...",
@@ -100,7 +151,7 @@ fn main() {
 
     let planned_result = large
         .database
-        .execute_with(&join_query, ExecStrategy::Planned)
+        .execute_opts(&join_query, ExecOptions::serial())
         .expect("planned join executes");
     let legacy_result = large
         .database
@@ -114,7 +165,7 @@ fn main() {
     let planned_ms = time_ms(9, || {
         large
             .database
-            .execute_with(&join_query, ExecStrategy::Planned)
+            .execute_opts(&join_query, ExecOptions::serial())
             .unwrap()
     });
     // The nested loop is quadratic here; one timed run after the warm-up
@@ -129,6 +180,49 @@ fn main() {
     println!(
         "two-table equi-join @ {} rows/table: legacy {legacy_ms:.1} ms, planned {planned_ms:.1} ms -> {join_speedup:.0}x",
         large.profile.rows_per_table
+    );
+
+    // --- Headline 2: Large equi-join workload, parallel vs serial -------
+    let threads = available_threads();
+    let cores = threads;
+    let workload_queries = equi_join_workload(&large.database);
+    let serial_opts = ExecOptions::serial();
+    let parallel_opts = ExecOptions::default().with_threads(threads);
+    for query in &workload_queries {
+        let serial = large
+            .database
+            .execute_opts(query, serial_opts)
+            .expect("serial planned executes workload join");
+        let parallel = large
+            .database
+            .execute_opts(query, parallel_opts)
+            .expect("parallel planned executes workload join");
+        assert_eq!(
+            serial, parallel,
+            "parallel output must be byte-identical to serial"
+        );
+    }
+    let serial_ms = time_ms(5, || {
+        for query in &workload_queries {
+            large.database.execute_opts(query, serial_opts).unwrap();
+        }
+    });
+    let parallel_ms = time_ms(5, || {
+        for query in &workload_queries {
+            large.database.execute_opts(query, parallel_opts).unwrap();
+        }
+    });
+    let parallel_speedup = serial_ms / parallel_ms.max(1e-6);
+    let gate_applied = cores >= PARALLEL_GATE_MIN_CORES;
+    let parallel_meets = parallel_speedup >= PARALLEL_TARGET;
+    println!(
+        "Large equi-join workload ({} joins): serial {serial_ms:.1} ms, parallel({threads}) {parallel_ms:.1} ms -> {parallel_speedup:.2}x{}",
+        workload_queries.len(),
+        if gate_applied {
+            ""
+        } else {
+            " (gate skipped: <4 cores)"
+        }
     );
 
     // --- Secondary: a full mixed workload at medium scale ----------------
@@ -147,7 +241,7 @@ fn main() {
             .expect("legacy executes workload query");
         let p = medium
             .database
-            .execute_with(query, ExecStrategy::Planned)
+            .execute_opts(query, parallel_opts)
             .expect("planned executes workload query");
         assert_eq!(l, p, "workload divergence");
     }
@@ -155,7 +249,7 @@ fn main() {
         for query in &queries {
             medium
                 .database
-                .execute_with(query, ExecStrategy::Planned)
+                .execute_opts(query, ExecOptions::serial())
                 .unwrap();
         }
     });
@@ -198,6 +292,18 @@ fn main() {
             planned_ms: workload_planned_ms,
             speedup: workload_speedup,
         },
+        parallel_equi_join_workload: ParallelMeasurement {
+            scale: join_scale.name().into(),
+            queries: workload_queries.len(),
+            threads,
+            cores,
+            serial_ms,
+            parallel_ms,
+            speedup: parallel_speedup,
+            speedup_target: PARALLEL_TARGET,
+            gate_applied,
+            meets_target: parallel_meets,
+        },
         speedup_target: TARGET,
         meets_target,
     };
@@ -208,7 +314,17 @@ fn main() {
         "shape check: hash join {} the >= {TARGET:.0}x target over the nested loop ({join_speedup:.0}x)",
         if meets_target { "MEETS" } else { "MISSES" }
     );
-    if !meets_target {
+    if gate_applied {
+        println!(
+            "parallel gate: parallel planned {} the >= {PARALLEL_TARGET}x target over serial planned ({parallel_speedup:.2}x on {cores} cores)",
+            if parallel_meets { "MEETS" } else { "MISSES" }
+        );
+    } else {
+        println!(
+            "parallel gate: skipped ({cores} core(s) < {PARALLEL_GATE_MIN_CORES}); comparison recorded anyway"
+        );
+    }
+    if !meets_target || (gate_applied && !parallel_meets) {
         std::process::exit(1);
     }
 }

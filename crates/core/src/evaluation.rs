@@ -2,7 +2,7 @@
 //! (paper §5.2 / Figure 4) and text-to-SQL execution accuracy (Figure 1).
 
 use crate::project::Project;
-use bp_llm::{Backtranslator, EvalItem, ExecStrategy, ExecutionAccuracyReport, ModelKind};
+use bp_llm::{Backtranslator, EvalItem, ExecOptions, ExecStrategy, ExecutionAccuracyReport, ModelKind};
 use bp_metrics::{grade, ClarityHistogram, ClarityLevel, RubricOutcome};
 use serde::{Deserialize, Serialize};
 
@@ -80,18 +80,32 @@ pub fn execution_accuracy(
     schema_ambiguity: f64,
     seed: u64,
 ) -> ExecutionAccuracyReport {
-    execution_accuracy_with(project, model, schema_ambiguity, seed, ExecStrategy::default())
+    execution_accuracy_opts(project, model, schema_ambiguity, seed, ExecOptions::default())
 }
 
-/// [`execution_accuracy`] with an explicit execution engine. Large logs
-/// grade with [`ExecStrategy::Planned`]; [`ExecStrategy::Legacy`] pins the
-/// interpreter oracle for differential checks of the grader.
+/// [`execution_accuracy`] with an explicit execution engine at full
+/// parallelism. Large logs grade with [`ExecStrategy::Planned`];
+/// [`ExecStrategy::Legacy`] pins the interpreter oracle for differential
+/// checks of the grader.
 pub fn execution_accuracy_with(
     project: &Project,
     model: ModelKind,
     schema_ambiguity: f64,
     seed: u64,
     strategy: ExecStrategy,
+) -> ExecutionAccuracyReport {
+    execution_accuracy_opts(project, model, schema_ambiguity, seed, ExecOptions::new(strategy))
+}
+
+/// [`execution_accuracy`] with full [`ExecOptions`] control (engine choice
+/// plus worker-thread budget). Grading is deterministic at every thread
+/// count.
+pub fn execution_accuracy_opts(
+    project: &Project,
+    model: ModelKind,
+    schema_ambiguity: f64,
+    seed: u64,
+    options: ExecOptions,
 ) -> ExecutionAccuracyReport {
     let lexicon = project.lexicon();
     let items: Vec<EvalItem> = project
@@ -106,12 +120,12 @@ pub fn execution_accuracy_with(
             },
         })
         .collect();
-    bp_llm::evaluate_execution_accuracy_with(
+    bp_llm::evaluate_execution_accuracy_opts(
         &model.profile(),
         &items,
         project.database(),
         seed,
-        strategy,
+        options,
     )
 }
 

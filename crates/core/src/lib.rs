@@ -55,7 +55,8 @@ pub use annotation::{
 pub use config::{AnnotationDirection, Credential, TaskConfig};
 pub use error::{CoreError, CoreResult};
 pub use evaluation::{
-    backtranslation_study, execution_accuracy, execution_accuracy_with, BacktranslationResult,
+    backtranslation_study, execution_accuracy, execution_accuracy_opts, execution_accuracy_with,
+    BacktranslationResult,
     BacktranslationStudy,
 };
 pub use export::{

@@ -34,9 +34,10 @@ pub use sql2nl::{
     describe_query, generate_candidates, plan_query, DescriptionPlan, GenerationRequest,
     NlCandidate, CANDIDATES_PER_QUERY,
 };
-pub use bp_storage::ExecStrategy;
+pub use bp_storage::{ExecOptions, ExecStrategy};
 pub use text2sql::{
-    evaluate_execution_accuracy, evaluate_execution_accuracy_with, predict_sql, EvalItem,
+    evaluate_execution_accuracy, evaluate_execution_accuracy_opts,
+    evaluate_execution_accuracy_with, predict_sql, EvalItem,
     ExecutionAccuracyReport, Text2SqlPrediction, WorkloadDifficulty,
 };
 

@@ -12,7 +12,7 @@ use crate::corrupt::{apply, Corruption};
 use crate::model::ModelProfile;
 use crate::sql2nl::stable_hash;
 use bp_sql::{analyze, Query};
-use bp_storage::{results_match, Catalog, Database, ExecStrategy};
+use bp_storage::{results_match, Catalog, Database, ExecOptions, ExecStrategy};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -147,18 +147,31 @@ pub fn evaluate_execution_accuracy(
     db: &Database,
     seed: u64,
 ) -> ExecutionAccuracyReport {
-    evaluate_execution_accuracy_with(profile, items, db, seed, ExecStrategy::default())
+    evaluate_execution_accuracy_opts(profile, items, db, seed, ExecOptions::default())
 }
 
-/// [`evaluate_execution_accuracy`] with an explicit engine choice — grading
-/// million-entry logs wants [`ExecStrategy::Planned`]; differential checks
-/// of the grader itself can pin [`ExecStrategy::Legacy`].
+/// [`evaluate_execution_accuracy`] with an explicit engine choice at full
+/// parallelism — grading million-entry logs wants [`ExecStrategy::Planned`];
+/// differential checks of the grader itself can pin [`ExecStrategy::Legacy`].
 pub fn evaluate_execution_accuracy_with(
     profile: &ModelProfile,
     items: &[EvalItem],
     db: &Database,
     seed: u64,
     strategy: ExecStrategy,
+) -> ExecutionAccuracyReport {
+    evaluate_execution_accuracy_opts(profile, items, db, seed, ExecOptions::new(strategy))
+}
+
+/// [`evaluate_execution_accuracy`] with full [`ExecOptions`] control,
+/// including the planned engine's worker-thread budget. Grading results are
+/// identical at every thread count (the parallel executor is deterministic).
+pub fn evaluate_execution_accuracy_opts(
+    profile: &ModelProfile,
+    items: &[EvalItem],
+    db: &Database,
+    seed: u64,
+    options: ExecOptions,
 ) -> ExecutionAccuracyReport {
     let mut correct = 0;
     let mut invalid = 0;
@@ -174,14 +187,14 @@ pub fn evaluate_execution_accuracy_with(
             }
         };
         let prediction = predict_sql(profile, &gold_query, item.difficulty, db.catalog(), &mut rng);
-        let predicted_result = match db.execute_sql_with(&prediction.sql, strategy) {
+        let predicted_result = match db.execute_sql_opts(&prediction.sql, options) {
             Ok(r) => r,
             Err(_) => {
                 invalid += 1;
                 continue;
             }
         };
-        let gold_result = match db.execute_with(&gold_query, strategy) {
+        let gold_result = match db.execute_opts(&gold_query, options) {
             Ok(r) => r,
             Err(_) => continue,
         };

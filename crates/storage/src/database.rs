@@ -5,7 +5,7 @@ use std::collections::BTreeMap;
 
 use crate::error::{StorageError, StorageResult};
 use crate::exec::Executor;
-use crate::physical::ExecStrategy;
+use crate::physical::{ExecOptions, ExecStrategy};
 use crate::result::QueryResult;
 use crate::schema::{Catalog, TableSchema};
 use crate::table::{Row, Table};
@@ -95,36 +95,59 @@ impl Database {
     }
 
     /// Execute a parsed query against this database with the default
-    /// strategy (the planned engine).
+    /// options: the planned engine, parallel across all available
+    /// hardware threads.
     pub fn execute(&self, query: &bp_sql::Query) -> StorageResult<QueryResult> {
-        self.execute_with(query, ExecStrategy::default())
+        self.execute_opts(query, ExecOptions::default())
     }
 
-    /// Execute SQL text against this database with the default strategy.
+    /// Execute SQL text against this database with the default options.
     pub fn execute_sql(&self, sql: &str) -> StorageResult<QueryResult> {
-        self.execute_sql_with(sql, ExecStrategy::default())
+        self.execute_sql_opts(sql, ExecOptions::default())
     }
 
-    /// Execute a parsed query with an explicit engine choice.
+    /// Execute a parsed query with an explicit engine choice at default
+    /// (full) parallelism.
     pub fn execute_with(
         &self,
         query: &bp_sql::Query,
         strategy: ExecStrategy,
     ) -> StorageResult<QueryResult> {
-        match strategy {
-            ExecStrategy::Planned => crate::physical::execute_planned(self, query),
-            ExecStrategy::Legacy => Executor::new(self).execute(query),
-        }
+        self.execute_opts(query, ExecOptions::new(strategy))
     }
 
-    /// Execute SQL text with an explicit engine choice.
+    /// Execute SQL text with an explicit engine choice at default (full)
+    /// parallelism.
     pub fn execute_sql_with(
         &self,
         sql: &str,
         strategy: ExecStrategy,
     ) -> StorageResult<QueryResult> {
+        self.execute_sql_opts(sql, ExecOptions::new(strategy))
+    }
+
+    /// Execute a parsed query with full [`ExecOptions`] control (engine
+    /// choice plus the planned engine's worker-thread budget). The result
+    /// is byte-identical at every thread count.
+    pub fn execute_opts(
+        &self,
+        query: &bp_sql::Query,
+        options: ExecOptions,
+    ) -> StorageResult<QueryResult> {
+        match options.strategy {
+            ExecStrategy::Planned => crate::physical::execute_planned_opts(self, query, options),
+            ExecStrategy::Legacy => Executor::new(self).execute(query),
+        }
+    }
+
+    /// Execute SQL text with full [`ExecOptions`] control.
+    pub fn execute_sql_opts(
+        &self,
+        sql: &str,
+        options: ExecOptions,
+    ) -> StorageResult<QueryResult> {
         let query = bp_sql::parse_query(sql)?;
-        self.execute_with(&query, strategy)
+        self.execute_opts(&query, options)
     }
 
     /// Build (without executing) the logical plan for a query, for

@@ -28,8 +28,8 @@ use crate::plan::{expand_projection, contains_aggregate, ColumnBinding};
 use crate::result::QueryResult;
 use crate::scalar::{
     canonical_function_name, cast_value, combine_set_operation, composite_key, eq_upper,
-    eval_binary, finish_aggregate, is_aggregate_name, literal_value, map_text, missing_arg_error,
-    upper_eq,
+    eval_binary, eval_unary_minus, finish_aggregate, is_aggregate_name, literal_value, map_text,
+    missing_arg_error, upper_eq,
 };
 use crate::table::Row;
 use crate::value::{like_match, Value};
@@ -726,16 +726,7 @@ fn eval_expr(ctx: &EvalCtx<'_>, expr: &Expr) -> StorageResult<Value> {
                 } else {
                     Value::Bool(!v.is_truthy())
                 }),
-                UnaryOperator::Minus => v
-                    .as_f64()
-                    .map(|f| {
-                        if matches!(v, Value::Int(_)) {
-                            Value::Int(-(f as i64))
-                        } else {
-                            Value::Float(-f)
-                        }
-                    })
-                    .ok_or_else(|| StorageError::TypeError(format!("cannot negate {v}"))),
+                UnaryOperator::Minus => eval_unary_minus(&v),
                 UnaryOperator::Plus => Ok(v),
             }
         }

@@ -43,7 +43,7 @@ pub mod value;
 pub use database::Database;
 pub use error::{StorageError, StorageResult};
 pub use exec::Executor;
-pub use physical::ExecStrategy;
+pub use physical::{available_threads, execute_planned_opts, ExecOptions, ExecStrategy};
 pub use plan::{LogicalPlan, Planner, QueryPlan};
 pub use profiler::{profile_database, profile_table, DatabaseProfile, TableProfile};
 pub use result::{results_match, QueryResult};
@@ -587,6 +587,107 @@ mod executor_tests {
             // ...and the evaluated-error cases still error in both engines.
             assert_engines_agree("SELECT CASE WHEN 1 = 1 THEN UNSUPPORTED_FN(name) ELSE 1 END FROM students");
             assert_engines_agree("SELECT SUBSTR(name) FROM students");
+        }
+
+        /// The parallel executor must be byte-identical to serial planned
+        /// execution (and to the oracle) at every thread count, including
+        /// thread counts far above the available hardware parallelism.
+        #[test]
+        fn parallel_execution_is_deterministic() {
+            let db = campus_db();
+            let queries = [
+                "SELECT s.name, e.course FROM students s JOIN enrollments e ON s.id = e.student_id ORDER BY s.name, e.course",
+                "SELECT dept, COUNT(*) AS n, AVG(gpa) FROM students GROUP BY dept",
+                "SELECT s.name, e.course FROM students s LEFT JOIN enrollments e ON s.id = e.student_id AND e.grade > 80",
+                "SELECT s.name, e.course FROM students s FULL JOIN enrollments e ON s.id = e.student_id AND e.term = 'Fall'",
+                "SELECT DISTINCT dept FROM students",
+                "SELECT name FROM students s WHERE gpa = (SELECT MAX(gpa) FROM students x WHERE x.dept = s.dept)",
+                "SELECT dept FROM students UNION SELECT DEPT FROM MOIRA_LIST",
+            ];
+            for sql in queries {
+                let serial = db
+                    .execute_sql_opts(sql, ExecOptions::serial())
+                    .unwrap_or_else(|e| panic!("serial fails on {sql}: {e}"));
+                for threads in [2, 3, 8, 64] {
+                    let parallel = db
+                        .execute_sql_opts(sql, ExecOptions::default().with_threads(threads))
+                        .unwrap_or_else(|e| panic!("parallel({threads}) fails on {sql}: {e}"));
+                    assert_eq!(serial, parallel, "threads={threads} diverges on: {sql}");
+                }
+                let legacy = db.execute_sql_with(sql, ExecStrategy::Legacy).unwrap();
+                assert_eq!(serial, legacy, "planned diverges from oracle on: {sql}");
+            }
+        }
+
+        /// Same determinism check over inputs large enough that every
+        /// parallel operator really splits into multiple morsels (the
+        /// campus tables are small enough to run inline).
+        #[test]
+        fn parallel_execution_is_deterministic_at_morsel_scale() {
+            let mut db = Database::new("wide");
+            db.ingest_ddl(
+                "CREATE TABLE orders (id INT PRIMARY KEY, customer_id INT, amount NUMBER, region VARCHAR(10));
+                 CREATE TABLE customers (id INT PRIMARY KEY, name VARCHAR(30), region VARCHAR(10));",
+            )
+            .unwrap();
+            let regions = ["north", "south", "east", "west"];
+            db.insert_into(
+                "customers",
+                (0..600i64).map(|i| {
+                    vec![
+                        i.into(),
+                        format!("customer_{i}").into(),
+                        regions[(i % 4) as usize].into(),
+                    ]
+                }),
+            )
+            .unwrap();
+            db.insert_into(
+                "orders",
+                (0..1200i64).map(|i| {
+                    vec![
+                        i.into(),
+                        // Some orders reference no customer (join misses).
+                        (i % 800).into(),
+                        if i % 7 == 0 {
+                            Value::Null
+                        } else {
+                            ((i % 90) as f64 * 1.5).into()
+                        },
+                        regions[(i % 4) as usize].into(),
+                    ]
+                }),
+            )
+            .unwrap();
+            let queries = [
+                "SELECT o.id, c.name FROM orders o JOIN customers c ON o.customer_id = c.id",
+                "SELECT o.id, c.name FROM orders o LEFT JOIN customers c ON o.customer_id = c.id",
+                "SELECT o.id, c.name FROM orders o FULL JOIN customers c ON o.customer_id = c.id AND o.amount > 50",
+                "SELECT region, COUNT(*), SUM(amount), AVG(amount) FROM orders GROUP BY region",
+                "SELECT c.region, COUNT(DISTINCT c.id) FROM orders o JOIN customers c ON o.customer_id = c.id WHERE o.amount > 30 GROUP BY c.region HAVING COUNT(*) > 5",
+                "SELECT DISTINCT customer_id FROM orders WHERE amount IS NOT NULL",
+                "SELECT id, amount FROM orders WHERE amount > (SELECT AVG(amount) FROM orders) ORDER BY id LIMIT 50",
+            ];
+            for sql in queries {
+                let serial = db
+                    .execute_sql_opts(sql, ExecOptions::serial())
+                    .unwrap_or_else(|e| panic!("serial fails on {sql}: {e}"));
+                let legacy = db.execute_sql_with(sql, ExecStrategy::Legacy).unwrap();
+                assert_eq!(serial, legacy, "planned diverges from oracle on: {sql}");
+                for threads in [2, 4] {
+                    let parallel = db
+                        .execute_sql_opts(sql, ExecOptions::default().with_threads(threads))
+                        .unwrap_or_else(|e| panic!("parallel({threads}) fails on {sql}: {e}"));
+                    assert_eq!(serial, parallel, "threads={threads} diverges on: {sql}");
+                }
+            }
+            // Error paths are deterministic too: first-row-in-order error.
+            let err_sql = "SELECT 1 / (id - 700) FROM orders";
+            let serial_err = db.execute_sql_opts(err_sql, ExecOptions::serial());
+            let parallel_err =
+                db.execute_sql_opts(err_sql, ExecOptions::default().with_threads(8));
+            assert_eq!(serial_err, parallel_err);
+            assert!(serial_err.is_err());
         }
 
         #[test]

@@ -6,8 +6,8 @@
 //! subqueries recursively, and computes each subquery's cacheability
 //! (uncorrelated and free of reads from enclosing CTE scopes).
 
-use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 use bp_sql::{column_ref, Expr, Query};
 
@@ -445,7 +445,7 @@ impl<'a> Compiler<'a> {
         Ok(SubPlan {
             plan: Ok(result?),
             cacheable,
-            cache: RefCell::new(None),
+            cache: Mutex::new(None),
         })
     }
 }

@@ -14,15 +14,14 @@
 //! enclosing scopes) caches its first result, so `WHERE x > (SELECT AVG(..)
 //! FROM t)` executes the subquery once instead of once per row.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use bp_sql::{BinaryOperator, DataType, UnaryOperator};
 
 use crate::error::{StorageError, StorageResult};
 use crate::plan::ColumnBinding;
 use crate::result::QueryResult;
-use crate::scalar::{cast_value, eval_binary, finish_aggregate, map_text};
+use crate::scalar::{cast_value, eval_binary, eval_unary_minus, finish_aggregate, map_text};
 use crate::table::Row;
 use crate::value::{like_match, Value};
 
@@ -38,8 +37,10 @@ pub(crate) struct SubPlan {
     /// reading no enclosing CTEs) and may therefore be cached.
     pub cacheable: bool,
     /// Cached result for cacheable subplans (per compiled plan, i.e. per
-    /// top-level execution).
-    pub cache: RefCell<Option<Rc<QueryResult>>>,
+    /// top-level execution). A `Mutex` rather than a `RefCell` so compiled
+    /// expressions can be shared across the parallel executor's workers;
+    /// concurrent fills race benignly (both compute the same result).
+    pub cache: Mutex<Option<Arc<QueryResult>>>,
 }
 
 impl SubPlan {
@@ -48,17 +49,29 @@ impl SubPlan {
         SubPlan {
             plan: Err(error),
             cacheable: false,
-            cache: RefCell::new(None),
+            cache: Mutex::new(None),
         }
     }
 
-    fn execute(&self, env: &EvalEnv<'_>) -> StorageResult<Rc<QueryResult>> {
-        let plan = self.plan.as_ref().map_err(Clone::clone)?;
+    fn execute(&self, env: &EvalEnv<'_>) -> StorageResult<Arc<QueryResult>> {
         if self.cacheable {
-            if let Some(cached) = &*self.cache.borrow() {
-                return Ok(Rc::clone(cached));
+            // Hold the lock across the computation so concurrent morsel
+            // workers wait for one fill instead of stampeding into N
+            // redundant executions of the same uncorrelated subquery.
+            // Lock nesting follows the strict subplan tree, so no cycles.
+            let mut cache = self.cache.lock().expect("subquery cache lock");
+            if let Some(cached) = &*cache {
+                return Ok(Arc::clone(cached));
             }
+            let result = Arc::new(self.run(env)?);
+            *cache = Some(Arc::clone(&result));
+            return Ok(result);
         }
+        Ok(Arc::new(self.run(env)?))
+    }
+
+    fn run(&self, env: &EvalEnv<'_>) -> StorageResult<QueryResult> {
+        let plan = self.plan.as_ref().map_err(Clone::clone)?;
         let outer = OuterEnv {
             bindings: env.bindings,
             row: env.row,
@@ -68,12 +81,9 @@ impl SubPlan {
             db: env.ctx.db,
             frame: env.ctx.frame,
             outer: Some(&outer),
+            threads: env.ctx.threads,
         };
-        let result = Rc::new(exec_query_plan(plan, &ctx)?);
-        if self.cacheable {
-            *self.cache.borrow_mut() = Some(Rc::clone(&result));
-        }
-        Ok(result)
+        exec_query_plan(plan, &ctx)
     }
 }
 
@@ -208,16 +218,7 @@ impl PhysExpr {
                     } else {
                         Value::Bool(!v.is_truthy())
                     }),
-                    UnaryOperator::Minus => v
-                        .as_f64()
-                        .map(|f| {
-                            if matches!(v, Value::Int(_)) {
-                                Value::Int(-(f as i64))
-                            } else {
-                                Value::Float(-f)
-                            }
-                        })
-                        .ok_or_else(|| StorageError::TypeError(format!("cannot negate {v}"))),
+                    UnaryOperator::Minus => eval_unary_minus(&v),
                     UnaryOperator::Plus => Ok(v),
                 }
             }

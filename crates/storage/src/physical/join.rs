@@ -8,13 +8,24 @@
 //! exactly the interpreter's output — including row order, because
 //! candidates are probed in build-side row order.
 //!
-//! NULL join keys never match (SQL equality semantics); `-0.0`/`0.0` hash
-//! identically (see [`crate::scalar::join_key_part`]). NaN keys are the one
-//! documented divergence: the interpreter's total ordering treats NaN as
-//! equal to every number, the hash join as equal to nothing — NaN cannot be
+//! With `threads > 1` the hash join is **partition-parallel**: build-side
+//! keys are hashed in parallel morsels, the hash table is split into
+//! per-partition maps (partition = key hash mod partition count) built
+//! concurrently, and probe-side morsels run on the worker pool, each
+//! touching only the partition its key hashes to. Probe outputs are
+//! reassembled in left-row morsel order and unmatched build rows appended
+//! in build order, so the parallel join's output is byte-identical to the
+//! serial one at every thread count.
+//!
+//! NULL join keys never match (SQL equality semantics); integer keys are
+//! encoded exactly and `-0.0`/`0.0` hash identically (see
+//! [`crate::scalar::join_key_part`]). NaN keys are the one documented
+//! divergence: the interpreter's total ordering treats NaN as equal to
+//! every number, the hash join as equal only to NaN — NaN cannot be
 //! produced by the supported expression surface.
 
 use std::collections::HashMap;
+use std::hash::{DefaultHasher, Hash, Hasher};
 
 use bp_sql::JoinOperator;
 
@@ -25,19 +36,29 @@ use crate::table::Row;
 use crate::value::Value;
 
 use super::expr::{EvalEnv, PhysExpr};
+use super::parallel::{run_morsels, run_tasks};
 use super::RunCtx;
 
 /// Composite hash key over the given ordinals; `None` if any part is NULL.
+/// Parts are length-prefixed so text containing any separator byte cannot
+/// collide with a neighboring part.
 fn join_key(row: &Row, ordinals: &[usize]) -> Option<String> {
+    use std::fmt::Write;
     let mut key = String::new();
-    for (i, &o) in ordinals.iter().enumerate() {
+    for &o in ordinals {
         let part = join_key_part(row.get(o).unwrap_or(&Value::Null))?;
-        if i > 0 {
-            key.push('\u{1}');
-        }
+        let _ = write!(key, "{}:", part.len());
         key.push_str(&part);
     }
     Some(key)
+}
+
+/// Deterministic partition hash of a key string (`DefaultHasher` with the
+/// fixed default keys — not the per-process-randomized `RandomState`).
+fn key_hash(key: &str) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    key.hash(&mut hasher);
+    hasher.finish()
 }
 
 fn pad_left(width: usize, rrow: &Row) -> Row {
@@ -51,6 +72,9 @@ fn pad_right(lrow: &Row, width: usize) -> Row {
     combined.extend(std::iter::repeat_n(Value::Null, width));
     combined
 }
+
+/// Rows below which partitioning the build side is pure overhead.
+const MIN_PARTITIONED_BUILD: usize = 512;
 
 /// Hash join on pre-resolved key ordinals, with an optional residual
 /// predicate evaluated on each key-matched pair.
@@ -66,48 +90,102 @@ pub(super) fn hash_join(
     right_width: usize,
     ctx: &RunCtx<'_>,
 ) -> StorageResult<Vec<Row>> {
-    // Build on the right side: key → right row indices in row order.
-    let mut table: HashMap<String, Vec<usize>> = HashMap::with_capacity(right_rows.len());
-    for (ri, rrow) in right_rows.iter().enumerate() {
-        if let Some(key) = join_key(rrow, right_keys) {
-            table.entry(key).or_default().push(ri);
+    // Build side (right): key + partition hash per row, computed in
+    // parallel morsels.
+    let keyed_chunks = run_morsels(ctx.threads, right_rows.len(), |range| {
+        Ok::<_, crate::error::StorageError>(
+            right_rows[range]
+                .iter()
+                .map(|rrow| join_key(rrow, right_keys).map(|k| (key_hash(&k), k)))
+                .collect::<Vec<_>>(),
+        )
+    })?;
+    let right_keyed: Vec<Option<(u64, String)>> = keyed_chunks.into_iter().flatten().collect();
+
+    // Partitioned build: partition = hash mod P, one map per partition,
+    // built concurrently. A single O(N) pass buckets row indices per
+    // partition (the hash is already computed), then each partition task
+    // builds its map from its own bucket only; buckets hold indices in
+    // right-row order, so candidate lists match the single-table build
+    // exactly.
+    let partitions = if ctx.threads > 1 && right_rows.len() >= MIN_PARTITIONED_BUILD {
+        ctx.threads
+    } else {
+        1
+    };
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); partitions];
+    for (ri, keyed) in right_keyed.iter().enumerate() {
+        if let Some((hash, _)) = keyed {
+            buckets[(*hash as usize) % partitions].push(ri);
         }
     }
+    let tables: Vec<HashMap<&str, Vec<usize>>> = run_tasks(ctx.threads, partitions, |w| {
+        let mut table: HashMap<&str, Vec<usize>> = HashMap::with_capacity(buckets[w].len());
+        for &ri in &buckets[w] {
+            let (_, key) = right_keyed[ri].as_ref().expect("bucketed rows have keys");
+            table.entry(key.as_str()).or_default().push(ri);
+        }
+        Ok::<_, crate::error::StorageError>(table)
+    })?;
 
-    let mut rows = Vec::new();
-    let mut right_matched = vec![false; right_rows.len()];
-    for lrow in &left_rows {
-        let mut matched = false;
-        if let Some(key) = join_key(lrow, left_keys) {
-            if let Some(candidates) = table.get(&key) {
-                for &ri in candidates {
-                    let mut combined = lrow.clone();
-                    combined.extend(right_rows[ri].iter().cloned());
-                    let keep = match residual {
-                        None => true,
-                        Some(predicate) => {
-                            let env = EvalEnv {
-                                ctx,
-                                bindings,
-                                row: &combined,
-                                group: None,
-                            };
-                            predicate.eval_truthy(&env)?
+    // Probe side (left): morsels run on the pool; each output chunk is in
+    // left-row order and chunks concatenate in morsel order.
+    let track_right = matches!(operator, JoinOperator::RightOuter | JoinOperator::FullOuter);
+    let probe_chunks = run_morsels(ctx.threads, left_rows.len(), |range| {
+        let wctx = ctx.serial();
+        let mut out: Vec<Row> = Vec::new();
+        let mut matched_right: Vec<usize> = Vec::new();
+        // Transient per-morsel dedup bitmap (dropped before the result is
+        // stored): keeps matched_right at O(distinct right rows) instead
+        // of O(output rows) on skewed RIGHT/FULL joins.
+        let mut seen = vec![false; if track_right { right_rows.len() } else { 0 }];
+        for lrow in &left_rows[range] {
+            let mut matched = false;
+            if let Some(key) = join_key(lrow, left_keys) {
+                let partition = (key_hash(&key) as usize) % partitions;
+                if let Some(candidates) = tables[partition].get(key.as_str()) {
+                    for &ri in candidates {
+                        let mut combined = lrow.clone();
+                        combined.extend(right_rows[ri].iter().cloned());
+                        let keep = match residual {
+                            None => true,
+                            Some(predicate) => {
+                                let env = EvalEnv {
+                                    ctx: &wctx,
+                                    bindings,
+                                    row: &combined,
+                                    group: None,
+                                };
+                                predicate.eval_truthy(&env)?
+                            }
+                        };
+                        if keep {
+                            matched = true;
+                            if track_right && !seen[ri] {
+                                seen[ri] = true;
+                                matched_right.push(ri);
+                            }
+                            out.push(combined);
                         }
-                    };
-                    if keep {
-                        matched = true;
-                        right_matched[ri] = true;
-                        rows.push(combined);
                     }
                 }
             }
+            if !matched && matches!(operator, JoinOperator::LeftOuter | JoinOperator::FullOuter) {
+                out.push(pad_right(lrow, right_width));
+            }
         }
-        if !matched && matches!(operator, JoinOperator::LeftOuter | JoinOperator::FullOuter) {
-            rows.push(pad_right(lrow, right_width));
+        Ok::<_, crate::error::StorageError>((out, matched_right))
+    })?;
+
+    let mut rows = Vec::new();
+    let mut right_matched = vec![false; if track_right { right_rows.len() } else { 0 }];
+    for (chunk, matched) in probe_chunks {
+        rows.extend(chunk);
+        for ri in matched {
+            right_matched[ri] = true;
         }
     }
-    if matches!(operator, JoinOperator::RightOuter | JoinOperator::FullOuter) {
+    if track_right {
         let left_width = bindings.len() - right_width;
         for (ri, rrow) in right_rows.iter().enumerate() {
             if !right_matched[ri] {
@@ -119,7 +197,9 @@ pub(super) fn hash_join(
 }
 
 /// Nested-loop join for non-equi constraints (and cross joins, where
-/// `on` is `None` and every pair matches).
+/// `on` is `None` and every pair matches). The quadratic pair loop fans
+/// out over left-row morsels; per-morsel outputs and right-matched sets
+/// are merged in morsel order, matching the serial pair order exactly.
 #[allow(clippy::too_many_arguments)]
 pub(super) fn nested_loop_join(
     left_rows: Vec<Row>,
@@ -130,36 +210,54 @@ pub(super) fn nested_loop_join(
     right_width: usize,
     ctx: &RunCtx<'_>,
 ) -> StorageResult<Vec<Row>> {
-    let mut rows = Vec::new();
-    let mut right_matched = vec![false; right_rows.len()];
-    for lrow in &left_rows {
-        let mut matched = false;
-        for (ri, rrow) in right_rows.iter().enumerate() {
-            let mut combined = lrow.clone();
-            combined.extend(rrow.iter().cloned());
-            let keep = match on {
-                None => true,
-                Some(predicate) => {
-                    let env = EvalEnv {
-                        ctx,
-                        bindings,
-                        row: &combined,
-                        group: None,
-                    };
-                    predicate.eval_truthy(&env)?
+    let track_right = matches!(operator, JoinOperator::RightOuter | JoinOperator::FullOuter);
+    let chunks = run_morsels(ctx.threads, left_rows.len(), |range| {
+        let wctx = ctx.serial();
+        let mut out: Vec<Row> = Vec::new();
+        let mut matched_right: Vec<usize> = Vec::new();
+        let mut seen = vec![false; if track_right { right_rows.len() } else { 0 }];
+        for lrow in &left_rows[range] {
+            let mut matched = false;
+            for (ri, rrow) in right_rows.iter().enumerate() {
+                let mut combined = lrow.clone();
+                combined.extend(rrow.iter().cloned());
+                let keep = match on {
+                    None => true,
+                    Some(predicate) => {
+                        let env = EvalEnv {
+                            ctx: &wctx,
+                            bindings,
+                            row: &combined,
+                            group: None,
+                        };
+                        predicate.eval_truthy(&env)?
+                    }
+                };
+                if keep {
+                    matched = true;
+                    if track_right && !seen[ri] {
+                        seen[ri] = true;
+                        matched_right.push(ri);
+                    }
+                    out.push(combined);
                 }
-            };
-            if keep {
-                matched = true;
-                right_matched[ri] = true;
-                rows.push(combined);
+            }
+            if !matched && matches!(operator, JoinOperator::LeftOuter | JoinOperator::FullOuter) {
+                out.push(pad_right(lrow, right_width));
             }
         }
-        if !matched && matches!(operator, JoinOperator::LeftOuter | JoinOperator::FullOuter) {
-            rows.push(pad_right(lrow, right_width));
+        Ok::<_, crate::error::StorageError>((out, matched_right))
+    })?;
+
+    let mut rows = Vec::new();
+    let mut right_matched = vec![false; if track_right { right_rows.len() } else { 0 }];
+    for (chunk, matched) in chunks {
+        rows.extend(chunk);
+        for ri in matched {
+            right_matched[ri] = true;
         }
     }
-    if matches!(operator, JoinOperator::RightOuter | JoinOperator::FullOuter) {
+    if track_right {
         let left_width = bindings.len() - right_width;
         for (ri, rrow) in right_rows.iter().enumerate() {
             if !right_matched[ri] {

@@ -23,6 +23,7 @@
 mod compile;
 mod expr;
 mod join;
+mod parallel;
 
 use std::collections::HashMap;
 
@@ -38,6 +39,8 @@ use crate::value::Value;
 
 use compile::Compiler;
 use expr::{EvalEnv, PhysExpr};
+pub use parallel::available_threads;
+use parallel::run_morsels;
 
 /// Which execution engine to use for a query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -50,14 +53,75 @@ pub enum ExecStrategy {
     Legacy,
 }
 
-/// Plan, compile and execute a query with the planned engine.
+/// Execution knobs threaded through [`crate::Database::execute_opts`] and
+/// onward into grading/evaluation layers.
+///
+/// `threads = 1` reproduces the original single-threaded executor;
+/// larger counts run the planned engine's morsel-driven parallel operators
+/// (partitioned hash join, parallel hash aggregation, chunked
+/// scan/filter/project). Output is **byte-identical at every thread count**
+/// — parallel results are reassembled in deterministic morsel order — so
+/// the differential oracle keeps working. The legacy interpreter ignores
+/// `threads`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Which engine executes the query.
+    pub strategy: ExecStrategy,
+    /// Worker-thread budget for the planned engine (clamped to ≥ 1).
+    pub threads: usize,
+}
+
+impl Default for ExecOptions {
+    /// Planned engine with one worker per available hardware thread.
+    fn default() -> Self {
+        ExecOptions {
+            strategy: ExecStrategy::default(),
+            threads: available_threads(),
+        }
+    }
+}
+
+impl ExecOptions {
+    /// Options for a given strategy at the default (full) parallelism.
+    pub fn new(strategy: ExecStrategy) -> Self {
+        ExecOptions {
+            strategy,
+            ..ExecOptions::default()
+        }
+    }
+
+    /// Single-threaded planned execution (the pre-parallel behavior).
+    pub fn serial() -> Self {
+        ExecOptions::default().with_threads(1)
+    }
+
+    /// Set the worker-thread budget (clamped to ≥ 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+}
+
+/// Plan, compile and execute a query with the planned engine at default
+/// (full) parallelism.
 pub fn execute_planned(db: &Database, query: &Query) -> StorageResult<QueryResult> {
+    execute_planned_opts(db, query, ExecOptions::default())
+}
+
+/// Plan, compile and execute a query with the planned engine using an
+/// explicit thread budget.
+pub fn execute_planned_opts(
+    db: &Database,
+    query: &Query,
+    options: ExecOptions,
+) -> StorageResult<QueryResult> {
     let logical = Planner::new(db).plan(query)?;
     let physical = Compiler::new(db).compile(&logical)?;
     let ctx = RunCtx {
         db,
         frame: None,
         outer: None,
+        threads: options.threads.max(1),
     };
     exec_query_plan(&physical, &ctx)
 }
@@ -176,6 +240,22 @@ pub(crate) struct RunCtx<'a> {
     pub(crate) db: &'a Database,
     pub(crate) frame: Option<&'a CteFrame<'a>>,
     pub(crate) outer: Option<&'a OuterEnv<'a>>,
+    /// Worker-thread budget for parallel operators (≥ 1; 1 = serial).
+    pub(crate) threads: usize,
+}
+
+impl<'a> RunCtx<'a> {
+    /// The same context pinned to one thread — used inside parallel worker
+    /// closures so nested operators (e.g. subqueries evaluated per row)
+    /// never spawn a second level of workers on an already-busy pool.
+    fn serial(&self) -> RunCtx<'a> {
+        RunCtx {
+            db: self.db,
+            frame: self.frame,
+            outer: self.outer,
+            threads: 1,
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -196,6 +276,7 @@ pub(crate) fn exec_query_plan(
             db: ctx.db,
             frame: Some(&frame),
             outer: ctx.outer,
+            threads: ctx.threads,
         };
         let result = exec_query_plan(sub, &sub_ctx)?;
         local.insert(name.clone(), result);
@@ -208,6 +289,7 @@ pub(crate) fn exec_query_plan(
         db: ctx.db,
         frame: Some(&frame),
         outer: ctx.outer,
+        threads: ctx.threads,
     };
     let mut rows = exec_node(&plan.root, &sub_ctx)?;
     // Strip hidden sort-key columns.
@@ -229,7 +311,13 @@ fn exec_node(node: &PhysNode, ctx: &RunCtx<'_>) -> StorageResult<Vec<Row>> {
                 .db
                 .table(name)
                 .ok_or_else(|| StorageError::UnknownTable(name.clone()))?;
-            Ok(table.rows().to_vec())
+            let rows = table.rows();
+            // Chunked parallel materialization: row clones (deep, per-cell
+            // for text) dominate scan cost on wide tables.
+            let chunks = run_morsels(ctx.threads, rows.len(), |range| {
+                Ok::<_, StorageError>(rows[range].to_vec())
+            })?;
+            Ok(concat_rows(chunks, rows.len()))
         }
         PhysNode::ScanCte { name } => {
             let result = ctx
@@ -245,20 +333,27 @@ fn exec_node(node: &PhysNode, ctx: &RunCtx<'_>) -> StorageResult<Vec<Row>> {
             predicate,
             bindings,
         } => {
-            let input_rows = exec_node(input, ctx)?;
-            let mut rows = Vec::with_capacity(input_rows.len());
-            for row in input_rows {
-                let env = EvalEnv {
-                    ctx,
-                    bindings,
-                    row: &row,
-                    group: None,
-                };
-                if predicate.eval_truthy(&env)? {
-                    rows.push(row);
+            let mut input_rows = exec_node(input, ctx)?;
+            // Predicate evaluation fans out over morsels; rows are then
+            // moved (not cloned) into place by a serial retain in input
+            // order, so the output matches serial execution exactly.
+            let keep_chunks = run_morsels(ctx.threads, input_rows.len(), |range| {
+                let wctx = ctx.serial();
+                let mut keep = Vec::with_capacity(range.len());
+                for row in &input_rows[range] {
+                    let env = EvalEnv {
+                        ctx: &wctx,
+                        bindings,
+                        row,
+                        group: None,
+                    };
+                    keep.push(predicate.eval_truthy(&env)?);
                 }
-            }
-            Ok(rows)
+                Ok::<_, StorageError>(keep)
+            })?;
+            let mut keep = keep_chunks.into_iter().flatten();
+            input_rows.retain(|_| keep.next().expect("one flag per row"));
+            Ok(input_rows)
         }
         PhysNode::NestedLoopJoin {
             left,
@@ -312,20 +407,25 @@ fn exec_node(node: &PhysNode, ctx: &RunCtx<'_>) -> StorageResult<Vec<Row>> {
             bindings,
         } => {
             let input_rows = exec_node(input, ctx)?;
-            let mut rows = Vec::with_capacity(input_rows.len());
-            for row in &input_rows {
-                let env = EvalEnv {
-                    ctx,
-                    bindings,
-                    row,
-                    group: None,
-                };
-                let values = items
-                    .iter()
-                    .map(|item| item.eval(&env))
-                    .collect::<StorageResult<Row>>()?;
-                rows.push(values);
-            }
+            let chunks = run_morsels(ctx.threads, input_rows.len(), |range| {
+                let wctx = ctx.serial();
+                let mut out = Vec::with_capacity(range.len());
+                for row in &input_rows[range] {
+                    let env = EvalEnv {
+                        ctx: &wctx,
+                        bindings,
+                        row,
+                        group: None,
+                    };
+                    let values = items
+                        .iter()
+                        .map(|item| item.eval(&env))
+                        .collect::<StorageResult<Row>>()?;
+                    out.push(values);
+                }
+                Ok::<_, StorageError>(out)
+            })?;
+            let mut rows = concat_rows(chunks, input_rows.len());
             if *distinct {
                 dedup_rows(&mut rows, *visible);
             }
@@ -343,57 +443,100 @@ fn exec_node(node: &PhysNode, ctx: &RunCtx<'_>) -> StorageResult<Vec<Row>> {
             let input_rows = exec_node(input, ctx)?;
             let width = bindings.len();
 
-            // Group rows by the GROUP BY key (a single global group if absent).
-            let mut groups: Vec<Vec<Row>> = Vec::new();
+            // Phase 1 — parallel partial aggregation: each morsel worker
+            // groups its rows locally (key → row indices, groups in
+            // first-seen order within the morsel).
+            let partials = run_morsels(ctx.threads, input_rows.len(), |range| {
+                let wctx = ctx.serial();
+                let mut local_groups: Vec<(String, Vec<usize>)> = Vec::new();
+                let mut local_index: HashMap<String, usize> = HashMap::new();
+                for ri in range {
+                    let env = EvalEnv {
+                        ctx: &wctx,
+                        bindings,
+                        row: &input_rows[ri],
+                        group: None,
+                    };
+                    let key_values = group_by
+                        .iter()
+                        .map(|e| e.eval(&env))
+                        .collect::<StorageResult<Vec<Value>>>()?;
+                    let key = composite_key(&key_values);
+                    match local_index.get(&key) {
+                        Some(&g) => local_groups[g].1.push(ri),
+                        None => {
+                            local_index.insert(key.clone(), local_groups.len());
+                            local_groups.push((key, vec![ri]));
+                        }
+                    }
+                }
+                Ok::<_, StorageError>(local_groups)
+            })?;
+
+            // Phase 2 — deterministic merge: morsels are folded in input
+            // order, so global group order is first-seen order over the
+            // whole input and rows within a group stay in input order —
+            // byte-identical to the serial engine.
+            let mut group_indices: Vec<Vec<usize>> = Vec::new();
             let mut index: HashMap<String, usize> = HashMap::new();
-            for row in input_rows {
-                let env = EvalEnv {
-                    ctx,
-                    bindings,
-                    row: &row,
-                    group: None,
-                };
-                let key_values = group_by
-                    .iter()
-                    .map(|e| e.eval(&env))
-                    .collect::<StorageResult<Vec<Value>>>()?;
-                let key = composite_key(&key_values);
-                match index.get(&key) {
-                    Some(&i) => groups[i].push(row),
-                    None => {
-                        index.insert(key, groups.len());
-                        groups.push(vec![row]);
+            for local_groups in partials {
+                for (key, indices) in local_groups {
+                    match index.get(&key) {
+                        Some(&g) => group_indices[g].extend(indices),
+                        None => {
+                            index.insert(key, group_indices.len());
+                            group_indices.push(indices);
+                        }
                     }
                 }
             }
+            // Materialize groups by moving rows out of the input.
+            let mut slots: Vec<Option<Row>> = input_rows.into_iter().map(Some).collect();
+            let mut groups: Vec<Vec<Row>> = group_indices
+                .into_iter()
+                .map(|indices| {
+                    indices
+                        .into_iter()
+                        .map(|i| slots[i].take().expect("each row grouped once"))
+                        .collect()
+                })
+                .collect();
             if groups.is_empty() && group_by.is_empty() {
                 // Aggregates over an empty input still produce one row.
                 groups.push(Vec::new());
             }
 
-            let mut rows = Vec::with_capacity(groups.len());
-            for group_rows in groups {
-                let representative = group_rows
-                    .first()
-                    .cloned()
-                    .unwrap_or_else(|| vec![Value::Null; width]);
-                let env = EvalEnv {
-                    ctx,
-                    bindings,
-                    row: &representative,
-                    group: Some(&group_rows),
-                };
-                if let Some(having) = having {
-                    if !having.eval_truthy(&env)? {
-                        continue;
+            // Phase 3 — parallel finalization: HAVING + output expressions
+            // evaluate per group; group order is already deterministic.
+            let finalized = run_morsels(ctx.threads, groups.len(), |range| {
+                let wctx = ctx.serial();
+                let mut out: Vec<Option<Row>> = Vec::with_capacity(range.len());
+                for group_rows in &groups[range] {
+                    let representative = group_rows
+                        .first()
+                        .cloned()
+                        .unwrap_or_else(|| vec![Value::Null; width]);
+                    let env = EvalEnv {
+                        ctx: &wctx,
+                        bindings,
+                        row: &representative,
+                        group: Some(group_rows),
+                    };
+                    if let Some(having) = having {
+                        if !having.eval_truthy(&env)? {
+                            out.push(None);
+                            continue;
+                        }
                     }
+                    let values = items
+                        .iter()
+                        .map(|item| item.eval(&env))
+                        .collect::<StorageResult<Row>>()?;
+                    out.push(Some(values));
                 }
-                let values = items
-                    .iter()
-                    .map(|item| item.eval(&env))
-                    .collect::<StorageResult<Row>>()?;
-                rows.push(values);
-            }
+                Ok::<_, StorageError>(out)
+            })?;
+            let mut rows: Vec<Row> = finalized.into_iter().flatten().flatten().collect();
             if *distinct {
                 dedup_rows(&mut rows, *visible);
             }
@@ -452,6 +595,15 @@ fn exec_node(node: &PhysNode, ctx: &RunCtx<'_>) -> StorageResult<Vec<Row>> {
         }
         PhysNode::Nested(sub) => Ok(exec_query_plan(sub, ctx)?.rows),
     }
+}
+
+/// Flatten per-morsel row chunks (already in morsel order) into one vector.
+fn concat_rows(chunks: Vec<Vec<Row>>, capacity: usize) -> Vec<Row> {
+    let mut rows = Vec::with_capacity(capacity);
+    for chunk in chunks {
+        rows.extend(chunk);
+    }
+    rows
 }
 
 /// DISTINCT over the visible prefix of each row; keeps first occurrences.

@@ -1,0 +1,177 @@
+//! Morsel-driven parallel execution primitives for the planned engine.
+//!
+//! Work is cut into **morsels** (contiguous index ranges) that a small pool
+//! of scoped `std::thread` workers pull from a shared atomic cursor — idle
+//! workers steal the next morsel instead of being assigned a fixed shard,
+//! so skewed morsels do not leave cores idle. Results are reassembled in
+//! morsel order, which makes every parallel operator's output **independent
+//! of scheduling**: the planned engine produces byte-identical results at
+//! any thread count, so the legacy interpreter stays usable as the
+//! differential oracle.
+//!
+//! Error semantics also match serial execution: when morsels fail, the
+//! error reported is the one from the earliest morsel (workers claim
+//! morsels in index order, so every morsel before a failed one has
+//! completed), and remaining unclaimed morsels are abandoned.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Number of worker threads the host machine supports; the default for
+/// [`crate::physical::ExecOptions::threads`]. Cached: `ExecOptions` is
+/// constructed per `Database::execute` call, and `available_parallelism`
+/// is documented as potentially expensive (syscall + cgroup reads).
+pub fn available_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Minimum rows per morsel. Below this, per-morsel bookkeeping (and the
+/// scoped thread spawn itself) costs more than the parallelism returns, so
+/// smaller inputs run inline on the calling thread.
+const MIN_MORSEL: usize = 256;
+
+/// Cut `0..len` into at most `threads * 4` morsels of at least
+/// [`MIN_MORSEL`] items (one final shorter remainder allowed). A single
+/// morsel means "run inline".
+fn morsels(len: usize, threads: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let max_chunks = threads.max(1) * 4;
+    let chunks = (len / MIN_MORSEL).clamp(1, max_chunks);
+    let size = len.div_ceil(chunks);
+    (0..len)
+        .step_by(size.max(1))
+        .map(|start| start..(start + size).min(len))
+        .collect()
+}
+
+/// Run `work(task_index)` for every index in `0..count` on up to `threads`
+/// scoped workers and return the results in task order. The first error in
+/// task order wins, exactly as a serial loop would report it.
+pub(crate) fn run_tasks<R, E, F>(threads: usize, count: usize, work: F) -> Result<Vec<R>, E>
+where
+    R: Send,
+    E: Send,
+    F: Fn(usize) -> Result<R, E> + Sync,
+{
+    let workers = threads.max(1).min(count);
+    if workers <= 1 {
+        return (0..count).map(work).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    let slots: Vec<Mutex<Option<Result<R, E>>>> =
+        (0..count).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= count || failed.load(Ordering::Relaxed) {
+                    break;
+                }
+                let result = work(i);
+                if result.is_err() {
+                    failed.store(true, Ordering::Relaxed);
+                }
+                *slots[i].lock().expect("morsel slot lock") = Some(result);
+            });
+        }
+    });
+    // Tasks are claimed in index order, so every slot before the first
+    // error has been filled; later slots may be abandoned (None).
+    let mut out = Vec::with_capacity(count);
+    for slot in slots {
+        match slot.into_inner().expect("morsel slot lock") {
+            Some(Ok(r)) => out.push(r),
+            Some(Err(e)) => return Err(e),
+            None => unreachable!("unfilled slot before the first error"),
+        }
+    }
+    Ok(out)
+}
+
+/// Run `work` over each morsel of `0..len` and return the per-morsel
+/// results in morsel order. `len` below ~2×[`MIN_MORSEL`] (or `threads <=
+/// 1`) runs inline with zero thread overhead.
+pub(crate) fn run_morsels<R, E, F>(threads: usize, len: usize, work: F) -> Result<Vec<R>, E>
+where
+    R: Send,
+    E: Send,
+    F: Fn(Range<usize>) -> Result<R, E> + Sync,
+{
+    let ranges = morsels(len, threads);
+    run_tasks(threads, ranges.len(), |i| work(ranges[i].clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn morsels_cover_input_in_order() {
+        for len in [0usize, 1, 255, 256, 511, 512, 4096, 100_000] {
+            for threads in [1usize, 2, 8] {
+                let ranges = morsels(len, threads);
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "gap at len={len} threads={threads}");
+                    assert!(r.end > r.start);
+                    next = r.end;
+                }
+                assert_eq!(next, len);
+                assert!(ranges.len() <= threads * 4 || len < MIN_MORSEL * ranges.len());
+            }
+        }
+    }
+
+    #[test]
+    fn small_inputs_run_inline_as_one_morsel() {
+        assert_eq!(morsels(100, 8).len(), 1);
+        assert_eq!(morsels(511, 8).len(), 1);
+        assert!(morsels(512, 8).len() >= 2);
+    }
+
+    #[test]
+    fn results_preserve_task_order_at_any_thread_count() {
+        for threads in [1usize, 2, 3, 8] {
+            let out: Vec<usize> =
+                run_tasks(threads, 37, |i| Ok::<_, ()>(i * 2)).expect("no errors");
+            assert_eq!(out, (0..37).map(|i| i * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn earliest_error_wins() {
+        for threads in [1usize, 4] {
+            let err = run_tasks::<usize, usize, _>(threads, 64, |i| {
+                if i >= 10 {
+                    Err(i)
+                } else {
+                    Ok(i)
+                }
+            })
+            .expect_err("tasks fail from index 10");
+            assert_eq!(err, 10, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn morsel_results_concatenate_to_serial_order() {
+        let data: Vec<u64> = (0..10_000).collect();
+        for threads in [1usize, 2, 8] {
+            let chunks = run_morsels(threads, data.len(), |range| {
+                Ok::<_, ()>(data[range].to_vec())
+            })
+            .expect("no errors");
+            let flat: Vec<u64> = chunks.into_iter().flatten().collect();
+            assert_eq!(flat, data);
+        }
+    }
+}

@@ -132,16 +132,36 @@ pub(crate) fn cast_value(v: Value, target: bp_sql::DataType) -> Value {
     }
 }
 
-/// Evaluate a binary operator over two values. AND/OR are eager (both sides
-/// already evaluated by the caller), matching the original interpreter.
+/// SQL three-valued truth of a value: `None` for NULL (UNKNOWN), otherwise
+/// its truthiness.
+fn bool3(v: &Value) -> Option<bool> {
+    if v.is_null() {
+        None
+    } else {
+        Some(v.is_truthy())
+    }
+}
+
+/// Evaluate a binary operator over two values. AND/OR follow SQL
+/// three-valued logic (both sides are already evaluated by the caller, but
+/// a FALSE/TRUE short-circuit value dominates UNKNOWN):
+/// `NULL AND FALSE = FALSE`, `NULL OR TRUE = TRUE`, `TRUE AND NULL = NULL`.
 pub(crate) fn eval_binary(left: &Value, op: BinaryOperator, right: &Value) -> StorageResult<Value> {
     use BinaryOperator::*;
     match op {
         And => {
-            return Ok(Value::Bool(left.is_truthy() && right.is_truthy()));
+            return Ok(match (bool3(left), bool3(right)) {
+                (Some(false), _) | (_, Some(false)) => Value::Bool(false),
+                (Some(true), Some(true)) => Value::Bool(true),
+                _ => Value::Null,
+            });
         }
         Or => {
-            return Ok(Value::Bool(left.is_truthy() || right.is_truthy()));
+            return Ok(match (bool3(left), bool3(right)) {
+                (Some(true), _) | (_, Some(true)) => Value::Bool(true),
+                (Some(false), Some(false)) => Value::Bool(false),
+                _ => Value::Null,
+            });
         }
         _ => {}
     }
@@ -163,6 +183,31 @@ pub(crate) fn eval_binary(left: &Value, op: BinaryOperator, right: &Value) -> St
             Ok(Value::Bool(b))
         }
         Concat => Ok(Value::Text(format!("{left}{right}"))),
+        Plus | Minus | Multiply | Modulo
+            if matches!(left, Value::Int(_)) && matches!(right, Value::Int(_)) =>
+        {
+            // Exact integer arithmetic: no detour through f64 (which silently
+            // rounds above 2^53). Overflow is an error, not a wrong answer.
+            let (Value::Int(a), Value::Int(b)) = (left, right) else {
+                unreachable!("guarded by the match arm");
+            };
+            if matches!(op, Modulo) && *b == 0 {
+                return Err(StorageError::Arithmetic("division by zero".into()));
+            }
+            let result = match op {
+                Plus => a.checked_add(*b),
+                Minus => a.checked_sub(*b),
+                Multiply => a.checked_mul(*b),
+                Modulo => a.checked_rem(*b),
+                _ => unreachable!(),
+            };
+            result.map(Value::Int).ok_or_else(|| {
+                StorageError::Arithmetic(format!(
+                    "integer overflow in {a} {} {b}",
+                    op.as_sql()
+                ))
+            })
+        }
         Plus | Minus | Multiply | Divide | Modulo => {
             let (a, b) = match (left.as_f64(), right.as_f64()) {
                 (Some(a), Some(b)) => (a, b),
@@ -184,14 +229,23 @@ pub(crate) fn eval_binary(left: &Value, op: BinaryOperator, right: &Value) -> St
                 Modulo => a % b,
                 _ => unreachable!(),
             };
-            let both_int = matches!(left, Value::Int(_)) && matches!(right, Value::Int(_));
-            if both_int && result.fract() == 0.0 && !matches!(op, Divide) {
-                Ok(Value::Int(result as i64))
-            } else {
-                Ok(Value::Float(result))
-            }
+            Ok(Value::Float(result))
         }
         And | Or => unreachable!("handled above"),
+    }
+}
+
+/// SQL unary minus. Integers negate exactly via `checked_neg` (the old path
+/// routed through `f64` and truncated); `-i64::MIN` is an overflow error.
+pub(crate) fn eval_unary_minus(v: &Value) -> StorageResult<Value> {
+    match v {
+        Value::Int(i) => i.checked_neg().map(Value::Int).ok_or_else(|| {
+            StorageError::Arithmetic(format!("integer overflow in -({i})"))
+        }),
+        other => other
+            .as_f64()
+            .map(|f| Value::Float(-f))
+            .ok_or_else(|| StorageError::TypeError(format!("cannot negate {other}"))),
     }
 }
 
@@ -229,12 +283,21 @@ pub(crate) fn finish_aggregate(
                 return Ok(Value::Null);
             }
             let all_int = values.iter().all(|v| matches!(v, Value::Int(_)));
-            let sum: f64 = values.iter().filter_map(|v| v.as_f64()).sum();
-            Ok(if all_int {
-                Value::Int(sum as i64)
+            if all_int {
+                // Exact i64 accumulation: an f64 sum silently rounds once the
+                // running total passes 2^53.
+                let mut sum: i64 = 0;
+                for v in &values {
+                    let Value::Int(i) = v else { unreachable!() };
+                    sum = sum.checked_add(*i).ok_or_else(|| {
+                        StorageError::Arithmetic("integer overflow in SUM".into())
+                    })?;
+                }
+                Ok(Value::Int(sum))
             } else {
-                Value::Float(sum)
-            })
+                let sum: f64 = values.iter().filter_map(|v| v.as_f64()).sum();
+                Ok(Value::Float(sum))
+            }
         }
         "AVG" => {
             if values.is_empty() {
@@ -270,34 +333,29 @@ pub(crate) fn missing_arg_error(name: &str, index: usize) -> StorageError {
 // ---------------------------------------------------------------------
 
 /// Canonical composite key of a row slice (grouping / DISTINCT / set ops).
+/// Each part is length-prefixed, so the key is collision-free even when
+/// text values contain any would-be separator byte.
 pub(crate) fn composite_key(values: &[Value]) -> String {
-    values
-        .iter()
-        .map(|v| v.group_key())
-        .collect::<Vec<_>>()
-        .join("\u{1}")
+    use std::fmt::Write;
+    let mut key = String::new();
+    for v in values {
+        let part = v.group_key();
+        let _ = write!(key, "{}:", part.len());
+        key.push_str(&part);
+    }
+    key
 }
 
 /// One component of a hash-join key: `None` for NULL (NULL never joins),
-/// otherwise a string whose equality coincides with `total_cmp == Equal`
-/// for non-NaN values. Unlike [`Value::group_key`], `-0.0` is folded into
-/// `0.0` so the hash key agrees with IEEE equality.
+/// otherwise the canonical [`Value::group_key`], whose equality coincides
+/// with `total_cmp == Equal` for non-NaN values (integers exactly, `-0.0`
+/// folded into `0.0`, Int↔Float equal whenever both representations hold
+/// the value exactly).
 pub(crate) fn join_key_part(v: &Value) -> Option<String> {
-    fn norm(f: f64) -> f64 {
-        if f == 0.0 {
-            0.0
-        } else {
-            f
-        }
-    }
-    match v {
-        Value::Null => None,
-        Value::Int(i) => Some(format!("n:{}", norm(*i as f64))),
-        Value::Float(f) => Some(format!("n:{}", norm(*f))),
-        Value::Bool(b) => Some(format!("n:{}", if *b { 1.0 } else { 0.0 })),
-        Value::Date(d) => Some(format!("n:{}", norm(*d as f64))),
-        Value::Timestamp(t) => Some(format!("n:{}", norm(*t as f64))),
-        Value::Text(s) => Some(format!("t:{s}")),
+    if v.is_null() {
+        None
+    } else {
+        Some(v.group_key())
     }
 }
 
@@ -412,6 +470,155 @@ mod tests {
         assert_eq!(canonical_function_name("median"), None);
         assert!(is_aggregate_name("SUM"));
         assert!(!is_aggregate_name("UPPER"));
+    }
+
+    #[test]
+    fn and_or_follow_three_valued_logic() {
+        use bp_sql::BinaryOperator::{And, Or};
+        let t = Value::Bool(true);
+        let f = Value::Bool(false);
+        let n = Value::Null;
+        // Full AND truth table.
+        assert_eq!(eval_binary(&t, And, &t).unwrap(), Value::Bool(true));
+        assert_eq!(eval_binary(&t, And, &f).unwrap(), Value::Bool(false));
+        assert_eq!(eval_binary(&f, And, &t).unwrap(), Value::Bool(false));
+        assert_eq!(eval_binary(&f, And, &f).unwrap(), Value::Bool(false));
+        assert_eq!(eval_binary(&t, And, &n).unwrap(), Value::Null);
+        assert_eq!(eval_binary(&n, And, &t).unwrap(), Value::Null);
+        assert_eq!(eval_binary(&f, And, &n).unwrap(), Value::Bool(false));
+        assert_eq!(eval_binary(&n, And, &f).unwrap(), Value::Bool(false));
+        assert_eq!(eval_binary(&n, And, &n).unwrap(), Value::Null);
+        // Full OR truth table.
+        assert_eq!(eval_binary(&t, Or, &t).unwrap(), Value::Bool(true));
+        assert_eq!(eval_binary(&t, Or, &f).unwrap(), Value::Bool(true));
+        assert_eq!(eval_binary(&f, Or, &t).unwrap(), Value::Bool(true));
+        assert_eq!(eval_binary(&f, Or, &f).unwrap(), Value::Bool(false));
+        assert_eq!(eval_binary(&t, Or, &n).unwrap(), Value::Bool(true));
+        assert_eq!(eval_binary(&n, Or, &t).unwrap(), Value::Bool(true));
+        assert_eq!(eval_binary(&f, Or, &n).unwrap(), Value::Null);
+        assert_eq!(eval_binary(&n, Or, &f).unwrap(), Value::Null);
+        assert_eq!(eval_binary(&n, Or, &n).unwrap(), Value::Null);
+        // Non-boolean operands coerce through truthiness.
+        assert_eq!(
+            eval_binary(&Value::Int(1), And, &n).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            eval_binary(&Value::Int(0), And, &n).unwrap(),
+            Value::Bool(false)
+        );
+    }
+
+    #[test]
+    fn integer_arithmetic_is_exact() {
+        use bp_sql::BinaryOperator::{Divide, Minus, Modulo, Multiply, Plus};
+        let big = Value::Int((1i64 << 53) + 1);
+        // (2^53 + 1) + 1 through f64 would round; exact i64 must not.
+        assert_eq!(
+            eval_binary(&big, Plus, &Value::Int(1)).unwrap(),
+            Value::Int((1i64 << 53) + 2)
+        );
+        assert_eq!(
+            eval_binary(&Value::Int(i64::MAX), Minus, &Value::Int(1)).unwrap(),
+            Value::Int(i64::MAX - 1)
+        );
+        assert_eq!(
+            eval_binary(&Value::Int(-7), Modulo, &Value::Int(3)).unwrap(),
+            Value::Int(-1)
+        );
+        // Overflow is an error, not a rounded f64 answer.
+        assert!(matches!(
+            eval_binary(&Value::Int(i64::MAX), Plus, &Value::Int(1)),
+            Err(StorageError::Arithmetic(_))
+        ));
+        assert!(matches!(
+            eval_binary(&Value::Int(i64::MIN), Multiply, &Value::Int(-1)),
+            Err(StorageError::Arithmetic(_))
+        ));
+        assert!(matches!(
+            eval_binary(&Value::Int(1), Modulo, &Value::Int(0)),
+            Err(StorageError::Arithmetic(_))
+        ));
+        // Integer division still yields the float quotient.
+        assert_eq!(
+            eval_binary(&Value::Int(10), Divide, &Value::Int(4)).unwrap(),
+            Value::Float(2.5)
+        );
+        // Mixed Int/Float arithmetic stays on the float path.
+        assert_eq!(
+            eval_binary(&Value::Int(2), Plus, &Value::Float(0.5)).unwrap(),
+            Value::Float(2.5)
+        );
+    }
+
+    #[test]
+    fn unary_minus_is_exact() {
+        assert_eq!(
+            eval_unary_minus(&Value::Int((1i64 << 53) + 1)).unwrap(),
+            Value::Int(-((1i64 << 53) + 1))
+        );
+        assert!(matches!(
+            eval_unary_minus(&Value::Int(i64::MIN)),
+            Err(StorageError::Arithmetic(_))
+        ));
+        assert_eq!(
+            eval_unary_minus(&Value::Float(2.5)).unwrap(),
+            Value::Float(-2.5)
+        );
+        assert!(eval_unary_minus(&Value::Text("x".into())).is_err());
+    }
+
+    #[test]
+    fn sum_of_large_integers_is_exact() {
+        let vals = vec![Value::Int(1i64 << 53), Value::Int(1), Value::Int(1)];
+        assert_eq!(
+            finish_aggregate("SUM", vals, false).unwrap(),
+            Value::Int((1i64 << 53) + 2)
+        );
+        assert!(matches!(
+            finish_aggregate("SUM", vec![Value::Int(i64::MAX), Value::Int(1)], false),
+            Err(StorageError::Arithmetic(_))
+        ));
+    }
+
+    #[test]
+    fn large_integer_keys_do_not_collide() {
+        let a = Value::Int(1i64 << 53);
+        let b = Value::Int((1i64 << 53) + 1);
+        assert_ne!(a.group_key(), b.group_key());
+        assert_ne!(join_key_part(&a), join_key_part(&b));
+        assert_ne!(
+            Value::Int(i64::MAX).group_key(),
+            Value::Int(i64::MAX - 1).group_key()
+        );
+        // Int↔Float cross-type equality still holds where both are exact.
+        assert_eq!(
+            Value::Int(1i64 << 53).group_key(),
+            Value::Float((1i64 << 53) as f64).group_key()
+        );
+        assert_eq!(Value::Date(7).group_key(), Value::Int(7).group_key());
+        assert_eq!(Value::Timestamp(9).group_key(), Value::Int(9).group_key());
+    }
+
+    #[test]
+    fn composite_key_is_collision_free_with_separator_text() {
+        // Without length prefixes, ("a\u{1}b") and ("a", "b") collide.
+        let joined = composite_key(&[Value::Text("a\u{1}b".into())]);
+        let split = composite_key(&[Value::Text("a".into()), Value::Text("b".into())]);
+        assert_ne!(joined, split);
+        // Prefix/suffix shuffles around the separator must stay distinct.
+        let left = composite_key(&[Value::Text("a\u{1}".into()), Value::Text("b".into())]);
+        let right = composite_key(&[Value::Text("a".into()), Value::Text("\u{1}b".into())]);
+        assert_ne!(left, right);
+        // Digit-bearing text cannot collide with the length prefix itself.
+        let num_text = composite_key(&[Value::Text("3:t:x".into())]);
+        let plain = composite_key(&[Value::Text("x".into())]);
+        assert_ne!(num_text, plain);
+        // Same values produce the same key.
+        assert_eq!(
+            composite_key(&[Value::Int(1), Value::Text("a".into())]),
+            composite_key(&[Value::Float(1.0), Value::Text("a".into())])
+        );
     }
 
     #[test]

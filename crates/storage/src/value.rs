@@ -97,8 +97,33 @@ impl Value {
         Some(self.total_cmp(other) == Ordering::Equal)
     }
 
+    /// The exact `i64` this numeric value represents, if it represents one:
+    /// integers, dates, timestamps and booleans directly, and floats that
+    /// are integral and within `i64` range (so `3.0` is exactly `3`, but
+    /// `2.5`, `1e300` and NaN are not integers). Used by comparisons and
+    /// hash keys so integer semantics never round through `f64`.
+    fn exact_int(&self) -> Option<i64> {
+        const TWO_POW_63: f64 = 9_223_372_036_854_775_808.0; // 2^63, exact
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Date(d) => Some(*d),
+            Value::Timestamp(t) => Some(*t),
+            Value::Bool(b) => Some(*b as i64),
+            Value::Float(f) if f.fract() == 0.0 && *f >= -TWO_POW_63 && *f < TWO_POW_63 => {
+                Some(*f as i64)
+            }
+            _ => None,
+        }
+    }
+
     /// Total ordering used for ORDER BY, grouping keys and MIN/MAX.
     /// NULLs sort first; values of different families sort by family.
+    /// Integer-valued operands compare exactly as `i64` (no rounding
+    /// through `f64`, which collapses distinct integers above 2^53), and a
+    /// mixed integer/float pair compares the float against the exact
+    /// integer — so equality coincides with [`Value::group_key`] equality
+    /// everywhere (NaN excepted) and the ordering stays transitive even at
+    /// the 2^63 boundary.
     pub fn total_cmp(&self, other: &Value) -> Ordering {
         use Value::*;
         fn family(v: &Value) -> u8 {
@@ -106,6 +131,28 @@ impl Value {
                 Null => 0,
                 Int(_) | Float(_) | Date(_) | Timestamp(_) | Bool(_) => 1,
                 Text(_) => 2,
+            }
+        }
+        /// Exact `i64` vs `f64` comparison. `b` is never an integer in
+        /// `i64` range here (that is the exact-int path); NaN compares
+        /// Equal, preserving the engine's long-standing NaN quirk.
+        fn cmp_int_float(a: i64, b: f64) -> Ordering {
+            const TWO_POW_63: f64 = 9_223_372_036_854_775_808.0;
+            if b.is_nan() {
+                return Ordering::Equal;
+            }
+            if b >= TWO_POW_63 {
+                return Ordering::Less;
+            }
+            if b < -TWO_POW_63 {
+                return Ordering::Greater;
+            }
+            // |b| < 2^63, so its truncation converts to i64 exactly.
+            let truncated = b.trunc() as i64;
+            match a.cmp(&truncated) {
+                Ordering::Equal if b.fract() > 0.0 => Ordering::Less,
+                Ordering::Equal if b.fract() < 0.0 => Ordering::Greater,
+                ord => ord,
             }
         }
         match (self, other) {
@@ -116,25 +163,35 @@ impl Value {
                 if fa != fb {
                     return fa.cmp(&fb);
                 }
-                match (self.as_f64(), other.as_f64()) {
-                    (Some(a), Some(b)) => a.partial_cmp(&b).unwrap_or(Ordering::Equal),
-                    _ => Ordering::Equal,
+                match (self.exact_int(), other.exact_int()) {
+                    (Some(a), Some(b)) => a.cmp(&b),
+                    // A non-exact numeric is always a Float, so as_f64 is Some.
+                    (Some(a), None) => cmp_int_float(a, other.as_f64().unwrap_or(f64::NAN)),
+                    (None, Some(b)) => {
+                        cmp_int_float(b, self.as_f64().unwrap_or(f64::NAN)).reverse()
+                    }
+                    (None, None) => match (self.as_f64(), other.as_f64()) {
+                        (Some(a), Some(b)) => a.partial_cmp(&b).unwrap_or(Ordering::Equal),
+                        _ => Ordering::Equal,
+                    },
                 }
             }
         }
     }
 
     /// A canonical key string used for grouping, DISTINCT and set operations.
-    /// Numeric values are normalized so `1` and `1.0` group together.
+    /// Integer-valued numerics (including `3.0`, and `-0.0` folded into `0`)
+    /// are encoded exactly as `i64` so `1` and `1.0` group together without
+    /// distinct large integers colliding through `f64` formatting; other
+    /// floats use their shortest round-trip decimal form.
     pub fn group_key(&self) -> String {
         match self {
             Value::Null => "\u{0}NULL".to_string(),
-            Value::Int(i) => format!("n:{}", *i as f64),
-            Value::Float(f) => format!("n:{f}"),
-            Value::Bool(b) => format!("n:{}", if *b { 1.0 } else { 0.0 }),
-            Value::Date(d) => format!("n:{}", *d as f64),
-            Value::Timestamp(t) => format!("n:{}", *t as f64),
             Value::Text(s) => format!("t:{s}"),
+            other => match other.exact_int() {
+                Some(i) => format!("i:{i}"),
+                None => format!("f:{}", other.as_f64().unwrap_or(f64::NAN)),
+            },
         }
     }
 }
@@ -253,6 +310,39 @@ mod tests {
             Ordering::Less
         );
         assert_eq!(Value::Float(2.5).total_cmp(&Value::Int(2)), Ordering::Greater);
+    }
+
+    #[test]
+    fn large_integers_compare_exactly() {
+        // Through f64 these are indistinguishable; exact i64 must order them.
+        let a = Value::Int(1i64 << 53);
+        let b = Value::Int((1i64 << 53) + 1);
+        assert_eq!(a.total_cmp(&b), Ordering::Less);
+        assert_ne!(a, b);
+        assert_eq!(
+            Value::Int(i64::MAX).total_cmp(&Value::Int(i64::MIN)),
+            Ordering::Greater
+        );
+        // Integral floats still equal their integer counterparts...
+        assert_eq!(Value::Float(3.0).total_cmp(&Value::Int(3)), Ordering::Equal);
+        // ...and -0.0 equals (and groups with) 0.
+        assert_eq!(Value::Float(-0.0).total_cmp(&Value::Int(0)), Ordering::Equal);
+        assert_eq!(Value::Float(-0.0).group_key(), Value::Int(0).group_key());
+        // Non-integral and out-of-range floats keep f64 ordering.
+        assert_eq!(Value::Float(1e300).total_cmp(&Value::Int(i64::MAX)), Ordering::Greater);
+        // At the 2^63 boundary a float no longer rounds into equality with
+        // i64::MAX: comparison agrees with key equality (both "not equal").
+        let two_pow_63 = Value::Float(9_223_372_036_854_775_808.0);
+        assert_eq!(Value::Int(i64::MAX).total_cmp(&two_pow_63), Ordering::Less);
+        assert_ne!(Value::Int(i64::MAX).group_key(), two_pow_63.group_key());
+        assert_eq!(two_pow_63.total_cmp(&Value::Int(i64::MAX)), Ordering::Greater);
+        // Mixed fractional comparisons are exact around large integers.
+        assert_eq!(
+            Value::Int((1i64 << 53) + 1).total_cmp(&Value::Float((1i64 << 53) as f64 + 0.5)),
+            Ordering::Greater
+        );
+        assert_eq!(Value::Int(-5).total_cmp(&Value::Float(-5.5)), Ordering::Greater);
+        assert_eq!(Value::Int(5).total_cmp(&Value::Float(5.5)), Ordering::Less);
     }
 
     #[test]

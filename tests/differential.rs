@@ -6,35 +6,53 @@
 //! and `ExecStrategy::Legacy` (the tree-walking interpreter retained as the
 //! oracle). The results must be *identical*: same columns, same rows in the
 //! same order, same ordered flag — or both engines must fail.
+//!
+//! The planned engine runs **with parallelism enabled** (a thread budget
+//! above 1 even on single-core CI), so the morsel-driven parallel operators
+//! are what the oracle checks. A second seed-driven generator targets the
+//! scalar-kernel corners the corpus generator never emits: NULL-heavy
+//! boolean predicates (three-valued logic), large-magnitude integers
+//! (±2^53 neighborhood, `i64::MIN`/`MAX`), and text containing the
+//! historical `"\u{1}"` key separator.
 
 use benchpress_suite::datasets::{BenchmarkKind, CorpusScale, GeneratedBenchmark};
-use benchpress_suite::storage::ExecStrategy;
+use benchpress_suite::storage::{
+    Column, Database, ExecOptions, ExecStrategy, TableSchema, Value,
+};
+use benchpress_suite::sql::DataType;
 use proptest::prelude::*;
+
+/// Thread budget for the planned engine in this suite: comfortably above
+/// one so the parallel operators run even on single-core CI machines
+/// (determinism makes extra workers harmless).
+const TEST_THREADS: usize = 4;
+
+fn parallel_planned() -> ExecOptions {
+    ExecOptions::new(ExecStrategy::Planned).with_threads(TEST_THREADS)
+}
+
+/// Execute on both engines (planned in parallel) and require identical
+/// results, and additionally require the parallel planned result to be
+/// byte-identical to serial planned execution.
+fn assert_engines_agree(db: &Database, sql: &str, label: &str) {
+    let legacy = db.execute_sql_with(sql, ExecStrategy::Legacy);
+    let planned = db.execute_sql_opts(sql, parallel_planned());
+    match (legacy, &planned) {
+        (Ok(l), Ok(p)) => assert_eq!(&l, p, "engines disagree on {label} query: {sql}"),
+        (Err(_), Err(_)) => {}
+        (l, p) => panic!("ok/err divergence on {label} query {sql}: legacy={l:?} planned={p:?}"),
+    }
+    let serial = db.execute_sql_opts(sql, ExecOptions::serial());
+    assert_eq!(
+        serial, planned,
+        "parallel planned diverges from serial planned on {label} query: {sql}"
+    );
+}
 
 fn assert_corpus_differential(kind: BenchmarkKind, query_count: usize, seed: u64) {
     let corpus = GeneratedBenchmark::generate(kind, query_count, seed);
     for entry in &corpus.log {
-        let legacy = corpus
-            .database
-            .execute_sql_with(&entry.sql, ExecStrategy::Legacy);
-        let planned = corpus
-            .database
-            .execute_sql_with(&entry.sql, ExecStrategy::Planned);
-        match (legacy, planned) {
-            (Ok(l), Ok(p)) => assert_eq!(
-                l,
-                p,
-                "engines disagree on {} query: {}",
-                kind.name(),
-                entry.sql
-            ),
-            (Err(_), Err(_)) => {}
-            (l, p) => panic!(
-                "ok/err divergence on {} query {}: legacy={l:?} planned={p:?}",
-                kind.name(),
-                entry.sql
-            ),
-        }
+        assert_engines_agree(&corpus.database, &entry.sql, kind.name());
     }
 }
 
@@ -71,7 +89,8 @@ proptest! {
 }
 
 /// One scaled corpus run: the hash-join path (exercised for real at Medium
-/// scale) must agree with the interpreter row-for-row.
+/// scale, with inputs large enough to split into multiple morsels) must
+/// agree with the interpreter row-for-row.
 #[test]
 fn planned_matches_interpreter_on_scaled_corpus() {
     let corpus =
@@ -83,8 +102,225 @@ fn planned_matches_interpreter_on_scaled_corpus() {
             .expect("legacy executes generated query");
         let planned = corpus
             .database
-            .execute_sql_with(&entry.sql, ExecStrategy::Planned)
+            .execute_sql_opts(&entry.sql, parallel_planned())
             .expect("planned executes generated query");
         assert_eq!(legacy, planned, "engines disagree on: {}", entry.sql);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scalar-kernel corner corpus: three-valued logic, exact integers,
+// separator-bearing text
+// ---------------------------------------------------------------------
+
+/// SplitMix64: expands one proptest-supplied seed into a deterministic
+/// stream for the predicate/query generators below.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn pick<'a, T>(&mut self, options: &'a [T]) -> &'a T {
+        &options[self.below(options.len())]
+    }
+}
+
+/// Large-magnitude integers around the f64-exactness cliff plus the i64
+/// extremes; every value here collided (or truncated) on the old
+/// f64-routed key/arithmetic paths.
+const EDGE_INTS: [i64; 10] = [
+    i64::MIN,
+    i64::MIN + 1,
+    -(1 << 53) - 1,
+    -(1 << 53),
+    0,
+    1,
+    (1 << 53) - 1,
+    1 << 53,
+    (1 << 53) + 1,
+    i64::MAX,
+];
+
+/// Text values around the historical `"\u{1}"` composite-key separator.
+const EDGE_TEXT: [&str; 8] = [
+    "a",
+    "b",
+    "a\u{1}b",
+    "a\u{1}",
+    "\u{1}b",
+    "",
+    "\u{1}",
+    "a\u{1}b\u{1}c",
+];
+
+/// A two-table database stocked with NULL-heavy booleans, ±2^53-boundary
+/// integers, i64 extremes, and separator-bearing text.
+fn edge_db() -> Database {
+    let mut db = Database::new("edge");
+    for table in ["EDGE_A", "EDGE_B"] {
+        db.create_table(TableSchema::new(
+            table,
+            vec![
+                Column::new("ID", DataType::Integer).primary_key(),
+                Column::new("BIG", DataType::Integer),
+                Column::new("FRAC", DataType::Float),
+                Column::new("FLAG", DataType::Boolean),
+                Column::new("TXT", DataType::Text),
+                Column::new("GRP", DataType::Text),
+            ],
+        ))
+        .expect("edge schema");
+    }
+    for (t, table) in ["EDGE_A", "EDGE_B"].iter().enumerate() {
+        let mut mix = Mix(0xed6e ^ ((t as u64) << 32));
+        let rows: Vec<Vec<Value>> = (0..48i64)
+            .map(|i| {
+                let big = if mix.below(4) == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(*mix.pick(&EDGE_INTS))
+                };
+                let frac = match mix.below(6) {
+                    0 => Value::Null,
+                    1 => Value::Float((1i64 << 53) as f64),
+                    // 2^63: the f64 that i64::MAX rounds to — comparison
+                    // and hash keys must agree it equals no i64.
+                    2 => Value::Float(9_223_372_036_854_775_808.0),
+                    3 => Value::Float(-0.0),
+                    4 => Value::Float(0.5),
+                    _ => Value::Float(mix.below(10) as f64),
+                };
+                let flag = match mix.below(3) {
+                    0 => Value::Null,
+                    1 => Value::Bool(true),
+                    _ => Value::Bool(false),
+                };
+                vec![
+                    Value::Int(i),
+                    big,
+                    frac,
+                    flag,
+                    Value::Text(mix.pick(&EDGE_TEXT).to_string()),
+                    Value::Text(format!("g{}", mix.below(3))),
+                ]
+            })
+            .collect();
+        db.insert_into(table, rows).expect("edge rows");
+    }
+    db
+}
+
+/// Render a random boolean predicate tree: NULL-heavy comparison leaves
+/// (every third row has a NULL somewhere) composed with AND/OR/NOT — the
+/// shapes where eager two-valued logic diverges from SQL's three-valued
+/// logic.
+fn gen_predicate(mix: &mut Mix, depth: usize) -> String {
+    if depth == 0 || mix.below(3) == 0 {
+        let literal_ints = ["0", "1", "9007199254740992", "9007199254740993", "-9007199254740993"];
+        return match mix.below(8) {
+            0 => "FLAG".to_string(),
+            1 => format!("BIG {} {}", mix.pick(&["=", "<>", "<", ">", "<=", ">="]), mix.pick(&literal_ints)),
+            2 => format!("FRAC {} 0.5", mix.pick(&["=", "<", ">"])),
+            3 => format!("TXT = '{}'", mix.pick(&["a", "b", "a\u{1}b"])),
+            4 => format!("BIG IS {}NULL", mix.pick(&["", "NOT "])),
+            5 => format!("FLAG IS {}NULL", mix.pick(&["", "NOT "])),
+            6 => "BIG = FRAC".to_string(),
+            _ => format!("BIG BETWEEN {} AND 9007199254740993", mix.pick(&["-9007199254740993", "0"])),
+        };
+    }
+    match mix.below(4) {
+        0 => format!(
+            "({} AND {})",
+            gen_predicate(mix, depth - 1),
+            gen_predicate(mix, depth - 1)
+        ),
+        1 => format!(
+            "({} OR {})",
+            gen_predicate(mix, depth - 1),
+            gen_predicate(mix, depth - 1)
+        ),
+        2 => format!("(NOT {})", gen_predicate(mix, depth - 1)),
+        _ => format!(
+            "({} OR ({} AND {}))",
+            gen_predicate(mix, depth - 1),
+            gen_predicate(mix, depth - 1),
+            gen_predicate(mix, depth - 1)
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        .. ProptestConfig::default()
+    })]
+
+    /// NULL-heavy boolean predicates: projected (so TRUE/FALSE/NULL all
+    /// become visible output) and used as WHERE filters.
+    #[test]
+    fn three_valued_predicates_agree(seed in 0u64..1_000_000) {
+        let db = edge_db();
+        let mut mix = Mix(seed);
+        for _ in 0..6 {
+            let pred = gen_predicate(&mut mix, 3);
+            assert_engines_agree(
+                &db,
+                &format!("SELECT ID, ({pred}) FROM EDGE_A ORDER BY ID"),
+                "3vl-projection",
+            );
+            assert_engines_agree(
+                &db,
+                &format!("SELECT ID FROM EDGE_A WHERE {pred} ORDER BY ID"),
+                "3vl-filter",
+            );
+        }
+    }
+
+    /// Large-magnitude integer keys and separator-bearing text through
+    /// grouping, DISTINCT, joins and set operations.
+    #[test]
+    fn exact_keys_and_separator_text_agree(seed in 0u64..1_000_000) {
+        let db = edge_db();
+        let mut mix = Mix(seed ^ 0x5eed);
+        let queries = [
+            "SELECT GRP, TXT, COUNT(*) FROM EDGE_A GROUP BY GRP, TXT ORDER BY GRP, TXT".to_string(),
+            "SELECT BIG, COUNT(*) FROM EDGE_A GROUP BY BIG ORDER BY BIG".to_string(),
+            "SELECT DISTINCT TXT, GRP FROM EDGE_A ORDER BY TXT, GRP".to_string(),
+            "SELECT DISTINCT BIG FROM EDGE_A ORDER BY BIG".to_string(),
+            "SELECT a.ID, b.ID FROM EDGE_A a JOIN EDGE_B b ON a.TXT = b.TXT ORDER BY a.ID, b.ID".to_string(),
+            "SELECT a.ID, b.ID FROM EDGE_A a JOIN EDGE_B b ON a.BIG = b.BIG ORDER BY a.ID, b.ID".to_string(),
+            // Cross-type Int↔Float join keys across the 2^53 and 2^63
+            // boundaries: the interpreter's comparison equality and the
+            // hash join's key equality must coincide.
+            "SELECT a.ID, b.ID FROM EDGE_A a JOIN EDGE_B b ON a.BIG = b.FRAC ORDER BY a.ID, b.ID".to_string(),
+            "SELECT a.ID, b.ID FROM EDGE_A a LEFT JOIN EDGE_B b ON a.TXT = b.TXT AND a.GRP = b.GRP ORDER BY a.ID, b.ID".to_string(),
+            "SELECT TXT FROM EDGE_A UNION SELECT TXT FROM EDGE_B ORDER BY TXT".to_string(),
+            "SELECT TXT, GRP FROM EDGE_A INTERSECT SELECT TXT, GRP FROM EDGE_B".to_string(),
+            "SELECT BIG FROM EDGE_A EXCEPT SELECT BIG FROM EDGE_B".to_string(),
+            "SELECT MIN(BIG), MAX(BIG), COUNT(DISTINCT BIG) FROM EDGE_A".to_string(),
+            format!(
+                "SELECT ID FROM EDGE_A WHERE BIG IN (SELECT BIG FROM EDGE_B WHERE {}) ORDER BY ID",
+                gen_predicate(&mut mix, 2)
+            ),
+            // Arithmetic on extreme integers: overflow must be an error in
+            // both engines, never a silently rounded f64 answer.
+            "SELECT ID, BIG + 1 FROM EDGE_A ORDER BY ID".to_string(),
+            "SELECT ID, -BIG FROM EDGE_A ORDER BY ID".to_string(),
+            "SELECT ID, BIG * 2 FROM EDGE_A ORDER BY ID".to_string(),
+            "SELECT SUM(BIG) FROM EDGE_A WHERE BIG > 0".to_string(),
+        ];
+        for sql in &queries {
+            assert_engines_agree(&db, sql, "exact-keys");
+        }
     }
 }
