@@ -55,15 +55,20 @@ impl SubPlan {
 
     fn execute(&self, env: &EvalEnv<'_>) -> StorageResult<Arc<QueryResult>> {
         if self.cacheable {
-            // Hold the lock across the computation so concurrent morsel
-            // workers wait for one fill instead of stampeding into N
-            // redundant executions of the same uncorrelated subquery.
-            // Lock nesting follows the strict subplan tree, so no cycles.
+            // Double-checked fill: the lock is only ever held for the two
+            // cache peeks, never across exec_query_plan, so a shared or
+            // recursive SubPlan can't self-deadlock and probe workers never
+            // block on a fill. Workers racing past an empty cache duplicate
+            // the (deterministic) execution; the first fill wins and the
+            // losers return their identical result.
+            if let Some(cached) = &*self.cache.lock().expect("subquery cache lock") {
+                return Ok(Arc::clone(cached));
+            }
+            let result = Arc::new(self.run(env)?);
             let mut cache = self.cache.lock().expect("subquery cache lock");
             if let Some(cached) = &*cache {
                 return Ok(Arc::clone(cached));
             }
-            let result = Arc::new(self.run(env)?);
             *cache = Some(Arc::clone(&result));
             return Ok(result);
         }

@@ -31,7 +31,7 @@ use bp_sql::JoinOperator;
 
 use crate::error::StorageResult;
 use crate::plan::ColumnBinding;
-use crate::scalar::join_key_part;
+use crate::scalar::{join_key_part, push_len_prefixed};
 use crate::table::Row;
 use crate::value::Value;
 
@@ -40,15 +40,14 @@ use super::parallel::{run_morsels, run_tasks};
 use super::RunCtx;
 
 /// Composite hash key over the given ordinals; `None` if any part is NULL.
-/// Parts are length-prefixed so text containing any separator byte cannot
-/// collide with a neighboring part.
+/// Parts use the same length-prefixed encoding as
+/// [`crate::scalar::composite_key`], so join equality coincides with
+/// grouping equality and separator-bearing text cannot collide.
 fn join_key(row: &Row, ordinals: &[usize]) -> Option<String> {
-    use std::fmt::Write;
     let mut key = String::new();
     for &o in ordinals {
         let part = join_key_part(row.get(o).unwrap_or(&Value::Null))?;
-        let _ = write!(key, "{}:", part.len());
-        key.push_str(&part);
+        push_len_prefixed(&mut key, &part);
     }
     Some(key)
 }
@@ -76,60 +75,30 @@ fn pad_right(lrow: &Row, width: usize) -> Row {
 /// Rows below which partitioning the build side is pure overhead.
 const MIN_PARTITIONED_BUILD: usize = 512;
 
-/// Hash join on pre-resolved key ordinals, with an optional residual
-/// predicate evaluated on each key-matched pair.
+/// Probe/merge scaffold shared by [`hash_join`] and [`nested_loop_join`] —
+/// the two algorithms differ only in which right-row indices pair with a
+/// given left row, so everything else (the parallel left-morsel fan-out,
+/// residual predicate evaluation, LEFT/FULL padding of unmatched left
+/// rows, the transient per-morsel dedup bitmap for RIGHT/FULL tracking,
+/// morsel-order reassembly, and the unmatched-right append) lives here
+/// once and cannot drift between them.
+///
+/// `for_each_candidate(lrow, emit)` must call `emit(ri)` for every
+/// candidate right-row index in right-row order.
 #[allow(clippy::too_many_arguments)]
-pub(super) fn hash_join(
-    left_rows: Vec<Row>,
-    right_rows: Vec<Row>,
+fn probe_join<F>(
+    left_rows: &[Row],
+    right_rows: &[Row],
     operator: JoinOperator,
-    left_keys: &[usize],
-    right_keys: &[usize],
-    residual: Option<&PhysExpr>,
+    predicate: Option<&PhysExpr>,
     bindings: &[ColumnBinding],
     right_width: usize,
     ctx: &RunCtx<'_>,
-) -> StorageResult<Vec<Row>> {
-    // Build side (right): key + partition hash per row, computed in
-    // parallel morsels.
-    let keyed_chunks = run_morsels(ctx.threads, right_rows.len(), |range| {
-        Ok::<_, crate::error::StorageError>(
-            right_rows[range]
-                .iter()
-                .map(|rrow| join_key(rrow, right_keys).map(|k| (key_hash(&k), k)))
-                .collect::<Vec<_>>(),
-        )
-    })?;
-    let right_keyed: Vec<Option<(u64, String)>> = keyed_chunks.into_iter().flatten().collect();
-
-    // Partitioned build: partition = hash mod P, one map per partition,
-    // built concurrently. A single O(N) pass buckets row indices per
-    // partition (the hash is already computed), then each partition task
-    // builds its map from its own bucket only; buckets hold indices in
-    // right-row order, so candidate lists match the single-table build
-    // exactly.
-    let partitions = if ctx.threads > 1 && right_rows.len() >= MIN_PARTITIONED_BUILD {
-        ctx.threads
-    } else {
-        1
-    };
-    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); partitions];
-    for (ri, keyed) in right_keyed.iter().enumerate() {
-        if let Some((hash, _)) = keyed {
-            buckets[(*hash as usize) % partitions].push(ri);
-        }
-    }
-    let tables: Vec<HashMap<&str, Vec<usize>>> = run_tasks(ctx.threads, partitions, |w| {
-        let mut table: HashMap<&str, Vec<usize>> = HashMap::with_capacity(buckets[w].len());
-        for &ri in &buckets[w] {
-            let (_, key) = right_keyed[ri].as_ref().expect("bucketed rows have keys");
-            table.entry(key.as_str()).or_default().push(ri);
-        }
-        Ok::<_, crate::error::StorageError>(table)
-    })?;
-
-    // Probe side (left): morsels run on the pool; each output chunk is in
-    // left-row order and chunks concatenate in morsel order.
+    for_each_candidate: F,
+) -> StorageResult<Vec<Row>>
+where
+    F: Fn(&Row, &mut dyn FnMut(usize) -> StorageResult<()>) -> StorageResult<()> + Sync,
+{
     let track_right = matches!(operator, JoinOperator::RightOuter | JoinOperator::FullOuter);
     let probe_chunks = run_morsels(ctx.threads, left_rows.len(), |range| {
         let wctx = ctx.serial();
@@ -141,35 +110,31 @@ pub(super) fn hash_join(
         let mut seen = vec![false; if track_right { right_rows.len() } else { 0 }];
         for lrow in &left_rows[range] {
             let mut matched = false;
-            if let Some(key) = join_key(lrow, left_keys) {
-                let partition = (key_hash(&key) as usize) % partitions;
-                if let Some(candidates) = tables[partition].get(key.as_str()) {
-                    for &ri in candidates {
-                        let mut combined = lrow.clone();
-                        combined.extend(right_rows[ri].iter().cloned());
-                        let keep = match residual {
-                            None => true,
-                            Some(predicate) => {
-                                let env = EvalEnv {
-                                    ctx: &wctx,
-                                    bindings,
-                                    row: &combined,
-                                    group: None,
-                                };
-                                predicate.eval_truthy(&env)?
-                            }
+            for_each_candidate(lrow, &mut |ri| {
+                let mut combined = lrow.clone();
+                combined.extend(right_rows[ri].iter().cloned());
+                let keep = match predicate {
+                    None => true,
+                    Some(predicate) => {
+                        let env = EvalEnv {
+                            ctx: &wctx,
+                            bindings,
+                            row: &combined,
+                            group: None,
                         };
-                        if keep {
-                            matched = true;
-                            if track_right && !seen[ri] {
-                                seen[ri] = true;
-                                matched_right.push(ri);
-                            }
-                            out.push(combined);
-                        }
+                        predicate.eval_truthy(&env)?
                     }
+                };
+                if keep {
+                    matched = true;
+                    if track_right && !seen[ri] {
+                        seen[ri] = true;
+                        matched_right.push(ri);
+                    }
+                    out.push(combined);
                 }
-            }
+                Ok(())
+            })?;
             if !matched && matches!(operator, JoinOperator::LeftOuter | JoinOperator::FullOuter) {
                 out.push(pad_right(lrow, right_width));
             }
@@ -196,6 +161,91 @@ pub(super) fn hash_join(
     Ok(rows)
 }
 
+/// Hash join on pre-resolved key ordinals, with an optional residual
+/// predicate evaluated on each key-matched pair.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn hash_join(
+    left_rows: Vec<Row>,
+    right_rows: Vec<Row>,
+    operator: JoinOperator,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    residual: Option<&PhysExpr>,
+    bindings: &[ColumnBinding],
+    right_width: usize,
+    ctx: &RunCtx<'_>,
+) -> StorageResult<Vec<Row>> {
+    let partitions = if ctx.threads > 1 && right_rows.len() >= MIN_PARTITIONED_BUILD {
+        ctx.threads
+    } else {
+        1
+    };
+
+    // Build side (right): key — and, when partitioned, partition hash —
+    // per row, computed in parallel morsels. With a single partition every
+    // row lands in map 0, so the hash is dead work and skipped.
+    let keyed_chunks = run_morsels(ctx.threads, right_rows.len(), |range| {
+        Ok::<_, crate::error::StorageError>(
+            right_rows[range]
+                .iter()
+                .map(|rrow| {
+                    join_key(rrow, right_keys)
+                        .map(|k| (if partitions > 1 { key_hash(&k) } else { 0 }, k))
+                })
+                .collect::<Vec<_>>(),
+        )
+    })?;
+    let right_keyed: Vec<Option<(u64, String)>> = keyed_chunks.into_iter().flatten().collect();
+
+    // Partitioned build: partition = hash mod P, one map per partition,
+    // built concurrently. A single O(N) pass buckets row indices per
+    // partition (the hash is already computed), then each partition task
+    // builds its map from its own bucket only; buckets hold indices in
+    // right-row order, so candidate lists match the single-table build
+    // exactly.
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); partitions];
+    for (ri, keyed) in right_keyed.iter().enumerate() {
+        if let Some((hash, _)) = keyed {
+            buckets[(*hash as usize) % partitions].push(ri);
+        }
+    }
+    let tables: Vec<HashMap<&str, Vec<usize>>> = run_tasks(ctx.threads, partitions, |w| {
+        let mut table: HashMap<&str, Vec<usize>> = HashMap::with_capacity(buckets[w].len());
+        for &ri in &buckets[w] {
+            let (_, key) = right_keyed[ri].as_ref().expect("bucketed rows have keys");
+            table.entry(key.as_str()).or_default().push(ri);
+        }
+        Ok::<_, crate::error::StorageError>(table)
+    })?;
+
+    // Probe side (left): each left row pairs with its key partition's
+    // candidate list, in build order.
+    probe_join(
+        &left_rows,
+        &right_rows,
+        operator,
+        residual,
+        bindings,
+        right_width,
+        ctx,
+        |lrow, emit| {
+            if let Some(key) = join_key(lrow, left_keys) {
+                let partition = if partitions > 1 {
+                    (key_hash(&key) as usize) % partitions
+                } else {
+                    0
+                };
+                if let Some(candidates) = tables[partition].get(key.as_str()) {
+                    for &ri in candidates {
+                        emit(ri)?;
+                    }
+                }
+            }
+            Ok(())
+        },
+    )
+}
+
 /// Nested-loop join for non-equi constraints (and cross joins, where
 /// `on` is `None` and every pair matches). The quadratic pair loop fans
 /// out over left-row morsels; per-morsel outputs and right-matched sets
@@ -210,60 +260,19 @@ pub(super) fn nested_loop_join(
     right_width: usize,
     ctx: &RunCtx<'_>,
 ) -> StorageResult<Vec<Row>> {
-    let track_right = matches!(operator, JoinOperator::RightOuter | JoinOperator::FullOuter);
-    let chunks = run_morsels(ctx.threads, left_rows.len(), |range| {
-        let wctx = ctx.serial();
-        let mut out: Vec<Row> = Vec::new();
-        let mut matched_right: Vec<usize> = Vec::new();
-        let mut seen = vec![false; if track_right { right_rows.len() } else { 0 }];
-        for lrow in &left_rows[range] {
-            let mut matched = false;
-            for (ri, rrow) in right_rows.iter().enumerate() {
-                let mut combined = lrow.clone();
-                combined.extend(rrow.iter().cloned());
-                let keep = match on {
-                    None => true,
-                    Some(predicate) => {
-                        let env = EvalEnv {
-                            ctx: &wctx,
-                            bindings,
-                            row: &combined,
-                            group: None,
-                        };
-                        predicate.eval_truthy(&env)?
-                    }
-                };
-                if keep {
-                    matched = true;
-                    if track_right && !seen[ri] {
-                        seen[ri] = true;
-                        matched_right.push(ri);
-                    }
-                    out.push(combined);
-                }
+    probe_join(
+        &left_rows,
+        &right_rows,
+        operator,
+        on,
+        bindings,
+        right_width,
+        ctx,
+        |_lrow, emit| {
+            for ri in 0..right_rows.len() {
+                emit(ri)?;
             }
-            if !matched && matches!(operator, JoinOperator::LeftOuter | JoinOperator::FullOuter) {
-                out.push(pad_right(lrow, right_width));
-            }
-        }
-        Ok::<_, crate::error::StorageError>((out, matched_right))
-    })?;
-
-    let mut rows = Vec::new();
-    let mut right_matched = vec![false; if track_right { right_rows.len() } else { 0 }];
-    for (chunk, matched) in chunks {
-        rows.extend(chunk);
-        for ri in matched {
-            right_matched[ri] = true;
-        }
-    }
-    if track_right {
-        let left_width = bindings.len() - right_width;
-        for (ri, rrow) in right_rows.iter().enumerate() {
-            if !right_matched[ri] {
-                rows.push(pad_left(left_width, rrow));
-            }
-        }
-    }
-    Ok(rows)
+            Ok(())
+        },
+    )
 }

@@ -72,8 +72,18 @@ where
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
+                // The failure check happens *before* claiming an index, and
+                // a claimed index is always executed and its slot filled.
+                // If the check came after the claim, a worker could claim
+                // index i, observe `failed` set by a faster later-indexed
+                // task, and abandon slots[i] — leaving a hole *before* the
+                // earliest error and breaking the collection invariant
+                // below.
+                if failed.load(Ordering::Relaxed) {
+                    break;
+                }
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= count || failed.load(Ordering::Relaxed) {
+                if i >= count {
                     break;
                 }
                 let result = work(i);
@@ -84,8 +94,9 @@ where
             });
         }
     });
-    // Tasks are claimed in index order, so every slot before the first
-    // error has been filled; later slots may be abandoned (None).
+    // Indices are claimed monotonically and every claimed slot is filled,
+    // so abandoned (None) slots are exactly the never-claimed suffix — all
+    // after the earliest error, whose own slot is filled.
     let mut out = Vec::with_capacity(count);
     for slot in slots {
         match slot.into_inner().expect("morsel slot lock") {
@@ -159,6 +170,29 @@ mod tests {
             })
             .expect_err("tasks fail from index 10");
             assert_eq!(err, 10, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn error_path_never_abandons_a_slot_before_the_error() {
+        // Regression: a worker that claimed index i must fill slots[i] even
+        // when a faster later-indexed task has already set `failed` —
+        // otherwise collection panics on a None slot before the first Err.
+        // Slow even tasks + a fast early error maximize that window.
+        for round in 0usize..200 {
+            let fail_from = round % 8 + 1;
+            let err = run_tasks::<usize, usize, _>(8, 64, |i| {
+                if i % 2 == 0 && i > 0 {
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                }
+                if i >= fail_from {
+                    Err(i)
+                } else {
+                    Ok(i)
+                }
+            })
+            .expect_err("tasks fail early");
+            assert_eq!(err, fail_from, "round={round}");
         }
     }
 

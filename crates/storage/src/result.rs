@@ -51,12 +51,12 @@ impl QueryResult {
         }
     }
 
-    /// Canonical string key of one row (used for bag comparison).
+    /// Canonical string key of one row (used for bag comparison). Shares
+    /// [`crate::scalar::composite_key`]'s length-prefixed encoding, so two
+    /// distinct rows cannot collide even when text cells contain separator
+    /// bytes.
     fn row_key(row: &Row) -> String {
-        row.iter()
-            .map(|v| v.group_key())
-            .collect::<Vec<_>>()
-            .join("\u{1}")
+        crate::scalar::composite_key(row)
     }
 
     /// Multiset of row keys.
@@ -189,6 +189,26 @@ mod tests {
             ordered: false,
         };
         assert!(results_match(&gold, &pred));
+    }
+
+    #[test]
+    fn separator_bearing_text_rows_do_not_collide() {
+        // Under the old "\u{1}"-joined row key these two distinct rows
+        // produced the same key, grading a wrong prediction as correct.
+        let text_row = |cells: &[&str]| -> Row {
+            cells.iter().map(|c| Value::Text((*c).into())).collect()
+        };
+        let gold = QueryResult {
+            columns: vec!["a".into(), "b".into()],
+            rows: vec![text_row(&["a\u{1}t:b", "c"])],
+            ordered: false,
+        };
+        let pred = QueryResult {
+            columns: vec!["a".into(), "b".into()],
+            rows: vec![text_row(&["a", "b\u{1}t:c"])],
+            ordered: false,
+        };
+        assert!(!results_match(&gold, &pred));
     }
 
     #[test]

@@ -332,16 +332,23 @@ pub(crate) fn missing_arg_error(name: &str, index: usize) -> StorageError {
 // Row keys
 // ---------------------------------------------------------------------
 
+/// Append one part to a composite key as `"<len>:<part>"`. This is the
+/// single encoding shared by [`composite_key`] (grouping / DISTINCT / set
+/// ops) and the hash-join key: the two must stay byte-identical so
+/// equi-join equality coincides with grouping equality across engines.
+pub(crate) fn push_len_prefixed(key: &mut String, part: &str) {
+    use std::fmt::Write;
+    let _ = write!(key, "{}:", part.len());
+    key.push_str(part);
+}
+
 /// Canonical composite key of a row slice (grouping / DISTINCT / set ops).
 /// Each part is length-prefixed, so the key is collision-free even when
 /// text values contain any would-be separator byte.
 pub(crate) fn composite_key(values: &[Value]) -> String {
-    use std::fmt::Write;
     let mut key = String::new();
     for v in values {
-        let part = v.group_key();
-        let _ = write!(key, "{}:", part.len());
-        key.push_str(&part);
+        push_len_prefixed(&mut key, &v.group_key());
     }
     key
 }

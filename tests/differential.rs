@@ -164,8 +164,15 @@ const EDGE_TEXT: [&str; 8] = [
 ];
 
 /// A two-table database stocked with NULL-heavy booleans, ±2^53-boundary
-/// integers, i64 extremes, and separator-bearing text.
+/// integers, i64 extremes, and separator-bearing text. The proptest suites
+/// use the small size (fast inline execution, many seeds); the scaled test
+/// below uses a size past the morsel threshold so the same corner data
+/// also flows through the multi-morsel parallel operators.
 fn edge_db() -> Database {
+    edge_db_sized(48)
+}
+
+fn edge_db_sized(rows_per_table: i64) -> Database {
     let mut db = Database::new("edge");
     for table in ["EDGE_A", "EDGE_B"] {
         db.create_table(TableSchema::new(
@@ -183,7 +190,7 @@ fn edge_db() -> Database {
     }
     for (t, table) in ["EDGE_A", "EDGE_B"].iter().enumerate() {
         let mut mix = Mix(0xed6e ^ ((t as u64) << 32));
-        let rows: Vec<Vec<Value>> = (0..48i64)
+        let rows: Vec<Vec<Value>> = (0..rows_per_table)
             .map(|i| {
                 let big = if mix.below(4) == 0 {
                     Value::Null
@@ -322,5 +329,73 @@ proptest! {
         for sql in &queries {
             assert_engines_agree(&db, sql, "exact-keys");
         }
+    }
+}
+
+/// The corner-case data at a size past the morsel threshold (512 rows), so
+/// three-valued predicates, exact integer keys, and separator-bearing text
+/// flow through the *multi-morsel* parallel Filter/Project/Join/Aggregate
+/// paths — the 48-row proptest corpus above runs inline and never splits.
+#[test]
+fn corner_corpus_agrees_through_multi_morsel_operators() {
+    let db = edge_db_sized(640);
+    let mut mix = Mix(0x600d);
+    let queries = [
+        format!(
+            "SELECT ID, ({p}) FROM EDGE_A ORDER BY ID",
+            p = gen_predicate(&mut mix, 3)
+        ),
+        format!(
+            "SELECT ID FROM EDGE_A WHERE {} ORDER BY ID",
+            gen_predicate(&mut mix, 3)
+        ),
+        "SELECT GRP, TXT, COUNT(*) FROM EDGE_A GROUP BY GRP, TXT ORDER BY GRP, TXT".to_string(),
+        "SELECT DISTINCT BIG FROM EDGE_A ORDER BY BIG".to_string(),
+        "SELECT a.ID, b.ID FROM EDGE_A a JOIN EDGE_B b ON a.TXT = b.TXT AND a.GRP = b.GRP ORDER BY a.ID, b.ID".to_string(),
+        "SELECT a.ID, b.ID FROM EDGE_A a JOIN EDGE_B b ON a.BIG = b.BIG ORDER BY a.ID, b.ID".to_string(),
+        "SELECT TXT, GRP FROM EDGE_A EXCEPT SELECT TXT, GRP FROM EDGE_B".to_string(),
+        "SELECT ID, BIG + 1 FROM EDGE_A ORDER BY ID".to_string(),
+        "SELECT SUM(BIG) FROM EDGE_A WHERE BIG > 0".to_string(),
+    ];
+    for sql in &queries {
+        assert_engines_agree(&db, sql, "scaled-edge");
+    }
+}
+
+/// Regression: a query error raised inside one morsel of a multi-morsel
+/// parallel run must surface as the same clean `Err` serial execution
+/// reports — never a panic. The scheduler once checked the shared failure
+/// flag *after* claiming a morsel slot, so a worker could abandon a slot
+/// that precedes the earliest error and crash result collection; repeated
+/// rounds give thread timing a chance to hit any such window.
+#[test]
+fn parallel_query_errors_match_serial_cleanly() {
+    let mut db = Database::new("overflow");
+    db.create_table(TableSchema::new(
+        "WIDE",
+        vec![
+            Column::new("ID", DataType::Integer).primary_key(),
+            Column::new("BIG", DataType::Integer),
+        ],
+    ))
+    .expect("schema");
+    // 4096 rows split into many morsels; the first overflow site sits
+    // mid-table so the failing morsel has predecessors still in flight.
+    let rows: Vec<Vec<Value>> = (0..4096i64)
+        .map(|i| {
+            let big = if i >= 1500 && i % 700 == 0 { i64::MAX } else { i };
+            vec![Value::Int(i), Value::Int(big)]
+        })
+        .collect();
+    db.insert_into("WIDE", rows).expect("rows");
+    let sql = "SELECT ID, BIG + 1 FROM WIDE";
+    let serial = db
+        .execute_sql_opts(sql, ExecOptions::serial())
+        .expect_err("serial planned must report the overflow");
+    for round in 0..25 {
+        let parallel = db
+            .execute_sql_opts(sql, ExecOptions::new(ExecStrategy::Planned).with_threads(8))
+            .expect_err("parallel planned must report the overflow, not panic");
+        assert_eq!(parallel, serial, "round {round}: error must be deterministic");
     }
 }
