@@ -4,6 +4,9 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+echo "==> cargo fmt --check"
+cargo fmt --check
+
 echo "==> cargo build --release"
 cargo build --release
 
@@ -13,13 +16,14 @@ cargo test -q --workspace
 echo "==> cargo bench --no-run --workspace"
 cargo bench --no-run --workspace
 
-echo "==> exec bench (planned vs legacy engine + parallel vs serial planned; emits BENCH_exec.json)"
+echo "==> exec bench (planned vs legacy, parallel vs serial, columnar vs row; emits BENCH_exec.json)"
 # Gates: hash join >= 5x over the nested loop, and — on machines with >= 4
 # cores — parallel planned >= 1.5x over serial planned on the Large-scale
-# equi-join workload (best of up to 3 measurement rounds, so a transient
-# load spike on a shared runner can't fail the build). Below 4 cores the
-# parallel comparison still runs and is recorded in BENCH_exec.json, but
-# the 1.5x gate is skipped.
+# equi-join workload, plus columnar >= 2x over row planned on the
+# Large-scale scan/filter/join workload (each best of up to 3 measurement
+# rounds, so a transient load spike on a shared runner can't fail the
+# build). Below 4 cores both comparisons still run and are recorded in
+# BENCH_exec.json with meets_target=null, but the gates are skipped.
 cargo run --release -p bp-bench --bin exec_bench
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"

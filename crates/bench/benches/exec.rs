@@ -34,10 +34,20 @@ fn bench_two_table_join(c: &mut Criterion) {
     let sql = equi_join_sql(&corpus.database);
     let query = bp_sql::parse_query(&sql).unwrap();
     c.bench_function("exec/two-table equi-join (planned, hash join)", |b| {
-        b.iter(|| corpus.database.execute_with(&query, ExecStrategy::Planned).unwrap())
+        b.iter(|| {
+            corpus
+                .database
+                .execute_with(&query, ExecStrategy::Planned)
+                .unwrap()
+        })
     });
     c.bench_function("exec/two-table equi-join (legacy, nested loop)", |b| {
-        b.iter(|| corpus.database.execute_with(&query, ExecStrategy::Legacy).unwrap())
+        b.iter(|| {
+            corpus
+                .database
+                .execute_with(&query, ExecStrategy::Legacy)
+                .unwrap()
+        })
     });
 }
 
@@ -108,6 +118,25 @@ fn bench_parallel_large(c: &mut Criterion) {
     });
 }
 
+/// Columnar vs row-planned execution over the Large-scale corpus — the
+/// representation comparison the `columnar_workload` gate records in
+/// `BENCH_exec.json`, kept under `cargo bench` too.
+fn bench_columnar_large(c: &mut Criterion) {
+    let corpus =
+        GeneratedBenchmark::generate_scaled(BenchmarkKind::Spider, 4, 7, CorpusScale::Large);
+    let sql = equi_join_sql(&corpus.database);
+    let query = bp_sql::parse_query(&sql).unwrap();
+    let threads = available_threads();
+    let columnar = ExecOptions::new(ExecStrategy::Planned).with_threads(threads);
+    let row = ExecOptions::new(ExecStrategy::RowPlanned).with_threads(threads);
+    c.bench_function("exec/Large equi-join (columnar)", |b| {
+        b.iter(|| corpus.database.execute_opts(&query, columnar).unwrap())
+    });
+    c.bench_function("exec/Large equi-join (row planned)", |b| {
+        b.iter(|| corpus.database.execute_opts(&query, row).unwrap())
+    });
+}
+
 fn configure() -> Criterion {
     Criterion::default()
         .sample_size(20)
@@ -118,6 +147,6 @@ fn configure() -> Criterion {
 criterion_group! {
     name = benches;
     config = configure();
-    targets = bench_two_table_join, bench_workload, bench_planning_overhead, bench_parallel_large
+    targets = bench_two_table_join, bench_workload, bench_planning_overhead, bench_parallel_large, bench_columnar_large
 }
 criterion_main!(benches);

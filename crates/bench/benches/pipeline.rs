@@ -35,7 +35,11 @@ fn bench_retrieval(c: &mut Criterion) {
     let mut store = VectorStore::new();
     let corpus = GeneratedBenchmark::generate(BenchmarkKind::Beaver, 60, 7);
     for entry in &corpus.log {
-        store.add(entry.sql.clone(), Some(entry.question.clone()), DocumentKind::Annotation);
+        store.add(
+            entry.sql.clone(),
+            Some(entry.question.clone()),
+            DocumentKind::Annotation,
+        );
     }
     c.bench_function("embed/top-3 retrieval over 60 annotations", |b| {
         b.iter(|| store.search(ENTERPRISE_SQL, 3, Some(DocumentKind::Annotation)))
@@ -48,8 +52,14 @@ fn bench_retrieval(c: &mut Criterion) {
 fn bench_candidate_generation(c: &mut Criterion) {
     let query = bp_sql::parse_query(ENTERPRISE_SQL).unwrap();
     let prompt = PromptBuilder::new(ENTERPRISE_SQL)
-        .schema_table("CREATE TABLE MOIRA_LIST (MOIRA_LIST_KEY INT, MOIRA_LIST_COUNT INT, PERSON_ID INT)")
-        .example("SELECT COUNT(*) FROM MOIRA_LIST", "How many Moira lists exist?", 0.9)
+        .schema_table(
+            "CREATE TABLE MOIRA_LIST (MOIRA_LIST_KEY INT, MOIRA_LIST_COUNT INT, PERSON_ID INT)",
+        )
+        .example(
+            "SELECT COUNT(*) FROM MOIRA_LIST",
+            "How many Moira lists exist?",
+            0.9,
+        )
         .build();
     let profile = ModelKind::Gpt4o.profile();
     c.bench_function("llm/generate 4 candidates", |b| {
@@ -88,7 +98,8 @@ fn bench_annotation_loop(c: &mut Criterion) {
 
 fn bench_backtranslation(c: &mut Criterion) {
     let corpus = GeneratedBenchmark::generate(BenchmarkKind::Bird, 5, 17);
-    let translator = bp_llm::Backtranslator::new(corpus.database.catalog(), ModelKind::Gpt4o.profile());
+    let translator =
+        bp_llm::Backtranslator::new(corpus.database.catalog(), ModelKind::Gpt4o.profile());
     let entry = &corpus.log[0];
     c.bench_function("llm/backtranslate + rubric grade", |b| {
         b.iter(|| {

@@ -1,8 +1,9 @@
 //! `exec_bench` — wall-clock comparison of the planned query engine vs the
-//! legacy tree-walking interpreter, and of parallel vs serial planned
-//! execution, recorded as `BENCH_exec.json`.
+//! legacy tree-walking interpreter, of parallel vs serial planned
+//! execution, and of columnar vs row-planned execution, recorded as
+//! `BENCH_exec.json`.
 //!
-//! Two headline measurements:
+//! Three headline measurements:
 //!
 //! 1. **Planned vs legacy**: a two-table foreign-key equi-join over a
 //!    corpus generated at the `CorpusScale::Large` setting (32× rows),
@@ -17,11 +18,19 @@
 //!    up to 3 rounds, absorbing transient load on shared runners) and
 //!    only a miss on every round fails the binary. Below 4 cores the
 //!    comparison still runs and is recorded, but the gate is skipped
-//!    (there is no parallelism to win).
+//!    (there is no parallelism to win) and `meets_target` is recorded as
+//!    `null` — an unenforced gate is "not measured", never a regression.
+//! 3. **Columnar vs row-planned** (`columnar_workload`): the Large-scale
+//!    scan/filter/join workload (narrow + wide foreign-key equi-joins plus
+//!    integer filter scans) run by the columnar batch engine and by the
+//!    row-at-a-time planned engine, both at full parallelism. On ≥4 cores
+//!    the acceptance target is a ≥2× speedup (best-of-3 rounds, like the
+//!    parallel gate); below 4 cores the comparison is recorded with the
+//!    gate skipped. The Medium-scale Spider mixed workload is recorded as
+//!    an ungated secondary signal.
 //!
-//! A full generated workload at `CorpusScale::Medium` is measured as a
-//! secondary, mixed-shape signal. Results from every engine/thread-count
-//! combination are asserted identical before timings are trusted.
+//! Results from every engine/thread-count combination are asserted
+//! identical before timings are trusted.
 //!
 //! Run with: `cargo run --release -p bp-bench --bin exec_bench`
 //! (CI runs this and archives `BENCH_exec.json`; see `ci.sh`.)
@@ -68,7 +77,37 @@ struct ParallelMeasurement {
     /// Measurement rounds taken (best-of-N retry when the gate applies and
     /// a round misses the target; 1 when the first round passes).
     measure_rounds: usize,
-    meets_target: bool,
+    /// Gate outcome; `null` whenever `gate_applied` is false (the skip is
+    /// "not measured", not a miss, so BENCH trajectories on small runners
+    /// never read as regressions).
+    meets_target: Option<bool>,
+}
+
+/// One engine-vs-engine timing over a query set.
+#[derive(Serialize)]
+struct EngineComparison {
+    queries: usize,
+    row_ms: f64,
+    columnar_ms: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct ColumnarMeasurement {
+    scale: String,
+    threads: usize,
+    cores: usize,
+    /// The gated comparison: Large-scale scan/filter/join workload.
+    large_scan_filter_join: EngineComparison,
+    /// Ungated secondary signal: Medium-scale Spider mixed workload.
+    spider_workload: EngineComparison,
+    speedup_target: f64,
+    /// Whether the ≥4-core gate was enforced on this machine.
+    gate_applied: bool,
+    /// Measurement rounds taken for the gated comparison (best-of-N).
+    measure_rounds: usize,
+    /// Gate outcome; `null` whenever `gate_applied` is false.
+    meets_target: Option<bool>,
 }
 
 #[derive(Serialize)]
@@ -79,6 +118,7 @@ struct ExecBenchReport {
     two_table_equi_join: JoinMeasurement,
     workload: WorkloadMeasurement,
     parallel_equi_join_workload: ParallelMeasurement,
+    columnar_workload: ColumnarMeasurement,
     speedup_target: f64,
     meets_target: bool,
 }
@@ -134,13 +174,48 @@ fn equi_join_workload(db: &Database) -> Vec<Query> {
             }
         }
     }
-    assert!(!queries.is_empty(), "generated corpus always has foreign keys");
+    assert!(
+        !queries.is_empty(),
+        "generated corpus always has foreign keys"
+    );
+    queries
+}
+
+/// The columnar gate's workload: for every foreign key a narrow equi-join,
+/// a wide (`c.*, p.*`) equi-join, and an integer filter scan — the
+/// scan/filter/join shapes where the columnar representation (cached
+/// decode, selection vectors, vectorized comparisons, column-slice join
+/// keys) does its work.
+fn scan_filter_join_workload(db: &Database) -> Vec<Query> {
+    let mut queries = Vec::new();
+    for table in db.tables() {
+        for column in &table.schema.columns {
+            if let Some((parent, pk)) = &column.references {
+                let child = &table.schema.name;
+                let fk = &column.name;
+                for sql in [
+                    format!(
+                        "SELECT c.{fk}, p.{pk} FROM {child} c JOIN {parent} p ON c.{fk} = p.{pk}"
+                    ),
+                    format!("SELECT c.*, p.* FROM {child} c JOIN {parent} p ON c.{fk} = p.{pk}"),
+                    format!("SELECT {fk} FROM {child} WHERE {fk} > 100 AND {fk} < 10000"),
+                ] {
+                    queries.push(bp_sql::parse_query(&sql).expect("generated SQL parses"));
+                }
+            }
+        }
+    }
+    assert!(
+        !queries.is_empty(),
+        "generated corpus always has foreign keys"
+    );
     queries
 }
 
 fn main() {
     const TARGET: f64 = 5.0;
     const PARALLEL_TARGET: f64 = 1.5;
+    const COLUMNAR_TARGET: f64 = 2.0;
     const PARALLEL_GATE_MIN_CORES: usize = 4;
     const PARALLEL_GATE_ROUNDS: usize = 3;
 
@@ -249,7 +324,10 @@ fn main() {
             );
         }
     }
-    let parallel_meets = parallel_speedup >= PARALLEL_TARGET;
+    // Only an *enforced* gate records an outcome: on <4-core machines the
+    // comparison is informational and `meets_target` stays null, so BENCH
+    // trajectories on small runners cannot read as regressions.
+    let parallel_meets = gate_applied.then_some(parallel_speedup >= PARALLEL_TARGET);
     println!(
         "Large equi-join workload ({} joins): serial {serial_ms:.1} ms, parallel({threads}) {parallel_ms:.1} ms -> {parallel_speedup:.2}x{}",
         workload_queries.len(),
@@ -260,10 +338,73 @@ fn main() {
         }
     );
 
+    // --- Headline 3: columnar vs row-planned -----------------------------
+    let sfj_queries = scan_filter_join_workload(&large.database);
+    let columnar_opts = ExecOptions::new(ExecStrategy::Planned).with_threads(threads);
+    let row_opts = ExecOptions::new(ExecStrategy::RowPlanned).with_threads(threads);
+    for query in &sfj_queries {
+        let columnar = large
+            .database
+            .execute_opts(query, columnar_opts)
+            .expect("columnar executes scan/filter/join query");
+        let row = large
+            .database
+            .execute_opts(query, row_opts)
+            .expect("row planned executes scan/filter/join query");
+        assert_eq!(
+            columnar, row,
+            "columnar output must be byte-identical to row"
+        );
+    }
+    let columnar_round = || {
+        let row = time_ms(5, || {
+            for query in &sfj_queries {
+                large.database.execute_opts(query, row_opts).unwrap();
+            }
+        });
+        let columnar = time_ms(5, || {
+            for query in &sfj_queries {
+                large.database.execute_opts(query, columnar_opts).unwrap();
+            }
+        });
+        (row, columnar)
+    };
+    let (mut sfj_row_ms, mut sfj_columnar_ms) = (f64::INFINITY, f64::INFINITY);
+    let mut columnar_speedup = 0.0;
+    let mut columnar_rounds = 0;
+    while columnar_rounds < PARALLEL_GATE_ROUNDS {
+        columnar_rounds += 1;
+        let (row, columnar) = columnar_round();
+        let speedup = row / columnar.max(1e-6);
+        if speedup > columnar_speedup {
+            sfj_row_ms = row;
+            sfj_columnar_ms = columnar;
+            columnar_speedup = speedup;
+        }
+        if !gate_applied || columnar_speedup >= COLUMNAR_TARGET {
+            break;
+        }
+        if columnar_rounds < PARALLEL_GATE_ROUNDS {
+            println!(
+                "columnar speedup {speedup:.2}x below {COLUMNAR_TARGET}x after round \
+                 {columnar_rounds}/{PARALLEL_GATE_ROUNDS}; re-measuring"
+            );
+        }
+    }
+    let columnar_meets = gate_applied.then_some(columnar_speedup >= COLUMNAR_TARGET);
+    println!(
+        "Large scan/filter/join workload ({} queries): row {sfj_row_ms:.1} ms, columnar {sfj_columnar_ms:.1} ms -> {columnar_speedup:.2}x{}",
+        sfj_queries.len(),
+        if gate_applied {
+            ""
+        } else {
+            " (gate skipped: <4 cores)"
+        }
+    );
+
     // --- Secondary: a full mixed workload at medium scale ----------------
     let workload_scale = CorpusScale::Medium;
-    let medium =
-        GeneratedBenchmark::generate_scaled(BenchmarkKind::Spider, 12, 19, workload_scale);
+    let medium = GeneratedBenchmark::generate_scaled(BenchmarkKind::Spider, 12, 19, workload_scale);
     let queries: Vec<Query> = medium
         .log
         .iter()
@@ -299,6 +440,24 @@ fn main() {
     let workload_speedup = workload_legacy_ms / workload_planned_ms.max(1e-6);
     println!(
         "Spider 12-query workload @ {}: legacy {workload_legacy_ms:.1} ms, planned {workload_planned_ms:.1} ms -> {workload_speedup:.1}x",
+        workload_scale.name()
+    );
+
+    // Columnar vs row on the same mixed workload (ungated secondary
+    // signal: aggregates/sorts/subqueries dilute the columnar win here).
+    let spider_row_ms = time_ms(3, || {
+        for query in &queries {
+            medium.database.execute_opts(query, row_opts).unwrap();
+        }
+    });
+    let spider_columnar_ms = time_ms(3, || {
+        for query in &queries {
+            medium.database.execute_opts(query, columnar_opts).unwrap();
+        }
+    });
+    let spider_columnar_speedup = spider_row_ms / spider_columnar_ms.max(1e-6);
+    println!(
+        "Spider mixed workload @ {}: row {spider_row_ms:.1} ms, columnar {spider_columnar_ms:.1} ms -> {spider_columnar_speedup:.2}x",
         workload_scale.name()
     );
 
@@ -340,6 +499,27 @@ fn main() {
             measure_rounds,
             meets_target: parallel_meets,
         },
+        columnar_workload: ColumnarMeasurement {
+            scale: join_scale.name().into(),
+            threads,
+            cores,
+            large_scan_filter_join: EngineComparison {
+                queries: sfj_queries.len(),
+                row_ms: sfj_row_ms,
+                columnar_ms: sfj_columnar_ms,
+                speedup: columnar_speedup,
+            },
+            spider_workload: EngineComparison {
+                queries: queries.len(),
+                row_ms: spider_row_ms,
+                columnar_ms: spider_columnar_ms,
+                speedup: spider_columnar_speedup,
+            },
+            speedup_target: COLUMNAR_TARGET,
+            gate_applied,
+            measure_rounds: columnar_rounds,
+            meets_target: columnar_meets,
+        },
         speedup_target: TARGET,
         meets_target,
     };
@@ -353,14 +533,18 @@ fn main() {
     if gate_applied {
         println!(
             "parallel gate: parallel planned {} the >= {PARALLEL_TARGET}x target over serial planned ({parallel_speedup:.2}x on {cores} cores)",
-            if parallel_meets { "MEETS" } else { "MISSES" }
+            if parallel_meets == Some(true) { "MEETS" } else { "MISSES" }
+        );
+        println!(
+            "columnar gate: columnar {} the >= {COLUMNAR_TARGET}x target over row planned ({columnar_speedup:.2}x on {cores} cores)",
+            if columnar_meets == Some(true) { "MEETS" } else { "MISSES" }
         );
     } else {
         println!(
-            "parallel gate: skipped ({cores} core(s) < {PARALLEL_GATE_MIN_CORES}); comparison recorded anyway"
+            "parallel + columnar gates: skipped ({cores} core(s) < {PARALLEL_GATE_MIN_CORES}); comparisons recorded anyway"
         );
     }
-    if !meets_target || (gate_applied && !parallel_meets) {
+    if !meets_target || parallel_meets == Some(false) || columnar_meets == Some(false) {
         std::process::exit(1);
     }
 }

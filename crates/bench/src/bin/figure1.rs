@@ -9,7 +9,9 @@
 //! while the enterprise corpus drops to (near) zero for general models, with
 //! only the enterprise-tuned "contextModel" recovering a little.
 
-use bp_bench::{f1, figure1_models, generate_all_benchmarks, print_header, HARNESS_SEED, QUERIES_PER_BENCHMARK};
+use bp_bench::{
+    f1, figure1_models, generate_all_benchmarks, print_header, HARNESS_SEED, QUERIES_PER_BENCHMARK,
+};
 use bp_llm::evaluate_execution_accuracy;
 
 fn main() {
@@ -24,10 +26,42 @@ fn main() {
         "Benchmark", "Model", "Paper(~%)", "Measured(%)"
     );
     let paper_reference: &[(&str, &[(&str, f64)])] = &[
-        ("Spider", &[("GPT-4o", 86.0), ("Llama3.1-70B-lt", 78.0), ("Llama3.1-8B-lt", 62.0), ("best model", 91.2)]),
-        ("Bird", &[("GPT-4o", 61.0), ("Llama3.1-70B-lt", 50.0), ("Llama3.1-8B-lt", 35.0), ("best model", 67.2)]),
-        ("Fiben", &[("GPT-4o", 45.0), ("Llama3.1-70B-lt", 35.0), ("Llama3.1-8B-lt", 20.0), ("best model", 54.0)]),
-        ("Beaver", &[("GPT-4o", 2.0), ("Llama3.1-70B-lt", 0.0), ("Llama3.1-8B-lt", 0.0), ("best model", 21.0)]),
+        (
+            "Spider",
+            &[
+                ("GPT-4o", 86.0),
+                ("Llama3.1-70B-lt", 78.0),
+                ("Llama3.1-8B-lt", 62.0),
+                ("best model", 91.2),
+            ],
+        ),
+        (
+            "Bird",
+            &[
+                ("GPT-4o", 61.0),
+                ("Llama3.1-70B-lt", 50.0),
+                ("Llama3.1-8B-lt", 35.0),
+                ("best model", 67.2),
+            ],
+        ),
+        (
+            "Fiben",
+            &[
+                ("GPT-4o", 45.0),
+                ("Llama3.1-70B-lt", 35.0),
+                ("Llama3.1-8B-lt", 20.0),
+                ("best model", 54.0),
+            ],
+        ),
+        (
+            "Beaver",
+            &[
+                ("GPT-4o", 2.0),
+                ("Llama3.1-70B-lt", 0.0),
+                ("Llama3.1-8B-lt", 0.0),
+                ("best model", 21.0),
+            ],
+        ),
     ];
 
     let corpora = generate_all_benchmarks(QUERIES_PER_BENCHMARK, HARNESS_SEED);
@@ -40,8 +74,12 @@ fn main() {
             .unwrap_or(&[]);
         let items = corpus.eval_items();
         for (index, model) in models.iter().enumerate() {
-            let report =
-                evaluate_execution_accuracy(&model.profile(), &items, &corpus.database, HARNESS_SEED);
+            let report = evaluate_execution_accuracy(
+                &model.profile(),
+                &items,
+                &corpus.database,
+                HARNESS_SEED,
+            );
             let paper_value = paper_rows
                 .get(index)
                 .map(|(_, value)| f1(*value))

@@ -39,17 +39,20 @@ fn main() {
     println!("Manual and Vanilla LLM conditions shift mass toward levels 3-4.");
     println!(
         "Measured level-5 share: BenchPress {:.0}%, Vanilla {:.0}%, Manual {:.0}%",
-        100.0 * histograms
-            .get(&Condition::BenchPress)
-            .map(|h| h.proportion(ClarityLevel::FullyCorrect))
-            .unwrap_or(0.0),
-        100.0 * histograms
-            .get(&Condition::VanillaLlm)
-            .map(|h| h.proportion(ClarityLevel::FullyCorrect))
-            .unwrap_or(0.0),
-        100.0 * histograms
-            .get(&Condition::Manual)
-            .map(|h| h.proportion(ClarityLevel::FullyCorrect))
-            .unwrap_or(0.0),
+        100.0
+            * histograms
+                .get(&Condition::BenchPress)
+                .map(|h| h.proportion(ClarityLevel::FullyCorrect))
+                .unwrap_or(0.0),
+        100.0
+            * histograms
+                .get(&Condition::VanillaLlm)
+                .map(|h| h.proportion(ClarityLevel::FullyCorrect))
+                .unwrap_or(0.0),
+        100.0
+            * histograms
+                .get(&Condition::Manual)
+                .map(|h| h.proportion(ClarityLevel::FullyCorrect))
+                .unwrap_or(0.0),
     );
 }

@@ -15,7 +15,9 @@ fn main() {
         let analyses: Vec<_> = corpus
             .log
             .iter()
-            .map(|entry| bp_sql::analyze(&bp_sql::parse_query(&entry.sql).expect("log entries parse")))
+            .map(|entry| {
+                bp_sql::analyze(&bp_sql::parse_query(&entry.sql).expect("log entries parse"))
+            })
             .collect();
         QueryComplexity::from_analyses(kind.name(), &analyses)
     };
@@ -50,9 +52,18 @@ fn main() {
     println!();
 
     let paper_deltas: &[(&str, [&str; 6])] = &[
-        ("Spider", ["↓80.8%", "↓81.5%", "↓64.3%", "↓75.6%", "↓83.6%", "↓45.5%"]),
-        ("FIBEN", ["↓39.1%", "↑62.2%", "↓9.5%", "↓18.5%", "↓63.6%", "↓23.8%"]),
-        ("BIRD", ["↓73.1%", "↓68.7%", "↓54.7%", "↓63.0%", "↓87.3%", "↓45.5%"]),
+        (
+            "Spider",
+            ["↓80.8%", "↓81.5%", "↓64.3%", "↓75.6%", "↓83.6%", "↓45.5%"],
+        ),
+        (
+            "FIBEN",
+            ["↓39.1%", "↑62.2%", "↓9.5%", "↓18.5%", "↓63.6%", "↓23.8%"],
+        ),
+        (
+            "BIRD",
+            ["↓73.1%", "↓68.7%", "↓54.7%", "↓63.0%", "↓87.3%", "↓45.5%"],
+        ),
     ];
     for (kind, paper_label) in [
         (BenchmarkKind::Spider, 0usize),

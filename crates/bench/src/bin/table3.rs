@@ -27,5 +27,7 @@ fn main() {
         );
     }
     println!();
-    println!("Shape check: BenchPress ≥ Vanilla LLM ≥ Manual overall, with the largest gaps on Beaver.");
+    println!(
+        "Shape check: BenchPress ≥ Vanilla LLM ≥ Manual overall, with the largest gaps on Beaver."
+    );
 }

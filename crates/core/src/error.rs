@@ -65,7 +65,9 @@ mod tests {
     #[test]
     fn display_variants() {
         assert!(CoreError::UnknownQuery(3).to_string().contains("3"));
-        assert!(CoreError::UnknownProject("x".into()).to_string().contains("x"));
+        assert!(CoreError::UnknownProject("x".into())
+            .to_string()
+            .contains("x"));
         assert!(CoreError::NoDraft(1).to_string().contains("draft"));
     }
 

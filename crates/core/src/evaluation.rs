@@ -2,7 +2,9 @@
 //! (paper §5.2 / Figure 4) and text-to-SQL execution accuracy (Figure 1).
 
 use crate::project::Project;
-use bp_llm::{Backtranslator, EvalItem, ExecOptions, ExecStrategy, ExecutionAccuracyReport, ModelKind};
+use bp_llm::{
+    Backtranslator, EvalItem, ExecOptions, ExecStrategy, ExecutionAccuracyReport, ModelKind,
+};
 use bp_metrics::{grade, ClarityHistogram, ClarityLevel, RubricOutcome};
 use serde::{Deserialize, Serialize};
 
@@ -80,13 +82,20 @@ pub fn execution_accuracy(
     schema_ambiguity: f64,
     seed: u64,
 ) -> ExecutionAccuracyReport {
-    execution_accuracy_opts(project, model, schema_ambiguity, seed, ExecOptions::default())
+    execution_accuracy_opts(
+        project,
+        model,
+        schema_ambiguity,
+        seed,
+        ExecOptions::default(),
+    )
 }
 
 /// [`execution_accuracy`] with an explicit execution engine at full
-/// parallelism. Large logs grade with [`ExecStrategy::Planned`];
-/// [`ExecStrategy::Legacy`] pins the interpreter oracle for differential
-/// checks of the grader.
+/// parallelism. Large logs grade with [`ExecStrategy::Planned`] (the
+/// columnar batch engine); [`ExecStrategy::RowPlanned`] pins the row-at-a-
+/// time representation oracle and [`ExecStrategy::Legacy`] the interpreter
+/// oracle for differential checks of the grader.
 pub fn execution_accuracy_with(
     project: &Project,
     model: ModelKind,
@@ -94,7 +103,13 @@ pub fn execution_accuracy_with(
     seed: u64,
     strategy: ExecStrategy,
 ) -> ExecutionAccuracyReport {
-    execution_accuracy_opts(project, model, schema_ambiguity, seed, ExecOptions::new(strategy))
+    execution_accuracy_opts(
+        project,
+        model,
+        schema_ambiguity,
+        seed,
+        ExecOptions::new(strategy),
+    )
 }
 
 /// [`execution_accuracy`] with full [`ExecOptions`] control (engine choice

@@ -60,11 +60,8 @@ impl KnowledgeBase {
     pub fn add_knowledge(&mut self, topic: impl Into<String>, note: impl Into<String>) {
         let topic = topic.into();
         let note = note.into();
-        self.store.add(
-            format!("{topic}: {note}"),
-            None,
-            DocumentKind::Knowledge,
-        );
+        self.store
+            .add(format!("{topic}: {note}"), None, DocumentKind::Knowledge);
         self.knowledge.push(KnowledgeNote { topic, note });
     }
 
@@ -127,8 +124,13 @@ mod tests {
     fn cold_start_then_growth() {
         let mut kb = KnowledgeBase::new();
         assert!(kb.is_cold());
-        assert!(kb.retrieve_examples("SELECT COUNT(*) FROM students", 3).is_empty());
-        kb.add_annotation("SELECT COUNT(*) FROM students", "How many students are there?");
+        assert!(kb
+            .retrieve_examples("SELECT COUNT(*) FROM students", 3)
+            .is_empty());
+        kb.add_annotation(
+            "SELECT COUNT(*) FROM students",
+            "How many students are there?",
+        );
         kb.add_annotation("SELECT name FROM buildings", "List the building names");
         assert!(!kb.is_cold());
         assert_eq!(kb.annotation_count(), 2);
@@ -146,7 +148,10 @@ mod tests {
         kb.add_priority("describe the filtering logic");
         assert_eq!(kb.knowledge_notes().len(), 2);
         assert_eq!(kb.priorities().len(), 1);
-        assert_eq!(kb.knowledge_texts()[0], "J-term: The one-month January term");
+        assert_eq!(
+            kb.knowledge_texts()[0],
+            "J-term: The one-month January term"
+        );
         let relevant = kb.retrieve_knowledge("SELECT * FROM MOIRA_LIST", 1);
         assert_eq!(relevant.len(), 1);
         assert!(relevant[0].contains("Moira"));

@@ -56,8 +56,7 @@ pub use config::{AnnotationDirection, Credential, TaskConfig};
 pub use error::{CoreError, CoreResult};
 pub use evaluation::{
     backtranslation_study, execution_accuracy, execution_accuracy_opts, execution_accuracy_with,
-    BacktranslationResult,
-    BacktranslationStudy,
+    BacktranslationResult, BacktranslationStudy,
 };
 pub use export::{
     export_json, export_records, import_json, review_metrics, ExportedAnnotation, ReviewMetrics,

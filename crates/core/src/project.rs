@@ -14,9 +14,7 @@
 use std::collections::BTreeMap;
 
 use bp_datasets::{DomainLexicon, GeneratedBenchmark};
-use bp_llm::{
-    generate_candidates, GenerationRequest, ModelProfile, PromptBuilder,
-};
+use bp_llm::{generate_candidates, GenerationRequest, ModelProfile, PromptBuilder};
 use bp_sql::{decompose, should_decompose, Decomposition, UnitDescription};
 use bp_storage::Database;
 
@@ -650,7 +648,10 @@ mod tests {
             )
             .unwrap();
         project
-            .apply_feedback(2, FeedbackAction::AddPriority("mention the term filter".into()))
+            .apply_feedback(
+                2,
+                FeedbackAction::AddPriority("mention the term filter".into()),
+            )
             .unwrap();
         let after = project.annotate(2).unwrap();
         assert!(after.regeneration_count > before.regeneration_count);
@@ -671,7 +672,10 @@ mod tests {
             project.apply_feedback(0, FeedbackAction::SelectCandidate(99)),
             Err(CoreError::UnknownCandidate(99))
         ));
-        assert!(matches!(project.finalize(0), Err(CoreError::NotFinalized(0))));
+        assert!(matches!(
+            project.finalize(0),
+            Err(CoreError::NotFinalized(0))
+        ));
         assert!(matches!(
             project.annotate(42),
             Err(CoreError::UnknownQuery(42))
@@ -686,7 +690,10 @@ mod tests {
         project.ingest_benchmark(&corpus);
         assert_eq!(project.log().len(), 5);
         assert!(project.log()[0].gold_question.is_some());
-        assert_eq!(project.database().table_count(), corpus.database.table_count());
+        assert_eq!(
+            project.database().table_count(),
+            corpus.database.table_count()
+        );
     }
 
     #[test]
@@ -696,10 +703,15 @@ mod tests {
             .create_project("warehouse", TaskConfig::default())
             .unwrap();
         workspace
-            .create_project("network-logs", TaskConfig::default().with_model(ModelKind::DeepSeek))
+            .create_project(
+                "network-logs",
+                TaskConfig::default().with_model(ModelKind::DeepSeek),
+            )
             .unwrap();
         assert_eq!(workspace.project_names(), vec!["network-logs", "warehouse"]);
-        assert!(workspace.create_project("warehouse", TaskConfig::default()).is_err());
+        assert!(workspace
+            .create_project("warehouse", TaskConfig::default())
+            .is_err());
         assert!(workspace.project("warehouse").is_ok());
         assert!(workspace.project("missing").is_err());
         assert_eq!(

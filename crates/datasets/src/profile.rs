@@ -331,7 +331,10 @@ mod tests {
         let large = BenchmarkKind::Spider.profile().scaled(CorpusScale::Large);
         assert_eq!(large.rows_per_table, base.rows_per_table * 32);
         assert_eq!(
-            BenchmarkKind::Beaver.profile().scaled(CorpusScale::Medium).rows_per_table,
+            BenchmarkKind::Beaver
+                .profile()
+                .scaled(CorpusScale::Medium)
+                .rows_per_table,
             BenchmarkKind::Beaver.profile().rows_per_table * 8
         );
         assert_eq!(base.scaled(CorpusScale::Laptop).rows_per_table, 128);
@@ -360,7 +363,11 @@ mod tests {
     #[test]
     fn beaver_is_the_hardest_benchmark() {
         let beaver = BenchmarkKind::Beaver.profile();
-        for kind in [BenchmarkKind::Spider, BenchmarkKind::Bird, BenchmarkKind::Fiben] {
+        for kind in [
+            BenchmarkKind::Spider,
+            BenchmarkKind::Bird,
+            BenchmarkKind::Fiben,
+        ] {
             let other = kind.profile();
             assert!(beaver.target_keywords > other.target_keywords);
             assert!(beaver.target_aggregations > other.target_aggregations);

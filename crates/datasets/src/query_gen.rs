@@ -217,7 +217,11 @@ fn foreign_key_pair<'a>(
 // Query templates
 // ---------------------------------------------------------------------
 
-fn simple_query(db: &Database, _profile: &BenchmarkProfile, rng: &mut ChaCha8Rng) -> Option<String> {
+fn simple_query(
+    db: &Database,
+    _profile: &BenchmarkProfile,
+    rng: &mut ChaCha8Rng,
+) -> Option<String> {
     let table = random_table(db, rng);
     let columns = non_key_columns(table);
     if columns.is_empty() {
@@ -230,7 +234,11 @@ fn simple_query(db: &Database, _profile: &BenchmarkProfile, rng: &mut ChaCha8Rng
         .into_iter()
         .collect();
     let filter = any_filter(table, rng);
-    let mut sql = format!("SELECT {} FROM {}", projection.join(", "), table.schema.name);
+    let mut sql = format!(
+        "SELECT {} FROM {}",
+        projection.join(", "),
+        table.schema.name
+    );
     if let Some(filter) = filter {
         sql.push_str(&format!(" WHERE {filter}"));
     }
@@ -297,7 +305,10 @@ fn join_query(db: &Database, _profile: &BenchmarkProfile, rng: &mut ChaCha8Rng) 
     );
     if let Some(filter) = text_filter(parent, rng).or_else(|| any_filter(child, rng)) {
         // Qualify the filter column with the right alias.
-        let qualified = if parent.schema.column(filter.split_whitespace().next().unwrap_or("")).is_some()
+        let qualified = if parent
+            .schema
+            .column(filter.split_whitespace().next().unwrap_or(""))
+            .is_some()
         {
             format!("p.{filter}")
         } else {
@@ -456,7 +467,10 @@ mod tests {
     #[test]
     fn beaver_queries_carry_domain_terms_and_ambiguity() {
         let (_, entries) = workload(BenchmarkKind::Beaver, 30, 5);
-        let with_domain_terms = entries.iter().filter(|e| e.difficulty.domain_terms > 0).count();
+        let with_domain_terms = entries
+            .iter()
+            .filter(|e| e.difficulty.domain_terms > 0)
+            .count();
         assert!(
             with_domain_terms >= 5,
             "expected domain terms in the Beaver workload, got {with_domain_terms}/30"

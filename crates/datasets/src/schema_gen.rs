@@ -22,14 +22,46 @@ use rand_chacha::ChaCha8Rng;
 /// Values used for enterprise text columns so that domain terms actually
 /// appear in the data (and therefore in generated filters).
 const ENTERPRISE_TEXT_VALUES: &[&str] = &[
-    "J-term", "Fall", "Spring", "IAP", "STREET", "PO BOX", "ACTIVE", "INACTIVE", "Course 6",
-    "UROP", "DLC-021", "FY26", "EXEMPT", "NON-EXEMPT", "GRAD", "UNDERGRAD",
+    "J-term",
+    "Fall",
+    "Spring",
+    "IAP",
+    "STREET",
+    "PO BOX",
+    "ACTIVE",
+    "INACTIVE",
+    "Course 6",
+    "UROP",
+    "DLC-021",
+    "FY26",
+    "EXEMPT",
+    "NON-EXEMPT",
+    "GRAD",
+    "UNDERGRAD",
 ];
 
 /// Public-benchmark text values (clean, unambiguous categories).
 const PUBLIC_TEXT_VALUES: &[&str] = &[
-    "USA", "France", "Japan", "Brazil", "rock", "jazz", "classical", "economy", "business",
-    "first", "red", "blue", "green", "small", "medium", "large", "north", "south", "east", "west",
+    "USA",
+    "France",
+    "Japan",
+    "Brazil",
+    "rock",
+    "jazz",
+    "classical",
+    "economy",
+    "business",
+    "first",
+    "red",
+    "blue",
+    "green",
+    "small",
+    "medium",
+    "large",
+    "north",
+    "south",
+    "east",
+    "west",
 ];
 
 /// Generate a populated database for a benchmark profile.
@@ -45,14 +77,20 @@ pub fn generate_database(profile: &BenchmarkProfile, seed: u64) -> Database {
         public_schemas(profile, &mut rng)
     };
     for schema in schemas {
-        db.create_table(schema).expect("generated table names are unique");
+        db.create_table(schema)
+            .expect("generated table names are unique");
     }
     populate(&mut db, profile, &mut rng);
     db
 }
 
 fn data_type_cycle(profile: &BenchmarkProfile) -> Vec<DataType> {
-    let mut types = vec![DataType::Integer, DataType::Text, DataType::Float, DataType::Date];
+    let mut types = vec![
+        DataType::Integer,
+        DataType::Text,
+        DataType::Float,
+        DataType::Date,
+    ];
     if profile.target_data_types > 4 {
         types.push(DataType::Timestamp);
     }
@@ -75,7 +113,8 @@ fn public_schemas(profile: &BenchmarkProfile, rng: &mut ChaCha8Rng) -> Vec<Table
             format!("{entity}_{index}")
         };
         let singular = entity.trim_end_matches('s');
-        let mut columns = vec![Column::new(format!("{singular}_id"), DataType::Integer).primary_key()];
+        let mut columns =
+            vec![Column::new(format!("{singular}_id"), DataType::Integer).primary_key()];
         // Optional foreign key to an earlier table to enable joins.
         if !schemas.is_empty() && rng.gen_bool(0.6) {
             let parent = &schemas[rng.gen_range(0..schemas.len())];
@@ -95,7 +134,10 @@ fn public_schemas(profile: &BenchmarkProfile, rng: &mut ChaCha8Rng) -> Vec<Table
         let mut type_index = 0usize;
         while columns.len() < profile.columns_per_table {
             let attribute = attributes[(columns.len() + index) % attributes.len()];
-            let name = if columns.iter().any(|c| c.name.eq_ignore_ascii_case(attribute)) {
+            let name = if columns
+                .iter()
+                .any(|c| c.name.eq_ignore_ascii_case(attribute))
+            {
                 format!("{attribute}_{}", columns.len())
             } else {
                 attribute.to_string()
@@ -131,7 +173,8 @@ fn enterprise_schemas(profile: &BenchmarkProfile, rng: &mut ChaCha8Rng) -> Vec<T
             2 => format!("{subject}_HIST"),
             n => format!("{subject}_V{n}"),
         };
-        let mut columns = vec![Column::new(format!("{subject}_KEY"), DataType::Integer).primary_key()];
+        let mut columns =
+            vec![Column::new(format!("{subject}_KEY"), DataType::Integer).primary_key()];
         // Subject-specific columns.
         let mut suffixes: Vec<&str> = ENTERPRISE_SPECIFIC_SUFFIXES.to_vec();
         suffixes.shuffle(rng);
@@ -223,7 +266,8 @@ fn populate(db: &mut Database, profile: &BenchmarkProfile, rng: &mut ChaCha8Rng)
                     DataType::Timestamp => Value::Timestamp(1_600_000_000 + pooled * 3_600),
                     DataType::Boolean => Value::Bool(pooled % 2 == 0),
                     DataType::Text => {
-                        let pool_index = (pooled as usize) % text_values.len().min(pool_size.max(1));
+                        let pool_index =
+                            (pooled as usize) % text_values.len().min(pool_size.max(1));
                         Value::Text(text_values[pool_index].to_string())
                     }
                 };

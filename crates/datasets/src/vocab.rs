@@ -13,43 +13,137 @@ use std::collections::BTreeMap;
 
 /// Entity nouns used to name tables in public-benchmark-style schemas.
 pub const PUBLIC_ENTITIES: &[&str] = &[
-    "students", "courses", "teachers", "departments", "airports", "flights", "singers",
-    "concerts", "stadiums", "orchestras", "museums", "visitors", "employees", "companies",
-    "products", "orders", "customers", "invoices", "matches", "players", "teams", "cities",
-    "countries", "books", "authors", "publishers", "movies", "directors", "reviews",
+    "students",
+    "courses",
+    "teachers",
+    "departments",
+    "airports",
+    "flights",
+    "singers",
+    "concerts",
+    "stadiums",
+    "orchestras",
+    "museums",
+    "visitors",
+    "employees",
+    "companies",
+    "products",
+    "orders",
+    "customers",
+    "invoices",
+    "matches",
+    "players",
+    "teams",
+    "cities",
+    "countries",
+    "books",
+    "authors",
+    "publishers",
+    "movies",
+    "directors",
+    "reviews",
 ];
 
 /// Attribute nouns used to name columns in public-benchmark-style schemas.
 pub const PUBLIC_ATTRIBUTES: &[&str] = &[
-    "name", "age", "salary", "budget", "capacity", "year", "rank", "score", "rating", "price",
-    "quantity", "status", "city", "country", "title", "grade", "gpa", "duration", "revenue",
-    "population", "height", "weight", "category", "phone", "email",
+    "name",
+    "age",
+    "salary",
+    "budget",
+    "capacity",
+    "year",
+    "rank",
+    "score",
+    "rating",
+    "price",
+    "quantity",
+    "status",
+    "city",
+    "country",
+    "title",
+    "grade",
+    "gpa",
+    "duration",
+    "revenue",
+    "population",
+    "height",
+    "weight",
+    "category",
+    "phone",
+    "email",
 ];
 
 /// Warehouse-style subject areas used to name enterprise tables
 /// (the MIT data-warehouse flavour of the Beaver benchmark).
 pub const ENTERPRISE_SUBJECTS: &[&str] = &[
-    "ACADEMIC_TERMS", "MOIRA_LIST", "MOIRA_MEMBER", "FAC_BUILDING", "FAC_ROOM", "COST_OBJECT",
-    "APPOINTMENT", "EMPLOYEE_DIRECTORY", "STUDENT_DIRECTORY", "COURSE_CATALOG", "SUBJECT_OFFERED",
-    "DEGREE_AWARD", "ADMISSION_APPLICANT", "PAYROLL_DETAIL", "PURCHASE_ORDER", "VENDOR_MASTER",
-    "GRADE_DETAIL", "LIBRARY_LOAN", "PARKING_PERMIT", "NETWORK_DEVICE", "TELEMETRY_METRIC",
-    "SPACE_ALLOCATION", "RESEARCH_AWARD", "PROPOSAL_BUDGET", "TRAVEL_EXPENSE", "ASSET_INVENTORY",
+    "ACADEMIC_TERMS",
+    "MOIRA_LIST",
+    "MOIRA_MEMBER",
+    "FAC_BUILDING",
+    "FAC_ROOM",
+    "COST_OBJECT",
+    "APPOINTMENT",
+    "EMPLOYEE_DIRECTORY",
+    "STUDENT_DIRECTORY",
+    "COURSE_CATALOG",
+    "SUBJECT_OFFERED",
+    "DEGREE_AWARD",
+    "ADMISSION_APPLICANT",
+    "PAYROLL_DETAIL",
+    "PURCHASE_ORDER",
+    "VENDOR_MASTER",
+    "GRADE_DETAIL",
+    "LIBRARY_LOAN",
+    "PARKING_PERMIT",
+    "NETWORK_DEVICE",
+    "TELEMETRY_METRIC",
+    "SPACE_ALLOCATION",
+    "RESEARCH_AWARD",
+    "PROPOSAL_BUDGET",
+    "TRAVEL_EXPENSE",
+    "ASSET_INVENTORY",
 ];
 
 /// Warehouse-style column stems that get reused across many tables (the
 /// duplication the paper calls out with `user_id`-style ambiguity).
 pub const ENTERPRISE_SHARED_COLUMNS: &[&str] = &[
-    "WAREHOUSE_LOAD_DATE", "SOURCE_SYSTEM_CODE", "EFFECTIVE_DATE", "EXPIRATION_DATE",
-    "DEPARTMENT_CODE", "DEPARTMENT_NAME", "ORG_UNIT_ID", "PERSON_ID", "MIT_ID", "USER_ID",
-    "STATUS_CODE", "STATUS_DESCRIPTION", "FISCAL_YEAR", "FISCAL_PERIOD", "IS_CURRENT_FLAG",
-    "CREATED_BY", "MODIFIED_BY", "ROW_VERSION",
+    "WAREHOUSE_LOAD_DATE",
+    "SOURCE_SYSTEM_CODE",
+    "EFFECTIVE_DATE",
+    "EXPIRATION_DATE",
+    "DEPARTMENT_CODE",
+    "DEPARTMENT_NAME",
+    "ORG_UNIT_ID",
+    "PERSON_ID",
+    "MIT_ID",
+    "USER_ID",
+    "STATUS_CODE",
+    "STATUS_DESCRIPTION",
+    "FISCAL_YEAR",
+    "FISCAL_PERIOD",
+    "IS_CURRENT_FLAG",
+    "CREATED_BY",
+    "MODIFIED_BY",
+    "ROW_VERSION",
 ];
 
 /// Enterprise column stems specific to a subject area (appended to the
 /// subject stem, e.g. `MOIRA_LIST_NAME`).
 pub const ENTERPRISE_SPECIFIC_SUFFIXES: &[&str] = &[
-    "KEY", "NAME", "TITLE", "TYPE", "CATEGORY", "AMOUNT", "COUNT", "BALANCE", "RATE",
-    "START_DATE", "END_DATE", "OWNER", "LEVEL", "GROUP",
+    "KEY",
+    "NAME",
+    "TITLE",
+    "TYPE",
+    "CATEGORY",
+    "AMOUNT",
+    "COUNT",
+    "BALANCE",
+    "RATE",
+    "START_DATE",
+    "END_DATE",
+    "OWNER",
+    "LEVEL",
+    "GROUP",
 ];
 
 /// One domain-specific term with the explanation an annotator would inject

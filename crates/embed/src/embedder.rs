@@ -217,7 +217,10 @@ mod tests {
     fn fnv_is_stable() {
         // Guard against accidental hash changes which would silently change
         // every retrieval result downstream.
-        assert_eq!(super::fnv1a(b"benchpress"), 0xd941b77e9a6e8781_u64 ^ super::fnv1a(b"benchpress") ^ 0xd941b77e9a6e8781_u64);
+        assert_eq!(
+            super::fnv1a(b"benchpress"),
+            0xd941b77e9a6e8781_u64 ^ super::fnv1a(b"benchpress") ^ 0xd941b77e9a6e8781_u64
+        );
         assert_eq!(super::fnv1a(b""), 0xcbf29ce484222325);
         assert_eq!(super::fnv1a(b"a"), 0xaf63dc4c8601ec8c);
     }

@@ -115,10 +115,7 @@ mod tests {
     #[test]
     fn splits_camel_case() {
         let toks = tokenize("academicTermsAll");
-        assert_eq!(
-            toks,
-            vec!["academictermsall", "academic", "terms", "all"]
-        );
+        assert_eq!(toks, vec!["academictermsall", "academic", "terms", "all"]);
     }
 
     #[test]

@@ -169,11 +169,7 @@ fn replace_table(query: &mut Query, target_upper: &str, replacement: &str) {
     walk_query(query, target_upper, replacement);
 }
 
-fn swap_first_projection_column<R: Rng>(
-    query: &mut Query,
-    catalog: &Catalog,
-    rng: &mut R,
-) -> bool {
+fn swap_first_projection_column<R: Rng>(query: &mut Query, catalog: &Catalog, rng: &mut R) -> bool {
     let tables = referenced_tables(query);
     let Some(select) = query.top_select_mut() else {
         return false;
@@ -346,8 +342,12 @@ mod tests {
             .unwrap();
             c
         };
-        let text =
-            apply(&q, Corruption::WrongTable, &single_table_catalog, &mut rng());
+        let text = apply(
+            &q,
+            Corruption::WrongTable,
+            &single_table_catalog,
+            &mut rng(),
+        );
         bp_sql::parse_query(&text).expect("fallback output parses");
     }
 

@@ -26,6 +26,7 @@ pub mod prompt;
 pub mod sql2nl;
 pub mod text2sql;
 
+pub use bp_storage::{ExecOptions, ExecStrategy};
 pub use corrupt::{apply as apply_corruption, Corruption};
 pub use model::{ModelKind, ModelProfile};
 pub use nl2sql::Backtranslator;
@@ -34,11 +35,10 @@ pub use sql2nl::{
     describe_query, generate_candidates, plan_query, DescriptionPlan, GenerationRequest,
     NlCandidate, CANDIDATES_PER_QUERY,
 };
-pub use bp_storage::{ExecOptions, ExecStrategy};
 pub use text2sql::{
     evaluate_execution_accuracy, evaluate_execution_accuracy_opts,
-    evaluate_execution_accuracy_with, predict_sql, EvalItem,
-    ExecutionAccuracyReport, Text2SqlPrediction, WorkloadDifficulty,
+    evaluate_execution_accuracy_with, predict_sql, EvalItem, ExecutionAccuracyReport,
+    Text2SqlPrediction, WorkloadDifficulty,
 };
 
 #[cfg(test)]
@@ -66,13 +66,12 @@ mod round_trip_tests {
     #[test]
     fn faithful_description_round_trips_structurally() {
         let catalog = catalog();
-        let gold = parse_query(
-            "SELECT dept, COUNT(*) FROM students WHERE dept = 'EECS' GROUP BY dept",
-        )
-        .unwrap();
+        let gold =
+            parse_query("SELECT dept, COUNT(*) FROM students WHERE dept = 'EECS' GROUP BY dept")
+                .unwrap();
         let description = describe_query(&gold);
-        let regenerated = Backtranslator::new(&catalog, ModelKind::Gpt4o.profile())
-            .backtranslate(&description);
+        let regenerated =
+            Backtranslator::new(&catalog, ModelKind::Gpt4o.profile()).backtranslate(&description);
         let regenerated_query = parse_query(&regenerated).expect("regenerated SQL parses");
         let gold_analysis = bp_sql::analyze(&gold);
         let regen_analysis = bp_sql::analyze(&regenerated_query);
@@ -87,8 +86,8 @@ mod round_trip_tests {
         let catalog = catalog();
         // A description missing the filter cannot regenerate it.
         let description = "For each dept, report the number of students.";
-        let regenerated = Backtranslator::new(&catalog, ModelKind::Gpt4o.profile())
-            .backtranslate(description);
+        let regenerated =
+            Backtranslator::new(&catalog, ModelKind::Gpt4o.profile()).backtranslate(description);
         assert!(!regenerated.to_uppercase().contains("WHERE"));
     }
 }

@@ -210,9 +210,7 @@ mod tests {
         let weak = ModelKind::Llama8B.profile();
         assert!(strong.base_fidelity > weak.base_fidelity);
         assert!(strong.sql_skill > weak.sql_skill);
-        assert!(
-            strong.effective_fidelity(5.0, 1, 0.0) > weak.effective_fidelity(5.0, 1, 0.0)
-        );
+        assert!(strong.effective_fidelity(5.0, 1, 0.0) > weak.effective_fidelity(5.0, 1, 0.0));
     }
 
     #[test]

@@ -81,15 +81,15 @@ impl<'a> Backtranslator<'a> {
         let primary = scored_tables[0].1;
         // Include a second table only when its *name* (not just a column) is
         // clearly mentioned and a join key exists.
-        let secondary = scored_tables
-            .iter()
-            .skip(1)
-            .map(|(_, t)| *t)
-            .find(|t| table_name_mentioned(t, &token_set) && join_condition(primary, t).is_some());
+        let secondary =
+            scored_tables.iter().skip(1).map(|(_, t)| *t).find(|t| {
+                table_name_mentioned(t, &token_set) && join_condition(primary, t).is_some()
+            });
 
         // 2. Aggregates and distinct.
         let aggregate = infer_aggregate(&lower);
-        let distinct = lower.contains("distinct") || lower.contains("unique ") || lower.contains("different ");
+        let distinct =
+            lower.contains("distinct") || lower.contains("unique ") || lower.contains("different ");
 
         // 3. Columns mentioned, per table.
         let mentioned_primary = mentioned_columns(primary, &token_set);
@@ -196,7 +196,10 @@ impl<'a> Backtranslator<'a> {
             if (h % 100) as f64 / 100.0 > self.profile.sql_skill {
                 if let Some(pos) = sql.find(" WHERE ") {
                     let rest = sql[pos + 7..].to_string();
-                    let end = rest.find(" GROUP BY ").or_else(|| rest.find(" ORDER BY ")).unwrap_or(rest.len());
+                    let end = rest
+                        .find(" GROUP BY ")
+                        .or_else(|| rest.find(" ORDER BY "))
+                        .unwrap_or(rest.len());
                     sql = format!("{}{}", &sql[..pos], &rest[end..]);
                 }
             }
@@ -214,8 +217,22 @@ fn name_parts(name: &str) -> Vec<String> {
 fn is_common_word(word: &str) -> bool {
     matches!(
         word,
-        "list" | "name" | "data" | "type" | "key" | "code" | "status" | "date" | "value"
-            | "number" | "id" | "all" | "record" | "records" | "table" | "info"
+        "list"
+            | "name"
+            | "data"
+            | "type"
+            | "key"
+            | "code"
+            | "status"
+            | "date"
+            | "value"
+            | "number"
+            | "id"
+            | "all"
+            | "record"
+            | "records"
+            | "table"
+            | "info"
     )
 }
 
@@ -286,7 +303,11 @@ fn infer_aggregate(lower: &str) -> Option<InferredAggregate> {
         Some(InferredAggregate::Sum)
     } else if lower.contains("highest") || lower.contains("maximum") || lower.contains("largest") {
         Some(InferredAggregate::Max)
-    } else if lower.contains("lowest") || lower.contains("minimum") || lower.contains("fewest") || lower.contains("smallest") {
+    } else if lower.contains("lowest")
+        || lower.contains("minimum")
+        || lower.contains("fewest")
+        || lower.contains("smallest")
+    {
         Some(InferredAggregate::Min)
     } else {
         None
@@ -313,9 +334,7 @@ fn aggregate_argument(
                 && (!numeric_needed
                     || primary
                         .column(c)
-                        .map(|col| {
-                            matches!(col.data_type, DataType::Integer | DataType::Float)
-                        })
+                        .map(|col| matches!(col.data_type, DataType::Integer | DataType::Float))
                         .unwrap_or(true))
         })
         .cloned();
@@ -360,7 +379,9 @@ fn infer_group_column(
             .iter()
             .find(|c| {
                 name_parts(&c.name).iter().any(|p| {
-                    p.len() > 2 && !generic.contains(&p.as_str()) && tokens_contains(&tail_tokens, p)
+                    p.len() > 2
+                        && !generic.contains(&p.as_str())
+                        && tokens_contains(&tail_tokens, p)
                 })
             })
             .map(|c| c.name.clone())
@@ -396,7 +417,9 @@ fn infer_literal_filters(
             continue;
         }
         // Find the text column whose name parts appear closest before the literal.
-        let literal_position = lower.find(&format!("'{}'", literal.to_lowercase())).unwrap_or(0);
+        let literal_position = lower
+            .find(&format!("'{}'", literal.to_lowercase()))
+            .unwrap_or(0);
         let window: String = lower[..literal_position]
             .chars()
             .rev()
@@ -410,7 +433,11 @@ fn infer_literal_filters(
         // mention of name).
         let pick_column = |table: &TableSchema| -> Option<String> {
             let mut best: Option<(usize, String)> = None;
-            for column in table.columns.iter().filter(|c| c.data_type == DataType::Text) {
+            for column in table
+                .columns
+                .iter()
+                .filter(|c| c.data_type == DataType::Text)
+            {
                 let latest = name_parts(&column.name)
                     .iter()
                     .filter(|p| p.len() > 2)
@@ -552,9 +579,7 @@ fn join_condition(left: &TableSchema, right: &TableSchema) -> Option<(String, St
     // Otherwise, a shared column name (the enterprise "user_id everywhere" pattern).
     for lc in &left.columns {
         for rc in &right.columns {
-            if lc.name.eq_ignore_ascii_case(&rc.name)
-                && lc.name.to_lowercase().contains("id")
-            {
+            if lc.name.eq_ignore_ascii_case(&rc.name) && lc.name.to_lowercase().contains("id") {
                 return Some((lc.name.clone(), rc.name.clone()));
             }
         }
@@ -632,8 +657,9 @@ mod tests {
     #[test]
     fn filter_literal_is_reconstructed() {
         let catalog = catalog();
-        let sql = translator(&catalog)
-            .backtranslate("List the name of students, considering only rows where dept is 'EECS'.");
+        let sql = translator(&catalog).backtranslate(
+            "List the name of students, considering only rows where dept is 'EECS'.",
+        );
         assert!(sql.contains("dept = 'EECS'"), "got: {sql}");
         bp_sql::parse_query(&sql).expect("parses");
     }
@@ -711,7 +737,11 @@ mod tests {
         let catalog = catalog();
         let sql = translator(&catalog)
             .backtranslate("For each dept, report the average gpa in the students records.");
-        assert!(sql.to_uppercase().contains("AVG(gpa)".to_uppercase().as_str()), "got: {sql}");
+        assert!(
+            sql.to_uppercase()
+                .contains("AVG(gpa)".to_uppercase().as_str()),
+            "got: {sql}"
+        );
     }
 
     #[test]

@@ -72,7 +72,12 @@ impl PromptBuilder {
     }
 
     /// Add a retrieved few-shot example.
-    pub fn example(mut self, sql: impl Into<String>, description: impl Into<String>, similarity: f32) -> Self {
+    pub fn example(
+        mut self,
+        sql: impl Into<String>,
+        description: impl Into<String>,
+        similarity: f32,
+    ) -> Self {
         self.prompt.examples.push(FewShotExample {
             sql: sql.into(),
             description: description.into(),
@@ -116,7 +121,11 @@ impl Prompt {
     /// provide most of the phrasing guidance, and the feedback loop's
     /// knowledge keeps improving prompts over time.
     pub fn context_quality(&self) -> f64 {
-        let schema_score: f64 = if self.schema_context.is_empty() { 0.0 } else { 1.0 };
+        let schema_score: f64 = if self.schema_context.is_empty() {
+            0.0
+        } else {
+            1.0
+        };
         let example_score: f64 = if self.examples.is_empty() {
             0.0
         } else {
@@ -132,7 +141,10 @@ impl Prompt {
         };
         let knowledge_score: f64 = (self.knowledge.len() as f64 * 0.34).min(1.0);
         let priority_score: f64 = (self.priorities.len() as f64 * 0.5).min(1.0);
-        (0.40 * schema_score + 0.35 * example_score + 0.17 * knowledge_score + 0.08 * priority_score)
+        (0.40 * schema_score
+            + 0.35 * example_score
+            + 0.17 * knowledge_score
+            + 0.08 * priority_score)
             .clamp(0.0, 1.0)
     }
 

@@ -107,7 +107,11 @@ fn expr_phrase(expr: &Expr) -> String {
         Expr::Literal(Literal::Number(n)) => n.clone(),
         Expr::Literal(Literal::Boolean(b)) => b.to_string(),
         Expr::Literal(Literal::Null) => "null".to_string(),
-        Expr::Function { name, args, distinct } => {
+        Expr::Function {
+            name,
+            args,
+            distinct,
+        } => {
             let func = name.value.to_ascii_uppercase();
             let arg_phrase = match args.first() {
                 Some(Expr::Wildcard) | None => "rows".to_string(),
@@ -227,11 +231,24 @@ fn filter_phrase(expr: &Expr) -> Vec<String> {
             negated,
         } => {
             let values: Vec<String> = list.iter().map(expr_phrase).collect();
-            let neg = if *negated { "is not one of" } else { "is one of" };
-            vec![format!("{} {} {}", expr_phrase(expr), neg, values.join(", "))]
+            let neg = if *negated {
+                "is not one of"
+            } else {
+                "is one of"
+            };
+            vec![format!(
+                "{} {} {}",
+                expr_phrase(expr),
+                neg,
+                values.join(", ")
+            )]
         }
         Expr::InSubquery { expr, negated, .. } => {
-            let neg = if *negated { "does not appear" } else { "appears" };
+            let neg = if *negated {
+                "does not appear"
+            } else {
+                "appears"
+            };
             vec![format!(
                 "{} {} in the result of the inner step",
                 expr_phrase(expr),
@@ -245,8 +262,14 @@ fn filter_phrase(expr: &Expr) -> Vec<String> {
                 vec!["a matching row exists in the inner step".to_string()]
             }
         }
-        Expr::UnaryOp { op: bp_sql::UnaryOperator::Not, expr } => {
-            vec![format!("it is not the case that {}", filter_phrase(expr).join(" and "))]
+        Expr::UnaryOp {
+            op: bp_sql::UnaryOperator::Not,
+            expr,
+        } => {
+            vec![format!(
+                "it is not the case that {}",
+                filter_phrase(expr).join(" and ")
+            )]
         }
         Expr::Nested(inner) => filter_phrase(inner),
         other => vec![expr_phrase(other)],
@@ -323,7 +346,9 @@ pub fn plan_query(query: &Query) -> DescriptionPlan {
             let inner_plan = plan_query(inner);
             plan = inner_plan;
         }
-        SetExpr::SetOperation { op, left, right, .. } => {
+        SetExpr::SetOperation {
+            op, left, right, ..
+        } => {
             let verb = match op {
                 SetOperator::Union => "combined with",
                 SetOperator::Intersect => "restricted to rows also in",
@@ -421,10 +446,26 @@ fn render_components(plan: &DescriptionPlan, included: &[bool], style: usize) ->
             filter_phrases.push(phrase.clone());
         }
     }
-    let grouping = plan.grouping.as_ref().filter(|_| take(plan.grouping.is_some())).cloned();
-    let having = plan.having.as_ref().filter(|_| take(plan.having.is_some())).cloned();
-    let ordering = plan.ordering.as_ref().filter(|_| take(plan.ordering.is_some())).cloned();
-    let limit = plan.limit.as_ref().filter(|_| take(plan.limit.is_some())).cloned();
+    let grouping = plan
+        .grouping
+        .as_ref()
+        .filter(|_| take(plan.grouping.is_some()))
+        .cloned();
+    let having = plan
+        .having
+        .as_ref()
+        .filter(|_| take(plan.having.is_some()))
+        .cloned();
+    let ordering = plan
+        .ordering
+        .as_ref()
+        .filter(|_| take(plan.ordering.is_some()))
+        .cloned();
+    let limit = plan
+        .limit
+        .as_ref()
+        .filter(|_| take(plan.limit.is_some()))
+        .cloned();
     let set_operation = plan
         .set_operation
         .as_ref()
@@ -518,7 +559,10 @@ pub struct GenerationRequest<'a> {
 }
 
 /// Generate four candidate descriptions for a query.
-pub fn generate_candidates(profile: &ModelProfile, request: &GenerationRequest<'_>) -> Vec<NlCandidate> {
+pub fn generate_candidates(
+    profile: &ModelProfile,
+    request: &GenerationRequest<'_>,
+) -> Vec<NlCandidate> {
     let plan = plan_query(request.query);
     let analysis = analyze(request.query);
     let fidelity = profile.effective_fidelity(
@@ -691,7 +735,11 @@ mod tests {
                     let request = GenerationRequest {
                         query: &q,
                         prompt,
-                        unresolved_domain_terms: if std::ptr::eq(prompt, &bare_prompt) { 2 } else { 0 },
+                        unresolved_domain_terms: if std::ptr::eq(prompt, &bare_prompt) {
+                            2
+                        } else {
+                            0
+                        },
                         seed,
                     };
                     generate_candidates(&profile, &request)

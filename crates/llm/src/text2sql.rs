@@ -74,9 +74,8 @@ pub fn predict_sql<R: Rng>(
     // opaque vocabulary the model binds to the wrong schema elements, which
     // is exactly the enterprise failure mode the paper describes.
     let miss = (draw - success_probability) / (1.0 - success_probability).max(1e-9);
-    let severity = miss
-        + 0.45 * difficulty.schema_ambiguity
-        + 0.12 * difficulty.domain_terms as f64;
+    let severity =
+        miss + 0.45 * difficulty.schema_ambiguity + 0.12 * difficulty.domain_terms as f64;
     let corruption = if severity > 1.25 {
         Corruption::BreakSyntax
     } else if severity > 0.62 {
@@ -151,8 +150,10 @@ pub fn evaluate_execution_accuracy(
 }
 
 /// [`evaluate_execution_accuracy`] with an explicit engine choice at full
-/// parallelism — grading million-entry logs wants [`ExecStrategy::Planned`];
-/// differential checks of the grader itself can pin [`ExecStrategy::Legacy`].
+/// parallelism — grading million-entry logs wants [`ExecStrategy::Planned`]
+/// (the columnar batch engine); differential checks of the grader itself can
+/// pin [`ExecStrategy::RowPlanned`] (the row-at-a-time representation
+/// oracle) or [`ExecStrategy::Legacy`] (the interpreter oracle).
 pub fn evaluate_execution_accuracy_with(
     profile: &ModelProfile,
     items: &[EvalItem],
@@ -186,7 +187,13 @@ pub fn evaluate_execution_accuracy_opts(
                 continue;
             }
         };
-        let prediction = predict_sql(profile, &gold_query, item.difficulty, db.catalog(), &mut rng);
+        let prediction = predict_sql(
+            profile,
+            &gold_query,
+            item.difficulty,
+            db.catalog(),
+            &mut rng,
+        );
         let predicted_result = match db.execute_sql_opts(&prediction.sql, options) {
             Ok(r) => r,
             Err(_) => {
@@ -231,7 +238,11 @@ mod tests {
                         i.into(),
                         format!("student_{i}").into(),
                         (2.0 + (i % 20) as f64 / 10.0).into(),
-                        if i % 2 == 0 { "EECS".into() } else { "MATH".into() },
+                        if i % 2 == 0 {
+                            "EECS".into()
+                        } else {
+                            "MATH".into()
+                        },
                     ]
                 })
                 .collect::<Vec<_>>(),
@@ -243,7 +254,11 @@ mod tests {
                 .map(|i| {
                     vec![
                         i.into(),
-                        if i % 4 == 0 { "J-term".into() } else { "Fall".into() },
+                        if i % 4 == 0 {
+                            "J-term".into()
+                        } else {
+                            "Fall".into()
+                        },
                         format!("6.{i:03}").into(),
                     ]
                 })
@@ -311,8 +326,10 @@ mod tests {
     #[test]
     fn strong_model_beats_weak_model_on_easy_workload() {
         let db = campus_db();
-        let strong = evaluate_execution_accuracy(&ModelKind::Gpt4o.profile(), &easy_items(), &db, 7);
-        let weak = evaluate_execution_accuracy(&ModelKind::Llama8B.profile(), &easy_items(), &db, 7);
+        let strong =
+            evaluate_execution_accuracy(&ModelKind::Gpt4o.profile(), &easy_items(), &db, 7);
+        let weak =
+            evaluate_execution_accuracy(&ModelKind::Llama8B.profile(), &easy_items(), &db, 7);
         assert!(strong.accuracy_percent() >= weak.accuracy_percent());
         assert_eq!(strong.total, 3);
     }
@@ -345,20 +362,10 @@ mod tests {
         let db = campus_db();
         let profile = ModelKind::Gpt4o.profile();
         for items in [easy_items(), hard_items()] {
-            let planned = evaluate_execution_accuracy_with(
-                &profile,
-                &items,
-                &db,
-                11,
-                ExecStrategy::Planned,
-            );
-            let legacy = evaluate_execution_accuracy_with(
-                &profile,
-                &items,
-                &db,
-                11,
-                ExecStrategy::Legacy,
-            );
+            let planned =
+                evaluate_execution_accuracy_with(&profile, &items, &db, 11, ExecStrategy::Planned);
+            let legacy =
+                evaluate_execution_accuracy_with(&profile, &items, &db, 11, ExecStrategy::Legacy);
             assert_eq!(planned, legacy);
         }
     }

@@ -262,8 +262,11 @@ mod tests {
             ],
         ))
         .unwrap();
-        db.insert_into("t", vec![vec![1.into(), "x".into()], vec![2.into(), "x".into()]])
-            .unwrap();
+        db.insert_into(
+            "t",
+            vec![vec![1.into(), "x".into()], vec![2.into(), "x".into()]],
+        )
+        .unwrap();
         let profile = bp_storage::profile_database(&db);
         let dc = DataComplexity::from_profile(&profile);
         assert_eq!(dc.tables_per_db, 1.0);

@@ -171,7 +171,10 @@ fn column_evidence(column: &str) -> Vec<String> {
     let generic: BTreeSet<&str> = ["key", "id", "name", "code", "num", "no", "flag"]
         .into_iter()
         .collect();
-    let content: Vec<&String> = parts.iter().filter(|p| !generic.contains(p.as_str())).collect();
+    let content: Vec<&String> = parts
+        .iter()
+        .filter(|p| !generic.contains(p.as_str()))
+        .collect();
     if !content.is_empty() {
         for part in content {
             if part.len() > 2 {
@@ -190,8 +193,12 @@ fn aggregate_evidence(function: &str, argument: Option<&str>) -> (String, Vec<St
         "COUNT" => vec!["count", "number of", "how many", "total number"],
         "SUM" => vec!["sum", "total", "combined", "overall"],
         "AVG" => vec!["average", "mean", "avg"],
-        "MAX" => vec!["max", "maximum", "highest", "largest", "most", "latest", "greatest", "top"],
-        "MIN" => vec!["min", "minimum", "lowest", "smallest", "fewest", "earliest", "least"],
+        "MAX" => vec![
+            "max", "maximum", "highest", "largest", "most", "latest", "greatest", "top",
+        ],
+        "MIN" => vec![
+            "min", "minimum", "lowest", "smallest", "fewest", "earliest", "least",
+        ],
         _ => vec!["compute"],
     }
     .into_iter()
@@ -246,8 +253,19 @@ impl ComponentCollector {
                 ComponentKind::Ordering,
                 "ORDER BY".to_string(),
                 [
-                    "order", "sorted", "sort", "ranked", "descending", "ascending", "highest",
-                    "lowest", "top", "most", "fewest", "largest", "alphabetical",
+                    "order",
+                    "sorted",
+                    "sort",
+                    "ranked",
+                    "descending",
+                    "ascending",
+                    "highest",
+                    "lowest",
+                    "top",
+                    "most",
+                    "fewest",
+                    "largest",
+                    "alphabetical",
                 ]
                 .iter()
                 .map(|s| s.to_string())
@@ -319,11 +337,7 @@ impl ComponentCollector {
         match factor {
             bp_sql::TableFactor::Table { name, .. } => {
                 let base = name.base().value.clone();
-                self.push(
-                    ComponentKind::Table,
-                    base.clone(),
-                    column_evidence(&base),
-                );
+                self.push(ComponentKind::Table, base.clone(), column_evidence(&base));
             }
             bp_sql::TableFactor::Derived { subquery, .. } => self.collect_query(subquery),
         }
@@ -342,8 +356,7 @@ impl ComponentCollector {
             }
             Expr::Function { name, args, .. } if expr.is_aggregate_call() => {
                 let arg_name = args.first().and_then(column_name);
-                let (label, mut evidence) =
-                    aggregate_evidence(&name.value, arg_name.as_deref());
+                let (label, mut evidence) = aggregate_evidence(&name.value, arg_name.as_deref());
                 if let Some(alias) = alias {
                     evidence.extend(column_evidence(alias));
                 }
@@ -484,11 +497,7 @@ impl ComponentCollector {
             literal_evidence
         };
         if !evidence.is_empty() {
-            self.push(
-                ComponentKind::Filter,
-                label_parts.join(" vs "),
-                evidence,
-            );
+            self.push(ComponentKind::Filter, label_parts.join(" vs "), evidence);
         }
     }
 }
@@ -632,10 +641,13 @@ mod tests {
             "Names of students enrolled in the Fall term (based on the enrollments records).",
         )
         .unwrap();
-        assert!(report
-            .components
-            .iter()
-            .any(|c| c.kind == ComponentKind::Table && c.label.eq_ignore_ascii_case("enrollments")));
+        assert!(
+            report
+                .components
+                .iter()
+                .any(|c| c.kind == ComponentKind::Table
+                    && c.label.eq_ignore_ascii_case("enrollments"))
+        );
         assert!(report.score() > 0.8);
     }
 

@@ -81,7 +81,11 @@ impl QueryAnalysis {
         let predicates = self.predicate_count as f64;
         // Weighted sum; weights chosen so public-benchmark-style queries land
         // around 1-4 and enterprise (Beaver-like) queries around 8-20.
-        0.8 * tables + 0.25 * columns + 0.9 * aggregates + 2.0 * nesting + 0.6 * joins
+        0.8 * tables
+            + 0.25 * columns
+            + 0.9 * aggregates
+            + 2.0 * nesting
+            + 0.6 * joins
             + 0.3 * predicates
     }
 }
@@ -226,8 +230,7 @@ fn walk_expr(expr: &Expr, depth: usize, a: &mut QueryAnalysis) {
         } => {
             if expr.is_aggregate_call() {
                 a.aggregate_count += 1;
-                a.aggregate_functions
-                    .push(name.value.to_ascii_uppercase());
+                a.aggregate_functions.push(name.value.to_ascii_uppercase());
             }
             for arg in args {
                 walk_expr(arg, depth, a);
@@ -367,10 +370,17 @@ pub fn split_conjuncts(expr: &Expr) -> Vec<&Expr> {
                 walk(left, out);
                 walk(right, out);
             }
-            Expr::Nested(inner) if matches!(
-                inner.as_ref(),
-                Expr::BinaryOp { op: BinaryOperator::And, .. } | Expr::Nested(_)
-            ) => walk(inner, out),
+            Expr::Nested(inner)
+                if matches!(
+                    inner.as_ref(),
+                    Expr::BinaryOp {
+                        op: BinaryOperator::And,
+                        ..
+                    } | Expr::Nested(_)
+                ) =>
+            {
+                walk(inner, out)
+            }
             other => out.push(other),
         }
     }
@@ -681,22 +691,23 @@ mod tests {
 
     #[test]
     fn equi_join_keys_separates_pairs_from_residual() {
-        let on = parse_where(
-            "SELECT 1 FROM t WHERE a.x = b.y AND a.k = b.k AND a.z > 3 AND a.w = 1",
-        );
+        let on =
+            parse_where("SELECT 1 FROM t WHERE a.x = b.y AND a.k = b.k AND a.z > 3 AND a.w = 1");
         let extraction = equi_join_keys(&on);
         assert_eq!(extraction.pairs.len(), 2);
         assert_eq!(extraction.pairs[0].0.normalized_column(), "X");
-        assert_eq!(extraction.pairs[0].1.normalized_qualifier(), Some("B".into()));
+        assert_eq!(
+            extraction.pairs[0].1.normalized_qualifier(),
+            Some("B".into())
+        );
         // `a.z > 3` (not Eq) and `a.w = 1` (literal side) are residual.
         assert_eq!(extraction.residual.len(), 2);
     }
 
     #[test]
     fn collect_column_refs_skips_subqueries() {
-        let e = parse_where(
-            "SELECT 1 FROM t WHERE a + b > 1 AND c IN (SELECT d FROM u WHERE e = 1)",
-        );
+        let e =
+            parse_where("SELECT 1 FROM t WHERE a + b > 1 AND c IN (SELECT d FROM u WHERE e = 1)");
         let mut refs = Vec::new();
         collect_column_refs(&e, &mut refs);
         let names: Vec<String> = refs.iter().map(|r| r.normalized_column()).collect();

@@ -354,7 +354,12 @@ mod tests {
     #[test]
     fn skips_line_and_block_comments() {
         let toks = kinds("SELECT a -- trailing\n, b /* block\ncomment */ FROM t");
-        assert_eq!(toks.iter().filter(|t| matches!(t, Token::Identifier { .. })).count(), 3);
+        assert_eq!(
+            toks.iter()
+                .filter(|t| matches!(t, Token::Identifier { .. }))
+                .count(),
+            3
+        );
     }
 
     #[test]

@@ -269,7 +269,10 @@ impl Parser {
             Keyword::Int | Keyword::Integer | Keyword::Bigint | Keyword::Smallint => {
                 DataType::Integer
             }
-            Keyword::Number | Keyword::Decimal | Keyword::Numeric | Keyword::Float
+            Keyword::Number
+            | Keyword::Decimal
+            | Keyword::Numeric
+            | Keyword::Float
             | Keyword::Real => DataType::Float,
             Keyword::Double => {
                 self.eat_keyword(Keyword::Precision);
@@ -773,8 +776,7 @@ impl Parser {
                     negated: false,
                 })
             }
-            Some(Token::Keyword(Keyword::Not))
-                if matches!(self.peek_at(1), Some(t) if t.is_keyword(Keyword::Exists)) =>
+            Some(Token::Keyword(Keyword::Not)) if matches!(self.peek_at(1), Some(t) if t.is_keyword(Keyword::Exists)) =>
             {
                 self.pos += 2;
                 self.expect_token(&Token::LeftParen)?;
@@ -1125,10 +1127,9 @@ mod tests {
 
     #[test]
     fn parses_multi_statement_script() {
-        let stmts = parse_statements(
-            "CREATE TABLE t (a INT); SELECT a FROM t; SELECT COUNT(*) FROM t;",
-        )
-        .unwrap();
+        let stmts =
+            parse_statements("CREATE TABLE t (a INT); SELECT a FROM t; SELECT COUNT(*) FROM t;")
+                .unwrap();
         assert_eq!(stmts.len(), 3);
     }
 

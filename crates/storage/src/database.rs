@@ -135,17 +135,18 @@ impl Database {
         options: ExecOptions,
     ) -> StorageResult<QueryResult> {
         match options.strategy {
-            ExecStrategy::Planned => crate::physical::execute_planned_opts(self, query, options),
+            // Planned = columnar batches (the default); RowPlanned = the
+            // row-at-a-time planned engine, kept as a differential oracle
+            // for the columnar representation.
+            ExecStrategy::Planned | ExecStrategy::RowPlanned => {
+                crate::physical::execute_planned_opts(self, query, options)
+            }
             ExecStrategy::Legacy => Executor::new(self).execute(query),
         }
     }
 
     /// Execute SQL text with full [`ExecOptions`] control.
-    pub fn execute_sql_opts(
-        &self,
-        sql: &str,
-        options: ExecOptions,
-    ) -> StorageResult<QueryResult> {
+    pub fn execute_sql_opts(&self, sql: &str, options: ExecOptions) -> StorageResult<QueryResult> {
         let query = bp_sql::parse_query(sql)?;
         self.execute_opts(&query, options)
     }

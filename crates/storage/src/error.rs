@@ -65,7 +65,9 @@ mod tests {
             StorageError::UnknownTable("T".into()).to_string(),
             "unknown table 'T'"
         );
-        assert!(StorageError::TypeError("x".into()).to_string().contains("type error"));
+        assert!(StorageError::TypeError("x".into())
+            .to_string()
+            .contains("type error"));
     }
 
     #[test]

@@ -24,7 +24,7 @@ use bp_sql::{
 
 use crate::database::Database;
 use crate::error::{StorageError, StorageResult};
-use crate::plan::{expand_projection, contains_aggregate, ColumnBinding};
+use crate::plan::{contains_aggregate, expand_projection, ColumnBinding};
 use crate::result::QueryResult;
 use crate::scalar::{
     canonical_function_name, cast_value, combine_set_operation, composite_key, eq_upper,
@@ -183,9 +183,7 @@ impl<'a> Executor<'a> {
         outer: Option<&EvalCtx<'_>>,
     ) -> StorageResult<QueryResult> {
         match body {
-            SetExpr::Select(select) => {
-                self.execute_select(select, &[], None, None, ctes, outer)
-            }
+            SetExpr::Select(select) => self.execute_select(select, &[], None, None, ctes, outer),
             SetExpr::Query(query) => self.execute_query(query, ctes, outer),
             SetExpr::SetOperation {
                 op,
@@ -267,7 +265,14 @@ impl<'a> Executor<'a> {
             let mut relation = self.scan_table_factor(&twj.relation, ctes, outer)?;
             for join in &twj.joins {
                 let right = self.scan_table_factor(&join.relation, ctes, outer)?;
-                relation = self.join(relation, right, join.operator, &join.constraint, ctes, outer)?;
+                relation = self.join(
+                    relation,
+                    right,
+                    join.operator,
+                    &join.constraint,
+                    ctes,
+                    outer,
+                )?;
             }
             combined = Some(match combined {
                 None => relation,
@@ -319,9 +324,7 @@ impl<'a> Executor<'a> {
                     rows.push(combined);
                 }
             }
-            if !matched
-                && matches!(operator, JoinOperator::LeftOuter | JoinOperator::FullOuter)
-            {
+            if !matched && matches!(operator, JoinOperator::LeftOuter | JoinOperator::FullOuter) {
                 let mut combined = lrow.clone();
                 combined.extend(std::iter::repeat_n(Value::Null, right.width()));
                 rows.push(combined);
@@ -381,9 +384,7 @@ impl<'a> Executor<'a> {
         // Expand the projection into concrete items.
         let projection = expand_projection(&select.projection, &relation.bindings);
         let aggregate_query = !select.group_by.is_empty()
-            || projection
-                .iter()
-                .any(|(expr, _)| contains_aggregate(expr))
+            || projection.iter().any(|(expr, _)| contains_aggregate(expr))
             || select.having.as_ref().is_some_and(contains_aggregate);
 
         let columns: Vec<String> = projection.iter().map(|(_, name)| name.clone()).collect();
@@ -590,7 +591,9 @@ impl<'a> Executor<'a> {
                 let key = match &item.expr {
                     Expr::Literal(Literal::Number(n)) => {
                         let idx: usize = n.parse().unwrap_or(0);
-                        row.get(idx.saturating_sub(1)).cloned().unwrap_or(Value::Null)
+                        row.get(idx.saturating_sub(1))
+                            .cloned()
+                            .unwrap_or(Value::Null)
                     }
                     Expr::Identifier(ident) => {
                         let target = ident.normalized();
@@ -643,7 +646,9 @@ impl<'a> Executor<'a> {
                 .filter(|n| *n >= 0)
                 .map(|n| n as usize)
                 .ok_or_else(|| {
-                    StorageError::TypeError(format!("LIMIT/OFFSET must be a non-negative integer, got {v}"))
+                    StorageError::TypeError(format!(
+                        "LIMIT/OFFSET must be a non-negative integer, got {v}"
+                    ))
                 })
         };
         if let Some(offset) = offset {
@@ -740,10 +745,7 @@ fn eval_expr(ctx: &EvalCtx<'_>, expr: &Expr) -> StorageResult<Value> {
             conditions,
             else_result,
         } => {
-            let operand_value = operand
-                .as_ref()
-                .map(|o| eval_expr(ctx, o))
-                .transpose()?;
+            let operand_value = operand.as_ref().map(|o| eval_expr(ctx, o)).transpose()?;
             for (condition, result) in conditions {
                 let matched = match &operand_value {
                     Some(op_value) => {
@@ -846,12 +848,16 @@ fn eval_expr(ctx: &EvalCtx<'_>, expr: &Expr) -> StorageResult<Value> {
             let v = eval_expr(ctx, expr)?;
             let p = eval_expr(ctx, pattern)?;
             match (v.as_text(), p.as_text()) {
-                (Some(text), Some(pattern)) => Ok(Value::Bool(like_match(text, pattern) != *negated)),
+                (Some(text), Some(pattern)) => {
+                    Ok(Value::Bool(like_match(text, pattern) != *negated))
+                }
                 _ => {
                     if v.is_null() || p.is_null() {
                         Ok(Value::Null)
                     } else {
-                        Ok(Value::Bool(like_match(&v.to_string(), &p.to_string()) != *negated))
+                        Ok(Value::Bool(
+                            like_match(&v.to_string(), &p.to_string()) != *negated,
+                        ))
                     }
                 }
             }
@@ -911,7 +917,11 @@ fn eval_function(
                 Value::Int(i) => Value::Int(i.abs()),
                 Value::Float(f) => Value::Float(f.abs()),
                 Value::Null => Value::Null,
-                other => return Err(StorageError::TypeError(format!("ABS({other}) is not numeric"))),
+                other => {
+                    return Err(StorageError::TypeError(format!(
+                        "ABS({other}) is not numeric"
+                    )))
+                }
             })
         }
         "ROUND" => {
@@ -956,7 +966,8 @@ fn eval_function(
 }
 
 fn require_arg<'e>(name: &str, args: &'e [Expr], index: usize) -> StorageResult<&'e Expr> {
-    args.get(index).ok_or_else(|| missing_arg_error(name, index))
+    args.get(index)
+        .ok_or_else(|| missing_arg_error(name, index))
 }
 
 fn eval_aggregate(

@@ -199,7 +199,9 @@ mod executor_tests {
             .unwrap();
         assert_eq!(by_ordinal.rows[0][0], Value::Text("alice".into()));
         let by_alias = db
-            .execute_sql("SELECT name, gpa AS grade_point FROM students ORDER BY grade_point LIMIT 1")
+            .execute_sql(
+                "SELECT name, gpa AS grade_point FROM students ORDER BY grade_point LIMIT 1",
+            )
             .unwrap();
         assert_eq!(by_alias.rows[0][0], Value::Text("dave".into()));
         let by_expr = db
@@ -226,7 +228,9 @@ mod executor_tests {
     #[test]
     fn distinct_rows() {
         let db = campus_db();
-        let r = db.execute_sql("SELECT DISTINCT dept FROM students").unwrap();
+        let r = db
+            .execute_sql("SELECT DISTINCT dept FROM students")
+            .unwrap();
         assert_eq!(r.row_count(), 2);
     }
 
@@ -471,9 +475,7 @@ mod executor_tests {
             assert_engines_agree(
                 "SELECT dept FROM students UNION ALL SELECT DEPT FROM MOIRA_LIST ORDER BY 1 LIMIT 3 OFFSET 1",
             );
-            assert_engines_agree(
-                "SELECT dept FROM students INTERSECT SELECT DEPT FROM MOIRA_LIST",
-            );
+            assert_engines_agree("SELECT dept FROM students INTERSECT SELECT DEPT FROM MOIRA_LIST");
             assert_engines_agree(
                 "SELECT DEPT FROM MOIRA_LIST EXCEPT ALL SELECT dept FROM students",
             );
@@ -585,7 +587,9 @@ mod executor_tests {
                  ON s.id = e.student_id AND bogus = 1",
             );
             // ...and the evaluated-error cases still error in both engines.
-            assert_engines_agree("SELECT CASE WHEN 1 = 1 THEN UNSUPPORTED_FN(name) ELSE 1 END FROM students");
+            assert_engines_agree(
+                "SELECT CASE WHEN 1 = 1 THEN UNSUPPORTED_FN(name) ELSE 1 END FROM students",
+            );
             assert_engines_agree("SELECT SUBSTR(name) FROM students");
         }
 
@@ -684,8 +688,7 @@ mod executor_tests {
             // Error paths are deterministic too: first-row-in-order error.
             let err_sql = "SELECT 1 / (id - 700) FROM orders";
             let serial_err = db.execute_sql_opts(err_sql, ExecOptions::serial());
-            let parallel_err =
-                db.execute_sql_opts(err_sql, ExecOptions::default().with_threads(8));
+            let parallel_err = db.execute_sql_opts(err_sql, ExecOptions::default().with_threads(8));
             assert_eq!(serial_err, parallel_err);
             assert!(serial_err.is_err());
         }

@@ -212,11 +212,23 @@ impl<'a> Compiler<'a> {
                     .as_ref()
                     .map(|e| self.compile_expr(e, &[]))
                     .transpose()?;
-                Ok(PhysNode::Limit {
-                    input: Box::new(compiled_input),
-                    limit,
-                    offset,
-                })
+                // Fuse `ORDER BY … LIMIT n` into a bounded Top-K: the heap
+                // keeps `n + offset` rows instead of sorting everything.
+                // Plain `Sort` stays for unlimited queries, and OFFSET-only
+                // limits keep the full sort (every row may still surface).
+                match (compiled_input, limit) {
+                    (PhysNode::Sort { input, keys }, Some(limit)) => Ok(PhysNode::TopK {
+                        input,
+                        keys,
+                        limit,
+                        offset,
+                    }),
+                    (compiled_input, limit) => Ok(PhysNode::Limit {
+                        input: Box::new(compiled_input),
+                        limit,
+                        offset,
+                    }),
+                }
             }
             LogicalPlan::SetOp {
                 op,
@@ -229,9 +241,9 @@ impl<'a> Compiler<'a> {
                 left: Box::new(self.compile_query_plan(left)?),
                 right: Box::new(self.compile_query_plan(right)?),
             }),
-            LogicalPlan::Nested(sub) => Ok(PhysNode::Nested(Box::new(
-                self.compile_query_plan(sub)?,
-            ))),
+            LogicalPlan::Nested(sub) => {
+                Ok(PhysNode::Nested(Box::new(self.compile_query_plan(sub)?)))
+            }
         }
     }
 
@@ -243,7 +255,9 @@ impl<'a> Compiler<'a> {
         match expr {
             Expr::Identifier(_) | Expr::CompoundIdentifier(_) => {
                 let Some(cr) = column_ref(expr) else {
-                    return Ok(PhysExpr::Fail(StorageError::UnknownColumn("<empty>".into())));
+                    return Ok(PhysExpr::Fail(StorageError::UnknownColumn(
+                        "<empty>".into(),
+                    )));
                 };
                 let qualifier = cr.qualifier.as_ref().map(|i| i.value.as_str());
                 let name = cr.column.value.as_str();
@@ -288,8 +302,8 @@ impl<'a> Compiler<'a> {
                     ))));
                 };
                 if is_aggregate_name(canonical) {
-                    let count_star = canonical == "COUNT"
-                        && matches!(args.first(), Some(Expr::Wildcard) | None);
+                    let count_star =
+                        canonical == "COUNT" && matches!(args.first(), Some(Expr::Wildcard) | None);
                     let arg = if count_star {
                         None
                     } else {

@@ -21,10 +21,14 @@ use bp_sql::{BinaryOperator, DataType, UnaryOperator};
 use crate::error::{StorageError, StorageResult};
 use crate::plan::ColumnBinding;
 use crate::result::QueryResult;
-use crate::scalar::{cast_value, eval_binary, eval_unary_minus, finish_aggregate, map_text};
+use crate::scalar::{
+    cast_value, eval_binary, eval_binary_cols, eval_neg_col, eval_unary_minus, finish_aggregate,
+    map_text, truth3_col,
+};
 use crate::table::Row;
 use crate::value::{like_match, Value};
 
+use super::batch::{Batch, ColumnBuilder, ColumnVec, NullMask};
 use super::{exec_query_plan, OuterEnv, PhysQueryPlan, RunCtx};
 
 /// A subquery compiled into its own physical plan.
@@ -83,10 +87,8 @@ impl SubPlan {
             parent: env.ctx.outer,
         };
         let ctx = RunCtx {
-            db: env.ctx.db,
-            frame: env.ctx.frame,
             outer: Some(&outer),
-            threads: env.ctx.threads,
+            ..*env.ctx
         };
         exec_query_plan(plan, &ctx)
     }
@@ -376,6 +378,159 @@ impl PhysExpr {
     pub(crate) fn eval_truthy(&self, env: &EvalEnv<'_>) -> StorageResult<bool> {
         Ok(self.eval(env)?.is_truthy())
     }
+
+    /// Evaluate this expression over every **live** row of a batch,
+    /// returning a dense column aligned with the batch's selection.
+    ///
+    /// Comparisons, three-valued AND/OR, checked `i64` arithmetic, IS NULL,
+    /// NOT, CAST, BETWEEN and LIKE run as vectorized (or semi-vectorized)
+    /// kernels; subqueries, CASE, scalar functions, IN and aggregates take
+    /// the per-row fallback so their lazy/short-circuit evaluation order is
+    /// untouched. Evaluation is restricted to selected rows by
+    /// construction, so a filtered-out row can never raise an error the row
+    /// engine would not raise.
+    pub(crate) fn eval_batch(
+        &self,
+        batch: &Batch,
+        env: &BatchEnv<'_>,
+    ) -> StorageResult<Arc<ColumnVec>> {
+        let n = batch.live();
+        match self {
+            PhysExpr::Column(idx) => Ok(batch.column_live(*idx)),
+            PhysExpr::Literal(v) => Ok(Arc::new(ColumnVec::broadcast(v, n))),
+            PhysExpr::Binary { left, op, right } => {
+                let l = left.eval_batch(batch, env)?;
+                let r = right.eval_batch(batch, env)?;
+                Ok(Arc::new(eval_binary_cols(&l, *op, &r)?))
+            }
+            PhysExpr::Unary { op, expr } => {
+                let c = expr.eval_batch(batch, env)?;
+                match op {
+                    UnaryOperator::Not => {
+                        let (truth, mask) = truth3_col(&c);
+                        Ok(Arc::new(ColumnVec::Bool(
+                            truth.iter().map(|t| !t).collect(),
+                            mask,
+                        )))
+                    }
+                    UnaryOperator::Minus => Ok(Arc::new(eval_neg_col(&c)?)),
+                    UnaryOperator::Plus => Ok(c),
+                }
+            }
+            PhysExpr::IsNull { expr, negated } => {
+                let c = expr.eval_batch(batch, env)?;
+                let vals = (0..n).map(|i| c.is_null(i) != *negated).collect();
+                Ok(Arc::new(ColumnVec::Bool(vals, NullMask::new(n))))
+            }
+            PhysExpr::Cast { expr, data_type } => {
+                let c = expr.eval_batch(batch, env)?;
+                let mut out = ColumnBuilder::with_capacity(n);
+                for i in 0..n {
+                    out.push(cast_value(c.value(i), *data_type));
+                }
+                Ok(Arc::new(out.finish()))
+            }
+            PhysExpr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
+                // The row path always evaluates all three operands, so
+                // evaluating them as whole columns is unobservable.
+                let v = expr.eval_batch(batch, env)?;
+                let lo = low.eval_batch(batch, env)?;
+                let hi = high.eval_batch(batch, env)?;
+                let mut vals = Vec::with_capacity(n);
+                let mut mask = NullMask::new(n);
+                for i in 0..n {
+                    if v.is_null(i) || lo.is_null(i) || hi.is_null(i) {
+                        vals.push(false);
+                        mask.set(i);
+                        continue;
+                    }
+                    let (x, l, h) = (v.value(i), lo.value(i), hi.value(i));
+                    let within = x.total_cmp(&l) != std::cmp::Ordering::Less
+                        && x.total_cmp(&h) != std::cmp::Ordering::Greater;
+                    vals.push(within != *negated);
+                }
+                Ok(Arc::new(ColumnVec::Bool(vals, mask)))
+            }
+            PhysExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                let v = expr.eval_batch(batch, env)?;
+                let p = pattern.eval_batch(batch, env)?;
+                let mut out = ColumnBuilder::with_capacity(n);
+                for i in 0..n {
+                    let (vv, pv) = (v.value(i), p.value(i));
+                    out.push(match (vv.as_text(), pv.as_text()) {
+                        (Some(text), Some(pat)) => Value::Bool(like_match(text, pat) != *negated),
+                        _ if vv.is_null() || pv.is_null() => Value::Null,
+                        _ => Value::Bool(like_match(&vv.to_string(), &pv.to_string()) != *negated),
+                    });
+                }
+                Ok(Arc::new(out.finish()))
+            }
+            PhysExpr::Outer { .. } => {
+                // An outer reference is constant across the batch: it
+                // resolves through the enclosing row scopes, never through
+                // the batch itself. Zero live rows evaluate nothing (the
+                // row path would not reach the expression either).
+                if n == 0 {
+                    return Ok(Arc::new(ColumnVec::Any(Vec::new())));
+                }
+                let row_env = EvalEnv {
+                    ctx: env.ctx,
+                    bindings: env.bindings,
+                    row: &[],
+                    group: None,
+                };
+                let v = self.eval(&row_env)?;
+                Ok(Arc::new(ColumnVec::broadcast(&v, n)))
+            }
+            PhysExpr::Fail(error) => {
+                if n == 0 {
+                    Ok(Arc::new(ColumnVec::Any(Vec::new())))
+                } else {
+                    Err(error.clone())
+                }
+            }
+            // Subqueries, CASE, COALESCE-style functions, IN and aggregates
+            // keep their per-row (lazy) evaluation order.
+            _ => self.eval_batch_fallback(batch, env),
+        }
+    }
+
+    /// Per-row fallback: gather each live row and evaluate with the row
+    /// engine's own `eval`, preserving laziness and error order exactly.
+    fn eval_batch_fallback(
+        &self,
+        batch: &Batch,
+        env: &BatchEnv<'_>,
+    ) -> StorageResult<Arc<ColumnVec>> {
+        let mut out = ColumnBuilder::with_capacity(batch.live());
+        for i in batch.live_rows() {
+            let row = batch.gather_row(i);
+            let row_env = EvalEnv {
+                ctx: env.ctx,
+                bindings: env.bindings,
+                row: &row,
+                group: None,
+            };
+            out.push(self.eval(&row_env)?);
+        }
+        Ok(Arc::new(out.finish()))
+    }
+}
+
+/// Batch-level evaluation environment: the runtime context plus the input
+/// bindings (the batch itself carries the data).
+pub(crate) struct BatchEnv<'a> {
+    pub ctx: &'a RunCtx<'a>,
+    pub bindings: &'a [ColumnBinding],
 }
 
 fn eval_scalar_fn(name: &str, args: &[PhysExpr], env: &EvalEnv<'_>) -> StorageResult<Value> {

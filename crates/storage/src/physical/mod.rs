@@ -15,17 +15,24 @@
 //!   per row;
 //! * evaluates pushed-down filters before joins instead of after.
 //!
-//! The legacy interpreter remains available behind [`ExecStrategy::Legacy`]
-//! and serves as the differential-testing oracle: both engines must produce
-//! identical [`QueryResult`]s (see the workspace `differential` proptest
-//! suite).
+//! The default strategy executes the compiled plan over **columnar
+//! batches** (see the `batch` and `columnar` submodules): typed column
+//! vectors with null bitmaps, selection-vector filters, vectorized
+//! expression kernels, and column-slice join/group keys. The row-at-a-time
+//! executor in this module remains available behind
+//! [`ExecStrategy::RowPlanned`] as the representation oracle, and the
+//! legacy interpreter behind [`ExecStrategy::Legacy`] as the planning
+//! oracle: all engines must produce identical [`QueryResult`]s (see the
+//! workspace `differential` proptest suite).
 
+pub(crate) mod batch;
+mod columnar;
 mod compile;
 mod expr;
 mod join;
-mod parallel;
+pub(crate) mod parallel;
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use bp_sql::{Query, SetOperator};
 
@@ -45,11 +52,19 @@ use parallel::run_morsels;
 /// Which execution engine to use for a query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ExecStrategy {
-    /// The planned engine: logical plan + physical operators (default).
+    /// The planned engine executing **columnar batches**: scans decode
+    /// table rows into typed column vectors once, filters refine selection
+    /// vectors, expressions run as vectorized kernels (with a per-row
+    /// fallback for subqueries and other lazy constructs), and hash
+    /// join/aggregate key on column slices. The default.
     #[default]
     Planned,
+    /// The planned engine executing row-at-a-time (`Vec<Row>` between
+    /// operators) — the pre-columnar behavior, retained as a differential
+    /// oracle for the columnar representation.
+    RowPlanned,
     /// The legacy tree-walking interpreter, retained as the
-    /// differential-testing oracle.
+    /// differential-testing oracle for planning and compilation.
     Legacy,
 }
 
@@ -122,6 +137,7 @@ pub fn execute_planned_opts(
         frame: None,
         outer: None,
         threads: options.threads.max(1),
+        columnar: !matches!(options.strategy, ExecStrategy::RowPlanned),
     };
     exec_query_plan(&physical, &ctx)
 }
@@ -196,6 +212,16 @@ pub(crate) enum PhysNode {
         input: Box<PhysNode>,
         keys: Vec<SortKey>,
     },
+    /// `ORDER BY … LIMIT n [OFFSET m]` fused by the compiler into one
+    /// bounded operator: a binary heap keeps the `n + m` smallest rows by
+    /// (sort keys, input position) — the tie-break reproduces the stable
+    /// sort — instead of fully sorting the input.
+    TopK {
+        input: Box<PhysNode>,
+        keys: Vec<SortKey>,
+        limit: PhysExpr,
+        offset: Option<PhysExpr>,
+    },
     Limit {
         input: Box<PhysNode>,
         limit: Option<PhysExpr>,
@@ -236,24 +262,26 @@ pub(crate) struct OuterEnv<'a> {
 }
 
 /// The runtime execution context threaded through the operator tree.
+#[derive(Clone, Copy)]
 pub(crate) struct RunCtx<'a> {
     pub(crate) db: &'a Database,
     pub(crate) frame: Option<&'a CteFrame<'a>>,
     pub(crate) outer: Option<&'a OuterEnv<'a>>,
     /// Worker-thread budget for parallel operators (≥ 1; 1 = serial).
     pub(crate) threads: usize,
+    /// Execute operators over columnar batches (`true`, the default
+    /// strategy) or row-at-a-time (`false`, the row oracle).
+    pub(crate) columnar: bool,
 }
 
 impl<'a> RunCtx<'a> {
     /// The same context pinned to one thread — used inside parallel worker
     /// closures so nested operators (e.g. subqueries evaluated per row)
     /// never spawn a second level of workers on an already-busy pool.
-    fn serial(&self) -> RunCtx<'a> {
+    pub(crate) fn serial(&self) -> RunCtx<'a> {
         RunCtx {
-            db: self.db,
-            frame: self.frame,
-            outer: self.outer,
             threads: 1,
+            ..*self
         }
     }
 }
@@ -273,10 +301,8 @@ pub(crate) fn exec_query_plan(
             parent: ctx.frame,
         };
         let sub_ctx = RunCtx {
-            db: ctx.db,
             frame: Some(&frame),
-            outer: ctx.outer,
-            threads: ctx.threads,
+            ..*ctx
         };
         let result = exec_query_plan(sub, &sub_ctx)?;
         local.insert(name.clone(), result);
@@ -286,12 +312,14 @@ pub(crate) fn exec_query_plan(
         parent: ctx.frame,
     };
     let sub_ctx = RunCtx {
-        db: ctx.db,
         frame: Some(&frame),
-        outer: ctx.outer,
-        threads: ctx.threads,
+        ..*ctx
     };
-    let mut rows = exec_node(&plan.root, &sub_ctx)?;
+    let mut rows = if ctx.columnar {
+        columnar::exec_node_rows(&plan.root, &sub_ctx)?
+    } else {
+        exec_node(&plan.root, &sub_ctx)?
+    };
     // Strip hidden sort-key columns.
     let visible = plan.columns.len();
     for row in &mut rows {
@@ -441,7 +469,6 @@ fn exec_node(node: &PhysNode, ctx: &RunCtx<'_>) -> StorageResult<Vec<Row>> {
             bindings,
         } => {
             let input_rows = exec_node(input, ctx)?;
-            let width = bindings.len();
 
             // Phase 1 — parallel partial aggregation: each morsel worker
             // groups its rows locally (key → row indices, groups in
@@ -506,37 +533,7 @@ fn exec_node(node: &PhysNode, ctx: &RunCtx<'_>) -> StorageResult<Vec<Row>> {
                 groups.push(Vec::new());
             }
 
-            // Phase 3 — parallel finalization: HAVING + output expressions
-            // evaluate per group; group order is already deterministic.
-            let finalized = run_morsels(ctx.threads, groups.len(), |range| {
-                let wctx = ctx.serial();
-                let mut out: Vec<Option<Row>> = Vec::with_capacity(range.len());
-                for group_rows in &groups[range] {
-                    let representative = group_rows
-                        .first()
-                        .cloned()
-                        .unwrap_or_else(|| vec![Value::Null; width]);
-                    let env = EvalEnv {
-                        ctx: &wctx,
-                        bindings,
-                        row: &representative,
-                        group: Some(group_rows),
-                    };
-                    if let Some(having) = having {
-                        if !having.eval_truthy(&env)? {
-                            out.push(None);
-                            continue;
-                        }
-                    }
-                    let values = items
-                        .iter()
-                        .map(|item| item.eval(&env))
-                        .collect::<StorageResult<Row>>()?;
-                    out.push(Some(values));
-                }
-                Ok::<_, StorageError>(out)
-            })?;
-            let mut rows: Vec<Row> = finalized.into_iter().flatten().flatten().collect();
+            let mut rows = finalize_agg_groups(&groups, having.as_ref(), items, bindings, ctx)?;
             if *distinct {
                 dedup_rows(&mut rows, *visible);
             }
@@ -544,24 +541,22 @@ fn exec_node(node: &PhysNode, ctx: &RunCtx<'_>) -> StorageResult<Vec<Row>> {
         }
         PhysNode::Sort { input, keys } => {
             let mut rows = exec_node(input, ctx)?;
-            rows.sort_by(|a, b| {
-                for key in keys {
-                    let (va, vb) = match key.ordinal {
-                        Some(o) => (
-                            a.get(o).unwrap_or(&Value::Null),
-                            b.get(o).unwrap_or(&Value::Null),
-                        ),
-                        None => (&Value::Null, &Value::Null),
-                    };
-                    let ord = va.total_cmp(vb);
-                    let ord = if key.asc { ord } else { ord.reverse() };
-                    if ord != std::cmp::Ordering::Equal {
-                        return ord;
-                    }
-                }
-                std::cmp::Ordering::Equal
-            });
+            rows.sort_by(|a, b| compare_rows(a, b, keys));
             Ok(rows)
+        }
+        PhysNode::TopK {
+            input,
+            keys,
+            limit,
+            offset,
+        } => {
+            let rows = exec_node(input, ctx)?;
+            let skip = match offset {
+                Some(offset) => eval_count(offset, ctx)?,
+                None => 0,
+            };
+            let take = eval_count(limit, ctx)?;
+            Ok(top_k_rows(rows, keys, skip, take))
         }
         PhysNode::Limit {
             input,
@@ -607,16 +602,133 @@ fn concat_rows(chunks: Vec<Vec<Row>>, capacity: usize) -> Vec<Row> {
 }
 
 /// DISTINCT over the visible prefix of each row; keeps first occurrences.
-fn dedup_rows(rows: &mut Vec<Row>, visible: usize) {
-    let mut seen: HashMap<String, ()> = HashMap::new();
-    rows.retain(|row| {
-        let key = composite_key(&row[..visible.min(row.len())]);
-        seen.insert(key, ()).is_none()
-    });
+/// The composite key is encoded once per row and owned by the `HashSet`
+/// (no second encoding, no unit-value map).
+pub(crate) fn dedup_rows(rows: &mut Vec<Row>, visible: usize) {
+    let mut seen: HashSet<String> = HashSet::with_capacity(rows.len());
+    rows.retain(|row| seen.insert(composite_key(&row[..visible.min(row.len())])));
+}
+
+/// Compare two rows by sort keys, mirroring the engine's stable sort:
+/// missing ordinals and `None` ordinals compare as NULL.
+pub(crate) fn compare_rows(a: &Row, b: &Row, keys: &[SortKey]) -> std::cmp::Ordering {
+    for key in keys {
+        let (va, vb) = match key.ordinal {
+            Some(o) => (
+                a.get(o).unwrap_or(&Value::Null),
+                b.get(o).unwrap_or(&Value::Null),
+            ),
+            None => (&Value::Null, &Value::Null),
+        };
+        let ord = va.total_cmp(vb);
+        let ord = if key.asc { ord } else { ord.reverse() };
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// Bounded Top-K: the rows a stable sort followed by `OFFSET skip LIMIT
+/// take` would produce, computed with a binary heap of at most `skip +
+/// take` entries instead of a full sort. Ties break by input position,
+/// which is exactly what makes a stable sort stable — so the output is
+/// byte-identical to `Sort` + `Limit`.
+pub(crate) fn top_k_rows(rows: Vec<Row>, keys: &[SortKey], skip: usize, take: usize) -> Vec<Row> {
+    use std::collections::BinaryHeap;
+
+    struct Entry<'k> {
+        keys: &'k [SortKey],
+        row: Row,
+        idx: usize,
+    }
+    impl Entry<'_> {
+        fn order(&self, other: &Self) -> std::cmp::Ordering {
+            compare_rows(&self.row, &other.row, self.keys).then(self.idx.cmp(&other.idx))
+        }
+    }
+    impl PartialEq for Entry<'_> {
+        fn eq(&self, other: &Self) -> bool {
+            self.order(other) == std::cmp::Ordering::Equal
+        }
+    }
+    impl Eq for Entry<'_> {}
+    impl PartialOrd for Entry<'_> {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Entry<'_> {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.order(other)
+        }
+    }
+
+    let k = skip.saturating_add(take);
+    if k == 0 {
+        return Vec::new();
+    }
+    // Max-heap of the k smallest (keys, input-position) entries: the
+    // largest retained entry sits on top and is evicted by anything
+    // smaller. The reservation is clamped to the input size — `k` comes
+    // straight from user-supplied LIMIT/OFFSET and may be enormous.
+    let mut heap: BinaryHeap<Entry<'_>> = BinaryHeap::with_capacity(k.min(rows.len()) + 1);
+    for (idx, row) in rows.into_iter().enumerate() {
+        heap.push(Entry { keys, row, idx });
+        if heap.len() > k {
+            heap.pop();
+        }
+    }
+    let mut kept = heap.into_vec();
+    kept.sort_unstable_by(|a, b| a.order(b));
+    kept.drain(..skip.min(kept.len()));
+    kept.into_iter().map(|e| e.row).collect()
+}
+
+/// Phase 3 of hash aggregation, shared by the row and columnar engines:
+/// evaluate HAVING and the output expressions per group, in (already
+/// deterministic) group order, fanning out over morsels.
+pub(crate) fn finalize_agg_groups(
+    groups: &[Vec<Row>],
+    having: Option<&PhysExpr>,
+    items: &[PhysExpr],
+    bindings: &[ColumnBinding],
+    ctx: &RunCtx<'_>,
+) -> StorageResult<Vec<Row>> {
+    let width = bindings.len();
+    let finalized = run_morsels(ctx.threads, groups.len(), |range| {
+        let wctx = ctx.serial();
+        let mut out: Vec<Option<Row>> = Vec::with_capacity(range.len());
+        for group_rows in &groups[range] {
+            let representative = group_rows
+                .first()
+                .cloned()
+                .unwrap_or_else(|| vec![Value::Null; width]);
+            let env = EvalEnv {
+                ctx: &wctx,
+                bindings,
+                row: &representative,
+                group: Some(group_rows),
+            };
+            if let Some(having) = having {
+                if !having.eval_truthy(&env)? {
+                    out.push(None);
+                    continue;
+                }
+            }
+            let values = items
+                .iter()
+                .map(|item| item.eval(&env))
+                .collect::<StorageResult<Row>>()?;
+            out.push(Some(values));
+        }
+        Ok::<_, StorageError>(out)
+    })?;
+    Ok(finalized.into_iter().flatten().flatten().collect())
 }
 
 /// Evaluate a LIMIT/OFFSET expression (empty row scope) to a count.
-fn eval_count(expr: &PhysExpr, ctx: &RunCtx<'_>) -> StorageResult<usize> {
+pub(crate) fn eval_count(expr: &PhysExpr, ctx: &RunCtx<'_>) -> StorageResult<usize> {
     let env = EvalEnv {
         ctx,
         bindings: &[],
@@ -632,4 +744,130 @@ fn eval_count(expr: &PhysExpr, ctx: &RunCtx<'_>) -> StorageResult<usize> {
                 "LIMIT/OFFSET must be a non-negative integer, got {v}"
             ))
         })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, TableSchema};
+    use bp_sql::DataType;
+
+    fn row(values: &[i64]) -> Row {
+        values.iter().map(|v| Value::Int(*v)).collect()
+    }
+
+    #[test]
+    fn top_k_matches_stable_sort_truncate() {
+        // Duplicate keys with distinct payloads: stability is observable.
+        let rows: Vec<Row> = [[3, 0], [1, 1], [2, 2], [1, 3], [3, 4], [2, 5], [1, 6]]
+            .iter()
+            .map(|r| row(r))
+            .collect();
+        let keys = [SortKey {
+            ordinal: Some(0),
+            asc: true,
+        }];
+        for skip in 0..4 {
+            for take in 0..8 {
+                let mut expected = rows.clone();
+                expected.sort_by(|a, b| compare_rows(a, b, &keys));
+                let expected: Vec<Row> = expected.into_iter().skip(skip).take(take).collect();
+                let got = top_k_rows(rows.clone(), &keys, skip, take);
+                assert_eq!(got, expected, "skip={skip} take={take}");
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_survives_enormous_limits() {
+        // LIMIT/OFFSET come straight from user SQL: the heap reservation
+        // must clamp to the input size, not trust `skip + take`.
+        let rows: Vec<Row> = [[2, 0], [1, 1]].iter().map(|r| row(r)).collect();
+        let keys = [SortKey {
+            ordinal: Some(0),
+            asc: true,
+        }];
+        let got = top_k_rows(rows.clone(), &keys, 0, usize::MAX);
+        assert_eq!(got, vec![row(&[1, 1]), row(&[2, 0])]);
+        let got = top_k_rows(rows.clone(), &keys, usize::MAX, 1_000_000_000_000);
+        assert!(got.is_empty());
+
+        let mut db = Database::new("bigk");
+        db.create_table(TableSchema::new(
+            "t",
+            vec![Column::new("v", DataType::Integer)],
+        ))
+        .expect("schema");
+        db.insert_into("t", (0..10i64).map(|i| vec![Value::Int(9 - i)]))
+            .expect("rows");
+        for strategy in [ExecStrategy::Planned, ExecStrategy::RowPlanned] {
+            let result = db
+                .execute_sql_opts(
+                    "SELECT v FROM t ORDER BY v LIMIT 9223372036854775807",
+                    ExecOptions::new(strategy).with_threads(2),
+                )
+                .expect("enormous LIMIT must not panic or abort");
+            assert_eq!(result.rows.len(), 10);
+            assert_eq!(result.rows[0], vec![Value::Int(0)]);
+        }
+    }
+
+    #[test]
+    fn top_k_handles_descending_and_null_keys() {
+        let rows: Vec<Row> = [[1, 0], [5, 1], [3, 2]].iter().map(|r| row(r)).collect();
+        let keys = [SortKey {
+            ordinal: Some(0),
+            asc: false,
+        }];
+        let got = top_k_rows(rows.clone(), &keys, 0, 2);
+        assert_eq!(got, vec![row(&[5, 1]), row(&[3, 2])]);
+        // A constant NULL key leaves input order untouched.
+        let null_keys = [SortKey {
+            ordinal: None,
+            asc: true,
+        }];
+        let got = top_k_rows(rows.clone(), &null_keys, 1, 2);
+        assert_eq!(got, vec![row(&[5, 1]), row(&[3, 2])]);
+    }
+
+    #[test]
+    fn order_by_limit_compiles_to_top_k() {
+        let mut db = Database::new("topk");
+        db.create_table(TableSchema::new(
+            "t",
+            vec![
+                Column::new("id", DataType::Integer).primary_key(),
+                Column::new("v", DataType::Integer),
+            ],
+        ))
+        .expect("schema");
+        let compile_root = |sql: &str| {
+            let query = bp_sql::parse_query(sql).expect("parse");
+            let logical = Planner::new(&db).plan(&query).expect("plan");
+            Compiler::new(&db).compile(&logical).expect("compile").root
+        };
+        assert!(matches!(
+            compile_root("SELECT v FROM t ORDER BY v LIMIT 3"),
+            PhysNode::TopK { .. }
+        ));
+        assert!(matches!(
+            compile_root("SELECT v FROM t ORDER BY v LIMIT 3 OFFSET 2"),
+            PhysNode::TopK { .. }
+        ));
+        // Unlimited ORDER BY keeps the full sort...
+        assert!(matches!(
+            compile_root("SELECT v FROM t ORDER BY v"),
+            PhysNode::Sort { .. }
+        ));
+        // ...and so does an OFFSET-only limit (every row may still surface).
+        assert!(matches!(
+            compile_root("SELECT v FROM t ORDER BY v OFFSET 1"),
+            PhysNode::Limit { .. }
+        ));
+        // LIMIT without ORDER BY has nothing to fuse.
+        assert!(matches!(
+            compile_root("SELECT v FROM t LIMIT 3"),
+            PhysNode::Limit { .. }
+        ));
+    }
 }

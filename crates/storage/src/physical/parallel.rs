@@ -67,8 +67,7 @@ where
     }
     let cursor = AtomicUsize::new(0);
     let failed = AtomicBool::new(false);
-    let slots: Vec<Mutex<Option<Result<R, E>>>> =
-        (0..count).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<Result<R, E>>>> = (0..count).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
@@ -161,14 +160,9 @@ mod tests {
     #[test]
     fn earliest_error_wins() {
         for threads in [1usize, 4] {
-            let err = run_tasks::<usize, usize, _>(threads, 64, |i| {
-                if i >= 10 {
-                    Err(i)
-                } else {
-                    Ok(i)
-                }
-            })
-            .expect_err("tasks fail from index 10");
+            let err =
+                run_tasks::<usize, usize, _>(threads, 64, |i| if i >= 10 { Err(i) } else { Ok(i) })
+                    .expect_err("tasks fail from index 10");
             assert_eq!(err, 10, "threads={threads}");
         }
     }

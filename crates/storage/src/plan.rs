@@ -406,8 +406,7 @@ impl<'a> Planner<'a> {
                 let columns = operand.columns.clone();
                 // A bare parenthesized query keeps its own ordering when the
                 // outer query adds none; a set operation result is unordered.
-                let inner_ordered =
-                    matches!(body, SetExpr::Query(_)) && operand.ordered;
+                let inner_ordered = matches!(body, SetExpr::Query(_)) && operand.ordered;
                 let mut root = LogicalPlan::Nested(Box::new(operand));
                 if !query.order_by.is_empty() {
                     let keys = query
@@ -1178,7 +1177,10 @@ mod tests {
         assert!(rendered.contains("1 hidden"), "plan:\n{rendered}");
         assert!(rendered.contains("Sort [1]"), "plan:\n{rendered}");
         // Ordinal and alias keys need no hidden columns.
-        let plan2 = plan_sql(&db, "SELECT tag, amount AS a FROM child ORDER BY 2 DESC, tag");
+        let plan2 = plan_sql(
+            &db,
+            "SELECT tag, amount AS a FROM child ORDER BY 2 DESC, tag",
+        );
         let rendered2 = plan2.to_string();
         assert!(rendered2.contains("0 hidden"), "plan:\n{rendered2}");
         assert!(rendered2.contains("Sort [1 DESC, 0]"), "plan:\n{rendered2}");
@@ -1191,16 +1193,15 @@ mod tests {
             &db,
             "SELECT tag, COUNT(*) FROM child GROUP BY tag HAVING COUNT(*) > 1",
         );
-        assert!(plan.to_string().contains("HashAggregate [1 keys, 2 visible"));
+        assert!(plan
+            .to_string()
+            .contains("HashAggregate [1 keys, 2 visible"));
     }
 
     #[test]
     fn cte_scans_resolve_to_cte_source() {
         let db = two_table_db();
-        let plan = plan_sql(
-            &db,
-            "WITH c AS (SELECT tag FROM child) SELECT * FROM c",
-        );
+        let plan = plan_sql(&db, "WITH c AS (SELECT tag FROM child) SELECT * FROM c");
         let rendered = plan.to_string();
         assert!(rendered.contains("Cte C"), "plan:\n{rendered}");
         assert!(rendered.contains("ScanCte C"), "plan:\n{rendered}");

@@ -224,10 +224,7 @@ mod tests {
         .unwrap();
         db.insert_into(
             "t",
-            vec![
-                vec![1.into(), Value::Null],
-                vec![2.into(), Value::Null],
-            ],
+            vec![vec![1.into(), Value::Null], vec![2.into(), Value::Null]],
         )
         .unwrap();
         let p = profile_table(db.table("t").unwrap());

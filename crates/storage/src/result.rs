@@ -92,7 +92,13 @@ impl QueryResult {
             .collect();
         out.push_str(&header.join(" | "));
         out.push('\n');
-        out.push_str(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("-+-"));
+        out.push_str(
+            &widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("-+-"),
+        );
         out.push('\n');
         for row in &rendered {
             let line: Vec<String> = row
@@ -195,9 +201,8 @@ mod tests {
     fn separator_bearing_text_rows_do_not_collide() {
         // Under the old "\u{1}"-joined row key these two distinct rows
         // produced the same key, grading a wrong prediction as correct.
-        let text_row = |cells: &[&str]| -> Row {
-            cells.iter().map(|c| Value::Text((*c).into())).collect()
-        };
+        let text_row =
+            |cells: &[&str]| -> Row { cells.iter().map(|c| Value::Text((*c).into())).collect() };
         let gold = QueryResult {
             columns: vec!["a".into(), "b".into()],
             rows: vec![text_row(&["a\u{1}t:b", "c"])],

@@ -8,14 +8,15 @@
 //! casts, binary operators, aggregate finalization, case-insensitive name
 //! comparison, and the canonical hash keys used for grouping and joining.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use bp_sql::{BinaryOperator, Literal};
 
 use crate::error::{StorageError, StorageResult};
+use crate::physical::batch::{ColumnBuilder, ColumnVec, NullMask};
 use crate::result::QueryResult;
 use crate::table::Row;
-use crate::value::Value;
+use crate::value::{cmp_int_float, Value};
 
 // ---------------------------------------------------------------------
 // Case-insensitive identifier comparison (allocation-free)
@@ -102,7 +103,11 @@ pub(crate) fn cast_value(v: Value, target: bp_sql::DataType) -> Value {
     use bp_sql::DataType as DT;
     match target {
         DT::Integer => match &v {
-            Value::Text(s) => s.trim().parse::<i64>().map(Value::Int).unwrap_or(Value::Null),
+            Value::Text(s) => s
+                .trim()
+                .parse::<i64>()
+                .map(Value::Int)
+                .unwrap_or(Value::Null),
             _ => v.as_i64().map(Value::Int).unwrap_or(Value::Null),
         },
         DT::Float => match &v {
@@ -202,10 +207,7 @@ pub(crate) fn eval_binary(left: &Value, op: BinaryOperator, right: &Value) -> St
                 _ => unreachable!(),
             };
             result.map(Value::Int).ok_or_else(|| {
-                StorageError::Arithmetic(format!(
-                    "integer overflow in {a} {} {b}",
-                    op.as_sql()
-                ))
+                StorageError::Arithmetic(format!("integer overflow in {a} {} {b}", op.as_sql()))
             })
         }
         Plus | Minus | Multiply | Divide | Modulo => {
@@ -239,9 +241,10 @@ pub(crate) fn eval_binary(left: &Value, op: BinaryOperator, right: &Value) -> St
 /// routed through `f64` and truncated); `-i64::MIN` is an overflow error.
 pub(crate) fn eval_unary_minus(v: &Value) -> StorageResult<Value> {
     match v {
-        Value::Int(i) => i.checked_neg().map(Value::Int).ok_or_else(|| {
-            StorageError::Arithmetic(format!("integer overflow in -({i})"))
-        }),
+        Value::Int(i) => i
+            .checked_neg()
+            .map(Value::Int)
+            .ok_or_else(|| StorageError::Arithmetic(format!("integer overflow in -({i})"))),
         other => other
             .as_f64()
             .map(|f| Value::Float(-f))
@@ -273,8 +276,8 @@ pub(crate) fn finish_aggregate(
     distinct: bool,
 ) -> StorageResult<Value> {
     if distinct {
-        let mut seen = HashMap::new();
-        values.retain(|v| seen.insert(v.group_key(), ()).is_none());
+        let mut seen = HashSet::new();
+        values.retain(|v| seen.insert(v.group_key()));
     }
     match name {
         "COUNT" => Ok(Value::Int(values.len() as i64)),
@@ -322,10 +325,7 @@ pub(crate) fn finish_aggregate(
 
 /// Error helper for functions that require an argument at `index`.
 pub(crate) fn missing_arg_error(name: &str, index: usize) -> StorageError {
-    StorageError::TypeError(format!(
-        "{name} expects at least {} argument(s)",
-        index + 1
-    ))
+    StorageError::TypeError(format!("{name} expects at least {} argument(s)", index + 1))
 }
 
 // ---------------------------------------------------------------------
@@ -393,8 +393,8 @@ pub(crate) fn combine_set_operation(
             let mut rows = left.rows;
             rows.extend(right.rows);
             if !all {
-                let mut seen = HashMap::new();
-                rows.retain(|r| seen.insert(key(r), ()).is_none());
+                let mut seen = HashSet::new();
+                rows.retain(|r| seen.insert(key(r)));
             }
             rows
         }
@@ -447,6 +447,320 @@ pub(crate) fn combine_set_operation(
         rows,
         ordered: false,
     })
+}
+
+// ---------------------------------------------------------------------
+// Vectorized kernels (columnar engine)
+// ---------------------------------------------------------------------
+//
+// Each kernel evaluates one operator over whole columns and must agree
+// cell-for-cell with the scalar functions above: the fast paths below cover
+// the hot type combinations with tight loops, and *every* other combination
+// falls through to a per-element loop over [`eval_binary`] itself, so the
+// kernels' *values* cannot drift from the row engines. Kernels stop at the
+// first erroring element in row order; because batch boundaries are fixed
+// (never derived from the thread budget), the reported error is identical
+// at every thread count. Error *identity* may still differ from the
+// row-at-a-time engine when several operands can fail (operand-major vs
+// row-major evaluation) — see the documented divergence in
+// `crate::physical::columnar`.
+
+/// Three-valued truth of each cell: the truth vector plus a NULL (UNKNOWN)
+/// mask. Matches [`Value::is_truthy`] / `bool3` exactly: note dates and
+/// timestamps are always truthy, including 0.
+pub(crate) fn truth3_col(col: &ColumnVec) -> (Vec<bool>, NullMask) {
+    let n = col.len();
+    match col {
+        ColumnVec::Bool(v, m) => (v.clone(), m.clone()),
+        ColumnVec::Int64(v, m) => (v.iter().map(|x| *x != 0).collect(), m.clone()),
+        ColumnVec::Float64(v, m) => (v.iter().map(|x| *x != 0.0).collect(), m.clone()),
+        ColumnVec::Text(v, m) => (v.iter().map(|s| !s.is_empty()).collect(), m.clone()),
+        ColumnVec::Date(_, m) | ColumnVec::Timestamp(_, m) => (vec![true; n], m.clone()),
+        ColumnVec::Any(values) => {
+            let mut truth = Vec::with_capacity(n);
+            let mut mask = NullMask::new(n);
+            for (i, v) in values.iter().enumerate() {
+                if v.is_null() {
+                    mask.set(i);
+                    truth.push(false);
+                } else {
+                    truth.push(v.is_truthy());
+                }
+            }
+            (truth, mask)
+        }
+    }
+}
+
+/// Exact-or-float comparison of two `f64`s with [`Value::total_cmp`]'s
+/// rules (exactly-integral floats compare as `i64`, NaN compares Equal).
+#[inline]
+fn cmp_f64_f64(a: f64, b: f64) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    match (Value::Float(a).exact_int(), Value::Float(b).exact_int()) {
+        (Some(x), Some(y)) => x.cmp(&y),
+        (Some(x), None) => cmp_int_float(x, b),
+        (None, Some(y)) => cmp_int_float(y, a).reverse(),
+        (None, None) => a.partial_cmp(&b).unwrap_or(Ordering::Equal),
+    }
+}
+
+/// Exact `i64` vs `f64` comparison with [`Value::total_cmp`]'s rules.
+#[inline]
+fn cmp_i64_f64(a: i64, b: f64) -> std::cmp::Ordering {
+    match Value::Float(b).exact_int() {
+        Some(y) => a.cmp(&y),
+        None => cmp_int_float(a, b),
+    }
+}
+
+/// Turn an ordering into the boolean a comparison operator yields.
+#[inline]
+fn cmp_outcome(op: BinaryOperator, ord: std::cmp::Ordering) -> bool {
+    use std::cmp::Ordering::*;
+    match op {
+        BinaryOperator::Eq => ord == Equal,
+        BinaryOperator::NotEq => ord != Equal,
+        BinaryOperator::Lt => ord == Less,
+        BinaryOperator::LtEq => ord != Greater,
+        BinaryOperator::Gt => ord == Greater,
+        BinaryOperator::GtEq => ord != Less,
+        _ => unreachable!("comparison kernels only"),
+    }
+}
+
+/// The `i64` payload of exactly-integer-valued columns (Int/Date/Timestamp
+/// — every stored value is an exact integer).
+fn i64_view(col: &ColumnVec) -> Option<(&[i64], &NullMask)> {
+    match col {
+        ColumnVec::Int64(v, m) | ColumnVec::Date(v, m) | ColumnVec::Timestamp(v, m) => Some((v, m)),
+        _ => None,
+    }
+}
+
+/// Evaluate a binary operator over two equal-length columns. Fast paths:
+/// integer/float/text comparisons, three-valued AND/OR, checked `i64`
+/// arithmetic, and float arithmetic; everything else loops over
+/// [`eval_binary`] per element.
+pub(crate) fn eval_binary_cols(
+    left: &ColumnVec,
+    op: BinaryOperator,
+    right: &ColumnVec,
+) -> StorageResult<ColumnVec> {
+    use BinaryOperator::*;
+    let n = left.len();
+    debug_assert_eq!(n, right.len());
+
+    // Three-valued AND/OR over truth vectors.
+    if matches!(op, And | Or) {
+        let (lt, lm) = truth3_col(left);
+        let (rt, rm) = truth3_col(right);
+        let mut vals = Vec::with_capacity(n);
+        let mut mask = NullMask::new(n);
+        for i in 0..n {
+            let l = if lm.get(i) { None } else { Some(lt[i]) };
+            let r = if rm.get(i) { None } else { Some(rt[i]) };
+            let out = match op {
+                And => match (l, r) {
+                    (Some(false), _) | (_, Some(false)) => Some(false),
+                    (Some(true), Some(true)) => Some(true),
+                    _ => None,
+                },
+                Or => match (l, r) {
+                    (Some(true), _) | (_, Some(true)) => Some(true),
+                    (Some(false), Some(false)) => Some(false),
+                    _ => None,
+                },
+                _ => unreachable!(),
+            };
+            match out {
+                Some(b) => vals.push(b),
+                None => {
+                    vals.push(false);
+                    mask.set(i);
+                }
+            }
+        }
+        return Ok(ColumnVec::Bool(vals, mask));
+    }
+
+    // Comparisons: exact integer / float / text fast paths.
+    if matches!(op, Eq | NotEq | Lt | LtEq | Gt | GtEq) {
+        let emit = |ords: &mut dyn FnMut(usize) -> Option<std::cmp::Ordering>| {
+            let mut vals = Vec::with_capacity(n);
+            let mut mask = NullMask::new(n);
+            for i in 0..n {
+                match ords(i) {
+                    Some(ord) => vals.push(cmp_outcome(op, ord)),
+                    None => {
+                        vals.push(false);
+                        mask.set(i);
+                    }
+                }
+            }
+            ColumnVec::Bool(vals, mask)
+        };
+        match (i64_view(left), i64_view(right), left, right) {
+            (Some((a, am)), Some((b, bm)), _, _) => {
+                return Ok(emit(&mut |i| {
+                    (!am.get(i) && !bm.get(i)).then(|| a[i].cmp(&b[i]))
+                }));
+            }
+            (Some((a, am)), None, _, ColumnVec::Float64(b, bm)) => {
+                return Ok(emit(&mut |i| {
+                    (!am.get(i) && !bm.get(i)).then(|| cmp_i64_f64(a[i], b[i]))
+                }));
+            }
+            (None, Some((b, bm)), ColumnVec::Float64(a, am), _) => {
+                return Ok(emit(&mut |i| {
+                    (!am.get(i) && !bm.get(i)).then(|| cmp_i64_f64(b[i], a[i]).reverse())
+                }));
+            }
+            (_, _, ColumnVec::Float64(a, am), ColumnVec::Float64(b, bm)) => {
+                return Ok(emit(&mut |i| {
+                    (!am.get(i) && !bm.get(i)).then(|| cmp_f64_f64(a[i], b[i]))
+                }));
+            }
+            (_, _, ColumnVec::Text(a, am), ColumnVec::Text(b, bm)) => {
+                return Ok(emit(&mut |i| {
+                    (!am.get(i) && !bm.get(i)).then(|| a[i].cmp(&b[i]))
+                }));
+            }
+            _ => {} // mixed-family / Bool / Any: per-element fallback below
+        }
+    }
+
+    // Exact integer arithmetic (the Int/Int fast path of `eval_binary`;
+    // Divide stays on the float path there, so it stays there here too).
+    if matches!(op, Plus | Minus | Multiply | Modulo) {
+        if let (ColumnVec::Int64(a, am), ColumnVec::Int64(b, bm)) = (left, right) {
+            let mut vals = Vec::with_capacity(n);
+            let mut mask = NullMask::new(n);
+            for i in 0..n {
+                if am.get(i) || bm.get(i) {
+                    vals.push(0);
+                    mask.set(i);
+                    continue;
+                }
+                let (x, y) = (a[i], b[i]);
+                let out = if matches!(op, Modulo) && y == 0 {
+                    None
+                } else {
+                    match op {
+                        Plus => x.checked_add(y),
+                        Minus => x.checked_sub(y),
+                        Multiply => x.checked_mul(y),
+                        Modulo => x.checked_rem(y),
+                        _ => unreachable!(),
+                    }
+                };
+                match out {
+                    Some(v) => vals.push(v),
+                    None => {
+                        // Delegate to the scalar kernel so the error text is
+                        // identical to the row engines'.
+                        eval_binary(&Value::Int(x), op, &Value::Int(y))?;
+                        unreachable!("scalar kernel errors on the same inputs");
+                    }
+                }
+            }
+            return Ok(ColumnVec::Int64(vals, mask));
+        }
+    }
+
+    // Float arithmetic over purely numeric columns (mixed Int/Float and
+    // Divide land here, exactly like `eval_binary`'s float path).
+    if matches!(op, Plus | Minus | Multiply | Divide | Modulo) {
+        let numeric_f64 = |col: &ColumnVec, i: usize| -> Option<f64> {
+            match col {
+                ColumnVec::Int64(v, _) | ColumnVec::Date(v, _) | ColumnVec::Timestamp(v, _) => {
+                    Some(v[i] as f64)
+                }
+                ColumnVec::Float64(v, _) => Some(v[i]),
+                _ => None,
+            }
+        };
+        let both_numeric = matches!(
+            left,
+            ColumnVec::Int64(..)
+                | ColumnVec::Float64(..)
+                | ColumnVec::Date(..)
+                | ColumnVec::Timestamp(..)
+        ) && matches!(
+            right,
+            ColumnVec::Int64(..)
+                | ColumnVec::Float64(..)
+                | ColumnVec::Date(..)
+                | ColumnVec::Timestamp(..)
+        );
+        if both_numeric {
+            let mut vals = Vec::with_capacity(n);
+            let mut mask = NullMask::new(n);
+            for i in 0..n {
+                if left.is_null(i) || right.is_null(i) {
+                    vals.push(0.0);
+                    mask.set(i);
+                    continue;
+                }
+                let a = numeric_f64(left, i).expect("numeric column");
+                let b = numeric_f64(right, i).expect("numeric column");
+                if matches!(op, Divide | Modulo) && b == 0.0 {
+                    return Err(StorageError::Arithmetic("division by zero".into()));
+                }
+                vals.push(match op {
+                    Plus => a + b,
+                    Minus => a - b,
+                    Multiply => a * b,
+                    Divide => a / b,
+                    Modulo => a % b,
+                    _ => unreachable!(),
+                });
+            }
+            return Ok(ColumnVec::Float64(vals, mask));
+        }
+    }
+
+    // Universal fallback: the scalar kernel per element. Covers Concat,
+    // Bool/Any operands, mixed-family comparisons, and type errors, so the
+    // kernels can never disagree with the row engines.
+    let mut out = ColumnBuilder::with_capacity(n);
+    for i in 0..n {
+        out.push(eval_binary(&left.value(i), op, &right.value(i))?);
+    }
+    Ok(out.finish())
+}
+
+/// Vectorized SQL unary minus with [`eval_unary_minus`]'s exact semantics.
+pub(crate) fn eval_neg_col(col: &ColumnVec) -> StorageResult<ColumnVec> {
+    let n = col.len();
+    match col {
+        ColumnVec::Int64(v, m) => {
+            let mut vals = Vec::with_capacity(n);
+            for (i, x) in v.iter().enumerate() {
+                if m.get(i) {
+                    // NULL negates to NULL on the row path (as_f64 → None →
+                    // TypeError? No: eval_unary_minus on Null errors). Match:
+                    eval_unary_minus(&Value::Null)?;
+                    unreachable!("scalar kernel errors on NULL");
+                }
+                match x.checked_neg() {
+                    Some(y) => vals.push(y),
+                    None => {
+                        eval_unary_minus(&Value::Int(*x))?;
+                        unreachable!("scalar kernel errors on overflow");
+                    }
+                }
+            }
+            Ok(ColumnVec::Int64(vals, m.clone()))
+        }
+        other => {
+            let mut out = ColumnBuilder::with_capacity(n);
+            for i in 0..n {
+                out.push(eval_unary_minus(&other.value(i))?);
+            }
+            Ok(out.finish())
+        }
+    }
 }
 
 #[cfg(test)]
@@ -506,10 +820,7 @@ mod tests {
         assert_eq!(eval_binary(&n, Or, &f).unwrap(), Value::Null);
         assert_eq!(eval_binary(&n, Or, &n).unwrap(), Value::Null);
         // Non-boolean operands coerce through truthiness.
-        assert_eq!(
-            eval_binary(&Value::Int(1), And, &n).unwrap(),
-            Value::Null
-        );
+        assert_eq!(eval_binary(&Value::Int(1), And, &n).unwrap(), Value::Null);
         assert_eq!(
             eval_binary(&Value::Int(0), And, &n).unwrap(),
             Value::Bool(false)
@@ -664,10 +975,7 @@ mod tests {
             finish_aggregate("AVG", vals, false).unwrap(),
             Value::Float(4.0 / 3.0)
         );
-        assert_eq!(
-            finish_aggregate("MIN", vec![], false).unwrap(),
-            Value::Null
-        );
+        assert_eq!(finish_aggregate("MIN", vec![], false).unwrap(), Value::Null);
         assert!(finish_aggregate("MEDIAN", vec![], false).is_err());
     }
 }

@@ -1,6 +1,9 @@
 //! Row storage for a single table.
 
+use std::sync::OnceLock;
+
 use crate::error::{StorageError, StorageResult};
+use crate::physical::batch::{Batch, BATCH_ROWS};
 use crate::schema::TableSchema;
 use crate::value::Value;
 use bp_sql::DataType;
@@ -9,12 +12,50 @@ use serde::{Deserialize, Serialize};
 /// A row of values, one per column in the owning table's schema.
 pub type Row = Vec<Value>;
 
+/// The lazily-built columnar decode of a table's rows, shared with the
+/// columnar engine's scans. Transparent to the table's value semantics:
+/// clones start empty, equality ignores it, and serde skips it. Any row
+/// mutation replaces it with a fresh (empty) cache.
+#[derive(Debug, Default)]
+struct ColumnarCache(OnceLock<Vec<Batch>>);
+
+impl Clone for ColumnarCache {
+    fn clone(&self) -> Self {
+        ColumnarCache::default()
+    }
+}
+
+impl PartialEq for ColumnarCache {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+
+// The cache is derived data: it serializes as `null` and deserializes (or
+// is absent, for older snapshots) as an empty cache.
+impl Serialize for ColumnarCache {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Null
+    }
+}
+
+impl Deserialize for ColumnarCache {
+    fn from_value(_: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(ColumnarCache::default())
+    }
+
+    fn from_missing(_: &str) -> Result<Self, serde::Error> {
+        Ok(ColumnarCache::default())
+    }
+}
+
 /// An in-memory table: a schema plus its rows.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Table {
     /// The table's schema.
     pub schema: TableSchema,
     rows: Vec<Row>,
+    columnar: ColumnarCache,
 }
 
 impl Table {
@@ -23,6 +64,7 @@ impl Table {
         Table {
             schema,
             rows: Vec::new(),
+            columnar: ColumnarCache::default(),
         }
     }
 
@@ -73,8 +115,30 @@ impl Table {
                 ))
             })?);
         }
+        // Row data changed: drop any cached columnar decode.
+        self.columnar = ColumnarCache::default();
         self.rows.push(coerced);
         Ok(())
+    }
+
+    /// The table's rows decoded into fixed-size columnar [`Batch`]es —
+    /// computed once per table version (inserts invalidate) and shared with
+    /// every scan by refcount. The returned batches are dense (no
+    /// selection); batch boundaries are fixed by [`BATCH_ROWS`], never by
+    /// `threads` (which only parallelizes the one-time decode), so columnar
+    /// execution is deterministic at every thread count.
+    pub(crate) fn columnar_batches(&self, threads: usize) -> Vec<Batch> {
+        self.columnar
+            .0
+            .get_or_init(|| {
+                let width = self.schema.column_count();
+                let chunks: Vec<&[Row]> = self.rows.chunks(BATCH_ROWS).collect();
+                crate::physical::parallel::run_tasks(threads, chunks.len(), |i| {
+                    Ok::<_, std::convert::Infallible>(Batch::from_rows(chunks[i], width))
+                })
+                .expect("decode is infallible")
+            })
+            .clone()
     }
 
     /// Insert many rows, stopping at the first failure.
@@ -141,7 +205,8 @@ mod tests {
     #[test]
     fn insert_and_read() {
         let mut t = table();
-        t.insert(vec![1.into(), "alice".into(), 3.5.into()]).unwrap();
+        t.insert(vec![1.into(), "alice".into(), 3.5.into()])
+            .unwrap();
         t.insert(vec![2.into(), Value::Null, Value::Null]).unwrap();
         assert_eq!(t.row_count(), 2);
         assert_eq!(t.value(0, "name"), Some(&Value::Text("alice".into())));
@@ -177,7 +242,8 @@ mod tests {
     #[test]
     fn text_column_accepts_numbers() {
         let mut t = table();
-        t.insert(vec![1.into(), Value::Int(42), Value::Null]).unwrap();
+        t.insert(vec![1.into(), Value::Int(42), Value::Null])
+            .unwrap();
         assert_eq!(t.value(0, "name"), Some(&Value::Text("42".into())));
     }
 

@@ -101,8 +101,10 @@ impl Value {
     /// integers, dates, timestamps and booleans directly, and floats that
     /// are integral and within `i64` range (so `3.0` is exactly `3`, but
     /// `2.5`, `1e300` and NaN are not integers). Used by comparisons and
-    /// hash keys so integer semantics never round through `f64`.
-    fn exact_int(&self) -> Option<i64> {
+    /// hash keys so integer semantics never round through `f64`, and by the
+    /// columnar engine's column-slice keys (which must coincide with
+    /// [`Value::group_key`] equality without allocating the key string).
+    pub(crate) fn exact_int(&self) -> Option<i64> {
         const TWO_POW_63: f64 = 9_223_372_036_854_775_808.0; // 2^63, exact
         match self {
             Value::Int(i) => Some(*i),
@@ -131,28 +133,6 @@ impl Value {
                 Null => 0,
                 Int(_) | Float(_) | Date(_) | Timestamp(_) | Bool(_) => 1,
                 Text(_) => 2,
-            }
-        }
-        /// Exact `i64` vs `f64` comparison. `b` is never an integer in
-        /// `i64` range here (that is the exact-int path); NaN compares
-        /// Equal, preserving the engine's long-standing NaN quirk.
-        fn cmp_int_float(a: i64, b: f64) -> Ordering {
-            const TWO_POW_63: f64 = 9_223_372_036_854_775_808.0;
-            if b.is_nan() {
-                return Ordering::Equal;
-            }
-            if b >= TWO_POW_63 {
-                return Ordering::Less;
-            }
-            if b < -TWO_POW_63 {
-                return Ordering::Greater;
-            }
-            // |b| < 2^63, so its truncation converts to i64 exactly.
-            let truncated = b.trunc() as i64;
-            match a.cmp(&truncated) {
-                Ordering::Equal if b.fract() > 0.0 => Ordering::Less,
-                Ordering::Equal if b.fract() < 0.0 => Ordering::Greater,
-                ord => ord,
             }
         }
         match (self, other) {
@@ -193,6 +173,30 @@ impl Value {
                 None => format!("f:{}", other.as_f64().unwrap_or(f64::NAN)),
             },
         }
+    }
+}
+
+/// Exact `i64` vs `f64` comparison used by [`Value::total_cmp`] and the
+/// columnar comparison kernels. `b` is assumed *not* to be an integer in
+/// `i64` range (that is the exact-int path); NaN compares Equal, preserving
+/// the engine's long-standing NaN quirk.
+pub(crate) fn cmp_int_float(a: i64, b: f64) -> Ordering {
+    const TWO_POW_63: f64 = 9_223_372_036_854_775_808.0;
+    if b.is_nan() {
+        return Ordering::Equal;
+    }
+    if b >= TWO_POW_63 {
+        return Ordering::Less;
+    }
+    if b < -TWO_POW_63 {
+        return Ordering::Greater;
+    }
+    // |b| < 2^63, so its truncation converts to i64 exactly.
+    let truncated = b.trunc() as i64;
+    match a.cmp(&truncated) {
+        Ordering::Equal if b.fract() > 0.0 => Ordering::Less,
+        Ordering::Equal if b.fract() < 0.0 => Ordering::Greater,
+        ord => ord,
     }
 }
 
@@ -304,12 +308,18 @@ mod tests {
     #[test]
     fn ordering_families() {
         assert_eq!(Value::Null.total_cmp(&Value::Int(0)), Ordering::Less);
-        assert_eq!(Value::Int(5).total_cmp(&Value::Text("a".into())), Ordering::Less);
+        assert_eq!(
+            Value::Int(5).total_cmp(&Value::Text("a".into())),
+            Ordering::Less
+        );
         assert_eq!(
             Value::Text("abc".into()).total_cmp(&Value::Text("abd".into())),
             Ordering::Less
         );
-        assert_eq!(Value::Float(2.5).total_cmp(&Value::Int(2)), Ordering::Greater);
+        assert_eq!(
+            Value::Float(2.5).total_cmp(&Value::Int(2)),
+            Ordering::Greater
+        );
     }
 
     #[test]
@@ -326,22 +336,34 @@ mod tests {
         // Integral floats still equal their integer counterparts...
         assert_eq!(Value::Float(3.0).total_cmp(&Value::Int(3)), Ordering::Equal);
         // ...and -0.0 equals (and groups with) 0.
-        assert_eq!(Value::Float(-0.0).total_cmp(&Value::Int(0)), Ordering::Equal);
+        assert_eq!(
+            Value::Float(-0.0).total_cmp(&Value::Int(0)),
+            Ordering::Equal
+        );
         assert_eq!(Value::Float(-0.0).group_key(), Value::Int(0).group_key());
         // Non-integral and out-of-range floats keep f64 ordering.
-        assert_eq!(Value::Float(1e300).total_cmp(&Value::Int(i64::MAX)), Ordering::Greater);
+        assert_eq!(
+            Value::Float(1e300).total_cmp(&Value::Int(i64::MAX)),
+            Ordering::Greater
+        );
         // At the 2^63 boundary a float no longer rounds into equality with
         // i64::MAX: comparison agrees with key equality (both "not equal").
         let two_pow_63 = Value::Float(9_223_372_036_854_775_808.0);
         assert_eq!(Value::Int(i64::MAX).total_cmp(&two_pow_63), Ordering::Less);
         assert_ne!(Value::Int(i64::MAX).group_key(), two_pow_63.group_key());
-        assert_eq!(two_pow_63.total_cmp(&Value::Int(i64::MAX)), Ordering::Greater);
+        assert_eq!(
+            two_pow_63.total_cmp(&Value::Int(i64::MAX)),
+            Ordering::Greater
+        );
         // Mixed fractional comparisons are exact around large integers.
         assert_eq!(
             Value::Int((1i64 << 53) + 1).total_cmp(&Value::Float((1i64 << 53) as f64 + 0.5)),
             Ordering::Greater
         );
-        assert_eq!(Value::Int(-5).total_cmp(&Value::Float(-5.5)), Ordering::Greater);
+        assert_eq!(
+            Value::Int(-5).total_cmp(&Value::Float(-5.5)),
+            Ordering::Greater
+        );
         assert_eq!(Value::Int(5).total_cmp(&Value::Float(5.5)), Ordering::Less);
     }
 

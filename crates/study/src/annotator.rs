@@ -118,7 +118,10 @@ pub fn review_candidates(
     lexicon: &DomainLexicon,
     rng: &mut ChaCha8Rng,
 ) -> HumanResult {
-    assert!(!candidates.is_empty(), "review requires at least one candidate");
+    assert!(
+        !candidates.is_empty(),
+        "review requires at least one candidate"
+    );
     // Perceived quality = true coverage + judgement noise.
     let mut best_index = 0;
     let mut best_score = f64::MIN;

@@ -31,9 +31,9 @@ pub mod assign;
 pub mod runner;
 pub mod types;
 
-pub use annotator::{annotation_minutes, review_candidates, write_manual, BehaviourParams, HumanResult};
+pub use annotator::{
+    annotation_minutes, review_candidates, write_manual, BehaviourParams, HumanResult,
+};
 pub use assign::{assign_participants, latin_square};
 pub use runner::{run_study, ConditionRow, StudyQuery, StudyRun};
-pub use types::{
-    AnnotationOutcome, Condition, Expertise, Participant, StudyConfig, StudyDataset,
-};
+pub use types::{AnnotationOutcome, Condition, Expertise, Participant, StudyConfig, StudyDataset};

@@ -15,9 +15,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::annotator::{annotation_minutes, review_candidates, write_manual, BehaviourParams};
 use crate::assign::assign_participants;
-use crate::types::{
-    AnnotationOutcome, Condition, Participant, StudyConfig, StudyDataset,
-};
+use crate::types::{AnnotationOutcome, Condition, Participant, StudyConfig, StudyDataset};
 
 /// One query of the shared study set.
 #[derive(Debug, Clone)]
@@ -76,8 +74,10 @@ impl ConditionRow {
 /// Run the full study.
 pub fn run_study(config: &StudyConfig) -> StudyRun {
     // Shared query set: the same queries for every participant (§5.1).
-    let beaver = GeneratedBenchmark::generate(BenchmarkKind::Beaver, config.beaver_queries, config.seed);
-    let bird = GeneratedBenchmark::generate(BenchmarkKind::Bird, config.bird_queries, config.seed ^ 0x51);
+    let beaver =
+        GeneratedBenchmark::generate(BenchmarkKind::Beaver, config.beaver_queries, config.seed);
+    let bird =
+        GeneratedBenchmark::generate(BenchmarkKind::Bird, config.bird_queries, config.seed ^ 0x51);
     let mut queries = Vec::with_capacity(config.total_queries());
     for entry in &beaver.log {
         queries.push(StudyQuery {
@@ -212,14 +212,16 @@ fn run_participant(
                     query: &parsed,
                     prompt: &prompt,
                     unresolved_domain_terms: unresolved,
-                    seed: config.seed ^ bp_llm::sql2nl::stable_hash(&query.sql)
+                    seed: config.seed
+                        ^ bp_llm::sql2nl::stable_hash(&query.sql)
                         ^ participant.id as u64,
                 };
-                let candidates: Vec<String> = generate_candidates(&config.model.profile(), &request)
-                    .into_iter()
-                    .take(2)
-                    .map(|c| c.text)
-                    .collect();
+                let candidates: Vec<String> =
+                    generate_candidates(&config.model.profile(), &request)
+                        .into_iter()
+                        .take(2)
+                        .map(|c| c.text)
+                        .collect();
                 let human = review_candidates(
                     &parsed,
                     &candidates,
@@ -339,7 +341,10 @@ impl StudyRun {
     /// Figure 4. Every final description is backtranslated by a vanilla model
     /// and graded with the 5-level rubric against its original query,
     /// executing on the corresponding generated database.
-    pub fn clarity_histograms(&self, backtranslation_model: ModelKind) -> HashMap<Condition, ClarityHistogram> {
+    pub fn clarity_histograms(
+        &self,
+        backtranslation_model: ModelKind,
+    ) -> HashMap<Condition, ClarityHistogram> {
         let beaver_translator =
             bp_llm::Backtranslator::new(self.beaver_db.catalog(), backtranslation_model.profile());
         let bird_translator =

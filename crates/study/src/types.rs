@@ -18,7 +18,11 @@ pub enum Condition {
 impl Condition {
     /// All conditions in the order the paper's tables report them.
     pub fn all() -> &'static [Condition] {
-        &[Condition::BenchPress, Condition::VanillaLlm, Condition::Manual]
+        &[
+            Condition::BenchPress,
+            Condition::VanillaLlm,
+            Condition::Manual,
+        ]
     }
 
     /// Display name used in tables.

@@ -54,7 +54,10 @@ fn main() {
         )
         .unwrap();
     project
-        .apply_feedback(0, FeedbackAction::AddPriority("describe the filtering logic".into()))
+        .apply_feedback(
+            0,
+            FeedbackAction::AddPriority("describe the filtering logic".into()),
+        )
         .unwrap();
     let improved = project.annotate(0).expect("regeneration runs");
     println!("\nRegenerated candidate [0]:\n  {}", improved.candidates[0]);

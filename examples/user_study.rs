@@ -24,7 +24,10 @@ fn main() {
     let run = run_study(&config);
 
     println!("\nAnnotation accuracy (%):");
-    println!("{:<10} {:>12} {:>12} {:>12}", "Dataset", "BenchPress", "VanillaLLM", "Manual");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12}",
+        "Dataset", "BenchPress", "VanillaLLM", "Manual"
+    );
     for row in run.accuracy_table() {
         println!(
             "{:<10} {:>12.1} {:>12.1} {:>12.1}",
@@ -33,7 +36,10 @@ fn main() {
     }
 
     println!("\nAnnotation latency (minutes per participant):");
-    println!("{:<10} {:>12} {:>12} {:>12}", "Dataset", "BenchPress", "VanillaLLM", "Manual");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12}",
+        "Dataset", "BenchPress", "VanillaLLM", "Manual"
+    );
     for row in run.latency_table() {
         println!(
             "{:<10} {:>12.1} {:>12.1} {:>12.1}",

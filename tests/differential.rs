@@ -1,51 +1,70 @@
 //! Differential test suite for the planned query engine.
 //!
 //! Every query of a generated workload — across all four benchmark corpora
-//! (Spider, Bird, Fiben, Beaver) — is executed by both engines:
-//! `ExecStrategy::Planned` (logical plan + physical operators, the default)
-//! and `ExecStrategy::Legacy` (the tree-walking interpreter retained as the
-//! oracle). The results must be *identical*: same columns, same rows in the
-//! same order, same ordered flag — or both engines must fail.
+//! (Spider, Bird, Fiben, Beaver) — is executed **three ways**:
+//! `ExecStrategy::Planned` (the columnar batch engine, the default),
+//! `ExecStrategy::RowPlanned` (the row-at-a-time planned engine, the
+//! representation oracle), and `ExecStrategy::Legacy` (the tree-walking
+//! interpreter, the planning oracle). Successful results must be
+//! *identical* across all three: same columns, same rows in the same order,
+//! same ordered flag — or every engine must fail.
 //!
-//! The planned engine runs **with parallelism enabled** (a thread budget
-//! above 1 even on single-core CI), so the morsel-driven parallel operators
-//! are what the oracle checks. A second seed-driven generator targets the
-//! scalar-kernel corners the corpus generator never emits: NULL-heavy
-//! boolean predicates (three-valued logic), large-magnitude integers
-//! (±2^53 neighborhood, `i64::MIN`/`MAX`), and text containing the
-//! historical `"\u{1}"` key separator.
+//! Both planned engines run at thread budgets 1 **and** 4 (parallel
+//! operators run even on single-core CI; determinism makes extra workers
+//! harmless), and each engine must be byte-identical to itself across
+//! thread counts — including on error paths. Seed-driven generators target
+//! what the corpus generator never emits: NULL-heavy boolean predicates
+//! (three-valued logic), large-magnitude integers (±2^53 neighborhood,
+//! `i64::MIN`/`MAX`), text containing the historical `"\u{1}"` key
+//! separator, and ORDER BY/LIMIT/OFFSET/DISTINCT combinations that exercise
+//! the fused Top-K and the dedup paths.
 
 use benchpress_suite::datasets::{BenchmarkKind, CorpusScale, GeneratedBenchmark};
-use benchpress_suite::storage::{
-    Column, Database, ExecOptions, ExecStrategy, TableSchema, Value,
-};
 use benchpress_suite::sql::DataType;
+use benchpress_suite::storage::{Column, Database, ExecOptions, ExecStrategy, TableSchema, Value};
 use proptest::prelude::*;
 
-/// Thread budget for the planned engine in this suite: comfortably above
-/// one so the parallel operators run even on single-core CI machines
-/// (determinism makes extra workers harmless).
+/// Parallel thread budget for the planned engines in this suite.
 const TEST_THREADS: usize = 4;
 
-fn parallel_planned() -> ExecOptions {
-    ExecOptions::new(ExecStrategy::Planned).with_threads(TEST_THREADS)
-}
-
-/// Execute on both engines (planned in parallel) and require identical
-/// results, and additionally require the parallel planned result to be
-/// byte-identical to serial planned execution.
+/// Execute with the columnar engine, the row-planned engine (each at
+/// threads 1 and 4) and the legacy interpreter. Successful results must be
+/// byte-identical across all engines and thread counts; when a query
+/// errors, every engine must error, and each planned engine's error must be
+/// identical across thread counts.
 fn assert_engines_agree(db: &Database, sql: &str, label: &str) {
     let legacy = db.execute_sql_with(sql, ExecStrategy::Legacy);
-    let planned = db.execute_sql_opts(sql, parallel_planned());
-    match (legacy, &planned) {
-        (Ok(l), Ok(p)) => assert_eq!(&l, p, "engines disagree on {label} query: {sql}"),
-        (Err(_), Err(_)) => {}
-        (l, p) => panic!("ok/err divergence on {label} query {sql}: legacy={l:?} planned={p:?}"),
+    let columnar = db.execute_sql_opts(
+        sql,
+        ExecOptions::new(ExecStrategy::Planned).with_threads(TEST_THREADS),
+    );
+    let row = db.execute_sql_opts(
+        sql,
+        ExecOptions::new(ExecStrategy::RowPlanned).with_threads(TEST_THREADS),
+    );
+    match (&legacy, &columnar, &row) {
+        (Ok(l), Ok(c), Ok(r)) => {
+            assert_eq!(c, r, "columnar vs row-planned disagree on {label}: {sql}");
+            assert_eq!(l, c, "legacy vs columnar disagree on {label}: {sql}");
+        }
+        (Err(_), Err(_), Err(_)) => {}
+        (l, c, r) => panic!(
+            "ok/err divergence on {label} query {sql}: legacy={l:?} columnar={c:?} row={r:?}"
+        ),
     }
-    let serial = db.execute_sql_opts(sql, ExecOptions::serial());
+    // Thread-count determinism per engine, including error identity.
+    let columnar_serial = db.execute_sql_opts(sql, ExecOptions::serial());
     assert_eq!(
-        serial, planned,
-        "parallel planned diverges from serial planned on {label} query: {sql}"
+        columnar_serial, columnar,
+        "parallel columnar diverges from serial columnar on {label}: {sql}"
+    );
+    let row_serial = db.execute_sql_opts(
+        sql,
+        ExecOptions::new(ExecStrategy::RowPlanned).with_threads(1),
+    );
+    assert_eq!(
+        row_serial, row,
+        "parallel row-planned diverges from serial row-planned on {label}: {sql}"
     );
 }
 
@@ -88,23 +107,19 @@ proptest! {
     }
 }
 
-/// One scaled corpus run: the hash-join path (exercised for real at Medium
-/// scale, with inputs large enough to split into multiple morsels) must
-/// agree with the interpreter row-for-row.
+/// One scaled corpus run: the hash-join and multi-batch columnar paths
+/// (exercised for real at Medium scale, with inputs large enough to split
+/// into multiple batches/morsels) must agree with the oracles row-for-row.
 #[test]
 fn planned_matches_interpreter_on_scaled_corpus() {
-    let corpus =
-        GeneratedBenchmark::generate_scaled(BenchmarkKind::Spider, 6, 20_260_730, CorpusScale::Medium);
+    let corpus = GeneratedBenchmark::generate_scaled(
+        BenchmarkKind::Spider,
+        6,
+        20_260_730,
+        CorpusScale::Medium,
+    );
     for entry in &corpus.log {
-        let legacy = corpus
-            .database
-            .execute_sql_with(&entry.sql, ExecStrategy::Legacy)
-            .expect("legacy executes generated query");
-        let planned = corpus
-            .database
-            .execute_sql_opts(&entry.sql, parallel_planned())
-            .expect("planned executes generated query");
-        assert_eq!(legacy, planned, "engines disagree on: {}", entry.sql);
+        assert_engines_agree(&corpus.database, &entry.sql, "scaled-corpus");
     }
 }
 
@@ -233,16 +248,29 @@ fn edge_db_sized(rows_per_table: i64) -> Database {
 /// logic.
 fn gen_predicate(mix: &mut Mix, depth: usize) -> String {
     if depth == 0 || mix.below(3) == 0 {
-        let literal_ints = ["0", "1", "9007199254740992", "9007199254740993", "-9007199254740993"];
+        let literal_ints = [
+            "0",
+            "1",
+            "9007199254740992",
+            "9007199254740993",
+            "-9007199254740993",
+        ];
         return match mix.below(8) {
             0 => "FLAG".to_string(),
-            1 => format!("BIG {} {}", mix.pick(&["=", "<>", "<", ">", "<=", ">="]), mix.pick(&literal_ints)),
+            1 => format!(
+                "BIG {} {}",
+                mix.pick(&["=", "<>", "<", ">", "<=", ">="]),
+                mix.pick(&literal_ints)
+            ),
             2 => format!("FRAC {} 0.5", mix.pick(&["=", "<", ">"])),
             3 => format!("TXT = '{}'", mix.pick(&["a", "b", "a\u{1}b"])),
             4 => format!("BIG IS {}NULL", mix.pick(&["", "NOT "])),
             5 => format!("FLAG IS {}NULL", mix.pick(&["", "NOT "])),
             6 => "BIG = FRAC".to_string(),
-            _ => format!("BIG BETWEEN {} AND 9007199254740993", mix.pick(&["-9007199254740993", "0"])),
+            _ => format!(
+                "BIG BETWEEN {} AND 9007199254740993",
+                mix.pick(&["-9007199254740993", "0"])
+            ),
         };
     }
     match mix.below(4) {
@@ -330,6 +358,48 @@ proptest! {
             assert_engines_agree(&db, sql, "exact-keys");
         }
     }
+
+    /// ORDER BY / LIMIT / OFFSET / DISTINCT combinations: the fused Top-K
+    /// operator (bounded heap) must be byte-identical to the oracles' full
+    /// sort + truncate, including stability on duplicate keys, and DISTINCT
+    /// must dedup identically across all three engines.
+    #[test]
+    fn order_by_limit_distinct_agree(seed in 0u64..1_000_000) {
+        let db = edge_db();
+        let mut mix = Mix(seed ^ 0x70b1);
+        let key_pool = ["GRP", "TXT", "BIG", "FRAC", "ID", "FLAG"];
+        for _ in 0..8 {
+            // 1-3 sort keys with random directions; GRP/TXT/FLAG are
+            // duplicate-heavy, so stability is observable under LIMIT.
+            let key_count = 1 + mix.below(3);
+            let keys: Vec<String> = (0..key_count)
+                .map(|_| format!("{} {}", mix.pick(&key_pool), mix.pick(&["ASC", "DESC"])))
+                .collect();
+            let distinct = if mix.below(3) == 0 { "DISTINCT " } else { "" };
+            let limit = match mix.below(4) {
+                0 => String::new(),
+                1 => format!(" LIMIT {}", mix.below(60)),
+                2 => format!(" LIMIT {} OFFSET {}", mix.below(20), mix.below(20)),
+                _ => format!(" LIMIT {}", 1 + mix.below(5)),
+            };
+            let sql = format!(
+                "SELECT {distinct}GRP, TXT, BIG FROM EDGE_A ORDER BY {}{limit}",
+                keys.join(", ")
+            );
+            assert_engines_agree(&db, &sql, "order-limit-distinct");
+            // Top-K below an aggregation, and LIMIT over a set operation.
+            let agg = format!(
+                "SELECT GRP, COUNT(*) AS N FROM EDGE_A GROUP BY GRP ORDER BY N {}, GRP{limit}",
+                mix.pick(&["ASC", "DESC"])
+            );
+            assert_engines_agree(&db, &agg, "order-limit-agg");
+        }
+        assert_engines_agree(
+            &db,
+            "SELECT TXT FROM EDGE_A UNION ALL SELECT TXT FROM EDGE_B ORDER BY TXT LIMIT 7 OFFSET 3",
+            "order-limit-setop",
+        );
+    }
 }
 
 /// The corner-case data at a size past the morsel threshold (512 rows), so
@@ -356,6 +426,16 @@ fn corner_corpus_agrees_through_multi_morsel_operators() {
         "SELECT TXT, GRP FROM EDGE_A EXCEPT SELECT TXT, GRP FROM EDGE_B".to_string(),
         "SELECT ID, BIG + 1 FROM EDGE_A ORDER BY ID".to_string(),
         "SELECT SUM(BIG) FROM EDGE_A WHERE BIG > 0".to_string(),
+        // DISTINCT-heavy micro-asserts: 640 rows collapse to a handful of
+        // duplicate-laden key combinations, so the dedup path (columnar
+        // column-slice keys vs the row engine's composite-string set) does
+        // real work, including separator-bearing text and exact integers.
+        "SELECT DISTINCT GRP FROM EDGE_A".to_string(),
+        "SELECT DISTINCT TXT, GRP FROM EDGE_A ORDER BY TXT, GRP".to_string(),
+        "SELECT DISTINCT BIG, FRAC FROM EDGE_A ORDER BY BIG, FRAC".to_string(),
+        "SELECT DISTINCT FLAG, GRP, TXT FROM EDGE_A".to_string(),
+        "SELECT COUNT(DISTINCT TXT), COUNT(DISTINCT BIG) FROM EDGE_A".to_string(),
+        "SELECT DISTINCT GRP, TXT FROM EDGE_A ORDER BY GRP, TXT LIMIT 5".to_string(),
     ];
     for sql in &queries {
         assert_engines_agree(&db, sql, "scaled-edge");
@@ -383,19 +463,28 @@ fn parallel_query_errors_match_serial_cleanly() {
     // mid-table so the failing morsel has predecessors still in flight.
     let rows: Vec<Vec<Value>> = (0..4096i64)
         .map(|i| {
-            let big = if i >= 1500 && i % 700 == 0 { i64::MAX } else { i };
+            let big = if i >= 1500 && i % 700 == 0 {
+                i64::MAX
+            } else {
+                i
+            };
             vec![Value::Int(i), Value::Int(big)]
         })
         .collect();
     db.insert_into("WIDE", rows).expect("rows");
     let sql = "SELECT ID, BIG + 1 FROM WIDE";
-    let serial = db
-        .execute_sql_opts(sql, ExecOptions::serial())
-        .expect_err("serial planned must report the overflow");
-    for round in 0..25 {
-        let parallel = db
-            .execute_sql_opts(sql, ExecOptions::new(ExecStrategy::Planned).with_threads(8))
-            .expect_err("parallel planned must report the overflow, not panic");
-        assert_eq!(parallel, serial, "round {round}: error must be deterministic");
+    for strategy in [ExecStrategy::Planned, ExecStrategy::RowPlanned] {
+        let serial = db
+            .execute_sql_opts(sql, ExecOptions::new(strategy).with_threads(1))
+            .expect_err("serial planned must report the overflow");
+        for round in 0..25 {
+            let parallel = db
+                .execute_sql_opts(sql, ExecOptions::new(strategy).with_threads(8))
+                .expect_err("parallel planned must report the overflow, not panic");
+            assert_eq!(
+                parallel, serial,
+                "round {round}: {strategy:?} error must be deterministic"
+            );
+        }
     }
 }

@@ -11,7 +11,10 @@ use benchpress_suite::metrics::{coverage_sql, ClarityLevel, DEFAULT_ACCURACY_THR
 
 fn curate(kind: BenchmarkKind, queries: usize, seed: u64) -> Project {
     let corpus = GeneratedBenchmark::generate(kind, queries, seed);
-    let mut project = Project::new(format!("it-{}", kind.name()), TaskConfig::default().with_seed(seed));
+    let mut project = Project::new(
+        format!("it-{}", kind.name()),
+        TaskConfig::default().with_seed(seed),
+    );
     project.ingest_benchmark(&corpus);
     for query_id in 0..project.log().len() {
         project.annotate(query_id).expect("annotation runs");
@@ -34,7 +37,10 @@ fn full_curation_pipeline_produces_exportable_benchmark() {
     for record in &records {
         // Every exported query still parses and executes on the project database.
         let query = benchpress_suite::sql::parse_query(&record.query).expect("exported SQL parses");
-        project.database().execute(&query).expect("exported SQL executes");
+        project
+            .database()
+            .execute(&query)
+            .expect("exported SQL executes");
         assert!(!record.question.is_empty());
     }
     // Review metrics exist because the generated corpus carries gold questions.
@@ -157,9 +163,13 @@ fn decomposition_recomposition_round_trip_on_generated_enterprise_queries() {
             // The rewritten query must still parse, and for uncorrelated
             // rewrites it must produce the same result set.
             let rewritten = decomposition.rewritten.to_string();
-            let reparsed = benchpress_suite::sql::parse_query(&rewritten).expect("rewritten parses");
+            let reparsed =
+                benchpress_suite::sql::parse_query(&rewritten).expect("rewritten parses");
             let original_result = corpus.database.execute(&query).expect("original executes");
-            let rewritten_result = corpus.database.execute(&reparsed).expect("rewritten executes");
+            let rewritten_result = corpus
+                .database
+                .execute(&reparsed)
+                .expect("rewritten executes");
             assert!(
                 benchpress_suite::storage::results_match(&original_result, &rewritten_result),
                 "decomposition changed the result of: {}",

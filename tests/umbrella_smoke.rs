@@ -29,7 +29,8 @@ fn all_reexported_module_paths_resolve() {
     let profile = bp::llm::ModelKind::Gpt4o.profile();
     assert!(profile.base_fidelity > 0.0);
 
-    let corpus = bp::datasets::GeneratedBenchmark::generate(bp::datasets::BenchmarkKind::Spider, 2, 7);
+    let corpus =
+        bp::datasets::GeneratedBenchmark::generate(bp::datasets::BenchmarkKind::Spider, 2, 7);
     assert_eq!(corpus.log.len(), 2);
 
     assert!(bp::metrics::exact_match("a b", "a b"));

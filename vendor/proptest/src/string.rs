@@ -207,8 +207,7 @@ mod tests {
             s.len() == 3 && s.chars().all(|c| c.is_ascii_lowercase())
         });
         check("[a-z ]{1,40}", |s| {
-            (1..=40).contains(&s.len())
-                && s.chars().all(|c| c.is_ascii_lowercase() || c == ' ')
+            (1..=40).contains(&s.len()) && s.chars().all(|c| c.is_ascii_lowercase() || c == ' ')
         });
         check("[ -~]{0,20}", |s| {
             s.len() <= 20 && s.chars().all(|c| (' '..='~').contains(&c))
@@ -220,9 +219,9 @@ mod tests {
         check("[a-z]{2,10}( [a-z]{2,10}){1,8}", |s| {
             let words: Vec<&str> = s.split(' ').collect();
             (2..=9).contains(&words.len())
-                && words
-                    .iter()
-                    .all(|w| (2..=10).contains(&w.len()) && w.chars().all(|c| c.is_ascii_lowercase()))
+                && words.iter().all(|w| {
+                    (2..=10).contains(&w.len()) && w.chars().all(|c| c.is_ascii_lowercase())
+                })
         });
         check("abc", |s| s == "abc");
         check("[a-zA-Z][a-zA-Z0-9_ ]{0,80}", |s| {

@@ -128,7 +128,10 @@ pub trait Rng: RngCore {
 
     /// Return `true` with probability `p`.
     fn gen_bool(&mut self, p: f64) -> bool {
-        assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
         <f64 as Standard>::sample(self) < p
     }
 }
@@ -186,7 +189,12 @@ pub mod rngs {
         fn seed_from_u64(state: u64) -> Self {
             let mut seeder = crate::SplitMix64(state);
             SmallRng {
-                state: [seeder.next_word(), seeder.next_word(), seeder.next_word(), seeder.next_word()],
+                state: [
+                    seeder.next_word(),
+                    seeder.next_word(),
+                    seeder.next_word(),
+                    seeder.next_word(),
+                ],
             }
         }
     }
@@ -223,8 +231,8 @@ impl SplitMix64 {
 
 #[cfg(test)]
 mod tests {
-    use super::seq::SliceRandom;
     use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
     use super::{Rng, SeedableRng};
 
     #[test]

@@ -98,7 +98,9 @@ impl Error {
 
     /// "expected X while deserializing Y" error.
     pub fn expected(what: &str, while_deserializing: &str) -> Self {
-        Error(format!("expected {what} while deserializing {while_deserializing}"))
+        Error(format!(
+            "expected {what} while deserializing {while_deserializing}"
+        ))
     }
 
     /// Unknown enum variant error.
@@ -347,9 +349,9 @@ impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
     fn from_value(value: &Value) -> Result<Self, Error> {
         let items: Vec<T> = Deserialize::from_value(value)?;
         let len = items.len();
-        items.try_into().map_err(|_| {
-            Error::custom(format!("expected an array of length {N}, got {len}"))
-        })
+        items
+            .try_into()
+            .map_err(|_| Error::custom(format!("expected an array of length {N}, got {len}")))
     }
 }
 
@@ -454,7 +456,11 @@ impl_map_key_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
 
 impl<K: MapKey + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
     fn to_value(&self) -> Value {
-        Value::Map(self.iter().map(|(k, v)| (k.to_key(), v.to_value())).collect())
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_value()))
+                .collect(),
+        )
     }
 }
 
@@ -473,8 +479,10 @@ impl<K: MapKey + Eq + Hash, V: Serialize> Serialize for HashMap<K, V> {
     fn to_value(&self) -> Value {
         // Sort for deterministic output, matching what callers relying on
         // stable JSON snapshots expect.
-        let mut entries: Vec<(String, Value)> =
-            self.iter().map(|(k, v)| (k.to_key(), v.to_value())).collect();
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_key(), v.to_value()))
+            .collect();
         entries.sort_by(|a, b| a.0.cmp(&b.0));
         Value::Map(entries)
     }

@@ -86,7 +86,9 @@ fn parse_item(input: TokenStream) -> Item {
                         name,
                         kind: ItemKind::UnitStruct,
                     },
-                    other => panic!("serde_derive: unexpected token after struct {name}: {other:?}"),
+                    other => {
+                        panic!("serde_derive: unexpected token after struct {name}: {other:?}")
+                    }
                 };
             }
             Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
@@ -118,10 +120,7 @@ fn expect_ident(
     }
 }
 
-fn reject_generics(
-    tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
-    name: &str,
-) {
+fn reject_generics(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>, name: &str) {
     if let Some(TokenTree::Punct(p)) = tokens.peek() {
         if p.as_char() == '<' {
             panic!("serde_derive stub does not support generic type `{name}`");
@@ -350,9 +349,9 @@ fn gen_deserialize(item: &Item) -> String {
                  ::std::result::Result::Ok({init})"
             )
         }
-        ItemKind::TupleStruct(1) => format!(
-            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))"
-        ),
+        ItemKind::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))")
+        }
         ItemKind::TupleStruct(n) => {
             let items: Vec<String> = (0..*n)
                 .map(|i| format!("::serde::Deserialize::from_value(&__seq[{i}])?"))
@@ -388,9 +387,7 @@ fn gen_deserialize(item: &Item) -> String {
                         )),
                         VariantFields::Tuple(n) => {
                             let items: Vec<String> = (0..*n)
-                                .map(|i| {
-                                    format!("::serde::Deserialize::from_value(&__seq[{i}])?")
-                                })
+                                .map(|i| format!("::serde::Deserialize::from_value(&__seq[{i}])?"))
                                 .collect();
                             Some(format!(
                                 "\"{vname}\" => {{\n\
@@ -405,11 +402,8 @@ fn gen_deserialize(item: &Item) -> String {
                             ))
                         }
                         VariantFields::Named(fields) => {
-                            let init = named_fields_from_map(
-                                &format!("{name}::{vname}"),
-                                fields,
-                                "__map",
-                            );
+                            let init =
+                                named_fields_from_map(&format!("{name}::{vname}"), fields, "__map");
                             Some(format!(
                                 "\"{vname}\" => {{\n\
                                  let __map = __payload.as_map().ok_or_else(|| \

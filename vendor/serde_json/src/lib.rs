@@ -356,7 +356,9 @@ impl<'a> Parser<'a> {
     fn parse_hex4(&mut self) -> Result<u32> {
         let mut code = 0u32;
         for _ in 0..4 {
-            let b = self.bump().ok_or_else(|| Error::new("truncated \\u escape"))?;
+            let b = self
+                .bump()
+                .ok_or_else(|| Error::new("truncated \\u escape"))?;
             let digit = (b as char)
                 .to_digit(16)
                 .ok_or_else(|| Error::new("invalid hex digit in \\u escape"))?;
@@ -417,7 +419,10 @@ mod tests {
         assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
         assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
         assert_eq!(to_string(&true).unwrap(), "true");
-        assert_eq!(to_string("a \"quoted\" str").unwrap(), "\"a \\\"quoted\\\" str\"");
+        assert_eq!(
+            to_string("a \"quoted\" str").unwrap(),
+            "\"a \\\"quoted\\\" str\""
+        );
         let n: f64 = from_str("1.5").unwrap();
         assert_eq!(n, 1.5);
         let s: String = from_str("\"hi\\nthere\"").unwrap();
