@@ -16,14 +16,18 @@ cargo test -q --workspace
 echo "==> cargo bench --no-run --workspace"
 cargo bench --no-run --workspace
 
-echo "==> exec bench (planned vs legacy, parallel vs serial, columnar vs row; emits BENCH_exec.json)"
+echo "==> exec bench (planned vs legacy, parallel vs serial, columnar vs row, batch vs serial grading; emits BENCH_exec.json)"
 # Gates: hash join >= 5x over the nested loop, and — on machines with >= 4
 # cores — parallel planned >= 1.5x over serial planned on the Large-scale
-# equi-join workload, plus columnar >= 2x over row planned on the
-# Large-scale scan/filter/join workload (each best of up to 3 measurement
-# rounds, so a transient load spike on a shared runner can't fail the
-# build). Below 4 cores both comparisons still run and are recorded in
-# BENCH_exec.json with meets_target=null, but the gates are skipped.
+# equi-join workload, columnar >= 2x over row planned on the Large-scale
+# scan/filter/join workload, plus batch grading >= 2x over serial grading
+# through the prepared-query pipeline (pipeline_throughput; each best of up
+# to 3 measurement rounds, so a transient load spike on a shared runner
+# can't fail the build). Below 4 cores the comparisons still run and are
+# recorded in BENCH_exec.json with meets_target=null, but the gates are
+# skipped. The test suite above includes a timeboxed pathological-LIKE
+# smoke test (bp-storage value tests), so a matcher regression to
+# exponential behavior fails fast instead of hanging this script.
 cargo run --release -p bp-bench --bin exec_bench
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"

@@ -1,7 +1,12 @@
 //! Table 4 — average annotation latency (minutes per participant) by
 //! condition and dataset.
+//!
+//! The study runner fans participants out across `bp_storage::batch_map`'s
+//! deterministic work-stealing pool; the table below is byte-identical at
+//! every thread count.
 
 use bp_bench::{print_header, HARNESS_SEED};
+use bp_storage::available_threads;
 use bp_study::{run_study, StudyConfig};
 
 fn main() {
@@ -10,6 +15,11 @@ fn main() {
         seed: HARNESS_SEED,
         ..StudyConfig::default()
     };
+    println!(
+        "(simulating {} participants on {} worker thread(s))",
+        config.participants,
+        available_threads()
+    );
     let run = run_study(&config);
     let paper = [
         ("Beaver", 16.1, 16.2, 102.1),

@@ -113,7 +113,11 @@ pub fn execution_accuracy_with(
 }
 
 /// [`execution_accuracy`] with full [`ExecOptions`] control (engine choice
-/// plus worker-thread budget). Grading is deterministic at every thread
+/// plus worker-thread budget). `options.threads` sizes the inter-query
+/// batch pipeline's worker pool (see
+/// [`bp_llm::evaluate_execution_accuracy_opts`]): items fan out across
+/// workers sharing one LRU plan cache while each item executes serially.
+/// Grading is deterministic — byte-identical reports — at every thread
 /// count.
 pub fn execution_accuracy_opts(
     project: &Project,
@@ -208,6 +212,23 @@ mod tests {
         // Deterministic.
         let again = execution_accuracy(&project, ModelKind::Gpt4o, 0.1, 3);
         assert_eq!(report, again);
+    }
+
+    #[test]
+    fn execution_accuracy_batch_pipeline_is_thread_count_independent() {
+        let project = finalized_project(true);
+        let serial =
+            execution_accuracy_opts(&project, ModelKind::Gpt4o, 0.1, 3, ExecOptions::serial());
+        for threads in [2usize, 4] {
+            let batched = execution_accuracy_opts(
+                &project,
+                ModelKind::Gpt4o,
+                0.1,
+                3,
+                ExecOptions::default().with_threads(threads),
+            );
+            assert_eq!(serial, batched, "report diverges at threads={threads}");
+        }
     }
 
     #[test]

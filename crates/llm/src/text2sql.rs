@@ -12,7 +12,9 @@ use crate::corrupt::{apply, Corruption};
 use crate::model::ModelProfile;
 use crate::sql2nl::stable_hash;
 use bp_sql::{analyze, Query};
-use bp_storage::{results_match, Catalog, Database, ExecOptions, ExecStrategy};
+use bp_storage::{
+    batch_map, results_match, Catalog, Database, ExecOptions, ExecStrategy, PlanCache,
+};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -110,27 +112,64 @@ pub struct EvalItem {
 }
 
 /// Result of evaluating a model on a workload.
+///
+/// **Denominator semantics.** `total` counts every item in the workload.
+/// Items whose *gold* SQL fails to parse, plan or execute are corpus
+/// defects the model never saw; they are reported in `gold_invalid` and
+/// excluded from the accuracy denominator (`total - gold_invalid`, the
+/// *gradable* items). `invalid` counts gradable items whose *predicted*
+/// SQL failed — those are model failures and stay in the denominator.
+/// The invariant is `correct + invalid <= total - gold_invalid <= total`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExecutionAccuracyReport {
     /// Model display name.
     pub model: String,
-    /// Number of evaluated items.
+    /// Number of items in the workload, gradable or not.
     pub total: usize,
-    /// Number of items whose predicted SQL executed to the gold result.
+    /// Number of gradable items whose predicted SQL executed to the gold
+    /// result.
     pub correct: usize,
-    /// Number of predictions that failed to parse or execute at all.
+    /// Number of gradable items whose *prediction* failed to parse, plan
+    /// or execute — a model failure, counted against accuracy.
     pub invalid: usize,
+    /// Number of items whose *gold* SQL failed to parse, plan or execute —
+    /// a corpus defect, excluded from the accuracy denominator.
+    pub gold_invalid: usize,
 }
 
 impl ExecutionAccuracyReport {
-    /// Execution accuracy in percent.
+    /// Number of items actually graded: `total - gold_invalid`. Saturating,
+    /// so a hand-built or deserialized report violating the documented
+    /// invariant degrades to 0 instead of panicking.
+    pub fn gradable(&self) -> usize {
+        self.total.saturating_sub(self.gold_invalid)
+    }
+
+    /// Execution accuracy in percent: `correct / gradable` (0 when no item
+    /// is gradable). Gold-side corpus defects do not deflate the score;
+    /// invalid *predictions* do.
     pub fn accuracy_percent(&self) -> f64 {
-        if self.total == 0 {
+        if self.gradable() == 0 {
             0.0
         } else {
-            self.correct as f64 / self.total as f64 * 100.0
+            self.correct as f64 / self.gradable() as f64 * 100.0
         }
     }
+}
+
+/// How one evaluation item was graded — the per-item unit the batch
+/// pipeline's workers produce and the in-order merge folds into an
+/// [`ExecutionAccuracyReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ItemOutcome {
+    /// Prediction executed to the gold result set.
+    Correct,
+    /// Prediction executed but its result differs from gold.
+    Incorrect,
+    /// Prediction failed to parse, plan or execute.
+    InvalidPrediction,
+    /// Gold SQL failed to parse, plan or execute (corpus defect).
+    GoldInvalid,
 }
 
 /// Evaluate a model's execution accuracy over a workload against a database
@@ -138,8 +177,10 @@ impl ExecutionAccuracyReport {
 ///
 /// Every prediction is executed on `db` and compared to the gold result with
 /// the Spider/Bird execution-accuracy convention (see
-/// [`bp_storage::results_match`]). The whole run is deterministic for a
-/// given `seed`.
+/// [`bp_storage::results_match`]). Grading runs the inter-query batch
+/// pipeline (see [`evaluate_execution_accuracy_opts`]) across all available
+/// hardware threads; the whole run is deterministic for a given `seed`
+/// regardless of thread count.
 pub fn evaluate_execution_accuracy(
     profile: &ModelProfile,
     items: &[EvalItem],
@@ -164,9 +205,22 @@ pub fn evaluate_execution_accuracy_with(
     evaluate_execution_accuracy_opts(profile, items, db, seed, ExecOptions::new(strategy))
 }
 
-/// [`evaluate_execution_accuracy`] with full [`ExecOptions`] control,
-/// including the planned engine's worker-thread budget. Grading results are
-/// identical at every thread count (the parallel executor is deterministic).
+/// [`evaluate_execution_accuracy`] with full [`ExecOptions`] control.
+///
+/// This is the **inter-query batch pipeline**: `options.threads` sizes a
+/// deterministic work-stealing worker pool ([`bp_storage::batch_map`]) that
+/// fans the *items* out, while each item executes its two queries
+/// single-threaded — for corpus grading, parallelism across thousands of
+/// independent items beats parallelism inside one small query, and the two
+/// never compose well (nested pools just contend). All workers share one
+/// LRU [`PlanCache`], so each distinct SQL text (every gold query, and
+/// every prediction that reproduces one) is parsed, planned and compiled
+/// exactly once per run.
+///
+/// The report is **byte-identical at every thread count** and equal to a
+/// serial loop over the items, by construction: each item's RNG is
+/// independently seeded from `(seed, gold SQL, index)`, query execution is
+/// deterministic, and per-item outcomes are merged in input order.
 pub fn evaluate_execution_accuracy_opts(
     profile: &ModelProfile,
     items: &[EvalItem],
@@ -174,46 +228,80 @@ pub fn evaluate_execution_accuracy_opts(
     seed: u64,
     options: ExecOptions,
 ) -> ExecutionAccuracyReport {
-    let mut correct = 0;
-    let mut invalid = 0;
-    for (index, item) in items.iter().enumerate() {
-        let mut rng = ChaCha8Rng::seed_from_u64(
-            seed ^ stable_hash(&item.gold_sql) ^ (index as u64).wrapping_mul(0x9e3779b97f4a7c15),
-        );
-        let gold_query = match bp_sql::parse_query(&item.gold_sql) {
-            Ok(q) => q,
-            Err(_) => {
-                invalid += 1;
-                continue;
-            }
-        };
-        let prediction = predict_sql(
+    let cache = PlanCache::with_default_capacity(db);
+    let item_options = ExecOptions::new(options.strategy).with_threads(1);
+    let outcomes = batch_map(options.threads.max(1), items.len(), |index| {
+        Ok::<_, std::convert::Infallible>(grade_item(
             profile,
-            &gold_query,
-            item.difficulty,
-            db.catalog(),
-            &mut rng,
-        );
-        let predicted_result = match db.execute_sql_opts(&prediction.sql, options) {
-            Ok(r) => r,
-            Err(_) => {
-                invalid += 1;
-                continue;
-            }
-        };
-        let gold_result = match db.execute_opts(&gold_query, options) {
-            Ok(r) => r,
-            Err(_) => continue,
-        };
-        if results_match(&gold_result, &predicted_result) {
-            correct += 1;
-        }
-    }
-    ExecutionAccuracyReport {
+            &items[index],
+            index,
+            db,
+            seed,
+            &cache,
+            item_options,
+        ))
+    })
+    .expect("grading items is infallible");
+    let mut report = ExecutionAccuracyReport {
         model: profile.kind.name().to_string(),
         total: items.len(),
-        correct,
-        invalid,
+        correct: 0,
+        invalid: 0,
+        gold_invalid: 0,
+    };
+    for outcome in outcomes {
+        match outcome {
+            ItemOutcome::Correct => report.correct += 1,
+            ItemOutcome::Incorrect => {}
+            ItemOutcome::InvalidPrediction => report.invalid += 1,
+            ItemOutcome::GoldInvalid => report.gold_invalid += 1,
+        }
+    }
+    report
+}
+
+/// Grade one evaluation item: prepare and execute the gold query (failures
+/// are corpus defects → [`ItemOutcome::GoldInvalid`]), simulate the model's
+/// prediction, execute it (failures are model errors →
+/// [`ItemOutcome::InvalidPrediction`]) and compare result sets. Prepared
+/// plans come from the shared `cache`, so repeated SQL texts compile once.
+fn grade_item(
+    profile: &ModelProfile,
+    item: &EvalItem,
+    index: usize,
+    db: &Database,
+    seed: u64,
+    cache: &PlanCache<'_>,
+    options: ExecOptions,
+) -> ItemOutcome {
+    let mut rng = ChaCha8Rng::seed_from_u64(
+        seed ^ stable_hash(&item.gold_sql) ^ (index as u64).wrapping_mul(0x9e3779b97f4a7c15),
+    );
+    // Gold side first: an item whose gold SQL cannot run was never a fair
+    // test of the model, whatever its prediction would have done.
+    let gold = match cache.get(&item.gold_sql) {
+        Ok(prepared) => prepared,
+        Err(_) => return ItemOutcome::GoldInvalid,
+    };
+    let gold_result = match gold.execute(options) {
+        Ok(result) => result,
+        Err(_) => return ItemOutcome::GoldInvalid,
+    };
+    let prediction = predict_sql(
+        profile,
+        gold.query(),
+        item.difficulty,
+        db.catalog(),
+        &mut rng,
+    );
+    let predicted_result = match cache.get(&prediction.sql).and_then(|p| p.execute(options)) {
+        Ok(result) => result,
+        Err(_) => return ItemOutcome::InvalidPrediction,
+    };
+    if results_match(&gold_result, &predicted_result) {
+        ItemOutcome::Correct
+    } else {
+        ItemOutcome::Incorrect
     }
 }
 
@@ -380,17 +468,98 @@ mod tests {
     }
 
     #[test]
-    fn unparseable_gold_counts_as_invalid() {
+    fn gold_side_failures_count_as_gold_invalid_not_invalid() {
         let db = campus_db();
-        let items = vec![EvalItem {
+        // Unparseable gold: the model never saw a real item.
+        let unparseable = vec![EvalItem {
             question: "broken".into(),
             gold_sql: "NOT REAL SQL".into(),
             difficulty: WorkloadDifficulty::default(),
         }];
-        let report = evaluate_execution_accuracy(&ModelKind::Gpt4o.profile(), &items, &db, 1);
-        assert_eq!(report.invalid, 1);
+        let report = evaluate_execution_accuracy(&ModelKind::Gpt4o.profile(), &unparseable, &db, 1);
+        assert_eq!(report.gold_invalid, 1);
+        assert_eq!(report.invalid, 0);
         assert_eq!(report.correct, 0);
+        assert_eq!(report.gradable(), 0);
         assert_eq!(report.accuracy_percent(), 0.0);
+        // Gold that parses but fails at execution time is a corpus defect
+        // too — it must land in gold_invalid, not be silently dropped.
+        let erroring = vec![EvalItem {
+            question: "divides by zero".into(),
+            gold_sql: "SELECT 1 / 0".into(),
+            difficulty: WorkloadDifficulty::default(),
+        }];
+        let report = evaluate_execution_accuracy(&ModelKind::Gpt4o.profile(), &erroring, &db, 1);
+        assert_eq!(report.gold_invalid, 1);
+        assert_eq!(report.invalid, 0);
+        assert_eq!(report.total, 1);
+    }
+
+    #[test]
+    fn gold_defects_do_not_deflate_accuracy() {
+        let db = campus_db();
+        // A perfectly-graded valid item mixed with two corpus defects:
+        // accuracy is judged over the gradable item only.
+        let mut items = easy_items();
+        items.push(EvalItem {
+            question: "broken".into(),
+            gold_sql: "NOT REAL SQL".into(),
+            difficulty: WorkloadDifficulty::default(),
+        });
+        items.push(EvalItem {
+            question: "errors".into(),
+            gold_sql: "SELECT 1 / 0".into(),
+            difficulty: WorkloadDifficulty::default(),
+        });
+        let with_defects = evaluate_execution_accuracy(&ModelKind::Gpt4o.profile(), &items, &db, 7);
+        let clean = evaluate_execution_accuracy(&ModelKind::Gpt4o.profile(), &easy_items(), &db, 7);
+        assert_eq!(with_defects.total, clean.total + 2);
+        assert_eq!(with_defects.gold_invalid, 2);
+        assert_eq!(with_defects.gradable(), clean.gradable());
+        assert_eq!(with_defects.correct, clean.correct);
+        assert_eq!(
+            with_defects.accuracy_percent(),
+            clean.accuracy_percent(),
+            "corpus defects must not deflate the model's score"
+        );
+    }
+
+    #[test]
+    fn batch_grading_is_identical_across_thread_counts_and_to_serial() {
+        let db = campus_db();
+        let profile = ModelKind::Gpt4o.profile();
+        let mut items = easy_items();
+        items.extend(hard_items());
+        items.push(EvalItem {
+            question: "broken".into(),
+            gold_sql: "NOT REAL SQL".into(),
+            difficulty: WorkloadDifficulty::default(),
+        });
+        let serial =
+            evaluate_execution_accuracy_opts(&profile, &items, &db, 41, ExecOptions::serial());
+        for threads in [1usize, 4, 16] {
+            let batched = evaluate_execution_accuracy_opts(
+                &profile,
+                &items,
+                &db,
+                41,
+                ExecOptions::default().with_threads(threads),
+            );
+            assert_eq!(
+                serial, batched,
+                "batch report diverges at threads={threads}"
+            );
+        }
+        // The legacy-interpreter strategy bypasses the compiled-plan path
+        // entirely; the batch pipeline must still agree with it.
+        let legacy = evaluate_execution_accuracy_opts(
+            &profile,
+            &items,
+            &db,
+            41,
+            ExecOptions::new(ExecStrategy::Legacy).with_threads(4),
+        );
+        assert_eq!(serial, legacy);
     }
 
     #[test]
@@ -399,5 +568,6 @@ mod tests {
         let report = evaluate_execution_accuracy(&ModelKind::Gpt4o.profile(), &[], &db, 1);
         assert_eq!(report.accuracy_percent(), 0.0);
         assert_eq!(report.total, 0);
+        assert_eq!(report.gold_invalid, 0);
     }
 }

@@ -28,8 +28,23 @@ fn ngram_counts(tokens: &[String], n: usize) -> std::collections::HashMap<Vec<St
 }
 
 /// Corpus-style BLEU score of a single candidate against a single reference,
-/// using up to 4-gram precision with the standard brevity penalty and
-/// add-zero clipping (no smoothing beyond skipping empty orders).
+/// using up to 4-gram clipped precision and the standard brevity penalty.
+///
+/// Two distinct zero-ish cases are handled differently, and deliberately so:
+///
+/// * An **empty order** — the candidate has no n-grams of order `n` at all
+///   (e.g. a 2-token candidate has no trigrams; orders above
+///   `min(candidate, reference)` length never even run) — is **skipped**:
+///   it contributes nothing to the geometric mean rather than zeroing it.
+/// * A **matchless order** — the candidate *has* n-grams of order `n` but
+///   none of them occur in the reference — **hard-zeros the whole score**.
+///   This is standard unsmoothed BLEU: the geometric mean of the per-order
+///   precisions contains a zero factor, so the product is zero.
+///
+/// No smoothing is applied beyond the empty-order skip. The score is
+/// always in `[0, 1]`: every per-order precision is `matched/total ≤ 1`
+/// and the brevity penalty is `exp(1 - ref/cand) ≤ 1` (see the property
+/// tests).
 pub fn bleu(candidate: &str, reference: &str) -> f64 {
     let cand = normalize(candidate);
     let refr = normalize(reference);
@@ -44,6 +59,8 @@ pub fn bleu(candidate: &str, reference: &str) -> f64 {
         let ref_counts = ngram_counts(&refr, n);
         let total: usize = cand_counts.values().sum();
         if total == 0 {
+            // Empty order: the candidate has no n-grams of this order —
+            // skipped, not zeroed (see the docstring).
             continue;
         }
         let mut matched = 0usize;
@@ -52,6 +69,8 @@ pub fn bleu(candidate: &str, reference: &str) -> f64 {
             matched += (*count).min(ref_count);
         }
         if matched == 0 {
+            // Matchless order: a zero precision factor zeroes the whole
+            // geometric mean — standard unsmoothed BLEU.
             return 0.0;
         }
         log_precision_sum += (matched as f64 / total as f64).ln();
@@ -207,5 +226,66 @@ mod tests {
             normalize("MOIRA_LIST_NAME = 'B%'"),
             vec!["moira_list_name", "b"]
         );
+    }
+
+    /// The two zero-ish BLEU cases the docstring distinguishes.
+    #[test]
+    fn bleu_skips_empty_orders_but_zeros_matchless_orders() {
+        // Empty orders skipped: a 2-token perfect match has no 3/4-grams,
+        // yet scores a full 1.0 from the orders that do exist.
+        assert!((bleu("count students", "count students") - 1.0).abs() < 1e-9);
+        assert!((bleu("moira", "moira") - 1.0).abs() < 1e-9);
+        // Matchless order zeroed: every unigram matches, but the only
+        // bigram ("count students") is absent from the reference, so the
+        // whole score collapses to 0 (unsmoothed BLEU).
+        assert_eq!(bleu("count students", "count the students"), 0.0);
+        // A candidate with no matching unigrams at all is likewise 0.
+        assert_eq!(bleu("alpha beta", "gamma delta"), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Every textsim metric stays in [0, 1] on arbitrary Unicode input
+        /// (the `lib.rs` suite covers `[a-z ]`; this one covers
+        /// punctuation-only, empty-after-normalization and multi-byte
+        /// inputs too).
+        #[test]
+        fn all_metrics_bounded_on_arbitrary_unicode(a in ".{0,40}", b in ".{0,40}") {
+            let scores = [
+                bleu(&a, &b),
+                rouge_n(&a, &b, 1),
+                rouge_n(&a, &b, 2),
+                rouge_n(&a, &b, 4),
+                rouge_l(&a, &b),
+                jaccard(&a, &b),
+            ];
+            for s in scores {
+                prop_assert!((0.0..=1.0).contains(&s), "score out of range: {s} for {a:?} vs {b:?}");
+                prop_assert!(s.is_finite());
+            }
+        }
+
+        /// Metrics are bounded when one side normalizes to nothing.
+        #[test]
+        fn metrics_bounded_against_empty(a in ".{0,40}") {
+            for (x, y) in [(a.as_str(), ""), ("", a.as_str()), ("?!.,;", a.as_str())] {
+                let scores = [bleu(x, y), rouge_n(x, y, 1), rouge_l(x, y), jaccard(x, y)];
+                for s in scores {
+                    prop_assert!((0.0..=1.0).contains(&s), "score out of range: {s}");
+                }
+            }
+        }
+
+        /// BLEU self-similarity is exactly 1 for any non-empty normalized
+        /// text — the empty-order skip must not dent a perfect match.
+        #[test]
+        fn bleu_self_match_is_one(a in "[a-z]{1,8}( [a-z]{1,8}){0,6}") {
+            prop_assert!((bleu(&a, &a) - 1.0).abs() < 1e-9);
+        }
     }
 }

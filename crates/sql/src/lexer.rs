@@ -194,19 +194,19 @@ impl<'a> Lexer<'a> {
 
     fn lex_string(&mut self, start: usize) -> SqlResult<Token> {
         self.bump(); // opening quote
-        let mut value = String::new();
+        let mut value = Vec::new();
         loop {
             match self.bump() {
                 Some(b'\'') => {
                     // '' is an escaped quote inside a string literal.
                     if self.peek() == Some(b'\'') {
                         self.bump();
-                        value.push('\'');
+                        value.push(b'\'');
                     } else {
-                        return Ok(Token::StringLiteral(value));
+                        return Ok(Token::StringLiteral(utf8_run(value)));
                     }
                 }
-                Some(c) => value.push(c as char),
+                Some(c) => value.push(c),
                 None => return Err(SqlError::lexer("unterminated string literal", start)),
             }
         }
@@ -214,21 +214,21 @@ impl<'a> Lexer<'a> {
 
     fn lex_quoted_identifier(&mut self, start: usize) -> SqlResult<Token> {
         self.bump(); // opening quote
-        let mut value = String::new();
+        let mut value = Vec::new();
         loop {
             match self.bump() {
                 Some(b'"') => {
                     if self.peek() == Some(b'"') {
                         self.bump();
-                        value.push('"');
+                        value.push(b'"');
                     } else {
                         return Ok(Token::Identifier {
-                            value,
+                            value: utf8_run(value),
                             quoted: true,
                         });
                     }
                 }
-                Some(c) => value.push(c as char),
+                Some(c) => value.push(c),
                 None => return Err(SqlError::lexer("unterminated quoted identifier", start)),
             }
         }
@@ -283,6 +283,16 @@ impl<'a> Lexer<'a> {
     }
 }
 
+/// Reassemble bytes collected from inside a quoted region into a `String`.
+/// The input SQL is a `&str` (valid UTF-8) and quoting only ever splits it
+/// at ASCII quote bytes — which cannot occur inside a multi-byte sequence —
+/// so the collected run is always valid UTF-8. (The old per-byte `as char`
+/// conversion decoded multi-byte characters as Latin-1 mojibake, corrupting
+/// non-ASCII string literals before LIKE ever saw them.)
+fn utf8_run(bytes: Vec<u8>) -> String {
+    String::from_utf8(bytes).expect("quoted run splits the input at ASCII quotes")
+}
+
 /// Tokenize a SQL string in one call.
 pub fn tokenize(sql: &str) -> SqlResult<Vec<Token>> {
     Lexer::new(sql).tokenize()
@@ -324,6 +334,22 @@ mod tests {
     fn lexes_string_with_escaped_quote() {
         let toks = kinds("SELECT 'it''s'");
         assert_eq!(toks[1], Token::StringLiteral("it's".into()));
+    }
+
+    #[test]
+    fn lexes_multibyte_utf8_in_strings_and_quoted_identifiers() {
+        // Regression: bytes inside quotes were decoded one-by-one as
+        // Latin-1, turning '魚と米' into mojibake before LIKE ever ran.
+        let toks = kinds("SELECT 'caf\u{e9} 魚と米'");
+        assert_eq!(toks[1], Token::StringLiteral("café 魚と米".into()));
+        let toks = kinds(r#"SELECT "colonne réservée" FROM t"#);
+        assert_eq!(
+            toks[1],
+            Token::Identifier {
+                value: "colonne réservée".into(),
+                quoted: true
+            }
+        );
     }
 
     #[test]

@@ -157,6 +157,19 @@ impl Database {
         crate::plan::Planner::new(self).plan(query)
     }
 
+    /// Parse `sql` once into a reusable [`crate::prepared::PreparedQuery`]
+    /// (planned + compiled lazily at its first planned execution, so the
+    /// legacy interpreter path never pays for or fails on compilation).
+    /// The prepared query borrows this
+    /// database, so the database cannot be mutated while it is alive —
+    /// which is exactly what makes its compiled ordinals and cached
+    /// subquery results safe to reuse across executions. Batch workloads
+    /// that revisit SQL texts should prefer a
+    /// [`crate::prepared::PlanCache`].
+    pub fn prepare(&self, sql: &str) -> StorageResult<crate::prepared::PreparedQuery<'_>> {
+        crate::prepared::PreparedQuery::new(self, sql)
+    }
+
     /// The full schema as a DDL script (one `CREATE TABLE` per line), the
     /// format BenchPress shows to the LLM as schema context.
     pub fn schema_ddl(&self) -> String {

@@ -33,6 +33,7 @@ pub mod error;
 pub mod exec;
 pub mod physical;
 pub mod plan;
+pub mod prepared;
 pub mod profiler;
 pub mod result;
 mod scalar;
@@ -43,8 +44,9 @@ pub mod value;
 pub use database::Database;
 pub use error::{StorageError, StorageResult};
 pub use exec::Executor;
-pub use physical::{available_threads, execute_planned_opts, ExecOptions, ExecStrategy};
+pub use physical::{available_threads, batch_map, execute_planned_opts, ExecOptions, ExecStrategy};
 pub use plan::{LogicalPlan, Planner, QueryPlan};
+pub use prepared::{PlanCache, PreparedQuery, DEFAULT_PLAN_CACHE_CAPACITY};
 pub use profiler::{profile_database, profile_table, DatabaseProfile, TableProfile};
 pub use result::{results_match, QueryResult};
 pub use schema::{Catalog, Column, TableSchema};

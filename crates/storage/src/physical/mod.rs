@@ -46,8 +46,8 @@ use crate::value::Value;
 
 use compile::Compiler;
 use expr::{EvalEnv, PhysExpr};
-pub use parallel::available_threads;
 use parallel::run_morsels;
+pub use parallel::{available_threads, batch_map};
 
 /// Which execution engine to use for a query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -130,8 +130,25 @@ pub fn execute_planned_opts(
     query: &Query,
     options: ExecOptions,
 ) -> StorageResult<QueryResult> {
+    let physical = compile_query(db, query)?;
+    exec_compiled(db, &physical, options)
+}
+
+/// Plan and compile a query into a reusable physical plan (the
+/// parse-once/execute-many half of [`crate::prepared::PreparedQuery`]).
+pub(crate) fn compile_query(db: &Database, query: &Query) -> StorageResult<PhysQueryPlan> {
     let logical = Planner::new(db).plan(query)?;
-    let physical = Compiler::new(db).compile(&logical)?;
+    Compiler::new(db).compile(&logical)
+}
+
+/// Execute an already-compiled physical plan. The plan must have been
+/// compiled against `db` (ordinals and table names are resolved at compile
+/// time); [`crate::prepared::PreparedQuery`] enforces that pairing.
+pub(crate) fn exec_compiled(
+    db: &Database,
+    plan: &PhysQueryPlan,
+    options: ExecOptions,
+) -> StorageResult<QueryResult> {
     let ctx = RunCtx {
         db,
         frame: None,
@@ -139,7 +156,7 @@ pub fn execute_planned_opts(
         threads: options.threads.max(1),
         columnar: !matches!(options.strategy, ExecStrategy::RowPlanned),
     };
-    exec_query_plan(&physical, &ctx)
+    exec_query_plan(plan, &ctx)
 }
 
 // ---------------------------------------------------------------------

@@ -107,6 +107,32 @@ where
     Ok(out)
 }
 
+/// Run `work(index)` for every index in `0..count` on up to `threads`
+/// work-stealing workers and return the results **in input order** — the
+/// public inter-task batch driver behind `bp_storage::batch_map`.
+///
+/// This is the same scoped-thread machinery the planned engine's parallel
+/// operators use, applied one level up: whole independent tasks (e.g. one
+/// grading item, one study participant) instead of morsels of one query.
+/// Workers claim task indices from a shared atomic cursor, so a slow task
+/// never idles the rest of the pool, and results are reassembled by index,
+/// so the output is **independent of scheduling**: byte-identical at every
+/// thread count, with the first error in task order winning exactly as a
+/// serial loop would report it. `threads <= 1` (or a single task) runs
+/// inline on the calling thread with zero spawn overhead.
+///
+/// Tasks must be independent: the driver gives no ordering guarantee about
+/// *when* tasks run relative to each other, only about how their results
+/// (and errors) are surfaced.
+pub fn batch_map<R, E, F>(threads: usize, count: usize, work: F) -> Result<Vec<R>, E>
+where
+    R: Send,
+    E: Send,
+    F: Fn(usize) -> Result<R, E> + Sync,
+{
+    run_tasks(threads, count, work)
+}
+
 /// Run `work` over each morsel of `0..len` and return the per-morsel
 /// results in morsel order. `len` below ~2×[`MIN_MORSEL`] (or `threads <=
 /// 1`) runs inline with zero thread overhead.

@@ -266,23 +266,61 @@ impl From<bool> for Value {
     }
 }
 
-/// Evaluate a SQL `LIKE` pattern (`%` = any run, `_` = any single char).
-/// Matching is case-sensitive, mirroring most production dialects.
+/// Evaluate a SQL `LIKE` pattern (`%` = any run of characters, `_` = any
+/// single character). Matching is case-sensitive, mirroring most production
+/// dialects, and operates on **characters**, not bytes, so `_` consumes one
+/// whole multi-byte UTF-8 character.
+///
+/// The matcher is an iterative two-pointer scan with a single `%` backtrack
+/// point: when a mismatch occurs, only the **most recent** `%` is retried,
+/// one character further into the text. An earlier `%` never needs
+/// revisiting — anything a retry of it could match is already reachable by
+/// retrying the later `%` — so the worst case is O(text × pattern) instead
+/// of the exponential blowup (and recursion-depth stack risk) of the old
+/// recursive backtracker on `%a%a%a…`-style patterns. Shared by the legacy
+/// interpreter, the row-planned engine and the columnar LIKE kernel
+/// (`PhysExpr::{eval, eval_batch}` and `Executor` all call this function).
 pub fn like_match(text: &str, pattern: &str) -> bool {
-    fn helper(t: &[u8], p: &[u8]) -> bool {
-        if p.is_empty() {
-            return t.is_empty();
-        }
-        match p[0] {
-            b'%' => {
-                // Try to match zero or more characters.
-                (0..=t.len()).any(|skip| helper(&t[skip..], &p[1..]))
+    let (t, p) = (text, pattern);
+    // Byte cursors into `t` and `p`, always on character boundaries.
+    let mut ti = 0;
+    let mut pi = 0;
+    // The single backtrack point: (pattern cursor just past the most
+    // recent '%', text cursor where that '%' should next resume).
+    let mut star: Option<(usize, usize)> = None;
+    while ti < t.len() {
+        match p[pi..].chars().next() {
+            Some('%') => {
+                pi += 1;
+                // '%' first tries to match zero characters.
+                star = Some((pi, ti));
+                continue;
             }
-            b'_' => !t.is_empty() && helper(&t[1..], &p[1..]),
-            c => !t.is_empty() && t[0] == c && helper(&t[1..], &p[1..]),
+            Some(pc) => {
+                let tc = t[ti..].chars().next().expect("ti < t.len()");
+                if pc == '_' || pc == tc {
+                    pi += pc.len_utf8();
+                    ti += tc.len_utf8();
+                    continue;
+                }
+            }
+            None => {}
+        }
+        // Mismatch (or pattern exhausted with text remaining): grow the
+        // most recent '%' by one character and retry, or fail for good.
+        match star {
+            Some((star_pi, star_ti)) => {
+                let skipped = t[star_ti..].chars().next().expect("star_ti < t.len()");
+                let resume = star_ti + skipped.len_utf8();
+                star = Some((star_pi, resume));
+                pi = star_pi;
+                ti = resume;
+            }
+            None => return false,
         }
     }
-    helper(text.as_bytes(), pattern.as_bytes())
+    // Text consumed: the remaining pattern must be all '%'.
+    p[pi..].chars().all(|c| c == '%')
 }
 
 #[cfg(test)]
@@ -396,6 +434,67 @@ mod tests {
         assert!(like_match("", "%"));
         assert!(!like_match("", "_"));
         assert!(like_match("a%b", "a%b"));
+        // Multiple '%' runs and '%' adjacency.
+        assert!(like_match("BENCH", "%%"));
+        assert!(like_match("BENCH", "B%%H"));
+        assert!(like_match("abcabc", "%abc"));
+        assert!(!like_match("abcabd", "%abc"));
+        assert!(like_match("mississippi", "%iss%ppi"));
+        assert!(!like_match("mississippi", "%iss%ppx"));
+        // The single-backtrack point must retry the *latest* '%': the
+        // first "is" candidate after each '%' is not always the right one.
+        assert!(like_match("mississippi", "m%is%sip%"));
+        assert!(like_match("aab", "%a_b"));
+    }
+
+    #[test]
+    fn like_underscore_consumes_whole_utf8_chars() {
+        // '_' is one character, not one byte: 'é' is 2 bytes, '魚' is 3.
+        assert!(like_match("é", "_"));
+        assert!(!like_match("é", "__"));
+        assert!(like_match("魚", "_"));
+        assert!(like_match("caffé", "caff_"));
+        assert!(like_match("caffé", "c_ff_"));
+        assert!(!like_match("caffé", "caff__"));
+        // Literal multi-byte characters still match themselves...
+        assert!(like_match("caffé", "caffé"));
+        assert!(like_match("caffé", "%é"));
+        // ...and '%' runs are byte-boundary safe around them.
+        assert!(like_match("魚と米", "魚%米"));
+        assert!(like_match("魚と米", "_と_"));
+        assert!(!like_match("魚と米", "魚%肉"));
+    }
+
+    /// The old recursive byte-wise matcher was exponential on
+    /// `%a%a%a…`-style patterns over all-'a' text (each '%' scanned every
+    /// suffix). The iterative matcher is O(text × pattern); this watchdog
+    /// fails within the timebox instead of hanging the whole suite if the
+    /// matcher ever regresses to super-polynomial behavior.
+    #[test]
+    fn pathological_like_patterns_complete_within_timebox() {
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let text = "a".repeat(4_000);
+            let miss = format!("{}b", "%a".repeat(40));
+            let hit = "%a".repeat(40).to_string() + "%";
+            let underscores = format!("{}%", "_".repeat(500));
+            let results = (
+                like_match(&text, &miss),
+                like_match(&text, &hit),
+                like_match(&text, &underscores),
+                // Deep recursion risk of the old matcher: a very long
+                // pattern of literals must not overflow the stack.
+                like_match(&text, &"a".repeat(4_000)),
+            );
+            tx.send(results).ok();
+        });
+        let (miss, hit, underscores, literal) = rx
+            .recv_timeout(std::time::Duration::from_secs(20))
+            .expect("LIKE matcher exceeded the timebox: exponential/hanging regression");
+        assert!(!miss, "no 'b' in the text");
+        assert!(hit);
+        assert!(underscores);
+        assert!(literal);
     }
 
     #[test]

@@ -8,7 +8,7 @@ use bp_core::{FeedbackAction, Project, TaskConfig};
 use bp_datasets::{BenchmarkKind, DomainLexicon, GeneratedBenchmark};
 use bp_llm::{generate_candidates, GenerationRequest, ModelKind, PromptBuilder};
 use bp_metrics::{coverage, grade, ClarityHistogram, DEFAULT_ACCURACY_THRESHOLD};
-use bp_storage::Database;
+use bp_storage::{available_threads, batch_map, Database};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -95,9 +95,23 @@ pub fn run_study(config: &StudyConfig) -> StudyRun {
     }
 
     let participants = assign_participants(config.participants, config.seed);
+    // Participants are independent by design — each gets a cold-start
+    // project and an RNG seeded from (config.seed, participant id) — so
+    // the study fans them out across the deterministic batch driver and
+    // merges the per-participant outcome lists in participant order. The
+    // run is byte-identical at every thread count.
+    let per_participant = batch_map(available_threads(), participants.len(), |i| {
+        Ok::<_, std::convert::Infallible>(run_participant(
+            config,
+            &participants[i],
+            &queries,
+            &beaver,
+            &bird,
+        ))
+    })
+    .expect("participant simulation is infallible");
     let mut outcomes = Vec::with_capacity(participants.len() * queries.len());
-    for participant in &participants {
-        let participant_outcomes = run_participant(config, participant, &queries, &beaver, &bird);
+    for participant_outcomes in per_participant {
         outcomes.extend(participant_outcomes);
     }
     StudyRun {
@@ -341,6 +355,11 @@ impl StudyRun {
     /// Figure 4. Every final description is backtranslated by a vanilla model
     /// and graded with the 5-level rubric against its original query,
     /// executing on the corresponding generated database.
+    ///
+    /// Each outcome's backtranslation + grading is independent, so the loop
+    /// fans out across the deterministic batch driver; grades are recorded
+    /// into the histograms in outcome order, making the result identical at
+    /// every thread count.
     pub fn clarity_histograms(
         &self,
         backtranslation_model: ModelKind,
@@ -349,8 +368,8 @@ impl StudyRun {
             bp_llm::Backtranslator::new(self.beaver_db.catalog(), backtranslation_model.profile());
         let bird_translator =
             bp_llm::Backtranslator::new(self.bird_db.catalog(), backtranslation_model.profile());
-        let mut histograms: HashMap<Condition, ClarityHistogram> = HashMap::new();
-        for outcome in &self.outcomes {
+        let graded = batch_map(available_threads(), self.outcomes.len(), |i| {
+            let outcome = &self.outcomes[i];
             let (translator, db) = match outcome.dataset {
                 StudyDataset::Beaver => (&beaver_translator, &self.beaver_db),
                 StudyDataset::Bird => (&bird_translator, &self.bird_db),
@@ -358,10 +377,12 @@ impl StudyRun {
             let regenerated = translator.backtranslate(&outcome.description);
             let original = bp_sql::parse_query(&outcome.sql).expect("study queries parse");
             let graded = grade(&original, &regenerated, Some(db));
-            histograms
-                .entry(outcome.condition)
-                .or_default()
-                .record(graded.level);
+            Ok::<_, std::convert::Infallible>((outcome.condition, graded.level))
+        })
+        .expect("backtranslation grading is infallible");
+        let mut histograms: HashMap<Condition, ClarityHistogram> = HashMap::new();
+        for (condition, level) in graded {
+            histograms.entry(condition).or_default().record(level);
         }
         histograms
     }
