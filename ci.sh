@@ -13,21 +13,45 @@ cargo build --release
 echo "==> cargo test -q --workspace (includes the umbrella tier-1 suite)"
 cargo test -q --workspace
 
+echo "==> concurrency stress loop (snapshot readers vs streaming writer, timeboxed)"
+# Concurrent interleavings are timing-dependent: one pass of the stress
+# tests can miss a racy window that the next pass hits. Re-run the
+# reader/writer stress tests in release mode until a ~60s budget is spent
+# (at least one pass always runs; a failing pass fails the build). The
+# tests assert byte-identical reports between concurrent and serial
+# snapshot runs and first-error-in-input-order under writes.
+STRESS_DEADLINE=$(( $(date +%s) + 60 ))
+STRESS_PASSES=0
+while :; do
+  cargo test --release -q -p bp-storage -- \
+    service::tests::concurrent_sessions_read_consistently_under_a_streaming_writer \
+    service::tests::batch_errors_surface_first_in_input_order_under_writes \
+    prepared::tests::prepared_query_survives_concurrent_inserts_on_every_strategy
+  cargo test --release -q --test differential prepared_queries_survive_a_streaming_writer
+  STRESS_PASSES=$(( STRESS_PASSES + 1 ))
+  [ "$(date +%s)" -ge "$STRESS_DEADLINE" ] && break
+done
+echo "concurrency stress loop: ${STRESS_PASSES} pass(es) green"
+
 echo "==> cargo bench --no-run --workspace"
 cargo bench --no-run --workspace
 
-echo "==> exec bench (planned vs legacy, parallel vs serial, columnar vs row, batch vs serial grading; emits BENCH_exec.json)"
+echo "==> exec bench (planned vs legacy, parallel vs serial, columnar vs row, batch vs serial grading, grading under a streaming writer; emits BENCH_exec.json)"
 # Gates: hash join >= 5x over the nested loop, and — on machines with >= 4
 # cores — parallel planned >= 1.5x over serial planned on the Large-scale
 # equi-join workload, columnar >= 2x over row planned on the Large-scale
-# scan/filter/join workload, plus batch grading >= 2x over serial grading
-# through the prepared-query pipeline (pipeline_throughput; each best of up
-# to 3 measurement rounds, so a transient load spike on a shared runner
-# can't fail the build). Below 4 cores the comparisons still run and are
-# recorded in BENCH_exec.json with meets_target=null, but the gates are
-# skipped. The test suite above includes a timeboxed pathological-LIKE
-# smoke test (bp-storage value tests), so a matcher regression to
-# exponential behavior fails fast instead of hanging this script.
+# scan/filter/join workload, batch grading >= 2x over serial grading
+# through the prepared-query pipeline (pipeline_throughput), plus
+# concurrent_read_write: session-based grading through the
+# AnnotationService must sustain >= 0.5x of its uncontended throughput
+# while a writer streams inserts (p99 per-statement latency is recorded
+# alongside; each gate best of up to 3 measurement rounds, so a transient
+# load spike on a shared runner can't fail the build). Below 4 cores the
+# comparisons still run and are recorded in BENCH_exec.json with
+# meets_target=null, but the gates are skipped. The test suite above
+# includes a timeboxed pathological-LIKE smoke test (bp-storage value
+# tests), so a matcher regression to exponential behavior fails fast
+# instead of hanging this script.
 cargo run --release -p bp-bench --bin exec_bench
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"

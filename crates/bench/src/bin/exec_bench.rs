@@ -3,7 +3,7 @@
 //! execution, and of columnar vs row-planned execution, recorded as
 //! `BENCH_exec.json`.
 //!
-//! Four headline measurements:
+//! Five headline measurements:
 //!
 //! 1. **Planned vs legacy**: a two-table foreign-key equi-join over a
 //!    corpus generated at the `CorpusScale::Large` setting (32× rows),
@@ -37,6 +37,20 @@
 //!    target is a ≥2× speedup (best-of-3 rounds); below 4 cores the
 //!    comparison is recorded with the gate skipped and `meets_target:
 //!    null`.
+//! 5. **Grading under a streaming writer** (`concurrent_read_write`): the
+//!    same session-based grading pass through the `AnnotationService` —
+//!    snapshot-pinned reads via the shared version-invalidating plan cache
+//!    — timed alone (baseline) and with a writer streaming single-row
+//!    inserts into the hottest corpus table for the whole pass. The gated
+//!    quantity is the throughput *ratio* (baseline / under-writer): on ≥4
+//!    cores sustained grading must keep ≥0.5× of its uncontended
+//!    throughput (i.e. the writer may cost at most 2×), best-of-3 rounds;
+//!    p99 per-statement latency under the writer is recorded alongside.
+//!    Below 4 cores readers and the writer time-slice the same core, so
+//!    the gate is skipped and `meets_target` recorded as `null`. Before
+//!    timing, a batch executed under the racing writer is asserted
+//!    byte-identical to a serial run against the session's pinned
+//!    snapshot.
 //!
 //! Results from every engine/thread-count combination are asserted
 //! identical before timings are trusted.
@@ -44,12 +58,16 @@
 //! Run with: `cargo run --release -p bp-bench --bin exec_bench`
 //! (CI runs this and archives `BENCH_exec.json`; see `ci.sh`.)
 
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use bp_datasets::{BenchmarkKind, CorpusScale, GeneratedBenchmark};
 use bp_llm::{evaluate_execution_accuracy_opts, EvalItem, ModelKind};
-use bp_sql::Query;
-use bp_storage::{available_threads, Database, ExecOptions, ExecStrategy};
+use bp_sql::{DataType, Query};
+use bp_storage::{
+    available_threads, batch_map, AnnotationService, Database, ExecOptions, ExecStrategy, Value,
+};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -146,6 +164,44 @@ struct PipelineMeasurement {
     meets_target: Option<bool>,
 }
 
+/// Session-based grading throughput with and without a concurrent writer
+/// streaming inserts through the `AnnotationService`
+/// (`concurrent_read_write`).
+#[derive(Serialize)]
+struct ConcurrentMeasurement {
+    scale: String,
+    /// Statements graded per pass.
+    statements: usize,
+    threads: usize,
+    cores: usize,
+    /// One grading pass, no writer (best round), milliseconds.
+    baseline_ms: f64,
+    /// The same pass with the writer streaming (best round), milliseconds.
+    under_writer_ms: f64,
+    /// `baseline_ms / under_writer_ms` — the gated quantity: the fraction
+    /// of uncontended throughput sustained under the writer.
+    throughput_ratio: f64,
+    /// Grading statements per second under the writer (best round).
+    grading_qps_under_writer: f64,
+    /// p99 per-statement latency under the writer, milliseconds.
+    p99_latency_ms: f64,
+    /// Rows the writer streamed during the best round's timed passes.
+    writer_rows: usize,
+    /// Plan-cache counters accumulated by the service across the whole
+    /// benchmark (hits/misses/invalidations; invalidations are the
+    /// per-table-version recompiles the writer forced).
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_invalidations: u64,
+    ratio_target: f64,
+    /// Whether the ≥4-core gate was enforced on this machine.
+    gate_applied: bool,
+    /// Measurement rounds taken (best-of-N).
+    measure_rounds: usize,
+    /// Gate outcome; `null` whenever `gate_applied` is false.
+    meets_target: Option<bool>,
+}
+
 #[derive(Serialize)]
 struct ExecBenchReport {
     bench: String,
@@ -156,6 +212,7 @@ struct ExecBenchReport {
     parallel_equi_join_workload: ParallelMeasurement,
     columnar_workload: ColumnarMeasurement,
     pipeline_throughput: PipelineMeasurement,
+    concurrent_read_write: ConcurrentMeasurement,
     speedup_target: f64,
     meets_target: bool,
 }
@@ -529,6 +586,157 @@ fn main() {
         }
     );
 
+    // --- Headline 5: grading under a streaming writer --------------------
+    const CONCURRENT_TARGET: f64 = 0.5;
+    const CONCURRENT_STATEMENTS: usize = 32;
+    let service = AnnotationService::new(large.database.clone());
+    // Cycle the corpus's gold queries into a fixed-size grading pass: the
+    // steady-state shape of an annotation session re-grading its corpus.
+    let grading_sqls: Vec<String> = (0..CONCURRENT_STATEMENTS)
+        .map(|i| large.log[i % large.log.len()].sql.clone())
+        .collect();
+    let (victim_name, victim_schema) = {
+        let snapshot = service.snapshot();
+        let table = snapshot.tables().next().expect("corpus has tables");
+        (table.schema.name.clone(), table.schema.clone())
+    };
+    // Writer rows get ids far above the corpus range so streaming inserts
+    // never trip primary-key collisions, across all rounds. The writer is
+    // paced to ~10k rows/s: an unpaced loop is a CPU-saturation test of the
+    // insert path (it appends in place whenever no snapshot pins the table,
+    // reaching millions of rows per pass), not a model of an annotation
+    // service ingesting labels — and on few-core machines it starves the
+    // readers of the very thing being measured.
+    const WRITER_PACE: Duration = Duration::from_micros(100);
+    let next_writer_id = AtomicI64::new(100_000_000);
+    let writer_row = || -> Vec<Value> {
+        let id = next_writer_id.fetch_add(64, Ordering::Relaxed);
+        victim_schema
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(c, column)| match column.data_type {
+                DataType::Integer => Value::Int(id + c as i64),
+                DataType::Float => Value::Float(id as f64),
+                _ => Value::Text(format!("writer_{id}_{c}")),
+            })
+            .collect()
+    };
+    // Correctness before timing: a batch executed while the writer streams
+    // must be byte-identical to a serial run against the session's pinned
+    // snapshot.
+    {
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let writer = scope.spawn(|| {
+                while !stop.load(Ordering::Relaxed) {
+                    service
+                        .insert(&victim_name, vec![writer_row()])
+                        .expect("writer inserts");
+                    std::thread::sleep(WRITER_PACE);
+                }
+            });
+            let session = service.open_session();
+            let parallel = session
+                .batch_execute(&grading_sqls, threads)
+                .expect("grading batch executes under writer");
+            let serial: Vec<_> = grading_sqls
+                .iter()
+                .map(|sql| {
+                    session
+                        .snapshot()
+                        .execute_sql_opts(sql, ExecOptions::serial())
+                        .expect("serial grading executes")
+                })
+                .collect();
+            assert_eq!(
+                parallel, serial,
+                "grading under the writer must be byte-identical to a serial \
+                 run against the pinned snapshot"
+            );
+            stop.store(true, Ordering::Relaxed);
+            writer.join().expect("writer thread");
+        });
+    }
+    let mut concurrent_best_ratio = 0.0_f64;
+    let mut concurrent_p99_ms = 0.0_f64;
+    let mut concurrent_writer_rows = 0_usize;
+    let concurrent_gate = measure_gated(
+        "concurrent",
+        CONCURRENT_TARGET,
+        PARALLEL_GATE_ROUNDS,
+        gate_applied,
+        || {
+            // Baseline: the grading pass with no writer in sight.
+            let baseline = time_ms(3, || {
+                let session = service.open_session();
+                session
+                    .batch_execute(&grading_sqls, threads)
+                    .expect("grading pass executes");
+            });
+            // Contender: the identical pass while the writer streams
+            // single-row inserts as fast as the service lets it.
+            let latencies = Mutex::new(Vec::new());
+            let stop = AtomicBool::new(false);
+            let inserted = AtomicUsize::new(0);
+            let under_writer = std::thread::scope(|scope| {
+                let writer = scope.spawn(|| {
+                    while !stop.load(Ordering::Relaxed) {
+                        service
+                            .insert(&victim_name, vec![writer_row()])
+                            .expect("writer inserts");
+                        inserted.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(WRITER_PACE);
+                    }
+                });
+                let elapsed = time_ms(3, || {
+                    let session = service.open_session();
+                    let pass_latencies = batch_map(threads, grading_sqls.len(), |i| {
+                        let start = Instant::now();
+                        session
+                            .execute_sql(&grading_sqls[i])
+                            .expect("grading query executes");
+                        Ok::<_, std::convert::Infallible>(start.elapsed().as_secs_f64() * 1e3)
+                    })
+                    .expect("latency collection is infallible");
+                    latencies
+                        .lock()
+                        .expect("latency lock")
+                        .extend(pass_latencies);
+                });
+                stop.store(true, Ordering::Relaxed);
+                writer.join().expect("writer thread");
+                elapsed
+            });
+            let ratio = baseline / under_writer.max(1e-6);
+            if ratio > concurrent_best_ratio {
+                concurrent_best_ratio = ratio;
+                let samples = latencies.into_inner().expect("latency lock");
+                concurrent_p99_ms = bp_metrics::percentile(&samples, 99.0);
+                concurrent_writer_rows = inserted.load(Ordering::Relaxed);
+            }
+            (baseline, under_writer)
+        },
+    );
+    let (concurrent_baseline_ms, concurrent_under_writer_ms) =
+        (concurrent_gate.baseline_ms, concurrent_gate.contender_ms);
+    let concurrent_ratio = concurrent_gate.speedup;
+    let concurrent_meets = concurrent_gate.meets_target;
+    let concurrent_qps =
+        CONCURRENT_STATEMENTS as f64 / (concurrent_under_writer_ms / 1e3).max(1e-9);
+    let service_cache_stats = service.cache_stats();
+    println!(
+        "grading under streaming writer ({CONCURRENT_STATEMENTS} statements @ {}): alone {concurrent_baseline_ms:.1} ms, \
+         under writer {concurrent_under_writer_ms:.1} ms -> {concurrent_ratio:.2}x of uncontended throughput \
+         ({concurrent_qps:.0} stmt/s, p99 {concurrent_p99_ms:.2} ms, {concurrent_writer_rows} rows streamed){}",
+        join_scale.name(),
+        if gate_applied {
+            ""
+        } else {
+            " (gate skipped: <4 cores)"
+        }
+    );
+
     // --- Secondary: a full mixed workload at medium scale ----------------
     let workload_scale = CorpusScale::Medium;
     let medium = GeneratedBenchmark::generate_scaled(BenchmarkKind::Spider, 12, 19, workload_scale);
@@ -661,6 +869,25 @@ fn main() {
             measure_rounds: pipeline_gate.rounds,
             meets_target: pipeline_meets,
         },
+        concurrent_read_write: ConcurrentMeasurement {
+            scale: join_scale.name().into(),
+            statements: CONCURRENT_STATEMENTS,
+            threads,
+            cores,
+            baseline_ms: concurrent_baseline_ms,
+            under_writer_ms: concurrent_under_writer_ms,
+            throughput_ratio: concurrent_ratio,
+            grading_qps_under_writer: concurrent_qps,
+            p99_latency_ms: concurrent_p99_ms,
+            writer_rows: concurrent_writer_rows,
+            cache_hits: service_cache_stats.hits,
+            cache_misses: service_cache_stats.misses,
+            cache_invalidations: service_cache_stats.invalidations,
+            ratio_target: CONCURRENT_TARGET,
+            gate_applied,
+            measure_rounds: concurrent_gate.rounds,
+            meets_target: concurrent_meets,
+        },
         speedup_target: TARGET,
         meets_target,
     };
@@ -684,15 +911,20 @@ fn main() {
             "pipeline gate: batch grading {} the >= {PIPELINE_TARGET}x target over serial grading ({pipeline_speedup:.2}x on {cores} cores)",
             if pipeline_meets == Some(true) { "MEETS" } else { "MISSES" }
         );
+        println!(
+            "concurrent gate: grading under the streaming writer {} the >= {CONCURRENT_TARGET}x throughput-ratio target ({concurrent_ratio:.2}x on {cores} cores, p99 {concurrent_p99_ms:.2} ms)",
+            if concurrent_meets == Some(true) { "MEETS" } else { "MISSES" }
+        );
     } else {
         println!(
-            "parallel + columnar + pipeline gates: skipped ({cores} core(s) < {PARALLEL_GATE_MIN_CORES}); comparisons recorded anyway"
+            "parallel + columnar + pipeline + concurrent gates: skipped ({cores} core(s) < {PARALLEL_GATE_MIN_CORES}); comparisons recorded anyway"
         );
     }
     if !meets_target
         || parallel_meets == Some(false)
         || columnar_meets == Some(false)
         || pipeline_meets == Some(false)
+        || concurrent_meets == Some(false)
     {
         std::process::exit(1);
     }

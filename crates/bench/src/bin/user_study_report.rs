@@ -50,7 +50,7 @@ fn main() {
     }
 
     println!("\n--- Figure 4: backtranslation clarity histogram ---");
-    let histograms = run.clarity_histograms(ModelKind::Gpt4o);
+    let (histograms, cache_stats) = run.clarity_histograms_detailed(ModelKind::Gpt4o);
     println!(
         "{:<14} {:>6} {:>6} {:>6} {:>6} {:>6} {:>12}",
         "Condition", "L1", "L2", "L3", "L4", "L5", "mean level"
@@ -68,4 +68,11 @@ fn main() {
             histogram.mean_level(),
         );
     }
+    println!(
+        "\nplan cache during grading: {} hits, {} misses, {} invalidations ({} graded outcomes)",
+        cache_stats.hits,
+        cache_stats.misses,
+        cache_stats.invalidations,
+        run.outcomes.len()
+    );
 }

@@ -126,6 +126,24 @@ pub fn execution_accuracy_opts(
     seed: u64,
     options: ExecOptions,
 ) -> ExecutionAccuracyReport {
+    let cache = bp_storage::PlanCache::with_default_capacity();
+    execution_accuracy_cached(project, model, schema_ambiguity, seed, options, &cache)
+}
+
+/// [`execution_accuracy_opts`] grading through a caller-supplied
+/// [`bp_storage::PlanCache`]. Repeated evaluations of a growing project —
+/// the annotation service's steady state — reuse compiled plans for every
+/// query whose tables have not changed since the last run; writes in
+/// between invalidate exactly the affected entries (per table version, not
+/// the whole cache). The report itself is identical to the uncached path.
+pub fn execution_accuracy_cached(
+    project: &Project,
+    model: ModelKind,
+    schema_ambiguity: f64,
+    seed: u64,
+    options: ExecOptions,
+    cache: &bp_storage::PlanCache,
+) -> ExecutionAccuracyReport {
     let lexicon = project.lexicon();
     let items: Vec<EvalItem> = project
         .log()
@@ -139,12 +157,13 @@ pub fn execution_accuracy_opts(
             },
         })
         .collect();
-    bp_llm::evaluate_execution_accuracy_opts(
+    bp_llm::evaluate_execution_accuracy_cached(
         &model.profile(),
         &items,
         project.database(),
         seed,
         options,
+        cache,
     )
 }
 

@@ -36,9 +36,9 @@ pub use sql2nl::{
     NlCandidate, CANDIDATES_PER_QUERY,
 };
 pub use text2sql::{
-    evaluate_execution_accuracy, evaluate_execution_accuracy_opts,
-    evaluate_execution_accuracy_with, predict_sql, EvalItem, ExecutionAccuracyReport,
-    Text2SqlPrediction, WorkloadDifficulty,
+    evaluate_execution_accuracy, evaluate_execution_accuracy_cached,
+    evaluate_execution_accuracy_opts, evaluate_execution_accuracy_with, predict_sql, EvalItem,
+    ExecutionAccuracyReport, Text2SqlPrediction, WorkloadDifficulty,
 };
 
 #[cfg(test)]

@@ -13,7 +13,7 @@ use crate::model::ModelProfile;
 use crate::sql2nl::stable_hash;
 use bp_sql::{analyze, Query};
 use bp_storage::{
-    batch_map, results_match, Catalog, Database, ExecOptions, ExecStrategy, PlanCache,
+    batch_map, results_match, Catalog, Database, ExecOptions, ExecStrategy, PlanCache, Snapshot,
 };
 use rand::Rng;
 use rand::SeedableRng;
@@ -228,16 +228,36 @@ pub fn evaluate_execution_accuracy_opts(
     seed: u64,
     options: ExecOptions,
 ) -> ExecutionAccuracyReport {
-    let cache = PlanCache::with_default_capacity(db);
+    let cache = PlanCache::with_default_capacity();
+    evaluate_execution_accuracy_cached(profile, items, db, seed, options, &cache)
+}
+
+/// [`evaluate_execution_accuracy_opts`] grading through a caller-supplied
+/// [`PlanCache`], so long-lived services (and repeated study runs over the
+/// same corpus) reuse compiled plans across calls. The whole run grades one
+/// [`Snapshot`] taken up front: a writer streaming inserts concurrently
+/// never perturbs in-flight grading, and the cache's per-table-version
+/// invalidation recompiles stale entries automatically on the first call
+/// after a write. Cache sharing never changes the report — only how often
+/// compilation happens.
+pub fn evaluate_execution_accuracy_cached(
+    profile: &ModelProfile,
+    items: &[EvalItem],
+    db: &Database,
+    seed: u64,
+    options: ExecOptions,
+    cache: &PlanCache,
+) -> ExecutionAccuracyReport {
+    let snapshot = db.snapshot();
     let item_options = ExecOptions::new(options.strategy).with_threads(1);
     let outcomes = batch_map(options.threads.max(1), items.len(), |index| {
         Ok::<_, std::convert::Infallible>(grade_item(
             profile,
             &items[index],
             index,
-            db,
+            &snapshot,
             seed,
-            &cache,
+            cache,
             item_options,
         ))
     })
@@ -269,9 +289,9 @@ fn grade_item(
     profile: &ModelProfile,
     item: &EvalItem,
     index: usize,
-    db: &Database,
+    snapshot: &Snapshot,
     seed: u64,
-    cache: &PlanCache<'_>,
+    cache: &PlanCache,
     options: ExecOptions,
 ) -> ItemOutcome {
     let mut rng = ChaCha8Rng::seed_from_u64(
@@ -279,7 +299,7 @@ fn grade_item(
     );
     // Gold side first: an item whose gold SQL cannot run was never a fair
     // test of the model, whatever its prediction would have done.
-    let gold = match cache.get(&item.gold_sql) {
+    let gold = match cache.get(snapshot, &item.gold_sql) {
         Ok(prepared) => prepared,
         Err(_) => return ItemOutcome::GoldInvalid,
     };
@@ -291,10 +311,13 @@ fn grade_item(
         profile,
         gold.query(),
         item.difficulty,
-        db.catalog(),
+        snapshot.catalog(),
         &mut rng,
     );
-    let predicted_result = match cache.get(&prediction.sql).and_then(|p| p.execute(options)) {
+    let predicted_result = match cache
+        .get(snapshot, &prediction.sql)
+        .and_then(|p| p.execute(options))
+    {
         Ok(result) => result,
         Err(_) => return ItemOutcome::InvalidPrediction,
     };

@@ -22,7 +22,7 @@ pub use coverage::{
     coverage, coverage_sql, ComponentCheck, ComponentKind, CoverageReport,
     DEFAULT_ACCURACY_THRESHOLD,
 };
-pub use rubric::{grade, grade_sql, ClarityHistogram, ClarityLevel, RubricOutcome};
+pub use rubric::{grade, grade_cached, grade_sql, ClarityHistogram, ClarityLevel, RubricOutcome};
 pub use stats::{mean, median, percentile, std_dev, Summary};
 pub use textsim::{bleu, exact_match, jaccard, rouge_l, rouge_n};
 

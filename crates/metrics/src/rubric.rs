@@ -18,7 +18,7 @@
 //! when a database is supplied, actual execution results.
 
 use bp_sql::{analyze, Query};
-use bp_storage::{results_match, Database};
+use bp_storage::{results_match, Database, ExecOptions, PlanCache, Snapshot};
 use serde::{Deserialize, Serialize};
 
 /// The five clarity levels of the backtranslation rubric.
@@ -109,8 +109,19 @@ pub fn grade(original: &Query, regenerated_sql: &str, db: Option<&Database>) -> 
         }
     }
 
+    grade_structural(original, &regenerated, execution_matches)
+}
+
+/// Levels 2–5 of the rubric: the purely structural comparison shared by
+/// [`grade`] and [`grade_cached`], applied once level 1 (parse + execute)
+/// has been decided and execution results (when available) compared.
+fn grade_structural(
+    original: &Query,
+    regenerated: &Query,
+    execution_matches: Option<bool>,
+) -> RubricOutcome {
     let gold = analyze(original);
-    let pred = analyze(&regenerated);
+    let pred = analyze(regenerated);
 
     // Level 2: structural correctness = same base tables and comparable join
     // / nesting shape.
@@ -184,6 +195,57 @@ pub fn grade_sql(
 ) -> Result<RubricOutcome, bp_sql::SqlError> {
     let original = bp_sql::parse_query(original_sql)?;
     Ok(grade(&original, regenerated_sql, db))
+}
+
+/// [`grade_sql`] with execution routed through a shared [`PlanCache`]
+/// against a pinned [`Snapshot`] — the shape batch graders want: every
+/// distinct SQL text (each original query, and each regeneration that
+/// reproduces one) is parsed, planned and compiled once per corpus sweep
+/// instead of once per comparison, and all comparisons in a sweep read one
+/// consistent database state however fast a writer streams inserts.
+///
+/// The outcome is identical to [`grade_sql`] with the same data: caching
+/// changes how often compilation happens, never what is graded.
+pub fn grade_cached(
+    original_sql: &str,
+    regenerated_sql: &str,
+    snapshot: &Snapshot,
+    cache: &PlanCache,
+) -> Result<RubricOutcome, bp_sql::SqlError> {
+    let original = bp_sql::parse_query(original_sql)?;
+    // Level 1: must parse.
+    let regenerated = match bp_sql::parse_query(regenerated_sql) {
+        Ok(q) => q,
+        Err(e) => {
+            return Ok(RubricOutcome {
+                level: ClarityLevel::Invalid,
+                reason: format!("regenerated SQL does not parse: {e}"),
+            })
+        }
+    };
+    // Level 1 (continued): must execute. Each side runs single-threaded —
+    // sweeps parallelize across comparisons, not inside one query.
+    let mut execution_matches = None;
+    match cache
+        .get(snapshot, regenerated_sql)
+        .and_then(|p| p.execute(ExecOptions::serial()))
+    {
+        Err(e) => {
+            return Ok(RubricOutcome {
+                level: ClarityLevel::Invalid,
+                reason: format!("regenerated SQL fails to execute: {e}"),
+            })
+        }
+        Ok(predicted) => {
+            if let Ok(gold) = cache
+                .get(snapshot, original_sql)
+                .and_then(|p| p.execute(ExecOptions::serial()))
+            {
+                execution_matches = Some(results_match(&gold, &predicted));
+            }
+        }
+    }
+    Ok(grade_structural(&original, &regenerated, execution_matches))
 }
 
 /// A histogram of clarity levels (the series plotted in Figure 4).
@@ -342,6 +404,93 @@ mod tests {
         )
         .unwrap();
         assert_eq!(outcome.level, ClarityLevel::FullyCorrect);
+    }
+
+    #[test]
+    fn grade_cached_agrees_with_grade_sql_everywhere() {
+        let db = campus_db();
+        let snapshot = db.snapshot();
+        let cache = PlanCache::with_default_capacity();
+        let cases = [
+            // (original, regenerated) covering every rubric level, plus
+            // failure modes on both sides.
+            ("SELECT name FROM students", "SELEC name FROM FROM"),
+            ("SELECT name FROM students", "SELECT name FROM professors"),
+            (
+                "SELECT name FROM students WHERE gpa > 3.5",
+                "SELECT dept FROM students WHERE gpa > 3.5",
+            ),
+            (
+                "SELECT name FROM students WHERE dept = 'EECS'",
+                "SELECT name FROM students",
+            ),
+            (
+                "SELECT name, gpa FROM students ORDER BY gpa DESC",
+                "SELECT name, gpa FROM students",
+            ),
+            (
+                "SELECT name FROM students WHERE gpa > 3.5",
+                "SELECT name FROM students WHERE gpa > 3.5",
+            ),
+            // Original fails to execute: falls back to structural grading.
+            ("SELECT nosuch FROM students", "SELECT nosuch FROM students"),
+        ];
+        for (original, regenerated) in cases {
+            let direct = grade_sql(original, regenerated, Some(&db)).unwrap();
+            let cached = grade_cached(original, regenerated, &snapshot, &cache).unwrap();
+            assert_eq!(
+                direct, cached,
+                "cached grading diverges on ({original}, {regenerated})"
+            );
+            // And again, now that every plan is warm in the cache.
+            let warm = grade_cached(original, regenerated, &snapshot, &cache).unwrap();
+            assert_eq!(direct, warm);
+        }
+        // Unparseable originals error identically.
+        assert!(grade_sql("SELEC", "SELECT 1", Some(&db)).is_err());
+        assert!(grade_cached("SELEC", "SELECT 1", &snapshot, &cache).is_err());
+        let stats = cache.stats();
+        assert!(stats.hits > 0, "second sweep must hit the cache");
+    }
+
+    #[test]
+    fn grade_cached_pins_its_snapshot_under_writes() {
+        let mut db = campus_db();
+        let snapshot = db.snapshot();
+        let cache = PlanCache::with_default_capacity();
+        let before = grade_cached(
+            "SELECT COUNT(*) FROM students",
+            "SELECT COUNT(*) FROM students",
+            &snapshot,
+            &cache,
+        )
+        .unwrap();
+        db.insert_into(
+            "students",
+            vec![vec![3.into(), "carol".into(), 3.5.into(), "EECS".into()]],
+        )
+        .unwrap();
+        // The pinned snapshot still grades the old state...
+        let pinned = grade_cached(
+            "SELECT COUNT(*) FROM students",
+            "SELECT COUNT(*) FROM students",
+            &snapshot,
+            &cache,
+        )
+        .unwrap();
+        assert_eq!(before, pinned);
+        // ...and a fresh snapshot sees the write, with the stale plan
+        // invalidated by table version rather than reused.
+        let fresh = db.snapshot();
+        let outcome = grade_cached(
+            "SELECT COUNT(*) FROM students",
+            "SELECT COUNT(*) FROM students",
+            &fresh,
+            &cache,
+        )
+        .unwrap();
+        assert_eq!(outcome.level, ClarityLevel::FullyCorrect);
+        assert!(cache.stats().invalidations >= 1);
     }
 
     #[test]

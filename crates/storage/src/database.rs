@@ -1,13 +1,21 @@
 //! A database: a catalog plus the tables' row data, with a convenience
 //! execution API.
+//!
+//! Storage follows MVCC-lite snapshot semantics: the catalog and the table
+//! map live behind `Arc`s, so [`Database::snapshot`] is a couple of
+//! refcount bumps, and every mutation goes through [`Arc::make_mut`] —
+//! copying the map (and, per table, the row payload) only when a snapshot
+//! still pins it. Readers of a snapshot are never blocked by, and never
+//! observe, concurrent writes; writers never wait for readers.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use crate::error::{StorageError, StorageResult};
-use crate::exec::Executor;
 use crate::physical::{ExecOptions, ExecStrategy};
 use crate::result::QueryResult;
 use crate::schema::{Catalog, TableSchema};
+use crate::snapshot::Snapshot;
 use crate::table::{Row, Table};
 use serde::{Deserialize, Serialize};
 
@@ -16,8 +24,8 @@ use serde::{Deserialize, Serialize};
 pub struct Database {
     /// Human-readable database name (e.g. the benchmark or project name).
     pub name: String,
-    catalog: Catalog,
-    tables: BTreeMap<String, Table>,
+    catalog: Arc<Catalog>,
+    tables: Arc<BTreeMap<String, Table>>,
 }
 
 impl Database {
@@ -25,8 +33,8 @@ impl Database {
     pub fn new(name: impl Into<String>) -> Self {
         Database {
             name: name.into(),
-            catalog: Catalog::new(),
-            tables: BTreeMap::new(),
+            catalog: Arc::new(Catalog::new()),
+            tables: Arc::new(BTreeMap::new()),
         }
     }
 
@@ -35,11 +43,23 @@ impl Database {
         &self.catalog
     }
 
+    /// Take a consistent point-in-time view of the database. Cheap (two
+    /// refcount bumps plus the name); the snapshot pins every table's
+    /// current version, and later writes to `self` copy-on-write new
+    /// versions instead of touching the pinned ones.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot::new(
+            self.name.clone(),
+            Arc::clone(&self.catalog),
+            Arc::clone(&self.tables),
+        )
+    }
+
     /// Create a table from a schema.
     pub fn create_table(&mut self, schema: TableSchema) -> StorageResult<()> {
         let key = schema.normalized_name();
-        self.catalog.add_table(schema.clone())?;
-        self.tables.insert(key, Table::new(schema));
+        Arc::make_mut(&mut self.catalog).add_table(schema.clone())?;
+        Arc::make_mut(&mut self.tables).insert(key, Table::new(schema));
         Ok(())
     }
 
@@ -66,9 +86,15 @@ impl Database {
         self.tables.get(&name.to_ascii_uppercase())
     }
 
-    /// Mutable table lookup.
+    /// Mutable table lookup. Copy-on-write: if any snapshot pins the
+    /// current table map, the map (cheap handles, not row data) is copied
+    /// first, and the table's own payload copies lazily on its first write.
     pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
-        self.tables.get_mut(&name.to_ascii_uppercase())
+        let key = name.to_ascii_uppercase();
+        if !self.tables.contains_key(&key) {
+            return None;
+        }
+        Arc::make_mut(&mut self.tables).get_mut(&key)
     }
 
     /// Iterate over all tables in name order.
@@ -76,15 +102,15 @@ impl Database {
         self.tables.values()
     }
 
-    /// Insert rows into a table.
+    /// Insert rows into a table. In-flight snapshots keep reading the
+    /// pre-insert version.
     pub fn insert_into<I: IntoIterator<Item = Row>>(
         &mut self,
         table: &str,
         rows: I,
     ) -> StorageResult<usize> {
         let table = self
-            .tables
-            .get_mut(&table.to_ascii_uppercase())
+            .table_mut(table)
             .ok_or_else(|| StorageError::UnknownTable(table.to_string()))?;
         table.insert_all(rows)
     }
@@ -128,21 +154,15 @@ impl Database {
 
     /// Execute a parsed query with full [`ExecOptions`] control (engine
     /// choice plus the planned engine's worker-thread budget). The result
-    /// is byte-identical at every thread count.
+    /// is byte-identical at every thread count. Internally this executes
+    /// against a fresh [`Snapshot`], which is also what makes `&self`
+    /// execution safe alongside other threads holding older snapshots.
     pub fn execute_opts(
         &self,
         query: &bp_sql::Query,
         options: ExecOptions,
     ) -> StorageResult<QueryResult> {
-        match options.strategy {
-            // Planned = columnar batches (the default); RowPlanned = the
-            // row-at-a-time planned engine, kept as a differential oracle
-            // for the columnar representation.
-            ExecStrategy::Planned | ExecStrategy::RowPlanned => {
-                crate::physical::execute_planned_opts(self, query, options)
-            }
-            ExecStrategy::Legacy => Executor::new(self).execute(query),
-        }
+        self.snapshot().execute_opts(query, options)
     }
 
     /// Execute SQL text with full [`ExecOptions`] control.
@@ -154,20 +174,19 @@ impl Database {
     /// Build (without executing) the logical plan for a query, for
     /// inspection and testing of the rewrite passes.
     pub fn plan(&self, query: &bp_sql::Query) -> StorageResult<crate::plan::QueryPlan> {
-        crate::plan::Planner::new(self).plan(query)
+        self.snapshot().plan(query)
     }
 
     /// Parse `sql` once into a reusable [`crate::prepared::PreparedQuery`]
     /// (planned + compiled lazily at its first planned execution, so the
     /// legacy interpreter path never pays for or fails on compilation).
-    /// The prepared query borrows this
-    /// database, so the database cannot be mutated while it is alive —
-    /// which is exactly what makes its compiled ordinals and cached
-    /// subquery results safe to reuse across executions. Batch workloads
-    /// that revisit SQL texts should prefer a
-    /// [`crate::prepared::PlanCache`].
-    pub fn prepare(&self, sql: &str) -> StorageResult<crate::prepared::PreparedQuery<'_>> {
-        crate::prepared::PreparedQuery::new(self, sql)
+    /// The prepared query owns a [`Snapshot`] taken here, so it keeps
+    /// executing against a frozen view — its compiled ordinals and cached
+    /// subquery results stay valid — no matter how this database is
+    /// mutated afterwards. Batch workloads that revisit SQL texts should
+    /// prefer a [`crate::prepared::PlanCache`].
+    pub fn prepare(&self, sql: &str) -> StorageResult<crate::prepared::PreparedQuery> {
+        crate::prepared::PreparedQuery::new(self.snapshot(), sql)
     }
 
     /// The full schema as a DDL script (one `CREATE TABLE` per line), the
@@ -263,5 +282,66 @@ mod tests {
             .unwrap();
         assert_eq!(db.table_count(), 2);
         assert!(db.table("a").unwrap().is_empty());
+    }
+
+    #[test]
+    fn snapshot_pins_data_across_inserts_and_ddl() {
+        let mut db = sample_db();
+        let snap = db.snapshot();
+        assert!(snap.same_tables(&db.snapshot()));
+        db.insert_into(
+            "students",
+            vec![vec![5.into(), "eve".into(), 4.0.into(), "EECS".into()]],
+        )
+        .unwrap();
+        db.ingest_ddl("CREATE TABLE extra (id INT);").unwrap();
+        // The snapshot still sees the pre-write world...
+        assert_eq!(snap.total_rows(), 4);
+        assert_eq!(snap.table_count(), 1);
+        assert!(snap.catalog().table("extra").is_none());
+        assert!(!snap.same_tables(&db.snapshot()));
+        // ...and the live database sees everything.
+        assert_eq!(db.total_rows(), 5);
+        assert_eq!(db.table_count(), 2);
+        let count = snap.execute_sql("SELECT COUNT(*) FROM students").unwrap();
+        assert_eq!(count.scalar(), Some(&Value::Int(4)));
+        let live = db.execute_sql("SELECT COUNT(*) FROM students").unwrap();
+        assert_eq!(live.scalar(), Some(&Value::Int(5)));
+    }
+
+    #[test]
+    fn snapshot_reads_match_database_reads_on_every_engine() {
+        let db = sample_db();
+        let snap = db.snapshot();
+        let sql = "SELECT dept, COUNT(*) FROM students GROUP BY dept ORDER BY dept";
+        for strategy in [
+            ExecStrategy::Planned,
+            ExecStrategy::RowPlanned,
+            ExecStrategy::Legacy,
+        ] {
+            for threads in [1usize, 2, 8] {
+                let options = ExecOptions::new(strategy).with_threads(threads);
+                let direct = db.execute_sql_opts(sql, options).unwrap();
+                let via_snapshot = snap.execute_sql_opts(sql, options).unwrap();
+                assert_eq!(
+                    direct, via_snapshot,
+                    "snapshot diverges under {strategy:?} at threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn database_serde_round_trips_through_snapshot_storage() {
+        let db = sample_db();
+        let json = serde_json::to_string(&db).unwrap();
+        let back: Database = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.name, db.name);
+        assert_eq!(back.total_rows(), db.total_rows());
+        assert_eq!(
+            back.table("students").unwrap(),
+            db.table("students").unwrap()
+        );
+        assert_eq!(back.table("students").unwrap().version(), 4);
     }
 }

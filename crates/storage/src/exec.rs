@@ -22,7 +22,6 @@ use bp_sql::{
     UnaryOperator,
 };
 
-use crate::database::Database;
 use crate::error::{StorageError, StorageResult};
 use crate::plan::{contains_aggregate, expand_projection, ColumnBinding};
 use crate::result::QueryResult;
@@ -31,6 +30,7 @@ use crate::scalar::{
     eval_binary, eval_unary_minus, finish_aggregate, is_aggregate_name, literal_value, map_text,
     missing_arg_error, upper_eq,
 };
+use crate::snapshot::Snapshot;
 use crate::table::Row;
 use crate::value::{like_match, Value};
 
@@ -113,14 +113,15 @@ impl<'a> EvalCtx<'a> {
     }
 }
 
-/// Executes queries against a database.
+/// Executes queries against a storage snapshot (the legacy tree-walking
+/// interpreter, kept as the differential oracle).
 pub struct Executor<'a> {
-    db: &'a Database,
+    db: &'a Snapshot,
 }
 
 impl<'a> Executor<'a> {
-    /// Create an executor over a database.
-    pub fn new(db: &'a Database) -> Self {
+    /// Create an executor over a snapshot.
+    pub fn new(db: &'a Snapshot) -> Self {
         Executor { db }
     }
 

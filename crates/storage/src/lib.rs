@@ -38,6 +38,8 @@ pub mod profiler;
 pub mod result;
 mod scalar;
 pub mod schema;
+pub mod service;
+pub mod snapshot;
 pub mod table;
 pub mod value;
 
@@ -46,10 +48,12 @@ pub use error::{StorageError, StorageResult};
 pub use exec::Executor;
 pub use physical::{available_threads, batch_map, execute_planned_opts, ExecOptions, ExecStrategy};
 pub use plan::{LogicalPlan, Planner, QueryPlan};
-pub use prepared::{PlanCache, PreparedQuery, DEFAULT_PLAN_CACHE_CAPACITY};
+pub use prepared::{PlanCache, PlanCacheStats, PreparedQuery, DEFAULT_PLAN_CACHE_CAPACITY};
 pub use profiler::{profile_database, profile_table, DatabaseProfile, TableProfile};
 pub use result::{results_match, QueryResult};
 pub use schema::{Catalog, Column, TableSchema};
+pub use service::{AnnotationService, AnnotationSession};
+pub use snapshot::Snapshot;
 pub use table::{Row, Table};
 pub use value::{like_match, Value};
 

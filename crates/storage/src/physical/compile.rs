@@ -11,18 +11,18 @@ use std::sync::Mutex;
 
 use bp_sql::{column_ref, Expr, Query};
 
-use crate::database::Database;
 use crate::error::{StorageError, StorageResult};
 use crate::plan::{
     resolve_binding, ColumnBinding, LogicalPlan, Planner, QueryPlan, Scan, ScanSource,
 };
 use crate::scalar::{canonical_function_name, is_aggregate_name, literal_value, missing_arg_error};
+use crate::snapshot::Snapshot;
 
 use super::expr::{PhysExpr, SubPlan};
 use super::{PhysNode, PhysQueryPlan};
 
 pub(crate) struct Compiler<'a> {
-    db: &'a Database,
+    db: &'a Snapshot,
     /// CTE name frames mirrored from the planner: name → output columns.
     /// Needed to plan subqueries discovered inside expressions.
     frames: Vec<HashMap<String, Vec<String>>>,
@@ -35,7 +35,7 @@ pub(crate) struct Compiler<'a> {
 }
 
 impl<'a> Compiler<'a> {
-    pub(crate) fn new(db: &'a Database) -> Self {
+    pub(crate) fn new(db: &'a Snapshot) -> Self {
         Compiler {
             db,
             frames: Vec::new(),

@@ -41,6 +41,7 @@ use crate::error::{StorageError, StorageResult};
 use crate::plan::{ColumnBinding, Planner, SortKey};
 use crate::result::QueryResult;
 use crate::scalar::{combine_set_operation, composite_key};
+use crate::snapshot::Snapshot;
 use crate::table::Row;
 use crate::value::Value;
 
@@ -118,34 +119,38 @@ impl ExecOptions {
 }
 
 /// Plan, compile and execute a query with the planned engine at default
-/// (full) parallelism.
+/// (full) parallelism. Takes a fresh snapshot of `db` (see
+/// [`crate::snapshot::Snapshot`]); reads against an already-held snapshot
+/// go through [`crate::snapshot::Snapshot::execute_opts`].
 pub fn execute_planned(db: &Database, query: &Query) -> StorageResult<QueryResult> {
     execute_planned_opts(db, query, ExecOptions::default())
 }
 
 /// Plan, compile and execute a query with the planned engine using an
-/// explicit thread budget.
+/// explicit thread budget, against a fresh snapshot of `db`.
 pub fn execute_planned_opts(
     db: &Database,
     query: &Query,
     options: ExecOptions,
 ) -> StorageResult<QueryResult> {
-    let physical = compile_query(db, query)?;
-    exec_compiled(db, &physical, options)
+    let snapshot = db.snapshot();
+    let physical = compile_query(&snapshot, query)?;
+    exec_compiled(&snapshot, &physical, options)
 }
 
 /// Plan and compile a query into a reusable physical plan (the
 /// parse-once/execute-many half of [`crate::prepared::PreparedQuery`]).
-pub(crate) fn compile_query(db: &Database, query: &Query) -> StorageResult<PhysQueryPlan> {
+pub(crate) fn compile_query(db: &Snapshot, query: &Query) -> StorageResult<PhysQueryPlan> {
     let logical = Planner::new(db).plan(query)?;
     Compiler::new(db).compile(&logical)
 }
 
 /// Execute an already-compiled physical plan. The plan must have been
 /// compiled against `db` (ordinals and table names are resolved at compile
-/// time); [`crate::prepared::PreparedQuery`] enforces that pairing.
+/// time); [`crate::prepared::PreparedQuery`] enforces that pairing by
+/// owning the snapshot it compiled against.
 pub(crate) fn exec_compiled(
-    db: &Database,
+    db: &Snapshot,
     plan: &PhysQueryPlan,
     options: ExecOptions,
 ) -> StorageResult<QueryResult> {
@@ -281,7 +286,7 @@ pub(crate) struct OuterEnv<'a> {
 /// The runtime execution context threaded through the operator tree.
 #[derive(Clone, Copy)]
 pub(crate) struct RunCtx<'a> {
-    pub(crate) db: &'a Database,
+    pub(crate) db: &'a Snapshot,
     pub(crate) frame: Option<&'a CteFrame<'a>>,
     pub(crate) outer: Option<&'a OuterEnv<'a>>,
     /// Worker-thread budget for parallel operators (≥ 1; 1 = serial).
@@ -858,10 +863,14 @@ mod tests {
             ],
         ))
         .expect("schema");
+        let snapshot = db.snapshot();
         let compile_root = |sql: &str| {
             let query = bp_sql::parse_query(sql).expect("parse");
-            let logical = Planner::new(&db).plan(&query).expect("plan");
-            Compiler::new(&db).compile(&logical).expect("compile").root
+            let logical = Planner::new(&snapshot).plan(&query).expect("plan");
+            Compiler::new(&snapshot)
+                .compile(&logical)
+                .expect("compile")
+                .root
         };
         assert!(matches!(
             compile_root("SELECT v FROM t ORDER BY v LIMIT 3"),

@@ -40,9 +40,9 @@ use bp_sql::{
     TableFactor, UnaryOperator,
 };
 
-use crate::database::Database;
 use crate::error::{StorageError, StorageResult};
 use crate::scalar::{eq_upper, upper_eq};
+use crate::snapshot::Snapshot;
 
 // ---------------------------------------------------------------------
 // Bindings
@@ -341,17 +341,17 @@ pub struct QueryPlan {
 // Planner
 // ---------------------------------------------------------------------
 
-/// Plans `bp-sql` queries against a database's catalog.
+/// Plans `bp-sql` queries against a storage snapshot's catalog.
 pub struct Planner<'a> {
-    db: &'a Database,
+    db: &'a Snapshot,
     /// CTE name frames visible at the current planning point (outermost
     /// first), mapping normalized CTE name → output column names.
     frames: Vec<HashMap<String, Vec<String>>>,
 }
 
 impl<'a> Planner<'a> {
-    /// Create a planner over a database.
-    pub fn new(db: &'a Database) -> Self {
+    /// Create a planner over a snapshot.
+    pub fn new(db: &'a Snapshot) -> Self {
         Planner {
             db,
             frames: Vec::new(),
@@ -361,7 +361,7 @@ impl<'a> Planner<'a> {
     /// Create a planner that starts inside existing CTE scopes. Used by
     /// layer 2 to plan subqueries found in expressions, so their CTE
     /// references resolve against the scopes of their enclosing query.
-    pub(crate) fn with_frames(db: &'a Database, frames: Vec<HashMap<String, Vec<String>>>) -> Self {
+    pub(crate) fn with_frames(db: &'a Snapshot, frames: Vec<HashMap<String, Vec<String>>>) -> Self {
         Planner { db, frames }
     }
 
@@ -1039,6 +1039,7 @@ impl LogicalPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::database::Database;
     use crate::schema::{Column, TableSchema};
     use bp_sql::{parse_query, DataType};
 
@@ -1067,7 +1068,7 @@ mod tests {
 
     fn plan_sql(db: &Database, sql: &str) -> QueryPlan {
         let query = parse_query(sql).unwrap();
-        Planner::new(db).plan(&query).unwrap()
+        Planner::new(&db.snapshot()).plan(&query).unwrap()
     }
 
     #[test]
@@ -1215,7 +1216,7 @@ mod tests {
         let db = two_table_db();
         let query = parse_query("SELECT * FROM missing").unwrap();
         assert!(matches!(
-            Planner::new(&db).plan(&query),
+            Planner::new(&db.snapshot()).plan(&query),
             Err(StorageError::UnknownTable(_))
         ));
     }

@@ -1,39 +1,46 @@
 //! Prepared queries and the LRU plan cache — the parse-once /
 //! execute-many layer behind inter-query batch evaluation.
 //!
-//! Grading a corpus executes thousands of queries against one immutable
-//! database, and many of them share SQL text (every item's gold query, and
-//! every prediction that reproduces its gold). The per-query pipeline cost
-//! — lex + parse, logical planning + rewrites, ordinal resolution and
-//! subquery compilation — is pure overhead after the first time a given
-//! SQL text is seen. [`PreparedQuery`] runs that pipeline once and keeps
-//! the compiled physical plan; [`PlanCache`] memoizes prepared queries by
-//! SQL text with LRU eviction, and is `Sync` so one cache can serve every
-//! worker of a [`batch_map`](crate::batch_map) fan-out.
+//! Grading a corpus executes thousands of queries, and many of them share
+//! SQL text (every item's gold query, and every prediction that reproduces
+//! its gold). The per-query pipeline cost — lex + parse, logical planning +
+//! rewrites, ordinal resolution and subquery compilation — is pure overhead
+//! after the first time a given SQL text is seen. [`PreparedQuery`] runs
+//! that pipeline once and keeps the compiled physical plan; [`PlanCache`]
+//! memoizes prepared queries by SQL text with LRU eviction, and is `Sync`
+//! so one cache can serve every worker of a
+//! [`batch_map`](crate::batch_map) fan-out.
 //!
-//! Both types borrow the [`Database`] they were prepared against, so the
-//! borrow checker statically rules out the classic staleness bug: the
-//! database cannot be mutated (`&mut self`) while any prepared plan —
-//! whose compiled ordinals and cached subquery results assume a frozen
-//! snapshot — is still alive. This composes with the cached columnar table
-//! decode: the first scan of each table decodes it once, and every later
-//! execution of every prepared query shares that decode by refcount.
+//! Both types are **borrow-free**: a [`PreparedQuery`] owns the
+//! [`Snapshot`] it was prepared against instead of borrowing the database.
+//! The snapshot pins every referenced table version, so the compiled
+//! ordinals and the cached uncorrelated-subquery results stay valid no
+//! matter how the live database is mutated — writers copy-on-write new
+//! versions and never touch pinned ones. Compile-once/execute-many
+//! therefore survives a concurrent insert stream, which is what the
+//! annotation service (see [`crate::service`]) is built on. The [`PlanCache`]
+//! in turn invalidates **per table version**: a cached plan is reused only
+//! while every table it references is unchanged in the caller's snapshot,
+//! so an insert into one table never evicts plans that only read others.
 
 use std::collections::HashMap;
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use bp_sql::Query;
 
-use crate::database::Database;
 use crate::error::StorageResult;
 use crate::exec::Executor;
 use crate::physical::{compile_query, exec_compiled, ExecOptions, ExecStrategy, PhysQueryPlan};
 use crate::result::QueryResult;
+use crate::snapshot::Snapshot;
+use serde::{Deserialize, Serialize};
 
-/// A query prepared against a specific database: parsed **once** at prepare
-/// time, planned + compiled **once** at the first planned execution,
-/// executable any number of times (and from any number of threads) with
-/// [`PreparedQuery::execute`].
+/// A query prepared against a pinned [`Snapshot`]: parsed **once** at
+/// prepare time, planned + compiled **once** at the first planned
+/// execution, executable any number of times (and from any number of
+/// threads) with [`PreparedQuery::execute`] — always against the pinned
+/// snapshot, so results are byte-identical no matter what concurrent
+/// writers do to the database the snapshot came from.
 ///
 /// Compilation is lazy so that [`ExecStrategy::Legacy`] executions — which
 /// re-interpret the stored AST and never touch a physical plan — neither
@@ -44,28 +51,34 @@ use crate::result::QueryResult;
 /// planned execution.
 ///
 /// Uncorrelated subquery results cached inside the compiled plan persist
-/// across executions — safe because the borrowed database is immutable for
-/// the prepared query's lifetime, and a deliberate win for batch grading
-/// (a `WHERE x > (SELECT AVG(..) ..)` gold query computes its subquery once
-/// for the whole corpus, not once per item).
-pub struct PreparedQuery<'db> {
-    db: &'db Database,
+/// across executions — safe because the owned snapshot is immutable, and a
+/// deliberate win for batch grading (a `WHERE x > (SELECT AVG(..) ..)`
+/// gold query computes its subquery once for the whole corpus, not once
+/// per item).
+pub struct PreparedQuery {
+    snapshot: Snapshot,
     sql: String,
     query: Query,
+    /// Normalized names of every table the query may read (a conservative
+    /// superset from the SQL analyzer: CTE names that shadow base tables
+    /// are included). Drives the plan cache's per-table invalidation.
+    tables: Vec<String>,
     /// Lazily-compiled physical plan (or the planning/compilation error it
     /// raised, cached so repeats fail fast without recompiling).
     plan: OnceLock<StorageResult<PhysQueryPlan>>,
 }
 
-impl<'db> PreparedQuery<'db> {
-    /// Parse `sql` against `db`. Parse errors surface here; planning and
-    /// compilation are deferred to the first planned execution.
-    pub fn new(db: &'db Database, sql: &str) -> StorageResult<Self> {
+impl PreparedQuery {
+    /// Parse `sql` and pin `snapshot`. Parse errors surface here; planning
+    /// and compilation are deferred to the first planned execution.
+    pub fn new(snapshot: Snapshot, sql: &str) -> StorageResult<Self> {
         let query = bp_sql::parse_query(sql)?;
+        let tables = bp_sql::analyze(&query).tables.into_iter().collect();
         Ok(PreparedQuery {
-            db,
+            snapshot,
             sql: sql.to_string(),
             query,
+            tables,
             plan: OnceLock::new(),
         })
     }
@@ -80,28 +93,61 @@ impl<'db> PreparedQuery<'db> {
         &self.query
     }
 
+    /// The snapshot every execution reads.
+    pub fn snapshot(&self) -> &Snapshot {
+        &self.snapshot
+    }
+
+    /// Normalized names of the tables this query may read (conservative
+    /// superset; sorted).
+    pub fn referenced_tables(&self) -> &[String] {
+        &self.tables
+    }
+
+    /// Whether executing against the pinned snapshot is indistinguishable
+    /// from executing against `latest`: every table this query may read is
+    /// the same version (the identical payload instance) in both. This is
+    /// the plan cache's per-table invalidation test. Exact, not heuristic:
+    /// shared payloads are never mutated in place, so payload identity ⇔
+    /// same contents.
+    pub fn is_current_for(&self, latest: &Snapshot) -> bool {
+        if self.snapshot.same_tables(latest) {
+            return true;
+        }
+        self.tables.iter().all(|name| {
+            match (self.snapshot.table(name), latest.table(name)) {
+                (Some(pinned), Some(current)) => pinned.same_version(current),
+                (None, None) => true,
+                // Created or dropped since prepare time — e.g. a compile
+                // error cached against a missing table must re-resolve.
+                _ => false,
+            }
+        })
+    }
+
     /// The compiled physical plan, built on first use. Concurrent first
     /// calls may both compile (deterministically identical plans); the
     /// first fill wins.
     fn compiled(&self) -> StorageResult<&PhysQueryPlan> {
         self.plan
-            .get_or_init(|| compile_query(self.db, &self.query))
+            .get_or_init(|| compile_query(&self.snapshot, &self.query))
             .as_ref()
             .map_err(Clone::clone)
     }
 
-    /// Execute the prepared query. [`ExecStrategy::Planned`] and
-    /// [`ExecStrategy::RowPlanned`] run the (lazily) compiled physical plan
-    /// (columnar or row-at-a-time); [`ExecStrategy::Legacy`] re-interprets
-    /// the stored AST with the tree-walking oracle (which has no compiled
-    /// form), so differential checks of a batch pipeline can still pin the
-    /// oracle.
+    /// Execute the prepared query against its pinned snapshot.
+    /// [`ExecStrategy::Planned`] and [`ExecStrategy::RowPlanned`] run the
+    /// (lazily) compiled physical plan (columnar or row-at-a-time);
+    /// [`ExecStrategy::Legacy`] re-interprets the stored AST with the
+    /// tree-walking oracle (which has no compiled form), so differential
+    /// checks of a batch pipeline can still pin the oracle. All three read
+    /// the same snapshot.
     pub fn execute(&self, options: ExecOptions) -> StorageResult<QueryResult> {
         match options.strategy {
             ExecStrategy::Planned | ExecStrategy::RowPlanned => {
-                exec_compiled(self.db, self.compiled()?, options)
+                exec_compiled(&self.snapshot, self.compiled()?, options)
             }
-            ExecStrategy::Legacy => Executor::new(self.db).execute(&self.query),
+            ExecStrategy::Legacy => Executor::new(&self.snapshot).execute(&self.query),
         }
     }
 }
@@ -112,83 +158,144 @@ impl<'db> PreparedQuery<'db> {
 /// covers that with room while bounding memory on adversarial inputs.
 pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 512;
 
+/// Observable [`PlanCache`] behavior counters.
+///
+/// `hits + misses` equals the number of [`PlanCache::get`] calls and is
+/// deterministic for a given workload; the hit/miss *split* (and the
+/// miss-side duplicate compiles) can vary run to run under a parallel
+/// fan-out, because two workers racing on the same cold key both miss.
+/// `invalidations` counts cached entries discarded because a referenced
+/// table changed version — the per-table invalidation satellite's
+/// observability hook.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlanCacheStats {
+    /// Lookups served from a cached entry that was still current.
+    pub hits: u64,
+    /// Lookups that had to prepare (no entry, or just invalidated).
+    pub misses: u64,
+    /// Cached entries discarded because a referenced table's version moved.
+    pub invalidations: u64,
+}
+
 /// One cache slot: the prepared query (or the parse error preparing it
 /// raised, cached so a corrupt SQL text repeated across a corpus is not
 /// re-parsed per occurrence; compile errors cache inside the prepared
 /// query's lazy plan slot) plus its last-touched stamp for LRU eviction.
-struct Slot<'db> {
-    prepared: Result<std::sync::Arc<PreparedQuery<'db>>, crate::error::StorageError>,
+struct Slot {
+    prepared: Result<Arc<PreparedQuery>, crate::error::StorageError>,
     last_used: u64,
 }
 
-/// A thread-safe LRU cache of [`PreparedQuery`]s keyed on SQL text,
-/// serving one immutable database.
+/// A thread-safe LRU cache of [`PreparedQuery`]s keyed on SQL text, with
+/// **per-table-version invalidation**.
+///
+/// The cache is borrow-free: each [`PlanCache::get`] takes the caller's
+/// current [`Snapshot`], and a cached plan is returned only if every table
+/// it references is the same version there ([`PreparedQuery::is_current_for`]).
+/// A stale entry is discarded (counted in
+/// [`PlanCacheStats::invalidations`]) and re-prepared against the caller's
+/// snapshot — so the guarantee callers rely on is: **the returned prepared
+/// query always reads exactly the tables of the snapshot passed in**.
+/// Parse-error entries depend only on the SQL text and are never
+/// invalidated.
 ///
 /// The cache is a throughput optimization only: hits and misses return
-/// byte-identical plans (and therefore byte-identical results), so cache
-/// capacity and eviction order can never change what a batch evaluation
-/// reports — only how fast it reports it.
-pub struct PlanCache<'db> {
-    db: &'db Database,
+/// byte-identical plans (and therefore byte-identical results) for a given
+/// snapshot, so cache capacity and eviction order can never change what a
+/// batch evaluation reports — only how fast it reports it.
+pub struct PlanCache {
     capacity: usize,
-    inner: Mutex<CacheInner<'db>>,
+    inner: Mutex<CacheInner>,
 }
 
-struct CacheInner<'db> {
-    slots: HashMap<String, Slot<'db>>,
+struct CacheInner {
+    slots: HashMap<String, Slot>,
     clock: u64,
+    stats: PlanCacheStats,
 }
 
-impl<'db> PlanCache<'db> {
-    /// An empty cache over `db` holding at most `capacity` distinct SQL
-    /// texts (clamped to ≥ 1).
-    pub fn new(db: &'db Database, capacity: usize) -> Self {
+impl PlanCache {
+    /// An empty cache holding at most `capacity` distinct SQL texts
+    /// (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
         PlanCache {
-            db,
             capacity: capacity.max(1),
             inner: Mutex::new(CacheInner {
                 slots: HashMap::new(),
                 clock: 0,
+                stats: PlanCacheStats::default(),
             }),
         }
     }
 
     /// An empty cache with [`DEFAULT_PLAN_CACHE_CAPACITY`].
-    pub fn with_default_capacity(db: &'db Database) -> Self {
-        PlanCache::new(db, DEFAULT_PLAN_CACHE_CAPACITY)
+    pub fn with_default_capacity() -> Self {
+        PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY)
     }
 
-    /// The database this cache prepares against.
-    pub fn database(&self) -> &'db Database {
-        self.db
-    }
-
-    /// Look up (or prepare and insert) the plan for `sql`. Preparation
-    /// errors are cached and re-returned just like successes. The lock is
-    /// not held while compiling, so a slow compilation never stalls other
-    /// workers' hits; two workers racing on the same missing key both
-    /// compile (deterministically identical plans) and the first insert
-    /// wins.
-    pub fn get(&self, sql: &str) -> StorageResult<std::sync::Arc<PreparedQuery<'db>>> {
+    /// Look up (or prepare and insert) the plan for `sql`, valid for
+    /// `snapshot`. A cached entry is reused only if every table it
+    /// references is unchanged in `snapshot`; otherwise it is invalidated
+    /// and re-prepared, so the returned prepared query always reads
+    /// `snapshot`'s table versions. Preparation errors are cached and
+    /// re-returned just like successes. The lock is not held while
+    /// compiling, so a slow compilation never stalls other workers' hits;
+    /// two workers racing on the same missing key both compile
+    /// (deterministically identical plans for equal snapshots) and the
+    /// first insert wins.
+    pub fn get(&self, snapshot: &Snapshot, sql: &str) -> StorageResult<Arc<PreparedQuery>> {
         {
             let mut inner = self.inner.lock().expect("plan cache lock");
             inner.clock += 1;
             let stamp = inner.clock;
-            if let Some(slot) = inner.slots.get_mut(sql) {
-                slot.last_used = stamp;
-                return slot.prepared.clone();
+            if let Some(slot) = inner.slots.get(sql) {
+                let current = match &slot.prepared {
+                    Ok(prepared) => prepared.is_current_for(snapshot),
+                    // Parse errors depend only on the text.
+                    Err(_) => true,
+                };
+                if current {
+                    let hit = slot.prepared.clone();
+                    inner.slots.get_mut(sql).expect("slot exists").last_used = stamp;
+                    inner.stats.hits += 1;
+                    return hit;
+                }
+                inner.slots.remove(sql);
+                inner.stats.invalidations += 1;
             }
+            inner.stats.misses += 1;
         }
-        let prepared = PreparedQuery::new(self.db, sql).map(std::sync::Arc::new);
+        let prepared = PreparedQuery::new(snapshot.clone(), sql).map(Arc::new);
         let mut inner = self.inner.lock().expect("plan cache lock");
         inner.clock += 1;
         let stamp = inner.clock;
-        let slot = inner.slots.entry(sql.to_string()).or_insert_with(|| Slot {
-            prepared: prepared.clone(),
-            last_used: stamp,
-        });
-        slot.last_used = stamp;
-        let result = slot.prepared.clone();
+        let result = match inner.slots.get_mut(sql) {
+            // A racing worker inserted first. Reuse its entry only if it is
+            // current for *our* snapshot — callers must never receive a
+            // plan pinning table versions other than the ones they asked
+            // for — and overwrite it with ours otherwise.
+            Some(slot) => {
+                slot.last_used = stamp;
+                let reusable = match &slot.prepared {
+                    Ok(racer) => racer.is_current_for(snapshot),
+                    Err(_) => true,
+                };
+                if !reusable {
+                    slot.prepared = prepared;
+                }
+                slot.prepared.clone()
+            }
+            None => {
+                inner.slots.insert(
+                    sql.to_string(),
+                    Slot {
+                        prepared: prepared.clone(),
+                        last_used: stamp,
+                    },
+                );
+                prepared
+            }
+        };
         if inner.slots.len() > self.capacity {
             // Evict the least-recently-used entry (never the one just
             // touched: it carries the freshest stamp).
@@ -202,6 +309,11 @@ impl<'db> PlanCache<'db> {
             }
         }
         result
+    }
+
+    /// A point-in-time copy of the hit/miss/invalidation counters.
+    pub fn stats(&self) -> PlanCacheStats {
+        self.inner.lock().expect("plan cache lock").stats
     }
 
     /// Number of currently cached SQL texts (successes and cached errors).
@@ -218,6 +330,7 @@ impl<'db> PlanCache<'db> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::database::Database;
     use crate::schema::{Column, TableSchema};
     use crate::value::Value;
     use bp_sql::DataType;
@@ -242,8 +355,9 @@ mod tests {
         let db = db();
         let sql =
             "SELECT v, COUNT(*) FROM t WHERE id > (SELECT AVG(id) FROM t) GROUP BY v ORDER BY v";
-        let prepared = PreparedQuery::new(&db, sql).expect("prepares");
+        let prepared = db.prepare(sql).expect("prepares");
         assert_eq!(prepared.sql(), sql);
+        assert_eq!(prepared.referenced_tables(), ["T"]);
         for strategy in [
             ExecStrategy::Planned,
             ExecStrategy::RowPlanned,
@@ -264,16 +378,55 @@ mod tests {
     }
 
     #[test]
+    fn prepared_query_survives_concurrent_inserts_on_every_strategy() {
+        let mut db = db();
+        let sql = "SELECT COUNT(*), MAX(v) FROM t";
+        let prepared = db.prepare(sql).expect("prepares");
+        let before: Vec<_> = [
+            ExecStrategy::Planned,
+            ExecStrategy::RowPlanned,
+            ExecStrategy::Legacy,
+        ]
+        .iter()
+        .map(|s| prepared.execute(ExecOptions::new(*s)).expect("executes"))
+        .collect();
+        // The classic staleness hazard: a write while the prepared query is
+        // alive. The snapshot pins the old version, so nothing changes.
+        db.insert_into("t", vec![vec![100.into(), 999.into()]])
+            .unwrap();
+        for (i, strategy) in [
+            ExecStrategy::Planned,
+            ExecStrategy::RowPlanned,
+            ExecStrategy::Legacy,
+        ]
+        .iter()
+        .enumerate()
+        {
+            let after = prepared
+                .execute(ExecOptions::new(*strategy))
+                .expect("executes");
+            assert_eq!(before[i], after, "pinned read changed under {strategy:?}");
+            assert_eq!(after.rows[0][0], Value::Int(50));
+        }
+        // A *fresh* prepare sees the write.
+        let fresh = db.prepare(sql).expect("prepares");
+        assert_eq!(
+            fresh.execute(ExecOptions::default()).unwrap().rows[0][0],
+            Value::Int(51)
+        );
+    }
+
+    #[test]
     fn prepare_surfaces_parse_errors_and_defers_compile_errors() {
         let db = db();
-        assert!(PreparedQuery::new(&db, "NOT REAL SQL").is_err());
+        assert!(db.prepare("NOT REAL SQL").is_err());
         // An unplannable (but parseable) query prepares fine and fails at
         // the first *planned* execution — while the legacy interpreter,
         // which never needs a plan, reports its own error untouched by the
         // compiler. (Here both error; what matters is that Legacy's answer
         // comes from the interpreter, proven by the Planned error being
         // raised only on demand.)
-        let prepared = PreparedQuery::new(&db, "SELECT x FROM missing").expect("parses");
+        let prepared = db.prepare("SELECT x FROM missing").expect("parses");
         assert!(prepared
             .execute(ExecOptions::new(ExecStrategy::Planned))
             .is_err());
@@ -285,7 +438,7 @@ mod tests {
     #[test]
     fn legacy_execution_never_compiles_a_plan() {
         let db = db();
-        let prepared = PreparedQuery::new(&db, "SELECT COUNT(*) FROM t").expect("parses");
+        let prepared = db.prepare("SELECT COUNT(*) FROM t").expect("parses");
         prepared
             .execute(ExecOptions::new(ExecStrategy::Legacy))
             .expect("interpreter executes");
@@ -302,32 +455,119 @@ mod tests {
     #[test]
     fn plan_cache_hits_and_caches_errors() {
         let db = db();
-        let cache = PlanCache::new(&db, 8);
-        let first = cache.get("SELECT COUNT(*) FROM t").expect("prepares");
-        let second = cache.get("SELECT COUNT(*) FROM t").expect("hits");
+        let cache = PlanCache::new(8);
+        let snapshot = db.snapshot();
+        let first = cache
+            .get(&snapshot, "SELECT COUNT(*) FROM t")
+            .expect("prepares");
+        let second = cache
+            .get(&snapshot, "SELECT COUNT(*) FROM t")
+            .expect("hits");
         // Same compiled plan instance, not a recompile.
-        assert!(std::sync::Arc::ptr_eq(&first, &second));
+        assert!(Arc::ptr_eq(&first, &second));
         assert_eq!(cache.len(), 1);
         // Errors cache too (one slot, same error each time).
-        assert!(cache.get("NOT REAL SQL").is_err());
-        assert!(cache.get("NOT REAL SQL").is_err());
+        assert!(cache.get(&snapshot, "NOT REAL SQL").is_err());
+        assert!(cache.get(&snapshot, "NOT REAL SQL").is_err());
         assert_eq!(cache.len(), 2);
         let result = first.execute(ExecOptions::serial()).expect("executes");
         assert_eq!(result.scalar(), Some(&Value::Int(50)));
+        assert_eq!(
+            cache.stats(),
+            PlanCacheStats {
+                hits: 2,
+                misses: 2,
+                invalidations: 0
+            }
+        );
+    }
+
+    #[test]
+    fn plan_cache_invalidates_per_table_version() {
+        let mut db = db();
+        db.create_table(TableSchema::new(
+            "other",
+            vec![Column::new("id", DataType::Integer)],
+        ))
+        .unwrap();
+        let cache = PlanCache::new(8);
+        let on_t = cache
+            .get(&db.snapshot(), "SELECT COUNT(*) FROM t")
+            .expect("prepares");
+        // A write to an *unrelated* table must not invalidate plans on t,
+        // even though the whole-map fast path no longer applies.
+        db.insert_into("other", vec![vec![1.into()]]).unwrap();
+        let still_on_t = cache
+            .get(&db.snapshot(), "SELECT COUNT(*) FROM t")
+            .expect("hits");
+        assert!(
+            Arc::ptr_eq(&on_t, &still_on_t),
+            "write to another table must not invalidate"
+        );
+        assert_eq!(cache.stats().invalidations, 0);
+        // A write to t itself must.
+        db.insert_into("t", vec![vec![100.into(), 0.into()]])
+            .unwrap();
+        let recompiled = cache
+            .get(&db.snapshot(), "SELECT COUNT(*) FROM t")
+            .expect("re-prepares");
+        assert!(
+            !Arc::ptr_eq(&on_t, &recompiled),
+            "write to a referenced table must invalidate"
+        );
+        assert_eq!(
+            recompiled.execute(ExecOptions::serial()).unwrap().scalar(),
+            Some(&Value::Int(51)),
+            "re-prepared plan reads the new version"
+        );
+        assert_eq!(
+            on_t.execute(ExecOptions::serial()).unwrap().scalar(),
+            Some(&Value::Int(50)),
+            "the old prepared query still reads its pinned version"
+        );
+        assert_eq!(
+            cache.stats(),
+            PlanCacheStats {
+                hits: 1,
+                misses: 2,
+                invalidations: 1
+            }
+        );
+    }
+
+    #[test]
+    fn plan_cache_revalidates_compile_errors_when_the_table_appears() {
+        let mut db = db();
+        let cache = PlanCache::new(8);
+        let sql = "SELECT id FROM latecomer";
+        let prepared = cache.get(&db.snapshot(), sql).expect("parses fine");
+        assert!(prepared.execute(ExecOptions::default()).is_err());
+        // The table arrives; the cached compile failure must not stick.
+        db.ingest_ddl("CREATE TABLE latecomer (id INT);").unwrap();
+        db.insert_into("latecomer", vec![vec![7.into()]]).unwrap();
+        let fresh = cache.get(&db.snapshot(), sql).expect("re-prepares");
+        assert_eq!(
+            fresh.execute(ExecOptions::default()).unwrap().rows,
+            vec![vec![Value::Int(7)]]
+        );
+        assert_eq!(cache.stats().invalidations, 1);
     }
 
     #[test]
     fn plan_cache_evicts_least_recently_used() {
         let db = db();
-        let cache = PlanCache::new(&db, 2);
-        cache.get("SELECT 1").expect("a");
-        cache.get("SELECT 2").expect("b");
+        let snapshot = db.snapshot();
+        let cache = PlanCache::new(2);
+        cache.get(&snapshot, "SELECT 1").expect("a");
+        cache.get(&snapshot, "SELECT 2").expect("b");
         // Touch "SELECT 1" so "SELECT 2" is the LRU victim.
-        cache.get("SELECT 1").expect("a again");
-        cache.get("SELECT 3").expect("c evicts b");
+        cache.get(&snapshot, "SELECT 1").expect("a again");
+        cache.get(&snapshot, "SELECT 3").expect("c evicts b");
         assert_eq!(cache.len(), 2);
-        let warm = cache.get("SELECT 1").expect("still cached");
-        let recompiled = cache.get("SELECT 2").expect("recompiled after eviction");
+        let warm = cache.get(&snapshot, "SELECT 1").expect("still cached");
+        let recompiled = cache
+            .get(&snapshot, "SELECT 2")
+            .expect("recompiled after eviction");
         assert_eq!(
             warm.execute(ExecOptions::serial()).unwrap().scalar(),
             Some(&Value::Int(1))
@@ -341,7 +581,8 @@ mod tests {
     #[test]
     fn plan_cache_is_shareable_across_batch_workers() {
         let db = db();
-        let cache = PlanCache::with_default_capacity(&db);
+        let snapshot = db.snapshot();
+        let cache = PlanCache::with_default_capacity();
         let sqls = [
             "SELECT COUNT(*) FROM t",
             "SELECT MAX(v) FROM t",
@@ -349,7 +590,7 @@ mod tests {
             "SELECT MIN(id) FROM t WHERE v = 3",
         ];
         let results = crate::physical::batch_map(4, 64, |i| {
-            let prepared = cache.get(sqls[i % sqls.len()])?;
+            let prepared = cache.get(&snapshot, sqls[i % sqls.len()])?;
             prepared.execute(ExecOptions::serial())
         })
         .expect("all items execute");
@@ -357,5 +598,8 @@ mod tests {
         assert_eq!(results[0].scalar(), Some(&Value::Int(50)));
         assert_eq!(results[1].scalar(), Some(&Value::Int(6)));
         assert!(cache.len() <= 3);
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 64, "one get per item");
+        assert_eq!(stats.invalidations, 0);
     }
 }

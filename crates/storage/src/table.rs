@@ -1,6 +1,23 @@
-//! Row storage for a single table.
+//! Row storage for a single table — an immutable, `Arc`-shared payload
+//! behind a monotonically increasing version.
+//!
+//! A [`Table`] is a cheap *handle*: the schema plus an `Arc` to the actual
+//! row payload ([`TableData`]) and a version counter. Cloning a handle
+//! shares the payload by refcount, which is what makes database snapshots
+//! cheap (see [`crate::snapshot::Snapshot`]). Writers go through
+//! [`Arc::make_mut`]: while any snapshot still pins the payload the write
+//! copies it (copy-on-write install of a new version), and once the writer
+//! holds the only reference further writes mutate in place. Either way the
+//! payload a snapshot observes never changes after the snapshot is taken.
+//!
+//! The cached columnar decode lives *inside* the payload, so its lifetime
+//! is exactly one table version: a copy-on-write starts the new version
+//! with a cold cache (clones of [`ColumnarCache`] are empty), an in-place
+//! write resets it explicitly, and a snapshot's pinned decode stays valid
+//! forever because its payload is immutable. A stale decode is therefore
+//! unrepresentable, not merely avoided.
 
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use crate::error::{StorageError, StorageResult};
 use crate::physical::batch::{Batch, BATCH_ROWS};
@@ -49,44 +66,86 @@ impl Deserialize for ColumnarCache {
     }
 }
 
-/// An in-memory table: a schema plus its rows.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Table {
-    /// The table's schema.
-    pub schema: TableSchema,
+/// One immutable version of a table's payload: the rows plus the columnar
+/// decode derived from exactly those rows. Shared by `Arc` between the live
+/// database and any snapshots pinning this version.
+#[derive(Debug, Default)]
+struct TableData {
     rows: Vec<Row>,
     columnar: ColumnarCache,
 }
 
+impl Clone for TableData {
+    fn clone(&self) -> Self {
+        // A clone is the start of a *new* version (copy-on-write): carry
+        // the rows, start the decode cache cold. The original version keeps
+        // its warm cache for the snapshots still reading it.
+        TableData {
+            rows: self.rows.clone(),
+            columnar: ColumnarCache::default(),
+        }
+    }
+}
+
+/// An in-memory table: a schema plus an `Arc`-shared, versioned row
+/// payload. Clones share the payload (refcount bump, no row copy); writes
+/// copy-on-write when the payload is shared.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// The table's schema.
+    pub schema: TableSchema,
+    version: u64,
+    data: Arc<TableData>,
+}
+
 impl Table {
-    /// Create an empty table with the given schema.
+    /// Create an empty table with the given schema, at version 0.
     pub fn new(schema: TableSchema) -> Self {
         Table {
             schema,
-            rows: Vec::new(),
-            columnar: ColumnarCache::default(),
+            version: 0,
+            data: Arc::new(TableData::default()),
         }
+    }
+
+    /// The table's version: 0 when created, bumped by every row mutation.
+    /// Monotonically increasing within one handle's lineage; used by
+    /// [`crate::prepared::PlanCache`] for per-table invalidation (together
+    /// with payload identity, which is exact across handle clones).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Whether two handles read the *same payload instance* — the exact
+    /// "same version" test. Pointer equality is sound because a shared
+    /// payload is never mutated in place: any write through a handle whose
+    /// payload is also pinned elsewhere copies first (`Arc::make_mut`).
+    pub fn same_version(&self, other: &Table) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
     }
 
     /// Number of rows.
     pub fn row_count(&self) -> usize {
-        self.rows.len()
+        self.data.rows.len()
     }
 
     /// Whether the table has no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.data.rows.is_empty()
     }
 
     /// Borrow all rows.
     pub fn rows(&self) -> &[Row] {
-        &self.rows
+        &self.data.rows
     }
 
     /// Insert a row after validating its arity and (loosely) its types.
     ///
     /// Integers are accepted where floats are declared and vice versa when
     /// exactly representable; NULL is accepted in nullable columns only.
+    /// On success the table's version is bumped; if the payload is shared
+    /// with a snapshot it is copied first, so the snapshot's view is
+    /// untouched. Validation failures mutate nothing.
     pub fn insert(&mut self, row: Row) -> StorageResult<()> {
         if row.len() != self.schema.column_count() {
             return Err(StorageError::SchemaMismatch(format!(
@@ -115,24 +174,30 @@ impl Table {
                 ))
             })?);
         }
-        // Row data changed: drop any cached columnar decode.
-        self.columnar = ColumnarCache::default();
-        self.rows.push(coerced);
+        // Copy-on-write: clones the payload only when a snapshot still pins
+        // it (the clone starts with a cold decode cache); otherwise mutates
+        // in place, where the cache must be reset by hand.
+        let data = Arc::make_mut(&mut self.data);
+        data.columnar = ColumnarCache::default();
+        data.rows.push(coerced);
+        self.version += 1;
         Ok(())
     }
 
     /// The table's rows decoded into fixed-size columnar [`Batch`]es —
-    /// computed once per table version (inserts invalidate) and shared with
+    /// computed once per table version (any write starts a fresh cache,
+    /// whether it copied the payload or reset it in place) and shared with
     /// every scan by refcount. The returned batches are dense (no
     /// selection); batch boundaries are fixed by [`BATCH_ROWS`], never by
     /// `threads` (which only parallelizes the one-time decode), so columnar
     /// execution is deterministic at every thread count.
     pub(crate) fn columnar_batches(&self, threads: usize) -> Vec<Batch> {
-        self.columnar
+        self.data
+            .columnar
             .0
             .get_or_init(|| {
                 let width = self.schema.column_count();
-                let chunks: Vec<&[Row]> = self.rows.chunks(BATCH_ROWS).collect();
+                let chunks: Vec<&[Row]> = self.data.rows.chunks(BATCH_ROWS).collect();
                 crate::physical::parallel::run_tasks(threads, chunks.len(), |i| {
                     Ok::<_, std::convert::Infallible>(Batch::from_rows(chunks[i], width))
                 })
@@ -154,13 +219,63 @@ impl Table {
     /// Value at (row, column-name), if present.
     pub fn value(&self, row: usize, column: &str) -> Option<&Value> {
         let idx = self.schema.column_index(column)?;
-        self.rows.get(row).and_then(|r| r.get(idx))
+        self.data.rows.get(row).and_then(|r| r.get(idx))
     }
 
     /// Iterate over one column's values.
     pub fn column_values(&self, column: &str) -> Option<Vec<&Value>> {
         let idx = self.schema.column_index(column)?;
-        Some(self.rows.iter().map(|r| &r[idx]).collect())
+        Some(self.data.rows.iter().map(|r| &r[idx]).collect())
+    }
+}
+
+// Logical equality: same schema, same rows. The version counter and payload
+// identity are physical bookkeeping (two handles that arrived at the same
+// rows along different write histories are equal), and the decode cache is
+// derived data.
+impl PartialEq for Table {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema && self.data.rows == other.data.rows
+    }
+}
+
+// Serde keeps the flat pre-snapshot wire shape ({schema, rows, ...}): the
+// `Arc` payload and decode cache are runtime details. The version counter
+// rides along so a reloaded database does not restart every table at 0;
+// older snapshots without the field fall back to the row count (any
+// monotonic starting point works).
+impl Serialize for Table {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("schema".to_string(), self.schema.to_value()),
+            ("version".to_string(), self.version.to_value()),
+            ("rows".to_string(), self.data.rows.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Table {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let schema = match value.get("schema") {
+            Some(v) => TableSchema::from_value(v)?,
+            None => return Err(serde::Error::missing_field("schema")),
+        };
+        let rows = match value.get("rows") {
+            Some(v) => Vec::<Row>::from_value(v)?,
+            None => return Err(serde::Error::missing_field("rows")),
+        };
+        let version = match value.get("version") {
+            Some(v) => u64::from_value(v)?,
+            None => rows.len() as u64,
+        };
+        Ok(Table {
+            schema,
+            version,
+            data: Arc::new(TableData {
+                rows,
+                columnar: ColumnarCache::default(),
+            }),
+        })
     }
 }
 
@@ -266,5 +381,71 @@ mod tests {
             ])
             .unwrap();
         assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn version_bumps_on_every_insert_and_failed_inserts_leave_it_alone() {
+        let mut t = table();
+        assert_eq!(t.version(), 0);
+        t.insert(vec![1.into(), "a".into(), 1.0.into()]).unwrap();
+        assert_eq!(t.version(), 1);
+        assert!(t.insert(vec![1.into()]).is_err());
+        assert_eq!(t.version(), 1, "failed insert must not bump the version");
+        t.insert(vec![2.into(), "b".into(), 2.0.into()]).unwrap();
+        assert_eq!(t.version(), 2);
+    }
+
+    #[test]
+    fn clones_share_the_payload_until_a_write_copies_it() {
+        let mut t = table();
+        t.insert(vec![1.into(), "a".into(), 1.0.into()]).unwrap();
+        let pinned = t.clone();
+        assert!(t.same_version(&pinned), "clone pins the same payload");
+        t.insert(vec![2.into(), "b".into(), 2.0.into()]).unwrap();
+        assert!(
+            !t.same_version(&pinned),
+            "write under a pin must copy-on-write a new payload"
+        );
+        assert_eq!(pinned.row_count(), 1, "pinned payload is untouched");
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(pinned.version(), 1);
+        assert_eq!(t.version(), 2);
+    }
+
+    #[test]
+    fn pinned_columnar_decode_survives_writes_and_new_version_decodes_fresh() {
+        let mut t = table();
+        t.insert_all((0..10i64).map(|i| vec![i.into(), format!("r{i}").into(), (i as f64).into()]))
+            .unwrap();
+        let pinned = t.clone();
+        let before = pinned.columnar_batches(1);
+        assert_eq!(before.iter().map(|b| b.len).sum::<usize>(), 10);
+        // Writer streams more rows; the pinned decode must not change.
+        t.insert(vec![10.into(), "new".into(), 1.0.into()]).unwrap();
+        let after = pinned.columnar_batches(1);
+        assert_eq!(
+            after.iter().map(|b| b.len).sum::<usize>(),
+            10,
+            "a pinned snapshot's decode can never observe later inserts"
+        );
+        // The writer's new version decodes all rows.
+        assert_eq!(
+            t.columnar_batches(1).iter().map(|b| b.len).sum::<usize>(),
+            11
+        );
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_rows_and_version() {
+        let mut t = table();
+        t.insert_all(vec![
+            vec![1.into(), "a".into(), 1.0.into()],
+            vec![2.into(), "b".into(), 2.0.into()],
+        ])
+        .unwrap();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Table = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+        assert_eq!(back.version(), 2);
     }
 }

@@ -7,8 +7,8 @@ use std::collections::HashMap;
 use bp_core::{FeedbackAction, Project, TaskConfig};
 use bp_datasets::{BenchmarkKind, DomainLexicon, GeneratedBenchmark};
 use bp_llm::{generate_candidates, GenerationRequest, ModelKind, PromptBuilder};
-use bp_metrics::{coverage, grade, ClarityHistogram, DEFAULT_ACCURACY_THRESHOLD};
-use bp_storage::{available_threads, batch_map, Database};
+use bp_metrics::{coverage, grade_cached, ClarityHistogram, DEFAULT_ACCURACY_THRESHOLD};
+use bp_storage::{available_threads, batch_map, Database, PlanCache, PlanCacheStats};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -364,19 +364,44 @@ impl StudyRun {
         &self,
         backtranslation_model: ModelKind,
     ) -> HashMap<Condition, ClarityHistogram> {
+        self.clarity_histograms_detailed(backtranslation_model).0
+    }
+
+    /// [`StudyRun::clarity_histograms`] plus the plan-cache counters the
+    /// grading sweep accumulated. Grading executes every original query and
+    /// every regenerated query through one shared [`PlanCache`] keyed on a
+    /// snapshot per database pinned up front — a corpus whose descriptions
+    /// backtranslate to a handful of distinct SQL texts compiles each text
+    /// once, not once per participant — and the counters quantify exactly
+    /// that reuse. The histograms never depend on the cache (only compile
+    /// frequency does); the hit/miss *split* can shift between runs when
+    /// workers race on a cold key, but `hits + misses` is always two per
+    /// graded outcome whose regeneration parses (original + regenerated),
+    /// plus one for each that does not parse.
+    pub fn clarity_histograms_detailed(
+        &self,
+        backtranslation_model: ModelKind,
+    ) -> (HashMap<Condition, ClarityHistogram>, PlanCacheStats) {
         let beaver_translator =
             bp_llm::Backtranslator::new(self.beaver_db.catalog(), backtranslation_model.profile());
         let bird_translator =
             bp_llm::Backtranslator::new(self.bird_db.catalog(), backtranslation_model.profile());
+        let beaver_snapshot = self.beaver_db.snapshot();
+        let bird_snapshot = self.bird_db.snapshot();
+        // One cache per dataset: the cache is keyed by SQL text, and the two
+        // corpora reuse table names, so sharing one would make the same text
+        // ping-pong between snapshots as invalidations.
+        let beaver_cache = PlanCache::with_default_capacity();
+        let bird_cache = PlanCache::with_default_capacity();
         let graded = batch_map(available_threads(), self.outcomes.len(), |i| {
             let outcome = &self.outcomes[i];
-            let (translator, db) = match outcome.dataset {
-                StudyDataset::Beaver => (&beaver_translator, &self.beaver_db),
-                StudyDataset::Bird => (&bird_translator, &self.bird_db),
+            let (translator, snapshot, cache) = match outcome.dataset {
+                StudyDataset::Beaver => (&beaver_translator, &beaver_snapshot, &beaver_cache),
+                StudyDataset::Bird => (&bird_translator, &bird_snapshot, &bird_cache),
             };
             let regenerated = translator.backtranslate(&outcome.description);
-            let original = bp_sql::parse_query(&outcome.sql).expect("study queries parse");
-            let graded = grade(&original, &regenerated, Some(db));
+            let graded = grade_cached(&outcome.sql, &regenerated, snapshot, cache)
+                .expect("study queries parse");
             Ok::<_, std::convert::Infallible>((outcome.condition, graded.level))
         })
         .expect("backtranslation grading is infallible");
@@ -384,7 +409,14 @@ impl StudyRun {
         for (condition, level) in graded {
             histograms.entry(condition).or_default().record(level);
         }
-        histograms
+        let beaver_stats = beaver_cache.stats();
+        let bird_stats = bird_cache.stats();
+        let stats = PlanCacheStats {
+            hits: beaver_stats.hits + bird_stats.hits,
+            misses: beaver_stats.misses + bird_stats.misses,
+            invalidations: beaver_stats.invalidations + bird_stats.invalidations,
+        };
+        (histograms, stats)
     }
 
     /// Mean coverage per condition (a finer-grained quality view than the
@@ -481,6 +513,21 @@ mod tests {
             benchpress + 0.3 >= manual,
             "BenchPress clarity {benchpress} vs manual {manual}"
         );
+    }
+
+    #[test]
+    fn detailed_clarity_histograms_agree_and_report_cache_reuse() {
+        let run = small_run();
+        let plain = run.clarity_histograms(ModelKind::Gpt4o);
+        let (detailed, stats) = run.clarity_histograms_detailed(ModelKind::Gpt4o);
+        assert_eq!(plain, detailed);
+        // Every graded outcome touches the cache at least once (regenerated
+        // side), at most twice (plus the original).
+        assert!(stats.hits + stats.misses >= run.outcomes.len() as u64);
+        assert!(stats.hits + stats.misses <= 2 * run.outcomes.len() as u64);
+        // 6 participants annotate the same 10 queries: plans must be reused.
+        assert!(stats.hits > 0, "repeated SQL texts must hit the cache");
+        assert_eq!(stats.invalidations, 0, "nothing writes during grading");
     }
 
     #[test]

@@ -488,3 +488,131 @@ fn parallel_query_errors_match_serial_cleanly() {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Snapshot storage: snapshot reads vs single-borrow reads, and prepared
+// queries under a streaming writer
+// ---------------------------------------------------------------------
+
+/// Snapshot reads must be byte-identical to reads through the `Database`
+/// borrow, for every corpus query, every engine, and every thread count —
+/// including error identity. The three-way oracle set applies unchanged to
+/// the snapshot path.
+#[test]
+fn snapshot_reads_match_borrowed_reads_on_every_engine() {
+    let corpus = GeneratedBenchmark::generate(BenchmarkKind::Beaver, 8, 20_260_808);
+    let db = &corpus.database;
+    let snapshot = db.snapshot();
+    for entry in &corpus.log {
+        // The snapshot path must satisfy the full three-way differential...
+        assert_engines_agree(db, &entry.sql, "snapshot-corpus");
+        // ...and mirror the borrow path result-for-result.
+        for strategy in [
+            ExecStrategy::Planned,
+            ExecStrategy::RowPlanned,
+            ExecStrategy::Legacy,
+        ] {
+            for threads in [1usize, TEST_THREADS] {
+                let options = ExecOptions::new(strategy).with_threads(threads);
+                let borrowed = db.execute_sql_opts(&entry.sql, options);
+                let snapshotted = snapshot.execute_sql_opts(&entry.sql, options);
+                assert_eq!(
+                    borrowed, snapshotted,
+                    "snapshot diverges from borrow ({strategy:?}, {threads} threads): {}",
+                    entry.sql
+                );
+            }
+        }
+    }
+}
+
+/// Concurrency stress: reader threads executing `PreparedQuery`s while a
+/// writer streams inserts. Each reader's whole report must be byte-identical
+/// to a serial re-run against its pinned snapshot — the prepared query pins
+/// the version it was compiled for, whatever the writer does — at every
+/// thread count, and batch errors must surface first-in-input-order.
+#[test]
+fn prepared_queries_survive_a_streaming_writer() {
+    use benchpress_suite::storage::{batch_map, PlanCache};
+
+    let corpus = GeneratedBenchmark::generate(BenchmarkKind::Spider, 8, 20_260_807);
+    let db = std::sync::RwLock::new(corpus.database.clone());
+    let sqls: Vec<String> = corpus.log.iter().map(|entry| entry.sql.clone()).collect();
+    let cache = PlanCache::with_default_capacity();
+    // Rows matching the first table of the corpus schema for the writer.
+    let victim_table = {
+        let guard = db.read().unwrap();
+        let table = guard.tables().next().expect("corpus has tables");
+        (table.schema.name.clone(), table.schema.clone())
+    };
+    std::thread::scope(|scope| {
+        let writer = scope.spawn(|| {
+            for i in 0..300i64 {
+                let mut guard = db.write().unwrap();
+                let row: Vec<Value> = victim_table
+                    .1
+                    .columns
+                    .iter()
+                    .enumerate()
+                    .map(|(c, column)| match column.data_type {
+                        DataType::Integer => Value::Int(1_000_000 + i * 16 + c as i64),
+                        DataType::Float => Value::Float(i as f64),
+                        _ => Value::Text(format!("w{i}_{c}")),
+                    })
+                    .collect();
+                guard
+                    .insert_into(&victim_table.0, vec![row])
+                    .expect("writer inserts");
+            }
+        });
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                scope.spawn(|| {
+                    let snapshot = db.read().unwrap().snapshot();
+                    for threads in [1usize, 4] {
+                        let parallel = batch_map(threads, sqls.len(), |i| {
+                            cache
+                                .get(&snapshot, &sqls[i])
+                                .and_then(|p| p.execute(ExecOptions::serial()))
+                        })
+                        .expect("corpus queries execute");
+                        let serial: Vec<_> = sqls
+                            .iter()
+                            .map(|sql| {
+                                snapshot
+                                    .execute_sql_opts(sql, ExecOptions::serial())
+                                    .expect("serial run executes")
+                            })
+                            .collect();
+                        assert_eq!(
+                            parallel, serial,
+                            "prepared batch at {threads} threads diverges from serial snapshot run"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for reader in readers {
+            reader.join().expect("reader panics propagate");
+        }
+        writer.join().expect("writer panics propagate");
+    });
+    // First-error-in-input-order under writes: index 1 errors before index 3.
+    let snapshot = db.read().unwrap().snapshot();
+    let batch = [
+        sqls[0].clone(),
+        "SELECT definitely_missing FROM nowhere".to_string(),
+        sqls[1].clone(),
+        "SELECT also_missing FROM nowhere".to_string(),
+    ];
+    for threads in [1usize, 4] {
+        let err = batch_map(threads, batch.len(), |i| {
+            snapshot.execute_sql_opts(&batch[i], ExecOptions::serial())
+        })
+        .expect_err("batch contains failing statements");
+        assert!(
+            err.to_string().contains("NOWHERE") || err.to_string().contains("nowhere"),
+            "unexpected first error at {threads} threads: {err}"
+        );
+    }
+}

@@ -294,6 +294,21 @@ impl<T: Deserialize> Deserialize for Box<T> {
     }
 }
 
+// `Arc` is transparent on the wire, like `Box`: shared ownership is a
+// runtime detail (copy-on-write storage snapshots), not part of the data
+// model. Deserialization always builds a fresh, unshared allocation.
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(std::sync::Arc::new)
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn to_value(&self) -> Value {
         match self {
