@@ -3,7 +3,7 @@
 //! execution, and of columnar vs row-planned execution, recorded as
 //! `BENCH_exec.json`.
 //!
-//! Five headline measurements:
+//! Six headline measurements:
 //!
 //! 1. **Planned vs legacy**: a two-table foreign-key equi-join over a
 //!    corpus generated at the `CorpusScale::Large` setting (32× rows),
@@ -14,12 +14,14 @@
 //!    workload (every foreign-key join in the corpus, wide projection) run
 //!    single-threaded and then on the morsel-driven parallel executor at
 //!    the machine's hardware parallelism. On ≥4 cores the acceptance
-//!    target is a ≥1.5× speedup; a missed round is re-measured (best of
-//!    up to 3 rounds, absorbing transient load on shared runners) and
-//!    only a miss on every round fails the binary. Below 4 cores the
-//!    comparison still runs and is recorded, but the gate is skipped
-//!    (there is no parallelism to win) and `meets_target` is recorded as
-//!    `null` — an unenforced gate is "not measured", never a regression.
+//!    target is a ≥1.5× speedup, measured **uniformly best-of-3** like
+//!    every enforced gate in this binary (absorbing transient load on
+//!    shared runners; only a miss on every round fails the binary, and
+//!    `measure_rounds` records the same N for every enforced gate). Below
+//!    4 cores the comparison still runs and is recorded, but the gate is
+//!    skipped (there is no parallelism to win) and `meets_target` is
+//!    recorded as `null` — an unenforced gate is "not measured", never a
+//!    regression.
 //! 3. **Columnar vs row-planned** (`columnar_workload`): the Large-scale
 //!    scan/filter/join workload (narrow + wide foreign-key equi-joins plus
 //!    integer filter scans) run by the columnar batch engine and by the
@@ -50,10 +52,22 @@
 //!    the gate is skipped and `meets_target` recorded as `null`. Before
 //!    timing, a batch executed under the racing writer is asserted
 //!    byte-identical to a serial run against the session's pinned
-//!    snapshot.
+//!    snapshot. The service's access-path counters (index-answered vs
+//!    full-scan table accesses across every graded statement) are recorded
+//!    alongside the plan-cache counters.
+//! 6. **Index point lookups vs forced full scans**
+//!    (`index_point_lookup`): primary-key point lookups over every corpus
+//!    table at Large scale, each query compiled twice against the same
+//!    snapshot — once with plan-time fast paths (hash-index probe) and
+//!    once with fast paths disabled (full columnar scan + filter kernel).
+//!    Both compilations execute byte-identically before timing; the
+//!    acceptance target is a ≥10× speedup for the indexed side. The gate
+//!    is core-count independent (the probes run single-threaded), so it is
+//!    always enforced — `meets_target` is never `null` here.
 //!
 //! Results from every engine/thread-count combination are asserted
-//! identical before timings are trusted.
+//! identical before timings are trusted. Every enforced gate measures
+//! uniformly best-of-N (see `measure_gated`).
 //!
 //! Run with: `cargo run --release -p bp-bench --bin exec_bench`
 //! (CI runs this and archives `BENCH_exec.json`; see `ci.sh`.)
@@ -66,7 +80,8 @@ use bp_datasets::{BenchmarkKind, CorpusScale, GeneratedBenchmark};
 use bp_llm::{evaluate_execution_accuracy_opts, EvalItem, ModelKind};
 use bp_sql::{DataType, Query};
 use bp_storage::{
-    available_threads, batch_map, AnnotationService, Database, ExecOptions, ExecStrategy, Value,
+    available_threads, batch_map, compile_query_with, exec_compiled, AnnotationService, Database,
+    ExecOptions, ExecStrategy, PhysQueryPlan, Value,
 };
 use serde::Serialize;
 
@@ -102,8 +117,8 @@ struct ParallelMeasurement {
     speedup_target: f64,
     /// Whether the ≥4-core gate was enforced on this machine.
     gate_applied: bool,
-    /// Measurement rounds taken (best-of-N retry when the gate applies and
-    /// a round misses the target; 1 when the first round passes).
+    /// Measurement rounds taken: uniform best-of-N whenever the gate
+    /// applies; 1 when the gate is skipped.
     measure_rounds: usize,
     /// Gate outcome; `null` whenever `gate_applied` is false (the skip is
     /// "not measured", not a miss, so BENCH trajectories on small runners
@@ -193,12 +208,45 @@ struct ConcurrentMeasurement {
     cache_hits: u64,
     cache_misses: u64,
     cache_invalidations: u64,
+    /// Access-path counters the service accumulated across the whole
+    /// benchmark: table accesses answered from a secondary index vs full
+    /// scans, per executed statement (cached plans re-count per execution).
+    access_index_scans: u64,
+    access_full_scans: u64,
     ratio_target: f64,
     /// Whether the ≥4-core gate was enforced on this machine.
     gate_applied: bool,
     /// Measurement rounds taken (best-of-N).
     measure_rounds: usize,
     /// Gate outcome; `null` whenever `gate_applied` is false.
+    meets_target: Option<bool>,
+}
+
+/// Index-backed point lookups vs the same queries with fast paths
+/// disabled (`index_point_lookup`).
+#[derive(Serialize)]
+struct IndexMeasurement {
+    scale: String,
+    /// Point-lookup queries in the set (spread over every corpus table's
+    /// integer primary key).
+    lookups: usize,
+    rows_per_table: usize,
+    /// Rows the whole lookup set returns (sanity: the probes hit).
+    output_rows: usize,
+    /// The lookup set compiled with fast paths disabled — full columnar
+    /// scan + filter kernel per query (best round), milliseconds.
+    full_scan_ms: f64,
+    /// The same queries compiled onto the hash index (best round),
+    /// milliseconds.
+    index_ms: f64,
+    speedup: f64,
+    speedup_target: f64,
+    /// Always true: the probes run single-threaded, so the gate does not
+    /// depend on core count.
+    gate_applied: bool,
+    /// Measurement rounds taken (uniform best-of-N).
+    measure_rounds: usize,
+    /// Gate outcome (never `null`: the gate always applies).
     meets_target: Option<bool>,
 }
 
@@ -213,6 +261,7 @@ struct ExecBenchReport {
     columnar_workload: ColumnarMeasurement,
     pipeline_throughput: PipelineMeasurement,
     concurrent_read_write: ConcurrentMeasurement,
+    index_point_lookup: IndexMeasurement,
     speedup_target: f64,
     meets_target: bool,
 }
@@ -247,13 +296,14 @@ struct GatedMeasurement {
     meets_target: Option<bool>,
 }
 
-/// Run `round()` (returning `(baseline_ms, contender_ms)`) up to
-/// `max_rounds` times, keeping the round with the best speedup. Wall-clock
-/// ratios are noisy on shared/loaded runners, so when the gate applies and
-/// a round misses `target` the measurement retries; the loop stops early
-/// when the gate is unenforced or the target is met. Shared by the
-/// parallel, columnar and pipeline gates so their retry/skip semantics
-/// cannot drift apart.
+/// Run `round()` (returning `(baseline_ms, contender_ms)`) `max_rounds`
+/// times whenever the gate applies, keeping the round with the best
+/// speedup — **uniform best-of-N**: every enforced gate takes the same
+/// number of rounds, so a `measure_rounds` entry in `BENCH_exec.json`
+/// cannot flip between 1 and N on first-round luck and ratios stay robust
+/// to transient load on shared runners. An unenforced gate takes a single
+/// informational round. Shared by every gated comparison so the retry/skip
+/// semantics cannot drift apart.
 fn measure_gated(
     label: &str,
     target: f64,
@@ -273,10 +323,10 @@ fn measure_gated(
             contender_ms = contender;
             best_speedup = speedup;
         }
-        if !gate_applied || best_speedup >= target {
+        if !gate_applied {
             break;
         }
-        if rounds < max_rounds {
+        if rounds < max_rounds && best_speedup < target {
             println!(
                 "{label} speedup {speedup:.2}x below {target}x after round \
                  {rounds}/{max_rounds}; re-measuring"
@@ -725,6 +775,7 @@ fn main() {
     let concurrent_qps =
         CONCURRENT_STATEMENTS as f64 / (concurrent_under_writer_ms / 1e3).max(1e-9);
     let service_cache_stats = service.cache_stats();
+    let service_access_stats = service.access_path_stats();
     println!(
         "grading under streaming writer ({CONCURRENT_STATEMENTS} statements @ {}): alone {concurrent_baseline_ms:.1} ms, \
          under writer {concurrent_under_writer_ms:.1} ms -> {concurrent_ratio:.2}x of uncontended throughput \
@@ -735,6 +786,103 @@ fn main() {
         } else {
             " (gate skipped: <4 cores)"
         }
+    );
+
+    // --- Headline 6: index point lookups vs forced full scans ------------
+    const INDEX_TARGET: f64 = 10.0;
+    const INDEX_LOOKUPS: usize = 48;
+    // One snapshot for the whole comparison: both compilations pin the
+    // same table versions, so the indexed and scanned sides read the same
+    // lazily-built columnar cache (and the indexed side additionally the
+    // lazily-built per-column secondary index).
+    let lookup_snapshot = large.database.snapshot();
+    let lookup_tables: Vec<(String, String)> = large
+        .database
+        .tables()
+        .filter_map(|table| {
+            table
+                .schema
+                .columns
+                .iter()
+                .find(|c| c.primary_key && c.data_type == DataType::Integer)
+                .map(|pk| (table.schema.name.clone(), pk.name.clone()))
+        })
+        .collect();
+    assert!(
+        !lookup_tables.is_empty(),
+        "generated corpus always has integer primary keys"
+    );
+    // Spread the probed keys across the sequential primary-key range so
+    // the hash buckets touched vary; every probe hits (generated ids are
+    // 0..rows_per_table).
+    let rows_per_table = large.profile.rows_per_table;
+    let mut lookup_output_rows = 0usize;
+    let lookup_plans: Vec<(PhysQueryPlan, PhysQueryPlan)> = (0..INDEX_LOOKUPS)
+        .map(|i| {
+            let (table, pk) = &lookup_tables[i % lookup_tables.len()];
+            let key = (i * rows_per_table / INDEX_LOOKUPS).min(rows_per_table - 1);
+            let sql = format!("SELECT * FROM {table} WHERE {pk} = {key}");
+            let query = bp_sql::parse_query(&sql).expect("lookup SQL parses");
+            let fast = compile_query_with(&lookup_snapshot, &query, true).expect("lookup compiles");
+            let slow = compile_query_with(&lookup_snapshot, &query, false)
+                .expect("lookup compiles scanned");
+            // The access-path split is the point of the comparison: assert
+            // it rather than hoping.
+            assert_eq!(
+                fast.access_paths().index_scan,
+                1,
+                "{sql} must probe the index"
+            );
+            assert_eq!(
+                slow.access_paths().index_scan,
+                0,
+                "{sql} must be forced to scan"
+            );
+            let indexed = exec_compiled(&lookup_snapshot, &fast, serial_opts)
+                .expect("indexed lookup executes");
+            let scanned = exec_compiled(&lookup_snapshot, &slow, serial_opts)
+                .expect("scanned lookup executes");
+            assert_eq!(
+                indexed, scanned,
+                "indexed lookup must be byte-identical to the full scan for {sql}"
+            );
+            let parallel = exec_compiled(&lookup_snapshot, &fast, parallel_opts)
+                .expect("indexed lookup executes in parallel");
+            assert_eq!(indexed, parallel, "thread count must not change {sql}");
+            lookup_output_rows += indexed.row_count();
+            (fast, slow)
+        })
+        .collect();
+    assert!(
+        lookup_output_rows > 0,
+        "point lookups over sequential primary keys must hit"
+    );
+    let index_gate = measure_gated(
+        "index",
+        INDEX_TARGET,
+        PARALLEL_GATE_ROUNDS,
+        // Single-threaded probes: no core-count dependence, always gated.
+        true,
+        || {
+            let scanned = time_ms(5, || {
+                for (_, slow) in &lookup_plans {
+                    exec_compiled(&lookup_snapshot, slow, serial_opts).unwrap();
+                }
+            });
+            let indexed = time_ms(5, || {
+                for (fast, _) in &lookup_plans {
+                    exec_compiled(&lookup_snapshot, fast, serial_opts).unwrap();
+                }
+            });
+            (scanned, indexed)
+        },
+    );
+    let (lookup_full_ms, lookup_index_ms) = (index_gate.baseline_ms, index_gate.contender_ms);
+    let index_speedup = index_gate.speedup;
+    let index_meets = index_gate.meets_target;
+    println!(
+        "index point lookups ({INDEX_LOOKUPS} queries @ {} rows/table): full scan {lookup_full_ms:.2} ms, indexed {lookup_index_ms:.3} ms -> {index_speedup:.0}x",
+        rows_per_table
     );
 
     // --- Secondary: a full mixed workload at medium scale ----------------
@@ -883,10 +1031,25 @@ fn main() {
             cache_hits: service_cache_stats.hits,
             cache_misses: service_cache_stats.misses,
             cache_invalidations: service_cache_stats.invalidations,
+            access_index_scans: service_access_stats.index_scan,
+            access_full_scans: service_access_stats.full_scan,
             ratio_target: CONCURRENT_TARGET,
             gate_applied,
             measure_rounds: concurrent_gate.rounds,
             meets_target: concurrent_meets,
+        },
+        index_point_lookup: IndexMeasurement {
+            scale: join_scale.name().into(),
+            lookups: INDEX_LOOKUPS,
+            rows_per_table,
+            output_rows: lookup_output_rows,
+            full_scan_ms: lookup_full_ms,
+            index_ms: lookup_index_ms,
+            speedup: index_speedup,
+            speedup_target: INDEX_TARGET,
+            gate_applied: true,
+            measure_rounds: index_gate.rounds,
+            meets_target: index_meets,
         },
         speedup_target: TARGET,
         meets_target,
@@ -920,11 +1083,17 @@ fn main() {
             "parallel + columnar + pipeline + concurrent gates: skipped ({cores} core(s) < {PARALLEL_GATE_MIN_CORES}); comparisons recorded anyway"
         );
     }
+    // The index gate never skips: it has no core-count dependence.
+    println!(
+        "index gate: point lookups {} the >= {INDEX_TARGET:.0}x target over forced full scans ({index_speedup:.0}x)",
+        if index_meets == Some(true) { "MEET" } else { "MISS" }
+    );
     if !meets_target
         || parallel_meets == Some(false)
         || columnar_meets == Some(false)
         || pipeline_meets == Some(false)
         || concurrent_meets == Some(false)
+        || index_meets == Some(false)
     {
         std::process::exit(1);
     }

@@ -50,7 +50,7 @@ fn main() {
     }
 
     println!("\n--- Figure 4: backtranslation clarity histogram ---");
-    let (histograms, cache_stats) = run.clarity_histograms_detailed(ModelKind::Gpt4o);
+    let (histograms, cache_stats, access_stats) = run.clarity_histograms_detailed(ModelKind::Gpt4o);
     println!(
         "{:<14} {:>6} {:>6} {:>6} {:>6} {:>6} {:>12}",
         "Condition", "L1", "L2", "L3", "L4", "L5", "mean level"
@@ -74,5 +74,9 @@ fn main() {
         cache_stats.misses,
         cache_stats.invalidations,
         run.outcomes.len()
+    );
+    println!(
+        "access paths during grading: {} index scans, {} full scans",
+        access_stats.index_scan, access_stats.full_scan
     );
 }

@@ -224,12 +224,18 @@ pub fn grade_cached(
         }
     };
     // Level 1 (continued): must execute. Each side runs single-threaded —
-    // sweeps parallelize across comparisons, not inside one query.
+    // sweeps parallelize across comparisons, not inside one query. Each
+    // execution folds its access-path tally into the cache's counters
+    // (after running, so lazily-compiled plans report) — that is where the
+    // study report's index-scan vs full-scan split comes from.
+    let run = |sql: &str| {
+        let prepared = cache.get(snapshot, sql)?;
+        let result = prepared.execute(ExecOptions::serial());
+        cache.record_access(prepared.access_paths());
+        result
+    };
     let mut execution_matches = None;
-    match cache
-        .get(snapshot, regenerated_sql)
-        .and_then(|p| p.execute(ExecOptions::serial()))
-    {
+    match run(regenerated_sql) {
         Err(e) => {
             return Ok(RubricOutcome {
                 level: ClarityLevel::Invalid,
@@ -237,10 +243,7 @@ pub fn grade_cached(
             })
         }
         Ok(predicted) => {
-            if let Ok(gold) = cache
-                .get(snapshot, original_sql)
-                .and_then(|p| p.execute(ExecOptions::serial()))
-            {
+            if let Ok(gold) = run(original_sql) {
                 execution_matches = Some(results_match(&gold, &predicted));
             }
         }
@@ -446,6 +449,12 @@ mod tests {
             let warm = grade_cached(original, regenerated, &snapshot, &cache).unwrap();
             assert_eq!(direct, warm);
         }
+        // The sweep's access-path split is observable on the cache: the
+        // sargable predicates (`dept = 'EECS'`, `gpa > 3.5`) compiled onto
+        // the secondary index, the bare projections walked the table.
+        let access = cache.access_stats();
+        assert!(access.index_scan > 0, "sargable cases must probe the index");
+        assert!(access.full_scan > 0, "unfiltered cases must full-scan");
         // Unparseable originals error identically.
         assert!(grade_sql("SELEC", "SELECT 1", Some(&db)).is_err());
         assert!(grade_cached("SELEC", "SELECT 1", &snapshot, &cache).is_err());

@@ -46,7 +46,10 @@ pub mod value;
 pub use database::Database;
 pub use error::{StorageError, StorageResult};
 pub use exec::Executor;
-pub use physical::{available_threads, batch_map, execute_planned_opts, ExecOptions, ExecStrategy};
+pub use physical::{
+    available_threads, batch_map, compile_query_with, exec_compiled, execute_planned_opts,
+    AccessPathStats, ExecOptions, ExecStrategy, PhysQueryPlan,
+};
 pub use plan::{LogicalPlan, Planner, QueryPlan};
 pub use prepared::{PlanCache, PlanCacheStats, PreparedQuery, DEFAULT_PLAN_CACHE_CAPACITY};
 pub use profiler::{profile_database, profile_table, DatabaseProfile, TableProfile};

@@ -231,6 +231,12 @@ impl ColumnVec {
         b.finish()
     }
 
+    /// Decode one column of a row slice (projection-pruned scans decode
+    /// column-by-column instead of whole batches).
+    pub(crate) fn from_rows_column(rows: &[Row], col: usize) -> ColumnVec {
+        ColumnVec::from_values(rows.iter().map(move |r| r.get(col).unwrap_or(&Value::Null)))
+    }
+
     /// Gather rows at `idx` into a new dense column of the same type.
     pub(crate) fn gather(&self, idx: &[u32]) -> ColumnVec {
         fn pick<T: Clone + Default>(v: &[T], m: &NullMask, idx: &[u32]) -> (Vec<T>, NullMask) {

@@ -55,8 +55,8 @@ use super::batch::{
 use super::expr::{BatchEnv, PhysExpr};
 use super::parallel::run_tasks;
 use super::{
-    compare_rows, dedup_rows, eval_count, exec_query_plan, finalize_agg_groups, join, top_k_rows,
-    PhysNode, RunCtx,
+    compare_rows, dedup_rows, eval_count, exec_index_agg, exec_index_top_k, exec_query_plan,
+    finalize_agg_groups, index_scan_ids, join, top_k_rows, PhysNode, RunCtx,
 };
 
 /// Execute a node columnar-ly and materialize the live rows (the
@@ -132,15 +132,49 @@ fn flatten_batches(batches: Vec<Batch>, width: usize) -> Batch {
 
 pub(crate) fn exec_node_col(node: &PhysNode, ctx: &RunCtx<'_>) -> StorageResult<Vec<Batch>> {
     match node {
-        PhysNode::ScanTable { name } => {
+        PhysNode::ScanTable { name, cols } => {
             let table = ctx
                 .db
                 .table(name)
                 .ok_or_else(|| StorageError::UnknownTable(name.clone()))?;
             // The table's columnar decode is computed once and cached on
             // the table (invalidated by inserts); a scan is refcount bumps
-            // plus fresh (all-live) selections.
-            Ok(table.columnar_batches(ctx.threads))
+            // plus fresh (all-live) selections. With a pruning mask only
+            // the referenced columns are decoded.
+            Ok(table.columnar_batches_for(ctx.threads, cols.as_deref()))
+        }
+        PhysNode::IndexScan { name, access, cols } => {
+            let table = ctx
+                .db
+                .table(name)
+                .ok_or_else(|| StorageError::UnknownTable(name.clone()))?;
+            // The index answers with ascending global row ids; those map
+            // straight onto per-batch selection vectors (batch boundaries
+            // are fixed at BATCH_ROWS), so no data moves at all.
+            let ids = index_scan_ids(table, access, ctx)?;
+            let mut batches = table.columnar_batches_for(ctx.threads, cols.as_deref());
+            let mut sels: Vec<Vec<u32>> = batches.iter().map(|_| Vec::new()).collect();
+            for id in ids {
+                sels[id as usize / BATCH_ROWS].push((id as usize % BATCH_ROWS) as u32);
+            }
+            for (batch, sel) in batches.iter_mut().zip(sels) {
+                batch.selection = Some(sel);
+            }
+            Ok(batches)
+        }
+        PhysNode::IndexAgg { name, specs } => {
+            let rows = exec_index_agg(name, specs, ctx)?;
+            rows_to_batches(&rows, specs.len(), ctx)
+        }
+        PhysNode::IndexTopK {
+            name,
+            key_ordinal,
+            output,
+            limit,
+            offset,
+        } => {
+            let rows = exec_index_top_k(name, *key_ordinal, output, limit, offset.as_ref(), ctx)?;
+            rows_to_batches(&rows, output.len(), ctx)
         }
         PhysNode::ScanCte { name } => {
             let result = ctx

@@ -6,20 +6,21 @@
 //! subqueries recursively, and computes each subquery's cacheability
 //! (uncorrelated and free of reads from enclosing CTE scopes).
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Mutex;
 
-use bp_sql::{column_ref, Expr, Query};
+use bp_sql::{column_ref, split_conjuncts, Expr, Query};
 
 use crate::error::{StorageError, StorageResult};
 use crate::plan::{
-    resolve_binding, ColumnBinding, LogicalPlan, Planner, QueryPlan, Scan, ScanSource,
+    and_join, benign, resolve_binding, sarg_column, sargable_atom, ColumnBinding, LogicalPlan,
+    Planner, QueryPlan, SargAtom, Scan, ScanSource, SortKey,
 };
 use crate::scalar::{canonical_function_name, is_aggregate_name, literal_value, missing_arg_error};
 use crate::snapshot::Snapshot;
 
 use super::expr::{PhysExpr, SubPlan};
-use super::{PhysNode, PhysQueryPlan};
+use super::{AccessPathStats, AggSpec, IndexAccess, PhysNode, PhysQueryPlan};
 
 pub(crate) struct Compiler<'a> {
     db: &'a Snapshot,
@@ -32,20 +33,34 @@ pub(crate) struct Compiler<'a> {
     /// Minimum CTE definition depth referenced since the current subplan
     /// boundary (`usize::MAX` = none).
     min_cte_depth: usize,
+    /// Whether to emit index-backed access paths (`false` forces full
+    /// scans — the differential baseline).
+    fast_paths: bool,
+    /// Running access-path tally over the whole compilation.
+    index_scans: u64,
+    full_scans: u64,
 }
 
 impl<'a> Compiler<'a> {
-    pub(crate) fn new(db: &'a Snapshot) -> Self {
+    pub(crate) fn with_fast_paths(db: &'a Snapshot, fast_paths: bool) -> Self {
         Compiler {
             db,
             frames: Vec::new(),
             contains_outer: false,
             min_cte_depth: usize::MAX,
+            fast_paths,
+            index_scans: 0,
+            full_scans: 0,
         }
     }
 
     pub(crate) fn compile(&mut self, plan: &QueryPlan) -> StorageResult<PhysQueryPlan> {
-        self.compile_query_plan(plan)
+        let mut phys = self.compile_query_plan(plan)?;
+        phys.access = AccessPathStats {
+            index_scan: self.index_scans,
+            full_scan: self.full_scans,
+        };
+        Ok(phys)
     }
 
     fn compile_query_plan(&mut self, plan: &QueryPlan) -> StorageResult<PhysQueryPlan> {
@@ -71,13 +86,20 @@ impl<'a> Compiler<'a> {
             root,
             columns: plan.columns.clone(),
             ordered: plan.ordered,
+            access: AccessPathStats::default(),
         })
     }
 
     fn compile_node(&mut self, node: &LogicalPlan) -> StorageResult<PhysNode> {
         match node {
             LogicalPlan::Scan(Scan { source, .. }) => match source {
-                ScanSource::Table(name) => Ok(PhysNode::ScanTable { name: name.clone() }),
+                ScanSource::Table(name) => {
+                    self.full_scans += 1;
+                    Ok(PhysNode::ScanTable {
+                        name: name.clone(),
+                        cols: None,
+                    })
+                }
                 ScanSource::Cte { name, depth } => {
                     self.min_cte_depth = self.min_cte_depth.min(*depth);
                     Ok(PhysNode::ScanCte { name: name.clone() })
@@ -89,6 +111,17 @@ impl<'a> Compiler<'a> {
             },
             LogicalPlan::Filter { input, predicate } => {
                 let bindings = input.bindings().to_vec();
+                if self.fast_paths {
+                    if let LogicalPlan::Scan(Scan {
+                        source: ScanSource::Table(name),
+                        ..
+                    }) = input.as_ref()
+                    {
+                        if let Some(node) = self.try_index_filter(name, predicate, &bindings)? {
+                            return Ok(node);
+                        }
+                    }
+                }
                 let compiled_input = self.compile_node(input)?;
                 let predicate = self.compile_expr(predicate, &bindings)?;
                 Ok(PhysNode::Filter {
@@ -147,11 +180,14 @@ impl<'a> Compiler<'a> {
                 distinct,
             } => {
                 let bindings = input.bindings().to_vec();
-                let compiled_input = self.compile_node(input)?;
+                let mut compiled_input = self.compile_node(input)?;
                 let items = items
                     .iter()
                     .map(|e| self.compile_expr(e, &bindings))
                     .collect::<StorageResult<Vec<_>>>()?;
+                if self.fast_paths {
+                    prune_scan_columns(&mut compiled_input, &items);
+                }
                 Ok(PhysNode::Project {
                     input: Box::new(compiled_input),
                     items,
@@ -169,6 +205,26 @@ impl<'a> Compiler<'a> {
                 distinct,
             } => {
                 let bindings = input.bindings().to_vec();
+                if self.fast_paths
+                    && group_by.is_empty()
+                    && having.is_none()
+                    && !*distinct
+                    && items.len() == names.len()
+                {
+                    if let LogicalPlan::Scan(Scan {
+                        source: ScanSource::Table(name),
+                        ..
+                    }) = input.as_ref()
+                    {
+                        if let Some(specs) = index_agg_specs(items, &bindings) {
+                            self.index_scans += 1;
+                            return Ok(PhysNode::IndexAgg {
+                                name: name.clone(),
+                                specs,
+                            });
+                        }
+                    }
+                }
                 let compiled_input = self.compile_node(input)?;
                 let group_by = group_by
                     .iter()
@@ -217,12 +273,33 @@ impl<'a> Compiler<'a> {
                 // Plain `Sort` stays for unlimited queries, and OFFSET-only
                 // limits keep the full sort (every row may still surface).
                 match (compiled_input, limit) {
-                    (PhysNode::Sort { input, keys }, Some(limit)) => Ok(PhysNode::TopK {
-                        input,
-                        keys,
-                        limit,
-                        offset,
-                    }),
+                    (PhysNode::Sort { input, keys }, Some(limit)) => {
+                        if self.fast_paths {
+                            match try_fuse_index_top_k(input, keys, limit, offset) {
+                                Ok(node) => {
+                                    // The scan under the fused Sort+Project was
+                                    // already tallied as a full scan; reclassify.
+                                    self.full_scans -= 1;
+                                    self.index_scans += 1;
+                                    return Ok(node);
+                                }
+                                Err((input, keys, limit, offset)) => {
+                                    return Ok(PhysNode::TopK {
+                                        input,
+                                        keys,
+                                        limit,
+                                        offset,
+                                    });
+                                }
+                            }
+                        }
+                        Ok(PhysNode::TopK {
+                            input,
+                            keys,
+                            limit,
+                            offset,
+                        })
+                    }
                     (compiled_input, limit) => Ok(PhysNode::Limit {
                         input: Box::new(compiled_input),
                         limit,
@@ -245,6 +322,132 @@ impl<'a> Compiler<'a> {
                 Ok(PhysNode::Nested(Box::new(self.compile_query_plan(sub)?)))
             }
         }
+    }
+
+    // -----------------------------------------------------------------
+    // Index-backed access paths
+    // -----------------------------------------------------------------
+
+    /// Try to lower `Filter(Scan(name), predicate)` onto a secondary
+    /// index. Returns `None` when no sargable shape applies; the caller
+    /// then falls back to the ordinary scan + filter pair.
+    fn try_index_filter(
+        &mut self,
+        name: &str,
+        predicate: &Expr,
+        bindings: &[ColumnBinding],
+    ) -> StorageResult<Option<PhysNode>> {
+        let conjuncts = split_conjuncts(predicate);
+        // An `IN (subquery)` probe only applies when it is the *entire*
+        // predicate: with residual conjuncts the row engine may skip the
+        // subquery for every row (short-circuiting on an earlier false
+        // conjunct), while the probe would run it eagerly — the two
+        // would disagree on which error, if any, surfaces.
+        if let [only] = conjuncts.as_slice() {
+            if let Some(node) = self.try_in_subquery_probe(name, only, bindings)? {
+                return Ok(Some(node));
+            }
+        }
+        // Every conjunct must be benign (cannot raise on any row): the
+        // index path never evaluates the chosen conjunct on non-matching
+        // rows, so anything that could error must not be skipped.
+        if !conjuncts.iter().all(|c| benign(c, bindings)) {
+            return Ok(None);
+        }
+        let atoms: Vec<Option<SargAtom>> = conjuncts
+            .iter()
+            .map(|c| sargable_atom(c, bindings))
+            .collect();
+        // Prefer the most selective shape: point, then IN-list, then range.
+        let chosen = atoms
+            .iter()
+            .position(|a| matches!(a, Some(SargAtom::Point { .. })))
+            .or_else(|| {
+                atoms
+                    .iter()
+                    .position(|a| matches!(a, Some(SargAtom::InList { .. })))
+            })
+            .or_else(|| {
+                atoms
+                    .iter()
+                    .position(|a| matches!(a, Some(SargAtom::Range { .. })))
+            });
+        let Some(chosen) = chosen else {
+            return Ok(None);
+        };
+        let access = match atoms[chosen].clone().expect("chosen atom exists") {
+            SargAtom::Point { col, key } => IndexAccess::Point { col, key },
+            SargAtom::Range { col, lower, upper } => IndexAccess::Range { col, lower, upper },
+            SargAtom::InList { col, keys } => IndexAccess::InList { col, keys },
+        };
+        self.index_scans += 1;
+        let scan = PhysNode::IndexScan {
+            name: name.to_string(),
+            access,
+            cols: None,
+        };
+        // Conjuncts the index does not answer stay as a residual filter
+        // over the (already narrowed) index output.
+        let residual: Vec<Expr> = conjuncts
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != chosen)
+            .map(|(_, c)| (*c).clone())
+            .collect();
+        match and_join(residual) {
+            Some(rest) => {
+                let predicate = self.compile_expr(&rest, bindings)?;
+                Ok(Some(PhysNode::Filter {
+                    input: Box::new(scan),
+                    predicate,
+                    bindings: bindings.to_vec(),
+                }))
+            }
+            None => Ok(Some(scan)),
+        }
+    }
+
+    /// Recognise `col IN (uncorrelated subquery)` as a hash-index probe.
+    fn try_in_subquery_probe(
+        &mut self,
+        name: &str,
+        conjunct: &Expr,
+        bindings: &[ColumnBinding],
+    ) -> StorageResult<Option<PhysNode>> {
+        let mut expr = conjunct;
+        while let Expr::Nested(inner) = expr {
+            expr = inner;
+        }
+        let Expr::InSubquery {
+            expr: needle,
+            subquery,
+            negated: false,
+        } = expr
+        else {
+            return Ok(None);
+        };
+        let Some(col) = sarg_column(needle, bindings) else {
+            return Ok(None);
+        };
+        let plan = match self.compile_subplan(subquery) {
+            // Correlated or CTE-entangled subqueries cannot probe: their
+            // result depends on the enclosing scope.
+            Ok(plan) if plan.cacheable => plan,
+            Ok(_) => return Ok(None),
+            // Plan/compile failures stay lazy, exactly like the scalar
+            // path: execution raises them only when the probe actually
+            // runs (an all-NULL needle column never does).
+            Err(e) => SubPlan::failing(e),
+        };
+        self.index_scans += 1;
+        Ok(Some(PhysNode::IndexScan {
+            name: name.to_string(),
+            access: IndexAccess::InSubquery {
+                col,
+                plan: Box::new(plan),
+            },
+            cols: None,
+        }))
     }
 
     // -----------------------------------------------------------------
@@ -462,4 +665,141 @@ impl<'a> Compiler<'a> {
             cache: Mutex::new(None),
         })
     }
+}
+
+/// Recognise an aggregate item list where every item is answerable from a
+/// secondary index or the row count alone: `COUNT(*)`,
+/// `COUNT([DISTINCT] col)`, `MIN(col)`, `MAX(col)`. `MIN`/`MAX` with
+/// DISTINCT are excluded because dedup can change which tied
+/// representative surfaces (e.g. MAX over `[1, 1.0]`).
+fn index_agg_specs(items: &[Expr], bindings: &[ColumnBinding]) -> Option<Vec<AggSpec>> {
+    items
+        .iter()
+        .map(|item| {
+            let mut expr = item;
+            while let Expr::Nested(inner) = expr {
+                expr = inner;
+            }
+            let Expr::Function {
+                name,
+                args,
+                distinct,
+            } = expr
+            else {
+                return None;
+            };
+            match canonical_function_name(&name.value)? {
+                "COUNT" => {
+                    if matches!(args.first(), Some(Expr::Wildcard) | None) {
+                        // COUNT(*) ignores DISTINCT, matching both row
+                        // and columnar evaluators.
+                        Some(AggSpec::CountStar)
+                    } else {
+                        let col = sarg_column(args.first()?, bindings)?;
+                        Some(AggSpec::Count {
+                            col,
+                            distinct: *distinct,
+                        })
+                    }
+                }
+                "MIN" if !*distinct => Some(AggSpec::Min(sarg_column(args.first()?, bindings)?)),
+                "MAX" if !*distinct => Some(AggSpec::Max(sarg_column(args.first()?, bindings)?)),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+/// Try to fuse `Sort(Project(ScanTable), [single ascending column key])`
+/// plus a LIMIT into an ordered-index prefix read. On failure the parts
+/// are handed back so the caller can build the ordinary Top-K.
+#[allow(clippy::type_complexity, clippy::result_large_err)]
+fn try_fuse_index_top_k(
+    input: Box<PhysNode>,
+    keys: Vec<SortKey>,
+    limit: PhysExpr,
+    offset: Option<PhysExpr>,
+) -> Result<PhysNode, (Box<PhysNode>, Vec<SortKey>, PhysExpr, Option<PhysExpr>)> {
+    let key_ordinal = match keys.as_slice() {
+        [SortKey {
+            ordinal: Some(k),
+            asc: true,
+        }] => *k,
+        _ => return Err((input, keys, limit, offset)),
+    };
+    let fusable = match input.as_ref() {
+        PhysNode::Project {
+            input: inner,
+            items,
+            distinct: false,
+            ..
+        } => {
+            matches!(inner.as_ref(), PhysNode::ScanTable { .. })
+                && key_ordinal < items.len()
+                && items.iter().all(|i| matches!(i, PhysExpr::Column(_)))
+        }
+        _ => false,
+    };
+    if !fusable {
+        return Err((input, keys, limit, offset));
+    }
+    let PhysNode::Project {
+        input: inner,
+        items,
+        ..
+    } = *input
+    else {
+        unreachable!("fusable checked the shape above")
+    };
+    let PhysNode::ScanTable { name, .. } = *inner else {
+        unreachable!("fusable checked the shape above")
+    };
+    let output = items
+        .iter()
+        .map(|i| match i {
+            PhysExpr::Column(c) => *c,
+            _ => unreachable!("fusable checked the shape above"),
+        })
+        .collect();
+    Ok(PhysNode::IndexTopK {
+        name,
+        key_ordinal,
+        output,
+        limit,
+        offset,
+    })
+}
+
+/// Narrow a scan directly under a projection (optionally through one
+/// filter) so the columnar engine decodes only the columns the projection
+/// and filter actually touch. Applies only when every consumer expression
+/// is vectorizable: the batch fallback path materialises whole rows and
+/// would read the pruned placeholder slots.
+fn prune_scan_columns(node: &mut PhysNode, items: &[PhysExpr]) {
+    if !items.iter().all(PhysExpr::vectorizable) {
+        return;
+    }
+    let mut needed = BTreeSet::new();
+    for item in items {
+        item.collect_columns(&mut needed);
+    }
+    let slot = match node {
+        PhysNode::ScanTable { cols, .. } => cols,
+        PhysNode::IndexScan { cols, .. } => cols,
+        PhysNode::Filter {
+            input, predicate, ..
+        } => {
+            if !predicate.vectorizable() {
+                return;
+            }
+            predicate.collect_columns(&mut needed);
+            match input.as_mut() {
+                PhysNode::ScanTable { cols, .. } => cols,
+                PhysNode::IndexScan { cols, .. } => cols,
+                _ => return,
+            }
+        }
+        _ => return,
+    };
+    *slot = Some(needed.into_iter().collect());
 }

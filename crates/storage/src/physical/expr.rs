@@ -57,7 +57,7 @@ impl SubPlan {
         }
     }
 
-    fn execute(&self, env: &EvalEnv<'_>) -> StorageResult<Arc<QueryResult>> {
+    pub(crate) fn execute(&self, env: &EvalEnv<'_>) -> StorageResult<Arc<QueryResult>> {
         if self.cacheable {
             // Double-checked fill: the lock is only ever held for the two
             // cache peeks, never across exec_query_plan, so a shared or
@@ -501,6 +501,61 @@ impl PhysExpr {
             // Subqueries, CASE, COALESCE-style functions, IN and aggregates
             // keep their per-row (lazy) evaluation order.
             _ => self.eval_batch_fallback(batch, env),
+        }
+    }
+
+    /// Whether [`PhysExpr::eval_batch`] evaluates this expression (and every
+    /// subexpression) without the per-row gather fallback. Projection
+    /// pruning keys on this: the vectorized kernels touch exactly the
+    /// columns named by [`PhysExpr::collect_columns`], while the fallback's
+    /// `gather_row` materializes *every* column. Must mirror `eval_batch`'s
+    /// dispatch arms exactly.
+    pub(crate) fn vectorizable(&self) -> bool {
+        match self {
+            PhysExpr::Column(_) | PhysExpr::Literal(_) | PhysExpr::Outer { .. } => true,
+            PhysExpr::Fail(_) => true,
+            PhysExpr::Binary { left, right, .. } => left.vectorizable() && right.vectorizable(),
+            PhysExpr::Unary { expr, .. }
+            | PhysExpr::IsNull { expr, .. }
+            | PhysExpr::Cast { expr, .. } => expr.vectorizable(),
+            PhysExpr::Between {
+                expr, low, high, ..
+            } => expr.vectorizable() && low.vectorizable() && high.vectorizable(),
+            PhysExpr::Like { expr, pattern, .. } => expr.vectorizable() && pattern.vectorizable(),
+            _ => false,
+        }
+    }
+
+    /// Record every input-column ordinal this expression reads, assuming a
+    /// vectorized evaluation (see [`PhysExpr::vectorizable`]).
+    pub(crate) fn collect_columns(&self, out: &mut std::collections::BTreeSet<usize>) {
+        match self {
+            PhysExpr::Column(idx) => {
+                out.insert(*idx);
+            }
+            PhysExpr::Literal(_) | PhysExpr::Outer { .. } | PhysExpr::Fail(_) => {}
+            PhysExpr::Binary { left, right, .. } => {
+                left.collect_columns(out);
+                right.collect_columns(out);
+            }
+            PhysExpr::Unary { expr, .. }
+            | PhysExpr::IsNull { expr, .. }
+            | PhysExpr::Cast { expr, .. } => expr.collect_columns(out),
+            PhysExpr::Between {
+                expr, low, high, ..
+            } => {
+                expr.collect_columns(out);
+                low.collect_columns(out);
+                high.collect_columns(out);
+            }
+            PhysExpr::Like { expr, pattern, .. } => {
+                expr.collect_columns(out);
+                pattern.collect_columns(out);
+            }
+            // Non-vectorizable shapes take the gather fallback, which reads
+            // every column; pruning callers must reject them via
+            // `vectorizable` before trusting this set.
+            _ => {}
         }
     }
 

@@ -36,17 +36,19 @@ use std::collections::{HashMap, HashSet};
 
 use bp_sql::{Query, SetOperator};
 
+use bp_sql::BinaryOperator;
+
 use crate::database::Database;
 use crate::error::{StorageError, StorageResult};
 use crate::plan::{ColumnBinding, Planner, SortKey};
 use crate::result::QueryResult;
-use crate::scalar::{combine_set_operation, composite_key};
+use crate::scalar::{combine_set_operation, composite_key, eval_binary, finish_aggregate};
 use crate::snapshot::Snapshot;
-use crate::table::Row;
+use crate::table::{Row, Table};
 use crate::value::Value;
 
 use compile::Compiler;
-use expr::{EvalEnv, PhysExpr};
+use expr::{EvalEnv, PhysExpr, SubPlan};
 use parallel::run_morsels;
 pub use parallel::{available_threads, batch_map};
 
@@ -141,15 +143,28 @@ pub fn execute_planned_opts(
 /// Plan and compile a query into a reusable physical plan (the
 /// parse-once/execute-many half of [`crate::prepared::PreparedQuery`]).
 pub(crate) fn compile_query(db: &Snapshot, query: &Query) -> StorageResult<PhysQueryPlan> {
+    compile_query_with(db, query, true)
+}
+
+/// [`compile_query`] with index-backed fast paths toggleable: compiling
+/// with `fast_paths = false` forces every access back to a full scan. The
+/// in-crate differential tests and the `index_point_lookup` benchmark use
+/// this to pin indexed ≡ scanned (and to time the gap) on the *same*
+/// query, without relying on a second engine.
+pub fn compile_query_with(
+    db: &Snapshot,
+    query: &Query,
+    fast_paths: bool,
+) -> StorageResult<PhysQueryPlan> {
     let logical = Planner::new(db).plan(query)?;
-    Compiler::new(db).compile(&logical)
+    Compiler::with_fast_paths(db, fast_paths).compile(&logical)
 }
 
 /// Execute an already-compiled physical plan. The plan must have been
 /// compiled against `db` (ordinals and table names are resolved at compile
 /// time); [`crate::prepared::PreparedQuery`] enforces that pairing by
 /// owning the snapshot it compiled against.
-pub(crate) fn exec_compiled(
+pub fn exec_compiled(
     db: &Snapshot,
     plan: &PhysQueryPlan,
     options: ExecOptions,
@@ -168,13 +183,80 @@ pub(crate) fn exec_compiled(
 // Physical plan representation
 // ---------------------------------------------------------------------
 
+/// Per-plan tally of access-path choices the compiler made: how many scans
+/// (including those inside CTEs, set-operation branches and expression
+/// subqueries) are answered from a secondary index versus walking the full
+/// table. Exposed through the service layer so fast-path coverage is
+/// observable, not inferred.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct AccessPathStats {
+    /// Scans answered from a secondary index (point/range/IN probes, index
+    /// aggregates, ordered-index Top-K).
+    pub index_scan: u64,
+    /// Scans that decode and walk the whole table.
+    pub full_scan: u64,
+}
+
 /// A compiled query: CTEs to materialize in order, the operator tree, and
 /// the visible output shape.
-pub(crate) struct PhysQueryPlan {
+pub struct PhysQueryPlan {
     ctes: Vec<(String, PhysQueryPlan)>,
     root: PhysNode,
     columns: Vec<String>,
     ordered: bool,
+    /// Access-path tally over the *whole* compilation (only stamped on the
+    /// top-level plan; nested plans report zero).
+    access: AccessPathStats,
+}
+
+impl PhysQueryPlan {
+    /// The compiler's access-path tally for this plan.
+    pub fn access_paths(&self) -> AccessPathStats {
+        self.access
+    }
+}
+
+/// How an [`PhysNode::IndexScan`] resolves its matching row ids. Every
+/// variant degrades to an exact linear scan when the column's index is
+/// NaN-poisoned (`ColumnIndex::has_nan`): NaN breaks the coincidence
+/// between `total_cmp` order / `group_key` equality and the scan kernels'
+/// per-row semantics, so the fallback re-evaluates the original conjunct's
+/// truth table directly.
+pub(crate) enum IndexAccess {
+    /// `col = literal`: hash-index point lookup.
+    Point { col: usize, key: Value },
+    /// `col </<=/>/>= literal` or `col BETWEEN lit AND lit`: ordered-index
+    /// range scan. Both bounds always originate from a *single* conjunct.
+    Range {
+        col: usize,
+        lower: Option<(Value, bool)>,
+        upper: Option<(Value, bool)>,
+    },
+    /// `col IN (literals)`: hash-index multi-probe.
+    InList { col: usize, keys: Vec<Value> },
+    /// `col IN (uncorrelated subquery)`: run the subquery (at most) once
+    /// and hash-probe its first column. Executed lazily — only when the
+    /// column has a non-NULL value — because the row engine evaluates the
+    /// subquery only upon reaching a non-NULL needle, and a query whose
+    /// needles are all NULL must never surface the subquery's errors.
+    InSubquery { col: usize, plan: Box<SubPlan> },
+}
+
+/// One output item of an [`PhysNode::IndexAgg`]: a global aggregate the
+/// secondary index answers without scanning.
+pub(crate) enum AggSpec {
+    /// `COUNT(*)` — the table's row count (DISTINCT is ignored, exactly
+    /// like the evaluators).
+    CountStar,
+    /// `COUNT(col)` / `COUNT(DISTINCT col)` — non-NULL count, or distinct
+    /// `group_key` count.
+    Count { col: usize, distinct: bool },
+    /// `MIN(col)` — first minimal value in row order (the ordered index's
+    /// first non-NULL entry), matching `min_by`'s first-wins tie rule.
+    Min(usize),
+    /// `MAX(col)` — last maximal value in row order (the ordered index's
+    /// last entry), matching `max_by`'s last-wins tie rule.
+    Max(usize),
 }
 
 /// A compiled physical operator. Operators that evaluate expressions carry
@@ -183,6 +265,38 @@ pub(crate) struct PhysQueryPlan {
 pub(crate) enum PhysNode {
     ScanTable {
         name: String,
+        /// Projection-pruned column mask (sorted ordinals), set by the
+        /// compiler when everything evaluated over this scan's batches is
+        /// vectorizable: the columnar engine decodes only these columns.
+        /// The row engine ignores the mask (it materializes whole rows).
+        cols: Option<Vec<usize>>,
+    },
+    /// An index-backed table scan: the access path resolves the matching
+    /// row ids straight from the table's lazily-built secondary index
+    /// (ascending, so output order — and therefore every downstream byte —
+    /// matches the scan-plus-filter plan it replaces).
+    IndexScan {
+        name: String,
+        access: IndexAccess,
+        /// Projection-pruned column mask; see [`PhysNode::ScanTable`].
+        cols: Option<Vec<usize>>,
+    },
+    /// Global aggregates over a bare table answered from the secondary
+    /// index: `SELECT MIN(a), COUNT(*) FROM t` without scanning.
+    IndexAgg {
+        name: String,
+        specs: Vec<AggSpec>,
+    },
+    /// `ORDER BY col ASC LIMIT n [OFFSET m]` over bare projected columns of
+    /// a base table: the prefix of the ordered index replaces the Top-K
+    /// heap. `output` maps each projected item to its table column;
+    /// `key_ordinal` is the sort key's position within `output`.
+    IndexTopK {
+        name: String,
+        key_ordinal: usize,
+        output: Vec<usize>,
+        limit: PhysExpr,
+        offset: Option<PhysExpr>,
     },
     ScanCte {
         name: String,
@@ -356,7 +470,7 @@ pub(crate) fn exec_query_plan(
 
 fn exec_node(node: &PhysNode, ctx: &RunCtx<'_>) -> StorageResult<Vec<Row>> {
     match node {
-        PhysNode::ScanTable { name } => {
+        PhysNode::ScanTable { name, .. } => {
             let table = ctx
                 .db
                 .table(name)
@@ -369,6 +483,31 @@ fn exec_node(node: &PhysNode, ctx: &RunCtx<'_>) -> StorageResult<Vec<Row>> {
             })?;
             Ok(concat_rows(chunks, rows.len()))
         }
+        PhysNode::IndexScan { name, access, .. } => {
+            let table = ctx
+                .db
+                .table(name)
+                .ok_or_else(|| StorageError::UnknownTable(name.clone()))?;
+            let ids = index_scan_ids(table, access, ctx)?;
+            let rows = table.rows();
+            let chunks = run_morsels(ctx.threads, ids.len(), |range| {
+                Ok::<_, StorageError>(
+                    ids[range]
+                        .iter()
+                        .map(|&i| rows[i as usize].clone())
+                        .collect::<Vec<Row>>(),
+                )
+            })?;
+            Ok(concat_rows(chunks, ids.len()))
+        }
+        PhysNode::IndexAgg { name, specs } => exec_index_agg(name, specs, ctx),
+        PhysNode::IndexTopK {
+            name,
+            key_ordinal,
+            output,
+            limit,
+            offset,
+        } => exec_index_top_k(name, *key_ordinal, output, limit, offset.as_ref(), ctx),
         PhysNode::ScanCte { name } => {
             let result = ctx
                 .frame
@@ -623,6 +762,248 @@ fn concat_rows(chunks: Vec<Vec<Row>>, capacity: usize) -> Vec<Row> {
     rows
 }
 
+// ---------------------------------------------------------------------
+// Index-backed access paths (shared by the row and columnar engines)
+// ---------------------------------------------------------------------
+
+/// Linear fallback scanner: row ids whose cell in `col` satisfies `truth`,
+/// ascending — the exact per-row semantics an index path must reproduce
+/// when the index is NaN-poisoned.
+fn scan_matching<F>(rows: &[Row], col: usize, mut truth: F) -> StorageResult<Vec<u32>>
+where
+    F: FnMut(&Value) -> StorageResult<bool>,
+{
+    let mut ids = Vec::new();
+    for (i, row) in rows.iter().enumerate() {
+        let v = row.get(col).unwrap_or(&Value::Null);
+        if truth(v)? {
+            ids.push(i as u32);
+        }
+    }
+    Ok(ids)
+}
+
+/// The single-conjunct truth table of a range access: NULL values and NULL
+/// bounds never match; bounds compare by `total_cmp` with the conjunct's
+/// inclusivity — exactly how `eval_binary` comparisons and BETWEEN decide.
+fn range_truth(v: &Value, lower: Option<&(Value, bool)>, upper: Option<&(Value, bool)>) -> bool {
+    use std::cmp::Ordering;
+    if v.is_null() {
+        return false;
+    }
+    if let Some((b, inclusive)) = lower {
+        if b.is_null() {
+            return false;
+        }
+        let ord = v.total_cmp(b);
+        if !(ord == Ordering::Greater || (*inclusive && ord == Ordering::Equal)) {
+            return false;
+        }
+    }
+    if let Some((b, inclusive)) = upper {
+        if b.is_null() {
+            return false;
+        }
+        let ord = v.total_cmp(b);
+        if !(ord == Ordering::Less || (*inclusive && ord == Ordering::Equal)) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Resolve an access path to its matching row ids, ascending — the same
+/// rows, in the same order, that a full scan plus filter over the original
+/// conjunct would keep.
+pub(crate) fn index_scan_ids(
+    table: &Table,
+    access: &IndexAccess,
+    ctx: &RunCtx<'_>,
+) -> StorageResult<Vec<u32>> {
+    let rows = table.rows();
+    match access {
+        IndexAccess::Point { col, key } => {
+            let idx = table.secondary_index(*col);
+            if idx.has_nan() {
+                scan_matching(rows, *col, |v| {
+                    Ok(eval_binary(v, BinaryOperator::Eq, key)?.is_truthy())
+                })
+            } else {
+                Ok(idx.point(key).to_vec())
+            }
+        }
+        IndexAccess::Range { col, lower, upper } => {
+            let idx = table.secondary_index(*col);
+            if idx.has_nan() {
+                scan_matching(rows, *col, |v| {
+                    Ok(range_truth(v, lower.as_ref(), upper.as_ref()))
+                })
+            } else {
+                Ok(idx.range(
+                    rows,
+                    *col,
+                    lower.as_ref().map(|(v, i)| (v, *i)),
+                    upper.as_ref().map(|(v, i)| (v, *i)),
+                ))
+            }
+        }
+        IndexAccess::InList { col, keys } => {
+            let idx = table.secondary_index(*col);
+            if idx.has_nan() {
+                // The IN evaluator's semantics exactly: NULL needles are
+                // UNKNOWN (never match); list items compare by `sql_eq`.
+                scan_matching(rows, *col, |v| {
+                    Ok(!v.is_null() && keys.iter().any(|k| v.sql_eq(k).unwrap_or(false)))
+                })
+            } else {
+                Ok(idx.probe(keys.iter()))
+            }
+        }
+        IndexAccess::InSubquery { col, plan } => {
+            let idx = table.secondary_index(*col);
+            // Lazy like the per-row evaluator: with no non-NULL needle in
+            // the column (including the empty table), the subquery — and
+            // any deferred compile error inside it — never runs.
+            if idx.null_count() == rows.len() {
+                return Ok(Vec::new());
+            }
+            let env = EvalEnv {
+                ctx,
+                bindings: &[],
+                row: &[],
+                group: None,
+            };
+            let result = plan.execute(&env)?;
+            if idx.has_nan() {
+                let keys: Vec<&Value> = result.rows.iter().filter_map(|r| r.first()).collect();
+                scan_matching(rows, *col, |v| {
+                    Ok(!v.is_null() && keys.iter().any(|k| v.sql_eq(k).unwrap_or(false)))
+                })
+            } else {
+                Ok(idx.probe(result.rows.iter().filter_map(|r| r.first())))
+            }
+        }
+    }
+}
+
+/// Execute an [`PhysNode::IndexAgg`]: one output row of global aggregates
+/// answered from the table's secondary indexes, byte-identical to the
+/// hash-aggregate path (NaN-poisoned columns fall back to collecting the
+/// non-NULL values in row order and finishing exactly like the evaluator).
+pub(crate) fn exec_index_agg(
+    name: &str,
+    specs: &[AggSpec],
+    ctx: &RunCtx<'_>,
+) -> StorageResult<Vec<Row>> {
+    fn agg_fallback(
+        name: &'static str,
+        rows: &[Row],
+        col: usize,
+        distinct: bool,
+    ) -> StorageResult<Value> {
+        let values: Vec<Value> = rows
+            .iter()
+            .filter_map(|r| {
+                let v = r.get(col).unwrap_or(&Value::Null);
+                (!v.is_null()).then(|| v.clone())
+            })
+            .collect();
+        finish_aggregate(name, values, distinct)
+    }
+
+    let table = ctx
+        .db
+        .table(name)
+        .ok_or_else(|| StorageError::UnknownTable(name.to_string()))?;
+    let rows = table.rows();
+    let mut out: Row = Vec::with_capacity(specs.len());
+    for spec in specs {
+        out.push(match spec {
+            AggSpec::CountStar => Value::Int(rows.len() as i64),
+            AggSpec::Count { col, distinct } => {
+                let idx = table.secondary_index(*col);
+                if idx.has_nan() {
+                    agg_fallback("COUNT", rows, *col, *distinct)?
+                } else if *distinct {
+                    Value::Int(idx.distinct_keys() as i64)
+                } else {
+                    Value::Int((rows.len() - idx.null_count()) as i64)
+                }
+            }
+            AggSpec::Min(col) => {
+                let idx = table.secondary_index(*col);
+                if idx.has_nan() {
+                    agg_fallback("MIN", rows, *col, false)?
+                } else {
+                    match idx.ordered().get(idx.null_count()) {
+                        Some(&i) => rows[i as usize].get(*col).cloned().unwrap_or(Value::Null),
+                        None => Value::Null,
+                    }
+                }
+            }
+            AggSpec::Max(col) => {
+                let idx = table.secondary_index(*col);
+                if idx.has_nan() {
+                    agg_fallback("MAX", rows, *col, false)?
+                } else if idx.null_count() == idx.ordered().len() {
+                    Value::Null
+                } else {
+                    let &i = idx.ordered().last().expect("non-empty: has a non-NULL");
+                    rows[i as usize].get(*col).cloned().unwrap_or(Value::Null)
+                }
+            }
+        });
+    }
+    Ok(vec![out])
+}
+
+/// Execute an [`PhysNode::IndexTopK`]: project the prefix of the ordered
+/// index instead of running the Top-K heap. The ordered index sorts by
+/// `(total_cmp, row id)` with NULLs first — precisely the stable ascending
+/// sort the heap reproduces — so the output is byte-identical.
+pub(crate) fn exec_index_top_k(
+    name: &str,
+    key_ordinal: usize,
+    output: &[usize],
+    limit: &PhysExpr,
+    offset: Option<&PhysExpr>,
+    ctx: &RunCtx<'_>,
+) -> StorageResult<Vec<Row>> {
+    let table = ctx
+        .db
+        .table(name)
+        .ok_or_else(|| StorageError::UnknownTable(name.to_string()))?;
+    // Evaluate OFFSET before LIMIT, matching the TopK operator's error
+    // order exactly.
+    let skip = match offset {
+        Some(offset) => eval_count(offset, ctx)?,
+        None => 0,
+    };
+    let take = eval_count(limit, ctx)?;
+    let rows = table.rows();
+    let key_col = output[key_ordinal];
+    let idx = table.secondary_index(key_col);
+    let project = |i: u32| -> Row {
+        output
+            .iter()
+            .map(|&c| rows[i as usize].get(c).cloned().unwrap_or(Value::Null))
+            .collect()
+    };
+    if idx.has_nan() {
+        // Exact fallback: project everything and run the real heap.
+        let projected: Vec<Row> = (0..rows.len() as u32).map(project).collect();
+        let keys = [SortKey {
+            ordinal: Some(key_ordinal),
+            asc: true,
+        }];
+        return Ok(top_k_rows(projected, &keys, skip, take));
+    }
+    let ordered = idx.ordered();
+    let start = skip.min(ordered.len());
+    let end = start.saturating_add(take).min(ordered.len());
+    Ok(ordered[start..end].iter().map(|&i| project(i)).collect())
+}
+
 /// DISTINCT over the visible prefix of each row; keeps first occurrences.
 /// The composite key is encoded once per row and owned by the `HashSet`
 /// (no second encoding, no unit-value map).
@@ -867,17 +1248,34 @@ mod tests {
         let compile_root = |sql: &str| {
             let query = bp_sql::parse_query(sql).expect("parse");
             let logical = Planner::new(&snapshot).plan(&query).expect("plan");
-            Compiler::new(&snapshot)
+            Compiler::with_fast_paths(&snapshot, true)
                 .compile(&logical)
                 .expect("compile")
                 .root
         };
+        // A single ascending column key over a bare table scan fuses all
+        // the way down to an ordered-index prefix read.
         assert!(matches!(
             compile_root("SELECT v FROM t ORDER BY v LIMIT 3"),
-            PhysNode::TopK { .. }
+            PhysNode::IndexTopK { .. }
         ));
         assert!(matches!(
             compile_root("SELECT v FROM t ORDER BY v LIMIT 3 OFFSET 2"),
+            PhysNode::IndexTopK { .. }
+        ));
+        // Descending keys and expression keys keep the heap-based Top-K.
+        assert!(matches!(
+            compile_root("SELECT v FROM t ORDER BY v DESC LIMIT 3"),
+            PhysNode::TopK { .. }
+        ));
+        assert!(matches!(
+            compile_root("SELECT v FROM t ORDER BY v + 1 LIMIT 3"),
+            PhysNode::TopK { .. }
+        ));
+        // So does a filtered input: the index prefix only answers
+        // whole-table orderings.
+        assert!(matches!(
+            compile_root("SELECT v FROM t WHERE v > 1 ORDER BY v LIMIT 3"),
             PhysNode::TopK { .. }
         ));
         // Unlimited ORDER BY keeps the full sort...
@@ -895,5 +1293,85 @@ mod tests {
             compile_root("SELECT v FROM t LIMIT 3"),
             PhysNode::Limit { .. }
         ));
+    }
+
+    /// The in-crate indexed ≡ scanned oracle: every fast-path shape,
+    /// compiled with and without index lowering, must produce byte-identical
+    /// results (errors included) on both planned engines at both thread
+    /// counts — over data stocked with NULLs, duplicate keys, NaN (which
+    /// poisons the index and forces the exact fallbacks), and `-0.0`
+    /// (which must probe equal to `0`).
+    #[test]
+    fn fast_paths_match_forced_full_scans() {
+        let mut db = Database::new("fastslow");
+        db.create_table(TableSchema::new(
+            "d",
+            vec![
+                Column::new("id", DataType::Integer).primary_key(),
+                Column::new("k", DataType::Integer),
+                Column::new("f", DataType::Float),
+                Column::new("s", DataType::Text),
+            ],
+        ))
+        .expect("schema");
+        let rows: Vec<Row> = (0..200i64)
+            .map(|i| {
+                let k = match i % 7 {
+                    0 => Value::Null,
+                    r => Value::Int(r),
+                };
+                let f = match i % 9 {
+                    0 => Value::Null,
+                    1 => Value::Float(f64::NAN),
+                    2 => Value::Float(-0.0),
+                    r => Value::Float(r as f64 / 2.0),
+                };
+                vec![Value::Int(i), k, f, Value::Text(format!("s{}", i % 5))]
+            })
+            .collect();
+        db.insert_into("d", rows).expect("rows");
+        let snapshot = db.snapshot();
+        let queries = [
+            "SELECT id, s FROM d WHERE id = 42",
+            "SELECT id FROM d WHERE k = 3 ORDER BY id",
+            "SELECT id FROM d WHERE f = 0 ORDER BY id", // -0.0 probes equal to 0
+            "SELECT id FROM d WHERE f = 0.5 ORDER BY id", // NaN column → exact fallback
+            "SELECT id FROM d WHERE k > 2 ORDER BY id",
+            "SELECT id FROM d WHERE k <= 3 AND s = 's2' ORDER BY id",
+            "SELECT id FROM d WHERE id BETWEEN 50 AND 60",
+            "SELECT id FROM d WHERE f BETWEEN 0 AND 1 ORDER BY id",
+            "SELECT id FROM d WHERE k IN (1, 3, 99) ORDER BY id",
+            "SELECT id FROM d WHERE s IN ('s0', 's4', 'zzz') ORDER BY id",
+            "SELECT id FROM d WHERE k IN (SELECT k FROM d WHERE id < 10) ORDER BY id",
+            "SELECT MIN(k), MAX(k), COUNT(*), COUNT(k), COUNT(DISTINCT s) FROM d",
+            "SELECT MIN(f), MAX(f), COUNT(f) FROM d", // NaN → aggregate fallback
+            "SELECT k, id FROM d ORDER BY k LIMIT 9",
+            "SELECT id, k FROM d ORDER BY id LIMIT 5 OFFSET 190",
+        ];
+        for sql in queries {
+            let query = bp_sql::parse_query(sql).expect("parse");
+            let fast = compile_query_with(&snapshot, &query, true).expect("fast compile");
+            let slow = compile_query_with(&snapshot, &query, false).expect("slow compile");
+            assert!(
+                fast.access_paths().index_scan > 0,
+                "expected an index-backed path for {sql}"
+            );
+            assert_eq!(
+                slow.access_paths().index_scan,
+                0,
+                "forced-full-scan compile must not touch an index for {sql}"
+            );
+            for strategy in [ExecStrategy::Planned, ExecStrategy::RowPlanned] {
+                for threads in [1usize, 4] {
+                    let options = ExecOptions::new(strategy).with_threads(threads);
+                    let indexed = exec_compiled(&snapshot, &fast, options);
+                    let scanned = exec_compiled(&snapshot, &slow, options);
+                    assert_eq!(
+                        indexed, scanned,
+                        "indexed vs scanned diverge on {sql} ({strategy:?}, {threads} threads)"
+                    );
+                }
+            }
+        }
     }
 }

@@ -732,7 +732,7 @@ impl<'a> Planner<'a> {
 }
 
 /// Rebuild a conjunction from conjuncts (left-associated, original order).
-fn and_join(conjuncts: Vec<Expr>) -> Option<Expr> {
+pub(crate) fn and_join(conjuncts: Vec<Expr>) -> Option<Expr> {
     let mut iter = conjuncts.into_iter();
     let first = iter.next()?;
     Some(iter.fold(first, Expr::and))
@@ -787,7 +787,7 @@ fn pushable_conjunct(conjunct: &Expr, bindings: &[ColumnBinding]) -> Option<Vec<
 /// `UnknownColumn` at evaluation time — or defers to an outer scope that
 /// might — so it does not qualify). This is the gate for every rewrite
 /// that changes *which rows* a predicate is evaluated on.
-fn benign(expr: &Expr, bindings: &[ColumnBinding]) -> bool {
+pub(crate) fn benign(expr: &Expr, bindings: &[ColumnBinding]) -> bool {
     if !error_free(expr) {
         return false;
     }
@@ -826,6 +826,141 @@ fn error_free(expr: &Expr) -> bool {
         Expr::Cast { expr, .. } => error_free(expr),
         Expr::Nested(inner) => error_free(inner),
         _ => false,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sargable predicate analysis
+// ---------------------------------------------------------------------
+
+/// A WHERE conjunct in a shape a secondary index can answer directly
+/// (see [`crate::table`]'s `ColumnIndex`). Classification lives here with
+/// the other predicate analyses; the physical compiler turns atoms into
+/// index access paths.
+#[derive(Debug, Clone)]
+pub(crate) enum SargAtom {
+    /// `col = literal` (either operand order).
+    Point {
+        col: usize,
+        key: crate::value::Value,
+    },
+    /// `col </<=/>/>= literal` (either operand order, operator mirrored) or
+    /// `col BETWEEN lit AND lit`. Each bound carries its inclusivity. The
+    /// bounds always come from a *single* conjunct, so falling back to
+    /// re-evaluating them reproduces that conjunct's truth table exactly.
+    Range {
+        col: usize,
+        lower: Option<(crate::value::Value, bool)>,
+        upper: Option<(crate::value::Value, bool)>,
+    },
+    /// `col IN (literal, literal, …)`.
+    InList {
+        col: usize,
+        keys: Vec<crate::value::Value>,
+    },
+}
+
+/// The column ordinal named by a bare (possibly parenthesized) column
+/// reference, if it resolves against `bindings`.
+pub(crate) fn sarg_column(expr: &Expr, bindings: &[ColumnBinding]) -> Option<usize> {
+    match expr {
+        Expr::Nested(inner) => sarg_column(inner, bindings),
+        _ => {
+            let cr = bp_sql::column_ref(expr)?;
+            let qualifier = cr.qualifier.as_ref().map(|i| i.value.as_str());
+            resolve_binding(bindings, qualifier, &cr.column.value)
+        }
+    }
+}
+
+/// The constant value of a bare (possibly parenthesized) literal.
+fn sarg_literal(expr: &Expr) -> Option<crate::value::Value> {
+    match expr {
+        Expr::Literal(lit) => Some(crate::scalar::literal_value(lit)),
+        Expr::Nested(inner) => sarg_literal(inner),
+        _ => None,
+    }
+}
+
+/// Mirror a comparison so the column sits on the left: `5 < id` ⇔ `id > 5`.
+fn mirror_cmp(op: BinaryOperator) -> Option<BinaryOperator> {
+    use BinaryOperator::*;
+    match op {
+        Eq => Some(Eq),
+        Lt => Some(Gt),
+        LtEq => Some(GtEq),
+        Gt => Some(Lt),
+        GtEq => Some(LtEq),
+        _ => None,
+    }
+}
+
+/// Classify one conjunct as an index-answerable atom, or `None` if it must
+/// be evaluated as an ordinary predicate. Only `column ⋈ literal` shapes
+/// qualify — never column-to-column or arithmetic — so the atom's truth
+/// depends on a single indexed cell per row.
+pub(crate) fn sargable_atom(conjunct: &Expr, bindings: &[ColumnBinding]) -> Option<SargAtom> {
+    match conjunct {
+        Expr::Nested(inner) => sargable_atom(inner, bindings),
+        Expr::BinaryOp { left, op, right } => {
+            use BinaryOperator::*;
+            let (col, key, op) = match (sarg_column(left, bindings), sarg_literal(right)) {
+                (Some(col), Some(key)) => (col, key, *op),
+                _ => match (sarg_literal(left), sarg_column(right, bindings)) {
+                    (Some(key), Some(col)) => (col, key, mirror_cmp(*op)?),
+                    _ => return None,
+                },
+            };
+            match op {
+                Eq => Some(SargAtom::Point { col, key }),
+                Lt => Some(SargAtom::Range {
+                    col,
+                    lower: None,
+                    upper: Some((key, false)),
+                }),
+                LtEq => Some(SargAtom::Range {
+                    col,
+                    lower: None,
+                    upper: Some((key, true)),
+                }),
+                Gt => Some(SargAtom::Range {
+                    col,
+                    lower: Some((key, false)),
+                    upper: None,
+                }),
+                GtEq => Some(SargAtom::Range {
+                    col,
+                    lower: Some((key, true)),
+                    upper: None,
+                }),
+                _ => None,
+            }
+        }
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated: false,
+        } => {
+            let col = sarg_column(expr, bindings)?;
+            let lo = sarg_literal(low)?;
+            let hi = sarg_literal(high)?;
+            Some(SargAtom::Range {
+                col,
+                lower: Some((lo, true)),
+                upper: Some((hi, true)),
+            })
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated: false,
+        } => {
+            let col = sarg_column(expr, bindings)?;
+            let keys = list.iter().map(sarg_literal).collect::<Option<Vec<_>>>()?;
+            Some(SargAtom::InList { col, keys })
+        }
+        _ => None,
     }
 }
 

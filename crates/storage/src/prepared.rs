@@ -24,13 +24,16 @@
 //! so an insert into one table never evicts plans that only read others.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use bp_sql::Query;
 
 use crate::error::StorageResult;
 use crate::exec::Executor;
-use crate::physical::{compile_query, exec_compiled, ExecOptions, ExecStrategy, PhysQueryPlan};
+use crate::physical::{
+    compile_query, exec_compiled, AccessPathStats, ExecOptions, ExecStrategy, PhysQueryPlan,
+};
 use crate::result::QueryResult;
 use crate::snapshot::Snapshot;
 use serde::{Deserialize, Serialize};
@@ -135,6 +138,14 @@ impl PreparedQuery {
             .map_err(Clone::clone)
     }
 
+    /// The compiler's access-path tally for the compiled plan: how many
+    /// table accesses it lowered onto a secondary index vs a full scan.
+    /// `None` until the first planned execution compiles the plan, and for
+    /// plans whose compilation failed.
+    pub fn access_paths(&self) -> Option<AccessPathStats> {
+        self.plan.get()?.as_ref().ok().map(|p| p.access_paths())
+    }
+
     /// Execute the prepared query against its pinned snapshot.
     /// [`ExecStrategy::Planned`] and [`ExecStrategy::RowPlanned`] run the
     /// (lazily) compiled physical plan (columnar or row-at-a-time);
@@ -206,6 +217,12 @@ struct Slot {
 pub struct PlanCache {
     capacity: usize,
     inner: Mutex<CacheInner>,
+    /// Access-path tallies folded in by executors via
+    /// [`PlanCache::record_access`]. `get` never updates these — the split
+    /// reflects *executed* work, and only the caller knows whether (and
+    /// how many times) a returned plan actually ran.
+    index_scans: AtomicU64,
+    full_scans: AtomicU64,
 }
 
 struct CacheInner {
@@ -225,6 +242,8 @@ impl PlanCache {
                 clock: 0,
                 stats: PlanCacheStats::default(),
             }),
+            index_scans: AtomicU64::new(0),
+            full_scans: AtomicU64::new(0),
         }
     }
 
@@ -314,6 +333,31 @@ impl PlanCache {
     /// A point-in-time copy of the hit/miss/invalidation counters.
     pub fn stats(&self) -> PlanCacheStats {
         self.inner.lock().expect("plan cache lock").stats
+    }
+
+    /// Fold one executed statement's access-path tally into the cache-wide
+    /// counters. Call *after* execution so lazily-compiled plans report,
+    /// passing [`PreparedQuery::access_paths`]'s output directly — `None`
+    /// (never compiled: legacy strategy, parse/plan failure) contributes
+    /// nothing. The error path still tallies: a failing residual predicate
+    /// chose its access path at compile time all the same.
+    pub fn record_access(&self, access: Option<AccessPathStats>) {
+        if let Some(access) = access {
+            self.index_scans
+                .fetch_add(access.index_scan, Ordering::Relaxed);
+            self.full_scans
+                .fetch_add(access.full_scan, Ordering::Relaxed);
+        }
+    }
+
+    /// A point-in-time copy of the access-path counters accumulated via
+    /// [`PlanCache::record_access`]: how many table accesses the executed
+    /// statements answered from a secondary index vs a full scan.
+    pub fn access_stats(&self) -> AccessPathStats {
+        AccessPathStats {
+            index_scan: self.index_scans.load(Ordering::Relaxed),
+            full_scan: self.full_scans.load(Ordering::Relaxed),
+        }
     }
 
     /// Number of currently cached SQL texts (successes and cached errors).

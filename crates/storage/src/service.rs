@@ -22,7 +22,7 @@ use std::sync::RwLock;
 
 use crate::database::Database;
 use crate::error::{StorageError, StorageResult};
-use crate::physical::{batch_map, ExecOptions};
+use crate::physical::{batch_map, AccessPathStats, ExecOptions};
 use crate::prepared::{PlanCache, PlanCacheStats, DEFAULT_PLAN_CACHE_CAPACITY};
 use crate::result::QueryResult;
 use crate::schema::TableSchema;
@@ -91,6 +91,19 @@ impl AnnotationService {
         self.cache.stats()
     }
 
+    /// Aggregate access-path counters over every statement the service's
+    /// sessions executed: how many table accesses the compiler answered
+    /// from a secondary index vs a full scan. Each execution re-counts its
+    /// plan's tally (cached plans included — the split reflects executed
+    /// work, not compile events). Executions that never compile a plan
+    /// (legacy interpreter runs, parse/plan failures) contribute nothing.
+    /// The counters live on the shared [`PlanCache`] so the raw-cache
+    /// grading paths (see `bp_metrics::grade_cached`) report through the
+    /// same mechanism.
+    pub fn access_path_stats(&self) -> AccessPathStats {
+        self.cache.access_stats()
+    }
+
     /// Total rows currently in the live database.
     pub fn total_rows(&self) -> usize {
         self.live.read().expect("service lock").total_rows()
@@ -126,10 +139,13 @@ impl AnnotationSession<'_> {
 
     /// [`AnnotationSession::execute_sql`] with explicit execution options.
     pub fn execute_sql_opts(&self, sql: &str, options: ExecOptions) -> StorageResult<QueryResult> {
-        self.service
-            .cache
-            .get(&self.snapshot, sql)?
-            .execute(options)
+        let prepared = self.service.cache.get(&self.snapshot, sql)?;
+        let result = prepared.execute(options);
+        // Tally after execution so lazily-compiled plans report, and on
+        // the error path too (a failing residual still chose its access
+        // path at compile time).
+        self.service.cache.record_access(prepared.access_paths());
+        result
     }
 
     /// Execute a batch of SQL texts against the pinned snapshot, fanned out
@@ -307,6 +323,78 @@ mod tests {
             }
             writer.join().expect("writer panics propagate");
         });
+    }
+
+    #[test]
+    fn access_path_counters_split_indexed_from_scanned() {
+        let service = AnnotationService::new(corpus_db());
+        let session = service.open_session();
+        assert_eq!(service.access_path_stats(), AccessPathStats::default());
+        // A point lookup compiles onto the hash index...
+        session
+            .execute_sql("SELECT score FROM log WHERE id = 7")
+            .unwrap();
+        assert_eq!(
+            service.access_path_stats(),
+            AccessPathStats {
+                index_scan: 1,
+                full_scan: 0
+            }
+        );
+        // ...an unsargable predicate (arithmetic can overflow, so the
+        // conjunct is not benign) walks the table...
+        session
+            .execute_sql("SELECT score FROM log WHERE id + 1 = 8")
+            .unwrap();
+        assert_eq!(
+            service.access_path_stats(),
+            AccessPathStats {
+                index_scan: 1,
+                full_scan: 1
+            }
+        );
+        // ...and a cached plan re-counts on every execution: the split
+        // reflects executed work, not compile events.
+        session
+            .execute_sql("SELECT score FROM log WHERE id = 7")
+            .unwrap();
+        assert_eq!(
+            service.access_path_stats(),
+            AccessPathStats {
+                index_scan: 2,
+                full_scan: 1
+            }
+        );
+    }
+
+    #[test]
+    fn pinned_snapshots_answer_from_their_own_index_after_writes() {
+        let service = AnnotationService::new(corpus_db());
+        let session = service.open_session();
+        let sql = "SELECT grp FROM log WHERE id = 399";
+        // Build the pinned version's lazy index...
+        let before = session.execute_sql(sql).unwrap();
+        assert_eq!(before.rows, vec![vec![Value::Int(4)]]);
+        // ...then install a new version: copy-on-write resets the *new*
+        // version's caches and never touches the pinned one's, so the old
+        // session keeps answering from the index it already built.
+        service
+            .insert("log", vec![vec![500.into(), 9.into(), 0.0.into()]])
+            .unwrap();
+        let pinned = session.execute_sql(sql).unwrap();
+        assert_eq!(pinned, before);
+        // The pinned index must not see the new row...
+        let missing = session
+            .execute_sql("SELECT grp FROM log WHERE id = 500")
+            .unwrap();
+        assert!(missing.rows.is_empty());
+        // ...while a fresh session indexes the new version (and the plan
+        // cache invalidates the entry pinned to the old one).
+        let fresh = service.open_session();
+        let found = fresh
+            .execute_sql("SELECT grp FROM log WHERE id = 500")
+            .unwrap();
+        assert_eq!(found.rows, vec![vec![Value::Int(9)]]);
     }
 
     #[test]

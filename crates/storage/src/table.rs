@@ -17,10 +17,11 @@
 //! forever because its payload is immutable. A stale decode is therefore
 //! unrepresentable, not merely avoided.
 
+use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
 
 use crate::error::{StorageError, StorageResult};
-use crate::physical::batch::{Batch, BATCH_ROWS};
+use crate::physical::batch::{Batch, ColumnVec, BATCH_ROWS};
 use crate::schema::TableSchema;
 use crate::value::Value;
 use bp_sql::DataType;
@@ -30,11 +31,17 @@ use serde::{Deserialize, Serialize};
 pub type Row = Vec<Value>;
 
 /// The lazily-built columnar decode of a table's rows, shared with the
-/// columnar engine's scans. Transparent to the table's value semantics:
-/// clones start empty, equality ignores it, and serde skips it. Any row
-/// mutation replaces it with a fresh (empty) cache.
+/// columnar engine's scans. Cached per `(batch, column)` cell so a scan can
+/// decode **only the columns the plan references** (projection pruning)
+/// while every decoded column is still built once per table version and
+/// shared by refcount. Transparent to the table's value semantics: clones
+/// start empty, equality ignores it, and serde skips it. Any row mutation
+/// replaces it with a fresh (empty) cache.
 #[derive(Debug, Default)]
-struct ColumnarCache(OnceLock<Vec<Batch>>);
+struct ColumnarCache(OnceLock<Vec<ColumnSlots>>);
+
+/// One batch's worth of per-column decode slots, each filled on first use.
+type ColumnSlots = Box<[OnceLock<Arc<ColumnVec>>]>;
 
 impl Clone for ColumnarCache {
     fn clone(&self) -> Self {
@@ -66,6 +73,203 @@ impl Deserialize for ColumnarCache {
     }
 }
 
+/// A secondary index over one column of one immutable table version:
+///
+/// * a **hash index** — canonical [`Value::group_key`] → ascending row ids,
+///   NULLs excluded (NULL never matches an equality or IN probe) — serving
+///   point lookups and IN-list / IN-subquery probes, and
+/// * an **ordered index** — row ids sorted by [`Value::total_cmp`], ties
+///   broken by row id, NULLs first — serving range scans, MIN/MAX, and
+///   `ORDER BY col LIMIT k` prefixes.
+///
+/// Group-key equality coincides with `total_cmp == Equal` for every value
+/// except NaN (which `total_cmp` treats as equal to any inexact float while
+/// its group key is distinct), so a column containing NaN poisons both
+/// structures: [`ColumnIndex::has_nan`] is the flag the execution fast
+/// paths check before trusting the index — when set they fall back to the
+/// exact scan kernels, keeping results byte-identical.
+#[derive(Debug)]
+pub(crate) struct ColumnIndex {
+    hash: HashMap<String, Vec<u32>>,
+    ordered: Vec<u32>,
+    null_count: usize,
+    has_nan: bool,
+}
+
+impl ColumnIndex {
+    fn build(rows: &[Row], col: usize) -> ColumnIndex {
+        let mut hash: HashMap<String, Vec<u32>> = HashMap::new();
+        let mut null_count = 0usize;
+        let mut has_nan = false;
+        for (i, row) in rows.iter().enumerate() {
+            match &row[col] {
+                Value::Null => null_count += 1,
+                v => {
+                    if matches!(v, Value::Float(f) if f.is_nan()) {
+                        has_nan = true;
+                    }
+                    hash.entry(v.group_key()).or_default().push(i as u32);
+                }
+            }
+        }
+        let mut ordered: Vec<u32> = (0..rows.len() as u32).collect();
+        // NaN breaks total_cmp's total order (it compares Equal to any
+        // inexact float), so the ordered index is only built — and only
+        // consulted — on NaN-free columns.
+        if !has_nan {
+            ordered.sort_by(|&a, &b| {
+                rows[a as usize][col]
+                    .total_cmp(&rows[b as usize][col])
+                    .then(a.cmp(&b))
+            });
+        }
+        ColumnIndex {
+            hash,
+            ordered,
+            null_count,
+            has_nan,
+        }
+    }
+
+    /// Whether the column contains a NaN, which invalidates every fast path
+    /// over this index (callers must use the exact scan kernels instead).
+    pub(crate) fn has_nan(&self) -> bool {
+        self.has_nan
+    }
+
+    /// Number of NULLs in the column (the length of the ordered index's
+    /// NULL prefix).
+    pub(crate) fn null_count(&self) -> usize {
+        self.null_count
+    }
+
+    /// All row ids sorted by `(total_cmp, row id)`, NULLs first. Meaningful
+    /// only when [`ColumnIndex::has_nan`] is false.
+    pub(crate) fn ordered(&self) -> &[u32] {
+        &self.ordered
+    }
+
+    /// Row ids whose value equals `key` under SQL equality, ascending.
+    /// NULL keys match nothing. Meaningful only when `!has_nan`.
+    pub(crate) fn point(&self, key: &Value) -> &[u32] {
+        if key.is_null() {
+            return &[];
+        }
+        self.hash
+            .get(&key.group_key())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Number of distinct non-NULL values in the column (distinct by
+    /// `group_key`, the same equivalence `COUNT(DISTINCT col)` dedups by).
+    pub(crate) fn distinct_keys(&self) -> usize {
+        self.hash.len()
+    }
+
+    /// Row ids whose value equals *any* of `keys` under SQL equality,
+    /// ascending. NULL keys match nothing. Meaningful only when `!has_nan`.
+    pub(crate) fn probe<'a>(&self, keys: impl IntoIterator<Item = &'a Value>) -> Vec<u32> {
+        let mut seen = std::collections::HashSet::new();
+        let mut ids: Vec<u32> = Vec::new();
+        for key in keys {
+            if key.is_null() {
+                continue;
+            }
+            let gk = key.group_key();
+            if seen.insert(gk.clone()) {
+                if let Some(v) = self.hash.get(&gk) {
+                    ids.extend_from_slice(v);
+                }
+            }
+        }
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Row ids whose value falls inside the (optionally half-open) range,
+    /// ascending. NULL column values never match; a NULL bound matches
+    /// nothing (the comparison would be UNKNOWN on every row). Meaningful
+    /// only when `!has_nan`.
+    pub(crate) fn range(
+        &self,
+        rows: &[Row],
+        col: usize,
+        lower: Option<(&Value, bool)>,
+        upper: Option<(&Value, bool)>,
+    ) -> Vec<u32> {
+        use std::cmp::Ordering;
+        if lower.is_some_and(|(v, _)| v.is_null()) || upper.is_some_and(|(v, _)| v.is_null()) {
+            return Vec::new();
+        }
+        let tail = &self.ordered[self.null_count..];
+        let start = match lower {
+            Some((v, inclusive)) => tail.partition_point(|&r| {
+                let ord = rows[r as usize][col].total_cmp(v);
+                ord == Ordering::Less || (!inclusive && ord == Ordering::Equal)
+            }),
+            None => 0,
+        };
+        let end = match upper {
+            Some((v, inclusive)) => tail.partition_point(|&r| {
+                let ord = rows[r as usize][col].total_cmp(v);
+                ord == Ordering::Less || (inclusive && ord == Ordering::Equal)
+            }),
+            None => tail.len(),
+        };
+        let mut ids: Vec<u32> = tail[start..end.max(start)].to_vec();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+/// The lazily-built per-column secondary indexes of one table version.
+/// Same transparency contract as [`ColumnarCache`]: clones start empty,
+/// equality ignores it, serde skips it, and any row mutation replaces it —
+/// so the Arc-versioned snapshot model invalidates indexes for free, and a
+/// pinned snapshot keeps reading its own consistent index.
+#[derive(Debug, Default)]
+struct IndexCache(OnceLock<Box<[OnceLock<Arc<ColumnIndex>>]>>);
+
+impl IndexCache {
+    fn column(&self, width: usize, col: usize, rows: &[Row]) -> Arc<ColumnIndex> {
+        let slots = self
+            .0
+            .get_or_init(|| (0..width).map(|_| OnceLock::new()).collect());
+        slots[col]
+            .get_or_init(|| Arc::new(ColumnIndex::build(rows, col)))
+            .clone()
+    }
+}
+
+impl Clone for IndexCache {
+    fn clone(&self) -> Self {
+        IndexCache::default()
+    }
+}
+
+impl PartialEq for IndexCache {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+
+impl Serialize for IndexCache {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Null
+    }
+}
+
+impl Deserialize for IndexCache {
+    fn from_value(_: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(IndexCache::default())
+    }
+
+    fn from_missing(_: &str) -> Result<Self, serde::Error> {
+        Ok(IndexCache::default())
+    }
+}
+
 /// One immutable version of a table's payload: the rows plus the columnar
 /// decode derived from exactly those rows. Shared by `Arc` between the live
 /// database and any snapshots pinning this version.
@@ -73,16 +277,18 @@ impl Deserialize for ColumnarCache {
 struct TableData {
     rows: Vec<Row>,
     columnar: ColumnarCache,
+    indexes: IndexCache,
 }
 
 impl Clone for TableData {
     fn clone(&self) -> Self {
         // A clone is the start of a *new* version (copy-on-write): carry
-        // the rows, start the decode cache cold. The original version keeps
-        // its warm cache for the snapshots still reading it.
+        // the rows, start the decode and index caches cold. The original
+        // version keeps its warm caches for the snapshots still reading it.
         TableData {
             rows: self.rows.clone(),
             columnar: ColumnarCache::default(),
+            indexes: IndexCache::default(),
         }
     }
 }
@@ -175,35 +381,86 @@ impl Table {
             })?);
         }
         // Copy-on-write: clones the payload only when a snapshot still pins
-        // it (the clone starts with a cold decode cache); otherwise mutates
-        // in place, where the cache must be reset by hand.
+        // it (the clone starts with cold decode and index caches); otherwise
+        // mutates in place, where the caches must be reset by hand.
         let data = Arc::make_mut(&mut self.data);
         data.columnar = ColumnarCache::default();
+        data.indexes = IndexCache::default();
         data.rows.push(coerced);
         self.version += 1;
         Ok(())
     }
 
     /// The table's rows decoded into fixed-size columnar [`Batch`]es —
-    /// computed once per table version (any write starts a fresh cache,
-    /// whether it copied the payload or reset it in place) and shared with
-    /// every scan by refcount. The returned batches are dense (no
-    /// selection); batch boundaries are fixed by [`BATCH_ROWS`], never by
-    /// `threads` (which only parallelizes the one-time decode), so columnar
-    /// execution is deterministic at every thread count.
+    /// each `(batch, column)` cell is decoded once per table version (any
+    /// write starts a fresh cache, whether it copied the payload or reset
+    /// it in place) and shared with every scan by refcount. The returned
+    /// batches are dense (no selection); batch boundaries are fixed by
+    /// [`BATCH_ROWS`], never by `threads` (which only parallelizes the
+    /// one-time decode), so columnar execution is deterministic at every
+    /// thread count.
+    #[cfg(test)]
     pub(crate) fn columnar_batches(&self, threads: usize) -> Vec<Batch> {
-        self.data
-            .columnar
-            .0
-            .get_or_init(|| {
-                let width = self.schema.column_count();
-                let chunks: Vec<&[Row]> = self.data.rows.chunks(BATCH_ROWS).collect();
-                crate::physical::parallel::run_tasks(threads, chunks.len(), |i| {
-                    Ok::<_, std::convert::Infallible>(Batch::from_rows(chunks[i], width))
-                })
-                .expect("decode is infallible")
+        self.columnar_batches_for(threads, None)
+    }
+
+    /// [`Table::columnar_batches`] restricted to the columns in `cols`
+    /// (projection pruning): only the referenced columns are decoded.
+    /// Pruned slots are filled with a shared empty placeholder column —
+    /// loudly wrong (out-of-bounds panic) if a consumer the plan analysis
+    /// missed ever touches one — unless an earlier scan already decoded the
+    /// real column, in which case the cached decode rides along for free.
+    pub(crate) fn columnar_batches_for(
+        &self,
+        threads: usize,
+        cols: Option<&[usize]>,
+    ) -> Vec<Batch> {
+        let width = self.schema.column_count();
+        let rows = &self.data.rows;
+        let chunks: Vec<&[Row]> = rows.chunks(BATCH_ROWS).collect();
+        let grid = self.data.columnar.0.get_or_init(|| {
+            chunks
+                .iter()
+                .map(|_| (0..width).map(|_| OnceLock::new()).collect())
+                .collect()
+        });
+        let needed: Vec<usize> = match cols {
+            Some(cols) => cols.to_vec(),
+            None => (0..width).collect(),
+        };
+        crate::physical::parallel::run_tasks(threads, chunks.len(), |i| {
+            for &c in &needed {
+                grid[i][c].get_or_init(|| Arc::new(ColumnVec::from_rows_column(chunks[i], c)));
+            }
+            Ok::<_, std::convert::Infallible>(())
+        })
+        .expect("decode is infallible");
+        let placeholder = Arc::new(ColumnVec::Any(Vec::new()));
+        chunks
+            .iter()
+            .zip(grid)
+            .map(|(chunk, slots)| Batch {
+                len: chunk.len(),
+                columns: (0..width)
+                    .map(|c| {
+                        slots[c]
+                            .get()
+                            .cloned()
+                            .unwrap_or_else(|| placeholder.clone())
+                    })
+                    .collect(),
+                selection: None,
             })
-            .clone()
+            .collect()
+    }
+
+    /// The lazily-built secondary index over column `col` of this table
+    /// version — built on first use, shared by refcount afterwards, and
+    /// immutable for as long as any snapshot pins this payload.
+    pub(crate) fn secondary_index(&self, col: usize) -> Arc<ColumnIndex> {
+        self.data
+            .indexes
+            .column(self.schema.column_count(), col, &self.data.rows)
     }
 
     /// Insert many rows, stopping at the first failure.
@@ -274,6 +531,7 @@ impl Deserialize for Table {
             data: Arc::new(TableData {
                 rows,
                 columnar: ColumnarCache::default(),
+                indexes: IndexCache::default(),
             }),
         })
     }
@@ -433,6 +691,101 @@ mod tests {
             t.columnar_batches(1).iter().map(|b| b.len).sum::<usize>(),
             11
         );
+    }
+
+    #[test]
+    fn secondary_index_agrees_with_a_naive_scan() {
+        let mut t = table();
+        t.insert_all(vec![
+            vec![5.into(), "e".into(), 2.5.into()],
+            vec![1.into(), "a".into(), Value::Null],
+            vec![3.into(), "c".into(), 1.0.into()],
+            vec![1.into(), "a2".into(), 4.0.into()],
+            vec![2.into(), "b".into(), 1.0.into()],
+        ])
+        .unwrap();
+        let idx = t.secondary_index(0);
+        assert!(!idx.has_nan());
+        // Point: both rows with id = 1, ascending; Float(1.0) probes the
+        // same group (group-key equality folds exact ints).
+        assert_eq!(idx.point(&Value::Int(1)), &[1, 3]);
+        assert_eq!(idx.point(&Value::Float(1.0)), &[1, 3]);
+        assert_eq!(idx.point(&Value::Int(99)), &[] as &[u32]);
+        assert_eq!(idx.point(&Value::Null), &[] as &[u32]);
+        // Range over id: 2 <= id < 5 -> rows 2 (id 3) and 4 (id 2).
+        let ids = idx.range(
+            t.rows(),
+            0,
+            Some((&Value::Int(2), true)),
+            Some((&Value::Int(5), false)),
+        );
+        assert_eq!(ids, vec![2, 4]);
+        // Multi-key probe deduplicates keys and sorts ascending.
+        assert_eq!(
+            idx.probe(&[Value::Int(2), Value::Int(1), Value::Int(1), Value::Null]),
+            vec![1, 3, 4]
+        );
+        // Ordered index on the nullable float column: NULL first, then by
+        // value with ties broken by row id.
+        let fidx = t.secondary_index(2);
+        assert_eq!(fidx.null_count(), 1);
+        assert_eq!(fidx.ordered(), &[1, 2, 4, 0, 3]);
+        // A NULL bound matches nothing.
+        assert!(fidx
+            .range(t.rows(), 2, Some((&Value::Null, true)), None)
+            .is_empty());
+    }
+
+    #[test]
+    fn nan_poisoned_columns_set_the_fallback_flag() {
+        let mut t = table();
+        t.insert_all(vec![
+            vec![1.into(), "a".into(), f64::NAN.into()],
+            vec![2.into(), "b".into(), 1.0.into()],
+        ])
+        .unwrap();
+        assert!(t.secondary_index(2).has_nan());
+        assert!(!t.secondary_index(0).has_nan());
+    }
+
+    #[test]
+    fn pinned_secondary_index_survives_writes_and_new_version_rebuilds() {
+        let mut t = table();
+        t.insert_all((0..10i64).map(|i| vec![i.into(), format!("r{i}").into(), (i as f64).into()]))
+            .unwrap();
+        let pinned = t.clone();
+        let before = pinned.secondary_index(0);
+        assert_eq!(before.point(&Value::Int(7)), &[7]);
+        assert_eq!(before.point(&Value::Int(10)), &[] as &[u32]);
+        // Writer installs a new version; the pinned index must not change.
+        t.insert(vec![10.into(), "new".into(), 1.0.into()]).unwrap();
+        let still = pinned.secondary_index(0);
+        assert_eq!(
+            still.point(&Value::Int(10)),
+            &[] as &[u32],
+            "a pinned snapshot's index can never observe later inserts"
+        );
+        assert!(Arc::ptr_eq(&before, &still), "pinned index is cached");
+        // The writer's new version rebuilds lazily and sees the new row.
+        assert_eq!(t.secondary_index(0).point(&Value::Int(10)), &[10]);
+    }
+
+    #[test]
+    fn projection_pruned_decode_materializes_only_requested_columns() {
+        let mut t = table();
+        t.insert_all((0..4i64).map(|i| vec![i.into(), format!("r{i}").into(), (i as f64).into()]))
+            .unwrap();
+        let pruned = t.columnar_batches_for(1, Some(&[0]));
+        assert_eq!(pruned.len(), 1);
+        assert_eq!(pruned[0].columns[0].len(), 4, "requested column decoded");
+        assert_eq!(pruned[0].columns[1].len(), 0, "pruned column is empty");
+        assert_eq!(pruned[0].columns[2].len(), 0, "pruned column is empty");
+        // A later full decode fills the remaining cells and reuses the
+        // already-decoded column by refcount.
+        let full = t.columnar_batches(1);
+        assert!(Arc::ptr_eq(&pruned[0].columns[0], &full[0].columns[0]));
+        assert_eq!(full[0].columns[1].len(), 4);
+        assert_eq!(full[0].columns[2].len(), 4);
     }
 
     #[test]

@@ -8,7 +8,9 @@ use bp_core::{FeedbackAction, Project, TaskConfig};
 use bp_datasets::{BenchmarkKind, DomainLexicon, GeneratedBenchmark};
 use bp_llm::{generate_candidates, GenerationRequest, ModelKind, PromptBuilder};
 use bp_metrics::{coverage, grade_cached, ClarityHistogram, DEFAULT_ACCURACY_THRESHOLD};
-use bp_storage::{available_threads, batch_map, Database, PlanCache, PlanCacheStats};
+use bp_storage::{
+    available_threads, batch_map, AccessPathStats, Database, PlanCache, PlanCacheStats,
+};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -367,21 +369,30 @@ impl StudyRun {
         self.clarity_histograms_detailed(backtranslation_model).0
     }
 
-    /// [`StudyRun::clarity_histograms`] plus the plan-cache counters the
-    /// grading sweep accumulated. Grading executes every original query and
-    /// every regenerated query through one shared [`PlanCache`] keyed on a
-    /// snapshot per database pinned up front — a corpus whose descriptions
-    /// backtranslate to a handful of distinct SQL texts compiles each text
-    /// once, not once per participant — and the counters quantify exactly
-    /// that reuse. The histograms never depend on the cache (only compile
-    /// frequency does); the hit/miss *split* can shift between runs when
-    /// workers race on a cold key, but `hits + misses` is always two per
-    /// graded outcome whose regeneration parses (original + regenerated),
-    /// plus one for each that does not parse.
+    /// [`StudyRun::clarity_histograms`] plus the plan-cache and
+    /// access-path counters the grading sweep accumulated. Grading executes
+    /// every original query and every regenerated query through one shared
+    /// [`PlanCache`] keyed on a snapshot per database pinned up front — a
+    /// corpus whose descriptions backtranslate to a handful of distinct SQL
+    /// texts compiles each text once, not once per participant — and the
+    /// counters quantify exactly that reuse. The histograms never depend on
+    /// the cache (only compile frequency does); the hit/miss *split* can
+    /// shift between runs when workers race on a cold key, but `hits +
+    /// misses` is always two per graded outcome whose regeneration parses
+    /// (original + regenerated), plus one for each that does not parse.
+    ///
+    /// The [`AccessPathStats`] tally how many table accesses across the
+    /// sweep the compiler answered from a secondary index versus a full
+    /// scan (per execution, cached plans included) — fast-path coverage of
+    /// the grading workload, observed rather than inferred.
     pub fn clarity_histograms_detailed(
         &self,
         backtranslation_model: ModelKind,
-    ) -> (HashMap<Condition, ClarityHistogram>, PlanCacheStats) {
+    ) -> (
+        HashMap<Condition, ClarityHistogram>,
+        PlanCacheStats,
+        AccessPathStats,
+    ) {
         let beaver_translator =
             bp_llm::Backtranslator::new(self.beaver_db.catalog(), backtranslation_model.profile());
         let bird_translator =
@@ -416,7 +427,13 @@ impl StudyRun {
             misses: beaver_stats.misses + bird_stats.misses,
             invalidations: beaver_stats.invalidations + bird_stats.invalidations,
         };
-        (histograms, stats)
+        let beaver_access = beaver_cache.access_stats();
+        let bird_access = bird_cache.access_stats();
+        let access = AccessPathStats {
+            index_scan: beaver_access.index_scan + bird_access.index_scan,
+            full_scan: beaver_access.full_scan + bird_access.full_scan,
+        };
+        (histograms, stats, access)
     }
 
     /// Mean coverage per condition (a finer-grained quality view than the
@@ -519,7 +536,7 @@ mod tests {
     fn detailed_clarity_histograms_agree_and_report_cache_reuse() {
         let run = small_run();
         let plain = run.clarity_histograms(ModelKind::Gpt4o);
-        let (detailed, stats) = run.clarity_histograms_detailed(ModelKind::Gpt4o);
+        let (detailed, stats, access) = run.clarity_histograms_detailed(ModelKind::Gpt4o);
         assert_eq!(plain, detailed);
         // Every graded outcome touches the cache at least once (regenerated
         // side), at most twice (plus the original).
@@ -528,6 +545,12 @@ mod tests {
         // 6 participants annotate the same 10 queries: plans must be reused.
         assert!(stats.hits > 0, "repeated SQL texts must hit the cache");
         assert_eq!(stats.invalidations, 0, "nothing writes during grading");
+        // Every successful execution chose an access path; the sweep as a
+        // whole must have scanned *something*.
+        assert!(
+            access.index_scan + access.full_scan > 0,
+            "graded executions must tally access paths"
+        );
     }
 
     #[test]
