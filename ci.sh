@@ -10,7 +10,21 @@ cargo fmt --check
 echo "==> cargo build --release"
 cargo build --release
 
+echo "==> bp-lint (determinism lint, ratcheted against lint-baseline.txt)"
+# Static gate: no HashMap/HashSet iteration into results, no bare numeric
+# `as` casts in kernel files, no library unwrap()/expect(), Ordering::Relaxed
+# allowlisted only. The committed baseline is a ratchet — counts may fall but
+# never rise; run `cargo run -p bp-lint -- --update-baseline` after removing
+# a violation to lock the lower count in.
+cargo run --release -q -p bp-lint
+
 echo "==> cargo test -q --workspace (includes the umbrella tier-1 suite)"
+# Gate note: this debug-profile run IS the debug-assertions differential
+# pass for the plan verifier — compile_query_with() re-verifies every
+# compiled plan under debug_assert hooks, and the differential/property
+# suites compile thousands of corpus plans, so a verifier-visible miscompile
+# fails here before any release gate runs. (The release path stays covered
+# too: PreparedQuery verifies every plan it compiles, always-on.)
 cargo test -q --workspace
 
 echo "==> concurrency stress loop (snapshot readers vs streaming writer, timeboxed)"

@@ -80,8 +80,8 @@ use bp_datasets::{BenchmarkKind, CorpusScale, GeneratedBenchmark};
 use bp_llm::{evaluate_execution_accuracy_opts, EvalItem, ModelKind};
 use bp_sql::{DataType, Query};
 use bp_storage::{
-    available_threads, batch_map, compile_query_with, exec_compiled, AnnotationService, Database,
-    ExecOptions, ExecStrategy, PhysQueryPlan, Value,
+    available_threads, batch_map, compile_query_with, exec_compiled, verify_plan,
+    AnnotationService, Database, ExecOptions, ExecStrategy, PhysQueryPlan, Value,
 };
 use serde::Serialize;
 
@@ -250,6 +250,27 @@ struct IndexMeasurement {
     meets_target: Option<bool>,
 }
 
+/// Per-plan cost of the always-on plan verifier (`verify_plan`), measured
+/// over the compiled plans this benchmark already built. Informational
+/// only — there is no speedup to gate, just an overhead number to watch —
+/// so `meets_target` is always `null` and the entry never fails the build.
+#[derive(Serialize)]
+struct VerifyMeasurement {
+    /// Plans verified per timed pass (workload + point-lookup plans, both
+    /// fast-path and forced-scan compilations).
+    plans: usize,
+    /// One full pass over every plan (median of several), milliseconds.
+    pass_ms: f64,
+    /// `pass_ms / plans`, microseconds — the per-compile overhead the
+    /// prepared-query path pays for verification.
+    per_plan_us: f64,
+    /// Violations seen across all plans: always 0 on a healthy build (a
+    /// non-zero count here means the compiler shipped a miscompile).
+    violations: usize,
+    /// Never gated; recorded for shape-compatibility with gated entries.
+    meets_target: Option<bool>,
+}
+
 #[derive(Serialize)]
 struct ExecBenchReport {
     bench: String,
@@ -262,6 +283,7 @@ struct ExecBenchReport {
     pipeline_throughput: PipelineMeasurement,
     concurrent_read_write: ConcurrentMeasurement,
     index_point_lookup: IndexMeasurement,
+    plan_verification: VerifyMeasurement,
     speedup_target: f64,
     meets_target: bool,
 }
@@ -944,6 +966,44 @@ fn main() {
         workload_scale.name()
     );
 
+    // --- Informational: per-plan verification overhead -------------------
+    // Every compile in the prepared-query path runs `verify_plan` before
+    // the plan may execute; this measures what that costs per plan, over
+    // the plans this benchmark already built (the medium mixed workload at
+    // both fast-path settings, plus the indexed and forced-scan point
+    // lookups). Informational only: no gate, no exit-code contribution.
+    let verify_snapshot = medium.database.snapshot();
+    let verify_workload_plans: Vec<PhysQueryPlan> = queries
+        .iter()
+        .flat_map(|query| {
+            [true, false].into_iter().map(|fast| {
+                compile_query_with(&verify_snapshot, query, fast).expect("workload compiles")
+            })
+        })
+        .collect();
+    let verify_plans_total = verify_workload_plans.len() + 2 * lookup_plans.len();
+    let mut verify_violations = 0usize;
+    for plan in &verify_workload_plans {
+        verify_violations += verify_plan(&verify_snapshot, plan).len();
+    }
+    for (fast, slow) in &lookup_plans {
+        verify_violations += verify_plan(&lookup_snapshot, fast).len();
+        verify_violations += verify_plan(&lookup_snapshot, slow).len();
+    }
+    let verify_pass_ms = time_ms(5, || {
+        for plan in &verify_workload_plans {
+            std::hint::black_box(verify_plan(&verify_snapshot, plan));
+        }
+        for (fast, slow) in &lookup_plans {
+            std::hint::black_box(verify_plan(&lookup_snapshot, fast));
+            std::hint::black_box(verify_plan(&lookup_snapshot, slow));
+        }
+    });
+    let verify_per_plan_us = verify_pass_ms * 1e3 / verify_plans_total.max(1) as f64;
+    println!(
+        "plan verification ({verify_plans_total} plans): {verify_pass_ms:.3} ms/pass -> {verify_per_plan_us:.1} us/plan, {verify_violations} violation(s) (informational, ungated)"
+    );
+
     // --- Record --------------------------------------------------------
     let meets_target = join_speedup >= TARGET;
     let report = ExecBenchReport {
@@ -1050,6 +1110,13 @@ fn main() {
             gate_applied: true,
             measure_rounds: index_gate.rounds,
             meets_target: index_meets,
+        },
+        plan_verification: VerifyMeasurement {
+            plans: verify_plans_total,
+            pass_ms: verify_pass_ms,
+            per_plan_us: verify_per_plan_us,
+            violations: verify_violations,
+            meets_target: None,
         },
         speedup_target: TARGET,
         meets_target,

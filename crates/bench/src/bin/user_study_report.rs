@@ -50,7 +50,8 @@ fn main() {
     }
 
     println!("\n--- Figure 4: backtranslation clarity histogram ---");
-    let (histograms, cache_stats, access_stats) = run.clarity_histograms_detailed(ModelKind::Gpt4o);
+    let (histograms, cache_stats, access_stats, verifier_stats) =
+        run.clarity_histograms_detailed(ModelKind::Gpt4o);
     println!(
         "{:<14} {:>6} {:>6} {:>6} {:>6} {:>6} {:>12}",
         "Condition", "L1", "L2", "L3", "L4", "L5", "mean level"
@@ -78,5 +79,9 @@ fn main() {
     println!(
         "access paths during grading: {} index scans, {} full scans",
         access_stats.index_scan, access_stats.full_scan
+    );
+    println!(
+        "plan verification during grading: {} plans verified, {} violations",
+        verifier_stats.plans_verified, verifier_stats.violations
     );
 }

@@ -232,6 +232,9 @@ pub fn grade_cached(
         let prepared = cache.get(snapshot, sql)?;
         let result = prepared.execute(ExecOptions::serial());
         cache.record_access(prepared.access_paths());
+        // Per-compile (take-once): re-executions of a cached plan fold
+        // nothing, so `plans_verified` counts distinct compiles.
+        cache.record_verification(prepared.take_verification());
         result
     };
     let mut execution_matches = None;

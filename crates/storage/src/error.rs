@@ -25,6 +25,9 @@ pub enum StorageError {
     CardinalityViolation(String),
     /// Underlying SQL parsing failed (when executing from text).
     Parse(String),
+    /// The plan verifier rejected a compiled plan — a compiler bug, never
+    /// a user error. Carries the rendered violation list.
+    PlanVerification(String),
 }
 
 impl fmt::Display for StorageError {
@@ -40,6 +43,9 @@ impl fmt::Display for StorageError {
             StorageError::Arithmetic(m) => write!(f, "arithmetic error: {m}"),
             StorageError::CardinalityViolation(m) => write!(f, "cardinality violation: {m}"),
             StorageError::Parse(m) => write!(f, "parse error: {m}"),
+            StorageError::PlanVerification(m) => {
+                write!(f, "plan verification failed (compiler bug): {m}")
+            }
         }
     }
 }

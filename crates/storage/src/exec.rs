@@ -950,12 +950,18 @@ fn eval_function(
         }
         "SUBSTR" | "SUBSTRING" => {
             let v = eval_expr(ctx, require_arg(canonical, args, 0)?)?;
-            let start = eval_expr(ctx, require_arg(canonical, args, 1)?)?
-                .as_i64()
-                .unwrap_or(1)
-                .max(1) as usize;
+            // Clamp (not truncate) past usize::MAX, mirroring the columnar
+            // engine's SUBSTR so the engines agree on every platform.
+            let start = usize::try_from(
+                eval_expr(ctx, require_arg(canonical, args, 1)?)?
+                    .as_i64()
+                    .unwrap_or(1)
+                    .max(1),
+            )
+            .unwrap_or(usize::MAX);
             let len = match args.get(2) {
-                Some(l) => eval_expr(ctx, l)?.as_i64().unwrap_or(0).max(0) as usize,
+                Some(l) => usize::try_from(eval_expr(ctx, l)?.as_i64().unwrap_or(0).max(0))
+                    .unwrap_or(usize::MAX),
                 None => usize::MAX,
             };
             Ok(map_text(v, |s| {

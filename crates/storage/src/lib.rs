@@ -48,7 +48,8 @@ pub use error::{StorageError, StorageResult};
 pub use exec::Executor;
 pub use physical::{
     available_threads, batch_map, compile_query_with, exec_compiled, execute_planned_opts,
-    AccessPathStats, ExecOptions, ExecStrategy, PhysQueryPlan,
+    verify_logical, verify_plan, AccessPathStats, ExecOptions, ExecStrategy, PhysQueryPlan,
+    PlanViolation, VerifierStats,
 };
 pub use plan::{LogicalPlan, Planner, QueryPlan};
 pub use prepared::{PlanCache, PlanCacheStats, PreparedQuery, DEFAULT_PLAN_CACHE_CAPACITY};

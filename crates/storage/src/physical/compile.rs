@@ -18,8 +18,11 @@ use crate::plan::{
 };
 use crate::scalar::{canonical_function_name, is_aggregate_name, literal_value, missing_arg_error};
 use crate::snapshot::Snapshot;
+use crate::table::Table;
+use crate::value::Value;
 
 use super::expr::{PhysExpr, SubPlan};
+use super::verify::{type_family, value_family};
 use super::{AccessPathStats, AggSpec, IndexAccess, PhysNode, PhysQueryPlan};
 
 pub(crate) struct Compiler<'a> {
@@ -217,11 +220,26 @@ impl<'a> Compiler<'a> {
                     }) = input.as_ref()
                     {
                         if let Some(specs) = index_agg_specs(items, &bindings) {
-                            self.index_scans += 1;
-                            return Ok(PhysNode::IndexAgg {
-                                name: name.clone(),
-                                specs,
+                            // MIN/MAX read the *ordered* index, which NaN
+                            // poisoning invalidates: decline the whole
+                            // fast path and fall back to the hash
+                            // aggregate (the exact semantics the runtime
+                            // fallback would have reproduced anyway).
+                            let ordered_ok = self.db.table(name).is_some_and(|table| {
+                                specs.iter().all(|spec| match spec {
+                                    AggSpec::Min(col) | AggSpec::Max(col) => {
+                                        !table.secondary_index(*col).has_nan()
+                                    }
+                                    AggSpec::CountStar | AggSpec::Count { .. } => true,
+                                })
                             });
+                            if ordered_ok {
+                                self.index_scans += 1;
+                                return Ok(PhysNode::IndexAgg {
+                                    name: name.clone(),
+                                    specs,
+                                });
+                            }
                         }
                     }
                 }
@@ -275,7 +293,7 @@ impl<'a> Compiler<'a> {
                 match (compiled_input, limit) {
                     (PhysNode::Sort { input, keys }, Some(limit)) => {
                         if self.fast_paths {
-                            match try_fuse_index_top_k(input, keys, limit, offset) {
+                            match try_fuse_index_top_k(self.db, input, keys, limit, offset) {
                                 Ok(node) => {
                                     // The scan under the fused Sort+Project was
                                     // already tallied as a full scan; reclassify.
@@ -354,9 +372,12 @@ impl<'a> Compiler<'a> {
         if !conjuncts.iter().all(|c| benign(c, bindings)) {
             return Ok(None);
         }
+        let Some(table) = self.db.table(name) else {
+            return Ok(None);
+        };
         let atoms: Vec<Option<SargAtom>> = conjuncts
             .iter()
-            .map(|c| sargable_atom(c, bindings))
+            .map(|c| sargable_atom(c, bindings).filter(|a| atom_usable(table, a)))
             .collect();
         // Prefer the most selective shape: point, then IN-list, then range.
         let chosen = atoms
@@ -667,6 +688,30 @@ impl<'a> Compiler<'a> {
     }
 }
 
+/// Whether an index can answer this sargable atom exactly. Every probe
+/// key must share the declared column's `total_cmp` family: a
+/// family-confused probe (`int_col = 'abc'`, `col = NULL`) compares
+/// values the index orders into disjoint runs, so the compiler falls back
+/// to the scan + filter plan, whose per-row evaluation is the exact
+/// semantics. **Ordered** access (range scans) is additionally declined
+/// when the column is NaN-poisoned. `verify.rs` enforces the same
+/// preconditions as hard invariants on every compiled plan.
+fn atom_usable(table: &Table, atom: &SargAtom) -> bool {
+    let expected = |col: usize| type_family(table.schema.columns[col].data_type);
+    let matches_family = |col: usize, key: &Value| value_family(key) == expected(col);
+    match atom {
+        SargAtom::Point { col, key } => matches_family(*col, key),
+        SargAtom::InList { col, keys } => keys.iter().all(|k| matches_family(*col, k)),
+        SargAtom::Range { col, lower, upper } => {
+            lower
+                .iter()
+                .chain(upper.iter())
+                .all(|(v, _)| matches_family(*col, v))
+                && !table.secondary_index(*col).has_nan()
+        }
+    }
+}
+
 /// Recognise an aggregate item list where every item is answerable from a
 /// secondary index or the row count alone: `COUNT(*)`,
 /// `COUNT([DISTINCT] col)`, `MIN(col)`, `MAX(col)`. `MIN`/`MAX` with
@@ -712,9 +757,13 @@ fn index_agg_specs(items: &[Expr], bindings: &[ColumnBinding]) -> Option<Vec<Agg
 
 /// Try to fuse `Sort(Project(ScanTable), [single ascending column key])`
 /// plus a LIMIT into an ordered-index prefix read. On failure the parts
-/// are handed back so the caller can build the ordinary Top-K.
+/// are handed back so the caller can build the ordinary Top-K. A
+/// NaN-poisoned key column declines the fusion outright: the prefix read
+/// trusts the *ordered* index, which NaN invalidates (the heap-based
+/// Top-K it falls back to is the exact semantics).
 #[allow(clippy::type_complexity, clippy::result_large_err)]
 fn try_fuse_index_top_k(
+    db: &Snapshot,
     input: Box<PhysNode>,
     keys: Vec<SortKey>,
     limit: PhysExpr,
@@ -737,6 +786,12 @@ fn try_fuse_index_top_k(
             matches!(inner.as_ref(), PhysNode::ScanTable { .. })
                 && key_ordinal < items.len()
                 && items.iter().all(|i| matches!(i, PhysExpr::Column(_)))
+                && match (inner.as_ref(), &items[key_ordinal]) {
+                    (PhysNode::ScanTable { name, .. }, PhysExpr::Column(col)) => db
+                        .table(name)
+                        .is_some_and(|t| !t.secondary_index(*col).has_nan()),
+                    _ => false,
+                }
         }
         _ => false,
     };

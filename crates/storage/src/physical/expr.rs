@@ -643,9 +643,14 @@ fn eval_scalar_fn(name: &str, args: &[PhysExpr], env: &EvalEnv<'_>) -> StorageRe
         }
         "SUBSTR" | "SUBSTRING" => {
             let v = args[0].eval(env)?;
-            let start = args[1].eval(env)?.as_i64().unwrap_or(1).max(1) as usize;
+            // Checked conversions: the max() guards make the i64 non-negative,
+            // and values past usize::MAX clamp (off-the-end is off-the-end).
+            let start = usize::try_from(args[1].eval(env)?.as_i64().unwrap_or(1).max(1))
+                .unwrap_or(usize::MAX);
             let len = match args.get(2) {
-                Some(l) => l.eval(env)?.as_i64().unwrap_or(0).max(0) as usize,
+                Some(l) => {
+                    usize::try_from(l.eval(env)?.as_i64().unwrap_or(0).max(0)).unwrap_or(usize::MAX)
+                }
                 None => usize::MAX,
             };
             Ok(map_text(v, |s| {

@@ -31,6 +31,7 @@ mod compile;
 mod expr;
 mod join;
 pub(crate) mod parallel;
+pub(crate) mod verify;
 
 use std::collections::{HashMap, HashSet};
 
@@ -51,6 +52,7 @@ use compile::Compiler;
 use expr::{EvalEnv, PhysExpr, SubPlan};
 use parallel::run_morsels;
 pub use parallel::{available_threads, batch_map};
+pub use verify::{verify_logical, verify_plan, PlanViolation, VerifierStats};
 
 /// Which execution engine to use for a query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -157,7 +159,29 @@ pub fn compile_query_with(
     fast_paths: bool,
 ) -> StorageResult<PhysQueryPlan> {
     let logical = Planner::new(db).plan(query)?;
-    Compiler::with_fast_paths(db, fast_paths).compile(&logical)
+    // Debug builds verify every plan both before and after compilation, so
+    // the whole test suite — the differential corpora in particular —
+    // doubles as a verifier stress test (see `ci.sh`'s gate notes).
+    #[cfg(debug_assertions)]
+    {
+        let violations = verify::verify_logical(db, &logical);
+        assert!(
+            violations.is_empty(),
+            "planner emitted an invalid logical plan:\n{}\nplan:\n{logical}",
+            verify::render_violations(&violations),
+        );
+    }
+    let plan = Compiler::with_fast_paths(db, fast_paths).compile(&logical)?;
+    #[cfg(debug_assertions)]
+    {
+        let violations = verify::verify_plan(db, &plan);
+        assert!(
+            violations.is_empty(),
+            "compiler emitted an invalid physical plan:\n{}",
+            verify::render_violations(&violations),
+        );
+    }
+    Ok(plan)
 }
 
 /// Execute an already-compiled physical plan. The plan must have been
@@ -1331,7 +1355,11 @@ mod tests {
             .collect();
         db.insert_into("d", rows).expect("rows");
         let snapshot = db.snapshot();
-        let queries = [
+        // Shapes the compiler must lower onto an index. Hash probes
+        // (point / IN-list) stay indexed even on the NaN-poisoned `f`
+        // column: they never trust index *order* and keep their exact
+        // runtime fallbacks.
+        let indexed_queries = [
             "SELECT id, s FROM d WHERE id = 42",
             "SELECT id FROM d WHERE k = 3 ORDER BY id",
             "SELECT id FROM d WHERE f = 0 ORDER BY id", // -0.0 probes equal to 0
@@ -1339,23 +1367,42 @@ mod tests {
             "SELECT id FROM d WHERE k > 2 ORDER BY id",
             "SELECT id FROM d WHERE k <= 3 AND s = 's2' ORDER BY id",
             "SELECT id FROM d WHERE id BETWEEN 50 AND 60",
-            "SELECT id FROM d WHERE f BETWEEN 0 AND 1 ORDER BY id",
             "SELECT id FROM d WHERE k IN (1, 3, 99) ORDER BY id",
             "SELECT id FROM d WHERE s IN ('s0', 's4', 'zzz') ORDER BY id",
             "SELECT id FROM d WHERE k IN (SELECT k FROM d WHERE id < 10) ORDER BY id",
             "SELECT MIN(k), MAX(k), COUNT(*), COUNT(k), COUNT(DISTINCT s) FROM d",
-            "SELECT MIN(f), MAX(f), COUNT(f) FROM d", // NaN → aggregate fallback
             "SELECT k, id FROM d ORDER BY k LIMIT 9",
             "SELECT id, k FROM d ORDER BY id LIMIT 5 OFFSET 190",
         ];
-        for sql in queries {
+        // Shapes the compiler must *decline*: ordered-index paths (range
+        // scan, MIN/MAX, index Top-K) on a NaN-poisoned column, where
+        // `total_cmp` order diverges from the scan kernels. The plan
+        // verifier enforces the declination as a hard invariant.
+        let declined_queries = [
+            "SELECT id FROM d WHERE f BETWEEN 0 AND 1 ORDER BY id",
+            "SELECT MIN(f), MAX(f), COUNT(f) FROM d",
+            "SELECT id, f FROM d ORDER BY f LIMIT 7",
+        ];
+        let all = indexed_queries
+            .iter()
+            .map(|sql| (*sql, true))
+            .chain(declined_queries.iter().map(|sql| (*sql, false)));
+        for (sql, expect_index) in all {
             let query = bp_sql::parse_query(sql).expect("parse");
             let fast = compile_query_with(&snapshot, &query, true).expect("fast compile");
             let slow = compile_query_with(&snapshot, &query, false).expect("slow compile");
-            assert!(
-                fast.access_paths().index_scan > 0,
-                "expected an index-backed path for {sql}"
-            );
+            if expect_index {
+                assert!(
+                    fast.access_paths().index_scan > 0,
+                    "expected an index-backed path for {sql}"
+                );
+            } else {
+                assert_eq!(
+                    fast.access_paths().index_scan,
+                    0,
+                    "expected the compiler to decline the NaN-ordered index path for {sql}"
+                );
+            }
             assert_eq!(
                 slow.access_paths().index_scan,
                 0,

@@ -24,15 +24,16 @@
 //! so an insert into one table never evicts plans that only read others.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use bp_sql::Query;
 
-use crate::error::StorageResult;
+use crate::error::{StorageError, StorageResult};
 use crate::exec::Executor;
 use crate::physical::{
-    compile_query, exec_compiled, AccessPathStats, ExecOptions, ExecStrategy, PhysQueryPlan,
+    compile_query, exec_compiled, verify_plan, AccessPathStats, ExecOptions, ExecStrategy,
+    PhysQueryPlan, VerifierStats,
 };
 use crate::result::QueryResult;
 use crate::snapshot::Snapshot;
@@ -69,6 +70,13 @@ pub struct PreparedQuery {
     /// Lazily-compiled physical plan (or the planning/compilation error it
     /// raised, cached so repeats fail fast without recompiling).
     plan: OnceLock<StorageResult<PhysQueryPlan>>,
+    /// Verifier outcome of the one compile this query performs (set exactly
+    /// when `plan` is filled with a compiler result that was verified).
+    verification: OnceLock<VerifierStats>,
+    /// Whether [`PreparedQuery::take_verification`] already handed the
+    /// outcome to a counter sink — verification is per *compile*, so
+    /// cache-wide tallies must fold it once, not once per execution.
+    verification_taken: AtomicBool,
 }
 
 impl PreparedQuery {
@@ -83,6 +91,8 @@ impl PreparedQuery {
             query,
             tables,
             plan: OnceLock::new(),
+            verification: OnceLock::new(),
+            verification_taken: AtomicBool::new(false),
         })
     }
 
@@ -128,14 +138,53 @@ impl PreparedQuery {
         })
     }
 
-    /// The compiled physical plan, built on first use. Concurrent first
-    /// calls may both compile (deterministically identical plans); the
-    /// first fill wins.
+    /// The compiled physical plan, built — and statically verified — on
+    /// first use. Verification is **always on** (not just under
+    /// `debug_assertions`): every plan the prepared path can ever execute
+    /// has passed [`verify_plan`], and a rejected plan surfaces as
+    /// [`StorageError::PlanVerification`] instead of executing. The
+    /// outcome is recorded once per compile for
+    /// [`PreparedQuery::take_verification`].
     fn compiled(&self) -> StorageResult<&PhysQueryPlan> {
         self.plan
-            .get_or_init(|| compile_query(&self.snapshot, &self.query))
+            .get_or_init(|| {
+                let plan = compile_query(&self.snapshot, &self.query)?;
+                let violations = verify_plan(&self.snapshot, &plan);
+                let _ = self.verification.set(VerifierStats {
+                    plans_verified: 1,
+                    violations: violations.len() as u64,
+                });
+                if violations.is_empty() {
+                    Ok(plan)
+                } else {
+                    Err(StorageError::PlanVerification(
+                        crate::physical::verify::render_violations(&violations),
+                    ))
+                }
+            })
             .as_ref()
             .map_err(Clone::clone)
+    }
+
+    /// The verifier outcome for this query's one compile: `None` until the
+    /// first planned execution compiles (legacy-only usage, or a
+    /// parse/plan error that never produced a plan to verify).
+    pub fn verification(&self) -> Option<VerifierStats> {
+        self.verification.get().copied()
+    }
+
+    /// Like [`PreparedQuery::verification`], but **take-once**: the first
+    /// call after compilation returns the outcome, every later call
+    /// returns `None`. Counter sinks ([`PlanCache::record_verification`])
+    /// call this after each execution so verification is tallied per
+    /// compile, never inflated by re-executions of a cached plan.
+    pub fn take_verification(&self) -> Option<VerifierStats> {
+        let stats = *self.verification.get()?;
+        if self.verification_taken.swap(true, Ordering::Relaxed) {
+            None
+        } else {
+            Some(stats)
+        }
     }
 
     /// The compiler's access-path tally for the compiled plan: how many
@@ -223,6 +272,11 @@ pub struct PlanCache {
     /// how many times) a returned plan actually ran.
     index_scans: AtomicU64,
     full_scans: AtomicU64,
+    /// Verifier tallies folded in via [`PlanCache::record_verification`]:
+    /// per-compile (take-once), so `plans_verified` counts distinct
+    /// compiles, not executions.
+    plans_verified: AtomicU64,
+    plan_violations: AtomicU64,
 }
 
 struct CacheInner {
@@ -244,6 +298,8 @@ impl PlanCache {
             }),
             index_scans: AtomicU64::new(0),
             full_scans: AtomicU64::new(0),
+            plans_verified: AtomicU64::new(0),
+            plan_violations: AtomicU64::new(0),
         }
     }
 
@@ -357,6 +413,33 @@ impl PlanCache {
         AccessPathStats {
             index_scan: self.index_scans.load(Ordering::Relaxed),
             full_scan: self.full_scans.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Fold one prepared query's **take-once** verifier outcome into the
+    /// cache-wide counters. Pass [`PreparedQuery::take_verification`]'s
+    /// output directly: `None` (not yet compiled, already tallied, or
+    /// never produced a plan to verify) contributes nothing, so calling
+    /// this after every execution still counts each compile exactly once.
+    pub fn record_verification(&self, outcome: Option<VerifierStats>) {
+        if let Some(stats) = outcome {
+            self.plans_verified
+                .fetch_add(stats.plans_verified, Ordering::Relaxed);
+            self.plan_violations
+                .fetch_add(stats.violations, Ordering::Relaxed);
+        }
+    }
+
+    /// A point-in-time copy of the verifier counters accumulated via
+    /// [`PlanCache::record_verification`]: how many compiled plans the
+    /// always-on verifier checked, and how many violations it raised
+    /// (always 0 unless a compiler bug slipped through — a violation also
+    /// fails the offending statement with
+    /// [`StorageError::PlanVerification`]).
+    pub fn verifier_stats(&self) -> VerifierStats {
+        VerifierStats {
+            plans_verified: self.plans_verified.load(Ordering::Relaxed),
+            violations: self.plan_violations.load(Ordering::Relaxed),
         }
     }
 
@@ -494,6 +577,56 @@ mod tests {
             .execute(ExecOptions::new(ExecStrategy::Planned))
             .expect("planned executes");
         assert!(prepared.plan.get().is_some());
+    }
+
+    #[test]
+    fn verification_runs_once_per_compile_and_is_taken_once() {
+        let db = db();
+        let prepared = db.prepare("SELECT COUNT(*) FROM t").expect("parses");
+        // Nothing compiled yet → nothing verified, nothing to take.
+        assert!(prepared.verification().is_none());
+        assert!(prepared.take_verification().is_none());
+        // Legacy execution never compiles, so it never verifies.
+        prepared
+            .execute(ExecOptions::new(ExecStrategy::Legacy))
+            .unwrap();
+        assert!(prepared.verification().is_none());
+        // The first planned execution compiles and verifies exactly once.
+        prepared.execute(ExecOptions::serial()).unwrap();
+        let expected = VerifierStats {
+            plans_verified: 1,
+            violations: 0,
+        };
+        assert_eq!(prepared.verification(), Some(expected));
+        assert_eq!(prepared.take_verification(), Some(expected));
+        // Taken: later folds (e.g. after a re-execution) see None...
+        prepared.execute(ExecOptions::serial()).unwrap();
+        assert!(prepared.take_verification().is_none());
+        // ...while the non-consuming accessor still reports.
+        assert_eq!(prepared.verification(), Some(expected));
+    }
+
+    #[test]
+    fn plan_cache_folds_verification_per_compile() {
+        let db = db();
+        let cache = PlanCache::new(8);
+        let snapshot = db.snapshot();
+        assert_eq!(cache.verifier_stats(), VerifierStats::default());
+        let prepared = cache
+            .get(&snapshot, "SELECT MAX(v) FROM t WHERE id > 10")
+            .expect("prepares");
+        prepared.execute(ExecOptions::serial()).unwrap();
+        cache.record_verification(prepared.take_verification());
+        // A second execution of the cached plan folds nothing new.
+        prepared.execute(ExecOptions::serial()).unwrap();
+        cache.record_verification(prepared.take_verification());
+        assert_eq!(
+            cache.verifier_stats(),
+            VerifierStats {
+                plans_verified: 1,
+                violations: 0
+            }
+        );
     }
 
     #[test]

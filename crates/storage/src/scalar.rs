@@ -702,8 +702,14 @@ pub(crate) fn eval_binary_cols(
                     mask.set(i);
                     continue;
                 }
-                let a = numeric_f64(left, i).expect("numeric column");
-                let b = numeric_f64(right, i).expect("numeric column");
+                // `both_numeric` above makes this unreachable; surface a
+                // TypeError rather than panicking the worker if a new
+                // ColumnVec variant ever slips past the guard.
+                let (Some(a), Some(b)) = (numeric_f64(left, i), numeric_f64(right, i)) else {
+                    return Err(StorageError::TypeError(
+                        "non-numeric column in numeric kernel".into(),
+                    ));
+                };
                 if matches!(op, Divide | Modulo) && b == 0.0 {
                     return Err(StorageError::Arithmetic("division by zero".into()));
                 }

@@ -22,7 +22,7 @@ use std::sync::RwLock;
 
 use crate::database::Database;
 use crate::error::{StorageError, StorageResult};
-use crate::physical::{batch_map, AccessPathStats, ExecOptions};
+use crate::physical::{batch_map, AccessPathStats, ExecOptions, VerifierStats};
 use crate::prepared::{PlanCache, PlanCacheStats, DEFAULT_PLAN_CACHE_CAPACITY};
 use crate::result::QueryResult;
 use crate::schema::TableSchema;
@@ -104,6 +104,17 @@ impl AnnotationService {
         self.cache.access_stats()
     }
 
+    /// Aggregate plan-verifier counters over every statement the service's
+    /// sessions compiled: how many physical plans the always-on verifier
+    /// checked and how many violations it raised. Counted per *compile*
+    /// (cached plans tally once, however often they re-execute), so
+    /// `plans_verified` tracks the cache's miss-side compile work and
+    /// `violations` staying at 0 is the observable proof that no
+    /// miscompiled plan ever reached execution.
+    pub fn verifier_stats(&self) -> VerifierStats {
+        self.cache.verifier_stats()
+    }
+
     /// Total rows currently in the live database.
     pub fn total_rows(&self) -> usize {
         self.live.read().expect("service lock").total_rows()
@@ -145,6 +156,9 @@ impl AnnotationSession<'_> {
         // the error path too (a failing residual still chose its access
         // path at compile time).
         self.service.cache.record_access(prepared.access_paths());
+        self.service
+            .cache
+            .record_verification(prepared.take_verification());
         result
     }
 
@@ -363,6 +377,54 @@ mod tests {
             AccessPathStats {
                 index_scan: 2,
                 full_scan: 1
+            }
+        );
+    }
+
+    #[test]
+    fn verifier_counters_count_compiles_not_executions() {
+        let service = AnnotationService::new(corpus_db());
+        let session = service.open_session();
+        assert_eq!(service.verifier_stats(), VerifierStats::default());
+        // First planned execution compiles → one verified plan.
+        session.execute_sql("SELECT COUNT(*) FROM log").unwrap();
+        assert_eq!(
+            service.verifier_stats(),
+            VerifierStats {
+                plans_verified: 1,
+                violations: 0
+            }
+        );
+        // Re-executing the cached plan must not re-count: verification is
+        // per compile, not per execution.
+        session.execute_sql("SELECT COUNT(*) FROM log").unwrap();
+        assert_eq!(service.verifier_stats().plans_verified, 1);
+        // A second distinct statement compiles (and verifies) its own plan.
+        session
+            .execute_sql("SELECT MAX(score) FROM log WHERE grp = 3")
+            .unwrap();
+        assert_eq!(
+            service.verifier_stats(),
+            VerifierStats {
+                plans_verified: 2,
+                violations: 0
+            }
+        );
+        // A legacy run never compiles, so it never verifies.
+        session
+            .execute_sql_opts(
+                "SELECT grp FROM log WHERE id = 1",
+                ExecOptions::new(ExecStrategy::Legacy),
+            )
+            .unwrap();
+        assert_eq!(service.verifier_stats().plans_verified, 2);
+        // A parse error produces no plan to verify.
+        assert!(session.execute_sql("NOT REAL SQL").is_err());
+        assert_eq!(
+            service.verifier_stats(),
+            VerifierStats {
+                plans_verified: 2,
+                violations: 0
             }
         );
     }

@@ -541,7 +541,13 @@ impl Deserialize for Table {
 fn coerce(value: Value, target: DataType) -> Result<Value, Value> {
     match (target, &value) {
         (DataType::Integer, Value::Int(_)) => Ok(value),
-        (DataType::Integer, Value::Float(f)) if f.fract() == 0.0 => Ok(Value::Int(*f as i64)),
+        // exact_int both checks integrality and rejects floats outside i64
+        // range — a bare `as` cast would saturate 1e300 to i64::MAX and
+        // store a legal-looking but corrupted key.
+        (DataType::Integer, Value::Float(_)) => match value.exact_int() {
+            Some(i) => Ok(Value::Int(i)),
+            None => Err(value),
+        },
         (DataType::Float, Value::Float(_)) => Ok(value),
         (DataType::Float, Value::Int(i)) => Ok(Value::Float(*i as f64)),
         (DataType::Text, Value::Text(_)) => Ok(value),
@@ -610,6 +616,25 @@ mod tests {
             .unwrap();
         assert_eq!(t.value(0, "id"), Some(&Value::Int(3)));
         assert_eq!(t.value(0, "score"), Some(&Value::Float(4.0)));
+    }
+
+    #[test]
+    fn integer_coercion_rejects_out_of_range_floats() {
+        // 1e300 is integral (fract == 0) but far outside i64 range: it must
+        // be a SchemaMismatch, not a silently saturated i64::MAX key.
+        let mut t = table();
+        let err = t
+            .insert(vec![Value::Float(1e300), "x".into(), 1.0.into()])
+            .unwrap_err();
+        assert!(matches!(err, StorageError::SchemaMismatch(_)));
+        let err = t
+            .insert(vec![Value::Float(-1e300), "x".into(), 1.0.into()])
+            .unwrap_err();
+        assert!(matches!(err, StorageError::SchemaMismatch(_)));
+        // In-range integral floats still coerce.
+        t.insert(vec![Value::Float(7.0), "x".into(), 1.0.into()])
+            .unwrap();
+        assert_eq!(t.value(0, "id"), Some(&Value::Int(7)));
     }
 
     #[test]

@@ -56,16 +56,12 @@ impl Value {
         }
     }
 
-    /// Coerce to an integer if exactly representable.
+    /// Coerce to an integer if exactly representable. Delegates to
+    /// [`Value::exact_int`], so an integral float outside `i64` range
+    /// (`1e300`) returns `None` instead of silently saturating to
+    /// `i64::MAX` the way a bare `as` cast would.
     pub fn as_i64(&self) -> Option<i64> {
-        match self {
-            Value::Int(i) => Some(*i),
-            Value::Float(f) if f.fract() == 0.0 => Some(*f as i64),
-            Value::Date(d) => Some(*d),
-            Value::Timestamp(t) => Some(*t),
-            Value::Bool(b) => Some(if *b { 1 } else { 0 }),
-            _ => None,
-        }
+        self.exact_int()
     }
 
     /// Borrow text content if this is a text value.
@@ -410,6 +406,10 @@ mod tests {
         assert_eq!(Value::from(3i64).as_f64(), Some(3.0));
         assert_eq!(Value::from(2.5).as_i64(), None);
         assert_eq!(Value::from(2.0).as_i64(), Some(2));
+        // Integral but outside i64 range: must not saturate to i64::MAX.
+        assert_eq!(Value::from(1e300).as_i64(), None);
+        assert_eq!(Value::from(-1e300).as_i64(), None);
+        assert_eq!(Value::from(f64::NAN).as_i64(), None);
         assert_eq!(Value::from("x").as_text(), Some("x"));
         assert_eq!(Value::from(true).as_i64(), Some(1));
     }

@@ -10,6 +10,7 @@ use bp_llm::{generate_candidates, GenerationRequest, ModelKind, PromptBuilder};
 use bp_metrics::{coverage, grade_cached, ClarityHistogram, DEFAULT_ACCURACY_THRESHOLD};
 use bp_storage::{
     available_threads, batch_map, AccessPathStats, Database, PlanCache, PlanCacheStats,
+    VerifierStats,
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -326,7 +327,11 @@ impl StudyRun {
     /// queries, matching the paper's presentation.
     pub fn latency_table(&self) -> Vec<ConditionRow> {
         let latency = |dataset: Option<StudyDataset>, condition: Condition| -> f64 {
-            let mut per_participant: HashMap<usize, f64> = HashMap::new();
+            // BTreeMap, not HashMap: the totals are summed below, and f64
+            // addition is order-sensitive in the last ulp — hash order would
+            // make the reported mean depend on the process's hash seed.
+            let mut per_participant: std::collections::BTreeMap<usize, f64> =
+                std::collections::BTreeMap::new();
             for outcome in self.outcomes_for(dataset, condition) {
                 *per_participant.entry(outcome.participant).or_insert(0.0) += outcome.minutes;
             }
@@ -385,6 +390,12 @@ impl StudyRun {
     /// sweep the compiler answered from a secondary index versus a full
     /// scan (per execution, cached plans included) — fast-path coverage of
     /// the grading workload, observed rather than inferred.
+    ///
+    /// The [`VerifierStats`] tally the always-on plan verifier's coverage:
+    /// every distinct compile the sweep performed was statically verified
+    /// (counted once per compile, not per execution), and `violations`
+    /// staying at 0 is the observable proof that no miscompiled plan
+    /// reached execution.
     pub fn clarity_histograms_detailed(
         &self,
         backtranslation_model: ModelKind,
@@ -392,6 +403,7 @@ impl StudyRun {
         HashMap<Condition, ClarityHistogram>,
         PlanCacheStats,
         AccessPathStats,
+        VerifierStats,
     ) {
         let beaver_translator =
             bp_llm::Backtranslator::new(self.beaver_db.catalog(), backtranslation_model.profile());
@@ -433,7 +445,13 @@ impl StudyRun {
             index_scan: beaver_access.index_scan + bird_access.index_scan,
             full_scan: beaver_access.full_scan + bird_access.full_scan,
         };
-        (histograms, stats, access)
+        let beaver_verified = beaver_cache.verifier_stats();
+        let bird_verified = bird_cache.verifier_stats();
+        let verified = VerifierStats {
+            plans_verified: beaver_verified.plans_verified + bird_verified.plans_verified,
+            violations: beaver_verified.violations + bird_verified.violations,
+        };
+        (histograms, stats, access, verified)
     }
 
     /// Mean coverage per condition (a finer-grained quality view than the
@@ -536,7 +554,7 @@ mod tests {
     fn detailed_clarity_histograms_agree_and_report_cache_reuse() {
         let run = small_run();
         let plain = run.clarity_histograms(ModelKind::Gpt4o);
-        let (detailed, stats, access) = run.clarity_histograms_detailed(ModelKind::Gpt4o);
+        let (detailed, stats, access, verified) = run.clarity_histograms_detailed(ModelKind::Gpt4o);
         assert_eq!(plain, detailed);
         // Every graded outcome touches the cache at least once (regenerated
         // side), at most twice (plus the original).
@@ -551,6 +569,14 @@ mod tests {
             access.index_scan + access.full_scan > 0,
             "graded executions must tally access paths"
         );
+        // Every distinct compile was statically verified (once per compile,
+        // so verified ≤ misses), and none of them was a miscompile.
+        assert!(
+            verified.plans_verified > 0,
+            "graded compiles must tally verifier coverage"
+        );
+        assert!(verified.plans_verified <= stats.misses);
+        assert_eq!(verified.violations, 0, "no plan may fail verification");
     }
 
     #[test]

@@ -75,6 +75,37 @@ fn assert_corpus_differential(kind: BenchmarkKind, query_count: usize, seed: u64
     }
 }
 
+/// Every plan the compiler emits for a corpus — at both fast-path settings
+/// — must pass the static verifier with zero violations. Compile failures
+/// are skipped (deferred plan errors are legal); compiled plans must be
+/// sound.
+fn assert_corpus_verifies(kind: BenchmarkKind, query_count: usize, seed: u64) {
+    use benchpress_suite::storage::{compile_query_with, verify_plan};
+    let corpus = GeneratedBenchmark::generate(kind, query_count, seed);
+    let snapshot = corpus.database.snapshot();
+    for entry in &corpus.log {
+        let Ok(query) = benchpress_suite::sql::parse_query(&entry.sql) else {
+            continue;
+        };
+        for fast_paths in [true, false] {
+            if let Ok(plan) = compile_query_with(&snapshot, &query, fast_paths) {
+                let violations = verify_plan(&snapshot, &plan);
+                assert!(
+                    violations.is_empty(),
+                    "{} (fast_paths={fast_paths}): {}\n{}",
+                    kind.name(),
+                    entry.sql,
+                    violations
+                        .iter()
+                        .map(|v| format!("  - {v}"))
+                        .collect::<Vec<_>>()
+                        .join("\n")
+                );
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig {
         cases: 6,
@@ -104,6 +135,22 @@ proptest! {
     #[test]
     fn planned_matches_interpreter_on_beaver(seed in 0u64..10_000) {
         assert_corpus_differential(BenchmarkKind::Beaver, 8, seed);
+    }
+
+    /// Static-verification property: every plan compiled from all four
+    /// corpora passes `verify_plan` with zero violations, with index fast
+    /// paths both on and off. (In debug builds the compile hook asserts
+    /// this a second time from inside `compile_query_with`.)
+    #[test]
+    fn corpus_plans_verify_cleanly(seed in 0u64..10_000) {
+        for kind in [
+            BenchmarkKind::Spider,
+            BenchmarkKind::Bird,
+            BenchmarkKind::Fiben,
+            BenchmarkKind::Beaver,
+        ] {
+            assert_corpus_verifies(kind, 8, seed);
+        }
     }
 }
 
