@@ -50,7 +50,7 @@ fn main() {
     }
 
     println!("\n--- Figure 4: backtranslation clarity histogram ---");
-    let (histograms, cache_stats, access_stats, verifier_stats) =
+    let (histograms, cache_stats, access_stats, verifier_stats, optimizer_stats, cardinality) =
         run.clarity_histograms_detailed(ModelKind::Gpt4o);
     println!(
         "{:<14} {:>6} {:>6} {:>6} {:>6} {:>6} {:>12}",
@@ -83,5 +83,13 @@ fn main() {
     println!(
         "plan verification during grading: {} plans verified, {} violations",
         verifier_stats.plans_verified, verifier_stats.violations
+    );
+    println!(
+        "join optimization during grading: {} cost-based spines, {} syntactic fallbacks",
+        optimizer_stats.cost_based, optimizer_stats.syntactic_fallback
+    );
+    println!(
+        "cardinality drift during grading: {} estimated executions, {} estimated rows vs {} actual rows",
+        cardinality.estimated_executions, cardinality.estimated_rows, cardinality.actual_rows
     );
 }

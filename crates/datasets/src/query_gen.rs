@@ -196,6 +196,17 @@ fn foreign_key_pair<'a>(
     db: &'a Database,
     rng: &mut ChaCha8Rng,
 ) -> Option<(&'a Table, String, &'a Table, String)> {
+    let mut pairs = foreign_key_pairs(db);
+    if pairs.is_empty() {
+        return None;
+    }
+    let (child, fk, parent, pk) = pairs.swap_remove(rng.gen_range(0..pairs.len()));
+    Some((child, fk, parent, pk))
+}
+
+/// Every (child, fk column, parent, parent pk) edge of the schema's
+/// foreign-key graph, in catalog order.
+fn foreign_key_pairs(db: &Database) -> Vec<(&Table, String, &Table, String)> {
     let mut pairs = Vec::new();
     for table in db.tables() {
         for column in &table.schema.columns {
@@ -206,11 +217,7 @@ fn foreign_key_pair<'a>(
             }
         }
     }
-    if pairs.is_empty() {
-        return None;
-    }
-    let (child, fk, parent, pk) = pairs.swap_remove(rng.gen_range(0..pairs.len()));
-    Some((child, fk, parent, pk))
+    pairs
 }
 
 // ---------------------------------------------------------------------
@@ -291,6 +298,20 @@ fn aggregate_query(
 }
 
 fn join_query(db: &Database, _profile: &BenchmarkProfile, rng: &mut ChaCha8Rng) -> Option<String> {
+    // Multi-table equi-join shapes (3–5 tables, chain or star topology)
+    // exercise the optimizer's join reordering; the FK data they follow is
+    // deliberately skewed (see `schema_gen::populate`), so syntactic join
+    // order is frequently the wrong one.
+    if rng.gen_bool(0.4) {
+        let multi = if rng.gen_bool(0.5) {
+            join_chain_query(db, rng)
+        } else {
+            join_star_query(db, rng)
+        };
+        if let Some(sql) = multi {
+            return Some(sql);
+        }
+    }
     let (child, fk, parent, pk) = foreign_key_pair(db, rng)?;
     let child_columns = non_key_columns(child);
     let parent_columns = non_key_columns(parent);
@@ -315,6 +336,100 @@ fn join_query(db: &Database, _profile: &BenchmarkProfile, rng: &mut ChaCha8Rng) 
             format!("c.{filter}")
         };
         sql.push_str(&format!(" WHERE {qualified}"));
+    }
+    Some(sql)
+}
+
+/// Chain topology: follow foreign-key edges child → parent → grandparent
+/// for 3–5 tables, equi-joining every hop in syntactic (child-first) order.
+/// The generated schemas reference strictly earlier tables, so a chain
+/// never revisits a relation.
+fn join_chain_query(db: &Database, rng: &mut ChaCha8Rng) -> Option<String> {
+    let edges = foreign_key_pairs(db);
+    if edges.is_empty() {
+        return None;
+    }
+    let target = rng.gen_range(3..=5usize);
+    let (mut current, fk, parent, pk) = edges[rng.gen_range(0..edges.len())].clone();
+    let mut chain: Vec<(&Table, String, String)> = vec![(current, fk, pk)];
+    let mut tables = vec![current, parent];
+    current = parent;
+    while tables.len() < target {
+        let Some((_, fk, parent, pk)) = edges
+            .iter()
+            .find(|(child, ..)| child.schema.name == current.schema.name)
+            .cloned()
+        else {
+            break;
+        };
+        chain.push((current, fk, pk));
+        tables.push(parent);
+        current = parent;
+    }
+    if tables.len() < 3 {
+        return None;
+    }
+    let first_col = non_key_columns(tables[0]).first()?.clone();
+    let last = tables.len() - 1;
+    let last_col = primary_key(tables[last])?;
+    let mut sql = format!(
+        "SELECT t0.{first_col}, t{last}.{last_col} FROM {} t0",
+        tables[0].schema.name
+    );
+    for (hop, (_, fk, pk)) in chain.iter().enumerate() {
+        sql.push_str(&format!(
+            " JOIN {} t{} ON t{}.{fk} = t{}.{pk}",
+            tables[hop + 1].schema.name,
+            hop + 1,
+            hop,
+            hop + 1,
+        ));
+    }
+    if let Some(filter) = any_filter(tables[last], rng) {
+        sql.push_str(&format!(" WHERE t{last}.{filter}"));
+    }
+    Some(sql)
+}
+
+/// Star topology: one parent (hub) equi-joined by 2–4 distinct child
+/// tables through their foreign keys — the dimension-table shape. Joins
+/// are spelled child-first so the hub sits in the middle of the syntactic
+/// order, which only a cost-based reorder can fix.
+fn join_star_query(db: &Database, rng: &mut ChaCha8Rng) -> Option<String> {
+    // A spoke is (child table, fk column on the child, pk column on the hub).
+    type Spoke<'a> = (&'a Table, String, String);
+    let edges = foreign_key_pairs(db);
+    // Group children by parent; need a hub with at least two children.
+    let mut hubs: Vec<(&Table, Vec<Spoke>)> = Vec::new();
+    for (child, fk, parent, pk) in &edges {
+        match hubs
+            .iter_mut()
+            .find(|(hub, _)| hub.schema.name == parent.schema.name)
+        {
+            Some((_, spokes)) => spokes.push((child, fk.clone(), pk.clone())),
+            None => hubs.push((parent, vec![(child, fk.clone(), pk.clone())])),
+        }
+    }
+    hubs.retain(|(_, spokes)| spokes.len() >= 2);
+    if hubs.is_empty() {
+        return None;
+    }
+    let (hub, spokes) = &hubs[rng.gen_range(0..hubs.len())];
+    let arms = spokes.len().min(rng.gen_range(2..=4usize));
+    let first_col = non_key_columns(spokes[0].0).first()?.clone();
+    let hub_pk = primary_key(hub)?;
+    let mut sql = format!(
+        "SELECT t0.{first_col}, hub.{hub_pk} FROM {} t0 JOIN {} hub ON t0.{} = hub.{}",
+        spokes[0].0.schema.name, hub.schema.name, spokes[0].1, spokes[0].2,
+    );
+    for (i, (child, fk, pk)) in spokes.iter().take(arms).enumerate().skip(1) {
+        sql.push_str(&format!(
+            " JOIN {} t{i} ON t{i}.{fk} = hub.{pk}",
+            child.schema.name
+        ));
+    }
+    if let Some(filter) = any_filter(hub, rng) {
+        sql.push_str(&format!(" WHERE hub.{filter}"));
     }
     Some(sql)
 }
@@ -462,6 +577,39 @@ mod tests {
         assert!(beaver_complexity.aggregations > spider_complexity.aggregations);
         assert!(beaver_complexity.tables > spider_complexity.tables);
         assert!(beaver_complexity.nestings > spider_complexity.nestings);
+    }
+
+    #[test]
+    fn workloads_contain_multi_table_join_chains_counted_in_complexity() {
+        let (db, entries) = workload(BenchmarkKind::Bird, 60, 11);
+        let multi_join: Vec<_> = entries
+            .iter()
+            .filter(|e| {
+                let query = bp_sql::parse_query(&e.sql).expect("parses");
+                bp_sql::analyze(&query).tables.len() >= 3
+            })
+            .collect();
+        assert!(
+            !multi_join.is_empty(),
+            "expected 3+-table join chains in a 60-query workload"
+        );
+        // The chain/star shapes must execute on the generated data and
+        // register in the Table 1/2 complexity metric exactly like the
+        // hand-written templates do.
+        for entry in &multi_join {
+            let query = bp_sql::parse_query(&entry.sql).unwrap();
+            db.execute(&query).expect("multi-join executes");
+        }
+        let analyses: Vec<_> = entries
+            .iter()
+            .map(|e| bp_sql::analyze(&bp_sql::parse_query(&e.sql).unwrap()))
+            .collect();
+        let complexity = QueryComplexity::from_analyses("w", &analyses);
+        assert!(
+            complexity.tables > 1.0,
+            "join shapes should lift the mean table count above single-table, got {}",
+            complexity.tables
+        );
     }
 
     #[test]

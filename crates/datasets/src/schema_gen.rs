@@ -258,6 +258,16 @@ fn populate(db: &mut Database, profile: &BenchmarkProfile, rng: &mut ChaCha8Rng)
                     row.push(Value::Null);
                     continue;
                 }
+                // Foreign keys draw from a quadratically skewed fan-in:
+                // child rows concentrate on low parent keys, so multi-join
+                // workloads see the skewed key distributions whose join
+                // order genuinely matters (uniform fan-in makes every
+                // association tree cost about the same).
+                if column.references.is_some() && column.data_type == DataType::Integer {
+                    let draw: f64 = rng.gen();
+                    row.push(Value::Int((draw * draw * pool_size as f64) as i64));
+                    continue;
+                }
                 let pooled = rng.gen_range(0..pool_size) as i64;
                 let value = match column.data_type {
                     DataType::Integer => Value::Int(pooled),

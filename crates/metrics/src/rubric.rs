@@ -235,6 +235,10 @@ pub fn grade_cached(
         // Per-compile (take-once): re-executions of a cached plan fold
         // nothing, so `plans_verified` counts distinct compiles.
         cache.record_verification(prepared.take_verification());
+        cache.record_optimizer(prepared.take_optimizer());
+        if let Ok(result) = &result {
+            cache.record_cardinality(prepared.estimated_rows(), result.row_count() as u64);
+        }
         result
     };
     let mut execution_matches = None;

@@ -28,6 +28,7 @@
 
 #![warn(missing_docs)]
 
+pub(crate) mod cost;
 pub mod database;
 pub mod error;
 pub mod exec;
@@ -40,19 +41,23 @@ mod scalar;
 pub mod schema;
 pub mod service;
 pub mod snapshot;
+pub(crate) mod stats;
 pub mod table;
 pub mod value;
 
+pub use cost::OptimizerStats;
 pub use database::Database;
 pub use error::{StorageError, StorageResult};
 pub use exec::Executor;
 pub use physical::{
-    available_threads, batch_map, compile_query_with, exec_compiled, execute_planned_opts,
-    verify_logical, verify_plan, AccessPathStats, ExecOptions, ExecStrategy, PhysQueryPlan,
-    PlanViolation, VerifierStats,
+    available_threads, batch_map, compile_query_opts, compile_query_with, exec_compiled,
+    execute_planned_opts, verify_logical, verify_plan, AccessPathStats, CompileOptions,
+    ExecOptions, ExecStrategy, PhysQueryPlan, PlanViolation, VerifierStats,
 };
 pub use plan::{LogicalPlan, Planner, QueryPlan};
-pub use prepared::{PlanCache, PlanCacheStats, PreparedQuery, DEFAULT_PLAN_CACHE_CAPACITY};
+pub use prepared::{
+    CardinalityStats, PlanCache, PlanCacheStats, PreparedQuery, DEFAULT_PLAN_CACHE_CAPACITY,
+};
 pub use profiler::{profile_database, profile_table, DatabaseProfile, TableProfile};
 pub use result::{results_match, QueryResult};
 pub use schema::{Catalog, Column, TableSchema};

@@ -53,7 +53,7 @@ use super::batch::{
     BATCH_ROWS, PAD_NULL,
 };
 use super::expr::{BatchEnv, PhysExpr};
-use super::parallel::run_tasks;
+use super::parallel::{run_morsels, run_tasks};
 use super::{
     compare_rows, dedup_rows, eval_count, exec_index_agg, exec_index_top_k, exec_query_plan,
     finalize_agg_groups, index_scan_ids, join, top_k_rows, PhysNode, RunCtx,
@@ -262,6 +262,7 @@ pub(crate) fn exec_node_col(node: &PhysNode, ctx: &RunCtx<'_>) -> StorageResult<
             residual,
             bindings,
             right_width,
+            build_left,
         } => {
             let left_batches = exec_node_col(left, ctx)?;
             let right_batches = exec_node_col(right, ctx)?;
@@ -274,6 +275,7 @@ pub(crate) fn exec_node_col(node: &PhysNode, ctx: &RunCtx<'_>) -> StorageResult<
                 residual.as_ref(),
                 bindings,
                 *right_width,
+                *build_left,
                 ctx,
             )
         }
@@ -432,6 +434,12 @@ fn dedup_batches(batches: &mut [Batch], visible: usize) {
 /// batches by gathering columns — no composite key strings, no per-pair row
 /// concatenation. Candidate pairs are enumerated left-row-major with
 /// right candidates in build order, exactly like the row engine.
+///
+/// With `build_left` the bucket table is built over the left batches instead
+/// and the right rows probe it in right-row order, appending each right index
+/// to its matched left rows' candidate lists; reading a left row's list then
+/// yields matches ascending by right index — the exact build-right candidate
+/// sequence — so the output is byte-identical either way.
 #[allow(clippy::too_many_arguments)]
 fn columnar_hash_join(
     left_batches: Vec<Batch>,
@@ -442,6 +450,7 @@ fn columnar_hash_join(
     residual: Option<&PhysExpr>,
     bindings: &[ColumnBinding],
     right_width: usize,
+    build_left: bool,
     ctx: &RunCtx<'_>,
 ) -> StorageResult<Vec<Batch>> {
     let left_width = bindings.len() - right_width;
@@ -451,16 +460,43 @@ fn columnar_hash_join(
         .map(|&k| right.columns[k].as_ref())
         .collect();
 
-    // Build: bucket table hash → right row indices in right-row order.
-    // Hash collisions are resolved at probe time by key equality, so the
-    // candidate sequence equals the row engine's exact-key candidate list.
-    let mut table: HashMap<u64, Vec<u32>> = HashMap::with_capacity(right.len);
-    for ri in 0..right.len {
-        if keys_nonnull(&right_key_cols, ri) {
-            table
-                .entry(composite_hash(&right_key_cols, ri))
-                .or_default()
-                .push(ri as u32);
+    // Physical-row offsets of each left batch in a global left-row id space
+    // (only used by the build-left path's candidate lists).
+    let mut left_offsets: Vec<usize> = Vec::with_capacity(left_batches.len());
+    let mut total_left = 0usize;
+    for batch in &left_batches {
+        left_offsets.push(total_left);
+        total_left += batch.len;
+    }
+
+    // Build-left: per-left-row candidate lists filled by probing with the
+    // right side; build-right (default): bucket table hash → right row
+    // indices in right-row order. Hash collisions are resolved by key
+    // equality, so candidate sequences equal the row engine's exact-key
+    // candidate lists either way.
+    let left_matches: Option<Vec<Vec<u32>>> = if build_left {
+        Some(build_left_matches(
+            &left_batches,
+            &left_offsets,
+            total_left,
+            left_keys,
+            &right,
+            &right_key_cols,
+            ctx,
+        )?)
+    } else {
+        None
+    };
+    let mut table: HashMap<u64, Vec<u32>> = HashMap::new();
+    if !build_left {
+        table.reserve(right.len);
+        for ri in 0..right.len {
+            if keys_nonnull(&right_key_cols, ri) {
+                table
+                    .entry(composite_hash(&right_key_cols, ri))
+                    .or_default()
+                    .push(ri as u32);
+            }
         }
     }
 
@@ -476,12 +512,18 @@ fn columnar_hash_join(
             .map(|&k| batch.columns[k].as_ref())
             .collect();
 
-        // Candidate pairs, left-row-major.
+        // Candidate pairs, left-row-major. Build-left reads precomputed
+        // per-left-row lists (already in right-row order); build-right
+        // hashes into the right-side bucket table.
         let mut pairs: Vec<(u32, u32)> = Vec::new();
         let mut per_row: Vec<(u32, u32)> = Vec::new(); // (left phys, pair count)
         for lphys in batch.live_rows() {
             let start = pairs.len();
-            if keys_nonnull(&left_key_cols, lphys) {
+            if let Some(matches) = &left_matches {
+                for &ri in &matches[left_offsets[bi] + lphys] {
+                    pairs.push((lphys as u32, ri));
+                }
+            } else if keys_nonnull(&left_key_cols, lphys) {
                 if let Some(candidates) = table.get(&composite_hash(&left_key_cols, lphys)) {
                     for &ri in candidates {
                         if composite_eq(&left_key_cols, lphys, &right_key_cols, ri as usize) {
@@ -595,6 +637,72 @@ fn columnar_hash_join(
         }
     }
     Ok(out)
+}
+
+/// Build-side-flipped candidate enumeration: bucket every live left row by
+/// key hash (in batch-major left-row order), then probe with the flattened
+/// right side in right-row order, appending each right index to the candidate
+/// lists of the left rows it key-matches. Morsel chunks merge in range order,
+/// so every per-left-row list comes out ascending by right index — exactly
+/// the sequence the build-right path would have enumerated.
+#[allow(clippy::too_many_arguments)]
+fn build_left_matches(
+    left_batches: &[Batch],
+    left_offsets: &[usize],
+    total_left: usize,
+    left_keys: &[usize],
+    right: &Batch,
+    right_key_cols: &[&ColumnVec],
+    ctx: &RunCtx<'_>,
+) -> StorageResult<Vec<Vec<u32>>> {
+    let left_key_cols: Vec<Vec<&ColumnVec>> = left_batches
+        .iter()
+        .map(|batch| {
+            left_keys
+                .iter()
+                .map(|&k| batch.columns[k].as_ref())
+                .collect()
+        })
+        .collect();
+    let mut table: HashMap<u64, Vec<(u32, u32)>> = HashMap::with_capacity(total_left);
+    for (bi, batch) in left_batches.iter().enumerate() {
+        let cols = &left_key_cols[bi];
+        for lphys in batch.live_rows() {
+            if keys_nonnull(cols, lphys) {
+                table
+                    .entry(composite_hash(cols, lphys))
+                    .or_default()
+                    .push((bi as u32, lphys as u32));
+            }
+        }
+    }
+    let pair_chunks = run_morsels(ctx.threads, right.len, |range| {
+        let mut pairs: Vec<(u32, u32, u32)> = Vec::new();
+        for ri in range {
+            if keys_nonnull(right_key_cols, ri) {
+                if let Some(candidates) = table.get(&composite_hash(right_key_cols, ri)) {
+                    for &(bi, lphys) in candidates {
+                        if composite_eq(
+                            &left_key_cols[bi as usize],
+                            lphys as usize,
+                            right_key_cols,
+                            ri,
+                        ) {
+                            pairs.push((bi, lphys, ri as u32));
+                        }
+                    }
+                }
+            }
+        }
+        Ok::<_, StorageError>(pairs)
+    })?;
+    let mut matches: Vec<Vec<u32>> = vec![Vec::new(); total_left];
+    for chunk in pair_chunks {
+        for (bi, lphys, ri) in chunk {
+            matches[left_offsets[bi as usize] + lphys as usize].push(ri);
+        }
+    }
+    Ok(matches)
 }
 
 /// Columnar hash aggregation: group keys are evaluated as whole columns per

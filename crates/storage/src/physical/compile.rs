@@ -39,19 +39,35 @@ pub(crate) struct Compiler<'a> {
     /// Whether to emit index-backed access paths (`false` forces full
     /// scans — the differential baseline).
     fast_paths: bool,
+    /// Whether statistics drive physical choices (build-side selection,
+    /// access-path arbitration). `false` is the syntactic baseline: fixed
+    /// preference order, always build right.
+    cost_based: bool,
     /// Running access-path tally over the whole compilation.
     index_scans: u64,
     full_scans: u64,
 }
 
 impl<'a> Compiler<'a> {
+    #[cfg(test)]
     pub(crate) fn with_fast_paths(db: &'a Snapshot, fast_paths: bool) -> Self {
+        Self::with_options(
+            db,
+            super::CompileOptions {
+                fast_paths,
+                ..super::CompileOptions::default()
+            },
+        )
+    }
+
+    pub(crate) fn with_options(db: &'a Snapshot, options: super::CompileOptions) -> Self {
         Compiler {
             db,
             frames: Vec::new(),
             contains_outer: false,
             min_cte_depth: usize::MAX,
-            fast_paths,
+            fast_paths: options.fast_paths,
+            cost_based: options.cost_based,
             index_scans: 0,
             full_scans: 0,
         }
@@ -90,6 +106,8 @@ impl<'a> Compiler<'a> {
             columns: plan.columns.clone(),
             ordered: plan.ordered,
             access: AccessPathStats::default(),
+            est_rows: None,
+            optimizer: crate::cost::OptimizerStats::default(),
         })
     }
 
@@ -164,6 +182,16 @@ impl<'a> Compiler<'a> {
                         .map(|e| self.compile_expr(e, &bindings))
                         .transpose()?;
                     let (left_keys, right_keys) = equi_keys.iter().copied().unzip();
+                    // Cost-based build-side selection: build the hash table
+                    // on the smaller estimated input. Inner joins only (the
+                    // outer-join padding logic is side-specific), and output
+                    // is byte-identical either way — a wrong estimate can
+                    // only change speed, never answers.
+                    let build_left =
+                        self.cost_based && matches!(operator, bp_sql::JoinOperator::Inner) && {
+                            let est = crate::cost::Estimator::new(self.db);
+                            est.rows(left) < est.rows(right)
+                        };
                     Ok(PhysNode::HashJoin {
                         left: Box::new(compiled_left),
                         right: Box::new(compiled_right),
@@ -173,6 +201,7 @@ impl<'a> Compiler<'a> {
                         residual,
                         bindings,
                         right_width,
+                        build_left,
                     })
                 }
             }
@@ -379,20 +408,46 @@ impl<'a> Compiler<'a> {
             .iter()
             .map(|c| sargable_atom(c, bindings).filter(|a| atom_usable(table, a)))
             .collect();
-        // Prefer the most selective shape: point, then IN-list, then range.
-        let chosen = atoms
+        // Shape-preference order: point, then IN-list, then range — the
+        // syntactic baseline picks the first match outright; the cost-based
+        // arbiter walks the same order but keeps the atom with the lowest
+        // estimated selectivity (strict `<`, so ties fall back to the
+        // baseline's choice) and declines the index entirely when even the
+        // best atom keeps most of the table (see
+        // [`crate::cost::INDEX_CROSSOVER_SELECTIVITY`]).
+        let preference: Vec<usize> = atoms
             .iter()
             .position(|a| matches!(a, Some(SargAtom::Point { .. })))
-            .or_else(|| {
+            .into_iter()
+            .chain(
                 atoms
                     .iter()
-                    .position(|a| matches!(a, Some(SargAtom::InList { .. })))
-            })
-            .or_else(|| {
+                    .position(|a| matches!(a, Some(SargAtom::InList { .. }))),
+            )
+            .chain(
                 atoms
                     .iter()
-                    .position(|a| matches!(a, Some(SargAtom::Range { .. })))
-            });
+                    .position(|a| matches!(a, Some(SargAtom::Range { .. }))),
+            )
+            .collect();
+        let chosen = if self.cost_based {
+            let mut best: Option<(usize, f64)> = None;
+            for &i in &preference {
+                if let Some(atom) = &atoms[i] {
+                    let sel = crate::cost::table_atom_selectivity(table, atom);
+                    if best.is_none_or(|(_, s)| sel < s) {
+                        best = Some((i, sel));
+                    }
+                }
+            }
+            match best {
+                Some((_, sel)) if sel > crate::cost::INDEX_CROSSOVER_SELECTIVITY => None,
+                Some((i, _)) => Some(i),
+                None => None,
+            }
+        } else {
+            preference.first().copied()
+        };
         let Some(chosen) = chosen else {
             return Ok(None);
         };

@@ -83,8 +83,9 @@ const MIN_PARTITIONED_BUILD: usize = 512;
 /// morsel-order reassembly, and the unmatched-right append) lives here
 /// once and cannot drift between them.
 ///
-/// `for_each_candidate(lrow, emit)` must call `emit(ri)` for every
-/// candidate right-row index in right-row order.
+/// `for_each_candidate(li, lrow, emit)` must call `emit(ri)` for every
+/// candidate right-row index in right-row order; `li` is the left row's
+/// global index (so precomputed per-left-row candidate lists can be read).
 #[allow(clippy::too_many_arguments)]
 fn probe_join<F>(
     left_rows: &[Row],
@@ -97,7 +98,7 @@ fn probe_join<F>(
     for_each_candidate: F,
 ) -> StorageResult<Vec<Row>>
 where
-    F: Fn(&Row, &mut dyn FnMut(usize) -> StorageResult<()>) -> StorageResult<()> + Sync,
+    F: Fn(usize, &Row, &mut dyn FnMut(usize) -> StorageResult<()>) -> StorageResult<()> + Sync,
 {
     let track_right = matches!(operator, JoinOperator::RightOuter | JoinOperator::FullOuter);
     let probe_chunks = run_morsels(ctx.threads, left_rows.len(), |range| {
@@ -108,9 +109,10 @@ where
         // stored): keeps matched_right at O(distinct right rows) instead
         // of O(output rows) on skewed RIGHT/FULL joins.
         let mut seen = vec![false; if track_right { right_rows.len() } else { 0 }];
-        for lrow in &left_rows[range] {
+        for li in range {
+            let lrow = &left_rows[li];
             let mut matched = false;
-            for_each_candidate(lrow, &mut |ri| {
+            for_each_candidate(li, lrow, &mut |ri| {
                 let mut combined = lrow.clone();
                 combined.extend(right_rows[ri].iter().cloned());
                 let keep = match predicate {
@@ -173,8 +175,22 @@ pub(super) fn hash_join(
     residual: Option<&PhysExpr>,
     bindings: &[ColumnBinding],
     right_width: usize,
+    build_left: bool,
     ctx: &RunCtx<'_>,
 ) -> StorageResult<Vec<Row>> {
+    if build_left {
+        return hash_join_build_left(
+            left_rows,
+            right_rows,
+            operator,
+            left_keys,
+            right_keys,
+            residual,
+            bindings,
+            right_width,
+            ctx,
+        );
+    }
     let partitions = if ctx.threads > 1 && right_rows.len() >= MIN_PARTITIONED_BUILD {
         ctx.threads
     } else {
@@ -228,7 +244,7 @@ pub(super) fn hash_join(
         bindings,
         right_width,
         ctx,
-        |lrow, emit| {
+        |_li, lrow, emit| {
             if let Some(key) = join_key(lrow, left_keys) {
                 let partition = if partitions > 1 {
                     (key_hash(&key) as usize) % partitions
@@ -268,8 +284,75 @@ pub(super) fn nested_loop_join(
         bindings,
         right_width,
         ctx,
-        |_lrow, emit| {
+        |_li, _lrow, emit| {
             for ri in 0..right_rows.len() {
+                emit(ri)?;
+            }
+            Ok(())
+        },
+    )
+}
+
+/// [`hash_join`] with the build/probe roles swapped: the hash table is
+/// built over the **left** (estimated-smaller) input, and the right rows
+/// probe it — in right-row order, each appending its index to every
+/// key-matched left row's candidate list. Reading a left row's list back
+/// therefore yields its matches in right-row order, which is exactly the
+/// candidate sequence the build-right probe emits — so the output (and
+/// every downstream byte) is identical; only the table size changes.
+#[allow(clippy::too_many_arguments)]
+fn hash_join_build_left(
+    left_rows: Vec<Row>,
+    right_rows: Vec<Row>,
+    operator: JoinOperator,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    residual: Option<&PhysExpr>,
+    bindings: &[ColumnBinding],
+    right_width: usize,
+    ctx: &RunCtx<'_>,
+) -> StorageResult<Vec<Row>> {
+    // Build side (left): key → left-row indices in left-row order.
+    let mut table: HashMap<String, Vec<usize>> = HashMap::with_capacity(left_rows.len());
+    for (li, lrow) in left_rows.iter().enumerate() {
+        if let Some(key) = join_key(lrow, left_keys) {
+            table.entry(key).or_default().push(li);
+        }
+    }
+
+    // Probe side (right): morsels of right rows look up their key's left
+    // candidates; merging the per-morsel pair lists in morsel order keeps
+    // each left row's matches ascending by right-row index.
+    let pair_chunks = run_morsels(ctx.threads, right_rows.len(), |range| {
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        for ri in range {
+            if let Some(key) = join_key(&right_rows[ri], right_keys) {
+                if let Some(candidates) = table.get(&key) {
+                    for &li in candidates {
+                        pairs.push((li, ri));
+                    }
+                }
+            }
+        }
+        Ok::<_, crate::error::StorageError>(pairs)
+    })?;
+    let mut matches: Vec<Vec<usize>> = vec![Vec::new(); left_rows.len()];
+    for chunk in pair_chunks {
+        for (li, ri) in chunk {
+            matches[li].push(ri);
+        }
+    }
+
+    probe_join(
+        &left_rows,
+        &right_rows,
+        operator,
+        residual,
+        bindings,
+        right_width,
+        ctx,
+        |li, _lrow, emit| {
+            for &ri in &matches[li] {
                 emit(ri)?;
             }
             Ok(())

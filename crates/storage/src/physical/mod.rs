@@ -28,6 +28,7 @@
 pub(crate) mod batch;
 mod columnar;
 mod compile;
+mod explain;
 mod expr;
 mod join;
 pub(crate) mod parallel;
@@ -145,7 +146,7 @@ pub fn execute_planned_opts(
 /// Plan and compile a query into a reusable physical plan (the
 /// parse-once/execute-many half of [`crate::prepared::PreparedQuery`]).
 pub(crate) fn compile_query(db: &Snapshot, query: &Query) -> StorageResult<PhysQueryPlan> {
-    compile_query_with(db, query, true)
+    compile_query_opts(db, query, CompileOptions::default())
 }
 
 /// [`compile_query`] with index-backed fast paths toggleable: compiling
@@ -158,7 +159,53 @@ pub fn compile_query_with(
     query: &Query,
     fast_paths: bool,
 ) -> StorageResult<PhysQueryPlan> {
-    let logical = Planner::new(db).plan(query)?;
+    compile_query_opts(
+        db,
+        query,
+        CompileOptions {
+            fast_paths,
+            ..CompileOptions::default()
+        },
+    )
+}
+
+/// Compile-time knobs, each toggling one family of plan transformations
+/// that the differential suites pin as result-invisible:
+///
+/// * `fast_paths = false` forces every access back to a full scan (no
+///   index-backed paths) — the access-path baseline.
+/// * `cost_based = false` keeps every join in syntactic order, builds hash
+///   joins on their right input, and chooses index atoms by fixed shape
+///   preference — the *syntactic baseline* the `join_order_workload`
+///   benchmark times the cost model against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompileOptions {
+    /// Emit index-backed access paths (default `true`).
+    pub fast_paths: bool,
+    /// Statistics-driven join reordering, build-side selection and
+    /// access-path arbitration (default `true`).
+    pub cost_based: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            fast_paths: true,
+            cost_based: true,
+        }
+    }
+}
+
+/// [`compile_query`] with every compile-time knob explicit. Also stamps
+/// the plan's estimated output cardinality and the planner's optimizer
+/// counters onto the returned [`PhysQueryPlan`].
+pub fn compile_query_opts(
+    db: &Snapshot,
+    query: &Query,
+    options: CompileOptions,
+) -> StorageResult<PhysQueryPlan> {
+    let mut planner = Planner::new(db).with_cost_based(options.cost_based);
+    let logical = planner.plan(query)?;
     // Debug builds verify every plan both before and after compilation, so
     // the whole test suite — the differential corpora in particular —
     // doubles as a verifier stress test (see `ci.sh`'s gate notes).
@@ -171,7 +218,11 @@ pub fn compile_query_with(
             verify::render_violations(&violations),
         );
     }
-    let plan = Compiler::with_fast_paths(db, fast_paths).compile(&logical)?;
+    let mut plan = Compiler::with_options(db, options).compile(&logical)?;
+    plan.optimizer = planner.optimizer_stats();
+    plan.est_rows = Some(est_to_u64(
+        crate::cost::Estimator::new(db).query_rows(&logical),
+    ));
     #[cfg(debug_assertions)]
     {
         let violations = verify::verify_plan(db, &plan);
@@ -182,6 +233,16 @@ pub fn compile_query_with(
         );
     }
     Ok(plan)
+}
+
+/// Clamp a (finite or not) row estimate into `u64` display range.
+fn est_to_u64(rows: f64) -> u64 {
+    if rows.is_finite() && rows > 0.0 {
+        // Saturating by construction: the clamp bounds precede the cast.
+        rows.round().clamp(0.0, u64::MAX as f64) as u64
+    } else {
+        0
+    }
 }
 
 /// Execute an already-compiled physical plan. The plan must have been
@@ -231,12 +292,31 @@ pub struct PhysQueryPlan {
     /// Access-path tally over the *whole* compilation (only stamped on the
     /// top-level plan; nested plans report zero).
     access: AccessPathStats,
+    /// Estimated output rows of the whole query (only stamped on the
+    /// top-level plan), from the statistics-driven cost model. Advisory:
+    /// compared against actual row counts by the plan cache's cardinality
+    /// drift counters.
+    est_rows: Option<u64>,
+    /// Optimizer counters from planning this query (only stamped on the
+    /// top-level plan).
+    optimizer: crate::cost::OptimizerStats,
 }
 
 impl PhysQueryPlan {
     /// The compiler's access-path tally for this plan.
     pub fn access_paths(&self) -> AccessPathStats {
         self.access
+    }
+
+    /// The cost model's estimated output row count, when stamped (always,
+    /// for plans built through the public compile entry points).
+    pub fn estimated_rows(&self) -> Option<u64> {
+        self.est_rows
+    }
+
+    /// The optimizer's reorder/fallback counters for this plan.
+    pub fn optimizer_stats(&self) -> crate::cost::OptimizerStats {
+        self.optimizer
     }
 }
 
@@ -351,6 +431,11 @@ pub(crate) enum PhysNode {
         residual: Option<PhysExpr>,
         bindings: Vec<ColumnBinding>,
         right_width: usize,
+        /// Build the hash table on the *left* input instead of the right —
+        /// chosen by the compiler when the cost model estimates the left
+        /// input smaller. Output is byte-identical either way (left-major,
+        /// matches in right-row order); only the build/probe roles swap.
+        build_left: bool,
     },
     Project {
         input: Box<PhysNode>,
@@ -597,6 +682,7 @@ fn exec_node(node: &PhysNode, ctx: &RunCtx<'_>) -> StorageResult<Vec<Row>> {
             residual,
             bindings,
             right_width,
+            build_left,
         } => {
             let left_rows = exec_node(left, ctx)?;
             let right_rows = exec_node(right, ctx)?;
@@ -609,6 +695,7 @@ fn exec_node(node: &PhysNode, ctx: &RunCtx<'_>) -> StorageResult<Vec<Row>> {
                 residual.as_ref(),
                 bindings,
                 *right_width,
+                *build_left,
                 ctx,
             )
         }

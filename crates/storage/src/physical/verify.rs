@@ -46,7 +46,7 @@ use std::fmt;
 
 use bp_sql::{DataType, JoinOperator};
 
-use crate::plan::{LogicalPlan, QueryPlan, Scan, ScanSource, SortKey};
+use crate::plan::{ColumnBinding, LogicalPlan, QueryPlan, Scan, ScanSource, SortKey};
 use crate::snapshot::Snapshot;
 use crate::value::Value;
 
@@ -204,6 +204,21 @@ pub enum PlanViolation {
         /// The width the join recorded.
         found: usize,
     },
+    /// A join's output bindings are not the concatenation of its children's
+    /// bindings. Every join algorithm emits left columns then right columns,
+    /// so this must hold for *any* association tree over the same leaf
+    /// sequence — it is the join-order-independent invariant that catches a
+    /// reorder which rewired children without rebuilding bindings to match.
+    JoinBindingMismatch {
+        /// Operator path from the plan root.
+        path: String,
+        /// Position in the join's output bindings.
+        ordinal: usize,
+        /// The child's binding at that position (rendered).
+        expected: String,
+        /// The join's binding at that position (rendered).
+        found: String,
+    },
     /// An operator's name-resolution bindings don't cover its input arity
     /// (correlated subqueries resolve outer references positionally
     /// through these bindings, so the lengths must agree exactly).
@@ -270,6 +285,7 @@ impl PlanViolation {
             | PlanViolation::TypeConfusedComparison { path, .. }
             | PlanViolation::JoinKeyArityMismatch { path, .. }
             | PlanViolation::JoinWidthMismatch { path, .. }
+            | PlanViolation::JoinBindingMismatch { path, .. }
             | PlanViolation::BindingWidthMismatch { path, .. }
             | PlanViolation::SortKeyOutOfBounds { path, .. }
             | PlanViolation::TopKKeyOutOfBounds { path, .. }
@@ -342,6 +358,15 @@ impl fmt::Display for PlanViolation {
                 f,
                 "{path}: join records right_width {found}, but the right input has arity {expected}"
             ),
+            PlanViolation::JoinBindingMismatch {
+                path,
+                ordinal,
+                expected,
+                found,
+            } => write!(
+                f,
+                "{path}: join binding {ordinal} is `{found}`, but the child provides `{expected}` at that position"
+            ),
             PlanViolation::BindingWidthMismatch {
                 path,
                 bindings,
@@ -383,6 +408,28 @@ impl fmt::Display for PlanViolation {
                 "{path}: plan promises {columns} output columns but the root produces {arity}"
             ),
         }
+    }
+}
+
+/// Render one binding as it appears in a violation message.
+fn render_binding(b: &ColumnBinding) -> String {
+    match &b.qualifier {
+        Some(q) => format!("{q}.{}", b.name),
+        None => b.name.clone(),
+    }
+}
+
+/// The output bindings a physical node carries, when its variant records
+/// them verbatim: filters pass their input's bindings through unchanged and
+/// joins record their concatenated output — exactly the shapes a reordered
+/// spine is rebuilt from. Other variants (projections compute new columns,
+/// scans carry none) return `None` and are skipped by the concat check.
+fn node_bindings(node: &PhysNode) -> Option<&[ColumnBinding]> {
+    match node {
+        PhysNode::Filter { bindings, .. }
+        | PhysNode::HashJoin { bindings, .. }
+        | PhysNode::NestedLoopJoin { bindings, .. } => Some(bindings),
+        _ => None,
     }
 }
 
@@ -622,7 +669,7 @@ impl Verifier<'_> {
                     right,
                     *operator,
                     on.as_ref(),
-                    bindings.len(),
+                    bindings,
                     *right_width,
                     None,
                 );
@@ -638,6 +685,7 @@ impl Verifier<'_> {
                 residual,
                 bindings,
                 right_width,
+                build_left: _,
             } => {
                 self.path.push("HashJoin".into());
                 let out = self.check_join_common(
@@ -645,7 +693,7 @@ impl Verifier<'_> {
                     right,
                     *operator,
                     residual.as_ref(),
-                    bindings.len(),
+                    bindings,
                     *right_width,
                     Some((left_keys, right_keys)),
                 );
@@ -1026,7 +1074,7 @@ impl Verifier<'_> {
         right: &PhysNode,
         operator: JoinOperator,
         residual: Option<&PhysExpr>,
-        bindings: usize,
+        bindings: &[ColumnBinding],
         right_width: usize,
         keys: Option<(&[usize], &[usize])>,
     ) -> Vec<TypeInfo> {
@@ -1044,7 +1092,28 @@ impl Verifier<'_> {
             });
         }
         let combined = left_types.len() + right_types.len();
-        self.check_bindings(bindings, combined);
+        self.check_bindings(bindings.len(), combined);
+        // Join-order-independent output-binding invariant: every join
+        // algorithm emits left columns then right columns, so the output
+        // bindings must be the concatenation of the children's bindings for
+        // any association tree — the check that catches a reordered plan
+        // whose bindings were not rebuilt to match the rewired children.
+        for (child, offset) in [(left, 0), (right, left_types.len())] {
+            let Some(child_bindings) = node_bindings(child) else {
+                continue;
+            };
+            for (i, cb) in child_bindings.iter().enumerate() {
+                if bindings.get(offset + i).is_some_and(|b| b != cb) {
+                    self.report(PlanViolation::JoinBindingMismatch {
+                        path: self.path(),
+                        ordinal: offset + i,
+                        expected: render_binding(cb),
+                        found: render_binding(&bindings[offset + i]),
+                    });
+                    break; // one mismatch per side explains the breach
+                }
+            }
+        }
         if let Some((left_keys, right_keys)) = keys {
             if left_keys.len() != right_keys.len() || left_keys.is_empty() {
                 self.report(PlanViolation::JoinKeyArityMismatch {
@@ -1623,6 +1692,8 @@ mod tests {
             columns: columns.iter().map(|c| c.to_string()).collect(),
             ordered: false,
             access: AccessPathStats::default(),
+            est_rows: None,
+            optimizer: crate::cost::OptimizerStats::default(),
         }
     }
 
@@ -1773,6 +1844,7 @@ mod tests {
                 residual: None,
                 bindings: bindings(6),
                 right_width: 3,
+                build_left: false,
             },
             &["a", "b", "c", "d", "e", "f"],
         );
@@ -1800,10 +1872,79 @@ mod tests {
                 residual: None,
                 bindings: bindings(6),
                 right_width: 3,
+                build_left: false,
             },
             &["a", "b", "c", "d", "e", "f"],
         );
         assert!(!verify_plan(&db.snapshot(), &empty).is_empty());
+    }
+
+    #[test]
+    fn rejects_reordered_join_whose_bindings_do_not_match_children() {
+        // A genuinely reordered plan (the cost model re-associates the
+        // chain), hand-corrupted so the top join's output bindings no
+        // longer concatenate its children's bindings — the failure mode
+        // of a reorder that rewires children without rebuilding bindings.
+        let mut db = Database::new("verify-reorder");
+        for (name, key) in [("a", "x"), ("b", "y"), ("c", "z")] {
+            db.create_table(TableSchema::new(
+                name,
+                vec![
+                    Column::new("id", DataType::Integer).primary_key(),
+                    Column::new(key, DataType::Integer),
+                ],
+            ))
+            .unwrap();
+        }
+        db.insert_into("a", (0..64).map(|i| vec![Value::Int(i), Value::Int(i % 8)]))
+            .unwrap();
+        db.insert_into("b", (0..16).map(|i| vec![Value::Int(i), Value::Int(i % 4)]))
+            .unwrap();
+        db.insert_into("c", (0..4).map(|i| vec![Value::Int(i), Value::Int(i)]))
+            .unwrap();
+        let snapshot = db.snapshot();
+        let query = bp_sql::parse_query(
+            "SELECT a.id, c.id FROM a JOIN b ON a.x = b.id JOIN c ON b.y = c.id",
+        )
+        .unwrap();
+        let mut plan = crate::physical::compile_query_opts(
+            &snapshot,
+            &query,
+            crate::physical::CompileOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(
+            plan.optimizer.cost_based, 1,
+            "the three-leaf inner chain must go through the cost-based reorder"
+        );
+        assert!(
+            verify_plan(&snapshot, &plan).is_empty(),
+            "the real reordered plan verifies cleanly"
+        );
+        fn first_join_bindings_mut(node: &mut PhysNode) -> Option<&mut Vec<ColumnBinding>> {
+            match node {
+                PhysNode::HashJoin { bindings, .. } | PhysNode::NestedLoopJoin { bindings, .. } => {
+                    Some(bindings)
+                }
+                PhysNode::Project { input, .. } | PhysNode::Filter { input, .. } => {
+                    first_join_bindings_mut(input)
+                }
+                _ => None,
+            }
+        }
+        let join_bindings = first_join_bindings_mut(&mut plan.root).expect("plan contains a join");
+        // Positions 2 and 3 sit over the inner join child in either
+        // association ((a⋈b)⋈c or a⋈(b⋈c)), so the swap always disagrees
+        // with a child that carries bindings.
+        join_bindings.swap(2, 3);
+        let violations = verify_plan(&snapshot, &plan);
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v, PlanViolation::JoinBindingMismatch { ordinal: 2, .. })),
+            "expected JoinBindingMismatch, got:\n{}",
+            render_violations(&violations)
+        );
     }
 
     #[test]

@@ -347,6 +347,15 @@ pub struct Planner<'a> {
     /// CTE name frames visible at the current planning point (outermost
     /// first), mapping normalized CTE name → output column names.
     frames: Vec<HashMap<String, Vec<String>>>,
+    /// Estimated row counts of planned CTEs, parallel to `frames`, feeding
+    /// the cost model's `ScanSource::Cte` cardinalities.
+    cte_rows: Vec<HashMap<String, f64>>,
+    /// Whether statistics-driven join reordering runs (`true` by default;
+    /// disabled for the syntactic baseline in benchmarks and differential
+    /// tests).
+    cost_based: bool,
+    /// How the optimizer treated this planner's join spines.
+    optimizer: crate::cost::OptimizerStats,
 }
 
 impl<'a> Planner<'a> {
@@ -355,21 +364,48 @@ impl<'a> Planner<'a> {
         Planner {
             db,
             frames: Vec::new(),
+            cte_rows: Vec::new(),
+            cost_based: true,
+            optimizer: crate::cost::OptimizerStats::default(),
         }
     }
 
     /// Create a planner that starts inside existing CTE scopes. Used by
     /// layer 2 to plan subqueries found in expressions, so their CTE
     /// references resolve against the scopes of their enclosing query.
+    /// (No cardinality context rides along: outer CTE estimates default.)
     pub(crate) fn with_frames(db: &'a Snapshot, frames: Vec<HashMap<String, Vec<String>>>) -> Self {
-        Planner { db, frames }
+        let cte_rows = vec![HashMap::new(); frames.len()];
+        Planner {
+            db,
+            frames,
+            cte_rows,
+            cost_based: true,
+            optimizer: crate::cost::OptimizerStats::default(),
+        }
+    }
+
+    /// Enable or disable statistics-driven join reordering. Disabling it
+    /// is the *syntactic baseline*: joins compile in the order the query
+    /// spells them, exactly as before the cost model existed.
+    pub fn with_cost_based(mut self, enabled: bool) -> Self {
+        self.cost_based = enabled;
+        self
+    }
+
+    /// The optimizer counters accumulated over everything this planner has
+    /// planned so far.
+    pub fn optimizer_stats(&self) -> crate::cost::OptimizerStats {
+        self.optimizer
     }
 
     /// Plan a query into a logical plan.
     pub fn plan(&mut self, query: &Query) -> StorageResult<QueryPlan> {
         self.frames.push(HashMap::new());
+        self.cte_rows.push(HashMap::new());
         let result = self.plan_query_inner(query);
         self.frames.pop();
+        self.cte_rows.pop();
         result
     }
 
@@ -383,6 +419,11 @@ impl<'a> Planner<'a> {
                     .last_mut()
                     .expect("frame pushed by plan()")
                     .insert(name.clone(), sub.columns.clone());
+                let rows =
+                    crate::cost::Estimator::with_cte_rows(self.db, &self.cte_rows).query_rows(&sub);
+                if let Some(frame) = self.cte_rows.last_mut() {
+                    frame.insert(name.clone(), rows);
+                }
                 ctes.push((name, sub));
             }
         }
@@ -541,6 +582,15 @@ impl<'a> Planner<'a> {
                     predicate: selection.clone(),
                 };
             }
+        }
+
+        // Statistics-driven join reordering over the FROM spine (see
+        // [`crate::cost`]). Association-only, so output bytes are
+        // structurally unchanged; runs after pushdown so pushed filters
+        // ride along inside their leaves and feed the leaf estimates.
+        {
+            let est = crate::cost::Estimator::with_cte_rows(self.db, &self.cte_rows);
+            plan = crate::cost::reorder(&est, plan, self.cost_based, &mut self.optimizer);
         }
 
         // Projection and aggregate detection (legacy rules).

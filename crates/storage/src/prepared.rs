@@ -29,6 +29,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use bp_sql::Query;
 
+use crate::cost::OptimizerStats;
 use crate::error::{StorageError, StorageResult};
 use crate::exec::Executor;
 use crate::physical::{
@@ -77,6 +78,10 @@ pub struct PreparedQuery {
     /// outcome to a counter sink — verification is per *compile*, so
     /// cache-wide tallies must fold it once, not once per execution.
     verification_taken: AtomicBool,
+    /// Whether [`PreparedQuery::take_optimizer`] already handed the
+    /// optimizer's reorder/fallback tally to a counter sink — like
+    /// verification, the optimizer runs per *compile*.
+    optimizer_taken: AtomicBool,
 }
 
 impl PreparedQuery {
@@ -93,6 +98,7 @@ impl PreparedQuery {
             plan: OnceLock::new(),
             verification: OnceLock::new(),
             verification_taken: AtomicBool::new(false),
+            optimizer_taken: AtomicBool::new(false),
         })
     }
 
@@ -195,6 +201,39 @@ impl PreparedQuery {
         self.plan.get()?.as_ref().ok().map(|p| p.access_paths())
     }
 
+    /// The optimizer's reorder/fallback tally for this query's one
+    /// compile: how many join spines the cost model re-associated and how
+    /// many join nodes stayed in syntactic order. `None` until the first
+    /// planned execution compiles the plan, and for plans whose
+    /// compilation failed.
+    pub fn optimizer(&self) -> Option<OptimizerStats> {
+        self.plan.get()?.as_ref().ok().map(|p| p.optimizer_stats())
+    }
+
+    /// Like [`PreparedQuery::optimizer`], but **take-once** (mirroring
+    /// [`PreparedQuery::take_verification`]): the optimizer runs per
+    /// compile, so cache-wide tallies fold its outcome exactly once no
+    /// matter how many times the cached plan re-executes.
+    pub fn take_optimizer(&self) -> Option<OptimizerStats> {
+        let stats = self.optimizer()?;
+        if self.optimizer_taken.swap(true, Ordering::Relaxed) {
+            None
+        } else {
+            Some(stats)
+        }
+    }
+
+    /// The cost model's estimated output row count for the compiled plan.
+    /// `None` until the plan compiles, for failed compiles, and for plan
+    /// shapes the estimator declines to score.
+    pub fn estimated_rows(&self) -> Option<u64> {
+        self.plan
+            .get()?
+            .as_ref()
+            .ok()
+            .and_then(|p| p.estimated_rows())
+    }
+
     /// Execute the prepared query against its pinned snapshot.
     /// [`ExecStrategy::Planned`] and [`ExecStrategy::RowPlanned`] run the
     /// (lazily) compiled physical plan (columnar or row-at-a-time);
@@ -237,6 +276,23 @@ pub struct PlanCacheStats {
     pub invalidations: u64,
 }
 
+/// Cardinality-drift counters: the cost model's estimated output rows vs
+/// the rows executions actually produced, summed over every executed
+/// statement whose plan carried an estimate. The totals are the
+/// observability hook for the statistics layer — a healthy cost model
+/// keeps the two sums the same order of magnitude; a drifting one shows up
+/// here long before it shows up as a bad join order.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CardinalityStats {
+    /// Executions that carried an estimate (legacy runs, failed compiles
+    /// and unestimated plan shapes contribute nothing).
+    pub estimated_executions: u64,
+    /// Sum of the cost model's estimated output rows over those executions.
+    pub estimated_rows: u64,
+    /// Sum of the rows those executions actually returned.
+    pub actual_rows: u64,
+}
+
 /// One cache slot: the prepared query (or the parse error preparing it
 /// raised, cached so a corrupt SQL text repeated across a corpus is not
 /// re-parsed per occurrence; compile errors cache inside the prepared
@@ -277,6 +333,16 @@ pub struct PlanCache {
     /// compiles, not executions.
     plans_verified: AtomicU64,
     plan_violations: AtomicU64,
+    /// Optimizer tallies folded in via [`PlanCache::record_optimizer`]:
+    /// per-compile (take-once), like verification.
+    opt_cost_based: AtomicU64,
+    opt_syntactic_fallback: AtomicU64,
+    /// Cardinality-drift tallies folded in via
+    /// [`PlanCache::record_cardinality`]: per *execution* (estimates are
+    /// only as good as what re-running the plan actually returns).
+    card_executions: AtomicU64,
+    card_estimated_rows: AtomicU64,
+    card_actual_rows: AtomicU64,
 }
 
 struct CacheInner {
@@ -300,6 +366,11 @@ impl PlanCache {
             full_scans: AtomicU64::new(0),
             plans_verified: AtomicU64::new(0),
             plan_violations: AtomicU64::new(0),
+            opt_cost_based: AtomicU64::new(0),
+            opt_syntactic_fallback: AtomicU64::new(0),
+            card_executions: AtomicU64::new(0),
+            card_estimated_rows: AtomicU64::new(0),
+            card_actual_rows: AtomicU64::new(0),
         }
     }
 
@@ -440,6 +511,56 @@ impl PlanCache {
         VerifierStats {
             plans_verified: self.plans_verified.load(Ordering::Relaxed),
             violations: self.plan_violations.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Fold one prepared query's **take-once** optimizer outcome into the
+    /// cache-wide counters. Pass [`PreparedQuery::take_optimizer`]'s
+    /// output directly: `None` (not yet compiled, already tallied, legacy
+    /// run, failed compile) contributes nothing, so calling this after
+    /// every execution still counts each compile exactly once.
+    pub fn record_optimizer(&self, outcome: Option<OptimizerStats>) {
+        if let Some(stats) = outcome {
+            self.opt_cost_based
+                .fetch_add(stats.cost_based, Ordering::Relaxed);
+            self.opt_syntactic_fallback
+                .fetch_add(stats.syntactic_fallback, Ordering::Relaxed);
+        }
+    }
+
+    /// A point-in-time copy of the optimizer counters accumulated via
+    /// [`PlanCache::record_optimizer`]: how many join spines the cost
+    /// model re-associated vs how many join nodes compiled in syntactic
+    /// order, over every distinct compile the cache's statements forced.
+    pub fn optimizer_stats(&self) -> OptimizerStats {
+        OptimizerStats {
+            cost_based: self.opt_cost_based.load(Ordering::Relaxed),
+            syntactic_fallback: self.opt_syntactic_fallback.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Fold one executed statement's estimated-vs-actual output row counts
+    /// into the cache-wide drift counters. Call after each successful
+    /// execution, passing [`PreparedQuery::estimated_rows`]'s output
+    /// directly — `None` (no compiled plan, or a shape the estimator
+    /// declines to score) contributes nothing.
+    pub fn record_cardinality(&self, estimated: Option<u64>, actual_rows: u64) {
+        if let Some(estimated) = estimated {
+            self.card_executions.fetch_add(1, Ordering::Relaxed);
+            self.card_estimated_rows
+                .fetch_add(estimated, Ordering::Relaxed);
+            self.card_actual_rows
+                .fetch_add(actual_rows, Ordering::Relaxed);
+        }
+    }
+
+    /// A point-in-time copy of the cardinality-drift counters accumulated
+    /// via [`PlanCache::record_cardinality`].
+    pub fn cardinality_stats(&self) -> CardinalityStats {
+        CardinalityStats {
+            estimated_executions: self.card_executions.load(Ordering::Relaxed),
+            estimated_rows: self.card_estimated_rows.load(Ordering::Relaxed),
+            actual_rows: self.card_actual_rows.load(Ordering::Relaxed),
         }
     }
 

@@ -20,10 +20,11 @@
 
 use std::sync::RwLock;
 
+use crate::cost::OptimizerStats;
 use crate::database::Database;
 use crate::error::{StorageError, StorageResult};
 use crate::physical::{batch_map, AccessPathStats, ExecOptions, VerifierStats};
-use crate::prepared::{PlanCache, PlanCacheStats, DEFAULT_PLAN_CACHE_CAPACITY};
+use crate::prepared::{CardinalityStats, PlanCache, PlanCacheStats, DEFAULT_PLAN_CACHE_CAPACITY};
 use crate::result::QueryResult;
 use crate::schema::TableSchema;
 use crate::snapshot::Snapshot;
@@ -115,6 +116,24 @@ impl AnnotationService {
         self.cache.verifier_stats()
     }
 
+    /// Aggregate optimizer counters over every statement the service's
+    /// sessions compiled: join spines whose association the cost model
+    /// chose vs join nodes compiled in syntactic order. Counted per
+    /// *compile* (cached plans tally once, however often they re-execute),
+    /// mirroring [`AnnotationService::verifier_stats`].
+    pub fn optimizer_stats(&self) -> OptimizerStats {
+        self.cache.optimizer_stats()
+    }
+
+    /// Aggregate cardinality-drift counters over every successful
+    /// statement execution whose plan carried a cost-model estimate:
+    /// estimated vs actually-returned output rows. Counted per
+    /// *execution* — the drift a study report shows is the drift graders
+    /// actually experienced, re-executions included.
+    pub fn cardinality_stats(&self) -> CardinalityStats {
+        self.cache.cardinality_stats()
+    }
+
     /// Total rows currently in the live database.
     pub fn total_rows(&self) -> usize {
         self.live.read().expect("service lock").total_rows()
@@ -159,6 +178,14 @@ impl AnnotationSession<'_> {
         self.service
             .cache
             .record_verification(prepared.take_verification());
+        self.service
+            .cache
+            .record_optimizer(prepared.take_optimizer());
+        if let Ok(result) = &result {
+            self.service
+                .cache
+                .record_cardinality(prepared.estimated_rows(), result.row_count() as u64);
+        }
         result
     }
 
@@ -427,6 +454,63 @@ mod tests {
                 violations: 0
             }
         );
+    }
+
+    #[test]
+    fn optimizer_and_cardinality_counters_track_compiles_and_executions() {
+        let mut db = corpus_db();
+        // A second table so a multi-join spine exists for the reorderer.
+        db.create_table(TableSchema::new(
+            "tags",
+            vec![
+                Column::new("grp", DataType::Integer).primary_key(),
+                Column::new("label", DataType::Text),
+            ],
+        ))
+        .unwrap();
+        db.insert_into(
+            "tags",
+            (0..5i64).map(|i| vec![i.into(), Value::Text(format!("g{i}"))]),
+        )
+        .unwrap();
+        db.create_table(TableSchema::new(
+            "extra",
+            vec![
+                Column::new("grp", DataType::Integer).primary_key(),
+                Column::new("w", DataType::Integer),
+            ],
+        ))
+        .unwrap();
+        db.insert_into("extra", (0..5i64).map(|i| vec![i.into(), (i * 2).into()]))
+            .unwrap();
+        let service = AnnotationService::new(db);
+        let session = service.open_session();
+        assert_eq!(service.optimizer_stats(), OptimizerStats::default());
+        assert_eq!(service.cardinality_stats(), CardinalityStats::default());
+        // A single-table query executes with an estimate but no join spine.
+        session.execute_sql("SELECT COUNT(*) FROM log").unwrap();
+        let card = service.cardinality_stats();
+        assert_eq!(card.estimated_executions, 1);
+        assert_eq!(card.actual_rows, 1);
+        // A three-way join spine goes through the cost-based reorderer.
+        let join_sql = "SELECT log.id, tags.label, extra.w FROM log \
+                        JOIN tags ON log.grp = tags.grp \
+                        JOIN extra ON tags.grp = extra.grp \
+                        WHERE log.id < 3";
+        session.execute_sql(join_sql).unwrap();
+        let opt = service.optimizer_stats();
+        assert_eq!(
+            opt.cost_based, 1,
+            "the three-way spine must be cost-based reordered: {opt:?}"
+        );
+        // Re-executing the cached plan must not re-count the compile-side
+        // optimizer tally, but it does tally another execution's drift.
+        session.execute_sql(join_sql).unwrap();
+        assert_eq!(service.optimizer_stats(), opt);
+        let card = service.cardinality_stats();
+        assert_eq!(card.estimated_executions, 3);
+        assert_eq!(card.actual_rows, 1 + 2 * 3);
+        assert!(card.estimated_rows > 0);
     }
 
     #[test]

@@ -1,0 +1,324 @@
+//! Per-column table statistics — the measurement substrate of the cost
+//! model.
+//!
+//! [`TableStats`] summarizes one immutable table version: row count plus,
+//! per column, the NULL count, the number of distinct non-NULL values
+//! (distinct by [`Value::group_key`], the same equivalence the index
+//! machinery and `COUNT(DISTINCT)` use), min/max under
+//! [`Value::total_cmp`], and a small equi-width histogram over the numeric
+//! cells. Statistics are **derived data with the same lifetime discipline
+//! as the columnar decode and the secondary indexes**: they are computed
+//! lazily into a `OnceLock` on `TableData` (see [`crate::table`]), so the
+//! Arc-versioned clone-on-write snapshot model invalidates them for free —
+//! a new table version starts with cold stats, a pinned snapshot keeps the
+//! stats of exactly its own rows, and a statistic describing rows that no
+//! longer exist is structurally unrepresentable.
+//!
+//! Everything here feeds *estimates only*: the optimizer consumes these
+//! numbers to pick join orders, build sides and access paths, and every
+//! one of those choices is pinned byte-identical by the differential
+//! suites — a wrong statistic can change speed, never answers.
+
+use std::collections::HashSet;
+
+use crate::table::Row;
+use crate::value::Value;
+
+/// Number of buckets in the equi-width histogram. Small on purpose: the
+/// histogram only has to rank predicates against each other (and against
+/// the full-scan crossover), not describe the distribution faithfully.
+pub(crate) const HIST_BUCKETS: usize = 16;
+
+/// Selectivity assumed for a range predicate when no histogram and no
+/// numeric min/max are available (e.g. text columns).
+const DEFAULT_RANGE_SELECTIVITY: f64 = 1.0 / 3.0;
+
+/// An equi-width histogram over the numeric (Int/Float/Date/Timestamp,
+/// non-NULL, non-NaN) cells of one column.
+#[derive(Debug, Clone)]
+pub(crate) struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    fn build(values: &[f64]) -> Option<Histogram> {
+        let (&first, rest) = values.split_first()?;
+        let (lo, hi) = rest.iter().fold((first, first), |(lo, hi), &v| {
+            (if v < lo { v } else { lo }, if v > hi { v } else { hi })
+        });
+        if hi <= lo || !lo.is_finite() || !hi.is_finite() {
+            // Degenerate (constant or non-finite) column: the point/NDV
+            // estimates carry all the information a histogram would.
+            return None;
+        }
+        let width = (hi - lo) / HIST_BUCKETS as f64;
+        let mut counts = vec![0u64; HIST_BUCKETS];
+        for &v in values {
+            let idx = ((v - lo) / width) as usize;
+            counts[idx.min(HIST_BUCKETS - 1)] += 1;
+        }
+        Some(Histogram {
+            lo,
+            hi,
+            counts,
+            total: values.len() as u64,
+        })
+    }
+
+    /// Estimated fraction of values `< x`, with linear interpolation inside
+    /// the bucket containing `x`. Monotone in `x`, clamped to `[0, 1]`.
+    pub(crate) fn fraction_below(&self, x: f64) -> f64 {
+        if self.total == 0 || x <= self.lo {
+            return 0.0;
+        }
+        if x >= self.hi {
+            return 1.0;
+        }
+        let width = (self.hi - self.lo) / HIST_BUCKETS as f64;
+        let idx = (((x - self.lo) / width) as usize).min(HIST_BUCKETS - 1);
+        let below: u64 = self.counts[..idx].iter().sum();
+        let bucket_lo = self.lo + idx as f64 * width;
+        let partial = self.counts[idx] as f64 * ((x - bucket_lo) / width).clamp(0.0, 1.0);
+        ((below as f64 + partial) / self.total as f64).clamp(0.0, 1.0)
+    }
+}
+
+/// Statistics over one column of one immutable table version.
+#[derive(Debug, Clone)]
+pub(crate) struct ColumnStats {
+    /// Number of NULL cells.
+    pub(crate) null_count: usize,
+    /// Number of distinct non-NULL values (by `group_key`).
+    pub(crate) ndv: usize,
+    /// Minimal non-NULL, non-NaN value under `total_cmp`.
+    pub(crate) min: Option<Value>,
+    /// Maximal non-NULL, non-NaN value under `total_cmp`.
+    pub(crate) max: Option<Value>,
+    /// Equi-width histogram over the numeric cells, when the column has at
+    /// least two distinct finite numeric values.
+    pub(crate) histogram: Option<Histogram>,
+}
+
+/// A `Value` as a point on the histogram's number line, when it has one.
+pub(crate) fn numeric(v: &Value) -> Option<f64> {
+    match v {
+        Value::Int(i) => Some(*i as f64),
+        Value::Float(f) if !f.is_nan() => Some(*f),
+        Value::Date(d) => Some(*d as f64),
+        Value::Timestamp(t) => Some(*t as f64),
+        _ => None,
+    }
+}
+
+impl ColumnStats {
+    fn build(rows: &[Row], col: usize) -> ColumnStats {
+        let mut null_count = 0usize;
+        let mut distinct: HashSet<String> = HashSet::new();
+        let mut min: Option<&Value> = None;
+        let mut max: Option<&Value> = None;
+        let mut numerics: Vec<f64> = Vec::new();
+        for row in rows {
+            let v = row.get(col).unwrap_or(&Value::Null);
+            if v.is_null() {
+                null_count += 1;
+                continue;
+            }
+            distinct.insert(v.group_key());
+            if let Some(n) = numeric(v) {
+                numerics.push(n);
+            }
+            if !matches!(v, Value::Float(f) if f.is_nan()) {
+                min = Some(match min {
+                    Some(m) if m.total_cmp(v).is_le() => m,
+                    _ => v,
+                });
+                max = Some(match max {
+                    Some(m) if m.total_cmp(v).is_ge() => m,
+                    _ => v,
+                });
+            }
+        }
+        ColumnStats {
+            null_count,
+            ndv: distinct.len(),
+            min: min.cloned(),
+            max: max.cloned(),
+            histogram: Histogram::build(&numerics),
+        }
+    }
+
+    /// Fraction of the table's rows that are NULL in this column.
+    pub(crate) fn null_fraction(&self, row_count: usize) -> f64 {
+        if row_count == 0 {
+            0.0
+        } else {
+            self.null_count as f64 / row_count as f64
+        }
+    }
+
+    /// Estimated selectivity of `col = literal`: the non-NULL mass spread
+    /// evenly over the distinct values (uniformity assumption).
+    pub(crate) fn point_selectivity(&self, row_count: usize) -> f64 {
+        if self.ndv == 0 {
+            return 0.0;
+        }
+        (1.0 - self.null_fraction(row_count)) / self.ndv as f64
+    }
+
+    /// Estimated selectivity of a (half-open) range predicate, NULL-aware:
+    /// NULL cells never match, the histogram interpolates inside the
+    /// non-NULL numeric mass, and min/max give a linear fallback.
+    pub(crate) fn range_selectivity(
+        &self,
+        row_count: usize,
+        lower: Option<&Value>,
+        upper: Option<&Value>,
+    ) -> f64 {
+        let non_null = 1.0 - self.null_fraction(row_count);
+        let lo = lower.and_then(numeric);
+        let hi = upper.and_then(numeric);
+        let inner = if let Some(h) = &self.histogram {
+            let below_hi = hi.map(|x| h.fraction_below(x)).unwrap_or(1.0);
+            let below_lo = lo.map(|x| h.fraction_below(x)).unwrap_or(0.0);
+            (below_hi - below_lo).clamp(0.0, 1.0)
+        } else {
+            match (
+                self.min.as_ref().and_then(numeric),
+                self.max.as_ref().and_then(numeric),
+            ) {
+                (Some(mn), Some(mx)) if mx > mn => {
+                    let below = |x: f64| ((x - mn) / (mx - mn)).clamp(0.0, 1.0);
+                    (hi.map(below).unwrap_or(1.0) - lo.map(below).unwrap_or(0.0)).clamp(0.0, 1.0)
+                }
+                _ => DEFAULT_RANGE_SELECTIVITY,
+            }
+        };
+        non_null * inner
+    }
+}
+
+/// Statistics over one immutable table version: the row count and one
+/// [`ColumnStats`] per schema column. Built in one pass over the rows on
+/// first use (see `Table::stats`), then shared by refcount.
+#[derive(Debug, Clone)]
+pub(crate) struct TableStats {
+    /// Number of rows in this table version.
+    pub(crate) row_count: usize,
+    /// Per-column statistics, in schema order.
+    pub(crate) columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    pub(crate) fn build(rows: &[Row], width: usize) -> TableStats {
+        TableStats {
+            row_count: rows.len(),
+            columns: (0..width).map(|c| ColumnStats::build(rows, c)).collect(),
+        }
+    }
+
+    /// The stats for column `col`, if in range.
+    pub(crate) fn column(&self, col: usize) -> Option<&ColumnStats> {
+        self.columns.get(col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows_of(values: Vec<Value>) -> Vec<Row> {
+        values.into_iter().map(|v| vec![v]).collect()
+    }
+
+    #[test]
+    fn column_stats_count_nulls_distincts_and_extremes() {
+        let rows = rows_of(vec![
+            Value::Int(5),
+            Value::Null,
+            Value::Int(1),
+            Value::Int(5),
+            Value::Float(1.0), // same group as Int(1)
+            Value::Int(9),
+        ]);
+        let s = ColumnStats::build(&rows, 0);
+        assert_eq!(s.null_count, 1);
+        assert_eq!(s.ndv, 3, "group-key equivalence folds 1 and 1.0");
+        assert_eq!(s.min, Some(Value::Int(1)));
+        assert_eq!(s.max, Some(Value::Int(9)));
+        assert!((s.null_fraction(rows.len()) - 1.0 / 6.0).abs() < 1e-12);
+        // Point selectivity: 5/6 non-null over 3 distinct values.
+        assert!((s.point_selectivity(rows.len()) - (5.0 / 6.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_fraction_is_monotone_and_roughly_proportional() {
+        let rows = rows_of((0..100i64).map(Value::Int).collect());
+        let s = ColumnStats::build(&rows, 0);
+        let h = s.histogram.as_ref().expect("numeric column has histogram");
+        assert_eq!(h.fraction_below(0.0), 0.0);
+        assert_eq!(h.fraction_below(99.0), 1.0);
+        let mid = h.fraction_below(50.0);
+        assert!((mid - 0.5).abs() < 0.05, "uniform data midpoint: {mid}");
+        let mut prev = 0.0;
+        for x in 0..=99 {
+            let f = h.fraction_below(x as f64);
+            assert!(f >= prev, "fraction_below must be monotone");
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn range_selectivity_is_null_aware() {
+        // Half the column is NULL; the rest is uniform 0..10.
+        let mut vals: Vec<Value> = (0..10i64).map(Value::Int).collect();
+        vals.extend((0..10).map(|_| Value::Null));
+        let rows = rows_of(vals);
+        let s = ColumnStats::build(&rows, 0);
+        let all = s.range_selectivity(rows.len(), None, None);
+        assert!(
+            (all - 0.5).abs() < 1e-9,
+            "unbounded range matches non-NULLs"
+        );
+        let half = s.range_selectivity(rows.len(), Some(&Value::Int(5)), None);
+        assert!(half < all && half > 0.1, "upper half of the non-NULL mass");
+    }
+
+    #[test]
+    fn nan_and_constant_columns_degrade_gracefully() {
+        let rows = rows_of(vec![
+            Value::Float(f64::NAN),
+            Value::Float(2.0),
+            Value::Float(2.0),
+        ]);
+        let s = ColumnStats::build(&rows, 0);
+        // NaN is a distinct value but never an extreme.
+        assert_eq!(s.ndv, 2);
+        assert_eq!(s.min, Some(Value::Float(2.0)));
+        assert_eq!(s.max, Some(Value::Float(2.0)));
+        // Constant numeric mass: no histogram, range falls back to default.
+        assert!(s.histogram.is_none());
+        let sel = s.range_selectivity(rows.len(), Some(&Value::Int(0)), None);
+        assert!(sel > 0.0 && sel <= 1.0);
+        // Text columns have no histogram either.
+        let text = rows_of(vec![Value::Text("a".into()), Value::Text("b".into())]);
+        let ts = ColumnStats::build(&text, 0);
+        assert!(ts.histogram.is_none());
+        assert_eq!(ts.ndv, 2);
+    }
+
+    #[test]
+    fn table_stats_cover_every_column() {
+        let rows: Vec<Row> = (0..8i64)
+            .map(|i| vec![Value::Int(i), Value::Text(format!("t{}", i % 2))])
+            .collect();
+        let t = TableStats::build(&rows, 2);
+        assert_eq!(t.row_count, 8);
+        assert_eq!(t.columns.len(), 2);
+        assert_eq!(t.columns[0].ndv, 8);
+        assert_eq!(t.columns[1].ndv, 2);
+        assert!(t.column(2).is_none());
+    }
+}

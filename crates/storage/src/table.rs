@@ -270,6 +270,43 @@ impl Deserialize for IndexCache {
     }
 }
 
+/// The lazily-built per-column statistics of one table version (row count,
+/// NDV, min/max, null fraction, numeric histograms — see [`crate::stats`]).
+/// Same transparency contract as [`ColumnarCache`] and [`IndexCache`]:
+/// clones start empty, equality ignores it, serde skips it, and any row
+/// mutation replaces it — so statistics are always about exactly the rows
+/// of the version they sit on, and a stale statistic is unrepresentable.
+#[derive(Debug, Default)]
+struct StatsCache(OnceLock<Arc<crate::stats::TableStats>>);
+
+impl Clone for StatsCache {
+    fn clone(&self) -> Self {
+        StatsCache::default()
+    }
+}
+
+impl PartialEq for StatsCache {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+
+impl Serialize for StatsCache {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Null
+    }
+}
+
+impl Deserialize for StatsCache {
+    fn from_value(_: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(StatsCache::default())
+    }
+
+    fn from_missing(_: &str) -> Result<Self, serde::Error> {
+        Ok(StatsCache::default())
+    }
+}
+
 /// One immutable version of a table's payload: the rows plus the columnar
 /// decode derived from exactly those rows. Shared by `Arc` between the live
 /// database and any snapshots pinning this version.
@@ -278,17 +315,20 @@ struct TableData {
     rows: Vec<Row>,
     columnar: ColumnarCache,
     indexes: IndexCache,
+    stats: StatsCache,
 }
 
 impl Clone for TableData {
     fn clone(&self) -> Self {
         // A clone is the start of a *new* version (copy-on-write): carry
-        // the rows, start the decode and index caches cold. The original
-        // version keeps its warm caches for the snapshots still reading it.
+        // the rows, start the decode, index and stats caches cold. The
+        // original version keeps its warm caches for the snapshots still
+        // reading it.
         TableData {
             rows: self.rows.clone(),
             columnar: ColumnarCache::default(),
             indexes: IndexCache::default(),
+            stats: StatsCache::default(),
         }
     }
 }
@@ -386,6 +426,7 @@ impl Table {
         let data = Arc::make_mut(&mut self.data);
         data.columnar = ColumnarCache::default();
         data.indexes = IndexCache::default();
+        data.stats = StatsCache::default();
         data.rows.push(coerced);
         self.version += 1;
         Ok(())
@@ -463,6 +504,23 @@ impl Table {
             .column(self.schema.column_count(), col, &self.data.rows)
     }
 
+    /// The lazily-built per-column statistics of this table version — built
+    /// in one pass over the rows on first use, shared by refcount
+    /// afterwards, and (like the columnar decode and the secondary indexes)
+    /// describing exactly the rows a snapshot pinning this payload reads.
+    pub(crate) fn stats(&self) -> Arc<crate::stats::TableStats> {
+        self.data
+            .stats
+            .0
+            .get_or_init(|| {
+                Arc::new(crate::stats::TableStats::build(
+                    &self.data.rows,
+                    self.schema.column_count(),
+                ))
+            })
+            .clone()
+    }
+
     /// Insert many rows, stopping at the first failure.
     pub fn insert_all<I: IntoIterator<Item = Row>>(&mut self, rows: I) -> StorageResult<usize> {
         let mut n = 0;
@@ -532,6 +590,7 @@ impl Deserialize for Table {
                 rows,
                 columnar: ColumnarCache::default(),
                 indexes: IndexCache::default(),
+                stats: StatsCache::default(),
             }),
         })
     }
@@ -793,6 +852,29 @@ mod tests {
         assert!(Arc::ptr_eq(&before, &still), "pinned index is cached");
         // The writer's new version rebuilds lazily and sees the new row.
         assert_eq!(t.secondary_index(0).point(&Value::Int(10)), &[10]);
+    }
+
+    #[test]
+    fn pinned_stats_survive_writes_and_new_version_recomputes() {
+        let mut t = table();
+        t.insert_all((0..10i64).map(|i| vec![i.into(), format!("r{i}").into(), (i as f64).into()]))
+            .unwrap();
+        let pinned = t.clone();
+        let before = pinned.stats();
+        assert_eq!(before.row_count, 10);
+        assert_eq!(before.column(0).unwrap().ndv, 10);
+        // Writer installs a new version; the pinned stats must not change.
+        t.insert(vec![10.into(), "new".into(), 1.0.into()]).unwrap();
+        let still = pinned.stats();
+        assert_eq!(
+            still.row_count, 10,
+            "a pinned snapshot's statistics can never observe later inserts"
+        );
+        assert!(Arc::ptr_eq(&before, &still), "pinned stats are cached");
+        // The writer's new version recomputes lazily and sees the new row.
+        let fresh = t.stats();
+        assert_eq!(fresh.row_count, 11);
+        assert_eq!(fresh.column(0).unwrap().ndv, 11);
     }
 
     #[test]

@@ -9,8 +9,8 @@ use bp_datasets::{BenchmarkKind, DomainLexicon, GeneratedBenchmark};
 use bp_llm::{generate_candidates, GenerationRequest, ModelKind, PromptBuilder};
 use bp_metrics::{coverage, grade_cached, ClarityHistogram, DEFAULT_ACCURACY_THRESHOLD};
 use bp_storage::{
-    available_threads, batch_map, AccessPathStats, Database, PlanCache, PlanCacheStats,
-    VerifierStats,
+    available_threads, batch_map, AccessPathStats, CardinalityStats, Database, OptimizerStats,
+    PlanCache, PlanCacheStats, VerifierStats,
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -396,6 +396,13 @@ impl StudyRun {
     /// (counted once per compile, not per execution), and `violations`
     /// staying at 0 is the observable proof that no miscompiled plan
     /// reached execution.
+    ///
+    /// The [`OptimizerStats`] tally the cost-based optimizer's coverage
+    /// per compile — join spines whose association the cost model chose vs
+    /// join nodes compiled in syntactic order — and the
+    /// [`CardinalityStats`] tally per execution how many output rows the
+    /// cost model predicted vs how many actually came back, the study-side
+    /// view of estimator drift.
     pub fn clarity_histograms_detailed(
         &self,
         backtranslation_model: ModelKind,
@@ -404,6 +411,8 @@ impl StudyRun {
         PlanCacheStats,
         AccessPathStats,
         VerifierStats,
+        OptimizerStats,
+        CardinalityStats,
     ) {
         let beaver_translator =
             bp_llm::Backtranslator::new(self.beaver_db.catalog(), backtranslation_model.profile());
@@ -451,7 +460,20 @@ impl StudyRun {
             plans_verified: beaver_verified.plans_verified + bird_verified.plans_verified,
             violations: beaver_verified.violations + bird_verified.violations,
         };
-        (histograms, stats, access, verified)
+        let beaver_opt = beaver_cache.optimizer_stats();
+        let bird_opt = bird_cache.optimizer_stats();
+        let optimizer = OptimizerStats {
+            cost_based: beaver_opt.cost_based + bird_opt.cost_based,
+            syntactic_fallback: beaver_opt.syntactic_fallback + bird_opt.syntactic_fallback,
+        };
+        let beaver_card = beaver_cache.cardinality_stats();
+        let bird_card = bird_cache.cardinality_stats();
+        let cardinality = CardinalityStats {
+            estimated_executions: beaver_card.estimated_executions + bird_card.estimated_executions,
+            estimated_rows: beaver_card.estimated_rows + bird_card.estimated_rows,
+            actual_rows: beaver_card.actual_rows + bird_card.actual_rows,
+        };
+        (histograms, stats, access, verified, optimizer, cardinality)
     }
 
     /// Mean coverage per condition (a finer-grained quality view than the
@@ -554,7 +576,8 @@ mod tests {
     fn detailed_clarity_histograms_agree_and_report_cache_reuse() {
         let run = small_run();
         let plain = run.clarity_histograms(ModelKind::Gpt4o);
-        let (detailed, stats, access, verified) = run.clarity_histograms_detailed(ModelKind::Gpt4o);
+        let (detailed, stats, access, verified, optimizer, cardinality) =
+            run.clarity_histograms_detailed(ModelKind::Gpt4o);
         assert_eq!(plain, detailed);
         // Every graded outcome touches the cache at least once (regenerated
         // side), at most twice (plus the original).
@@ -577,6 +600,19 @@ mod tests {
         );
         assert!(verified.plans_verified <= stats.misses);
         assert_eq!(verified.violations, 0, "no plan may fail verification");
+        // Optimizer coverage is per compile too: every compiled join node
+        // either went through the cost model or fell back, so the combined
+        // tally is bounded by the compile count times plan size — and the
+        // cardinality counters saw every successful estimated execution.
+        assert!(
+            optimizer.cost_based + optimizer.syntactic_fallback <= 4 * verified.plans_verified,
+            "optimizer tallies are per compile: {optimizer:?}"
+        );
+        assert!(
+            cardinality.estimated_executions > 0,
+            "graded executions must tally estimated-vs-actual rows"
+        );
+        assert!(cardinality.estimated_rows > 0 || cardinality.actual_rows > 0);
     }
 
     #[test]

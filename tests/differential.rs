@@ -663,6 +663,253 @@ fn parallel_query_errors_match_serial_cleanly() {
 }
 
 // ---------------------------------------------------------------------
+// Cost-based join reordering: cost-based ≡ syntactic ≡ legacy
+// ---------------------------------------------------------------------
+
+/// A database shaped so join order matters: four tables spanning two
+/// orders of magnitude in size, chained by shared keys (big → mid on a
+/// fan-out key, mid → small, small → tiny), with an extreme-integer column
+/// on the big table so generated projections can force identical overflow
+/// errors through every compilation.
+fn join_order_db() -> Database {
+    let mut db = Database::new("reorder");
+    db.create_table(TableSchema::new(
+        "R_BIG",
+        vec![
+            Column::new("ID", DataType::Integer).primary_key(),
+            Column::new("K", DataType::Integer),
+            Column::new("EX", DataType::Integer),
+        ],
+    ))
+    .expect("R_BIG schema");
+    db.create_table(TableSchema::new(
+        "R_MID",
+        vec![
+            Column::new("ID", DataType::Integer).primary_key(),
+            Column::new("K", DataType::Integer),
+            Column::new("J", DataType::Integer),
+        ],
+    ))
+    .expect("R_MID schema");
+    db.create_table(TableSchema::new(
+        "R_SMALL",
+        vec![
+            Column::new("J", DataType::Integer).primary_key(),
+            Column::new("M", DataType::Integer),
+        ],
+    ))
+    .expect("R_SMALL schema");
+    db.create_table(TableSchema::new(
+        "R_TINY",
+        vec![
+            Column::new("M", DataType::Integer).primary_key(),
+            Column::new("LBL", DataType::Text),
+        ],
+    ))
+    .expect("R_TINY schema");
+    db.insert_into(
+        "R_BIG",
+        (0..1024i64).map(|i| {
+            let ex = if i == 600 { i64::MAX } else { i };
+            vec![Value::Int(i), Value::Int(i % 8), Value::Int(ex)]
+        }),
+    )
+    .expect("R_BIG rows");
+    db.insert_into(
+        "R_MID",
+        (0..128i64).map(|i| vec![Value::Int(i), Value::Int(i % 8), Value::Int(i % 32)]),
+    )
+    .expect("R_MID rows");
+    db.insert_into(
+        "R_SMALL",
+        (0..32i64).map(|i| vec![Value::Int(i), Value::Int(i % 4)]),
+    )
+    .expect("R_SMALL rows");
+    db.insert_into(
+        "R_TINY",
+        (0..4i64).map(|i| vec![Value::Int(i), Value::Text(format!("m{i}"))]),
+    )
+    .expect("R_TINY rows");
+    db
+}
+
+/// The reordered-joins oracle: compile `sql` with the cost-based join
+/// reorderer and pinned to syntactic order, and require byte-identical
+/// behavior — results *and* errors — at thread counts 1 and 4, plus
+/// Ok/Err parity (and result equality on success) with the legacy
+/// interpreter, which never reorders anything. The cost-based plan must
+/// also pass the static verifier (whose join-binding invariant is
+/// association-order-independent). Failure messages print both plans'
+/// `explain()` renderings so a divergence immediately shows the shapes
+/// that produced it.
+fn assert_join_orders_agree(db: &Database, sql: &str) {
+    use benchpress_suite::storage::{
+        compile_query_opts, exec_compiled, verify_plan, CompileOptions,
+    };
+    let query = benchpress_suite::sql::parse_query(sql).expect("generated join SQL parses");
+    let snapshot = db.snapshot();
+    let cost_based = compile_query_opts(&snapshot, &query, CompileOptions::default());
+    let syntactic = compile_query_opts(
+        &snapshot,
+        &query,
+        CompileOptions {
+            cost_based: false,
+            ..CompileOptions::default()
+        },
+    );
+    let (cost_based, syntactic) = match (cost_based, syntactic) {
+        (Ok(c), Ok(s)) => (c, s),
+        (Err(c), Err(s)) => {
+            assert_eq!(
+                c, s,
+                "compile errors must not depend on the optimizer: {sql}"
+            );
+            return;
+        }
+        (c, s) => panic!(
+            "optimizer changed compile outcome on {sql}: cost_based_err={:?} syntactic_err={:?}",
+            c.err(),
+            s.err()
+        ),
+    };
+    let violations = verify_plan(&snapshot, &cost_based);
+    assert!(
+        violations.is_empty(),
+        "reordered plan fails verification on {sql}:\n{}\nplan:\n{}",
+        violations
+            .iter()
+            .map(|v| format!("  - {v}"))
+            .collect::<Vec<_>>()
+            .join("\n"),
+        cost_based.explain(&snapshot)
+    );
+    let mut serial_result = None;
+    for threads in [1usize, TEST_THREADS] {
+        let options = ExecOptions::default().with_threads(threads);
+        let from_cost = exec_compiled(&snapshot, &cost_based, options);
+        let from_syntactic = exec_compiled(&snapshot, &syntactic, options);
+        assert_eq!(
+            from_cost,
+            from_syntactic,
+            "cost-based vs syntactic diverge at {threads} thread(s) on {sql}\n\
+             cost-based plan:\n{}\nsyntactic plan:\n{}",
+            cost_based.explain(&snapshot),
+            syntactic.explain(&snapshot)
+        );
+        if let Some(serial) = &serial_result {
+            assert_eq!(
+                serial, &from_cost,
+                "thread count changes the reordered plan's outcome on {sql}"
+            );
+        } else {
+            serial_result = Some(from_cost);
+        }
+    }
+    let legacy = db.execute_sql_with(sql, ExecStrategy::Legacy);
+    match (legacy, serial_result.expect("both thread counts ran")) {
+        (Ok(l), Ok(c)) => assert_eq!(
+            l,
+            c,
+            "legacy vs cost-based diverge on {sql}\ncost-based plan:\n{}",
+            cost_based.explain(&snapshot)
+        ),
+        (Err(_), Err(_)) => {}
+        (l, c) => panic!("ok/err divergence on {sql}: legacy={l:?} cost_based={c:?}"),
+    }
+}
+
+/// Seed-driven multi-join chains over [`join_order_db`]: 3- or 4-table
+/// spines written big-table-first (the pathological syntactic order) or
+/// tiny-table-first, with optional filters on the tail and an optional
+/// overflow-bearing projection that must error identically through every
+/// compilation.
+fn gen_join_chain(mix: &mut Mix) -> String {
+    let reversed = mix.below(2) == 0;
+    let four_way = mix.below(2) == 0;
+    let overflow = mix.below(4) == 0;
+    let select = if overflow {
+        "R_BIG.EX + 1"
+    } else {
+        "R_BIG.ID, R_MID.ID, R_SMALL.M"
+    };
+    let mut joins = vec![
+        ("R_BIG", None),
+        ("R_MID", Some("R_BIG.K = R_MID.K")),
+        ("R_SMALL", Some("R_MID.J = R_SMALL.J")),
+    ];
+    if four_way {
+        joins.push(("R_TINY", Some("R_SMALL.M = R_TINY.M")));
+    }
+    if reversed {
+        // Same spine written small-table-first: already a good order, so
+        // the reorderer should change little — identity must hold anyway.
+        // The ON clauses shift one slot because each belongs to the later
+        // table of its adjacent pair.
+        joins.reverse();
+        let conditions: Vec<_> = joins.iter().filter_map(|(_, on)| *on).collect();
+        for (entry, condition) in joins.iter_mut().skip(1).zip(conditions) {
+            entry.1 = Some(condition);
+        }
+        joins[0].1 = None;
+    }
+    let mut sql = format!("SELECT {select} FROM {}", joins[0].0);
+    for (name, on) in &joins[1..] {
+        sql.push_str(&format!(
+            " JOIN {name} ON {}",
+            on.expect("joined table has ON")
+        ));
+    }
+    match mix.below(3) {
+        0 => sql.push_str(" WHERE R_SMALL.J < 5"),
+        1 if four_way => sql.push_str(" WHERE R_TINY.M = 2"),
+        _ => {}
+    }
+    sql
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 10,
+        .. ProptestConfig::default()
+    })]
+
+    /// Reordered joins are invisible: for seed-driven 3- and 4-table
+    /// equi-join chains (pathological and benign syntactic orders, tail
+    /// filters, overflow projections), the cost-based compilation must be
+    /// byte-identical to the syntactic one — serial and parallel, errors
+    /// included — and agree with the legacy interpreter.
+    #[test]
+    fn reordered_joins_are_byte_identical_across_compilations(seed in 0u64..1_000_000) {
+        let db = join_order_db();
+        let mut mix = Mix(seed ^ 0x0e0e);
+        for _ in 0..4 {
+            let sql = gen_join_chain(&mut mix);
+            assert_join_orders_agree(&db, &sql);
+        }
+    }
+}
+
+/// The generator's pathological shape really is reordered — otherwise the
+/// property above would be vacuously comparing a plan against itself.
+#[test]
+fn pathological_chain_is_cost_based_reordered() {
+    use benchpress_suite::storage::{compile_query_opts, CompileOptions};
+    let db = join_order_db();
+    let snapshot = db.snapshot();
+    let sql = "SELECT R_BIG.ID, R_MID.ID, R_SMALL.M FROM R_BIG \
+               JOIN R_MID ON R_BIG.K = R_MID.K \
+               JOIN R_SMALL ON R_MID.J = R_SMALL.J";
+    let query = benchpress_suite::sql::parse_query(sql).expect("parses");
+    let plan = compile_query_opts(&snapshot, &query, CompileOptions::default()).expect("compiles");
+    assert!(
+        plan.optimizer_stats().cost_based >= 1,
+        "the big-first chain must be cost-based reordered; plan:\n{}",
+        plan.explain(&snapshot)
+    );
+    assert_join_orders_agree(&db, sql);
+}
+
+// ---------------------------------------------------------------------
 // Snapshot storage: snapshot reads vs single-borrow reads, and prepared
 // queries under a streaming writer
 // ---------------------------------------------------------------------
