@@ -13,9 +13,12 @@ cargo build --release
 echo "==> bp-lint (determinism lint, ratcheted against lint-baseline.txt)"
 # Static gate: no HashMap/HashSet iteration into results, no bare numeric
 # `as` casts in kernel files, no library unwrap()/expect(), Ordering::Relaxed
-# allowlisted only. The committed baseline is a ratchet — counts may fall but
-# never rise; run `cargo run -p bp-lint -- --update-baseline` after removing
-# a violation to lock the lower count in.
+# allowlisted only, and no direct std::sync / thread-spawn imports in library
+# code outside the bp_storage::sync shim (rule sync-shim — everything the
+# sanitizer must see goes through the shim). The committed baseline is a
+# ratchet — counts may fall but never rise; run
+# `cargo run -p bp-lint -- --update-baseline` after removing a violation to
+# lock the lower count in.
 cargo run --release -q -p bp-lint
 
 echo "==> cargo test -q --workspace (includes the umbrella tier-1 suite)"
@@ -26,6 +29,32 @@ echo "==> cargo test -q --workspace (includes the umbrella tier-1 suite)"
 # fails here before any release gate runs. (The release path stays covered
 # too: PreparedQuery verifies every plan it compiles, always-on.)
 cargo test -q --workspace
+
+echo "==> bp-sync sanitized model tests (deterministic schedule exploration, timeboxed)"
+# The concurrency sanitizer: the same library code recompiled with its
+# sync primitives instrumented (cargo feature bp_sanitize) and each model
+# protocol explored under a seeded schedule controller with happens-before
+# race detection and lock-order-cycle detection. First a pinned-seed pass
+# — the negative tests assert a planted race / an AB-BA inversion is found
+# and replays at that seed — then a ~30s sweep over fresh base seeds so CI
+# keeps widening the explored schedule space (at least one sweep pass
+# always runs; any SyncViolation fails the build). The pinned pass also
+# writes the sanitizer-overhead fragment that exec_bench folds into
+# BENCH_exec.json as an informational entry.
+mkdir -p target
+BP_SANITIZER_OVERHEAD_OUT="$PWD/target/sanitizer_overhead.txt" \
+  cargo test -q -p bp-storage --features bp_sanitize --test concurrency_models
+SANITIZE_DEADLINE=$(( $(date +%s) + 30 ))
+SANITIZE_PASSES=0
+while :; do
+  SWEEP_SEED=$(( $(date +%s) * 1000003 + SANITIZE_PASSES ))
+  echo "bp-sync sweep pass $(( SANITIZE_PASSES + 1 )): BP_SANITIZE_SEED=${SWEEP_SEED}"
+  BP_SANITIZE_SEED="${SWEEP_SEED}" BP_SANITIZE_ITERS=48 \
+    cargo test -q -p bp-storage --features bp_sanitize --test concurrency_models
+  SANITIZE_PASSES=$(( SANITIZE_PASSES + 1 ))
+  [ "$(date +%s)" -ge "$SANITIZE_DEADLINE" ] && break
+done
+echo "bp-sync sanitized sweep: ${SANITIZE_PASSES} pass(es) green"
 
 echo "==> concurrency stress loop (snapshot readers vs streaming writer, timeboxed)"
 # Concurrent interleavings are timing-dependent: one pass of the stress

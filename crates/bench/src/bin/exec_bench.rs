@@ -312,6 +312,32 @@ struct VerifyMeasurement {
     meets_target: Option<bool>,
 }
 
+/// Wall-clock cost of the `bp_sanitize` schedule explorer relative to the
+/// same protocol body run plain, as measured by the sanitized model-test
+/// lane (`sanitizer_overhead_probe`) and handed over through a small
+/// `key=value` fragment file. Informational only — the sanitizer never
+/// runs in release builds, so there is nothing to gate — but recording it
+/// keeps instrumentation creep observable, and `fragment_found: false`
+/// makes a skipped sanitized lane visible instead of silent.
+#[derive(Serialize)]
+struct SanitizerMeasurement {
+    /// Whether the fragment written by the sanitized model tests was found
+    /// (ci.sh runs them with `BP_SANITIZER_OVERHEAD_OUT` before this bench).
+    fragment_found: bool,
+    /// Schedule-explored runs of the plan-cache model protocol, total ms.
+    instrumented_ms: Option<f64>,
+    /// The same runs through the transparent fast path, total ms.
+    plain_ms: Option<f64>,
+    /// `instrumented_ms / plain_ms`.
+    overhead_ratio: Option<f64>,
+    /// Protocol runs timed on each side.
+    iterations: Option<u64>,
+    /// What the numbers mean, or why they are absent.
+    note: String,
+    /// Never gated; recorded for shape-compatibility with gated entries.
+    meets_target: Option<bool>,
+}
+
 #[derive(Serialize)]
 struct ExecBenchReport {
     bench: String,
@@ -326,8 +352,64 @@ struct ExecBenchReport {
     index_point_lookup: IndexMeasurement,
     join_order_workload: JoinOrderMeasurement,
     plan_verification: VerifyMeasurement,
+    sanitizer_overhead: SanitizerMeasurement,
     speedup_target: f64,
     meets_target: bool,
+}
+
+/// Parse the overhead fragment the sanitized model tests leave at
+/// `target/sanitizer_overhead.txt` (plain `key=value` lines — the fragment
+/// is written by a test binary, so no JSON round-trip to depend on).
+fn read_sanitizer_overhead() -> SanitizerMeasurement {
+    let absent = |note: String| SanitizerMeasurement {
+        fragment_found: false,
+        instrumented_ms: None,
+        plain_ms: None,
+        overhead_ratio: None,
+        iterations: None,
+        note,
+        meets_target: None,
+    };
+    let path = std::path::Path::new("target/sanitizer_overhead.txt");
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return absent(
+            "no target/sanitizer_overhead.txt — run the sanitized model tests with \
+             BP_SANITIZER_OVERHEAD_OUT set (ci.sh does) before this bench"
+                .into(),
+        );
+    };
+    let mut instrumented_ms = None;
+    let mut plain_ms = None;
+    let mut iterations = None;
+    for line in text.lines() {
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        match key.trim() {
+            "instrumented_ms" => instrumented_ms = value.trim().parse::<f64>().ok(),
+            "plain_ms" => plain_ms = value.trim().parse::<f64>().ok(),
+            "iterations" => iterations = value.trim().parse::<u64>().ok(),
+            _ => {}
+        }
+    }
+    let overhead_ratio = match (instrumented_ms, plain_ms) {
+        (Some(i), Some(p)) if p > 0.0 => Some(i / p),
+        _ => None,
+    };
+    if instrumented_ms.is_none() || plain_ms.is_none() {
+        return absent("target/sanitizer_overhead.txt exists but is malformed".into());
+    }
+    SanitizerMeasurement {
+        fragment_found: true,
+        instrumented_ms,
+        plain_ms,
+        overhead_ratio,
+        iterations,
+        note: "schedule-explored vs plain wall time of the plan-cache model protocol \
+               (informational, ungated; sanitizer code never runs in release builds)"
+            .into(),
+        meets_target: None,
+    }
 }
 
 /// Median wall-clock milliseconds over `iters` runs of `f`, after one
@@ -1170,6 +1252,19 @@ fn main() {
         "plan verification ({verify_plans_total} plans): {verify_pass_ms:.3} ms/pass -> {verify_per_plan_us:.1} us/plan, {verify_violations} violation(s) (informational, ungated)"
     );
 
+    // --- Informational: sanitizer instrumentation overhead ---------------
+    let sanitizer_overhead = read_sanitizer_overhead();
+    match (
+        sanitizer_overhead.overhead_ratio,
+        sanitizer_overhead.instrumented_ms,
+        sanitizer_overhead.plain_ms,
+    ) {
+        (Some(ratio), Some(instrumented), Some(plain)) => println!(
+            "sanitizer overhead: instrumented {instrumented:.1} ms vs plain {plain:.1} ms -> {ratio:.1}x (informational, ungated)"
+        ),
+        _ => println!("sanitizer overhead: {}", sanitizer_overhead.note),
+    }
+
     // --- Record --------------------------------------------------------
     let meets_target = join_speedup >= TARGET;
     let report = ExecBenchReport {
@@ -1297,6 +1392,7 @@ fn main() {
             violations: verify_violations,
             meets_target: None,
         },
+        sanitizer_overhead,
         speedup_target: TARGET,
         meets_target,
     };

@@ -20,6 +20,12 @@
 //! * **`relaxed`** — `Ordering::Relaxed` only at allowlisted counter
 //!   sites: relaxed atomics are correct for monotone counters and nothing
 //!   else the codebase does.
+//! * **`sync-shim`** — no direct `std::sync` / `std::thread::spawn` /
+//!   `std::thread::scope` in library code outside `bp_storage::sync`: the
+//!   shim module is the single doorway to the concurrency primitives, so
+//!   the `bp_sanitize` schedule explorer sees every lock, atomic and
+//!   spawn. Test code is exempt (the sanitizer harness itself drives
+//!   tests), as are binaries and the shim's own sources.
 //!
 //! The committed baseline (`lint-baseline.txt` at the workspace root) is a
 //! **ratchet**: per (rule, file) the current count may fall but never
@@ -70,6 +76,7 @@ enum Rule {
     AsCast,
     Unwrap,
     Relaxed,
+    SyncShim,
 }
 
 impl Rule {
@@ -79,6 +86,7 @@ impl Rule {
             Rule::AsCast => "as-cast",
             Rule::Unwrap => "unwrap",
             Rule::Relaxed => "relaxed",
+            Rule::SyncShim => "sync-shim",
         }
     }
 
@@ -88,6 +96,7 @@ impl Rule {
             "as-cast" => Some(Rule::AsCast),
             "unwrap" => Some(Rule::Unwrap),
             "relaxed" => Some(Rule::Relaxed),
+            "sync-shim" => Some(Rule::SyncShim),
             _ => None,
         }
     }
@@ -380,6 +389,48 @@ fn find_relaxed(clean: &str, src: &str, file: &str, tests: &[(usize, usize)]) ->
     findings
 }
 
+/// Paths whose appearance in library code bypasses the `bp_storage::sync`
+/// shim. `std::sync` covers every primitive (including `std::sync::atomic`
+/// and `Arc` — the shim re-exports them all); `std::thread` is matched
+/// only for the spawning entry points, so `available_parallelism`,
+/// `sleep` and `panicking` stay legal.
+const SYNC_SHIM_PATHS: [&str; 3] = ["std::sync", "std::thread::spawn", "std::thread::scope"];
+
+/// `sync-shim`: direct `std::sync` / thread-spawn paths in library code
+/// outside the shim module — those primitives would be invisible to the
+/// `bp_sanitize` schedule explorer.
+fn find_sync_shim(clean: &str, src: &str, file: &str, tests: &[(usize, usize)]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for path in SYNC_SHIM_PATHS {
+        let mut from = 0;
+        while let Some(pos) = clean[from..].find(path) {
+            let offset = from + pos;
+            from = offset + path.len();
+            if in_regions(tests, offset) {
+                continue;
+            }
+            // Token boundaries: `mystd::sync` or `std::synchronize` (or a
+            // longer path continuing with an identifier, for the thread
+            // entries) must not match. A following `::` is a match — it is
+            // how the paths are actually used.
+            let bytes = clean.as_bytes();
+            let before_ok = offset == 0 || !is_ident_byte(bytes[offset - 1]);
+            let after = offset + path.len();
+            let after_ok = after == bytes.len() || !is_ident_byte(bytes[after]);
+            if before_ok && after_ok {
+                findings.push(Finding {
+                    rule: Rule::SyncShim,
+                    file: file.to_string(),
+                    line: line_of(clean, offset),
+                    snippet: snippet_at(src, offset),
+                });
+            }
+        }
+    }
+    findings.sort_by_key(|f| f.line);
+    findings
+}
+
 /// Collect identifiers bound to `HashMap`/`HashSet` in this file: `let`
 /// bindings and struct fields, by annotation (`name: HashMap<…>`, possibly
 /// through wrappers like `Mutex<HashMap<…>>`) or in-place construction
@@ -498,6 +549,12 @@ fn is_library_file(rel: &str) -> bool {
     !rel.contains("/bin/") && !rel.ends_with("main.rs") && !rel.ends_with("build.rs")
 }
 
+/// Whether `sync-shim` is exempt: the shim module is the one place that
+/// *must* name the std primitives it wraps.
+fn is_shim_file(rel: &str) -> bool {
+    rel.contains("crates/storage/src/sync/")
+}
+
 fn lint_file(rel: &str, src: &str) -> Vec<Finding> {
     let clean = sanitize(src);
     let tests = test_regions(&clean);
@@ -507,6 +564,9 @@ fn lint_file(rel: &str, src: &str) -> Vec<Finding> {
     }
     if is_library_file(rel) {
         findings.extend(find_unwraps(&clean, src, rel, &tests));
+        if !is_shim_file(rel) {
+            findings.extend(find_sync_shim(&clean, src, rel, &tests));
+        }
     }
     findings.extend(find_relaxed(&clean, src, rel, &tests));
     findings
@@ -820,6 +880,52 @@ mod tests {
         let findings = find_hash_iter(&clean, src, "f.rs", &[]);
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].line, 5);
+    }
+
+    #[test]
+    fn sync_shim_flags_std_sync_paths_outside_tests() {
+        let src = "use std::sync::Mutex;\n\
+                   use std::sync::atomic::{AtomicBool, Ordering};\n\
+                   fn go() { std::thread::spawn(|| {}); }\n\
+                   fn par() { std::thread::available_parallelism(); }\n\
+                   fn nap() { std::thread::sleep(d); }\n\
+                   #[cfg(test)]\nmod tests {\n    use std::sync::mpsc;\n    fn t() { std::thread::scope(|s| {}); }\n}\n";
+        let clean = sanitize(src);
+        let regions = test_regions(&clean);
+        let findings = find_sync_shim(&clean, src, "f.rs", &regions);
+        let lines: Vec<usize> = findings.iter().map(|f| f.line).collect();
+        assert_eq!(
+            lines,
+            vec![1, 2, 3],
+            "imports and spawn flagged; parallelism/sleep/test code exempt"
+        );
+        // Comments and doc text never count, and identifier fragments
+        // (`mystd::sync…`) must not match.
+        let src2 = "// use std::sync::Mutex\nlet p = mystd::sync_token();\n";
+        let clean2 = sanitize(src2);
+        assert!(find_sync_shim(&clean2, src2, "f.rs", &[]).is_empty());
+    }
+
+    #[test]
+    fn sync_shim_exempts_the_shim_module_and_binaries() {
+        assert!(is_shim_file("crates/storage/src/sync/mod.rs"));
+        assert!(is_shim_file("crates/storage/src/sync/shim.rs"));
+        assert!(is_shim_file("crates/storage/src/sync/runtime.rs"));
+        assert!(!is_shim_file("crates/storage/src/database.rs"));
+        let src = "use std::sync::Mutex;\n";
+        assert!(
+            lint_file("crates/storage/src/sync/mod.rs", src).is_empty(),
+            "the shim may name the std primitives it wraps"
+        );
+        assert!(
+            lint_file("crates/bench/src/bin/exec_bench.rs", src).is_empty(),
+            "binaries own their concurrency"
+        );
+        assert_eq!(
+            lint_file("crates/storage/src/table.rs", src).len(),
+            1,
+            "library code outside the shim is flagged"
+        );
     }
 
     #[test]

@@ -8,8 +8,8 @@
 //! still pins it. Readers of a snapshot are never blocked by, and never
 //! observe, concurrent writes; writers never wait for readers.
 
+use crate::sync::Arc;
 use std::collections::BTreeMap;
-use std::sync::Arc;
 
 use crate::error::{StorageError, StorageResult};
 use crate::physical::{ExecOptions, ExecStrategy};

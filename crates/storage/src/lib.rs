@@ -42,6 +42,7 @@ pub mod schema;
 pub mod service;
 pub mod snapshot;
 pub(crate) mod stats;
+pub mod sync;
 pub mod table;
 pub mod value;
 

@@ -18,8 +18,8 @@
 //! column slices is byte-compatible with the row engine's string keys
 //! without allocating a `String` per row.
 
+use crate::sync::Arc;
 use std::hash::{DefaultHasher, Hash, Hasher};
-use std::sync::Arc;
 
 use crate::table::Row;
 use crate::value::Value;

@@ -37,8 +37,8 @@
 //! agree in kind per engine pair, and exact error equality only within an
 //! engine across thread counts.
 
+use crate::sync::{Arc, Mutex};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
 
 use bp_sql::JoinOperator;
 

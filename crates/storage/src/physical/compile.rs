@@ -6,8 +6,8 @@
 //! subqueries recursively, and computes each subquery's cacheability
 //! (uncorrelated and free of reads from enclosing CTE scopes).
 
+use crate::sync::Mutex;
 use std::collections::{BTreeSet, HashMap};
-use std::sync::Mutex;
 
 use bp_sql::{column_ref, split_conjuncts, Expr, Query};
 

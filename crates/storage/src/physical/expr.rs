@@ -14,7 +14,7 @@
 //! enclosing scopes) caches its first result, so `WHERE x > (SELECT AVG(..)
 //! FROM t)` executes the subquery once instead of once per row.
 
-use std::sync::{Arc, Mutex};
+use crate::sync::{Arc, Mutex};
 
 use bp_sql::{BinaryOperator, DataType, UnaryOperator};
 

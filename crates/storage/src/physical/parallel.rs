@@ -15,8 +15,9 @@
 //! completed), and remaining unclaimed morsels are abandoned.
 
 use std::ops::Range;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+
+use crate::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use crate::sync::{scope, Mutex, OnceLock};
 
 /// Number of worker threads the host machine supports; the default for
 /// [`crate::physical::ExecOptions::threads`]. Cached: `ExecOptions` is
@@ -68,7 +69,7 @@ where
     let cursor = AtomicUsize::new(0);
     let failed = AtomicBool::new(false);
     let slots: Vec<Mutex<Option<Result<R, E>>>> = (0..count).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
+    scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
                 // The failure check happens *before* claiming an index, and
@@ -78,7 +79,15 @@ where
                 // task, and abandon slots[i] — leaving a hole *before* the
                 // earliest error and breaking the collection invariant
                 // below.
-                if failed.load(Ordering::Relaxed) {
+                //
+                // Release/Acquire on the flag orders the early-exit
+                // decision after the store that caused it: a worker that
+                // observes `failed` is guaranteed to also observe every
+                // slot write the failing worker published before setting
+                // it, so the None-suffix invariant is not
+                // schedule-dependent (the sanitizer flags the Relaxed
+                // version of this read-then-act pair).
+                if failed.load(Ordering::Acquire) {
                     break;
                 }
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -87,7 +96,7 @@ where
                 }
                 let result = work(i);
                 if result.is_err() {
-                    failed.store(true, Ordering::Relaxed);
+                    failed.store(true, Ordering::Release);
                 }
                 *slots[i].lock().expect("morsel slot lock") = Some(result);
             });

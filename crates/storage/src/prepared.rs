@@ -24,8 +24,9 @@
 //! so an insert into one table never evicts plans that only read others.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use crate::sync::{Arc, Mutex, OnceLock};
 
 use bp_sql::Query;
 
@@ -186,6 +187,9 @@ impl PreparedQuery {
     /// compile, never inflated by re-executions of a cached plan.
     pub fn take_verification(&self) -> Option<VerifierStats> {
         let stats = *self.verification.get()?;
+        // Relaxed is safe: exactly-once rests on the swap's RMW atomicity
+        // (one caller sees false), and the value itself is published by the
+        // OnceLock's own acquire/release — the flag orders nothing.
         if self.verification_taken.swap(true, Ordering::Relaxed) {
             None
         } else {
@@ -216,6 +220,8 @@ impl PreparedQuery {
     /// matter how many times the cached plan re-executes.
     pub fn take_optimizer(&self) -> Option<OptimizerStats> {
         let stats = self.optimizer()?;
+        // Relaxed for the same reason as `take_verification`: the swap's
+        // atomicity alone guarantees a single taker.
         if self.optimizer_taken.swap(true, Ordering::Relaxed) {
             None
         } else {
@@ -471,9 +477,9 @@ impl PlanCache {
     pub fn record_access(&self, access: Option<AccessPathStats>) {
         if let Some(access) = access {
             self.index_scans
-                .fetch_add(access.index_scan, Ordering::Relaxed);
+                .fetch_add(access.index_scan, Ordering::Release);
             self.full_scans
-                .fetch_add(access.full_scan, Ordering::Relaxed);
+                .fetch_add(access.full_scan, Ordering::Release);
         }
     }
 
@@ -482,8 +488,8 @@ impl PlanCache {
     /// statements answered from a secondary index vs a full scan.
     pub fn access_stats(&self) -> AccessPathStats {
         AccessPathStats {
-            index_scan: self.index_scans.load(Ordering::Relaxed),
-            full_scan: self.full_scans.load(Ordering::Relaxed),
+            index_scan: self.index_scans.load(Ordering::Acquire),
+            full_scan: self.full_scans.load(Ordering::Acquire),
         }
     }
 
@@ -495,9 +501,9 @@ impl PlanCache {
     pub fn record_verification(&self, outcome: Option<VerifierStats>) {
         if let Some(stats) = outcome {
             self.plans_verified
-                .fetch_add(stats.plans_verified, Ordering::Relaxed);
+                .fetch_add(stats.plans_verified, Ordering::Release);
             self.plan_violations
-                .fetch_add(stats.violations, Ordering::Relaxed);
+                .fetch_add(stats.violations, Ordering::Release);
         }
     }
 
@@ -509,8 +515,8 @@ impl PlanCache {
     /// [`StorageError::PlanVerification`]).
     pub fn verifier_stats(&self) -> VerifierStats {
         VerifierStats {
-            plans_verified: self.plans_verified.load(Ordering::Relaxed),
-            violations: self.plan_violations.load(Ordering::Relaxed),
+            plans_verified: self.plans_verified.load(Ordering::Acquire),
+            violations: self.plan_violations.load(Ordering::Acquire),
         }
     }
 
@@ -522,9 +528,9 @@ impl PlanCache {
     pub fn record_optimizer(&self, outcome: Option<OptimizerStats>) {
         if let Some(stats) = outcome {
             self.opt_cost_based
-                .fetch_add(stats.cost_based, Ordering::Relaxed);
+                .fetch_add(stats.cost_based, Ordering::Release);
             self.opt_syntactic_fallback
-                .fetch_add(stats.syntactic_fallback, Ordering::Relaxed);
+                .fetch_add(stats.syntactic_fallback, Ordering::Release);
         }
     }
 
@@ -534,8 +540,8 @@ impl PlanCache {
     /// order, over every distinct compile the cache's statements forced.
     pub fn optimizer_stats(&self) -> OptimizerStats {
         OptimizerStats {
-            cost_based: self.opt_cost_based.load(Ordering::Relaxed),
-            syntactic_fallback: self.opt_syntactic_fallback.load(Ordering::Relaxed),
+            cost_based: self.opt_cost_based.load(Ordering::Acquire),
+            syntactic_fallback: self.opt_syntactic_fallback.load(Ordering::Acquire),
         }
     }
 
@@ -546,11 +552,11 @@ impl PlanCache {
     /// declines to score) contributes nothing.
     pub fn record_cardinality(&self, estimated: Option<u64>, actual_rows: u64) {
         if let Some(estimated) = estimated {
-            self.card_executions.fetch_add(1, Ordering::Relaxed);
+            self.card_executions.fetch_add(1, Ordering::Release);
             self.card_estimated_rows
-                .fetch_add(estimated, Ordering::Relaxed);
+                .fetch_add(estimated, Ordering::Release);
             self.card_actual_rows
-                .fetch_add(actual_rows, Ordering::Relaxed);
+                .fetch_add(actual_rows, Ordering::Release);
         }
     }
 
@@ -558,9 +564,9 @@ impl PlanCache {
     /// via [`PlanCache::record_cardinality`].
     pub fn cardinality_stats(&self) -> CardinalityStats {
         CardinalityStats {
-            estimated_executions: self.card_executions.load(Ordering::Relaxed),
-            estimated_rows: self.card_estimated_rows.load(Ordering::Relaxed),
-            actual_rows: self.card_actual_rows.load(Ordering::Relaxed),
+            estimated_executions: self.card_executions.load(Ordering::Acquire),
+            estimated_rows: self.card_estimated_rows.load(Ordering::Acquire),
+            actual_rows: self.card_actual_rows.load(Ordering::Acquire),
         }
     }
 

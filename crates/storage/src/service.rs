@@ -18,7 +18,7 @@
 //! first error *in input order* is the same one a serial loop would have
 //! reported — even while the database is being written to.
 
-use std::sync::RwLock;
+use crate::sync::RwLock;
 
 use crate::cost::OptimizerStats;
 use crate::database::Database;

@@ -12,8 +12,8 @@
 //! scans, the cached columnar decode, and the uncorrelated-subquery caches
 //! inside compiled plans all key off it safely.
 
+use crate::sync::Arc;
 use std::collections::BTreeMap;
-use std::sync::Arc;
 
 use crate::error::StorageResult;
 use crate::exec::Executor;

@@ -1,0 +1,1208 @@
+//! Sanitizer runtime: deterministic schedule controller, vector-clock
+//! happens-before race detection, and lock-order deadlock detection.
+//!
+//! # How a session works
+//!
+//! [`explore`] runs a closure (the *model test body*) many times. Each run
+//! is a **session**: the calling thread registers as participant 0, and
+//! every thread spawned through [`crate::sync::scope`] inside the body
+//! registers as a further participant. Participants are *serialized* — a
+//! single token says whose turn it is, and every instrumented operation
+//! (lock acquire/release, atomic access, `OnceLock` access, spawn/join)
+//! starts with a *schedule point* where a seeded RNG picks the next
+//! runnable participant. The same seed therefore replays the exact same
+//! interleaving, and different iterations (derived seeds) walk different
+//! interleavings of the same body.
+//!
+//! # What is checked
+//!
+//! - **Happens-before races.** Each participant carries a vector clock,
+//!   bumped at every instrumented operation. Lock release → acquire,
+//!   `Release` store → `Acquire` load, `OnceLock` init → read, and spawn /
+//!   join edges all propagate clocks. An atomic read that observes a
+//!   cross-thread write *not ordered before it* — and not synchronized via
+//!   a Release/Acquire pair — is a [`ViolationKind::Race`], as is a plain
+//!   store racing a concurrent write of a different value. Two exemptions
+//!   keep intentionally-relaxed idioms quiet: RMW-vs-RMW (atomicity makes
+//!   counter chains coherent regardless of ordering) and same-value
+//!   store-store (idempotent flags like a shared `failed` latch).
+//! - **Lock-order cycles.** Acquiring lock B while holding lock A records
+//!   the edge A→B in a per-session graph; a path B→…→A at that moment is a
+//!   [`ViolationKind::LockOrderCycle`].
+//! - **Actual deadlocks.** If no participant is runnable (everyone waits
+//!   on a lock, a `OnceLock` initialization, or a join) the schedule is
+//!   poisoned, every parked thread unwinds, and the session records a
+//!   [`ViolationKind::Deadlock`] with each blocked thread's wait site.
+//!
+//! Threads that are not session participants (or code running while no
+//! session is active) hit a two-word fast path and run uninstrumented.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe, Location};
+use std::sync::atomic::{AtomicBool as StdAtomicBool, AtomicU64 as StdAtomicU64, Ordering as O};
+use std::sync::{Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, PoisonError};
+
+use super::shim::PrimMeta;
+
+// ---------------------------------------------------------------------------
+// Public diagnostics
+// ---------------------------------------------------------------------------
+
+/// What kind of synchronization defect a [`SyncViolation`] reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ViolationKind {
+    /// Two accesses to the same atomic that are unordered in the
+    /// happens-before graph and not synchronized by Release/Acquire.
+    Race,
+    /// Two locks acquired in opposite orders on different code paths.
+    LockOrderCycle,
+    /// A schedule in which no participating thread can make progress.
+    Deadlock,
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViolationKind::Race => write!(f, "race"),
+            ViolationKind::LockOrderCycle => write!(f, "lock-order-cycle"),
+            ViolationKind::Deadlock => write!(f, "deadlock"),
+        }
+    }
+}
+
+/// One side of a violation: which participant did what, where, and the
+/// vector clock it held at that moment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessSite {
+    /// Session-local participant index (0 is the thread that called the
+    /// exploration body; spawned threads count up from 1).
+    pub thread: usize,
+    /// The instrumented operation, e.g. `store(Relaxed)=1` or `lock`.
+    pub op: String,
+    /// Source location (`file:line:column`) of the access.
+    pub site: String,
+    /// The participant's vector clock when the access happened.
+    pub clock: Vec<u64>,
+}
+
+impl fmt::Display for AccessSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "thread {} {} at {} clock {:?}",
+            self.thread, self.op, self.site, self.clock
+        )
+    }
+}
+
+/// A structured sanitizer finding, in the same diagnostic spirit as the
+/// plan verifier's `PlanViolation`: enough context to act on without
+/// re-running anything.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyncViolation {
+    /// The defect class.
+    pub kind: ViolationKind,
+    /// The primitive involved, e.g. `AtomicBool` or `Mutex`.
+    pub primitive: String,
+    /// Where that primitive was constructed (`file:line:column`).
+    pub construction_site: String,
+    /// The earlier of the two conflicting accesses.
+    pub first: AccessSite,
+    /// The later access — the one at which the defect was detected.
+    pub second: AccessSite,
+    /// The per-iteration schedule seed that produced this interleaving;
+    /// feed it to [`replay`] to reproduce the exact schedule.
+    pub schedule_seed: u64,
+    /// Free-form elaboration (cycle path, blocked-thread roster, …).
+    pub detail: String,
+}
+
+impl SyncViolation {
+    fn dedup_key(&self) -> String {
+        format!(
+            "{}|{}|{}|{}",
+            self.kind, self.construction_site, self.first.site, self.second.site
+        )
+    }
+}
+
+impl fmt::Display for SyncViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} on {} (constructed at {}):",
+            self.kind, self.primitive, self.construction_site
+        )?;
+        writeln!(f, "  first:  {}", self.first)?;
+        writeln!(f, "  second: {}", self.second)?;
+        if !self.detail.is_empty() {
+            writeln!(f, "  detail: {}", self.detail)?;
+        }
+        write!(f, "  replay: schedule seed {:#018x}", self.schedule_seed)
+    }
+}
+
+/// The outcome of an [`explore`] or [`replay`] call.
+#[derive(Debug, Clone, Default)]
+pub struct ScheduleReport {
+    /// How many distinct schedules (seed derivations) were executed.
+    pub schedules_run: usize,
+    /// Deduplicated violations across all schedules, in discovery order.
+    pub violations: Vec<SyncViolation>,
+    /// The derived seed of the first schedule that produced a violation;
+    /// pass it to [`replay`] to reproduce that interleaving alone.
+    pub failing_seed: Option<u64>,
+    /// How many schedules ended in an actual deadlock (these are also
+    /// reported as [`ViolationKind::Deadlock`] violations).
+    pub deadlocked_schedules: usize,
+}
+
+impl ScheduleReport {
+    /// True when no schedule produced any violation.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Panic with every violation rendered if the report is not clean.
+    /// The standard final assertion of a sanitized model test.
+    pub fn assert_clean(&self) {
+        if !self.is_clean() {
+            let mut msg = format!(
+                "{} sync violation(s) across {} schedule(s):\n",
+                self.violations.len(),
+                self.schedules_run
+            );
+            for v in &self.violations {
+                msg.push_str(&format!("{v}\n"));
+            }
+            panic!("{msg}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Vector clocks
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct VClock(Vec<u64>);
+
+impl VClock {
+    fn get(&self, t: usize) -> u64 {
+        self.0.get(t).copied().unwrap_or(0)
+    }
+
+    fn bump(&mut self, t: usize) {
+        if self.0.len() <= t {
+            self.0.resize(t + 1, 0);
+        }
+        self.0[t] += 1;
+    }
+
+    fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a = (*a).max(*b);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Session state
+// ---------------------------------------------------------------------------
+
+type PrimId = u64;
+type Site = &'static Location<'static>;
+
+#[derive(Clone)]
+struct WriteRecord {
+    thread: usize,
+    /// The writer's own clock component right after the write; a reader R
+    /// is ordered after the write iff `R.clock[thread] >= epoch`.
+    epoch: u64,
+    rmw: bool,
+    release: bool,
+    value: u64,
+    op: &'static str,
+    ordering: O,
+    site: Site,
+    clock: VClock,
+}
+
+#[derive(Default)]
+struct AtomicState {
+    last_write: Option<WriteRecord>,
+    /// The clock an `Acquire` reader inherits when it synchronizes with
+    /// the latest release write (C++ "release sequence", RMWs extend it).
+    sync_clock: VClock,
+}
+
+struct PrimInfo {
+    kind: &'static str,
+    site: Site,
+}
+
+#[derive(Default)]
+struct LockInfo {
+    exclusive_by: Option<usize>,
+    readers: Vec<usize>,
+    release_clock: VClock,
+}
+
+#[derive(Default)]
+struct OnceInfo {
+    /// Initializer's clock at completion, once initialized.
+    done: Option<VClock>,
+    initializing_by: Option<usize>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Waiting {
+    /// Running (holds or is about to reclaim the token).
+    No,
+    /// Parked at a plain schedule point; always runnable.
+    Yield,
+    /// Parked until the lock is free for the requested mode.
+    Lock { prim: PrimId, exclusive: bool },
+    /// Parked until the `OnceLock`'s in-flight initialization finishes.
+    Once { prim: PrimId },
+    /// OS-blocked in a scope/handle join until these participants finish.
+    Join { children: Vec<usize> },
+}
+
+struct ThreadState {
+    clock: VClock,
+    /// Locks currently held, in acquisition order: (lock, acquire site,
+    /// exclusive?).
+    held: Vec<(PrimId, Site, bool)>,
+    waiting: Waiting,
+    finished: bool,
+}
+
+impl ThreadState {
+    fn new(clock: VClock) -> Self {
+        ThreadState {
+            clock,
+            held: Vec::new(),
+            waiting: Waiting::Yield,
+            finished: false,
+        }
+    }
+}
+
+struct Session {
+    schedule_seed: u64,
+    rng: u64,
+    steps: u64,
+    max_steps: u64,
+    threads: Vec<ThreadState>,
+    current: usize,
+    prims: BTreeMap<PrimId, PrimInfo>,
+    atomics: BTreeMap<PrimId, AtomicState>,
+    locks: BTreeMap<PrimId, LockInfo>,
+    onces: BTreeMap<PrimId, OnceInfo>,
+    /// Lock-order edges seen this session: from → to → (acquire site of
+    /// `from` on the path that created the edge, acquire site of `to`).
+    edges: BTreeMap<PrimId, BTreeMap<PrimId, (Site, Site)>>,
+    violations: Vec<SyncViolation>,
+    vio_keys: BTreeSet<String>,
+    /// Set when the schedule cannot continue; parked threads unwind.
+    poisoned: Option<&'static str>,
+    deadlocked: bool,
+}
+
+impl Session {
+    fn new(schedule_seed: u64, max_steps: u64) -> Self {
+        Session {
+            schedule_seed,
+            rng: splitmix64(schedule_seed ^ 0x9e37_79b9_7f4a_7c15),
+            steps: 0,
+            max_steps,
+            threads: vec![ThreadState::new(VClock::default())],
+            current: 0,
+            prims: BTreeMap::new(),
+            atomics: BTreeMap::new(),
+            locks: BTreeMap::new(),
+            onces: BTreeMap::new(),
+            edges: BTreeMap::new(),
+            violations: Vec::new(),
+            vio_keys: BTreeSet::new(),
+            poisoned: None,
+            deadlocked: false,
+        }
+    }
+
+    fn prim_display(&self, id: PrimId) -> (String, String) {
+        match self.prims.get(&id) {
+            Some(info) => (info.kind.to_string(), render_site(info.site)),
+            None => ("<unknown>".to_string(), "<unknown>".to_string()),
+        }
+    }
+
+    fn record_violation(&mut self, v: SyncViolation) {
+        if self.vio_keys.insert(v.dedup_key()) {
+            self.violations.push(v);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Globals
+// ---------------------------------------------------------------------------
+
+/// Fast-path gate: true only while a session is live somewhere in the
+/// process. Checked before touching the controller mutex.
+static ACTIVE: StdAtomicBool = StdAtomicBool::new(false);
+static CTL: StdMutex<Option<Session>> = StdMutex::new(None);
+static CV: Condvar = Condvar::new();
+static NEXT_PRIM: StdAtomicU64 = StdAtomicU64::new(0);
+/// Sessions are process-global, so concurrently running `#[test]`s must
+/// take turns exploring.
+static SESSION_LOCK: StdMutex<()> = StdMutex::new(());
+
+thread_local! {
+    static SLOT: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+fn ctl() -> StdMutexGuard<'static, Option<Session>> {
+    CTL.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The calling thread's participant slot, or `None` when uninstrumented
+/// (no live session, not a participant, or currently unwinding — drops
+/// that run during a panic must not re-enter the scheduler).
+fn participant() -> Option<usize> {
+    if !ACTIVE.load(O::Acquire) || std::thread::panicking() {
+        return None;
+    }
+    SLOT.get()
+}
+
+fn render_site(site: Site) -> String {
+    format!("{}:{}:{}", site.file(), site.line(), site.column())
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+}
+
+fn prim_id(meta: &PrimMeta, session: &mut Session) -> PrimId {
+    let id = *meta
+        .id
+        .get_or_init(|| NEXT_PRIM.fetch_add(1, O::AcqRel) + 1);
+    session.prims.entry(id).or_insert(PrimInfo {
+        kind: meta.kind,
+        site: meta.site,
+    });
+    id
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling core
+// ---------------------------------------------------------------------------
+
+fn lock_free_for(session: &Session, prim: PrimId, exclusive: bool, me: usize) -> bool {
+    match session.locks.get(&prim) {
+        None => true,
+        Some(info) => {
+            if info.exclusive_by.is_some() {
+                return false;
+            }
+            if exclusive {
+                info.readers.is_empty() || info.readers == [me]
+            } else {
+                true
+            }
+        }
+    }
+}
+
+fn runnable(session: &Session, t: usize) -> bool {
+    let th = &session.threads[t];
+    if th.finished {
+        return false;
+    }
+    match &th.waiting {
+        Waiting::No | Waiting::Yield => true,
+        Waiting::Lock { prim, exclusive } => lock_free_for(session, *prim, *exclusive, t),
+        Waiting::Once { prim } => session
+            .onces
+            .get(prim)
+            .is_none_or(|o| o.initializing_by.is_none()),
+        Waiting::Join { children } => children.iter().all(|c| session.threads[*c].finished),
+    }
+}
+
+/// Pick the next token holder among runnable participants. If none is
+/// runnable but unfinished participants remain, the schedule is a real
+/// deadlock: record it and poison the session.
+fn pick_next(session: &mut Session) {
+    let candidates: Vec<usize> = (0..session.threads.len())
+        .filter(|t| runnable(session, *t))
+        .collect();
+    if candidates.is_empty() {
+        if session.threads.iter().any(|t| !t.finished) {
+            record_deadlock(session);
+            session.deadlocked = true;
+            session.poisoned = Some("deadlocked schedule");
+        }
+        return;
+    }
+    let i = (xorshift(&mut session.rng) % candidates.len() as u64) as usize;
+    session.current = candidates[i];
+}
+
+fn record_deadlock(session: &mut Session) {
+    let blocked: Vec<(usize, String)> = session
+        .threads
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !t.finished)
+        .map(|(i, t)| {
+            let what = match &t.waiting {
+                Waiting::Lock { prim, exclusive } => {
+                    let (kind, site) = session.prim_display(*prim);
+                    format!(
+                        "waiting to {} {kind}@{site}",
+                        if *exclusive { "lock" } else { "read-lock" }
+                    )
+                }
+                Waiting::Once { prim } => {
+                    let (kind, site) = session.prim_display(*prim);
+                    format!("waiting on {kind}@{site} initialization")
+                }
+                Waiting::Join { children } => format!("joining threads {children:?}"),
+                Waiting::No | Waiting::Yield => "runnable (scheduler bug)".to_string(),
+            };
+            let held: Vec<String> = t
+                .held
+                .iter()
+                .map(|(p, site, _)| {
+                    let (kind, csite) = session.prim_display(*p);
+                    format!("{kind}@{csite} (acquired at {})", render_site(site))
+                })
+                .collect();
+            (
+                i,
+                if held.is_empty() {
+                    what
+                } else {
+                    format!("{what}, holding [{}]", held.join(", "))
+                },
+            )
+        })
+        .collect();
+    let mk_site = |idx: usize| -> AccessSite {
+        blocked
+            .get(idx)
+            .map(|(t, what)| AccessSite {
+                thread: *t,
+                op: what.clone(),
+                site: "<blocked>".to_string(),
+                clock: session.threads[*t].clock.0.clone(),
+            })
+            .unwrap_or(AccessSite {
+                thread: 0,
+                op: "<none>".to_string(),
+                site: "<none>".to_string(),
+                clock: vec![],
+            })
+    };
+    let detail = blocked
+        .iter()
+        .map(|(t, what)| format!("thread {t}: {what}"))
+        .collect::<Vec<_>>()
+        .join("; ");
+    let v = SyncViolation {
+        kind: ViolationKind::Deadlock,
+        primitive: "schedule".to_string(),
+        construction_site: "<session>".to_string(),
+        first: mk_site(0),
+        second: mk_site(1.min(blocked.len().saturating_sub(1))),
+        schedule_seed: session.schedule_seed,
+        detail,
+    };
+    session.record_violation(v);
+}
+
+/// Park until this thread holds the token (or the session ends / is
+/// poisoned). Returns the re-acquired controller guard.
+fn wait_for_token(
+    mut guard: StdMutexGuard<'static, Option<Session>>,
+    me: usize,
+) -> StdMutexGuard<'static, Option<Session>> {
+    loop {
+        let Some(s) = guard.as_ref() else {
+            return guard;
+        };
+        if let Some(reason) = s.poisoned {
+            drop(guard);
+            panic!("bp-sync: {reason}");
+        }
+        if s.current == me {
+            return guard;
+        }
+        guard = CV.wait(guard).unwrap_or_else(PoisonError::into_inner);
+    }
+}
+
+/// A plain schedule point: hand the token to a seeded choice among all
+/// runnable participants (possibly this one) and park until it returns.
+fn yield_point(me: usize) {
+    let mut guard = ctl();
+    {
+        let Some(s) = guard.as_mut() else { return };
+        s.steps += 1;
+        if s.steps > s.max_steps {
+            s.poisoned = Some("schedule step cap exceeded (livelock in controller or model?)");
+            CV.notify_all();
+            drop(guard);
+            panic!("bp-sync: schedule step cap exceeded");
+        }
+        s.threads[me].waiting = Waiting::Yield;
+        pick_next(s);
+        CV.notify_all();
+    }
+    let mut guard = wait_for_token(guard, me);
+    if let Some(s) = guard.as_mut() {
+        s.threads[me].waiting = Waiting::No;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Instrumentation entry points (called from the shim types)
+// ---------------------------------------------------------------------------
+
+/// Schedule point before any instrumented operation.
+pub(super) fn op_pre() {
+    if let Some(me) = participant() {
+        yield_point(me);
+    }
+}
+
+fn is_acquire(o: O) -> bool {
+    matches!(o, O::Acquire | O::AcqRel | O::SeqCst)
+}
+
+fn is_release(o: O) -> bool {
+    matches!(o, O::Release | O::AcqRel | O::SeqCst)
+}
+
+fn ordering_name(o: O) -> &'static str {
+    match o {
+        O::Relaxed => "Relaxed",
+        O::Acquire => "Acquire",
+        O::Release => "Release",
+        O::AcqRel => "AcqRel",
+        O::SeqCst => "SeqCst",
+        _ => "?",
+    }
+}
+
+/// Record an atomic access that just executed (the token is still ours, so
+/// the bookkeeping and the real operation are one indivisible step as far
+/// as other participants can tell).
+///
+/// `value` is the value written for writes, or the value read for pure
+/// loads; RMWs pass the *new* value.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn atomic_access(
+    meta: &PrimMeta,
+    op: &'static str,
+    is_read: bool,
+    is_write: bool,
+    is_rmw: bool,
+    ordering: O,
+    value: u64,
+    site: Site,
+) {
+    let Some(me) = participant() else { return };
+    let mut guard = ctl();
+    let Some(s) = guard.as_mut() else { return };
+    let id = prim_id(meta, s);
+    let seed = s.schedule_seed;
+
+    let describe = |o: &WriteRecord| AccessSite {
+        thread: o.thread,
+        op: format!("{}({})={}", o.op, ordering_name(o.ordering), o.value),
+        site: render_site(o.site),
+        clock: o.clock.0.clone(),
+    };
+    let my_clock_now = s.threads[me].clock.0.clone();
+    let mine = AccessSite {
+        thread: me,
+        op: format!("{op}({})={value}", ordering_name(ordering)),
+        site: render_site(site),
+        clock: my_clock_now,
+    };
+    let (kind, csite) = s.prim_display(id);
+
+    // Race checks against the latest write.
+    let mut join_sync = false;
+    let mut race: Option<(AccessSite, String)> = None;
+    {
+        let st = s.atomics.entry(id).or_default();
+        if let Some(w) = &st.last_write {
+            let concurrent = w.thread != me && s.threads[me].clock.get(w.thread) < w.epoch;
+            if is_read {
+                let synchronizes = w.release && is_acquire(ordering);
+                if synchronizes {
+                    join_sync = true;
+                } else if concurrent && !(w.rmw && is_rmw) {
+                    race = Some((
+                        describe(w),
+                        format!(
+                            "read observes a concurrent cross-thread write without a \
+                             Release/Acquire pair ({} write, {} read); the read-then-act \
+                             path is unordered",
+                            ordering_name(w.ordering),
+                            ordering_name(ordering)
+                        ),
+                    ));
+                }
+            }
+            // Plain (non-RMW) store racing any concurrent write of a
+            // different value: last-writer-wins becomes schedule-dependent.
+            // RMW writers are not exempt here — only the *current* access
+            // being an RMW exempts it, and that is excluded above.
+            if is_write && !is_rmw && concurrent && w.value != value {
+                race = Some((
+                    describe(w),
+                    format!(
+                        "unordered cross-thread writes of different values ({} then {}); \
+                         last-writer-wins is schedule-dependent",
+                        w.value, value
+                    ),
+                ));
+            }
+        }
+    }
+    if join_sync {
+        let sync_clock = s
+            .atomics
+            .get(&id)
+            .map(|st| st.sync_clock.clone())
+            .unwrap_or_default();
+        s.threads[me].clock.join(&sync_clock);
+    }
+    if let Some((first, detail)) = race {
+        s.record_violation(SyncViolation {
+            kind: ViolationKind::Race,
+            primitive: kind,
+            construction_site: csite,
+            first,
+            second: mine,
+            schedule_seed: seed,
+            detail,
+        });
+    }
+
+    // Clock/write-record updates.
+    s.threads[me].clock.bump(me);
+    if is_write {
+        let clock = s.threads[me].clock.clone();
+        let epoch = clock.get(me);
+        let st = s.atomics.entry(id).or_default();
+        if is_release(ordering) {
+            if is_rmw {
+                st.sync_clock.join(&clock);
+            } else {
+                st.sync_clock = clock.clone();
+            }
+        } else if !is_rmw {
+            // A relaxed plain store breaks the release sequence: an
+            // Acquire reader of this write learns nothing.
+            st.sync_clock = VClock::default();
+        }
+        st.last_write = Some(WriteRecord {
+            thread: me,
+            epoch,
+            rmw: is_rmw,
+            release: is_release(ordering),
+            value,
+            op,
+            ordering,
+            site,
+            clock,
+        });
+    }
+}
+
+/// Block (if needed) until the lock is available in the requested mode,
+/// then claim it, recording lock-order edges and synchronization clocks.
+pub(super) fn lock_acquire(meta: &PrimMeta, exclusive: bool, site: Site) {
+    let Some(me) = participant() else { return };
+    yield_point(me);
+    let mut guard = ctl();
+    loop {
+        let Some(s) = guard.as_mut() else { return };
+        if let Some(reason) = s.poisoned {
+            drop(guard);
+            panic!("bp-sync: {reason}");
+        }
+        let id = prim_id(meta, s);
+        if lock_free_for(s, id, exclusive, me) {
+            check_lock_order(s, me, id, site);
+            let info = s.locks.entry(id).or_default();
+            if exclusive {
+                info.exclusive_by = Some(me);
+            } else {
+                info.readers.push(me);
+            }
+            let release_clock = info.release_clock.clone();
+            s.threads[me].clock.join(&release_clock);
+            s.threads[me].clock.bump(me);
+            s.threads[me].held.push((id, site, exclusive));
+            s.threads[me].waiting = Waiting::No;
+            CV.notify_all();
+            return;
+        }
+        s.threads[me].waiting = Waiting::Lock {
+            prim: id,
+            exclusive,
+        };
+        pick_next(s);
+        CV.notify_all();
+        guard = wait_for_token(guard, me);
+    }
+}
+
+/// Record the release of a lock (the real unlock has already happened).
+pub(super) fn lock_release(meta: &PrimMeta, exclusive: bool) {
+    let Some(me) = participant() else { return };
+    {
+        let mut guard = ctl();
+        let Some(s) = guard.as_mut() else { return };
+        let id = prim_id(meta, s);
+        let my_clock = s.threads[me].clock.clone();
+        let info = s.locks.entry(id).or_default();
+        info.release_clock.join(&my_clock);
+        if exclusive {
+            info.exclusive_by = None;
+        } else if let Some(pos) = info.readers.iter().position(|r| *r == me) {
+            info.readers.remove(pos);
+        }
+        s.threads[me].clock.bump(me);
+        if let Some(pos) = s.threads[me].held.iter().rposition(|(p, _, _)| *p == id) {
+            s.threads[me].held.remove(pos);
+        }
+        CV.notify_all();
+    }
+    // A post-release schedule point widens the explored interleavings
+    // around critical sections.
+    yield_point(me);
+}
+
+/// Add held→acquired edges and report a cycle if the reverse path exists.
+fn check_lock_order(session: &mut Session, me: usize, acquiring: PrimId, site: Site) {
+    let held: Vec<(PrimId, Site)> = session.threads[me]
+        .held
+        .iter()
+        .map(|(p, s, _)| (*p, *s))
+        .collect();
+    let seed = session.schedule_seed;
+    for (held_id, held_site) in held {
+        if held_id == acquiring {
+            continue; // re-entrant self-acquire deadlocks are caught by the scheduler
+        }
+        // Reverse path acquiring →…→ held_id means adding held_id→acquiring
+        // closes a cycle.
+        if let Some(path) = find_path(&session.edges, acquiring, held_id) {
+            let (kind, csite) = session.prim_display(acquiring);
+            let rev_edge_sites = session
+                .edges
+                .get(&acquiring)
+                .and_then(|m| m.get(&path[1.min(path.len() - 1)]))
+                .copied();
+            let first = match rev_edge_sites {
+                Some((hold_site, acq_site)) => AccessSite {
+                    thread: me,
+                    op: format!(
+                        "earlier schedule point acquired this lock while holding the other \
+                         (held at {})",
+                        render_site(hold_site)
+                    ),
+                    site: render_site(acq_site),
+                    clock: vec![],
+                },
+                None => AccessSite {
+                    thread: me,
+                    op: "earlier acquisition in reverse order".to_string(),
+                    site: "<unknown>".to_string(),
+                    clock: vec![],
+                },
+            };
+            let path_str = path
+                .iter()
+                .map(|p| {
+                    let (k, s) = session.prim_display(*p);
+                    format!("{k}@{s}")
+                })
+                .collect::<Vec<_>>()
+                .join(" -> ");
+            let v = SyncViolation {
+                kind: ViolationKind::LockOrderCycle,
+                primitive: kind,
+                construction_site: csite,
+                first,
+                second: AccessSite {
+                    thread: me,
+                    op: format!(
+                        "lock while holding {} (acquired at {})",
+                        session.prim_display(held_id).0,
+                        render_site(held_site)
+                    ),
+                    site: render_site(site),
+                    clock: session.threads[me].clock.0.clone(),
+                },
+                schedule_seed: seed,
+                detail: format!("acquisition-order cycle: {path_str} -> (back to start)"),
+            };
+            session.record_violation(v);
+        }
+        session
+            .edges
+            .entry(held_id)
+            .or_default()
+            .entry(acquiring)
+            .or_insert((held_site, site));
+    }
+}
+
+/// DFS for a path `from →…→ to` in the acquisition-order graph.
+fn find_path(
+    edges: &BTreeMap<PrimId, BTreeMap<PrimId, (Site, Site)>>,
+    from: PrimId,
+    to: PrimId,
+) -> Option<Vec<PrimId>> {
+    let mut stack = vec![vec![from]];
+    let mut seen = BTreeSet::new();
+    seen.insert(from);
+    while let Some(path) = stack.pop() {
+        let Some(last) = path.last().copied() else {
+            continue;
+        };
+        if last == to {
+            return Some(path);
+        }
+        if let Some(nexts) = edges.get(&last) {
+            for next in nexts.keys() {
+                if seen.insert(*next) {
+                    let mut p = path.clone();
+                    p.push(*next);
+                    stack.push(p);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// `OnceLock::get`: join the initializer's clock if initialized.
+pub(super) fn once_get(meta: &PrimMeta) {
+    let Some(me) = participant() else { return };
+    yield_point(me);
+    let mut guard = ctl();
+    let Some(s) = guard.as_mut() else { return };
+    let id = prim_id(meta, s);
+    let done = s.onces.get(&id).and_then(|o| o.done.clone());
+    if let Some(clock) = done {
+        s.threads[me].clock.join(&clock);
+    }
+    s.threads[me].clock.bump(me);
+}
+
+/// `OnceLock::get_or_init` / `set` entry: returns `true` when the caller
+/// must run the initializer (it claimed the in-flight slot); `false` when
+/// the value is already initialized (clock joined).
+pub(super) fn once_enter(meta: &PrimMeta) -> bool {
+    let Some(me) = participant() else {
+        return true; // uninstrumented: caller just runs the std op
+    };
+    yield_point(me);
+    let mut guard = ctl();
+    loop {
+        let Some(s) = guard.as_mut() else { return true };
+        if let Some(reason) = s.poisoned {
+            drop(guard);
+            panic!("bp-sync: {reason}");
+        }
+        let id = prim_id(meta, s);
+        let info = s.onces.entry(id).or_default();
+        match (&info.done, info.initializing_by) {
+            (Some(clock), _) => {
+                let clock = clock.clone();
+                s.threads[me].clock.join(&clock);
+                s.threads[me].clock.bump(me);
+                return false;
+            }
+            (None, None) => {
+                info.initializing_by = Some(me);
+                s.threads[me].clock.bump(me);
+                return true;
+            }
+            (None, Some(_)) => {
+                s.threads[me].waiting = Waiting::Once { prim: id };
+                pick_next(s);
+                CV.notify_all();
+                guard = wait_for_token(guard, me);
+                if let Some(s) = guard.as_mut() {
+                    s.threads[me].waiting = Waiting::No;
+                }
+            }
+        }
+    }
+}
+
+/// Complete an initialization claimed by [`once_enter`].
+pub(super) fn once_complete(meta: &PrimMeta) {
+    let Some(me) = participant() else { return };
+    let mut guard = ctl();
+    let Some(s) = guard.as_mut() else { return };
+    let id = prim_id(meta, s);
+    s.threads[me].clock.bump(me);
+    let clock = s.threads[me].clock.clone();
+    let info = s.onces.entry(id).or_default();
+    info.initializing_by = None;
+    info.done = Some(clock);
+    CV.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Spawn / join
+// ---------------------------------------------------------------------------
+
+/// Set up session bookkeeping for a thread about to be spawned. `None`
+/// when the spawner is uninstrumented (child runs plain).
+pub(super) fn prepare_spawn() -> Option<usize> {
+    let me = participant()?;
+    let mut guard = ctl();
+    let s = guard.as_mut()?;
+    let slot = s.threads.len();
+    let mut child_clock = s.threads[me].clock.clone();
+    s.threads[me].clock.bump(me);
+    child_clock.bump(slot);
+    s.threads.push(ThreadState::new(child_clock));
+    Some(slot)
+}
+
+/// First call inside a spawned participant: adopt the slot and park until
+/// scheduled.
+pub(super) fn child_start(slot: usize) {
+    SLOT.set(Some(slot));
+    let guard = ctl();
+    let mut guard = wait_for_token(guard, slot);
+    if let Some(s) = guard.as_mut() {
+        s.threads[slot].waiting = Waiting::No;
+    }
+}
+
+/// Mark a participant finished (normally or by panic) and pass the token.
+pub(super) fn child_finish(slot: usize, panicked: bool) {
+    // Deliberately not `participant()`: a panicking child must still
+    // hand back the token or everyone else parks forever.
+    if !ACTIVE.load(O::Acquire) {
+        return;
+    }
+    let mut guard = ctl();
+    let Some(s) = guard.as_mut() else { return };
+    s.threads[slot].finished = true;
+    s.threads[slot].waiting = Waiting::No;
+    s.threads[slot].held.clear();
+    if panicked && s.poisoned.is_none() {
+        s.poisoned = Some("a model thread panicked; unwinding the schedule");
+    }
+    if s.current == slot || s.poisoned.is_some() {
+        pick_next(s);
+    }
+    CV.notify_all();
+    SLOT.set(None);
+}
+
+/// The spawner is about to OS-block joining `children`: release the token.
+pub(super) fn enter_join_wait(children: &[usize]) {
+    let Some(me) = participant() else { return };
+    let mut guard = ctl();
+    let Some(s) = guard.as_mut() else { return };
+    s.threads[me].waiting = Waiting::Join {
+        children: children.to_vec(),
+    };
+    pick_next(s);
+    CV.notify_all();
+}
+
+/// The OS join returned: reclaim the token and inherit the children's
+/// final clocks (join edges).
+pub(super) fn exit_join_wait(children: &[usize]) {
+    let Some(me) = participant() else { return };
+    let guard = ctl();
+    let mut guard = wait_for_token(guard, me);
+    let Some(s) = guard.as_mut() else { return };
+    s.threads[me].waiting = Waiting::No;
+    for c in children {
+        let child_clock = s.threads[*c].clock.clone();
+        s.threads[me].clock.join(&child_clock);
+    }
+    s.threads[me].clock.bump(me);
+}
+
+/// A scope body panicked on the spawning thread: poison so parked
+/// children unwind instead of deadlocking the scope's implicit join.
+pub(super) fn poison_session(reason: &'static str) {
+    if !ACTIVE.load(O::Acquire) {
+        return;
+    }
+    let mut guard = ctl();
+    let Some(s) = guard.as_mut() else { return };
+    if s.poisoned.is_none() {
+        s.poisoned = Some(reason);
+    }
+    CV.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Session lifecycle and the public explore/replay API
+// ---------------------------------------------------------------------------
+
+const MAX_STEPS_PER_SCHEDULE: u64 = 2_000_000;
+
+fn begin_session(schedule_seed: u64) {
+    let mut guard = ctl();
+    *guard = Some(Session::new(schedule_seed, MAX_STEPS_PER_SCHEDULE));
+    SLOT.set(Some(0));
+    ACTIVE.store(true, O::Release);
+}
+
+fn end_session() -> (Vec<SyncViolation>, bool, Option<&'static str>) {
+    let mut guard = ctl();
+    ACTIVE.store(false, O::Release);
+    SLOT.set(None);
+    CV.notify_all();
+    match guard.take() {
+        Some(s) => (s.violations, s.deadlocked, s.poisoned),
+        None => (Vec::new(), false, None),
+    }
+}
+
+/// Run `body` once under the exact `schedule_seed`; returns (violations,
+/// deadlocked). Panics from the model body propagate; deadlock unwinds
+/// are swallowed and reported.
+fn run_one(schedule_seed: u64, body: &dyn Fn()) -> (Vec<SyncViolation>, bool) {
+    begin_session(schedule_seed);
+    let result = catch_unwind(AssertUnwindSafe(body));
+    let (violations, deadlocked, poisoned) = end_session();
+    if let Err(payload) = result {
+        let schedule_abort = matches!(poisoned, Some(reason) if reason.starts_with("deadlocked"));
+        if !schedule_abort {
+            resume_unwind(payload);
+        }
+    }
+    (violations, deadlocked)
+}
+
+fn run_schedules(
+    base_seed: u64,
+    schedules: usize,
+    derive: bool,
+    body: &dyn Fn(),
+) -> ScheduleReport {
+    let _serialize = SESSION_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    let mut report = ScheduleReport::default();
+    let mut seen = BTreeSet::new();
+    for i in 0..schedules.max(1) {
+        let schedule_seed = if derive {
+            splitmix64(base_seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        } else {
+            base_seed
+        };
+        let (violations, deadlocked) = run_one(schedule_seed, body);
+        report.schedules_run += 1;
+        if deadlocked {
+            report.deadlocked_schedules += 1;
+        }
+        if !violations.is_empty() && report.failing_seed.is_none() {
+            report.failing_seed = Some(schedule_seed);
+        }
+        for v in violations {
+            if seen.insert(v.dedup_key()) {
+                report.violations.push(v);
+            }
+        }
+    }
+    report
+}
+
+/// Explore `schedules` deterministic interleavings of `body`.
+///
+/// Every iteration derives a fresh schedule seed from `seed`, so the whole
+/// sweep is reproducible: the same `(seed, schedules)` pair replays the
+/// same set of interleavings, in the same order, with the same findings.
+/// Use [`ScheduleReport::failing_seed`] with [`replay`] to re-run a single
+/// failing interleaving.
+pub fn explore(seed: u64, schedules: usize, body: impl Fn()) -> ScheduleReport {
+    run_schedules(seed, schedules, true, &body)
+}
+
+/// Re-run `body` under one exact schedule seed (as reported in
+/// [`SyncViolation::schedule_seed`] / [`ScheduleReport::failing_seed`]).
+pub fn replay(schedule_seed: u64, body: impl Fn()) -> ScheduleReport {
+    run_schedules(schedule_seed, 1, false, &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vclock_join_and_bump() {
+        let mut a = VClock::default();
+        a.bump(0);
+        a.bump(0);
+        a.bump(2);
+        let mut b = VClock::default();
+        b.bump(1);
+        b.bump(2);
+        b.bump(2);
+        a.join(&b);
+        assert_eq!(a.get(0), 2);
+        assert_eq!(a.get(1), 1);
+        assert_eq!(a.get(2), 2);
+        assert_eq!(a.get(9), 0);
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_spreads() {
+        assert_eq!(splitmix64(42), splitmix64(42));
+        assert_ne!(splitmix64(42), splitmix64(43));
+        let mut s1 = splitmix64(7);
+        let mut s2 = splitmix64(7);
+        for _ in 0..100 {
+            assert_eq!(xorshift(&mut s1), xorshift(&mut s2));
+        }
+    }
+
+    #[test]
+    fn find_path_detects_reverse_edges() {
+        let mut edges: BTreeMap<PrimId, BTreeMap<PrimId, (Site, Site)>> = BTreeMap::new();
+        let site: Site = Location::caller();
+        edges.entry(1).or_default().insert(2, (site, site));
+        edges.entry(2).or_default().insert(3, (site, site));
+        assert_eq!(find_path(&edges, 1, 3), Some(vec![1, 2, 3]));
+        assert!(find_path(&edges, 3, 1).is_none());
+    }
+}

@@ -1,0 +1,547 @@
+//! Instrumented drop-in replacements for the `std::sync` primitives and
+//! `std::thread::scope`, active only under `--features bp_sanitize`.
+//!
+//! Each wrapper holds the real `std` primitive plus a [`PrimMeta`]
+//! (construction site + lazily assigned sanitizer id) and reports every
+//! operation to the [runtime](super::runtime). The API is a strict subset
+//! of `std`'s so library code compiles identically with the feature off.
+//!
+//! Outside an exploration session (or on non-participant threads) every
+//! operation short-circuits to the plain `std` call after a two-word
+//! check, so even instrumented builds only pay inside model tests.
+
+use std::fmt;
+use std::mem::ManuallyDrop;
+use std::ops::{Deref, DerefMut};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe, Location};
+use std::sync::atomic::Ordering;
+use std::sync::{LockResult, PoisonError};
+
+use super::runtime;
+
+/// Identity of one instrumented primitive: where it was constructed and
+/// its lazily assigned session-stable id.
+pub(super) struct PrimMeta {
+    pub(super) kind: &'static str,
+    pub(super) site: &'static Location<'static>,
+    pub(super) id: std::sync::OnceLock<u64>,
+}
+
+impl PrimMeta {
+    #[track_caller]
+    const fn new(kind: &'static str) -> Self {
+        PrimMeta {
+            kind,
+            site: Location::caller(),
+            id: std::sync::OnceLock::new(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+/// Instrumented [`std::sync::Mutex`].
+pub struct Mutex<T> {
+    meta: PrimMeta,
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a mutex; the call site becomes the primitive's construction
+    /// site in violation reports.
+    #[track_caller]
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            meta: PrimMeta::new("Mutex"),
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquire the mutex (a schedule point; participates in lock-order
+    /// and happens-before tracking).
+    #[track_caller]
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        runtime::lock_acquire(&self.meta, true, Location::caller());
+        match self.inner.lock() {
+            Ok(g) => Ok(MutexGuard {
+                inner: ManuallyDrop::new(g),
+                meta: &self.meta,
+            }),
+            Err(poison) => Err(PoisonError::new(MutexGuard {
+                inner: ManuallyDrop::new(poison.into_inner()),
+                meta: &self.meta,
+            })),
+        }
+    }
+
+    /// Consume the mutex, returning the inner value (no contention is
+    /// possible, so this is not a schedule point).
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    #[track_caller]
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+/// Guard for an instrumented [`Mutex`]; reports the release on drop.
+pub struct MutexGuard<'a, T> {
+    inner: ManuallyDrop<std::sync::MutexGuard<'a, T>>,
+    meta: &'a PrimMeta,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Really unlock first, then tell the scheduler: the next
+        // participant only attempts the std lock after the runtime marks
+        // it free, so the order here can never wedge the real mutex.
+        unsafe { ManuallyDrop::drop(&mut self.inner) };
+        runtime::lock_release(self.meta, true);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RwLock
+// ---------------------------------------------------------------------------
+
+/// Instrumented [`std::sync::RwLock`].
+pub struct RwLock<T> {
+    meta: PrimMeta,
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Create a reader-writer lock; the call site becomes the primitive's
+    /// construction site in violation reports.
+    #[track_caller]
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            meta: PrimMeta::new("RwLock"),
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Acquire a shared read guard (a schedule point).
+    #[track_caller]
+    pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+        runtime::lock_acquire(&self.meta, false, Location::caller());
+        match self.inner.read() {
+            Ok(g) => Ok(RwLockReadGuard {
+                inner: ManuallyDrop::new(g),
+                meta: &self.meta,
+            }),
+            Err(poison) => Err(PoisonError::new(RwLockReadGuard {
+                inner: ManuallyDrop::new(poison.into_inner()),
+                meta: &self.meta,
+            })),
+        }
+    }
+
+    /// Acquire the exclusive write guard (a schedule point).
+    #[track_caller]
+    pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+        runtime::lock_acquire(&self.meta, true, Location::caller());
+        match self.inner.write() {
+            Ok(g) => Ok(RwLockWriteGuard {
+                inner: ManuallyDrop::new(g),
+                meta: &self.meta,
+            }),
+            Err(poison) => Err(PoisonError::new(RwLockWriteGuard {
+                inner: ManuallyDrop::new(poison.into_inner()),
+                meta: &self.meta,
+            })),
+        }
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    #[track_caller]
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+/// Shared guard for an instrumented [`RwLock`].
+pub struct RwLockReadGuard<'a, T> {
+    inner: ManuallyDrop<std::sync::RwLockReadGuard<'a, T>>,
+    meta: &'a PrimMeta,
+}
+
+impl<T> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        unsafe { ManuallyDrop::drop(&mut self.inner) };
+        runtime::lock_release(self.meta, false);
+    }
+}
+
+/// Exclusive guard for an instrumented [`RwLock`].
+pub struct RwLockWriteGuard<'a, T> {
+    inner: ManuallyDrop<std::sync::RwLockWriteGuard<'a, T>>,
+    meta: &'a PrimMeta,
+}
+
+impl<T> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        unsafe { ManuallyDrop::drop(&mut self.inner) };
+        runtime::lock_release(self.meta, true);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// OnceLock
+// ---------------------------------------------------------------------------
+
+/// Instrumented [`std::sync::OnceLock`]. Initialization is modeled as a
+/// Release write and every read of the initialized value as an Acquire
+/// load, so the happens-before graph sees lazy caches (columnar decode,
+/// indexes, table stats) exactly as the hardware does.
+pub struct OnceLock<T> {
+    meta: PrimMeta,
+    inner: std::sync::OnceLock<T>,
+}
+
+impl<T> OnceLock<T> {
+    /// Create an empty cell; the call site becomes the primitive's
+    /// construction site in violation reports.
+    #[track_caller]
+    pub const fn new() -> Self {
+        OnceLock {
+            meta: PrimMeta::new("OnceLock"),
+            inner: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// Read the value if initialized (a schedule point).
+    #[track_caller]
+    pub fn get(&self) -> Option<&T> {
+        runtime::once_get(&self.meta);
+        self.inner.get()
+    }
+
+    /// Initialize the cell if empty (a schedule point; loses the race to
+    /// a concurrent `get_or_init` just like the `std` cell).
+    #[track_caller]
+    pub fn set(&self, value: T) -> Result<(), T> {
+        // Waiting out an in-flight get_or_init on the scheduler (instead
+        // of inside std) keeps the token from being held across an
+        // OS-level block.
+        let _claimed = runtime::once_enter(&self.meta);
+        let result = self.inner.set(value);
+        runtime::once_complete(&self.meta);
+        result
+    }
+
+    /// Read the value, initializing it with `init` if empty (a schedule
+    /// point; `init` itself runs under the schedule and may hit further
+    /// schedule points).
+    #[track_caller]
+    pub fn get_or_init<F: FnOnce() -> T>(&self, init: F) -> &T {
+        if runtime::once_enter(&self.meta) {
+            let value = self.inner.get_or_init(init);
+            runtime::once_complete(&self.meta);
+            value
+        } else {
+            // Already initialized: the std cell is guaranteed full, so
+            // `init` is never run here.
+            self.inner.get_or_init(init)
+        }
+    }
+}
+
+impl<T> Default for OnceLock<T> {
+    #[track_caller]
+    fn default() -> Self {
+        OnceLock::new()
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for OnceLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Atomics
+// ---------------------------------------------------------------------------
+
+macro_rules! instrumented_atomic {
+    ($(#[$doc:meta])* $name:ident, $std:ty, $value:ty) => {
+        $(#[$doc])*
+        pub struct $name {
+            meta: PrimMeta,
+            inner: $std,
+        }
+
+        impl $name {
+            /// Create the atomic; the call site becomes the primitive's
+            /// construction site in violation reports.
+            #[track_caller]
+            pub const fn new(value: $value) -> Self {
+                $name {
+                    meta: PrimMeta::new(stringify!($name)),
+                    inner: <$std>::new(value),
+                }
+            }
+
+            /// Instrumented load (a schedule point; checked against the
+            /// happens-before graph).
+            #[track_caller]
+            pub fn load(&self, order: Ordering) -> $value {
+                runtime::op_pre();
+                let value = self.inner.load(order);
+                runtime::atomic_access(
+                    &self.meta, "load", true, false, false, order,
+                    value as u64, Location::caller(),
+                );
+                value
+            }
+
+            /// Instrumented store (a schedule point; checked against the
+            /// happens-before graph).
+            #[track_caller]
+            pub fn store(&self, value: $value, order: Ordering) {
+                runtime::op_pre();
+                self.inner.store(value, order);
+                runtime::atomic_access(
+                    &self.meta, "store", false, true, false, order,
+                    value as u64, Location::caller(),
+                );
+            }
+
+            /// Instrumented swap (a schedule point; RMWs are exempt from
+            /// the RMW-vs-RMW race rule because atomicity alone makes the
+            /// chain coherent).
+            #[track_caller]
+            pub fn swap(&self, value: $value, order: Ordering) -> $value {
+                runtime::op_pre();
+                let previous = self.inner.swap(value, order);
+                runtime::atomic_access(
+                    &self.meta, "swap", true, true, true, order,
+                    value as u64, Location::caller(),
+                );
+                previous
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                self.inner.fmt(f)
+            }
+        }
+    };
+}
+
+instrumented_atomic!(
+    /// Instrumented [`std::sync::atomic::AtomicBool`].
+    AtomicBool,
+    std::sync::atomic::AtomicBool,
+    bool
+);
+instrumented_atomic!(
+    /// Instrumented [`std::sync::atomic::AtomicUsize`].
+    AtomicUsize,
+    std::sync::atomic::AtomicUsize,
+    usize
+);
+instrumented_atomic!(
+    /// Instrumented [`std::sync::atomic::AtomicU64`].
+    AtomicU64,
+    std::sync::atomic::AtomicU64,
+    u64
+);
+
+macro_rules! instrumented_fetch_add {
+    ($name:ident, $value:ty) => {
+        impl $name {
+            /// Instrumented fetch_add (a schedule point; RMW-exempt like
+            /// [`Self::swap`]).
+            #[track_caller]
+            pub fn fetch_add(&self, delta: $value, order: Ordering) -> $value {
+                runtime::op_pre();
+                let previous = self.inner.fetch_add(delta, order);
+                runtime::atomic_access(
+                    &self.meta,
+                    "fetch_add",
+                    true,
+                    true,
+                    true,
+                    order,
+                    previous.wrapping_add(delta) as u64,
+                    Location::caller(),
+                );
+                previous
+            }
+        }
+    };
+}
+
+instrumented_fetch_add!(AtomicUsize, usize);
+instrumented_fetch_add!(AtomicU64, u64);
+
+// ---------------------------------------------------------------------------
+// Scoped threads
+// ---------------------------------------------------------------------------
+
+/// Instrumented [`std::thread::scope`]: spawned threads register as
+/// schedule participants, and the implicit end-of-scope join releases the
+/// scheduler token while the OS join blocks.
+#[track_caller]
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+{
+    let spawned: std::sync::Arc<std::sync::Mutex<Vec<usize>>> = Default::default();
+    let out = std::thread::scope(|s| {
+        let wrapper = Scope {
+            inner: s,
+            spawned: std::sync::Arc::clone(&spawned),
+        };
+        match catch_unwind(AssertUnwindSafe(|| f(&wrapper))) {
+            Ok(value) => {
+                let children = wrapper.children();
+                runtime::enter_join_wait(&children);
+                value
+            }
+            Err(payload) => {
+                // Unblock parked children before std's implicit join, or
+                // the unwind would wedge on it.
+                runtime::poison_session("panic in scope body; unwinding the schedule");
+                resume_unwind(payload);
+            }
+        }
+    });
+    let children: Vec<usize> = spawned
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone();
+    runtime::exit_join_wait(&children);
+    out
+}
+
+/// Instrumented counterpart of [`std::thread::Scope`].
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+    spawned: std::sync::Arc<std::sync::Mutex<Vec<usize>>>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    fn children(&self) -> Vec<usize> {
+        self.spawned
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Spawn a scoped thread. Inside a session the thread becomes a
+    /// schedule participant inheriting the spawner's vector clock.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let slot = runtime::prepare_spawn();
+        if let Some(slot) = slot {
+            self.spawned
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(slot);
+        }
+        let handle = self.inner.spawn(move || match slot {
+            None => f(),
+            Some(slot) => {
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    runtime::child_start(slot);
+                    f()
+                }));
+                match result {
+                    Ok(value) => {
+                        runtime::child_finish(slot, false);
+                        value
+                    }
+                    Err(payload) => {
+                        runtime::child_finish(slot, true);
+                        resume_unwind(payload);
+                    }
+                }
+            }
+        });
+        ScopedJoinHandle {
+            inner: handle,
+            slot,
+        }
+    }
+}
+
+/// Instrumented counterpart of [`std::thread::ScopedJoinHandle`].
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+    slot: Option<usize>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Join the thread (releases the scheduler token while blocked).
+    pub fn join(self) -> std::thread::Result<T> {
+        let children: Vec<usize> = self.slot.into_iter().collect();
+        runtime::enter_join_wait(&children);
+        let result = self.inner.join();
+        runtime::exit_join_wait(&children);
+        result
+    }
+}

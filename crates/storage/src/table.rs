@@ -17,8 +17,8 @@
 //! forever because its payload is immutable. A stale decode is therefore
 //! unrepresentable, not merely avoided.
 
+use crate::sync::{Arc, OnceLock};
 use std::collections::HashMap;
-use std::sync::{Arc, OnceLock};
 
 use crate::error::{StorageError, StorageResult};
 use crate::physical::batch::{Batch, ColumnVec, BATCH_ROWS};
